@@ -1,0 +1,250 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (printed as plain-text tables; see EXPERIMENTS.md
+   for the paper-vs-measured record) and runs Bechamel wall-clock
+   benches of the matchers.
+
+   Usage: main.exe [fig3|fig4a|fig4b|fig5|fig6a|fig6b|tv|ablation|
+                    baselines|timing|all]... (default: all) *)
+
+module Figures = Genas_expt.Figures
+module Report = Genas_expt.Report
+module Workload = Genas_expt.Workload
+module Prng = Genas_prng.Prng
+module Schema = Genas_model.Schema
+module Axis = Genas_model.Axis
+module Event = Genas_model.Event
+module Dist = Genas_dist.Dist
+module Shape = Genas_dist.Shape
+module Decomp = Genas_filter.Decomp
+module Tree = Genas_filter.Tree
+module Naive = Genas_filter.Naive
+module Counting = Genas_filter.Counting
+module Stats = Genas_core.Stats
+module Selectivity = Genas_core.Selectivity
+module Reorder = Genas_core.Reorder
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing suite: one Test.make per matcher / per table-sized
+   workload.                                                           *)
+
+let timing_workload () =
+  let schema = Workload.normalized_schema ~attrs:3 ~points:100 () in
+  let axes =
+    Array.init 3 (fun i -> Axis.of_domain (Schema.attribute schema i).Schema.domain)
+  in
+  let rng = Prng.create ~seed:99 in
+  let pset =
+    Workload.gen_profiles rng schema
+      {
+        Workload.p = 500;
+        dontcare = [| 0.3; 0.3; 0.3 |];
+        value_dists = Array.map (fun ax -> Shape.gauss () ax) axes;
+        range_width = None;
+      }
+  in
+  let decomp = Decomp.build pset in
+  let stats = Stats.create decomp in
+  let dists = Array.map Dist.uniform axes in
+  (* A fixed pool of pre-built events so the benches measure matching,
+     not sampling. *)
+  let events =
+    Array.init 1024 (fun _ ->
+        let coords = Workload.event_coords rng dists in
+        Event.of_values_exn schema
+          (Array.mapi
+             (fun i c -> Axis.value (Schema.attribute schema i).Schema.domain c)
+             coords))
+  in
+  (schema, pset, decomp, stats, events)
+
+let timing_tests () =
+  let open Bechamel in
+  let _, pset, decomp, stats, events = timing_workload () in
+  let idx = ref 0 in
+  let next_event () =
+    let e = events.(!idx) in
+    idx := (!idx + 1) land 1023;
+    e
+  in
+  let naive = Naive.build pset in
+  let counting = Counting.build pset in
+  let tree_nat = Tree.build decomp (Tree.default_config decomp) in
+  let tree_v1 =
+    Reorder.build stats
+      { Reorder.attr_choice = Reorder.Attr_measured (Selectivity.A2, `Descending);
+        value_choice = `Measure Selectivity.V1 }
+  in
+  let tree_bin =
+    Reorder.build stats
+      { Reorder.attr_choice = Reorder.Attr_natural; value_choice = `Binary }
+  in
+  (* Batches of 32 events per run: single matches sit in the noise
+     floor of the clock. Reported ns/run is therefore per 32 events. *)
+  let match_test name f =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           for _ = 1 to 32 do
+             f (next_event ())
+           done))
+  in
+  Test.make_grouped ~name:"genas"
+    [
+      (* Fig. 4/5 matchers (value strategies). *)
+      match_test "match/naive" (fun e -> ignore (Naive.match_event naive e));
+      match_test "match/counting" (fun e -> ignore (Counting.match_event counting e));
+      match_test "match/tree-natural" (fun e -> ignore (Tree.match_event tree_nat e));
+      match_test "match/tree-V1+A2" (fun e -> ignore (Tree.match_event tree_v1 e));
+      match_test "match/tree-binary" (fun e -> ignore (Tree.match_event tree_bin e));
+      (* TV1: construction cost. *)
+      Test.make ~name:"build/tree-500p"
+        (Staged.stage (fun () ->
+             ignore (Tree.build decomp (Tree.default_config decomp))));
+      Test.make ~name:"build/decomp-500p"
+        (Staged.stage (fun () -> ignore (Decomp.build pset)));
+    ]
+
+let run_timing () =
+  let open Bechamel in
+  let tests = timing_tests () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> Printf.sprintf "%.0f" x
+        | Some [] | None -> "n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "n/a"
+      in
+      rows := [ name; ns; r2 ] :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Report.table ~title:"Wall-clock (Bechamel, monotonic clock)"
+    ~columns:[ "benchmark"; "ns/run"; "r²" ]
+    ~notes:[ "500 profiles, 3 attributes, uniform events; match/* runs \
+             cover 32 events each" ]
+    rows
+
+
+(* ------------------------------------------------------------------ *)
+(* Multicore throughput: the built tree is immutable, so matching
+   parallelizes across OCaml 5 domains with zero coordination.        *)
+
+let run_parallel () =
+  let _, _, decomp, stats, events = timing_workload () in
+  let tree =
+    Reorder.build stats
+      { Reorder.attr_choice = Reorder.Attr_measured (Selectivity.A2, `Descending);
+        value_choice = `Measure Selectivity.V1 }
+  in
+  ignore decomp;
+  let per_domain = 200_000 in
+  let work () =
+    let n = Array.length events in
+    let acc = ref 0 in
+    for i = 0 to per_domain - 1 do
+      acc := !acc + List.length (Tree.match_event tree events.(i mod n))
+    done;
+    !acc
+  in
+  let measure domains =
+    let t0 = Unix.gettimeofday () in
+    let handles = List.init (domains - 1) (fun _ -> Domain.spawn work) in
+    let local = work () in
+    let total = List.fold_left (fun a h -> a + Domain.join h) local handles in
+    let dt = Unix.gettimeofday () -. t0 in
+    ignore total;
+    float_of_int (domains * per_domain) /. dt
+  in
+  let cores = Domain.recommended_domain_count () in
+  let candidates = List.sort_uniq Int.compare [ 1; min 2 cores; min 4 cores ] in
+  let base = measure 1 in
+  let rows =
+    List.map
+      (fun d ->
+        let rate = if d = 1 then base else measure d in
+        [
+          string_of_int d;
+          Printf.sprintf "%.2fM" (rate /. 1e6);
+          Printf.sprintf "%.2fx" (rate /. base);
+        ])
+      candidates
+  in
+  Report.table ~title:"Multicore throughput — shared immutable tree"
+    ~columns:[ "domains"; "events/s"; "speedup" ]
+    ~notes:
+      [
+        Printf.sprintf
+          "500 profiles, 3 attributes, V1+A2 tree; 200k events per domain; \
+           host reports %d available core(s)" cores;
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let tables_of_target = function
+  | "fig3" -> [ Figures.fig3 () ]
+  | "fig4a" -> [ Figures.fig4a () ]
+  | "fig4b" -> [ Figures.fig4b () ]
+  | "fig5" -> Figures.fig5 ()
+  | "fig6a" -> [ Figures.fig6a () ]
+  | "fig6b" -> [ Figures.fig6b () ]
+  | "tv" -> [ Figures.tv_scenarios () ]
+  | "ablation" -> [ Figures.ablation_sharing () ]
+  | "baselines" -> [ Figures.baseline_comparison () ]
+  | "outlook" -> [ Figures.outlook_strategies () ]
+  | "quench" -> [ Figures.ablation_quench () ]
+  | "routing" -> [ Figures.ablation_routing () ]
+  | "adaptive" -> [ Figures.ablation_adaptive () ]
+  | "correlated" -> [ Figures.correlated () ]
+  | "dontcare" -> [ Figures.dontcare_influence () ]
+  | "queueing" -> [ Figures.queueing () ]
+  | "orderings8" -> [ Figures.orderings8 () ]
+  | "fragility" -> [ Figures.fragility () ]
+  | "timing" -> [ run_timing () ]
+  | "parallel" -> [ run_parallel () ]
+  | other ->
+    Printf.eprintf "unknown bench target %S\n" other;
+    exit 2
+
+let csv_name target i n =
+  if n = 1 then target ^ ".csv" else Printf.sprintf "%s_%d.csv" target (i + 1)
+
+let run_figure ?csv_dir target =
+  let tables = tables_of_target target in
+  let n = List.length tables in
+  List.iteri
+    (fun i table ->
+      Report.print table;
+      match csv_dir with
+      | None -> ()
+      | Some dir ->
+        let path = Filename.concat dir (csv_name target i n) in
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Report.to_csv table)))
+    tables
+
+let all_targets =
+  [ "fig3"; "fig4a"; "fig4b"; "fig5"; "fig6a"; "fig6b"; "tv"; "ablation";
+    "baselines"; "outlook"; "quench"; "routing"; "adaptive"; "correlated"; "dontcare"; "queueing"; "orderings8"; "fragility"; "timing"; "parallel" ]
+
+let () =
+  let rest =
+    match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest
+  in
+  let csv_dir, rest =
+    match rest with
+    | "--csv" :: dir :: rest -> (Some dir, rest)
+    | rest -> (None, rest)
+  in
+  let args = match rest with [] | "all" :: _ -> all_targets | rest -> rest in
+  List.iter (run_figure ?csv_dir) args

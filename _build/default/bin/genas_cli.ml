@@ -1,0 +1,475 @@
+(* GENAS command-line interface.
+
+   Subcommands:
+     genas figures [TARGET...]   regenerate the paper's tables/figures
+     genas dists [NAME]          list the distribution catalog / show one
+     genas match ...             filter an event file against a profile file
+     genas plan ...              show the tree configuration the engine picks
+
+   Schema files contain one attribute per line: "name : DOMAIN" with
+   DOMAIN in int[lo,hi] | float[lo,hi] | enum{a,b,c} | bool.
+   Profile files: "name : PREDICATES" in the profile language.
+   Event files: one event per line ("attr = v, ...").
+   Lines starting with '#' are comments. *)
+
+module Domain = Genas_model.Domain
+module Schema = Genas_model.Schema
+module Axis = Genas_model.Axis
+module Interval = Genas_interval.Interval
+module Lang = Genas_profile.Lang
+module Profile_set = Genas_profile.Profile_set
+module Dist = Genas_dist.Dist
+module Catalog = Genas_dist.Catalog
+module Decomp = Genas_filter.Decomp
+module Ops = Genas_filter.Ops
+module Tree = Genas_filter.Tree
+module Order = Genas_filter.Order
+module Stats = Genas_core.Stats
+module Selectivity = Genas_core.Selectivity
+module Cost = Genas_core.Cost
+module Reorder = Genas_core.Reorder
+module Figures = Genas_expt.Figures
+module Report = Genas_expt.Report
+module Store = Genas_ens.Store
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* File loading is the library's Store format; only the profile-name
+   mapping needed for output labels is recovered here.                 *)
+
+let load_schema = Store.load_schema
+
+let load_profiles schema path =
+  let* pset = Store.load_profiles schema path in
+  let names =
+    Profile_set.fold pset ~init:[] ~f:(fun acc id p ->
+        match p.Genas_profile.Profile.name with
+        | Some n -> (id, n) :: acc
+        | None -> acc)
+  in
+  Ok (pset, List.rev names)
+
+let load_events schema path =
+  let* events = Store.load_events schema path in
+  Ok (List.map (fun e -> (Lang.event_to_string schema e, e)) events)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("genas: " ^ msg);
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Subcommand implementations.                                         *)
+
+let strategy_of_name = function
+  | "natural" -> Ok (`Measure Selectivity.V_natural_asc)
+  | "v1" | "event" -> Ok (`Measure Selectivity.V1)
+  | "v2" | "profile" -> Ok (`Measure Selectivity.V2)
+  | "v3" -> Ok (`Measure Selectivity.V3)
+  | "binary" -> Ok `Binary
+  | "hashed" -> Ok `Hashed
+  | "auto" -> Ok `Auto
+  | other -> Error (Printf.sprintf "unknown strategy %S" other)
+
+let attr_choice_of_name = function
+  | "natural" -> Ok Reorder.Attr_natural
+  | "a1" -> Ok (Reorder.Attr_measured (Selectivity.A1, `Descending))
+  | "a2" -> Ok (Reorder.Attr_measured (Selectivity.A2, `Descending))
+  | "a3" -> Ok Reorder.Attr_a3
+  | other -> Error (Printf.sprintf "unknown attribute measure %S" other)
+
+let run_match schema_path profiles_path events_path strategy attr_measure
+    explain =
+  let schema = or_die (load_schema schema_path) in
+  let pset, names = or_die (load_profiles schema profiles_path) in
+  let events = or_die (load_events schema events_path) in
+  let value_choice = or_die (strategy_of_name strategy) in
+  let attr_choice = or_die (attr_choice_of_name attr_measure) in
+  let stats = Stats.create (Decomp.build pset) in
+  let tree = Reorder.build stats { Reorder.attr_choice; value_choice } in
+  let ops = Ops.create () in
+  List.iter
+    (fun (line, event) ->
+      let matched = Tree.match_event ~ops tree event in
+      let labels =
+        List.map
+          (fun id ->
+            Option.value ~default:(string_of_int id) (List.assoc_opt id names))
+          matched
+      in
+      Printf.printf "%-50s -> %s\n" line
+        (if labels = [] then "(no match)" else String.concat ", " labels);
+      if explain then
+        Format.printf "%a@." Genas_core.Explain.pp
+          (Genas_core.Explain.trace tree event))
+    events;
+  Printf.printf "\n%d events, %d comparisons (%.2f per event)\n"
+    ops.Ops.events ops.Ops.comparisons (Ops.per_event ops)
+
+let run_plan schema_path profiles_path event_dists =
+  let schema = or_die (load_schema schema_path) in
+  let pset, _names = or_die (load_profiles schema profiles_path) in
+  let decomp = Decomp.build pset in
+  let stats = Stats.create decomp in
+  (match event_dists with
+  | [] -> ()
+  | names ->
+    if List.length names <> Schema.arity schema then
+      or_die (Error "need one event distribution per attribute");
+    List.iteri
+      (fun attr name ->
+        let gen = Catalog.find_exn name in
+        Stats.assume_event_dist stats ~attr (gen decomp.Decomp.axes.(attr)))
+      names);
+  Printf.printf "attributes (natural order):\n";
+  Array.iter
+    (fun (a : Schema.attribute) ->
+      Printf.printf "  %d: %-14s %s  A1=%.3f A2=%.3f cells=%d d0-share=%.3f\n"
+        a.Schema.index a.Schema.name
+        (Format.asprintf "%a" Domain.pp a.Schema.domain)
+        (Selectivity.attribute_selectivity stats ~attr:a.Schema.index
+           Selectivity.A1)
+        (Selectivity.attribute_selectivity stats ~attr:a.Schema.index
+           Selectivity.A2)
+        (Decomp.referenced_count decomp ~attr:a.Schema.index)
+        (Decomp.d0_share decomp ~attr:a.Schema.index))
+    (Schema.attributes schema);
+  List.iter
+    (fun (label, spec) ->
+      let tree = Reorder.build stats spec in
+      let r = Cost.evaluate_with_stats tree stats in
+      Printf.printf
+        "%-22s order=[%s]  strategies=[%s]  E[ops/event]=%.3f  E[matches]=%.3f\n"
+        label
+        (String.concat ";"
+           (Array.to_list (Array.map string_of_int tree.Tree.config.Tree.attr_order)))
+        (String.concat ";"
+           (Array.to_list
+              (Array.map
+                 (Format.asprintf "%a" Order.pp_strategy)
+                 tree.Tree.config.Tree.strategies)))
+        r.Cost.per_event r.Cost.expected_matches)
+    [
+      ("natural/natural",
+       { Reorder.attr_choice = Reorder.Attr_natural;
+         value_choice = `Measure Selectivity.V_natural_asc });
+      ("natural/binary",
+       { Reorder.attr_choice = Reorder.Attr_natural; value_choice = `Binary });
+      ("A2-desc/V1",
+       { Reorder.attr_choice = Reorder.Attr_measured (Selectivity.A2, `Descending);
+         value_choice = `Measure Selectivity.V1 });
+      ("A2-desc/V3",
+       { Reorder.attr_choice = Reorder.Attr_measured (Selectivity.A2, `Descending);
+         value_choice = `Measure Selectivity.V3 });
+      ("A2-desc/auto",
+       { Reorder.attr_choice = Reorder.Attr_measured (Selectivity.A2, `Descending);
+         value_choice = `Auto });
+    ]
+
+let run_simulate schema_path profiles_path event_dists strategy
+    attr_measure events =
+  let schema = or_die (load_schema schema_path) in
+  let pset, _ = or_die (load_profiles schema profiles_path) in
+  let value_choice = or_die (strategy_of_name strategy) in
+  let attr_choice = or_die (attr_choice_of_name attr_measure) in
+  let decomp = Decomp.build pset in
+  let stats = Stats.create decomp in
+  let n = Schema.arity schema in
+  let dists =
+    match event_dists with
+    | [] -> Array.map (fun ax -> Dist.uniform ax) decomp.Decomp.axes
+    | names ->
+      if List.length names <> n then
+        or_die (Error "need one --event-dist per attribute");
+      Array.of_list
+        (List.mapi
+           (fun attr name ->
+             (Catalog.find_exn name) decomp.Decomp.axes.(attr))
+           names)
+  in
+  Array.iteri (fun attr d -> Stats.assume_event_dist stats ~attr d) dists;
+  let tree = Reorder.build stats { Reorder.attr_choice; value_choice } in
+  let analytic = Cost.evaluate_with_stats tree stats in
+  let rng = Genas_prng.Prng.create ~seed:42 in
+  let sim =
+    match events with
+    | Some e -> Genas_expt.Simulate.run_fixed rng tree dists ~events:e
+    | None -> Genas_expt.Simulate.run rng tree dists
+  in
+  Printf.printf "profiles: %d   attributes: %d   strategy: %s/%s\n"
+    (Profile_set.size pset) n strategy attr_measure;
+  Printf.printf "analytic  (Eq. 2): %.4f ops/event, %.4f matches/event\n"
+    analytic.Cost.per_event analytic.Cost.expected_matches;
+  Printf.printf
+    "simulated (%d events%s): %.4f ops/event (95%% CI ±%.4f), %.4f \
+     matches/event\n"
+    sim.Genas_expt.Simulate.events
+    (if sim.Genas_expt.Simulate.converged then ", converged" else ", cap hit")
+    sim.Genas_expt.Simulate.per_event sim.Genas_expt.Simulate.ci_halfwidth
+    sim.Genas_expt.Simulate.match_rate
+
+let run_dists name =
+  match name with
+  | None ->
+    List.iter print_endline Catalog.names;
+    Printf.printf "(plus peak specs of the form NN%%high / NN%%low)\n"
+  | Some name ->
+    let gen = Catalog.find_exn name in
+    let axis = Axis.make ~discrete:false ~lo:0.0 ~hi:100.0 in
+    let dist = gen axis in
+    let bins = 50 in
+    let probs =
+      List.init bins (fun i ->
+          let a = 100.0 *. float_of_int i /. float_of_int bins in
+          let b = 100.0 *. float_of_int (i + 1) /. float_of_int bins in
+          Dist.prob_interval dist
+            (Interval.make_exn ~hi_closed:(i = bins - 1) ~lo:a ~hi:b ()))
+    in
+    Printf.printf "%s on the normalized domain [0,100]:\n  %s\n" name
+      (Report.sparkline probs);
+    List.iteri
+      (fun i p -> if p > 0.02 then Printf.printf "  bin %2d: %.3f\n" i p)
+      probs
+
+let run_figures targets =
+  let targets = if targets = [] then [ "all" ] else targets in
+  let all =
+    [ "fig3"; "fig4a"; "fig4b"; "fig5"; "fig6a"; "fig6b"; "tv"; "ablation";
+      "baselines"; "outlook"; "quench"; "routing"; "adaptive"; "correlated"; "dontcare"; "queueing"; "orderings8"; "fragility" ]
+  in
+  let targets = if targets = [ "all" ] then all else targets in
+  List.iter
+    (function
+      | "fig3" -> Report.print (Figures.fig3 ())
+      | "fig4a" -> Report.print (Figures.fig4a ())
+      | "fig4b" -> Report.print (Figures.fig4b ())
+      | "fig5" -> List.iter Report.print (Figures.fig5 ())
+      | "fig6a" -> Report.print (Figures.fig6a ())
+      | "fig6b" -> Report.print (Figures.fig6b ())
+      | "tv" -> Report.print (Figures.tv_scenarios ())
+      | "ablation" -> Report.print (Figures.ablation_sharing ())
+      | "baselines" -> Report.print (Figures.baseline_comparison ())
+      | "outlook" -> Report.print (Figures.outlook_strategies ())
+      | "quench" -> Report.print (Figures.ablation_quench ())
+      | "routing" -> Report.print (Figures.ablation_routing ())
+      | "adaptive" -> Report.print (Figures.ablation_adaptive ())
+      | "correlated" -> Report.print (Figures.correlated ())
+      | "dontcare" -> Report.print (Figures.dontcare_influence ())
+      | "queueing" -> Report.print (Figures.queueing ())
+      | "orderings8" -> Report.print (Figures.orderings8 ())
+      | "fragility" -> Report.print (Figures.fragility ())
+      | other -> or_die (Error (Printf.sprintf "unknown figure %S" other)))
+    targets
+
+(* ------------------------------------------------------------------ *)
+(* Interactive service REPL.                                           *)
+
+let repl_help =
+  {|commands:
+  schema NAME            begin a schema definition; attribute lines
+                         ("attr : DOMAIN") follow, terminated by "end"
+  broker NAME SCHEMA     create a broker (append "adaptive" to enable
+                         distribution-driven re-optimization)
+  sub BROKER WHO : BODY  subscribe WHO with a profile-language body
+  pub BROKER EVENT       publish ("attr = v, ...")
+  tree BROKER            print the broker's current profile tree
+  report BROKER          one-line broker status
+  help                   this text
+  quit                   leave|}
+
+let run_repl () =
+  let svc = Genas_ens.Service.create () in
+  let out fmt = Format.printf fmt in
+  out "GENAS interactive service. 'help' lists commands.@.";
+  let on_error = function
+    | Ok () -> ()
+    | Error e -> out "error: %s@." e
+  in
+  let rec read_schema name acc =
+    match In_channel.input_line stdin with
+    | None -> out "error: unterminated schema definition@."
+    | Some line when String.trim line = "end" ->
+      on_error
+        (Genas_ens.Service.define_schema_text svc ~name (List.rev acc));
+      if Genas_ens.Service.find_schema svc name <> None then
+        out "schema %s defined@." name
+    | Some line ->
+      let line = String.trim line in
+      if line = "" then read_schema name acc else read_schema name (line :: acc)
+  in
+  let split2 s =
+    match String.index_opt s ' ' with
+    | None -> (s, "")
+    | Some i ->
+      ( String.sub s 0 i,
+        String.trim (String.sub s (i + 1) (String.length s - i - 1)) )
+  in
+  let rec loop () =
+    out "> @?";
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+      let line = String.trim line in
+      let cmd, rest = split2 line in
+      (match cmd with
+      | "" -> ()
+      | "help" -> out "%s@." repl_help
+      | "quit" | "exit" -> raise Exit
+      | "schema" ->
+        if rest = "" then out "usage: schema NAME@."
+        else read_schema rest []
+      | "broker" -> (
+        match String.split_on_char ' ' rest with
+        | [ name; schema ] ->
+          on_error (Genas_ens.Service.create_broker svc ~name ~schema ());
+          if Genas_ens.Service.find_broker svc name <> None then
+            out "broker %s on schema %s@." name schema
+        | [ name; schema; "adaptive" ] ->
+          on_error
+            (Genas_ens.Service.create_broker svc ~name ~schema
+               ~adaptive:Genas_core.Adaptive.default_policy ());
+          if Genas_ens.Service.find_broker svc name <> None then
+            out "adaptive broker %s on schema %s@." name schema
+        | _ -> out "usage: broker NAME SCHEMA [adaptive]@.")
+      | "sub" -> (
+        let broker, rest = split2 rest in
+        match String.index_opt rest ':' with
+        | None -> out "usage: sub BROKER WHO : BODY@."
+        | Some i ->
+          let who = String.trim (String.sub rest 0 i) in
+          let body =
+            String.trim (String.sub rest (i + 1) (String.length rest - i - 1))
+          in
+          (match
+             Genas_ens.Service.subscribe svc ~broker ~subscriber:who body
+               (fun n ->
+                 match Genas_ens.Service.find_broker svc broker with
+                 | Some b ->
+                   out "  [%s] %s@." n.Genas_ens.Notification.subscriber
+                     (Lang.event_to_string (Genas_ens.Broker.schema b)
+                        n.Genas_ens.Notification.event)
+                 | None -> ())
+           with
+          | Ok _ -> out "subscribed %s@." who
+          | Error e -> out "error: %s@." e))
+      | "pub" -> (
+        let broker, body = split2 rest in
+        match Genas_ens.Service.publish svc ~broker body with
+        | Ok n -> out "%d notification(s)@." n
+        | Error e -> out "error: %s@." e)
+      | "tree" -> (
+        match Genas_ens.Service.find_broker svc rest with
+        | None -> out "error: unknown broker %S@." rest
+        | Some b ->
+          out "%a@." Tree.pp
+            (Genas_core.Engine.tree (Genas_ens.Broker.engine b)))
+      | "report" -> (
+        match Genas_ens.Service.report svc ~broker:rest with
+        | Ok s -> out "%s@." s
+        | Error e -> out "error: %s@." e)
+      | other -> out "unknown command %S ('help' lists commands)@." other);
+      loop ()
+  in
+  (try loop () with Exit -> ());
+  out "bye@."
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner wiring.                                                    *)
+
+open Cmdliner
+
+let schema_arg =
+  Arg.(required & opt (some file) None & info [ "schema" ] ~doc:"Schema file.")
+
+let profiles_arg =
+  Arg.(required & opt (some file) None & info [ "profiles" ] ~doc:"Profile file.")
+
+let match_cmd =
+  let events_arg =
+    Arg.(required & opt (some file) None & info [ "events" ] ~doc:"Event file.")
+  in
+  let strategy_arg =
+    Arg.(value & opt string "natural"
+         & info [ "strategy" ] ~doc:"Value order: natural|v1|v2|v3|binary|hashed|auto.")
+  in
+  let attr_arg =
+    Arg.(value & opt string "natural"
+         & info [ "attr-measure" ] ~doc:"Attribute order: natural|a1|a2|a3.")
+  in
+  let explain_arg =
+    Arg.(value & flag
+         & info [ "explain" ] ~doc:"Trace each event's path through the tree.")
+  in
+  Cmd.v
+    (Cmd.info "match" ~doc:"Filter events from a file against profiles")
+    Term.(const run_match $ schema_arg $ profiles_arg $ events_arg
+          $ strategy_arg $ attr_arg $ explain_arg)
+
+let plan_cmd =
+  let dists_arg =
+    Arg.(value & opt_all string []
+         & info [ "event-dist" ]
+             ~doc:"Assumed event distribution per attribute (catalog name, \
+                   repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Show selectivities and candidate tree plans")
+    Term.(const run_plan $ schema_arg $ profiles_arg $ dists_arg)
+
+let repl_cmd =
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive GENAS service (schemas, brokers, \
+                           subscriptions and events from stdin)")
+    Term.(const run_repl $ const ())
+
+let dists_cmd =
+  let name_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME")
+  in
+  Cmd.v
+    (Cmd.info "dists" ~doc:"List or display catalog distributions")
+    Term.(const run_dists $ name_arg)
+
+let figures_cmd =
+  let targets_arg = Arg.(value & pos_all string [] & info [] ~docv:"TARGET") in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate the paper's tables and figures")
+    Term.(const run_figures $ targets_arg)
+
+let simulate_cmd =
+  let dists_arg =
+    Arg.(value & opt_all string []
+         & info [ "event-dist" ]
+             ~doc:"Event distribution per attribute (catalog name, \
+                   repeatable; default uniform).")
+  in
+  let strategy_arg =
+    Arg.(value & opt string "v1"
+         & info [ "strategy" ] ~doc:"Value order: natural|v1|v2|v3|binary|hashed|auto.")
+  in
+  let attr_arg =
+    Arg.(value & opt string "a2"
+         & info [ "attr-measure" ] ~doc:"Attribute order: natural|a1|a2|a3.")
+  in
+  let events_arg =
+    Arg.(value & opt (some int) None
+         & info [ "events" ]
+             ~doc:"Fixed event count (default: run to 95% precision).")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Analytic vs simulated filter cost for a profile file (the \
+             paper's TV protocol)")
+    Term.(const run_simulate $ schema_arg $ profiles_arg $ dists_arg
+          $ strategy_arg $ attr_arg $ events_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "genas" ~version:"1.0.0"
+             ~doc:"Distribution-based event filtering (GENAS)")
+          [ match_cmd; plan_cmd; simulate_cmd; dists_cmd; figures_cmd; repl_cmd ]))

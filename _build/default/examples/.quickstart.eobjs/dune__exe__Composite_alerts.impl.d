@@ -1,0 +1,1 @@
+examples/composite_alerts.ml: Format Genas_ens Genas_model Genas_profile

@@ -1,0 +1,1 @@
+examples/composite_alerts.mli:

@@ -1,0 +1,1 @@
+examples/facility_management.ml: Filename Format Genas_ens Genas_model Genas_prng Genas_profile List Option

@@ -1,0 +1,1 @@
+examples/facility_management.mli:

@@ -1,0 +1,1 @@
+examples/keyword_dissemination.ml: Array Format Genas_filter Genas_model Genas_prng Genas_profile List Printf Sys

@@ -1,0 +1,1 @@
+examples/keyword_dissemination.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Genas_ens Genas_filter Genas_model Genas_profile

@@ -1,0 +1,1 @@
+examples/routed_network.ml: Format Genas_ens Genas_filter Genas_model Genas_prng Genas_profile Hashtbl Option

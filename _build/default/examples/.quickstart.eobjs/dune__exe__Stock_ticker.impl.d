@@ -1,0 +1,1 @@
+examples/stock_ticker.ml: Array Float Format Genas_core Genas_ens Genas_filter Genas_model Genas_prng Genas_profile Hashtbl List Option Printf

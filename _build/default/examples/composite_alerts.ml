@@ -1,0 +1,75 @@
+(* Composite events — the extension the paper announces in its outlook
+   (§5): temporal combinations of primitive events.
+
+   A facility-management broker raises: a heat alarm after three hot
+   readings within a window, an HVAC-failure alarm when heat follows a
+   power dip, and a "silent sensor" alarm when heat occurs with no
+   recent heartbeat.
+
+   Run with: dune exec examples/composite_alerts.exe *)
+
+module Value = Genas_model.Value
+module Domain = Genas_model.Domain
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Profile = Genas_profile.Profile
+module Predicate = Genas_profile.Predicate
+module Broker = Genas_ens.Broker
+module Composite = Genas_ens.Composite
+
+let () =
+  let schema =
+    Schema.create_exn
+      [
+        ("kind", Domain.enum [ "temp"; "power"; "heartbeat" ]);
+        ("level", Domain.float_range ~lo:0.0 ~hi:100.0);
+      ]
+  in
+  let broker = Broker.create schema in
+  let prim kind test =
+    Profile.create_exn schema ([ ("kind", Predicate.Eq (Value.Str kind)) ] @ test)
+  in
+  let hot = prim "temp" [ ("level", Predicate.Ge (Value.Float 80.0)) ] in
+  let power_dip = prim "power" [ ("level", Predicate.Le (Value.Float 20.0)) ] in
+  let heartbeat = prim "heartbeat" [] in
+
+  let subscribe_composite name expr =
+    match
+      Broker.subscribe_composite broker ~subscriber:name expr (fun n ->
+          Format.printf "  !! %-14s fired at t=%.0f@." name
+            (Event.time n.Genas_ens.Notification.event))
+    with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  in
+  subscribe_composite "heat-alarm"
+    (Composite.Repeat (Composite.Prim hot, 3, 60.0));
+  subscribe_composite "hvac-failure"
+    (Composite.Seq (Composite.Prim power_dip, Composite.Prim hot, 120.0));
+  subscribe_composite "silent-sensor"
+    (Composite.Without (Composite.Prim hot, Composite.Prim heartbeat, 30.0));
+
+  let publish t kind level =
+    let e =
+      Event.create_exn ~time:t schema
+        [ ("kind", Value.Str kind); ("level", Value.Float level) ]
+    in
+    Format.printf "t=%3.0f  %-9s level=%.0f@." t kind level;
+    ignore (Broker.publish broker e)
+  in
+
+  Format.printf "--- normal operation (heartbeats present) ---@.";
+  publish 0.0 "heartbeat" 1.0;
+  publish 10.0 "temp" 85.0;  (* hot, but heartbeat 10s ago -> no silent-sensor *)
+  publish 20.0 "heartbeat" 1.0;
+  publish 25.0 "temp" 84.0;
+  publish 40.0 "temp" 90.0;  (* third hot reading within 60s -> heat-alarm *)
+
+  Format.printf "@.--- power dip followed by heat ---@.";
+  publish 100.0 "power" 10.0;
+  publish 150.0 "temp" 88.0;  (* hot soon after the dip -> hvac-failure *)
+
+  Format.printf "@.--- heartbeats stop ---@.";
+  publish 300.0 "temp" 95.0;  (* no heartbeat for 280s -> silent-sensor *)
+
+  Format.printf "@.%d notifications in total@." (Broker.notifications broker)

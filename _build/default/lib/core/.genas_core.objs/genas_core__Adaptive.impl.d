@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Array Engine Float Genas_dist Genas_filter Stats

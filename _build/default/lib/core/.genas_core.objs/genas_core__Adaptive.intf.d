@@ -1,0 +1,1 @@
+lib/core/adaptive.mli: Engine Genas_model Genas_profile

@@ -1,0 +1,1 @@
+lib/core/cost.ml: Array Float Genas_dist Genas_filter Genas_interval Hashtbl List Option Stats

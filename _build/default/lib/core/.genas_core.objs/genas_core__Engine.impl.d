@@ -1,0 +1,1 @@
+lib/core/engine.ml: Cost Genas_filter Genas_profile Reorder Stats

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Cost Genas_filter Genas_model Genas_profile Reorder Stats

@@ -1,0 +1,1 @@
+lib/core/explain.ml: Array Float Format Genas_filter Genas_interval Genas_model Genas_profile Int List String

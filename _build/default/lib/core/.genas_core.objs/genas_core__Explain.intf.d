@@ -1,0 +1,1 @@
+lib/core/explain.mli: Format Genas_filter Genas_model Genas_profile

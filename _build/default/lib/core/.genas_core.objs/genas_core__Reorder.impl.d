@@ -1,0 +1,1 @@
+lib/core/reorder.ml: Array Cost Fun Genas_filter List Selectivity Stats

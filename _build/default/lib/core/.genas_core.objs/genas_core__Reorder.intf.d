@@ -1,0 +1,1 @@
+lib/core/reorder.mli: Genas_filter Selectivity Stats

@@ -1,0 +1,1 @@
+lib/core/selectivity.ml: Array Float Fun Genas_filter Int Stats

@@ -1,0 +1,1 @@
+lib/core/selectivity.mli: Genas_filter Stats

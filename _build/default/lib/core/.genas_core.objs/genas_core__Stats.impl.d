@@ -1,0 +1,1 @@
+lib/core/stats.ml: Array Float Genas_dist Genas_filter Genas_interval Genas_model Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/core/stats.mli: Genas_dist Genas_filter Genas_model

@@ -1,0 +1,80 @@
+module Decomp = Genas_filter.Decomp
+module Estimator = Genas_dist.Estimator
+module Dist = Genas_dist.Dist
+
+type policy = { warmup : int; check_every : int; drift_threshold : float }
+
+let default_policy = { warmup = 500; check_every = 200; drift_threshold = 0.25 }
+
+type t = {
+  engine : Engine.t;
+  policy : policy;
+  mutable planned_for : Dist.t array option;
+      (** per-attribute event distributions the current tree was
+          planned for; [None] until the first adaptive rebuild *)
+  mutable since_check : int;
+  mutable seen : int;
+  mutable rebuilds : int;
+  mutable last_drift : float;
+}
+
+let create ?(policy = default_policy) engine =
+  if policy.warmup < 0 || policy.check_every <= 0 then
+    invalid_arg "Adaptive.create: malformed policy";
+  {
+    engine;
+    policy;
+    planned_for = None;
+    since_check = 0;
+    seen = 0;
+    rebuilds = 0;
+    last_drift = 0.0;
+  }
+
+let engine t = t.engine
+
+let current_dists t =
+  let stats = Engine.stats t.engine in
+  let n = Decomp.arity (Stats.decomp stats) in
+  Array.init n (fun attr -> Stats.event_dist stats ~attr)
+
+let rebuild t =
+  Engine.rebuild t.engine;
+  t.planned_for <- Some (current_dists t);
+  t.rebuilds <- t.rebuilds + 1
+
+let drift t =
+  match t.planned_for with
+  | None -> Float.infinity  (* never planned from data: always stale *)
+  | Some planned ->
+    let now = current_dists t in
+    let worst = ref 0.0 in
+    Array.iteri
+      (fun i d ->
+        let dd = Estimator.l1_on_grid d now.(i) in
+        if dd > !worst then worst := dd)
+      planned;
+    !worst
+
+let force_check t =
+  let d = drift t in
+  t.last_drift <- (if Float.is_finite d then d else 2.0);
+  if d > t.policy.drift_threshold then begin
+    rebuild t;
+    true
+  end
+  else false
+
+let match_event t event =
+  let result = Engine.match_event t.engine event in
+  t.seen <- t.seen + 1;
+  t.since_check <- t.since_check + 1;
+  if t.seen >= t.policy.warmup && t.since_check >= t.policy.check_every then begin
+    t.since_check <- 0;
+    ignore (force_check t)
+  end;
+  result
+
+let rebuilds t = t.rebuilds
+
+let last_drift t = t.last_drift

@@ -1,0 +1,46 @@
+(** Adaptive filter component (§4 intro and §5).
+
+    "We propose an adaptive filter component that optimizes the profile
+    tree for certain applications based on the data distributions" —
+    the engine below watches the event stream through the statistics
+    objects and re-optimizes the tree when the observed distribution
+    has drifted from the one the current tree was planned for. Drift is
+    the maximum per-attribute L1 distance between the two
+    distributions; the paper's observation that event-order selectivity
+    "is a fragile measure, not robust to changes in the distributions"
+    is exactly why the threshold is configurable. *)
+
+type policy = {
+  warmup : int;
+      (** events observed before the first re-optimization (the tree
+          starts under the engine's initial spec) *)
+  check_every : int;  (** drift check period, in events *)
+  drift_threshold : float;
+      (** max per-attribute L1 distance ([0..2]) tolerated before a
+          rebuild *)
+}
+
+val default_policy : policy
+(** warmup 500, check every 200, threshold 0.25. *)
+
+type t
+
+val create : ?policy:policy -> Engine.t -> t
+(** Wrap an engine. The engine must not be rebuilt behind the adaptive
+    component's back (drift is measured against the distributions at
+    the last rebuild it performed). *)
+
+val engine : t -> Engine.t
+
+val match_event :
+  t -> Genas_model.Event.t -> Genas_profile.Profile_set.id list
+(** Filter, observe, and re-optimize when due. *)
+
+val rebuilds : t -> int
+(** Number of re-optimizations performed so far. *)
+
+val last_drift : t -> float
+(** Drift measured at the most recent check ([0.0] before the first). *)
+
+val force_check : t -> bool
+(** Run a drift check now; [true] if it triggered a rebuild. *)

@@ -1,0 +1,63 @@
+(** Analytic cost model (§3, Eq. 2 and the conditional-expectation sum).
+
+    Computes the *exact* expected comparison counts of a profile tree
+    under per-attribute event distributions, by dynamic programming
+    over the tree's DAG (shared subtrees are evaluated once). The node
+    search primitive evaluated is literally {!Genas_filter.Tree.scan} —
+    the code the runtime matcher executes — so for independent
+    attribute distributions the simulated per-event average converges
+    to [per_event] by the law of large numbers (tests assert this).
+
+    This realizes the paper's test scenario TV4: "all possible events,
+    average #operations computed based on #operations and event
+    distribution (according to Eq. 2)". *)
+
+type report = {
+  per_event : float;
+      (** R: expected comparisons per event, including the R0 term for
+          events rejected at some level *)
+  per_level : float array;
+      (** expected comparisons contributed by each tree level *)
+  match_prob : float;  (** probability an event reaches a leaf *)
+  expected_matches : float;  (** E(#matched profiles per event) *)
+  ops_times_matches : float;  (** E(comparisons × #matched profiles) *)
+  per_match : float;
+      (** expected comparisons per (event, matched profile) pair:
+          [ops_times_matches / expected_matches]; [nan] if nothing ever
+          matches — the per-profile view of Fig. 5(b) *)
+}
+
+val evaluate : Genas_filter.Tree.t -> cell_probs:float array array -> report
+(** [cell_probs.(attr)] = event probability of each global cell of that
+    attribute (as produced by {!Stats.event_cell_probs}), assumed
+    independent across attributes — the protocol the paper's tests use.
+
+    @raise Invalid_argument on dimension mismatch. *)
+
+val evaluate_with_stats : Genas_filter.Tree.t -> Stats.t -> report
+(** [evaluate] with the cell probabilities read from the statistics
+    objects. *)
+
+val evaluate_joint : Genas_filter.Tree.t -> Genas_dist.Joint.t -> report
+(** Exact expected cost under a *correlated* event distribution
+    (mixture of products): the evaluator carries per-component reach
+    weights down every tree path, so the conditional cell
+    probabilities of §3 — P(x_j | x_{j-1}, …) — are respected exactly.
+    Unlike {!evaluate} this cannot share subtree results (the weights
+    differ per path), so it enumerates root-to-leaf paths; intended for
+    experiment-sized trees. Paths of probability below 1e-14 are
+    pruned. *)
+
+type profile_report = {
+  id : int;
+  match_prob_p : float;  (** probability an event matches this profile *)
+  ops_given_match : float;
+      (** expected comparisons of an event, conditioned on it matching
+          this profile; [nan] if [match_prob_p = 0] *)
+}
+
+val per_profile :
+  Genas_filter.Tree.t -> cell_probs:float array array -> profile_report list
+(** Per-profile notification cost, ascending id — quantifies the
+    paper's claim that V2/V3 "support user groups with similar
+    interest" at the price of average event latency. *)

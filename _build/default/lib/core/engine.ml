@@ -1,0 +1,65 @@
+module Profile_set = Genas_profile.Profile_set
+module Decomp = Genas_filter.Decomp
+module Tree = Genas_filter.Tree
+module Ops = Genas_filter.Ops
+
+type t = {
+  pset : Profile_set.t;
+  bins : int;
+  mutable spec : Reorder.spec;
+  mutable stats : Stats.t;
+  mutable tree : Tree.t;
+  ops : Ops.t;
+}
+
+let plan ~bins ~old_stats pset spec =
+  let decomp = Decomp.build pset in
+  let stats =
+    match old_stats with
+    | Some s when (Stats.decomp s).Decomp.revision = decomp.Decomp.revision ->
+      s
+    | Some _ | None -> Stats.create ~bins decomp
+  in
+  let tree = Reorder.build stats spec in
+  (stats, tree)
+
+let create ?(spec = Reorder.default_spec) ?(bins = 64) pset =
+  let stats, tree = plan ~bins ~old_stats:None pset spec in
+  { pset; bins; spec; stats; tree; ops = Ops.create () }
+
+let spec t = t.spec
+
+let profiles t = t.pset
+
+let tree t = t.tree
+
+let stats t = t.stats
+
+let ops t = t.ops
+
+let rebuild t =
+  (* Keep the statistics when the profile set is unchanged (the normal
+     re-optimization path); refresh the decomposition otherwise. *)
+  let stats, tree = plan ~bins:t.bins ~old_stats:(Some t.stats) t.pset t.spec in
+  t.stats <- stats;
+  t.tree <- tree
+
+let set_spec t spec =
+  t.spec <- spec;
+  rebuild t
+
+let refresh_if_stale t =
+  if Tree.revision t.tree <> Profile_set.revision t.pset then begin
+    (* Profiles changed: rebuild decomposition and statistics. The
+       observed history refers to stale cells, so it is restarted. *)
+    let decomp = Decomp.build t.pset in
+    t.stats <- Stats.create ~bins:t.bins decomp;
+    t.tree <- Reorder.build t.stats t.spec
+  end
+
+let match_event t event =
+  refresh_if_stale t;
+  Stats.observe_event t.stats event;
+  Tree.match_event ~ops:t.ops t.tree event
+
+let report t = Cost.evaluate_with_stats t.tree t.stats

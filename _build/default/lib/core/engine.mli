@@ -1,0 +1,43 @@
+(** The distribution-based filter engine — the paper's contribution as
+    a facade.
+
+    Owns a profile registry, a decomposition snapshot, statistics
+    objects, and the (possibly reordered) profile tree; re-snapshots
+    automatically when profiles were added or removed since the last
+    build. Every filtered event is recorded in the statistics, so a
+    later [rebuild] re-optimizes for the observed distribution (use
+    {!Adaptive} for automatic re-optimization). *)
+
+type t
+
+val create :
+  ?spec:Reorder.spec -> ?bins:int -> Genas_profile.Profile_set.t -> t
+(** [spec] defaults to {!Reorder.default_spec}. *)
+
+val spec : t -> Reorder.spec
+
+val set_spec : t -> Reorder.spec -> unit
+(** Install a new reordering spec and rebuild the tree. *)
+
+val profiles : t -> Genas_profile.Profile_set.t
+
+val tree : t -> Genas_filter.Tree.t
+
+val stats : t -> Stats.t
+
+val ops : t -> Genas_filter.Ops.t
+(** Cumulative counters over all events filtered by this engine. *)
+
+val match_event :
+  t -> Genas_model.Event.t -> Genas_profile.Profile_set.id list
+(** Filter one event: refreshes the tree if the profile set changed,
+    records the event in the statistics, counts operations, and
+    returns the matched profile ids (ascending). *)
+
+val rebuild : t -> unit
+(** Re-plan the tree configuration from the current statistics (and
+    current profiles) under the engine's spec. *)
+
+val report : t -> Cost.report
+(** Analytic expectation for the current tree under the current
+    statistics. *)

@@ -1,0 +1,114 @@
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Axis = Genas_model.Axis
+module Interval = Genas_interval.Interval
+module Overlay = Genas_interval.Overlay
+module Tree = Genas_filter.Tree
+module Order = Genas_filter.Order
+module Decomp = Genas_filter.Decomp
+
+type step = {
+  level : int;
+  attr : int;
+  attr_name : string;
+  cell_label : string;
+  strategy : Order.strategy;
+  comparisons : int;
+  edges_at_node : int;
+  outcome : [ `Edge | `Rest | `Reject ];
+}
+
+type t = {
+  steps : step list;
+  matched : Genas_profile.Profile_set.id list;
+  total_comparisons : int;
+}
+
+let trace_coords tree coords =
+  let decomp = tree.Tree.decomp in
+  if Array.length coords <> Decomp.arity decomp then
+    invalid_arg "Explain.trace_coords: wrong arity";
+  let schema = decomp.Decomp.schema in
+  let steps = ref [] and total = ref 0 in
+  let matched = ref [] in
+  let rec go level = function
+    | Tree.Leaf ids -> matched := Array.to_list ids
+    | Tree.Node { attr; edge_positions; children; rest; _ } ->
+      let cell = Decomp.cell_of_coord decomp ~attr coords.(attr) in
+      let target =
+        match cell with
+        | Some c -> tree.Tree.tables.(attr).Order.positions.(c)
+        | None -> Float.infinity
+      in
+      let strategy = tree.Tree.config.Tree.strategies.(attr) in
+      let cost, hit = Tree.scan strategy ~edge_positions ~target in
+      total := !total + cost;
+      let outcome, next =
+        match hit with
+        | Some i -> (`Edge, Some children.(i))
+        | None -> (
+          match rest with
+          | Some r -> (`Rest, Some r)
+          | None -> (`Reject, None))
+      in
+      let cell_label =
+        match cell with
+        | Some c ->
+          Format.asprintf "%a" Interval.pp
+            decomp.Decomp.overlays.(attr).Overlay.cells.(c).Overlay.itv
+        | None -> "(outside axis)"
+      in
+      steps :=
+        {
+          level;
+          attr;
+          attr_name = (Schema.attribute schema attr).Schema.name;
+          cell_label;
+          strategy;
+          comparisons = cost;
+          edges_at_node = Array.length edge_positions;
+          outcome;
+        }
+        :: !steps;
+      (match next with Some nd -> go (level + 1) nd | None -> ())
+  in
+  (match tree.Tree.root with Some root -> go 0 root | None -> ());
+  {
+    steps = List.rev !steps;
+    matched = List.sort_uniq Int.compare !matched;
+    total_comparisons = !total;
+  }
+
+let trace tree event =
+  let decomp = tree.Tree.decomp in
+  let schema = decomp.Decomp.schema in
+  let coords =
+    Array.init (Decomp.arity decomp) (fun attr ->
+        match
+          Axis.coord (Schema.attribute schema attr).Schema.domain
+            (Event.value event attr)
+        with
+        | Some c -> c
+        | None -> Float.nan)
+  in
+  trace_coords tree coords
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "level %d: %-12s value in %-12s %a over %d edge(s): \
+                          %d comparison(s) -> %s@,"
+        s.level s.attr_name s.cell_label Order.pp_strategy s.strategy
+        s.edges_at_node s.comparisons
+        (match s.outcome with
+        | `Edge -> "edge"
+        | `Rest -> "rest (*)"
+        | `Reject -> "reject"))
+    t.steps;
+  (match t.matched with
+  | [] -> Format.fprintf ppf "no match"
+  | ids ->
+    Format.fprintf ppf "matched profiles: %s"
+      (String.concat ", " (List.map string_of_int ids)));
+  Format.fprintf ppf " (%d comparisons total)@]" t.total_comparisons

@@ -1,0 +1,34 @@
+(** Match tracing: why did this event (not) match, and what did it
+    cost?
+
+    Produces the exact root-to-leaf path the tree matcher takes for one
+    event — per level: the attribute tested, the value's cell, the scan
+    strategy and its comparison count, and the edge taken — ending in
+    the matched profiles or the rejection point. The comparisons add up
+    to precisely what {!Genas_filter.Ops} would record. *)
+
+type step = {
+  level : int;
+  attr : int;  (** natural attribute index tested *)
+  attr_name : string;
+  cell_label : string;  (** the event value's subrange, e.g. "[30,35)" *)
+  strategy : Genas_filter.Order.strategy;
+  comparisons : int;
+  edges_at_node : int;
+  outcome : [ `Edge | `Rest | `Reject ];
+      (** listed edge followed / rest-edge followed / rejected here *)
+}
+
+type t = {
+  steps : step list;  (** root first *)
+  matched : Genas_profile.Profile_set.id list;  (** ascending; [] = rejected *)
+  total_comparisons : int;
+}
+
+val trace : Genas_filter.Tree.t -> Genas_model.Event.t -> t
+
+val trace_coords : Genas_filter.Tree.t -> float array -> t
+(** From raw axis coordinates in natural attribute order. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per step plus the verdict. *)

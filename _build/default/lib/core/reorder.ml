@@ -1,0 +1,117 @@
+module Tree = Genas_filter.Tree
+module Decomp = Genas_filter.Decomp
+
+type attr_choice =
+  | Attr_natural
+  | Attr_measured of Selectivity.attr_measure * [ `Descending | `Ascending ]
+  | Attr_a3
+  | Attr_explicit of int array
+
+type value_choice =
+  [ `Measure of Selectivity.value_measure | `Binary | `Hashed | `Auto ]
+
+type spec = { attr_choice : attr_choice; value_choice : value_choice }
+
+let default_spec =
+  {
+    attr_choice = Attr_natural;
+    value_choice = `Measure Selectivity.V_natural_asc;
+  }
+
+let cell_probs_of stats =
+  let n = Decomp.arity (Stats.decomp stats) in
+  Array.init n (fun attr -> Stats.event_cell_probs stats ~attr)
+
+(* One coordinate-descent pass: start from all-binary and, attribute by
+   attribute, keep the candidate strategy that minimizes the analytic
+   expected cost of the full tree. Each step can only lower the cost,
+   so the result is at least as good as all-binary. *)
+let auto_strategies stats ~attr_order =
+  let decomp = Stats.decomp stats in
+  let n = Decomp.arity decomp in
+  let cell_probs = cell_probs_of stats in
+  let candidates attr =
+    [
+      Selectivity.strategy stats ~attr (`Measure Selectivity.V_natural_asc);
+      Selectivity.strategy stats ~attr (`Measure Selectivity.V1);
+      Selectivity.strategy stats ~attr (`Measure Selectivity.V2);
+      Selectivity.strategy stats ~attr (`Measure Selectivity.V3);
+      Genas_filter.Order.Binary;
+    ]
+  in
+  let current = Array.make n Genas_filter.Order.Binary in
+  let cost () =
+    let tree = Tree.build decomp { Tree.attr_order; strategies = Array.copy current } in
+    (Cost.evaluate tree ~cell_probs).Cost.per_event
+  in
+  for level = 0 to n - 1 do
+    let attr = attr_order.(level) in
+    let best = ref (current.(attr), cost ()) in
+    List.iter
+      (fun cand ->
+        current.(attr) <- cand;
+        let c = cost () in
+        if c < snd !best then best := (cand, c))
+      (candidates attr);
+    current.(attr) <- fst !best
+  done;
+  current
+
+let strategies stats value_choice ~attr_order =
+  let n = Decomp.arity (Stats.decomp stats) in
+  match value_choice with
+  | `Auto -> auto_strategies stats ~attr_order
+  | (`Measure _ | `Binary | `Hashed) as choice ->
+    Array.init n (fun attr -> Selectivity.strategy stats ~attr choice)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        List.map (fun rest -> x :: rest)
+          (permutations (List.filter (fun y -> y <> x) l)))
+      l
+
+let a3_order stats ~value_choice =
+  let decomp = Stats.decomp stats in
+  let n = Decomp.arity decomp in
+  if n > 8 then
+    invalid_arg "Reorder.a3_order: A3 is O(n!) and guarded to n <= 8";
+  (* [`Auto] is resolved once against the natural order; re-resolving
+     inside every permutation would square the already-factorial
+     search. *)
+  let strategies = strategies stats value_choice ~attr_order:(Array.init n Fun.id) in
+  let cell_probs = cell_probs_of stats in
+  let best = ref None in
+  List.iter
+    (fun perm ->
+      let attr_order = Array.of_list perm in
+      let tree = Tree.build decomp { Tree.attr_order; strategies } in
+      let cost = (Cost.evaluate tree ~cell_probs).Cost.per_event in
+      match !best with
+      | Some (c, _) when c <= cost -> ()
+      | Some _ | None -> best := Some (cost, attr_order))
+    (permutations (List.init n Fun.id));
+  match !best with
+  | Some (_, order) -> order
+  | None -> Array.init n Fun.id
+
+let config stats spec =
+  let decomp = Stats.decomp stats in
+  let n = Decomp.arity decomp in
+  let attr_order =
+    match spec.attr_choice with
+    | Attr_natural -> Array.init n Fun.id
+    | Attr_measured (measure, direction) ->
+      Selectivity.attr_order stats measure direction
+    | Attr_a3 -> a3_order stats ~value_choice:spec.value_choice
+    | Attr_explicit order ->
+      if Array.length order <> n then
+        invalid_arg "Reorder.config: explicit order has wrong length";
+      Array.copy order
+  in
+  { Tree.attr_order; strategies = strategies stats spec.value_choice ~attr_order }
+
+let build ?share stats spec =
+  Tree.build ?share (Stats.decomp stats) (config stats spec)

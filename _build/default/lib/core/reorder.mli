@@ -1,0 +1,61 @@
+(** Tree reordering: turning selectivity measures into tree configs
+    (§4.1 "the tree is reordered such that attributes with high
+    selectivity are at the top level of the tree, and for each
+    attribute the values with highest selectivity are tested first").
+
+    Measure A3 is realized exactly as the paper describes its cost —
+    exhaustive search over attribute permutations, O(n!·(2p−1)) — using
+    the analytic evaluator as the objective, and is guarded to small
+    arities. *)
+
+type attr_choice =
+  | Attr_natural  (** schema order (the non-reordered tree) *)
+  | Attr_measured of Selectivity.attr_measure * [ `Descending | `Ascending ]
+  | Attr_a3  (** exhaustive best permutation (measure A3) *)
+  | Attr_explicit of int array
+
+type value_choice =
+  [ `Measure of Selectivity.value_measure
+  | `Binary
+  | `Hashed  (** hash-based location (§5 outlook) *)
+  | `Auto
+    (** per-attribute automatic strategy selection (§5: "event
+        filtering algorithms should be adaptive in order to apply the
+        optimal filtering strategy for each attribute"): starting from
+        all-binary, one coordinate-descent pass picks, per attribute,
+        whichever of natural / V1 / V2 / V3 / binary minimizes the
+        analytic expected cost of the whole tree. [`Hashed] is excluded
+        from the candidates — its O(1) comparison count would always
+        win, hiding the constant-factor cost hashing carries in
+        practice. *)
+  ]
+
+type spec = {
+  attr_choice : attr_choice;
+  value_choice : value_choice;
+      (** applied uniformly to every attribute ([`Auto] resolves to a
+          per-attribute mix) *)
+}
+
+val default_spec : spec
+(** Natural attribute order, natural-ascending linear values — the
+    baseline tree of Gough & Smith. *)
+
+val config : Stats.t -> spec -> Genas_filter.Tree.config
+(** Plan a tree configuration from the current statistics.
+
+    @raise Invalid_argument for [Attr_a3] with more than 8 attributes,
+    or a malformed [Attr_explicit]. *)
+
+val build : ?share:bool -> Stats.t -> spec -> Genas_filter.Tree.t
+(** [config] followed by {!Genas_filter.Tree.build} on the statistics'
+    decomposition. *)
+
+val a3_order : Stats.t -> value_choice:value_choice -> int array
+(** The A3 permutation alone (argmin of analytic expected cost over all
+    attribute orders, value strategy fixed). *)
+
+val auto_strategies :
+  Stats.t -> attr_order:int array -> Genas_filter.Order.strategy array
+(** The [`Auto] resolution for a fixed attribute order, exposed for
+    inspection and tests. *)

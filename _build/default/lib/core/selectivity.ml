@@ -1,0 +1,65 @@
+module Order = Genas_filter.Order
+module Decomp = Genas_filter.Decomp
+
+type value_measure =
+  | V_natural_asc
+  | V_natural_desc
+  | V1
+  | V2
+  | V3
+  | V1_asc
+  | V2_asc
+  | V3_asc
+
+type attr_measure = A1 | A2
+
+let value_keys stats ~attr = function
+  | V_natural_asc | V_natural_desc -> None
+  | V1 | V1_asc -> Some (Stats.event_cell_probs stats ~attr)
+  | V2 | V2_asc -> Some (Stats.profile_cell_weights stats ~attr)
+  | V3 | V3_asc ->
+    let pe = Stats.event_cell_probs stats ~attr in
+    let pp = Stats.profile_cell_weights stats ~attr in
+    Some (Array.mapi (fun i e -> e *. pp.(i)) pe)
+
+let value_order stats ~attr measure =
+  match measure with
+  | V_natural_asc -> Order.Natural_asc
+  | V_natural_desc -> Order.Natural_desc
+  | V1 | V2 | V3 -> (
+    match value_keys stats ~attr measure with
+    | Some keys -> Order.By_key_desc keys
+    | None -> Order.Natural_asc)
+  | V1_asc | V2_asc | V3_asc -> (
+    match value_keys stats ~attr measure with
+    | Some keys -> Order.By_key_asc keys
+    | None -> Order.Natural_asc)
+
+let strategy stats ~attr = function
+  | `Binary -> Order.Binary
+  | `Hashed -> Order.Hashed
+  | `Measure m -> Order.Linear (value_order stats ~attr m)
+
+let attribute_selectivity stats ~attr measure =
+  let d0_share = Decomp.d0_share (Stats.decomp stats) ~attr in
+  match measure with
+  | A1 -> d0_share
+  | A2 -> d0_share *. Stats.d0_event_prob stats ~attr
+
+let attr_order stats measure direction =
+  let n = Decomp.arity (Stats.decomp stats) in
+  let sel = Array.init n (fun a -> attribute_selectivity stats ~attr:a measure) in
+  let idx = Array.init n Fun.id in
+  let cmp a b =
+    match direction with
+    | `Descending -> (
+      match Float.compare sel.(b) sel.(a) with
+      | 0 -> Int.compare a b
+      | c -> c)
+    | `Ascending -> (
+      match Float.compare sel.(a) sel.(b) with
+      | 0 -> Int.compare a b
+      | c -> c)
+  in
+  Array.sort cmp idx;
+  idx

@@ -1,0 +1,55 @@
+(** Selectivity measures (§4.1).
+
+    Value selectivity orders the cells inside each tree node; attribute
+    selectivity orders the tree levels. The paper proposes three of
+    each:
+
+    - {b V1} — descending event probability Pe(x_i),
+    - {b V2} — descending profile probability Pp(x_i),
+    - {b V3} — descending Pe(x_i)·Pp(x_i);
+
+    - {b A1} — s(a) = d0(a)/d(a),
+    - {b A2} — s(a) = d0(a)·Pe(D0(a))/d(a),
+    - {b A3} — the attribute permutation minimizing the tree-shaped
+      expected cost (conditional-probability aware; O(n!·(2p−1)), so it
+      lives in {!Reorder} where the cost evaluator is available).
+
+    Attributes are placed top-down by *descending* selectivity; the
+    paper also evaluates ascending order as the worst case (TA1/TA2),
+    so the direction is a parameter. *)
+
+type value_measure =
+  | V_natural_asc  (** natural domain order (the non-reordered tree) *)
+  | V_natural_desc
+  | V1  (** descending event probability *)
+  | V2  (** descending profile probability *)
+  | V3  (** descending event·profile probability *)
+  | V1_asc  (** ascending variants: §4.2 supports each order "either
+                descending or ascending"; ascending probability is the
+                worst case used for contrast in §4.3 *)
+  | V2_asc
+  | V3_asc
+
+type attr_measure = A1 | A2
+
+val value_keys : Stats.t -> attr:int -> value_measure -> float array option
+(** Per-cell sort keys for the measure; [None] for the natural orders
+    (which need no key). *)
+
+val value_order : Stats.t -> attr:int -> value_measure -> Genas_filter.Order.value_order
+
+val strategy :
+  Stats.t -> attr:int -> [ `Measure of value_measure | `Binary | `Hashed ] ->
+  Genas_filter.Order.strategy
+(** Search strategy for one attribute: table-based linear scan in the
+    measure's order, binary search over the natural order, or
+    hash-based location (§5 outlook). *)
+
+val attribute_selectivity : Stats.t -> attr:int -> attr_measure -> float
+(** s_att(a) for A1/A2. *)
+
+val attr_order :
+  Stats.t -> attr_measure -> [ `Descending | `Ascending ] -> int array
+(** Attribute permutation by the measure, ties broken by natural index
+    ([`Descending] is the paper's recommendation; [`Ascending] its
+    worst case). *)

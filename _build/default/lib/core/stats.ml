@@ -1,0 +1,111 @@
+module Axis = Genas_model.Axis
+module Event = Genas_model.Event
+module Schema = Genas_model.Schema
+module Overlay = Genas_interval.Overlay
+module Dist = Genas_dist.Dist
+module Estimator = Genas_dist.Estimator
+module Decomp = Genas_filter.Decomp
+
+type t = {
+  decomp : Decomp.t;
+  hists : Estimator.t array;
+  assumed : Dist.t option array;
+  profile_weights : float array option array;
+  priorities : (int, float) Hashtbl.t;
+  mutable events_seen : int;
+}
+
+let create ?(bins = 64) decomp =
+  let n = Decomp.arity decomp in
+  {
+    decomp;
+    hists = Array.init n (fun i -> Estimator.create ~bins decomp.Decomp.axes.(i));
+    assumed = Array.make n None;
+    profile_weights = Array.make n None;
+    priorities = Hashtbl.create 16;
+    events_seen = 0;
+  }
+
+let decomp t = t.decomp
+
+let observe_coords t coords =
+  Array.iteri (fun attr c -> Estimator.add t.hists.(attr) c) coords;
+  t.events_seen <- t.events_seen + 1
+
+let observe_event t event =
+  let schema = t.decomp.Decomp.schema in
+  let coords =
+    Array.init (Decomp.arity t.decomp) (fun attr ->
+        match
+          Axis.coord (Schema.attribute schema attr).Schema.domain
+            (Event.value event attr)
+        with
+        | Some c -> c
+        | None -> Float.nan)
+  in
+  observe_coords t coords
+
+let events_seen t = t.events_seen
+
+let assume_event_dist t ~attr dist =
+  if not (Axis.equal (Dist.axis dist) t.decomp.Decomp.axes.(attr)) then
+    invalid_arg "Stats.assume_event_dist: axis mismatch";
+  t.assumed.(attr) <- Some dist
+
+let clear_assumed t ~attr = t.assumed.(attr) <- None
+
+let event_dist t ~attr =
+  match t.assumed.(attr) with
+  | Some d -> d
+  | None ->
+    if Estimator.count t.hists.(attr) > 0 then
+      Estimator.estimate ~smoothing:0.5 t.hists.(attr)
+    else Dist.uniform t.decomp.Decomp.axes.(attr)
+
+let event_cell_probs t ~attr =
+  Dist.cell_probs (event_dist t ~attr) t.decomp.Decomp.overlays.(attr)
+
+let priority t ~id = Option.value ~default:1.0 (Hashtbl.find_opt t.priorities id)
+
+let set_priority t ~id w =
+  if w < 0.0 then invalid_arg "Stats.set_priority: negative priority";
+  Hashtbl.replace t.priorities id w
+
+let profile_cell_weights t ~attr =
+  match t.profile_weights.(attr) with
+  | Some w -> Array.copy w
+  | None ->
+    let cells = t.decomp.Decomp.overlays.(attr).Overlay.cells in
+    let total =
+      Array.fold_left
+        (fun acc id -> acc +. priority t ~id)
+        0.0 t.decomp.Decomp.ids
+    in
+    Array.map
+      (fun (c : Overlay.cell) ->
+        if total <= 0.0 then 0.0
+        else
+          List.fold_left (fun acc id -> acc +. priority t ~id) 0.0 c.Overlay.ids
+          /. total)
+      cells
+
+let assume_profile_weights t ~attr weights =
+  let ncells = Array.length t.decomp.Decomp.overlays.(attr).Overlay.cells in
+  if Array.length weights <> ncells then
+    invalid_arg "Stats.assume_profile_weights: length mismatch";
+  t.profile_weights.(attr) <- Some (Array.copy weights)
+
+let d0_event_prob t ~attr =
+  (* The semantic zero-subdomain is empty when a live profile leaves
+     the attribute unconstrained (see Decomp.d0_share). *)
+  if Decomp.dont_care_count t.decomp ~attr > 0 then 0.0
+  else
+    let probs = event_cell_probs t ~attr in
+    Array.fold_left
+      (fun acc zc -> acc +. probs.(zc))
+      0.0
+      (Overlay.zero_cells t.decomp.Decomp.overlays.(attr))
+
+let reset_observations t =
+  Array.iter Estimator.reset t.hists;
+  t.events_seen <- 0

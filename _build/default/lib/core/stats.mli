@@ -1,0 +1,73 @@
+(** Statistics objects (§4.2).
+
+    The prototype keeps "statistic objects with counters for events,
+    attributes, operators, and values"; the distribution-based measures
+    read event and profile distributions from them. Two sources feed
+    each attribute's event distribution:
+
+    - {e observed}: a streaming histogram over the events actually
+      filtered (the history of §5), and
+    - {e assumed}: an explicit distribution installed by the caller —
+      the paper's tests "manipulate the counters in order to simulate a
+      distribution" and this is the equivalent hook.
+
+    An assumed distribution, when present, takes precedence over the
+    observed histogram. The profile distribution Pp defaults to the
+    reference counts in the decomposition (the fraction of profiles
+    referencing each cell) and can likewise be overridden. *)
+
+type t
+
+val create : ?bins:int -> Genas_filter.Decomp.t -> t
+(** Estimator bin count defaults to 64 per attribute. *)
+
+val decomp : t -> Genas_filter.Decomp.t
+
+val observe_event : t -> Genas_model.Event.t -> unit
+
+val observe_coords : t -> float array -> unit
+(** Coordinates by natural attribute index. *)
+
+val events_seen : t -> int
+
+val assume_event_dist : t -> attr:int -> Genas_dist.Dist.t -> unit
+(** Install/replace the assumed event distribution of one attribute.
+
+    @raise Invalid_argument if the distribution's axis differs from the
+    attribute's. *)
+
+val clear_assumed : t -> attr:int -> unit
+
+val event_dist : t -> attr:int -> Genas_dist.Dist.t
+(** Assumed distribution if installed; otherwise the smoothed observed
+    histogram; otherwise (no observations at all) uniform. *)
+
+val event_cell_probs : t -> attr:int -> float array
+(** [event_dist] quantized onto the attribute's global cells: the
+    Pe(x_i) of §3. *)
+
+val profile_cell_weights : t -> attr:int -> float array
+(** Pp(x_i): per global cell, the fraction of profiles whose predicate
+    references it (0 for D0 cells); overridden weights if installed.
+    All-zero when no profile constrains the attribute. *)
+
+val assume_profile_weights : t -> attr:int -> float array -> unit
+(** Override Pp for one attribute (length must equal the cell count).
+    The paper's tests simulate profile distributions the same way. *)
+
+val set_priority : t -> id:int -> float -> unit
+(** Give one profile a weight in the profile distribution (default
+    1.0). V2/V3 then order values by priority-weighted reference mass,
+    sharpening the paper's observation that profile-dependent measures
+    yield "faster notifications for profiles with high priority" into
+    an explicit knob. Ignored for ids not in the decomposition.
+
+    @raise Invalid_argument on negative priorities. *)
+
+val priority : t -> id:int -> float
+
+val d0_event_prob : t -> attr:int -> float
+(** Pe(D0): probability that an event's value falls in the
+    zero-subdomain — the second factor of measure A2. *)
+
+val reset_observations : t -> unit

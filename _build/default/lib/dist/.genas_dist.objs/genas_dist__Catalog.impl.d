@@ -1,0 +1,1 @@
+lib/dist/catalog.ml: List Printf Shape String

@@ -1,0 +1,1 @@
+lib/dist/catalog.mli: Shape

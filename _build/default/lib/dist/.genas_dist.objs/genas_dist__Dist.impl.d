@@ -1,0 +1,1 @@
+lib/dist/dist.ml: Array Float Format Genas_interval Genas_model Genas_prng Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/dist/dist.mli: Format Genas_interval Genas_model Genas_prng

@@ -1,0 +1,1 @@
+lib/dist/estimator.ml: Array Dist Float Genas_interval Genas_model List Stdlib

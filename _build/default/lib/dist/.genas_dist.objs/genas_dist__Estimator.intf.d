@@ -1,0 +1,1 @@
+lib/dist/estimator.mli: Dist Genas_model

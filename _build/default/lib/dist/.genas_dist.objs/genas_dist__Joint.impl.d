@@ -1,0 +1,1 @@
+lib/dist/joint.ml: Array Dist Genas_interval Genas_model Genas_prng List

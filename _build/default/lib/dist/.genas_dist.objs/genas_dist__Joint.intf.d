@@ -1,0 +1,1 @@
+lib/dist/joint.mli: Dist Genas_interval Genas_model Genas_prng

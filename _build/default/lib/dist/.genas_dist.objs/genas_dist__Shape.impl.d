@@ -1,0 +1,1 @@
+lib/dist/shape.ml: Dist Float Genas_interval Genas_model List

@@ -1,0 +1,1 @@
+lib/dist/shape.mli: Dist Genas_model

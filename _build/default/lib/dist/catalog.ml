@@ -1,0 +1,84 @@
+(* The dN family: a deterministic parametric zoo covering the shape
+   classes of Fig. 3. Indices are spread over the unit square by a
+   low-discrepancy rule so that any selection of handles (the paper
+   picks ~16 of its 60) exercises visibly different shapes. *)
+let dn n =
+  let frac k m = float_of_int (n * k mod m) /. float_of_int m in
+  match n mod 6 with
+  | 0 ->
+    (* Ramps and exponential decays. *)
+    if n mod 12 = 0 then Shape.exponential_like ~rate_frac:(3.0 +. frac 1 7) ()
+    else if n mod 4 = 0 then Shape.falling
+    else Shape.rising
+  | 1 | 4 ->
+    (* Narrow single peak, position sweeps with n. *)
+    Shape.peak
+      ~at:(0.05 +. (0.9 *. frac 7 19))
+      ~mass:(0.6 +. (0.35 *. frac 5 11))
+      ~width:(0.04 +. (0.08 *. frac 3 7))
+  | 2 ->
+    (* Wide single peak. *)
+    Shape.peak
+      ~at:(0.1 +. (0.8 *. frac 11 23))
+      ~mass:(0.5 +. (0.3 *. frac 3 13))
+      ~width:(0.2 +. (0.3 *. frac 2 5))
+  | 3 ->
+    (* Bimodal. *)
+    let a = 0.05 +. (0.35 *. frac 5 17) in
+    let b = 0.6 +. (0.35 *. frac 9 13) in
+    Shape.peaks
+      [ (a, 0.45, 0.08 +. (0.06 *. frac 1 3)); (b, 0.4, 0.05 +. (0.08 *. frac 2 7)) ]
+  | 5 ->
+    (* Off-center Gauss. *)
+    Shape.gauss
+      ~mu_frac:(0.15 +. (0.7 *. frac 13 29))
+      ~sigma_frac:(0.05 +. (0.15 *. frac 4 9))
+      ()
+  | _ -> assert false
+
+let fixed : (string * Shape.gen) list =
+  [
+    ("equal", Shape.equal_dist);
+    ("uniform", Shape.equal_dist);
+    ("gauss", Shape.gauss ());
+    ("gauss_low", Shape.relocated_gauss `Low);
+    ("relocated_gauss_low", Shape.relocated_gauss `Low);
+    ("gauss_high", Shape.relocated_gauss `High);
+    ("relocated_gauss_high", Shape.relocated_gauss `High);
+    ("falling", Shape.falling);
+    ("rising", Shape.rising);
+    ("zipf", Shape.zipf ());
+    ("exp", Shape.exponential_like ());
+  ]
+  @ List.init 42 (fun i -> (Printf.sprintf "d%d" (i + 1), dn (i + 1)))
+
+(* "95%high" / "90%low" style peak specs. *)
+let parse_peak_spec name =
+  match String.index_opt name '%' with
+  | None -> None
+  | Some i ->
+    let num = String.sub name 0 i in
+    let side = String.sub name (i + 1) (String.length name - i - 1) in
+    (match (int_of_string_opt num, side) with
+    | Some pct, "high" when pct >= 1 && pct <= 100 ->
+      Some (Shape.peak ~at:0.9 ~mass:(float_of_int pct /. 100.0) ~width:0.05)
+    | Some pct, "low" when pct >= 1 && pct <= 100 ->
+      Some (Shape.peak ~at:0.1 ~mass:(float_of_int pct /. 100.0) ~width:0.05)
+    | _ -> None)
+
+let find name =
+  let name = String.lowercase_ascii (String.trim name) in
+  match List.assoc_opt name fixed with
+  | Some g -> Some g
+  | None -> parse_peak_spec name
+
+let find_exn name =
+  match find name with
+  | Some g -> g
+  | None -> invalid_arg (Printf.sprintf "Catalog.find_exn: unknown distribution %S" name)
+
+let names = List.sort String.compare (List.map fst fixed)
+
+let figure3_names =
+  [ "d1"; "d2"; "d3"; "d5"; "d9"; "d14"; "d16"; "d17"; "d18"; "d34"; "d37";
+    "d39"; "d40"; "d41"; "d42" ]

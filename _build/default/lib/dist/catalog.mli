@@ -1,0 +1,30 @@
+(** Named distribution catalog.
+
+    The paper's tests reference distributions by number ("defined 1" …
+    "defined 42", Fig. 3) plus "equal", "Gauss", "relocated Gauss",
+    "falling", and the peaked "N % high/low" family of Fig. 5. The
+    numeric definitions were never published, so the [dN] names are
+    bound to a deterministic parametric family (single peaks of varying
+    position/mass/width, bimodal shapes, ramps, truncated
+    exponentials — the classes Fig. 3 sketches). This substitution is
+    recorded in DESIGN.md §3.
+
+    Names are case-insensitive. *)
+
+val find : string -> Shape.gen option
+(** Look up a generator by name. Recognized names:
+    ["equal"], ["gauss"], ["gauss_low"]/["relocated_gauss_low"],
+    ["gauss_high"]/["relocated_gauss_high"], ["falling"], ["rising"],
+    ["zipf"], ["exp"], ["d1"] … ["d42"], and peak specs of the form
+    ["NN%high"] / ["NN%low"] (e.g. ["95%high"]). *)
+
+val find_exn : string -> Shape.gen
+(** @raise Invalid_argument on unknown names. *)
+
+val names : string list
+(** All fixed names (excludes the parametric ["NN%high/low"] forms),
+    sorted. *)
+
+val figure3_names : string list
+(** The distributions displayed in Fig. 3, in the paper's label
+    order. *)

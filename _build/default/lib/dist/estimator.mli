@@ -1,0 +1,40 @@
+(** Streaming histogram estimation of attribute distributions.
+
+    The adaptive algorithm "has to maintain a history of events in
+    order to determine the event distribution" (§5). An estimator is a
+    fixed-bin streaming histogram over one axis; [estimate] converts
+    the current counts into a {!Dist.t} usable by the selectivity
+    measures. Discrete axes with at most [bins] inhabited points are
+    counted exactly per point. *)
+
+type t
+
+val create : ?bins:int -> Genas_model.Axis.t -> t
+(** [bins] defaults to 64. *)
+
+val axis : t -> Genas_model.Axis.t
+
+val add : t -> float -> unit
+(** Record one observed coordinate. Out-of-axis coordinates are
+    ignored (counted in [dropped]). *)
+
+val count : t -> int
+(** Number of recorded observations. *)
+
+val dropped : t -> int
+
+val reset : t -> unit
+
+val estimate : ?smoothing:float -> t -> Dist.t
+(** Normalized histogram as a distribution. [smoothing] (default 0) is
+    a pseudo-count added to every bin — use a small positive value to
+    avoid zero-probability cells when the history is short.
+
+    @raise Invalid_argument if no observations and [smoothing = 0]. *)
+
+val l1_on_grid : ?bins:int -> Dist.t -> Dist.t -> float
+(** L1 distance between two distributions on a common axis, measured
+    on an equal-width grid ([bins] defaults to 64). Ranges over
+    [[0, 2]]; the adaptive engine treats it as the drift signal.
+
+    @raise Invalid_argument on mismatched axes. *)

@@ -1,0 +1,71 @@
+module Axis = Genas_model.Axis
+module Overlay = Genas_interval.Overlay
+module Prng = Genas_prng.Prng
+
+type component = { weight : float; dists : Dist.t array }
+
+type t = { axes : Axis.t array; comps : component array }
+
+let mixture weighted =
+  match weighted with
+  | [] -> invalid_arg "Joint.mixture: empty"
+  | (_, first) :: _ ->
+    if Array.length first = 0 then invalid_arg "Joint.mixture: zero arity";
+    let axes = Array.map Dist.axis first in
+    let total =
+      List.fold_left
+        (fun acc (w, dists) ->
+          if w < 0.0 then invalid_arg "Joint.mixture: negative weight";
+          if Array.length dists <> Array.length axes then
+            invalid_arg "Joint.mixture: arity mismatch";
+          Array.iteri
+            (fun i d ->
+              if not (Axis.equal (Dist.axis d) axes.(i)) then
+                invalid_arg "Joint.mixture: axis mismatch")
+            dists;
+          acc +. w)
+        0.0 weighted
+    in
+    if total <= 0.0 then invalid_arg "Joint.mixture: zero total weight";
+    {
+      axes;
+      comps =
+        Array.of_list
+          (List.filter_map
+             (fun (w, dists) ->
+               if w = 0.0 then None
+               else Some { weight = w /. total; dists })
+             weighted);
+    }
+
+let independent dists = mixture [ (1.0, dists) ]
+
+let arity t = Array.length t.axes
+
+let axes t = Array.copy t.axes
+
+let components t = Array.length t.comps
+
+let initial_weights t = Array.map (fun c -> c.weight) t.comps
+
+let sample rng t =
+  let k = Prng.weighted_index rng (initial_weights t) in
+  Array.map (fun d -> Dist.sample rng d) t.comps.(k).dists
+
+let marginal t ~attr =
+  Dist.mix
+    (Array.to_list
+       (Array.map (fun c -> (c.weight, c.dists.(attr))) t.comps))
+
+let component_cell_probs t ~overlays ~attr =
+  Array.map (fun c -> Dist.cell_probs c.dists.(attr) overlays.(attr)) t.comps
+
+let cell_probs t ~overlays ~weights ~attr =
+  if Array.length weights <> Array.length t.comps then
+    invalid_arg "Joint.cell_probs: weight vector length mismatch";
+  let per_comp = component_cell_probs t ~overlays ~attr in
+  let ncells = Array.length overlays.(attr).Overlay.cells in
+  Array.init ncells (fun cell ->
+      let acc = ref 0.0 in
+      Array.iteri (fun k w -> acc := !acc +. (w *. per_comp.(k).(cell))) weights;
+      !acc)

@@ -1,0 +1,55 @@
+(** Joint (correlated) event distributions.
+
+    §3 of the paper defines the tree's cost through *conditional*
+    expectations — "the distributions for the values of each of the n
+    attributes of an event are not independent" — but its tests assume
+    independence. This module supplies the correlated case as a
+    mixture of product distributions (a latent "regime" per component:
+    e.g. hot-dry vs cold-wet weather), which is closed under the
+    conditioning the tree evaluator needs: conditioning on a prefix of
+    attribute cells just reweights the components.
+
+    Marginals of a mixture of products are mixtures; conditionals are
+    mixtures with updated weights — both exact, no sampling. *)
+
+type t
+
+val independent : Dist.t array -> t
+(** The single-component mixture: the paper's test protocol. *)
+
+val mixture : (float * Dist.t array) list -> t
+(** [mixture [(w_k, dists_k); …]]: with probability proportional to
+    [w_k], the event is drawn from the product of [dists_k]. All
+    components must have the same arity and axes.
+
+    @raise Invalid_argument on empty lists, arity/axis mismatches, or
+    non-positive total weight. *)
+
+val arity : t -> int
+
+val axes : t -> Genas_model.Axis.t array
+
+val components : t -> int
+
+val sample : Genas_prng.Prng.t -> t -> float array
+(** Draw one event's coordinates (component choice, then attribute-wise
+    independent draws). *)
+
+val marginal : t -> attr:int -> Dist.t
+(** Exact marginal of one attribute (a {!Dist.mix} of the component
+    distributions). *)
+
+val cell_probs :
+  t -> overlays:Genas_interval.Overlay.t array -> weights:float array ->
+  attr:int -> float array
+(** Cell probabilities of [attr] under component [weights] (not
+    necessarily normalized — the evaluator carries unnormalized reach
+    weights). Index-aligned with the overlay's cells. *)
+
+val component_cell_probs :
+  t -> overlays:Genas_interval.Overlay.t array -> attr:int -> float array array
+(** [result.(k).(cell)]: per-component quantization, precomputed once
+    per evaluation. *)
+
+val initial_weights : t -> float array
+(** The (normalized) component weights. *)

@@ -1,0 +1,103 @@
+module Axis = Genas_model.Axis
+module Interval = Genas_interval.Interval
+
+type gen = Axis.t -> Dist.t
+
+let equal_dist axis = Dist.uniform axis
+
+let span (axis : Axis.t) = axis.Axis.hi -. axis.Axis.lo
+
+let at_frac (axis : Axis.t) f = axis.Axis.lo +. (f *. span axis)
+
+let gauss ?(mu_frac = 0.5) ?(sigma_frac = 1.0 /. 6.0) () axis =
+  let mu = at_frac axis mu_frac in
+  let sigma = Float.max 1e-9 (sigma_frac *. Float.max 1e-9 (span axis)) in
+  Dist.of_density axis (fun x ->
+      let z = (x -. mu) /. sigma in
+      exp (-0.5 *. z *. z))
+
+let relocated_gauss side axis =
+  let mu_frac = match side with `Low -> 0.1 | `High -> 0.9 in
+  gauss ~mu_frac () axis
+
+let falling axis =
+  let lo = axis.Axis.lo and s = Float.max 1e-9 (span axis) in
+  Dist.of_density axis (fun x -> Float.max 0.0 (1.0 -. ((x -. lo) /. s)))
+
+let rising axis =
+  let lo = axis.Axis.lo and s = Float.max 1e-9 (span axis) in
+  Dist.of_density axis (fun x -> Float.max 0.0 ((x -. lo) /. s))
+
+let clamp_frac f = Float.max 0.0 (Float.min 1.0 f)
+
+let peak_pieces axis ps =
+  (* Build each peak as an interval clamped into the axis. *)
+  List.map
+    (fun (at, mass, width) ->
+      if mass < 0.0 || mass > 1.0 then invalid_arg "Shape.peak: mass not in [0,1]";
+      if width <= 0.0 then invalid_arg "Shape.peak: width must be positive";
+      let c = at_frac axis (clamp_frac at) in
+      let half = width *. span axis /. 2.0 in
+      let lo = Float.max axis.Axis.lo (c -. half) in
+      let hi = Float.min axis.Axis.hi (c +. half) in
+      let lo, hi = if lo < hi then (lo, hi) else (lo, Float.min axis.Axis.hi (lo +. 1e-9)) in
+      let itv = Interval.make_exn ~lo ~hi () in
+      let itv =
+        (* A peak narrower than one inhabited point of a discrete axis
+           collapses to the nearest point. *)
+        if axis.Axis.discrete && Interval.measure ~discrete:true itv = 0.0 then
+          let point =
+            Float.max axis.Axis.lo (Float.min axis.Axis.hi (Float.round c))
+          in
+          Interval.point point
+        else itv
+      in
+      (itv, mass))
+    ps
+
+let peaks ps axis =
+  let peak_mass = List.fold_left (fun a (_, m, _) -> a +. m) 0.0 ps in
+  if peak_mass > 1.0 +. 1e-9 then
+    invalid_arg "Shape.peaks: total peak mass exceeds 1";
+  let background = Float.max 0.0 (1.0 -. peak_mass) in
+  let components =
+    List.map
+      (fun (itv, mass) -> (mass, Dist.of_pieces axis [ (itv, 1.0) ]))
+      (peak_pieces axis ps)
+  in
+  let components =
+    if background > 1e-12 then (background, Dist.uniform axis) :: components
+    else components
+  in
+  Dist.mix components
+
+let peak ~at ~mass ~width axis = peaks [ (at, mass, width) ] axis
+
+let zipf ?(s = 1.0) () (axis : Axis.t) =
+  if axis.Axis.discrete && Axis.size axis <= 100_000.0 then
+    let n = int_of_float (Axis.size axis) in
+    Dist.of_atoms axis
+      (List.init n (fun i ->
+           (axis.Axis.lo +. float_of_int i, 1.0 /. ((float_of_int i +. 1.0) ** s))))
+  else
+    let lo = axis.Axis.lo and sp = Float.max 1e-9 (span axis) in
+    Dist.of_density axis (fun x ->
+        1.0 /. ((1.0 +. (99.0 *. (x -. lo) /. sp)) ** s))
+
+let exponential_like ?(rate_frac = 5.0) () axis =
+  let lo = axis.Axis.lo and sp = Float.max 1e-9 (span axis) in
+  Dist.of_density axis (fun x -> exp (-.rate_frac *. (x -. lo) /. sp))
+
+let steps widths axis =
+  let total_width = List.fold_left (fun a (w, _) -> a +. w) 0.0 widths in
+  if Float.abs (total_width -. 1.0) > 1e-6 then
+    invalid_arg "Shape.steps: widths must sum to 1";
+  let lo = axis.Axis.lo and sp = span axis in
+  let _, blocks =
+    List.fold_left
+      (fun (pos, acc) (w, mass) ->
+        let next = pos +. (w *. sp) in
+        (next, (lo +. pos, lo +. next, mass) :: acc))
+      (0.0, []) widths
+  in
+  Dist.of_blocks axis (List.rev blocks)

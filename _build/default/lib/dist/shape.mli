@@ -1,0 +1,55 @@
+(** Parametric distribution shapes.
+
+    The paper's evaluation uses 60 hand-defined event/profile
+    distributions (sketched in Fig. 3 but never published numerically),
+    plus equal and Gauss distributions, plus the "N % high/low" peaked
+    family of Fig. 5. This module provides the parametric generators
+    those classes are drawn from; {!Catalog} binds concrete names.
+
+    All shape functions take the target axis last so they can be
+    partially applied as catalog entries. Fractional positions are
+    relative to the axis ([0.0] = low end, [1.0] = high end). *)
+
+type gen = Genas_model.Axis.t -> Dist.t
+
+val equal_dist : gen
+(** Uniform over the axis. *)
+
+val gauss : ?mu_frac:float -> ?sigma_frac:float -> unit -> gen
+(** Gaussian density truncated to the axis. Defaults: centered
+    ([mu_frac = 0.5]) with [sigma_frac = 1/6] of the axis width. *)
+
+val relocated_gauss : [ `Low | `High ] -> gen
+(** The paper's "relocated Gauss": center shifted to the low or high
+    end ([mu_frac] 0.1 / 0.9), same default width. *)
+
+val falling : gen
+(** Linearly decreasing density (maximum at the low end). *)
+
+val rising : gen
+
+val peak : at:float -> mass:float -> width:float -> gen
+(** A rectangular peak of the given mass and fractional width centered
+    at fractional position [at], over a uniform background carrying the
+    remaining mass. The Fig. 5 labels map as: "95 % high" =
+    [peak ~at:0.9 ~mass:0.95 ~width:0.05], "90 % high" likewise with
+    [mass:0.9], "95 % low" with [at:0.1].
+
+    @raise Invalid_argument unless [0 <= mass <= 1] and [width > 0]. *)
+
+val peaks : (float * float * float) list -> gen
+(** Multi-modal: list of [(at, mass, width)]; remaining mass uniform.
+    Total peak mass must not exceed 1. *)
+
+val zipf : ?s:float -> unit -> gen
+(** Zipf over a discrete axis: P(k-th point) proportional to
+    1/(k+1)^s, [s] defaulting to 1. On continuous axes the analogous
+    power-law density is used. *)
+
+val exponential_like : ?rate_frac:float -> unit -> gen
+(** Truncated exponential decay from the low end; [rate_frac] is the
+    decay rate per axis width (default 5.0). *)
+
+val steps : (float * float) list -> gen
+(** Piecewise-constant by fractional widths: [(width_frac, mass)] list
+    covering the axis (widths must sum to 1 up to 1e-6). *)

@@ -1,0 +1,1 @@
+lib/ens/broker.ml: Composite Genas_core Genas_filter Genas_model Genas_profile Hashtbl List Notification Option Quench

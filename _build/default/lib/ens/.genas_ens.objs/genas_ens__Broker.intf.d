@@ -1,0 +1,1 @@
+lib/ens/broker.mli: Composite Genas_core Genas_filter Genas_model Genas_profile Notification Quench

@@ -1,0 +1,1 @@
+lib/ens/composite.ml: Float Genas_model Genas_profile List

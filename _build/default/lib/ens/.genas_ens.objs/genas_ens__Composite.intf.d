@@ -1,0 +1,1 @@
+lib/ens/composite.mli: Genas_model Genas_profile

@@ -1,0 +1,1 @@
+lib/ens/notification.ml: Format Genas_model Genas_profile

@@ -1,0 +1,1 @@
+lib/ens/notification.mli: Format Genas_model Genas_profile

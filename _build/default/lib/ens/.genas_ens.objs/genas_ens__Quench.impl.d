@@ -1,0 +1,1 @@
+lib/ens/quench.ml: Array Genas_interval Genas_model Genas_profile

@@ -1,0 +1,1 @@
+lib/ens/quench.mli: Genas_interval Genas_model Genas_profile

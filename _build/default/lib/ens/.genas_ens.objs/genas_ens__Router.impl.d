@@ -1,0 +1,1 @@
+lib/ens/router.ml: Array Fun Genas_core Genas_model Genas_profile Hashtbl Int List Notification Option

@@ -1,0 +1,1 @@
+lib/ens/service.ml: Broker Genas_filter Genas_model Genas_profile Hashtbl List Option Printf Result String

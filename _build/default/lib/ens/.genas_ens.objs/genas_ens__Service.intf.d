@@ -1,0 +1,1 @@
+lib/ens/service.mli: Broker Genas_core Genas_model Notification

@@ -1,0 +1,1 @@
+lib/ens/store.ml: Array Format Genas_model Genas_profile In_channel List Out_channel Printf Result String

@@ -1,0 +1,1 @@
+lib/ens/store.mli: Genas_model Genas_profile

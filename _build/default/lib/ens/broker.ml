@@ -1,0 +1,158 @@
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Profile = Genas_profile.Profile
+module Profile_set = Genas_profile.Profile_set
+module Lang = Genas_profile.Lang
+module Engine = Genas_core.Engine
+module Adaptive = Genas_core.Adaptive
+module Ops = Genas_filter.Ops
+
+type sub_id = Prim_sub of int | Comp_sub of int
+
+type comp_sub = {
+  subscriber : string;
+  detector : Composite.t;
+  prims : Profile.t list;  (** constituents, for the quench table *)
+  handler : Notification.handler;
+}
+
+type t = {
+  schema : Schema.t;
+  pset : Profile_set.t;
+  engine : Engine.t;
+  adaptive : Adaptive.t option;
+  handlers : (int, string * Notification.handler) Hashtbl.t;
+      (** primitive subscriptions, by profile id *)
+  composites : (int, comp_sub) Hashtbl.t;
+  mutable next_comp : int;
+  mutable quench : Quench.t option;  (** cache; [None] = stale *)
+  mutable published : int;
+  mutable notifications : int;
+}
+
+let create ?spec ?adaptive schema =
+  let pset = Profile_set.create schema in
+  let engine = Engine.create ?spec pset in
+  let adaptive = Option.map (fun policy -> Adaptive.create ~policy engine) adaptive in
+  {
+    schema;
+    pset;
+    engine;
+    adaptive;
+    handlers = Hashtbl.create 64;
+    composites = Hashtbl.create 8;
+    next_comp = 0;
+    quench = None;
+    published = 0;
+    notifications = 0;
+  }
+
+let schema t = t.schema
+
+let invalidate_quench t = t.quench <- None
+
+let subscribe t ~subscriber ~profile handler =
+  let id = Profile_set.add t.pset profile in
+  Hashtbl.replace t.handlers id (subscriber, handler);
+  invalidate_quench t;
+  Prim_sub id
+
+let subscribe_text t ~subscriber src handler =
+  match Lang.parse_profile ~name:subscriber t.schema src with
+  | Error e -> Error e
+  | Ok profile -> Ok (subscribe t ~subscriber ~profile handler)
+
+let rec prims_of_expr = function
+  | Composite.Prim p -> [ p ]
+  | Composite.Seq (a, b, _) | Composite.Both (a, b, _)
+  | Composite.Either (a, b) | Composite.Without (a, b, _) ->
+    prims_of_expr a @ prims_of_expr b
+  | Composite.Repeat (a, _, _) -> prims_of_expr a
+
+let subscribe_composite t ~subscriber expr handler =
+  match Composite.compile t.schema expr with
+  | Error e -> Error e
+  | Ok detector ->
+    let id = t.next_comp in
+    t.next_comp <- id + 1;
+    Hashtbl.replace t.composites id
+      { subscriber; detector; prims = prims_of_expr expr; handler };
+    invalidate_quench t;
+    Ok (Comp_sub id)
+
+let unsubscribe t = function
+  | Prim_sub id ->
+    let present = Profile_set.remove t.pset id in
+    if present then begin
+      Hashtbl.remove t.handlers id;
+      invalidate_quench t
+    end;
+    present
+  | Comp_sub id ->
+    let present = Hashtbl.mem t.composites id in
+    if present then begin
+      Hashtbl.remove t.composites id;
+      invalidate_quench t
+    end;
+    present
+
+let quench t =
+  match t.quench with
+  | Some q -> q
+  | None ->
+    (* Merge primitive subscriptions with the constituents of composite
+       ones: quenching must not starve a composite detector. *)
+    let merged = Profile_set.create t.schema in
+    Profile_set.iter t.pset (fun _ p -> ignore (Profile_set.add merged p));
+    Hashtbl.iter
+      (fun _ c -> List.iter (fun p -> ignore (Profile_set.add merged p)) c.prims)
+      t.composites;
+    let q = Quench.build merged in
+    t.quench <- Some q;
+    q
+
+let publish t event =
+  t.published <- t.published + 1;
+  let matched =
+    match t.adaptive with
+    | Some a -> Adaptive.match_event a event
+    | None -> Engine.match_event t.engine event
+  in
+  let sent = ref 0 in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt t.handlers id with
+      | None -> ()
+      | Some (subscriber, handler) ->
+        incr sent;
+        handler (Notification.make ~event ~profile_id:id ~subscriber ()))
+    matched;
+  Hashtbl.iter
+    (fun _ c ->
+      List.iter
+        (fun (_ : Composite.occurrence) ->
+          incr sent;
+          c.handler
+            (Notification.make ~event ~profile_id:(-1)
+               ~subscriber:c.subscriber ()))
+        (Composite.feed c.detector event))
+    t.composites;
+  t.notifications <- t.notifications + !sent;
+  !sent
+
+let publish_quenched t event =
+  if Quench.wanted_event (quench t) event then Some (publish t event)
+  else None
+
+let ops t = Engine.ops t.engine
+
+let published t = t.published
+
+let notifications t = t.notifications
+
+let subscription_count t = Profile_set.size t.pset + Hashtbl.length t.composites
+
+let engine t = t.engine
+
+let rebuilds t =
+  match t.adaptive with Some a -> Adaptive.rebuilds a | None -> 0

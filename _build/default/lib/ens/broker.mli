@@ -1,0 +1,82 @@
+(** A single-node event notification service.
+
+    The broker owns a schema, a profile registry, and a
+    distribution-based filter engine ({!Genas_core.Engine}, optionally
+    wrapped in the adaptive component); subscribers register primitive
+    profiles — parsed from the profile language or pre-built — or
+    composite expressions, and receive callbacks. Publishers may
+    consult the broker's quench table to suppress unwanted events at
+    the source. *)
+
+type t
+
+type sub_id
+
+val create :
+  ?spec:Genas_core.Reorder.spec ->
+  ?adaptive:Genas_core.Adaptive.policy ->
+  Genas_model.Schema.t ->
+  t
+(** [adaptive] enables periodic distribution-driven re-optimization of
+    the filter tree. *)
+
+val schema : t -> Genas_model.Schema.t
+
+val subscribe :
+  t ->
+  subscriber:string ->
+  profile:Genas_profile.Profile.t ->
+  Notification.handler ->
+  sub_id
+
+val subscribe_text :
+  t ->
+  subscriber:string ->
+  string ->
+  Notification.handler ->
+  (sub_id, string) result
+(** Parse the profile-language source and subscribe. *)
+
+val subscribe_composite :
+  t ->
+  subscriber:string ->
+  Composite.expr ->
+  Notification.handler ->
+  (sub_id, string) result
+(** The handler fires once per completed composite occurrence, carrying
+    the occurrence's last constituent event. Composite detection is
+    stateful over the stream, so events must be published in
+    non-decreasing time order once a composite subscription exists
+    ({!publish} then raises [Invalid_argument] on a time
+    regression). *)
+
+val unsubscribe : t -> sub_id -> bool
+
+val publish : t -> Genas_model.Event.t -> int
+(** Filter one event and deliver notifications; returns the number of
+    notifications sent. *)
+
+val publish_quenched : t -> Genas_model.Event.t -> int option
+(** Consult the quench table first: [None] if the event provably
+    matches no subscription (it is then not filtered at all and does
+    not enter the statistics history); [Some n] as [publish]
+    otherwise. *)
+
+val quench : t -> Quench.t
+(** Current quench table (rebuilt on subscription changes). *)
+
+val ops : t -> Genas_filter.Ops.t
+(** Cumulative matcher operation counters. *)
+
+val published : t -> int
+
+val notifications : t -> int
+
+val subscription_count : t -> int
+
+val engine : t -> Genas_core.Engine.t
+(** The underlying filter engine (for inspection: tree shape, analytic
+    reports, statistics). *)
+
+val rebuilds : t -> int
+(** Adaptive re-optimizations performed (0 without [adaptive]). *)

@@ -1,0 +1,229 @@
+module Event = Genas_model.Event
+module Schema = Genas_model.Schema
+module Profile = Genas_profile.Profile
+
+type expr =
+  | Prim of Profile.t
+  | Seq of expr * expr * float
+  | Both of expr * expr * float
+  | Either of expr * expr
+  | Without of expr * expr * float
+  | Repeat of expr * int * float
+
+type occurrence = {
+  start_time : float;
+  end_time : float;
+  events : Event.t list;
+}
+
+type state =
+  | Sprim of Profile.t
+  | Sseq of { a : state; b : state; w : float; mutable pending : occurrence list }
+  | Sboth of {
+      a : state;
+      b : state;
+      w : float;
+      mutable pa : occurrence list;
+      mutable pb : occurrence list;
+    }
+  | Seither of state * state
+  | Swithout of { a : state; b : state; w : float; mutable last_b : float }
+  | Srepeat of { a : state; k : int; w : float; mutable buf : occurrence list }
+
+type t = { schema : Schema.t; root : state; mutable last_time : float }
+
+let rec validate = function
+  | Prim _ -> Ok ()
+  | Either (a, b) -> (
+    match validate a with Ok () -> validate b | Error _ as e -> e)
+  | Seq (a, b, w) | Both (a, b, w) | Without (a, b, w) ->
+    if not (Float.is_finite w) || w <= 0.0 then
+      Error "composite window must be positive and finite"
+    else (match validate a with Ok () -> validate b | Error _ as e -> e)
+  | Repeat (a, k, w) ->
+    if k < 1 then Error "repeat count must be at least 1"
+    else if not (Float.is_finite w) || w <= 0.0 then
+      Error "composite window must be positive and finite"
+    else validate a
+
+let rec build = function
+  | Prim p -> Sprim p
+  | Seq (a, b, w) -> Sseq { a = build a; b = build b; w; pending = [] }
+  | Both (a, b, w) -> Sboth { a = build a; b = build b; w; pa = []; pb = [] }
+  | Either (a, b) -> Seither (build a, build b)
+  | Without (a, b, w) ->
+    Swithout { a = build a; b = build b; w; last_b = Float.neg_infinity }
+  | Repeat (a, k, w) -> Srepeat { a = build a; k; w; buf = [] }
+
+let compile schema expr =
+  match validate expr with
+  | Error e -> Error e
+  | Ok () -> Ok { schema; root = build expr; last_time = Float.neg_infinity }
+
+let compile_exn schema expr =
+  match compile schema expr with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Composite.compile: " ^ msg)
+
+let expire ~now ~w occs =
+  List.filter (fun o -> now -. o.end_time <= w) occs
+
+(* Pick the most recent pending occurrence satisfying [eligible];
+   returns it plus the buffer without it. Buffers are newest-first. *)
+let take_recent eligible occs =
+  let rec go acc = function
+    | [] -> None
+    | o :: rest ->
+      if eligible o then Some (o, List.rev_append acc rest)
+      else go (o :: acc) rest
+  in
+  go [] occs
+
+let join a b =
+  {
+    start_time = Float.min a.start_time b.start_time;
+    end_time = Float.max a.end_time b.end_time;
+    events =
+      (if a.end_time <= b.start_time then a.events @ b.events
+       else b.events @ a.events);
+  }
+
+let rec step schema st event now =
+  match st with
+  | Sprim p ->
+    if Profile.matches schema p event then
+      [ { start_time = now; end_time = now; events = [ event ] } ]
+    else []
+  | Seither (a, b) -> step schema a event now @ step schema b event now
+  | Sseq r ->
+    let occ_a = step schema r.a event now in
+    let occ_b = step schema r.b event now in
+    r.pending <- expire ~now ~w:r.w r.pending;
+    let out = ref [] in
+    List.iter
+      (fun ob ->
+        let eligible oa =
+          oa.end_time < ob.start_time && ob.end_time -. oa.start_time <= r.w
+        in
+        match take_recent eligible r.pending with
+        | Some (oa, rest) ->
+          r.pending <- rest;
+          out := join oa ob :: !out
+        | None -> ())
+      occ_b;
+    (* New a-occurrences become pending only after pairing, so an [a]
+       completed by this very event cannot precede a simultaneous [b]. *)
+    r.pending <- occ_a @ r.pending;
+    List.rev !out
+  | Sboth r ->
+    let occ_a = step schema r.a event now in
+    let occ_b = step schema r.b event now in
+    r.pa <- expire ~now ~w:r.w r.pa;
+    r.pb <- expire ~now ~w:r.w r.pb;
+    let out = ref [] in
+    (* Pair the fresh completions of each side against the other side's
+       pending buffer; simultaneous fresh completions pair with each
+       other first. *)
+    let unpaired_a = ref [] in
+    List.iter
+      (fun oa ->
+        let eligible ob = Float.abs (oa.end_time -. ob.end_time) <= r.w in
+        match take_recent eligible r.pb with
+        | Some (ob, rest) ->
+          r.pb <- rest;
+          out := join oa ob :: !out
+        | None -> unpaired_a := oa :: !unpaired_a)
+      occ_a;
+    let fresh_a = ref (List.rev !unpaired_a) in
+    List.iter
+      (fun ob ->
+        let eligible oa = Float.abs (oa.end_time -. ob.end_time) <= r.w in
+        match take_recent eligible !fresh_a with
+        | Some (oa, rest) ->
+          fresh_a := rest;
+          out := join oa ob :: !out
+        | None -> (
+          match take_recent eligible r.pa with
+          | Some (oa, rest) ->
+            r.pa <- rest;
+            out := join oa ob :: !out
+          | None -> r.pb <- ob :: r.pb))
+      occ_b;
+    r.pa <- !fresh_a @ r.pa;
+    List.rev !out
+  | Swithout r ->
+    (* Evaluate the inhibitor first: a [b] on the same event
+       suppresses. *)
+    let occ_b = step schema r.b event now in
+    if occ_b <> [] then r.last_b <- now;
+    let occ_a = step schema r.a event now in
+    List.filter (fun oa -> oa.start_time -. r.last_b > r.w || r.last_b = Float.neg_infinity) occ_a
+  | Srepeat r ->
+    let occ_a = step schema r.a event now in
+    r.buf <- expire ~now ~w:r.w r.buf;
+    (* Buffer is newest-first; completions consume the oldest k. *)
+    r.buf <- occ_a @ r.buf;
+    let out = ref [] in
+    let continue = ref true in
+    while !continue do
+      let n = List.length r.buf in
+      if n >= r.k then begin
+        let in_order = List.rev r.buf in
+        let rec split i acc = function
+          | rest when i = r.k -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | o :: rest -> split (i + 1) (o :: acc) rest
+        in
+        let used, remaining = split 0 [] in_order in
+        let first = List.hd used and last = List.nth used (r.k - 1) in
+        if last.end_time -. first.start_time <= r.w then begin
+          out :=
+            {
+              start_time = first.start_time;
+              end_time = last.end_time;
+              events = List.concat_map (fun o -> o.events) used;
+            }
+            :: !out;
+          r.buf <- List.rev remaining
+        end
+        else begin
+          (* The oldest occurrence can never participate again. *)
+          r.buf <- List.rev (List.tl in_order)
+        end
+      end
+      else continue := false
+    done;
+    List.rev !out
+
+let feed t event =
+  let now = Event.time event in
+  if now < t.last_time then
+    invalid_arg "Composite.feed: events must arrive in time order";
+  t.last_time <- now;
+  step t.schema t.root event now
+
+let rec reset_state = function
+  | Sprim _ -> ()
+  | Seither (a, b) ->
+    reset_state a;
+    reset_state b
+  | Sseq r ->
+    r.pending <- [];
+    reset_state r.a;
+    reset_state r.b
+  | Sboth r ->
+    r.pa <- [];
+    r.pb <- [];
+    reset_state r.a;
+    reset_state r.b
+  | Swithout r ->
+    r.last_b <- Float.neg_infinity;
+    reset_state r.a;
+    reset_state r.b
+  | Srepeat r ->
+    r.buf <- [];
+    reset_state r.a
+
+let reset t =
+  t.last_time <- Float.neg_infinity;
+  reset_state t.root

@@ -1,0 +1,50 @@
+(** Composite events (the extension announced in the paper's outlook:
+    "we will extend the filter to handle composite events", §5; §1
+    defines them as "temporal combinations of events").
+
+    A composite expression combines primitive profiles with temporal
+    operators; a compiled detector consumes the (time-ordered) event
+    stream incrementally and emits an occurrence whenever the
+    expression completes. Constituent occurrences are *consumed* on
+    use, pairing with the most recent eligible partner (the "recent"
+    consumption policy of active-database composite-event literature),
+    which keeps detection linear and avoids combinatorial re-pairing. *)
+
+type expr =
+  | Prim of Genas_profile.Profile.t
+      (** one event matching the profile *)
+  | Seq of expr * expr * float
+      (** [Seq (a, b, w)]: [a] completes strictly before [b] starts,
+          whole span at most [w] time units *)
+  | Both of expr * expr * float
+      (** both complete, in any order, within [w] of each other *)
+  | Either of expr * expr
+  | Without of expr * expr * float
+      (** [a] completes with no [b] completion in the preceding [w] *)
+  | Repeat of expr * int * float
+      (** [k] completions of the sub-expression within [w] *)
+
+type occurrence = {
+  start_time : float;
+  end_time : float;
+  events : Genas_model.Event.t list;  (** constituents, oldest first *)
+}
+
+type t
+(** A compiled, stateful detector. *)
+
+val compile : Genas_model.Schema.t -> expr -> (t, string) result
+(** Validates windows (positive and finite) and repeat counts
+    ([k >= 1]). *)
+
+val compile_exn : Genas_model.Schema.t -> expr -> t
+
+val feed : t -> Genas_model.Event.t -> occurrence list
+(** Process one event; returns the root occurrences completed by it.
+    Event times must be non-decreasing.
+
+    @raise Invalid_argument if fed an event older than its
+    predecessor. *)
+
+val reset : t -> unit
+(** Drop all partial detections. *)

@@ -1,0 +1,23 @@
+module Event = Genas_model.Event
+module Schema = Genas_model.Schema
+
+type t = {
+  event : Event.t;
+  profile_id : Genas_profile.Profile_set.id;
+  subscriber : string;
+  broker : int option;
+}
+
+type handler = t -> unit
+
+let make ?broker ~event ~profile_id ~subscriber () =
+  { event; profile_id; subscriber; broker }
+
+let pp schema ppf t =
+  Format.fprintf ppf "@[<h>notify %s (profile %d%t): %a@]" t.subscriber
+    t.profile_id
+    (fun ppf ->
+      match t.broker with
+      | Some b -> Format.fprintf ppf ", broker %d" b
+      | None -> ())
+    (Event.pp schema) t.event

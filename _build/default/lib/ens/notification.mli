@@ -1,0 +1,24 @@
+(** Notifications: the ENS output channel.
+
+    An ENS "informs its users about new events that occurred on
+    providers' sites" (§1); a notification carries the event, the
+    matched profile, and the subscriber it is delivered to. *)
+
+type t = {
+  event : Genas_model.Event.t;
+  profile_id : Genas_profile.Profile_set.id;
+  subscriber : string;
+  broker : int option;  (** delivering broker in a routed network *)
+}
+
+type handler = t -> unit
+
+val make :
+  ?broker:int ->
+  event:Genas_model.Event.t ->
+  profile_id:Genas_profile.Profile_set.id ->
+  subscriber:string ->
+  unit ->
+  t
+
+val pp : Genas_model.Schema.t -> Format.formatter -> t -> unit

@@ -1,0 +1,230 @@
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Profile = Genas_profile.Profile
+module Profile_set = Genas_profile.Profile_set
+module Covering = Genas_profile.Covering
+module Engine = Genas_core.Engine
+
+type node_id = int
+
+type dest = Local of string * Notification.handler | Link of node_id
+
+type node = {
+  id : node_id;
+  neighbors : node_id list;
+  pset : Profile_set.t;
+  engine : Engine.t;
+  dests : (int, dest) Hashtbl.t;  (** interest profile id → destination *)
+  forwarded : (node_id, Profile.t list) Hashtbl.t;
+      (** profiles already forwarded over each outgoing link *)
+}
+
+type sub_handle = int
+
+type live_sub = {
+  at : node_id;
+  subscriber : string;
+  profile : Profile.t;
+  handler : Notification.handler;
+}
+
+type t = {
+  schema : Schema.t;
+  spec : Genas_core.Reorder.spec option;
+  mutable nodes : node array;
+  live : (sub_handle, live_sub) Hashtbl.t;
+  mutable next_handle : int;
+  mutable sub_msgs : int;
+  mutable unsub_msgs : int;
+  mutable event_msgs : int;
+  mutable notifications : int;
+}
+
+let validate_tree ~nodes ~edges =
+  if nodes <= 0 then Error "need at least one broker"
+  else if List.length edges <> nodes - 1 then
+    Error "a tree over n brokers needs exactly n-1 links"
+  else begin
+    let adj = Array.make nodes [] in
+    let bad = ref None in
+    List.iter
+      (fun (a, b) ->
+        if a < 0 || a >= nodes || b < 0 || b >= nodes || a = b then
+          bad := Some "link endpoint out of range"
+        else begin
+          adj.(a) <- b :: adj.(a);
+          adj.(b) <- a :: adj.(b)
+        end)
+      edges;
+    match !bad with
+    | Some e -> Error e
+    | None ->
+      (* n-1 edges + connectivity = tree. *)
+      let seen = Array.make nodes false in
+      let rec bfs = function
+        | [] -> ()
+        | x :: rest ->
+          if seen.(x) then bfs rest
+          else begin
+            seen.(x) <- true;
+            bfs (adj.(x) @ rest)
+          end
+      in
+      bfs [ 0 ];
+      if Array.for_all Fun.id seen then Ok adj
+      else Error "broker topology is not connected"
+  end
+
+let make_nodes ?spec schema adj =
+  Array.init (Array.length adj) (fun id ->
+      let pset = Profile_set.create schema in
+      {
+        id;
+        neighbors = adj.(id);
+        pset;
+        engine = Engine.create ?spec pset;
+        dests = Hashtbl.create 32;
+        forwarded = Hashtbl.create 4;
+      })
+
+let create ?spec schema ~nodes ~edges =
+  match validate_tree ~nodes ~edges with
+  | Error e -> Error e
+  | Ok adj ->
+    Ok
+      {
+        schema;
+        spec;
+        nodes = make_nodes ?spec schema adj;
+        live = Hashtbl.create 32;
+        next_handle = 0;
+        sub_msgs = 0;
+        unsub_msgs = 0;
+        event_msgs = 0;
+        notifications = 0;
+      }
+
+let create_exn ?spec schema ~nodes ~edges =
+  match create ?spec schema ~nodes ~edges with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Router.create: " ^ msg)
+
+let line ?spec schema ~nodes =
+  create_exn ?spec schema ~nodes
+    ~edges:(List.init (nodes - 1) (fun i -> (i, i + 1)))
+
+let star ?spec schema ~leaves =
+  create_exn ?spec schema ~nodes:(leaves + 1)
+    ~edges:(List.init leaves (fun i -> (0, i + 1)))
+
+(* Install an interest at [node] for [dest], then propagate it over
+   every other link unless a covering profile was already sent there.
+   [count] controls whether propagation is charged to the message
+   counter (retraction replays silently). *)
+let rec add_interest t ~count node profile dest =
+  let id = Profile_set.add node.pset profile in
+  Hashtbl.replace node.dests id dest;
+  let came_from = match dest with Link n -> Some n | Local _ -> None in
+  List.iter
+    (fun nb ->
+      if Some nb <> came_from then begin
+        let already = Option.value ~default:[] (Hashtbl.find_opt node.forwarded nb) in
+        let covered = List.exists (fun p -> Covering.covers p profile) already in
+        if not covered then begin
+          Hashtbl.replace node.forwarded nb (profile :: already);
+          if count then t.sub_msgs <- t.sub_msgs + 1;
+          add_interest t ~count t.nodes.(nb) profile (Link node.id)
+        end
+      end)
+    node.neighbors
+
+let subscribe t ~at ~subscriber ~profile handler =
+  if at < 0 || at >= Array.length t.nodes then
+    invalid_arg "Router.subscribe: no such broker";
+  let handle = t.next_handle in
+  t.next_handle <- handle + 1;
+  Hashtbl.replace t.live handle { at; subscriber; profile; handler };
+  add_interest t ~count:true t.nodes.(at) profile
+    (Local (subscriber, handler));
+  handle
+
+let forwarded_entries t =
+  Array.fold_left
+    (fun acc node ->
+      Hashtbl.fold (fun _ l acc -> acc + List.length l) node.forwarded acc)
+    0 t.nodes
+
+let unsubscribe t handle =
+  match Hashtbl.find_opt t.live handle with
+  | None -> false
+  | Some _ ->
+    Hashtbl.remove t.live handle;
+    (* Retraction by recomputation: rebuild every broker's interest
+       table from the remaining live subscriptions (replayed without
+       charging subscription messages), and charge the retraction
+       fan-out as the number of forwarded entries that disappear —
+       each corresponds to one unsubscribe message on a link. *)
+    let before = forwarded_entries t in
+    let adj = Array.map (fun n -> n.neighbors) t.nodes in
+    t.nodes <-
+      Array.init (Array.length t.nodes) (fun id ->
+          let pset = Profile_set.create t.schema in
+          {
+            id;
+            neighbors = adj.(id);
+            pset;
+            engine = Engine.create ?spec:t.spec pset;
+            dests = Hashtbl.create 32;
+            forwarded = Hashtbl.create 4;
+          });
+    let handles =
+      Hashtbl.fold (fun h _ acc -> h :: acc) t.live [] |> List.sort Int.compare
+    in
+    List.iter
+      (fun h ->
+        let s = Hashtbl.find t.live h in
+        add_interest t ~count:false t.nodes.(s.at) s.profile
+          (Local (s.subscriber, s.handler)))
+      handles;
+    let after = forwarded_entries t in
+    t.unsub_msgs <- t.unsub_msgs + max 0 (before - after);
+    true
+
+let rec route t node event ~from =
+  let matched = Engine.match_event node.engine event in
+  let links = ref [] in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt node.dests id with
+      | None -> ()
+      | Some (Local (subscriber, handler)) ->
+        t.notifications <- t.notifications + 1;
+        handler
+          (Notification.make ~broker:node.id ~event ~profile_id:id ~subscriber ())
+      | Some (Link nb) ->
+        if Some nb <> from && not (List.mem nb !links) then links := nb :: !links)
+    matched;
+  List.iter
+    (fun nb ->
+      t.event_msgs <- t.event_msgs + 1;
+      route t t.nodes.(nb) event ~from:(Some node.id))
+    !links
+
+let publish t ~at event =
+  if at < 0 || at >= Array.length t.nodes then
+    invalid_arg "Router.publish: no such broker";
+  let before = t.notifications in
+  route t t.nodes.(at) event ~from:None;
+  t.notifications - before
+
+let sub_messages t = t.sub_msgs
+
+let unsub_messages t = t.unsub_msgs
+
+let event_messages t = t.event_msgs
+
+let notifications t = t.notifications
+
+let broker_ops t id = Engine.ops t.nodes.(id).engine
+
+let interest_count t id = Profile_set.size t.nodes.(id).pset

@@ -1,0 +1,79 @@
+(** Siena-like routed notification network (§2: "In Siena, the concept
+    of early rejection on event-level is used for a distributed
+    service. The service implements profile and event propagation
+    within a network.").
+
+    Brokers form a tree topology. Subscriptions propagate away from
+    their subscriber through every broker, but a broker forwards a
+    subscription over a link only when no previously forwarded
+    subscription *covers* it (attribute-wise denotation containment);
+    events flow hop-by-hop, filtered at every broker by its own
+    distribution-based engine, and are forwarded only over links whose
+    forwarded interests they match. Message counters expose the
+    covering optimization's savings. *)
+
+type t
+
+type node_id = int
+
+val create :
+  ?spec:Genas_core.Reorder.spec ->
+  Genas_model.Schema.t ->
+  nodes:int ->
+  edges:(node_id * node_id) list ->
+  (t, string) result
+(** The edge list must form a tree: connected, acyclic, node ids in
+    [[0, nodes-1]]. *)
+
+val create_exn :
+  ?spec:Genas_core.Reorder.spec ->
+  Genas_model.Schema.t ->
+  nodes:int ->
+  edges:(node_id * node_id) list ->
+  t
+
+val line : ?spec:Genas_core.Reorder.spec -> Genas_model.Schema.t -> nodes:int -> t
+(** Convenience: brokers 0 — 1 — … — (nodes−1). *)
+
+val star : ?spec:Genas_core.Reorder.spec -> Genas_model.Schema.t -> leaves:int -> t
+(** Convenience: broker 0 in the center, leaves 1…n around it. *)
+
+type sub_handle
+
+val subscribe :
+  t ->
+  at:node_id ->
+  subscriber:string ->
+  profile:Genas_profile.Profile.t ->
+  Notification.handler ->
+  sub_handle
+(** Register a subscription at a broker and propagate it (with covering
+    pruning) through the network. *)
+
+val unsubscribe : t -> sub_handle -> bool
+(** Retract a subscription network-wide; [false] if the handle was
+    already retracted. Retraction recomputes the interest tables from
+    the remaining subscriptions (a covered subscription that was never
+    forwarded may now have to be, and vice versa); the retraction
+    fan-out is charged to [unsub_messages] as the number of forwarded
+    entries that disappear. Per-broker operation counters restart. *)
+
+val unsub_messages : t -> int
+
+val publish : t -> at:node_id -> Genas_model.Event.t -> int
+(** Inject an event at a broker; returns the number of notifications
+    delivered network-wide. *)
+
+val sub_messages : t -> int
+(** Inter-broker subscription-propagation messages sent so far. *)
+
+val event_messages : t -> int
+(** Inter-broker event forwards sent so far. *)
+
+val notifications : t -> int
+
+val broker_ops : t -> node_id -> Genas_filter.Ops.t
+(** Matching-operation counters of one broker's engine. *)
+
+val interest_count : t -> node_id -> int
+(** Size of a broker's interest table (local + forwarded profiles). *)

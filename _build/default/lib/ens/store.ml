@@ -1,0 +1,104 @@
+module Domain = Genas_model.Domain
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Lang = Genas_profile.Lang
+module Profile = Genas_profile.Profile
+module Profile_set = Genas_profile.Profile_set
+
+let ( let* ) = Result.bind
+
+let read_lines path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents ->
+    Ok
+      (String.split_on_char '\n' contents
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "" && l.[0] <> '#'))
+  | exception Sys_error e -> Error e
+
+let write_lines path lines =
+  match
+    Out_channel.with_open_text path (fun oc ->
+        List.iter
+          (fun l ->
+            Out_channel.output_string oc l;
+            Out_channel.output_char oc '\n')
+          lines)
+  with
+  | () -> Ok ()
+  | exception Sys_error e -> Error e
+
+let split_colon line =
+  match String.index_opt line ':' with
+  | None -> Error (Printf.sprintf "missing ':' in line %S" line)
+  | Some i ->
+    Ok
+      ( String.trim (String.sub line 0 i),
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let fold_result f init lines =
+  List.fold_left
+    (fun acc line ->
+      let* acc = acc in
+      f acc line)
+    (Ok init) lines
+
+let load_schema path =
+  let* lines = read_lines path in
+  let* specs =
+    fold_result
+      (fun acc line ->
+        let* name, dom_src = split_colon line in
+        let* dom = Domain.of_string dom_src in
+        Ok ((name, dom) :: acc))
+      [] lines
+  in
+  Schema.create (List.rev specs)
+
+let save_schema path schema =
+  write_lines path
+    (Array.to_list
+       (Array.map
+          (fun (a : Schema.attribute) ->
+            Format.asprintf "%s : %a" a.Schema.name Domain.pp a.Schema.domain)
+          (Schema.attributes schema)))
+
+let load_profiles schema path =
+  let* lines = read_lines path in
+  let pset = Profile_set.create schema in
+  let* () =
+    fold_result
+      (fun () line ->
+        let* name, src = split_colon line in
+        let* profile = Lang.parse_profile ~name schema src in
+        ignore (Profile_set.add pset profile);
+        Ok ())
+      () lines
+  in
+  Ok pset
+
+let save_profiles path schema pset =
+  let lines =
+    Profile_set.fold pset ~init:[] ~f:(fun acc id p ->
+        let name =
+          match p.Profile.name with
+          | Some n -> n
+          | None -> Printf.sprintf "p%d" id
+        in
+        Printf.sprintf "%s : %s" name (Lang.body_to_string schema p) :: acc)
+  in
+  write_lines path (List.rev lines)
+
+let load_events schema path =
+  let* lines = read_lines path in
+  let* events =
+    fold_result
+      (fun acc line ->
+        let* e = Lang.parse_event ~seq:(List.length acc) schema line in
+        Ok (e :: acc))
+      [] lines
+  in
+  Ok (List.rev events)
+
+let save_events path schema events =
+  write_lines path (List.map (Lang.event_to_string schema) events)

@@ -1,0 +1,36 @@
+(** File persistence for schemas, profile sets, and event logs.
+
+    The formats are the line-oriented texts the CLI consumes, with
+    [#]-comments and blank lines ignored:
+
+    - schema files: one ["name : DOMAIN"] per line, [DOMAIN] as in
+      {!Genas_model.Domain.of_string};
+    - profile files: one ["name : PREDICATES"] per line, body in the
+      profile language (empty body = match-everything);
+    - event files: one event per line (["attr = v, …"]).
+
+    Save/load round-trips preserve semantics (asserted by the test
+    suite); profile ids are assigned afresh on load in file order. *)
+
+val load_schema : string -> (Genas_model.Schema.t, string) result
+
+val save_schema : string -> Genas_model.Schema.t -> (unit, string) result
+
+val load_profiles :
+  Genas_model.Schema.t -> string ->
+  (Genas_profile.Profile_set.t, string) result
+(** Loads into a fresh registry; profile names come from the file. *)
+
+val save_profiles :
+  string -> Genas_model.Schema.t -> Genas_profile.Profile_set.t ->
+  (unit, string) result
+(** Unnamed profiles are written as ["p<id>"]. *)
+
+val load_events :
+  Genas_model.Schema.t -> string ->
+  (Genas_model.Event.t list, string) result
+(** Events are numbered by file position (sequence numbers 0, 1, …). *)
+
+val save_events :
+  string -> Genas_model.Schema.t -> Genas_model.Event.t list ->
+  (unit, string) result

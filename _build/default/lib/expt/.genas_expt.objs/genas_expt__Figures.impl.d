@@ -1,0 +1,1 @@
+lib/expt/figures.ml: Array Float Fun Genas_core Genas_dist Genas_ens Genas_filter Genas_interval Genas_model Genas_prng Genas_profile List Obj Printf Report Simulate String Sys Workload

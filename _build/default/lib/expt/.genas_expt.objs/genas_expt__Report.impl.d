@@ -1,0 +1,1 @@
+lib/expt/report.ml: Array Float Format List Printf String

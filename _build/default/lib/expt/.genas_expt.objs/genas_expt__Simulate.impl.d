@@ -1,0 +1,1 @@
+lib/expt/simulate.ml: Array Float Genas_dist Genas_filter Genas_prng List

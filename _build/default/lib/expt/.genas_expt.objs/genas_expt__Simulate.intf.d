@@ -1,0 +1,1 @@
+lib/expt/simulate.mli: Genas_dist Genas_filter Genas_prng

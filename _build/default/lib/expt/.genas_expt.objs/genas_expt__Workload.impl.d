@@ -1,0 +1,1 @@
+lib/expt/workload.ml: Array Float Genas_dist Genas_model Genas_prng Genas_profile List Printf

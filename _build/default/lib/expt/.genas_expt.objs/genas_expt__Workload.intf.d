@@ -1,0 +1,1 @@
+lib/expt/workload.mli: Genas_dist Genas_model Genas_prng Genas_profile

@@ -1,0 +1,83 @@
+type table = {
+  title : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let table ~title ~columns ?(notes = []) rows = { title; columns; rows; notes }
+
+let render ppf t =
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols then
+          widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  measure t.columns;
+  List.iter measure t.rows;
+  let pad i cell =
+    let w = if i < ncols then widths.(i) else String.length cell in
+    cell ^ String.make (max 0 (w - String.length cell)) ' '
+  in
+  let emit_row row =
+    Format.fprintf ppf "  %s@\n"
+      (String.concat "  " (List.mapi pad row) |> String.trim
+      |> fun s -> s)
+  in
+  Format.fprintf ppf "@\n== %s ==@\n" t.title;
+  emit_row t.columns;
+  Format.fprintf ppf "  %s@\n"
+    (String.concat "--"
+       (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+  List.iter emit_row t.rows;
+  List.iter (fun n -> Format.fprintf ppf "  note: %s@\n" n) t.notes;
+  Format.fprintf ppf "@."
+
+let print t = render Format.std_formatter t
+
+let f2 v = Printf.sprintf "%.2f" v
+
+let f4 v = Printf.sprintf "%.4f" v
+
+let bars ~title ~unit_label entries =
+  let vmax =
+    List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 entries
+  in
+  let rows =
+    List.map
+      (fun (label, v) ->
+        let len =
+          if vmax <= 0.0 then 0
+          else int_of_float (Float.round (40.0 *. v /. vmax))
+        in
+        [ label; f2 v; String.make len '#' ])
+      entries
+  in
+  table ~title ~columns:[ "series"; unit_label; "" ] rows
+
+let sparkline values =
+  let glyphs = [| " "; "_"; "-"; "="; "+"; "*"; "%"; "#" |] in
+  let vmax = List.fold_left Float.max 0.0 values in
+  if vmax <= 0.0 then String.concat "" (List.map (fun _ -> " ") values)
+  else
+    String.concat ""
+      (List.map
+         (fun v ->
+           let i =
+             int_of_float (Float.round (7.0 *. Float.max 0.0 v /. vmax))
+           in
+           glyphs.(min 7 i))
+         values)
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_escape row) in
+  String.concat "\n" (line t.columns :: List.map line t.rows) ^ "\n"

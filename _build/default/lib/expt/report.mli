@@ -1,0 +1,37 @@
+(** Plain-text experiment reports: aligned tables and ASCII bar
+    groups, the output format of the benchmark harness. *)
+
+type table = {
+  title : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val table :
+  title:string -> columns:string list -> ?notes:string list ->
+  string list list -> table
+
+val render : Format.formatter -> table -> unit
+(** Column-aligned rendering with a rule under the header. *)
+
+val print : table -> unit
+(** [render] to stdout. *)
+
+val f2 : float -> string
+(** Two-decimal float cell. *)
+
+val f4 : float -> string
+
+val bars :
+  title:string -> unit_label:string -> (string * float) list -> table
+(** A one-column bar chart as a table: each value is shown numerically
+    and as a proportional bar, for the figure-style outputs. *)
+
+val sparkline : float list -> string
+(** Eight-level unicode sparkline of a series (used for Fig. 3's
+    distribution shapes). *)
+
+val to_csv : table -> string
+(** RFC-4180-style CSV of the header and rows (notes omitted), for
+    downstream plotting. *)

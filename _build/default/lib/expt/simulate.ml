@@ -1,0 +1,107 @@
+module Prng = Genas_prng.Prng
+module Dist = Genas_dist.Dist
+module Tree = Genas_filter.Tree
+module Decomp = Genas_filter.Decomp
+module Ops = Genas_filter.Ops
+
+type result = {
+  events : int;
+  per_event : float;
+  per_match : float;
+  match_rate : float;
+  ci_halfwidth : float;
+  converged : bool;
+}
+
+let z95 = 1.96
+
+type acc = {
+  mutable n : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable match_ops_sum : float;  (* Σ ops(e) · matches(e) *)
+  mutable matches : int;
+}
+
+let step rng tree samplers acc =
+  let ops = Ops.create () in
+  let coords = Array.map (fun s -> s rng) samplers in
+  let matched = Tree.match_coords ~ops tree coords in
+  let c = float_of_int ops.Ops.comparisons in
+  acc.n <- acc.n + 1;
+  acc.sum <- acc.sum +. c;
+  acc.sumsq <- acc.sumsq +. (c *. c);
+  let m = List.length matched in
+  acc.matches <- acc.matches + m;
+  acc.match_ops_sum <- acc.match_ops_sum +. (c *. float_of_int m)
+
+let halfwidth acc =
+  if acc.n < 2 then Float.infinity
+  else
+    let n = float_of_int acc.n in
+    let mean = acc.sum /. n in
+    let var = Float.max 0.0 ((acc.sumsq /. n) -. (mean *. mean)) in
+    z95 *. sqrt (var /. n)
+
+let finish acc ~converged =
+  let n = float_of_int acc.n in
+  {
+    events = acc.n;
+    per_event = (if acc.n = 0 then Float.nan else acc.sum /. n);
+    per_match =
+      (if acc.matches = 0 then Float.nan
+       else acc.match_ops_sum /. float_of_int acc.matches);
+    match_rate = (if acc.n = 0 then Float.nan else float_of_int acc.matches /. n);
+    ci_halfwidth = halfwidth acc;
+    converged;
+  }
+
+let check_arity tree dists =
+  if Array.length dists <> Decomp.arity tree.Tree.decomp then
+    invalid_arg "Simulate: distribution arity mismatch"
+
+let run ?(min_events = 200) ?(max_events = 200_000) ?(precision = 0.05) rng
+    tree dists =
+  check_arity tree dists;
+  let samplers = Array.map Dist.sampler dists in
+  let acc = { n = 0; sum = 0.0; sumsq = 0.0; match_ops_sum = 0.0; matches = 0 } in
+  let converged = ref false in
+  while (not !converged) && acc.n < max_events do
+    step rng tree samplers acc;
+    if acc.n >= min_events then begin
+      let mean = acc.sum /. float_of_int acc.n in
+      (* Relative precision on the mean; an all-zero-cost stream (empty
+         tree) is converged by definition. *)
+      let hw = halfwidth acc in
+      if mean <= 0.0 then converged := hw = 0.0
+      else converged := hw /. mean <= precision
+    end
+  done;
+  finish acc ~converged:!converged
+
+let run_fixed rng tree dists ~events =
+  check_arity tree dists;
+  let samplers = Array.map Dist.sampler dists in
+  let acc = { n = 0; sum = 0.0; sumsq = 0.0; match_ops_sum = 0.0; matches = 0 } in
+  for _ = 1 to events do
+    step rng tree samplers acc
+  done;
+  finish acc ~converged:true
+
+let run_joint rng tree joint ~events =
+  if Genas_dist.Joint.arity joint <> Decomp.arity tree.Tree.decomp then
+    invalid_arg "Simulate.run_joint: joint arity mismatch";
+  let acc = { n = 0; sum = 0.0; sumsq = 0.0; match_ops_sum = 0.0; matches = 0 } in
+  for _ = 1 to events do
+    let ops = Ops.create () in
+    let coords = Genas_dist.Joint.sample rng joint in
+    let matched = Tree.match_coords ~ops tree coords in
+    let c = float_of_int ops.Ops.comparisons in
+    acc.n <- acc.n + 1;
+    acc.sum <- acc.sum +. c;
+    acc.sumsq <- acc.sumsq +. (c *. c);
+    let m = List.length matched in
+    acc.matches <- acc.matches + m;
+    acc.match_ops_sum <- acc.match_ops_sum +. (c *. float_of_int m)
+  done;
+  finish acc ~converged:true

@@ -1,0 +1,42 @@
+(** Event-stream simulation with the paper's stopping rule.
+
+    Scenarios TV1/TV2 run "event tests until 95 % precision for average
+    #operations is reached": we sample events from the given
+    distributions, filter them through the tree, and stop once the 95 %
+    confidence interval of the per-event operation mean is within the
+    requested relative precision (or a hard event cap is hit). *)
+
+type result = {
+  events : int;
+  per_event : float;  (** mean comparisons per event *)
+  per_match : float;  (** mean comparisons per (event, match) pair *)
+  match_rate : float;  (** mean matched profiles per event *)
+  ci_halfwidth : float;
+      (** 95 % confidence half-width of [per_event] *)
+  converged : bool;  (** precision reached before the cap *)
+}
+
+val run :
+  ?min_events:int ->
+  ?max_events:int ->
+  ?precision:float ->
+  Genas_prng.Prng.t ->
+  Genas_filter.Tree.t ->
+  Genas_dist.Dist.t array ->
+  result
+(** Defaults: [min_events] 200, [max_events] 200_000,
+    [precision] 0.05 (the paper's 95 % precision).
+
+    @raise Invalid_argument if the distribution array's arity differs
+    from the tree's. *)
+
+val run_fixed :
+  Genas_prng.Prng.t -> Genas_filter.Tree.t -> Genas_dist.Dist.t array ->
+  events:int -> result
+(** Exactly [events] samples (scenario TV3's fixed 4000 events). *)
+
+val run_joint :
+  Genas_prng.Prng.t -> Genas_filter.Tree.t -> Genas_dist.Joint.t ->
+  events:int -> result
+(** Fixed-count simulation from a correlated (mixture-of-products)
+    event distribution — validates {!Genas_core.Cost.evaluate_joint}. *)

@@ -1,0 +1,88 @@
+module Prng = Genas_prng.Prng
+module Value = Genas_model.Value
+module Domain = Genas_model.Domain
+module Schema = Genas_model.Schema
+module Axis = Genas_model.Axis
+module Dist = Genas_dist.Dist
+module Catalog = Genas_dist.Catalog
+module Predicate = Genas_profile.Predicate
+module Profile = Genas_profile.Profile
+module Profile_set = Genas_profile.Profile_set
+
+type profile_gen = {
+  p : int;
+  dontcare : float array;
+  value_dists : Dist.t array;
+  range_width : float option;
+}
+
+let normalized_schema ?(attrs = 1) ?(points = 100) () =
+  Schema.create_exn
+    (List.init attrs (fun i ->
+         (Printf.sprintf "a%d" i, Domain.int_range ~lo:0 ~hi:(points - 1))))
+
+let value_of_coord dom c = Axis.value dom c
+
+let gen_profiles rng schema gen =
+  let n = Schema.arity schema in
+  if gen.p <= 0 then invalid_arg "Workload.gen_profiles: p must be positive";
+  if Array.length gen.dontcare <> n || Array.length gen.value_dists <> n then
+    invalid_arg "Workload.gen_profiles: arity mismatch";
+  let pset = Profile_set.create schema in
+  let draw_tests () =
+    List.concat
+      (List.init n (fun attr ->
+           if Prng.bernoulli rng ~p:gen.dontcare.(attr) then []
+           else begin
+             let a = Schema.attribute schema attr in
+             let axis = Axis.of_domain a.Schema.domain in
+             let c = Dist.sample rng gen.value_dists.(attr) in
+             match gen.range_width with
+             | None -> [ (a.Schema.name, Predicate.Eq (value_of_coord a.Schema.domain c)) ]
+             | Some w ->
+               let half = w *. (axis.Axis.hi -. axis.Axis.lo) /. 2.0 in
+               let lo = Float.max axis.Axis.lo (c -. half) in
+               let hi = Float.min axis.Axis.hi (c +. half) in
+               [
+                 ( a.Schema.name,
+                   Predicate.Between
+                     {
+                       lo = value_of_coord a.Schema.domain lo;
+                       lo_closed = true;
+                       hi = value_of_coord a.Schema.domain hi;
+                       hi_closed = true;
+                     } );
+               ]
+           end))
+  in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < gen.p do
+    incr attempts;
+    if !attempts > gen.p * 100 then
+      invalid_arg
+        "Workload.gen_profiles: cannot draw constraining profiles (all \
+         don't-care probabilities too high?)";
+    let tests = draw_tests () in
+    if tests <> [] then begin
+      match Profile.create ~name:(Printf.sprintf "w%d" !added) schema tests with
+      | Ok p ->
+        ignore (Profile_set.add pset p);
+        incr added
+      | Error _ -> ()
+    end
+  done;
+  pset
+
+let event_coords rng dists = Array.map (fun d -> Dist.sample rng d) dists
+
+let dists_of_names schema names =
+  let n = Schema.arity schema in
+  if List.length names <> n then
+    invalid_arg "Workload.dists_of_names: arity mismatch";
+  Array.of_list
+    (List.mapi
+       (fun i name ->
+         let axis = Axis.of_domain (Schema.attribute schema i).Schema.domain in
+         (Catalog.find_exn name) axis)
+       names)

@@ -1,0 +1,48 @@
+(** Synthetic workload generation.
+
+    The paper's tests create profiles and events "according to a given
+    distribution" (§4.3); its prototype uses equality predicates and
+    don't-cares (§4.2). This module reproduces that protocol: profile
+    predicate values are drawn per attribute from a profile
+    distribution Pp, attributes are left don't-care with a configurable
+    probability, and events are drawn coordinate-wise from the event
+    distributions Pe. Range profiles (a fractional-width window around
+    a drawn center) are also supported, exercising the general subrange
+    machinery. *)
+
+type profile_gen = {
+  p : int;  (** number of profiles to generate *)
+  dontcare : float array;
+      (** per-attribute probability that a profile leaves the attribute
+          unconstrained *)
+  value_dists : Genas_dist.Dist.t array;
+      (** Pp per attribute, on the attribute's axis *)
+  range_width : float option;
+      (** [None]: equality predicates (the paper's prototype).
+          [Some w]: a range of fractional width [w] of the axis,
+          centered on the drawn value, clamped to the axis. *)
+}
+
+val normalized_schema : ?attrs:int -> ?points:int -> unit -> Genas_model.Schema.t
+(** The evaluation schema: [attrs] (default 1) integer attributes
+    ["a0"…] with the normalized domain [[0, points-1]] (default 100) —
+    Fig. 3's "normalized attribute domain". *)
+
+val gen_profiles :
+  Genas_prng.Prng.t -> Genas_model.Schema.t -> profile_gen ->
+  Genas_profile.Profile_set.t
+(** Draw the profile set. All-don't-care draws are redrawn (the
+    paper's profile sets always constrain something).
+
+    @raise Invalid_argument on arity mismatches or [p <= 0]. *)
+
+val event_coords :
+  Genas_prng.Prng.t -> Genas_dist.Dist.t array -> float array
+(** One event as raw coordinates (natural attribute order). *)
+
+val dists_of_names :
+  Genas_model.Schema.t -> string list -> Genas_dist.Dist.t array
+(** Catalog lookups instantiated on each attribute's axis, one name per
+    attribute.
+
+    @raise Invalid_argument on unknown names or arity mismatch. *)

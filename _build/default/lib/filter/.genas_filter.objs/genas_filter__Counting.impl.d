@@ -1,0 +1,1 @@
+lib/filter/counting.ml: Array Decomp Genas_interval Genas_model Genas_profile Hashtbl Int List Ops Option

@@ -1,0 +1,1 @@
+lib/filter/counting.mli: Genas_model Genas_profile Ops

@@ -1,0 +1,1 @@
+lib/filter/decomp.ml: Array Genas_interval Genas_model Genas_profile Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/filter/decomp.mli: Genas_interval Genas_model Genas_profile Hashtbl

@@ -1,0 +1,1 @@
+lib/filter/naive.ml: Array Genas_interval Genas_model Genas_profile List Ops

@@ -1,0 +1,1 @@
+lib/filter/naive.mli: Genas_model Genas_profile Ops

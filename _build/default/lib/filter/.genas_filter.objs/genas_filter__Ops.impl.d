@@ -1,0 +1,1 @@
+lib/filter/ops.ml: Float Format

@@ -1,0 +1,1 @@
+lib/filter/ops.mli: Format

@@ -1,0 +1,1 @@
+lib/filter/order.ml: Array Float Format Genas_interval Int

@@ -1,0 +1,1 @@
+lib/filter/order.mli: Format Genas_interval

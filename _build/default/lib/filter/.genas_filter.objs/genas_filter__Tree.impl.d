@@ -1,0 +1,1 @@
+lib/filter/tree.ml: Array Decomp Float Format Fun Genas_interval Genas_model Hashtbl Int List Ops Option Order Seq String

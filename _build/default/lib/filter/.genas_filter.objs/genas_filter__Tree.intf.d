@@ -1,0 +1,1 @@
+lib/filter/tree.mli: Decomp Format Genas_model Genas_profile Ops Order

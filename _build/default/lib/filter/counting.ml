@@ -1,0 +1,79 @@
+module Event = Genas_model.Event
+module Overlay = Genas_interval.Overlay
+module Profile = Genas_profile.Profile
+module Profile_set = Genas_profile.Profile_set
+
+type t = {
+  decomp : Decomp.t;
+  cell_profiles : int array array array;
+      (** [attr].[cell] → profile ids credited by that cell *)
+  needed : (int, int) Hashtbl.t;  (** profile id → #constrained attrs *)
+  all_dont_care : int array;  (** profiles with no constraint at all *)
+  max_id : int;
+}
+
+let build pset =
+  let decomp = Decomp.build pset in
+  let n = Decomp.arity decomp in
+  let cell_profiles =
+    Array.init n (fun attr ->
+        Array.map
+          (fun (c : Overlay.cell) -> Array.of_list c.Overlay.ids)
+          decomp.Decomp.overlays.(attr).Overlay.cells)
+  in
+  let needed = Hashtbl.create 64 in
+  let all_dont_care = ref [] in
+  let max_id = ref (-1) in
+  Profile_set.iter pset (fun id p ->
+      if id > !max_id then max_id := id;
+      match Profile.arity_used p with
+      | 0 -> all_dont_care := id :: !all_dont_care
+      | k -> Hashtbl.replace needed id k);
+  {
+    decomp;
+    cell_profiles;
+    needed;
+    all_dont_care = Array.of_list (List.rev !all_dont_care);
+    max_id = !max_id;
+  }
+
+let revision t = t.decomp.Decomp.revision
+
+let ceil_log2 m =
+  if m <= 1 then if m = 1 then 1 else 0
+  else
+    let rec go acc v = if v >= m then acc else go (acc + 1) (v * 2) in
+    go 0 1
+
+let match_event ?ops t event =
+  let n = Decomp.arity t.decomp in
+  let credits = Hashtbl.create 32 in
+  let comparisons = ref 0 in
+  for attr = 0 to n - 1 do
+    let ncells = Array.length t.cell_profiles.(attr) in
+    comparisons := !comparisons + ceil_log2 ncells;
+    match Decomp.cell_of_event t.decomp ~attr event with
+    | None -> ()
+    | Some cell ->
+      Array.iter
+        (fun id ->
+          incr comparisons;
+          Hashtbl.replace credits id
+            (1 + Option.value ~default:0 (Hashtbl.find_opt credits id)))
+        t.cell_profiles.(attr).(cell)
+  done;
+  let matched = ref (Array.to_list t.all_dont_care) in
+  Hashtbl.iter
+    (fun id got ->
+      match Hashtbl.find_opt t.needed id with
+      | Some need when got = need -> matched := id :: !matched
+      | Some _ | None -> ())
+    credits;
+  let matched = List.sort Int.compare !matched in
+  (match ops with
+  | Some o ->
+    o.Ops.comparisons <- o.Ops.comparisons + !comparisons;
+    o.Ops.events <- o.Ops.events + 1;
+    o.Ops.matches <- o.Ops.matches + List.length matched
+  | None -> ());
+  matched

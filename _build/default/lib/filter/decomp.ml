@@ -1,0 +1,80 @@
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Axis = Genas_model.Axis
+module Iset = Genas_interval.Iset
+module Interval = Genas_interval.Interval
+module Overlay = Genas_interval.Overlay
+module Profile = Genas_profile.Profile
+module Profile_set = Genas_profile.Profile_set
+
+type t = {
+  schema : Schema.t;
+  axes : Axis.t array;
+  overlays : Overlay.t array;
+  profile_cells : (int, int array) Hashtbl.t array;
+  ids : int array;
+  revision : int;
+}
+
+let build pset =
+  let schema = Profile_set.schema pset in
+  let n = Schema.arity schema in
+  let axes =
+    Array.init n (fun i -> Axis.of_domain (Schema.attribute schema i).Schema.domain)
+  in
+  let overlays =
+    Array.init n (fun i -> Overlay.build axes.(i) (Profile_set.denotations pset i))
+  in
+  let profile_cells =
+    Array.init n (fun i ->
+        let tbl = Hashtbl.create 64 in
+        let cells = overlays.(i).Overlay.cells in
+        Array.iteri
+          (fun ci (c : Overlay.cell) ->
+            List.iter
+              (fun id ->
+                let prev =
+                  Option.value ~default:[] (Hashtbl.find_opt tbl id)
+                in
+                Hashtbl.replace tbl id (ci :: prev))
+              c.Overlay.ids)
+          cells;
+        let out = Hashtbl.create (Hashtbl.length tbl) in
+        Hashtbl.iter
+          (fun id cis ->
+            Hashtbl.replace out id
+              (Array.of_list (List.sort Int.compare cis)))
+          tbl;
+        out)
+  in
+  {
+    schema;
+    axes;
+    overlays;
+    profile_cells;
+    ids = Array.of_list (Profile_set.ids pset);
+    revision = Profile_set.revision pset;
+  }
+
+let arity t = Array.length t.axes
+
+let cell_of_coord t ~attr c = Overlay.locate t.overlays.(attr) c
+
+let cell_of_event t ~attr event =
+  let dom = (Schema.attribute t.schema attr).Schema.domain in
+  match Axis.coord dom (Event.value event attr) with
+  | None -> None
+  | Some c -> cell_of_coord t ~attr c
+
+let cells_of_profile t ~attr ~id = Hashtbl.find_opt t.profile_cells.(attr) id
+
+let referenced_count t ~attr = Array.length (Overlay.referenced t.overlays.(attr))
+
+let dont_care_count t ~attr =
+  Array.length t.ids - Hashtbl.length t.profile_cells.(attr)
+
+let d0_share t ~attr =
+  if dont_care_count t ~attr > 0 then 0.0
+  else
+    let total = Axis.size t.axes.(attr) in
+    if total <= 0.0 then 0.0 else Overlay.d0_size t.overlays.(attr) /. total

@@ -1,0 +1,49 @@
+(** Per-schema cell decomposition snapshot.
+
+    For every attribute, the denotations of all registered profiles are
+    overlaid into the global subrange cells of §3. All matchers are
+    built against one decomposition snapshot; [revision] records the
+    profile-set revision it was taken at so callers can detect
+    staleness. *)
+
+type t = private {
+  schema : Genas_model.Schema.t;
+  axes : Genas_model.Axis.t array;
+  overlays : Genas_interval.Overlay.t array;  (** by attribute index *)
+  profile_cells : (int, int array) Hashtbl.t array;
+      (** per attribute: profile id → sorted global cell indices its
+          denotation covers (absent = don't-care) *)
+  ids : int array;  (** live profile ids at snapshot time, ascending *)
+  revision : int;
+}
+
+val build : Genas_profile.Profile_set.t -> t
+
+val arity : t -> int
+
+val cell_of_coord : t -> attr:int -> float -> int option
+(** Global cell containing a coordinate. *)
+
+val cell_of_event : t -> attr:int -> Genas_model.Event.t -> int option
+(** Global cell of an event's value on one attribute ([None] only for
+    coordinates outside the axis, which validated events never
+    produce). *)
+
+val cells_of_profile : t -> attr:int -> id:int -> int array option
+(** Global cells covered by a profile's predicate on [attr]; [None] if
+    the profile doesn't constrain the attribute. *)
+
+val referenced_count : t -> attr:int -> int
+(** Number of referenced (non-D0) cells — the [m <= 2p-1] of §3. *)
+
+val dont_care_count : t -> attr:int -> int
+(** Number of live profiles that leave [attr] unconstrained. *)
+
+val d0_share : t -> attr:int -> float
+(** [d_0 / d_j]: zero-subdomain share of the domain size (measure A1's
+    raw material). The zero-subdomain is the set of values on which an
+    event can be rejected outright, so it is empty — and this returns
+    0 — as soon as one live profile doesn't care about the attribute
+    (those values still match that profile via the [*] edge; cf. the
+    paper's Example 3, where s(a3) = 0 although no range predicate
+    covers a3 < 35). *)

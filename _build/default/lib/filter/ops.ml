@@ -1,0 +1,33 @@
+type t = {
+  mutable comparisons : int;
+  mutable node_visits : int;
+  mutable events : int;
+  mutable matches : int;
+}
+
+let create () = { comparisons = 0; node_visits = 0; events = 0; matches = 0 }
+
+let reset t =
+  t.comparisons <- 0;
+  t.node_visits <- 0;
+  t.events <- 0;
+  t.matches <- 0
+
+let add t ~into =
+  into.comparisons <- into.comparisons + t.comparisons;
+  into.node_visits <- into.node_visits + t.node_visits;
+  into.events <- into.events + t.events;
+  into.matches <- into.matches + t.matches
+
+let per_event t =
+  if t.events = 0 then Float.nan
+  else float_of_int t.comparisons /. float_of_int t.events
+
+let per_match t =
+  if t.matches = 0 then Float.nan
+  else float_of_int t.comparisons /. float_of_int t.matches
+
+let pp ppf t =
+  Format.fprintf ppf
+    "ops{comparisons=%d; node_visits=%d; events=%d; matches=%d}" t.comparisons
+    t.node_visits t.events t.matches

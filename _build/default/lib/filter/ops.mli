@@ -1,0 +1,29 @@
+(** Operation counters.
+
+    The paper measures filter performance "in comparison steps
+    (# operations), since the structure is stored in main memory" (§3).
+    Every matcher threads an optional counter; the analytic cost model
+    in [lib/core] predicts exactly the values these counters report. *)
+
+type t = {
+  mutable comparisons : int;
+      (** edges/predicates examined — the paper's #operations *)
+  mutable node_visits : int;  (** tree nodes entered *)
+  mutable events : int;  (** events filtered *)
+  mutable matches : int;  (** (event, profile) match pairs produced *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val add : t -> into:t -> unit
+(** Accumulate [t] into [into]. *)
+
+val per_event : t -> float
+(** Average comparisons per event ([nan] before any event). *)
+
+val per_match : t -> float
+(** Average comparisons per (event, matched profile) pair. *)
+
+val pp : Format.formatter -> t -> unit

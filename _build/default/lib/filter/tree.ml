@@ -1,0 +1,340 @@
+module Event = Genas_model.Event
+module Schema = Genas_model.Schema
+module Axis = Genas_model.Axis
+
+type node =
+  | Leaf of int array
+  | Node of {
+      attr : int;
+      cells : int array;
+      edge_positions : float array;
+      children : node array;
+      rest : node option;
+    }
+
+type config = { attr_order : int array; strategies : Order.strategy array }
+
+type stats = { nodes : int; leaves : int; edges : int; build_visits : int }
+
+type t = {
+  decomp : Decomp.t;
+  config : config;
+  tables : Order.table array;
+  root : node option;
+  stats : stats;
+}
+
+let default_config decomp =
+  let n = Decomp.arity decomp in
+  {
+    attr_order = Array.init n Fun.id;
+    strategies = Array.make n (Order.Linear Order.Natural_asc);
+  }
+
+let validate_config decomp config =
+  let n = Decomp.arity decomp in
+  if Array.length config.attr_order <> n then
+    invalid_arg "Tree.build: attr_order length mismatch";
+  if Array.length config.strategies <> n then
+    invalid_arg "Tree.build: strategies length mismatch";
+  let seen = Array.make n false in
+  Array.iter
+    (fun a ->
+      if a < 0 || a >= n || seen.(a) then
+        invalid_arg "Tree.build: attr_order is not a permutation";
+      seen.(a) <- true)
+    config.attr_order
+
+(* Memo keys are (level, sorted alive-id array); two nodes with the
+   same key root identical subtrees, so the construction hash-conses
+   them. *)
+module Key = struct
+  type t = int * int array
+
+  let equal ((l1, a1) : t) (l2, a2) = l1 = l2 && a1 = a2
+
+  let hash ((l, a) : t) =
+    Array.fold_left (fun h x -> (h * 31) + x + 1) (l + 1) a land max_int
+end
+
+module Memo = Hashtbl.Make (Key)
+
+(* Merge two sorted int arrays (both duplicate-free, disjoint by
+   construction: constrainers vs don't-cares). *)
+let merge_sorted a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 then b
+  else if lb = 0 then a
+  else begin
+    let out = Array.make (la + lb) 0 in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < la && !j < lb do
+      if a.(!i) <= b.(!j) then begin
+        out.(!k) <- a.(!i);
+        incr i
+      end
+      else begin
+        out.(!k) <- b.(!j);
+        incr j
+      end;
+      incr k
+    done;
+    while !i < la do
+      out.(!k) <- a.(!i);
+      incr i;
+      incr k
+    done;
+    while !j < lb do
+      out.(!k) <- b.(!j);
+      incr j;
+      incr k
+    done;
+    out
+  end
+
+exception Construction_blowup of int
+
+let build ?(share = true) ?max_visits decomp config =
+  validate_config decomp config;
+  let n = Decomp.arity decomp in
+  let tables =
+    Array.init n (fun attr ->
+        Order.compile decomp.Decomp.overlays.(attr)
+          (Order.strategy_order config.strategies.(attr)))
+  in
+  let memo : node Memo.t = Memo.create 1024 in
+  let nodes = ref 0 and leaves = ref 0 and edges = ref 0 and visits = ref 0 in
+  let rec construct level (alive : int array) =
+    incr visits;
+    (match max_visits with
+    | Some limit when !visits > limit -> raise (Construction_blowup limit)
+    | Some _ | None -> ());
+    let key = (level, alive) in
+    match if share then Memo.find_opt memo key else None with
+    | Some node -> node
+    | None ->
+      let node =
+        if level = n then begin
+          incr leaves;
+          Leaf alive
+        end
+        else begin
+          let attr = config.attr_order.(level) in
+          let constrains id = Decomp.cells_of_profile decomp ~attr ~id <> None in
+          let dontcares =
+            Array.of_seq
+              (Seq.filter (fun id -> not (constrains id)) (Array.to_seq alive))
+          in
+          (* Group constraining profiles by the global cells their
+             denotations cover; iterating [alive] in ascending order
+             keeps each cell's id list sorted after the final reversal. *)
+          let by_cell : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+          Array.iter
+            (fun id ->
+              match Decomp.cells_of_profile decomp ~attr ~id with
+              | None -> ()
+              | Some cells ->
+                Array.iter
+                  (fun c ->
+                    Hashtbl.replace by_cell c
+                      (id :: Option.value ~default:[] (Hashtbl.find_opt by_cell c)))
+                  cells)
+            alive;
+          let cell_list =
+            Hashtbl.fold
+              (fun c ids acc -> (c, Array.of_list (List.rev ids)) :: acc)
+              by_cell []
+          in
+          (* Store edges in the defined value order (ascending lookup
+             position) so both scan strategies read them in place. *)
+          let positions = tables.(attr).Order.positions in
+          let cell_list =
+            List.sort
+              (fun (a, _) (b, _) -> Float.compare positions.(a) positions.(b))
+              cell_list
+          in
+          let rest =
+            if Array.length dontcares = 0 then None
+            else Some (construct (level + 1) dontcares)
+          in
+          let cells = Array.of_list (List.map fst cell_list) in
+          let children =
+            Array.of_list
+              (List.map
+                 (fun (_, ids) ->
+                   construct (level + 1) (merge_sorted ids dontcares))
+                 cell_list)
+          in
+          incr nodes;
+          edges := !edges + Array.length cells;
+          Node
+            {
+              attr;
+              cells;
+              edge_positions = Array.map (fun c -> positions.(c)) cells;
+              children;
+              rest;
+            }
+        end
+      in
+      if share then Memo.replace memo key node;
+      node
+  in
+  let root =
+    if Array.length decomp.Decomp.ids = 0 then None
+    else Some (construct 0 (Array.copy decomp.Decomp.ids))
+  in
+  {
+    decomp;
+    config;
+    tables;
+    root;
+    stats =
+      { nodes = !nodes; leaves = !leaves; edges = !edges; build_visits = !visits };
+  }
+
+(* Runtime search at one node: returns (comparisons, matched edge
+   index). Mirrors Order.linear_cost/binary_cost but also yields the
+   index so the traversal can descend. *)
+let scan strategy ~edge_positions ~target =
+  let n = Array.length edge_positions in
+  if n = 0 then (0, None)
+  else
+    match strategy with
+    | Order.Linear _ ->
+      let rec scan i =
+        if i = n then (n, None)
+        else
+          let p = edge_positions.(i) in
+          if p = target then (i + 1, Some i)
+          else if p > target then (i + 1, None)
+          else scan (i + 1)
+      in
+      scan 0
+    | Order.Binary ->
+      let lo = ref 0 and hi = ref (n - 1) in
+      let probes = ref 0 and found = ref None in
+      while !found = None && !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        incr probes;
+        let p = edge_positions.(mid) in
+        if p = target then found := Some mid
+        else if p < target then lo := mid + 1
+        else hi := mid - 1
+      done;
+      (!probes, !found)
+    | Order.Hashed ->
+      (* One charged comparison; the edge is located by bisection. *)
+      let lo = ref 0 and hi = ref (n - 1) in
+      let found = ref None in
+      while !found = None && !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        let p = edge_positions.(mid) in
+        if p = target then found := Some mid
+        else if p < target then lo := mid + 1
+        else hi := mid - 1
+      done;
+      (1, !found)
+
+let match_targets ?ops t targets =
+  (* [targets.(attr)] = lookup position of the event's cell on that
+     attribute, or +inf when the value falls outside every cell. *)
+  let comparisons = ref 0 and node_visits = ref 0 in
+  let matched = ref [] in
+  let rec go = function
+    | Leaf ids -> matched := Array.to_list ids :: !matched
+    | Node { attr; edge_positions; children; rest; _ } ->
+      incr node_visits;
+      let cost, hit =
+        scan t.config.strategies.(attr) ~edge_positions
+          ~target:targets.(attr)
+      in
+      comparisons := !comparisons + cost;
+      (match hit with
+      | Some i -> go children.(i)
+      | None -> ( match rest with Some r -> go r | None -> ()))
+  in
+  (match t.root with Some r -> go r | None -> ());
+  let result = List.sort_uniq Int.compare (List.concat !matched) in
+  (match ops with
+  | Some o ->
+    o.Ops.comparisons <- o.Ops.comparisons + !comparisons;
+    o.Ops.node_visits <- o.Ops.node_visits + !node_visits;
+    o.Ops.events <- o.Ops.events + 1;
+    o.Ops.matches <- o.Ops.matches + List.length result
+  | None -> ());
+  result
+
+let targets_of_coords t coords =
+  Array.mapi
+    (fun attr c ->
+      match Decomp.cell_of_coord t.decomp ~attr c with
+      | Some cell -> t.tables.(attr).Order.positions.(cell)
+      | None -> Float.infinity)
+    coords
+
+let match_coords ?ops t coords =
+  if Array.length coords <> Decomp.arity t.decomp then
+    invalid_arg "Tree.match_coords: wrong arity";
+  match_targets ?ops t (targets_of_coords t coords)
+
+let match_event ?ops t event =
+  let n = Decomp.arity t.decomp in
+  let coords =
+    Array.init n (fun attr ->
+        let dom = (Schema.attribute t.decomp.Decomp.schema attr).Schema.domain in
+        match Axis.coord dom (Event.value event attr) with
+        | Some c -> c
+        | None -> Float.nan)
+  in
+  let targets =
+    Array.mapi
+      (fun attr c ->
+        if Float.is_nan c then Float.infinity
+        else
+          match Decomp.cell_of_coord t.decomp ~attr c with
+          | Some cell -> t.tables.(attr).Order.positions.(cell)
+          | None -> Float.infinity)
+      coords
+  in
+  match_targets ?ops t targets
+
+let revision t = t.decomp.Decomp.revision
+
+let pp ppf t =
+  let schema = t.decomp.Decomp.schema in
+  let attr_name a = (Schema.attribute schema a).Schema.name in
+  let cell_label attr cell =
+    let itv =
+      t.decomp.Decomp.overlays.(attr).Genas_interval.Overlay.cells.(cell)
+        .Genas_interval.Overlay.itv
+    in
+    Format.asprintf "%a" Genas_interval.Interval.pp itv
+  in
+  let pp_leaf ppf ids =
+    Format.fprintf ppf "{%s}"
+      (String.concat "," (Array.to_list (Array.map string_of_int ids)))
+  in
+  let rec go ppf indent node =
+    match node with
+    | Leaf ids -> Format.fprintf ppf "%s-> %a@," indent pp_leaf ids
+    | Node { attr; cells; children; rest; _ } ->
+      Array.iteri
+        (fun i cell ->
+          Format.fprintf ppf "%s%s %s@," indent (attr_name attr)
+            (cell_label attr cell);
+          go ppf (indent ^ "  ") children.(i))
+        cells;
+      (match rest with
+      | None -> ()
+      | Some child ->
+        Format.fprintf ppf "%s%s %s@," indent (attr_name attr)
+          (if Array.length cells = 0 then "*" else "(*)");
+        go ppf (indent ^ "  ") child)
+  in
+  match t.root with
+  | None -> Format.fprintf ppf "(empty tree)"
+  | Some root ->
+    Format.fprintf ppf "@[<v>";
+    go ppf "" root;
+    Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/interval/iset.ml: Format Fun Genas_model Interval List

@@ -1,0 +1,1 @@
+lib/interval/iset.mli: Format Genas_model Interval

@@ -1,0 +1,1 @@
+lib/interval/overlay.ml: Array Float Format Genas_model Int Interval Iset List

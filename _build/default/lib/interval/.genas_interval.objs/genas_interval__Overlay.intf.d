@@ -1,0 +1,1 @@
+lib/interval/overlay.mli: Format Genas_model Interval Iset

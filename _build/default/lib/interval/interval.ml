@@ -1,0 +1,117 @@
+type t = { lo : float; lo_closed : bool; hi : float; hi_closed : bool }
+
+let make ?(lo_closed = true) ?(hi_closed = true) ~lo ~hi () =
+  if Float.is_nan lo || Float.is_nan hi then None
+  else if lo > hi then None
+  else if lo = hi && not (lo_closed && hi_closed) then None
+  else Some { lo; lo_closed; hi; hi_closed }
+
+let make_exn ?lo_closed ?hi_closed ~lo ~hi () =
+  match make ?lo_closed ?hi_closed ~lo ~hi () with
+  | Some t -> t
+  | None -> invalid_arg "Interval.make_exn: empty interval"
+
+let point v = make_exn ~lo:v ~hi:v ()
+
+let mem t x =
+  (if t.lo_closed then x >= t.lo else x > t.lo)
+  && if t.hi_closed then x <= t.hi else x < t.hi
+
+let is_point t = t.lo = t.hi
+
+(* Compare lower bounds as positions on the line: an open bound at v
+   sits just above a closed bound at v. *)
+let cmp_lo (v1, c1) (v2, c2) =
+  match Float.compare v1 v2 with
+  | 0 -> Bool.compare c2 c1
+  | c -> c
+
+(* For upper bounds, an open bound at v sits just below a closed one. *)
+let cmp_hi (v1, c1) (v2, c2) =
+  match Float.compare v1 v2 with
+  | 0 -> Bool.compare c1 c2
+  | c -> c
+
+let subset a b =
+  cmp_lo (a.lo, a.lo_closed) (b.lo, b.lo_closed) >= 0
+  && cmp_hi (a.hi, a.hi_closed) (b.hi, b.hi_closed) <= 0
+
+let inter a b =
+  let lo, lo_closed =
+    if cmp_lo (a.lo, a.lo_closed) (b.lo, b.lo_closed) >= 0 then
+      (a.lo, a.lo_closed)
+    else (b.lo, b.lo_closed)
+  in
+  let hi, hi_closed =
+    if cmp_hi (a.hi, a.hi_closed) (b.hi, b.hi_closed) <= 0 then
+      (a.hi, a.hi_closed)
+    else (b.hi, b.hi_closed)
+  in
+  make ~lo_closed ~hi_closed ~lo ~hi ()
+
+let compare_disjoint a b =
+  match cmp_lo (a.lo, a.lo_closed) (b.lo, b.lo_closed) with
+  | 0 -> cmp_hi (a.hi, a.hi_closed) (b.hi, b.hi_closed)
+  | c -> c
+
+let count_integers lo lo_closed hi hi_closed =
+  let first =
+    let c = Float.ceil lo in
+    if c = lo && not lo_closed then c +. 1.0 else c
+  in
+  let last =
+    let f = Float.floor hi in
+    if f = hi && not hi_closed then f -. 1.0 else f
+  in
+  if first > last then 0.0 else last -. first +. 1.0
+
+let measure ~discrete t =
+  if discrete then count_integers t.lo t.lo_closed t.hi t.hi_closed
+  else t.hi -. t.lo
+
+let normalize_discrete t =
+  let first =
+    let c = Float.ceil t.lo in
+    if c = t.lo && not t.lo_closed then c +. 1.0 else c
+  in
+  let last =
+    let f = Float.floor t.hi in
+    if f = t.hi && not t.hi_closed then f -. 1.0 else f
+  in
+  if first > last then None else make ~lo:first ~hi:last ()
+
+let touches ~discrete a b =
+  if discrete then
+    (* Assumes discrete-normalized (integer, closed) bounds. *)
+    b.lo -. a.hi = 1.0 || (a.hi = b.lo && (a.hi_closed || b.lo_closed))
+  else a.hi = b.lo && (a.hi_closed || b.lo_closed)
+
+let hull a b =
+  let lo, lo_closed =
+    if cmp_lo (a.lo, a.lo_closed) (b.lo, b.lo_closed) <= 0 then
+      (a.lo, a.lo_closed)
+    else (b.lo, b.lo_closed)
+  in
+  let hi, hi_closed =
+    if cmp_hi (a.hi, a.hi_closed) (b.hi, b.hi_closed) >= 0 then
+      (a.hi, a.hi_closed)
+    else (b.hi, b.hi_closed)
+  in
+  make_exn ~lo_closed ~hi_closed ~lo ~hi ()
+
+let equal a b =
+  a.lo = b.lo && a.hi = b.hi && a.lo_closed = b.lo_closed
+  && a.hi_closed = b.hi_closed
+
+let pp_num ppf v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Format.fprintf ppf "%.0f" v
+  else Format.fprintf ppf "%g" v
+
+let pp ppf t =
+  if is_point t then Format.fprintf ppf "{%a}" pp_num t.lo
+  else
+    Format.fprintf ppf "%c%a,%a%c"
+      (if t.lo_closed then '[' else '(')
+      pp_num t.lo pp_num t.hi
+      (if t.hi_closed then ']' else ')')

@@ -1,0 +1,58 @@
+(** Non-empty intervals on an attribute axis, with open/closed bounds.
+
+    Profile predicates denote intervals (equality is a point interval,
+    [<=] a left ray, ranges are boxes); the subrange construction of §3
+    overlays them. An interval is represented by its two bounds and
+    their closedness; emptiness is excluded by the constructors. *)
+
+type t = private {
+  lo : float;
+  lo_closed : bool;
+  hi : float;
+  hi_closed : bool;
+}
+
+val make : ?lo_closed:bool -> ?hi_closed:bool -> lo:float -> hi:float -> unit -> t option
+(** [make ~lo ~hi ()] is the closed interval [[lo, hi]] by default;
+    closedness of each side is adjustable. [None] if the resulting
+    interval would be empty or a bound is NaN. *)
+
+val make_exn : ?lo_closed:bool -> ?hi_closed:bool -> lo:float -> hi:float -> unit -> t
+
+val point : float -> t
+(** The singleton [[v, v]]. *)
+
+val mem : t -> float -> bool
+
+val is_point : t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] iff every point of [a] lies in [b]. *)
+
+val inter : t -> t -> t option
+(** Intersection, or [None] if disjoint. *)
+
+val compare_disjoint : t -> t -> int
+(** Order for disjoint intervals: negative if the first lies entirely
+    below the second. Falls back to bound comparison when they
+    overlap (only used to sort already-disjoint sets). *)
+
+val measure : discrete:bool -> t -> float
+(** Length (continuous) or inhabited integer count (discrete). *)
+
+val normalize_discrete : t -> t option
+(** Tighten to closed integer bounds: the smallest interval containing
+    exactly the integers of [t]. [None] if [t] contains no integer. *)
+
+val touches : discrete:bool -> t -> t -> bool
+(** Do the intervals, assumed disjoint with the first below the second,
+    form an interval when united (share a boundary point with
+    complementary closedness, or consecutive integers)? *)
+
+val hull : t -> t -> t
+(** Smallest interval containing both. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Mathematical notation, e.g. ["[30,35)"], with points as ["{30}"]. *)

@@ -1,0 +1,105 @@
+module Axis = Genas_model.Axis
+
+type t = Interval.t list
+(* Invariant: sorted by [Interval.compare_disjoint], pairwise disjoint,
+   and no two neighbours touch (they would have been merged). *)
+
+let empty = []
+
+let is_empty t = t = []
+
+let intervals t = t
+
+(* Merge a sorted list of possibly overlapping/touching intervals.
+   Continuous semantics: [1,2) and [2,3] touch and merge; [1,2) and
+   (2,3] do not (the point 2 is missing). *)
+let coalesce sorted =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | [ x ] -> List.rev (x :: acc)
+    | a :: b :: rest ->
+      let overlap = Interval.inter a b <> None in
+      if overlap || Interval.touches ~discrete:false a b then
+        go acc (Interval.hull a b :: rest)
+      else go (a :: acc) (b :: rest)
+  in
+  go [] sorted
+
+let of_intervals l = coalesce (List.sort Interval.compare_disjoint l)
+
+let of_interval i = [ i ]
+
+let full axis =
+  [ Interval.make_exn ~lo:axis.Axis.lo ~hi:axis.Axis.hi () ]
+
+let mem t x = List.exists (fun i -> Interval.mem i x) t
+
+let union a b = of_intervals (a @ b)
+
+let inter a b =
+  (* Both lists are short in practice (profiles denote one or two
+     components), so the quadratic product is fine and simple. *)
+  let pieces =
+    List.concat_map
+      (fun ia ->
+        List.filter_map (fun ib -> Interval.inter ia ib) b)
+      a
+  in
+  of_intervals pieces
+
+(* Subtract one interval from one interval: 0, 1, or 2 remnants. *)
+let subtract_one (a : Interval.t) (b : Interval.t) : Interval.t list =
+  match Interval.inter a b with
+  | None -> [ a ]
+  | Some _ ->
+    let left =
+      Interval.make ~lo_closed:a.Interval.lo_closed
+        ~hi_closed:(not b.Interval.lo_closed) ~lo:a.Interval.lo
+        ~hi:b.Interval.lo ()
+    in
+    let right =
+      Interval.make ~lo_closed:(not b.Interval.hi_closed)
+        ~hi_closed:a.Interval.hi_closed ~lo:b.Interval.hi ~hi:a.Interval.hi ()
+    in
+    List.filter_map Fun.id [ left; right ]
+
+let diff a b =
+  let remnants =
+    List.concat_map
+      (fun ia -> List.fold_left (fun pieces ib ->
+           List.concat_map (fun p -> subtract_one p ib) pieces)
+           [ ia ] b)
+      a
+  in
+  of_intervals remnants
+
+let complement axis t = diff (full axis) t
+
+let normalize_discrete t =
+  let components = List.filter_map Interval.normalize_discrete t in
+  (* Re-merge: [1,3] and [4,7] are touching integer ranges. *)
+  let rec go acc = function
+    | [] -> List.rev acc
+    | [ x ] -> List.rev (x :: acc)
+    | a :: b :: rest ->
+      if Interval.touches ~discrete:true a b || Interval.inter a b <> None
+      then go acc (Interval.hull a b :: rest)
+      else go (a :: acc) (b :: rest)
+  in
+  go [] components
+
+let measure ~discrete t =
+  let t = if discrete then normalize_discrete t else t in
+  List.fold_left (fun acc i -> acc +. Interval.measure ~discrete i) 0.0 t
+
+let subset a b = is_empty (diff a b)
+
+let equal a b = List.length a = List.length b && List.for_all2 Interval.equal a b
+
+let pp ppf t =
+  match t with
+  | [] -> Format.pp_print_string ppf "{}"
+  | l ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "∪")
+      Interval.pp ppf l

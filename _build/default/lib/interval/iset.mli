@@ -1,0 +1,48 @@
+(** Interval sets: finite unions of disjoint intervals on one axis.
+
+    Predicates denote interval sets; overlaying the sets of all
+    profiles yields the subrange decomposition of §3. The
+    representation is a sorted list of disjoint, non-touching
+    intervals (touching neighbours are merged on construction), so
+    structural equality coincides with set equality per axis. *)
+
+type t
+
+val empty : t
+
+val is_empty : t -> bool
+
+val of_interval : Interval.t -> t
+
+val of_intervals : Interval.t list -> t
+(** Union of arbitrary (possibly overlapping, unsorted) intervals. *)
+
+val full : Genas_model.Axis.t -> t
+(** The whole axis. *)
+
+val intervals : t -> Interval.t list
+(** Sorted disjoint components. *)
+
+val mem : t -> float -> bool
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val complement : Genas_model.Axis.t -> t -> t
+(** Complement within the axis. On a discrete axis the result is
+    normalized to integer-closed components. *)
+
+val normalize_discrete : t -> t
+(** Tighten every component to the integers it contains, dropping
+    integer-free components and re-merging neighbours. *)
+
+val measure : discrete:bool -> t -> float
+
+val subset : t -> t -> bool
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,151 @@
+module Axis = Genas_model.Axis
+
+type cell = { itv : Interval.t; ids : int list }
+
+type t = { axis : Axis.t; cells : cell array }
+
+let sort_uniq_floats l =
+  List.sort_uniq Float.compare l
+
+(* Merge consecutive pieces with identical profile sets into maximal
+   cells. Pieces arrive in axis order and consecutive pieces touch. *)
+let merge_pieces pieces =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | [ p ] -> List.rev (p :: acc)
+    | a :: b :: rest ->
+      if a.ids = b.ids then go acc ({ itv = Interval.hull a.itv b.itv; ids = a.ids } :: rest)
+      else go (a :: acc) (b :: rest)
+  in
+  go [] pieces
+
+let build_continuous axis denotations =
+  let clamp = Iset.inter (Iset.full axis) in
+  let denotations = List.map (fun (id, s) -> (id, clamp s)) denotations in
+  let cuts =
+    List.concat_map
+      (fun (_, s) ->
+        List.concat_map
+          (fun (i : Interval.t) -> [ i.Interval.lo; i.Interval.hi ])
+          (Iset.intervals s))
+      denotations
+    @ [ axis.Axis.lo; axis.Axis.hi ]
+  in
+  let cuts = sort_uniq_floats cuts in
+  let ids_of itv_mem =
+    List.filter_map (fun (id, s) -> if itv_mem s then Some id else None)
+      denotations
+    |> List.sort_uniq Int.compare
+  in
+  let point_piece c =
+    { itv = Interval.point c; ids = ids_of (fun s -> Iset.mem s c) }
+  in
+  let gap_piece a b =
+    let covered s =
+      List.exists
+        (fun (i : Interval.t) -> i.Interval.lo <= a && i.Interval.hi >= b)
+        (Iset.intervals s)
+    in
+    {
+      itv = Interval.make_exn ~lo_closed:false ~hi_closed:false ~lo:a ~hi:b ();
+      ids = ids_of covered;
+    }
+  in
+  let rec pieces = function
+    | [] -> []
+    | [ c ] -> [ point_piece c ]
+    | a :: (b :: _ as rest) -> point_piece a :: gap_piece a b :: pieces rest
+  in
+  merge_pieces (pieces cuts)
+
+let build_discrete axis denotations =
+  let clamp = Iset.inter (Iset.full axis) in
+  let denotations =
+    List.map
+      (fun (id, s) -> (id, Iset.normalize_discrete (clamp s)))
+      denotations
+  in
+  let cuts =
+    List.concat_map
+      (fun (_, s) ->
+        List.concat_map
+          (fun (i : Interval.t) -> [ i.Interval.lo; i.Interval.hi +. 1.0 ])
+          (Iset.intervals s))
+      denotations
+    @ [ axis.Axis.lo; axis.Axis.hi +. 1.0 ]
+  in
+  let cuts = sort_uniq_floats cuts in
+  let rec ranges = function
+    | [] | [ _ ] -> []
+    | a :: (b :: _ as rest) ->
+      let itv = Interval.make_exn ~lo:a ~hi:(b -. 1.0) () in
+      let covered s =
+        List.exists
+          (fun (i : Interval.t) ->
+            i.Interval.lo <= a && i.Interval.hi >= b -. 1.0)
+          (Iset.intervals s)
+      in
+      let ids =
+        List.filter_map (fun (id, s) -> if covered s then Some id else None)
+          denotations
+        |> List.sort_uniq Int.compare
+      in
+      { itv; ids } :: ranges rest
+  in
+  merge_pieces (ranges cuts)
+
+let build axis denotations =
+  let cells =
+    if axis.Axis.discrete then build_discrete axis denotations
+    else build_continuous axis denotations
+  in
+  { axis; cells = Array.of_list cells }
+
+let locate t x =
+  let n = Array.length t.cells in
+  if n = 0 then None
+  else if x < t.axis.Axis.lo || x > t.axis.Axis.hi then None
+  else if t.axis.Axis.discrete && Float.rem x 1.0 <> 0.0 then None
+  else begin
+    (* Cells are contiguous in axis order: binary-search the unique
+       cell whose interval contains x. *)
+    let lo = ref 0 and hi = ref (n - 1) and found = ref None in
+    while !found = None && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let c = t.cells.(mid).itv in
+      if Interval.mem c x then found := Some mid
+      else if x < c.Interval.lo || (x = c.Interval.lo && not c.Interval.lo_closed)
+      then hi := mid - 1
+      else lo := mid + 1
+    done;
+    !found
+  end
+
+let referenced t =
+  let acc = ref [] in
+  Array.iteri (fun i c -> if c.ids <> [] then acc := i :: !acc) t.cells;
+  Array.of_list (List.rev !acc)
+
+let zero_cells t =
+  let acc = ref [] in
+  Array.iteri (fun i c -> if c.ids = [] then acc := i :: !acc) t.cells;
+  Array.of_list (List.rev !acc)
+
+let cell_measure t i =
+  Interval.measure ~discrete:t.axis.Axis.discrete t.cells.(i).itv
+
+let d0_size t =
+  Array.fold_left (fun acc i -> acc +. cell_measure t i) 0.0 (zero_cells t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hv 2>overlay[";
+  Array.iteri
+    (fun i c ->
+      if i > 0 then Format.fprintf ppf ";@ ";
+      Format.fprintf ppf "%a→{%a}" Interval.pp c.itv
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        c.ids)
+    t.cells;
+  Format.fprintf ppf "]@]"

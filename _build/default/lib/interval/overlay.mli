@@ -1,0 +1,42 @@
+(** Subrange decomposition (§3).
+
+    Overlaying the interval sets denoted by all profile predicates on
+    one attribute partitions the attribute's axis into *cells*: maximal
+    intervals on which the set of interested profiles is constant. At
+    most (2p−1) cells are referenced by at least one of the p profiles;
+    the remaining cells form the zero-subdomain D0. The profile tree's
+    edges are labelled with referenced cells, and every event value
+    falls into exactly one cell. *)
+
+type cell = {
+  itv : Interval.t;
+  ids : int list;  (** profiles referencing the cell, sorted ascending *)
+}
+
+type t = private {
+  axis : Genas_model.Axis.t;
+  cells : cell array;  (** contiguous, in axis order, covering the axis *)
+}
+
+val build : Genas_model.Axis.t -> (int * Iset.t) list -> t
+(** [build axis denotations] overlays the per-profile interval sets.
+    Parts of a set outside the axis are ignored; on a discrete axis
+    sets are normalized to inhabited integers first. *)
+
+val locate : t -> float -> int option
+(** Index of the cell containing a coordinate (binary search);
+    [None] if the coordinate lies outside the axis (or, on a discrete
+    axis, on an uninhabited point). *)
+
+val referenced : t -> int array
+(** Indices of cells with a non-empty profile list, in axis order. *)
+
+val zero_cells : t -> int array
+(** Indices of D0 cells (no referencing profile), in axis order. *)
+
+val d0_size : t -> float
+(** Total measure of the zero-subdomain — the [d_0] of measures A1/A2. *)
+
+val cell_measure : t -> int -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/model/axis.ml: Array Domain Float Format Printf Value

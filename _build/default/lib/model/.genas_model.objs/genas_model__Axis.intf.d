@@ -1,0 +1,1 @@
+lib/model/axis.mli: Domain Format Value

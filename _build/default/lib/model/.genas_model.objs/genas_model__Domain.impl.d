@@ -1,0 +1,1 @@
+lib/model/domain.ml: Array Float Format Hashtbl List Printf String Value

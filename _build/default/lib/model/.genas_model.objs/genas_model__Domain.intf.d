@@ -1,0 +1,1 @@
+lib/model/domain.mli: Format Value

@@ -1,0 +1,1 @@
+lib/model/event.ml: Array Domain Format Printf Schema Value

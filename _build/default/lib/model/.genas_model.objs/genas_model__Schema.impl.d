@@ -1,0 +1,1 @@
+lib/model/schema.ml: Array Domain Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/model/value.ml: Bool Float Format Hashtbl Printf Scanf Stdlib String

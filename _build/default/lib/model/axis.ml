@@ -1,0 +1,61 @@
+type t = { discrete : bool; lo : float; hi : float }
+
+let make ~discrete ~lo ~hi =
+  if not (Float.is_finite lo && Float.is_finite hi) then
+    invalid_arg "Axis.make: bounds must be finite";
+  if hi < lo then invalid_arg "Axis.make: hi < lo";
+  if discrete && (Float.rem lo 1.0 <> 0.0 || Float.rem hi 1.0 <> 0.0) then
+    invalid_arg "Axis.make: discrete axis needs integer bounds";
+  { discrete; lo; hi }
+
+let of_domain = function
+  | Domain.Int_range { lo; hi } ->
+    { discrete = true; lo = float_of_int lo; hi = float_of_int hi }
+  | Domain.Float_range { lo; hi } -> { discrete = false; lo; hi }
+  | Domain.Enum vs ->
+    { discrete = true; lo = 0.0; hi = float_of_int (Array.length vs - 1) }
+  | Domain.Bool_dom -> { discrete = true; lo = 0.0; hi = 1.0 }
+
+let coord dom v =
+  match (dom, v) with
+  | Domain.Int_range { lo; hi }, Value.Int x when lo <= x && x <= hi ->
+    Some (float_of_int x)
+  | Domain.Float_range { lo; hi }, Value.Float x when lo <= x && x <= hi ->
+    Some x
+  | Domain.Float_range { lo; hi }, Value.Int x
+    when lo <= float_of_int x && float_of_int x <= hi ->
+    Some (float_of_int x)
+  | (Domain.Enum _ | Domain.Bool_dom), _ -> (
+    match Domain.rank dom v with
+    | Some r -> Some (float_of_int r)
+    | None -> None)
+  | (Domain.Int_range _ | Domain.Float_range _), _ -> None
+
+let coord_exn dom v =
+  match coord dom v with
+  | Some c -> c
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Axis.coord_exn: %s not in domain" (Value.to_string v))
+
+let value dom c =
+  match dom with
+  | Domain.Int_range { lo; hi } ->
+    let x = int_of_float (Float.round c) in
+    Value.Int (max lo (min hi x))
+  | Domain.Float_range { lo; hi } -> Value.Float (Float.max lo (Float.min hi c))
+  | Domain.Enum vs ->
+    let r = int_of_float (Float.round c) in
+    if r < 0 || r >= Array.length vs then
+      invalid_arg (Printf.sprintf "Axis.value: rank %d out of range" r);
+    Value.Str vs.(r)
+  | Domain.Bool_dom -> Value.Bool (Float.round c >= 0.5)
+
+let size t = if t.discrete then t.hi -. t.lo +. 1.0 else t.hi -. t.lo
+
+let equal a b = a.discrete = b.discrete && a.lo = b.lo && a.hi = b.hi
+
+let pp ppf t =
+  Format.fprintf ppf "%s[%g,%g]"
+    (if t.discrete then "discrete" else "continuous")
+    t.lo t.hi

@@ -1,0 +1,106 @@
+type t = { seq : int; time : float; values : Value.t array }
+
+let validate schema values =
+  let n = Schema.arity schema in
+  if Array.length values <> n then
+    Error
+      (Printf.sprintf "event has %d values but schema has %d attributes"
+         (Array.length values) n)
+  else
+    let rec check i =
+      if i = n then Ok ()
+      else
+        let attr = Schema.attribute schema i in
+        let v = values.(i) in
+        if not (Domain.mem attr.Schema.domain v) then
+          Error
+            (Printf.sprintf "value %s is outside the domain of attribute %S"
+               (Value.to_string v) attr.Schema.name)
+        else check (i + 1)
+    in
+    check 0
+
+let of_values ?(seq = 0) ?(time = 0.0) schema values =
+  match validate schema values with
+  | Ok () -> Ok { seq; time; values = Array.copy values }
+  | Error e -> Error e
+
+let of_values_exn ?seq ?time schema values =
+  match of_values ?seq ?time schema values with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Event.of_values: " ^ msg)
+
+let create ?(seq = 0) ?(time = 0.0) schema bindings =
+  let n = Schema.arity schema in
+  let slots = Array.make n None in
+  let rec fill = function
+    | [] -> Ok ()
+    | (name, v) :: rest -> (
+      match Schema.find schema name with
+      | None -> Error (Printf.sprintf "unknown attribute %S" name)
+      | Some attr ->
+        if slots.(attr.Schema.index) <> None then
+          Error (Printf.sprintf "attribute %S bound twice" name)
+        else begin
+          slots.(attr.Schema.index) <- Some v;
+          fill rest
+        end)
+  in
+  match fill bindings with
+  | Error e -> Error e
+  | Ok () ->
+    let rec collect i acc =
+      if i < 0 then Ok (Array.of_list acc)
+      else
+        match slots.(i) with
+        | None ->
+          Error
+            (Printf.sprintf "attribute %S is unbound"
+               (Schema.attribute schema i).Schema.name)
+        | Some v -> collect (i - 1) (v :: acc)
+    in
+    (match collect (n - 1) [] with
+    | Error e -> Error e
+    | Ok values -> (
+      match validate schema values with
+      | Ok () -> Ok { seq; time; values }
+      | Error e -> Error e))
+
+let create_exn ?seq ?time schema bindings =
+  match create ?seq ?time schema bindings with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Event.create: " ^ msg)
+
+let value t i =
+  if i < 0 || i >= Array.length t.values then
+    invalid_arg (Printf.sprintf "Event.value: index %d out of range" i);
+  t.values.(i)
+
+let value_by_name schema t name =
+  match Schema.find schema name with
+  | None -> None
+  | Some attr -> Some t.values.(attr.Schema.index)
+
+let seq t = t.seq
+
+let time t = t.time
+
+let to_alist schema t =
+  Array.to_list
+    (Array.mapi
+       (fun i v -> ((Schema.attribute schema i).Schema.name, v))
+       t.values)
+
+let equal a b =
+  Array.length a.values = Array.length b.values
+  && Array.for_all2 Value.equal a.values b.values
+
+let pp schema ppf t =
+  Format.fprintf ppf "@[<hv 2>event(";
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf ppf ",@ ";
+      Format.fprintf ppf "%s=%a" (Schema.attribute schema i).Schema.name
+        Value.pp v)
+    t.values;
+  Format.fprintf ppf ")@]"

@@ -1,0 +1,48 @@
+(** Primitive events.
+
+    An event is "the occurrence of a state transition at a certain
+    point in time", described as a collection of (attribute, value)
+    pairs (§3). Events are *total*: every schema attribute carries a
+    value (as produced by the sensor feeds and tickers the paper
+    models). Each event also carries a sequence number and a logical
+    timestamp so the ENS layer and composite-event detectors can order
+    them. *)
+
+type t = private {
+  seq : int;  (** publisher-assigned sequence number *)
+  time : float;  (** logical occurrence time *)
+  values : Value.t array;  (** indexed by schema natural index *)
+}
+
+val create :
+  ?seq:int -> ?time:float -> Schema.t -> (string * Value.t) list ->
+  (t, string) result
+(** [create schema bindings] validates that every schema attribute is
+    bound exactly once with an in-domain value of the right kind. *)
+
+val create_exn :
+  ?seq:int -> ?time:float -> Schema.t -> (string * Value.t) list -> t
+(** @raise Invalid_argument on validation failure. *)
+
+val of_values : ?seq:int -> ?time:float -> Schema.t -> Value.t array -> (t, string) result
+(** Positional constructor: [values.(i)] binds attribute [i]. *)
+
+val of_values_exn : ?seq:int -> ?time:float -> Schema.t -> Value.t array -> t
+
+val value : t -> int -> Value.t
+(** Value of the attribute with the given natural index.
+
+    @raise Invalid_argument if out of range. *)
+
+val value_by_name : Schema.t -> t -> string -> Value.t option
+
+val seq : t -> int
+
+val time : t -> float
+
+val to_alist : Schema.t -> t -> (string * Value.t) list
+
+val equal : t -> t -> bool
+(** Structural equality on values (ignores [seq] and [time]). *)
+
+val pp : Schema.t -> Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+type attribute = { name : string; index : int; domain : Domain.t }
+
+type t = {
+  attrs : attribute array;
+  by_name : (string, attribute) Hashtbl.t;
+}
+
+let create specs =
+  if specs = [] then Error "Schema.create: no attributes"
+  else
+    let by_name = Hashtbl.create (List.length specs) in
+    let rec build i acc = function
+      | [] -> Ok { attrs = Array.of_list (List.rev acc); by_name }
+      | (name, domain) :: rest ->
+        if Hashtbl.mem by_name name then
+          Error (Printf.sprintf "Schema.create: duplicate attribute %S" name)
+        else begin
+          let attr = { name; index = i; domain } in
+          Hashtbl.add by_name name attr;
+          build (i + 1) (attr :: acc) rest
+        end
+    in
+    build 0 [] specs
+
+let create_exn specs =
+  match create specs with Ok t -> t | Error msg -> invalid_arg msg
+
+let arity t = Array.length t.attrs
+
+let attributes t = Array.copy t.attrs
+
+let attribute t i =
+  if i < 0 || i >= Array.length t.attrs then
+    invalid_arg (Printf.sprintf "Schema.attribute: index %d out of range" i);
+  t.attrs.(i)
+
+let find t name = Hashtbl.find_opt t.by_name name
+
+let find_exn t name =
+  match find t name with Some a -> a | None -> raise Not_found
+
+let mem t name = Hashtbl.mem t.by_name name
+
+let equal a b =
+  arity a = arity b
+  && Array.for_all2
+       (fun x y -> String.equal x.name y.name && Domain.equal x.domain y.domain)
+       a.attrs b.attrs
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hv 2>schema{";
+  Array.iteri
+    (fun i a ->
+      if i > 0 then Format.fprintf ppf ";@ ";
+      Format.fprintf ppf "%s:%a" a.name Domain.pp a.domain)
+    t.attrs;
+  Format.fprintf ppf "}@]"

@@ -1,0 +1,44 @@
+(** Schemas: the firm attribute set [A] of an application (§3).
+
+    A schema fixes the names, order, and domains of the [n] attributes
+    that events and profiles range over. The position of an attribute
+    in the schema is its *natural index*; the distribution-based
+    algorithm later reorders attributes relative to this index. *)
+
+type attribute = private {
+  name : string;
+  index : int;  (** position in the schema, [0 .. arity-1] *)
+  domain : Domain.t;
+}
+
+type t
+
+val create : (string * Domain.t) list -> (t, string) result
+(** Build a schema from named domains. Fails on empty lists and
+    duplicate names. *)
+
+val create_exn : (string * Domain.t) list -> t
+(** @raise Invalid_argument on the same conditions. *)
+
+val arity : t -> int
+(** [n], the number of attributes. *)
+
+val attributes : t -> attribute array
+(** All attributes in natural order. The array is fresh. *)
+
+val attribute : t -> int -> attribute
+(** Attribute by natural index.
+
+    @raise Invalid_argument if out of range. *)
+
+val find : t -> string -> attribute option
+(** Attribute by name. *)
+
+val find_exn : t -> string -> attribute
+(** @raise Not_found if absent. *)
+
+val mem : t -> string -> bool
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/profile/covering.ml: Array Genas_interval List Profile

@@ -1,0 +1,1 @@
+lib/profile/covering.mli: Profile Profile_set

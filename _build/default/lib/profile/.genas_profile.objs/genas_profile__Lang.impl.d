@@ -1,0 +1,1 @@
+lib/profile/lang.ml: Buffer Format Genas_model List Predicate Printf Profile Result String

@@ -1,0 +1,1 @@
+lib/profile/lang.mli: Genas_model Predicate Profile

@@ -1,0 +1,1 @@
+lib/profile/predicate.ml: Format Genas_interval Genas_model List Printf Result String

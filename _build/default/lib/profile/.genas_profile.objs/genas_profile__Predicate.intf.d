@@ -1,0 +1,1 @@
+lib/profile/predicate.mli: Format Genas_interval Genas_model

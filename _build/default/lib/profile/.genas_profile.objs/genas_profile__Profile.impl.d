@@ -1,0 +1,1 @@
+lib/profile/profile.ml: Array Format Genas_interval Genas_model Hashtbl Int List Predicate Printf

@@ -1,0 +1,1 @@
+lib/profile/profile.mli: Format Genas_interval Genas_model Predicate

@@ -1,0 +1,1 @@
+lib/profile/profile_set.ml: Genas_model Hashtbl Int List Printf Profile

@@ -1,0 +1,1 @@
+lib/profile/profile_set.mli: Genas_interval Genas_model Predicate Profile

@@ -1,0 +1,35 @@
+module Iset = Genas_interval.Iset
+
+let covers a b =
+  let n = Array.length a.Profile.denots in
+  let rec check i =
+    if i = n then true
+    else
+      match (a.Profile.denots.(i), b.Profile.denots.(i)) with
+      | None, (Some _ | None) -> check (i + 1)
+      | Some _, None ->
+        (* [a] constrains an attribute [b] leaves free, so some event
+           matched by [b] escapes [a] (denotations are never the full
+           axis after normalization unless written so; being exact here
+           would need the axis, and the conservative answer only makes
+           the routing cover set slightly larger, never wrong). *)
+        false
+      | Some sa, Some sb -> Iset.subset sb sa && check (i + 1)
+  in
+  check 0
+
+let equivalent a b = covers a b && covers b a
+
+(* [p'] eliminates [p] if it strictly covers it, or if they are
+   equivalent and [p'] has the smaller id. *)
+let eliminates ~id' ~id p' p =
+  covers p' p && ((not (covers p p')) || id' < id)
+
+let minimal_cover entries =
+  List.filter
+    (fun (id, p) ->
+      not
+        (List.exists
+           (fun (id', p') -> id' <> id && eliminates ~id' ~id p' p)
+           entries))
+    entries

@@ -1,0 +1,19 @@
+(** Covering relation between profiles.
+
+    Profile [a] covers profile [b] when every event matched by [b] is
+    also matched by [a] (for conjunctive profiles: attribute-wise
+    denotation containment). Siena-style routing (§2's related work,
+    implemented in [lib/ens]) propagates only covering-minimal
+    subscription sets between brokers. *)
+
+val covers : Profile.t -> Profile.t -> bool
+(** [covers a b] iff [a]'s match set is a superset of [b]'s. Both
+    profiles must be bound to the same schema. *)
+
+val equivalent : Profile.t -> Profile.t -> bool
+(** Mutual covering. *)
+
+val minimal_cover : (Profile_set.id * Profile.t) list -> (Profile_set.id * Profile.t) list
+(** Subset of the input whose members are not covered by any *other*
+    member; among equivalent profiles the one with the smallest id is
+    kept. The result covers the same event set as the input. *)

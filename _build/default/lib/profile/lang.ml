@@ -1,0 +1,222 @@
+module Value = Genas_model.Value
+module Domain = Genas_model.Domain
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+
+type token =
+  | Tident of string
+  | Tnumber of string
+  | Tstring of string
+  | Top of string  (** = == != < <= > >= *)
+  | Tlbrack  (** [ *)
+  | Trbrack  (** ] *)
+  | Tlparen
+  | Trparen
+  | Tlbrace
+  | Trbrace
+  | Tcomma
+  | Tand
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '-'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let lex src =
+  let n = String.length src in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      let c = src.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1) acc
+      else if c = ',' then go (i + 1) (Tcomma :: acc)
+      else if c = '[' then go (i + 1) (Tlbrack :: acc)
+      else if c = ']' then go (i + 1) (Trbrack :: acc)
+      else if c = '(' then go (i + 1) (Tlparen :: acc)
+      else if c = ')' then go (i + 1) (Trparen :: acc)
+      else if c = '{' then go (i + 1) (Tlbrace :: acc)
+      else if c = '}' then go (i + 1) (Trbrace :: acc)
+      else if c = '&' then
+        if i + 1 < n && src.[i + 1] = '&' then go (i + 2) (Tand :: acc)
+        else Error "lone '&' (use '&&')"
+      else if c = '!' then
+        if i + 1 < n && src.[i + 1] = '=' then go (i + 2) (Top "!=" :: acc)
+        else Error "lone '!' (use '!=')"
+      else if c = '=' then
+        if i + 1 < n && src.[i + 1] = '=' then go (i + 2) (Top "=" :: acc)
+        else go (i + 1) (Top "=" :: acc)
+      else if c = '<' then
+        if i + 1 < n && src.[i + 1] = '=' then go (i + 2) (Top "<=" :: acc)
+        else go (i + 1) (Top "<" :: acc)
+      else if c = '>' then
+        if i + 1 < n && src.[i + 1] = '=' then go (i + 2) (Top ">=" :: acc)
+        else go (i + 1) (Top ">" :: acc)
+      else if c = '"' then begin
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then Error "unterminated string literal"
+          else if src.[j] = '\\' && j + 1 < n then begin
+            Buffer.add_char buf src.[j + 1];
+            scan (j + 2)
+          end
+          else if src.[j] = '"' then begin
+            let t = Tstring (Buffer.contents buf) in
+            go (j + 1) (t :: acc)
+          end
+          else begin
+            Buffer.add_char buf src.[j];
+            scan (j + 1)
+          end
+        in
+        scan (i + 1)
+      end
+      else if is_digit c || ((c = '-' || c = '+') && i + 1 < n && (is_digit src.[i + 1] || src.[i+1] = '.'))
+              || (c = '.' && i + 1 < n && is_digit src.[i + 1]) then begin
+        let j = ref (if c = '-' || c = '+' then i + 1 else i) in
+        while
+          !j < n
+          && (is_digit src.[!j] || src.[!j] = '.' || src.[!j] = 'e'
+             || src.[!j] = 'E'
+             || ((src.[!j] = '-' || src.[!j] = '+')
+                && (src.[!j - 1] = 'e' || src.[!j - 1] = 'E')))
+        do
+          incr j
+        done;
+        go !j (Tnumber (String.sub src i (!j - i)) :: acc)
+      end
+      else if is_ident_char c then begin
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do
+          incr j
+        done;
+        let word = String.sub src i (!j - i) in
+        let t = if String.lowercase_ascii word = "and" then Tand else Tident word in
+        go !j (t :: acc)
+      end
+      else Error (Printf.sprintf "unexpected character %C at offset %d" c i)
+  in
+  go 0 []
+
+let ( let* ) = Result.bind
+
+let literal_of_token kind tok =
+  match (kind, tok) with
+  | Value.Kint, Tnumber s -> Value.of_string Value.Kint s
+  | Value.Kfloat, Tnumber s -> Value.of_string Value.Kfloat s
+  | Value.Kstr, (Tident s | Tstring s) -> Ok (Value.Str s)
+  | Value.Kstr, Tnumber s -> Ok (Value.Str s)
+  | Value.Kbool, Tident s -> Value.of_string Value.Kbool s
+  | _, _ -> Error "literal does not fit the attribute's kind"
+
+(* A clause is:  attr op literal
+             |   attr in [lit, lit]   (any bracket/paren mix)
+             |   attr in {lit, lit, ...} *)
+let parse_clause schema toks =
+  match toks with
+  | Tident attr :: rest -> (
+    match Schema.find schema attr with
+    | None -> Error (Printf.sprintf "unknown attribute %S" attr)
+    | Some a -> (
+      let kind = Domain.kind a.Schema.domain in
+      match rest with
+      | Top op :: lit :: rest' ->
+        let* v = literal_of_token kind lit in
+        let* test =
+          match op with
+          | "=" -> Ok (Predicate.Eq v)
+          | "!=" -> Ok (Predicate.Neq v)
+          | "<" -> Ok (Predicate.Lt v)
+          | "<=" -> Ok (Predicate.Le v)
+          | ">" -> Ok (Predicate.Gt v)
+          | ">=" -> Ok (Predicate.Ge v)
+          | other -> Error (Printf.sprintf "unknown operator %S" other)
+        in
+        Ok ((attr, test), rest')
+      | Tident "in" :: (Tlbrack | Tlparen) :: _ -> (
+        match rest with
+        | Tident "in" :: open_tok :: lo_tok :: Tcomma :: hi_tok
+          :: close_tok :: rest' ->
+          let* lo = literal_of_token kind lo_tok in
+          let* hi = literal_of_token kind hi_tok in
+          let* lo_closed =
+            match open_tok with
+            | Tlbrack -> Ok true
+            | Tlparen -> Ok false
+            | _ -> Error "expected '[' or '(' after 'in'"
+          in
+          let* hi_closed =
+            match close_tok with
+            | Trbrack -> Ok true
+            | Trparen -> Ok false
+            | _ -> Error "expected ']' or ')' closing the range"
+          in
+          Ok ((attr, Predicate.Between { lo; lo_closed; hi; hi_closed }), rest')
+        | _ -> Error "malformed range (expected 'in [lo, hi]')")
+      | Tident "in" :: Tlbrace :: rest' ->
+        let rec elems acc = function
+          | Trbrace :: rest'' ->
+            if acc = [] then Error "empty set in containment predicate"
+            else Ok ((attr, Predicate.One_of (List.rev acc)), rest'')
+          | Tcomma :: rest'' -> elems acc rest''
+          | lit :: rest'' ->
+            let* v = literal_of_token kind lit in
+            elems (v :: acc) rest''
+          | [] -> Error "unterminated '{' set"
+        in
+        elems [] rest'
+      | _ -> Error (Printf.sprintf "malformed predicate on %S" attr)))
+  | _ -> Error "expected an attribute name"
+
+let parse_tests schema src =
+  let* toks = lex src in
+  if toks = [] then Ok []
+  else
+    let rec clauses acc toks =
+      let* clause, rest = parse_clause schema toks in
+      match rest with
+      | [] -> Ok (List.rev (clause :: acc))
+      | Tand :: rest' -> clauses (clause :: acc) rest'
+      | _ -> Error "expected '&&' between predicates"
+    in
+    clauses [] toks
+
+let parse_profile ?name schema src =
+  let* tests = parse_tests schema src in
+  Profile.create ?name schema tests
+
+let parse_event ?seq ?time schema src =
+  let* toks = lex src in
+  let rec bindings acc toks =
+    match toks with
+    | [] -> Ok (List.rev acc)
+    | Tident attr :: Top "=" :: lit :: rest -> (
+      match Schema.find schema attr with
+      | None -> Error (Printf.sprintf "unknown attribute %S" attr)
+      | Some a ->
+        let kind = Domain.kind a.Schema.domain in
+        let* v = literal_of_token kind lit in
+        let rest = match rest with Tcomma :: r | Tand :: r -> r | r -> r in
+        bindings ((attr, v) :: acc) rest)
+    | _ -> Error "expected 'attr = literal' bindings"
+  in
+  let* bs = bindings [] toks in
+  Event.create ?seq ?time schema bs
+
+let profile_to_string schema p = Format.asprintf "%a" (Profile.pp schema) p
+
+let body_to_string schema p =
+  let clauses =
+    List.concat_map
+      (fun (i, tests) ->
+        let attr = (Schema.attribute schema i).Schema.name in
+        List.map (fun t -> Format.asprintf "%a" (Predicate.pp attr) t) tests)
+      p.Profile.tests
+  in
+  String.concat " && " clauses
+
+let event_to_string schema e =
+  String.concat ", "
+    (List.map
+       (fun (a, v) -> Printf.sprintf "%s = %s" a (Value.to_string v))
+       (Event.to_alist schema e))

@@ -1,0 +1,42 @@
+(** Textual profile and event language.
+
+    A small concrete syntax so profiles and events can be created at
+    runtime (the "generic service" requirement of §4.2), scripted in
+    examples, and fed through the CLI:
+
+    {v
+    temperature >= 35 && humidity >= 90
+    radiation in [35, 50) && site in {berlin, potsdam}
+    temperature != 0 && alarm = true
+    v}
+
+    Events bind every attribute with [=]:
+
+    {v temperature = 30, humidity = 90, radiation = 2 v}
+
+    Literal kinds are resolved against the schema: enum values may be
+    written bare or double-quoted; numbers are parsed per the
+    attribute's domain kind. *)
+
+val parse_tests :
+  Genas_model.Schema.t -> string -> ((string * Predicate.test) list, string) result
+(** Parse a profile body into named tests (without binding). *)
+
+val parse_profile :
+  ?name:string -> Genas_model.Schema.t -> string -> (Profile.t, string) result
+(** Parse and bind a profile. The empty (or all-whitespace) body is the
+    all-don't-care profile. *)
+
+val parse_event :
+  ?seq:int -> ?time:float -> Genas_model.Schema.t -> string ->
+  (Genas_model.Event.t, string) result
+
+val profile_to_string : Genas_model.Schema.t -> Profile.t -> string
+(** Pretty form with the profile's name, for display. *)
+
+val body_to_string : Genas_model.Schema.t -> Profile.t -> string
+(** Just the predicate conjunction — re-parses with [parse_profile] to
+    an equivalent profile (the persistence format). The all-don't-care
+    profile prints as the empty string. *)
+
+val event_to_string : Genas_model.Schema.t -> Genas_model.Event.t -> string

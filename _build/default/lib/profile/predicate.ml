@@ -1,0 +1,124 @@
+module Value = Genas_model.Value
+module Domain = Genas_model.Domain
+module Axis = Genas_model.Axis
+module Interval = Genas_interval.Interval
+module Iset = Genas_interval.Iset
+
+type test =
+  | Eq of Value.t
+  | Neq of Value.t
+  | Lt of Value.t
+  | Le of Value.t
+  | Gt of Value.t
+  | Ge of Value.t
+  | Between of {
+      lo : Value.t;
+      lo_closed : bool;
+      hi : Value.t;
+      hi_closed : bool;
+    }
+  | One_of of Value.t list
+  | Custom of { name : string; iset : Iset.t }
+
+let coord dom v =
+  match Axis.coord dom v with
+  | Some c -> Ok c
+  | None ->
+    Error
+      (Printf.sprintf "operand %s is not in domain %s" (Value.to_string v)
+         (Format.asprintf "%a" Domain.pp dom))
+
+let ( let* ) = Result.bind
+
+let denote dom test =
+  let axis = Axis.of_domain dom in
+  let normalize s = if axis.Axis.discrete then Iset.normalize_discrete s else s in
+  let* raw =
+    match test with
+    | Eq v ->
+      let* c = coord dom v in
+      Ok (Iset.of_interval (Interval.point c))
+    | Neq v ->
+      let* c = coord dom v in
+      Ok (Iset.complement axis (Iset.of_interval (Interval.point c)))
+    | Lt v ->
+      let* c = coord dom v in
+      Ok
+        (match Interval.make ~hi_closed:false ~lo:axis.Axis.lo ~hi:c () with
+        | Some i -> Iset.of_interval i
+        | None -> Iset.empty)
+    | Le v ->
+      let* c = coord dom v in
+      Ok (Iset.of_interval (Interval.make_exn ~lo:axis.Axis.lo ~hi:c ()))
+    | Gt v ->
+      let* c = coord dom v in
+      Ok
+        (match Interval.make ~lo_closed:false ~lo:c ~hi:axis.Axis.hi () with
+        | Some i -> Iset.of_interval i
+        | None -> Iset.empty)
+    | Ge v ->
+      let* c = coord dom v in
+      Ok (Iset.of_interval (Interval.make_exn ~lo:c ~hi:axis.Axis.hi ()))
+    | Between { lo; lo_closed; hi; hi_closed } ->
+      let* cl = coord dom lo in
+      let* ch = coord dom hi in
+      (match Interval.make ~lo_closed ~hi_closed ~lo:cl ~hi:ch () with
+      | Some i -> Ok (Iset.of_interval i)
+      | None -> Error "empty range predicate")
+    | One_of vs ->
+      if vs = [] then Error "empty value set in containment predicate"
+      else
+        let rec go acc = function
+          | [] -> Ok acc
+          | v :: rest ->
+            let* c = coord dom v in
+            go (Interval.point c :: acc) rest
+        in
+        let* points = go [] vs in
+        Ok (Iset.of_intervals points)
+    | Custom { iset; _ } -> Ok (Iset.inter (Iset.full axis) iset)
+  in
+  Ok (normalize raw)
+
+let holds dom test v =
+  match denote dom test with
+  | Error msg -> invalid_arg ("Predicate.holds: " ^ msg)
+  | Ok iset -> (
+    match Axis.coord dom v with
+    | None -> false
+    | Some c -> Iset.mem iset c)
+
+let equal a b =
+  match (a, b) with
+  | Eq x, Eq y | Neq x, Neq y | Lt x, Lt y | Le x, Le y | Gt x, Gt y
+  | Ge x, Ge y ->
+    Value.equal x y
+  | Between x, Between y ->
+    Value.equal x.lo y.lo && Value.equal x.hi y.hi
+    && x.lo_closed = y.lo_closed && x.hi_closed = y.hi_closed
+  | One_of x, One_of y ->
+    List.length x = List.length y && List.for_all2 Value.equal x y
+  | Custom x, Custom y -> String.equal x.name y.name && Iset.equal x.iset y.iset
+  | (Eq _ | Neq _ | Lt _ | Le _ | Gt _ | Ge _ | Between _ | One_of _ | Custom _), _
+    ->
+    false
+
+let pp attr ppf = function
+  | Eq v -> Format.fprintf ppf "%s = %a" attr Value.pp v
+  | Neq v -> Format.fprintf ppf "%s != %a" attr Value.pp v
+  | Lt v -> Format.fprintf ppf "%s < %a" attr Value.pp v
+  | Le v -> Format.fprintf ppf "%s <= %a" attr Value.pp v
+  | Gt v -> Format.fprintf ppf "%s > %a" attr Value.pp v
+  | Ge v -> Format.fprintf ppf "%s >= %a" attr Value.pp v
+  | Between { lo; lo_closed; hi; hi_closed } ->
+    Format.fprintf ppf "%s in %c%a,%a%c" attr
+      (if lo_closed then '[' else '(')
+      Value.pp lo Value.pp hi
+      (if hi_closed then ']' else ')')
+  | One_of vs ->
+    Format.fprintf ppf "%s in {%a}" attr
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Value.pp)
+      vs
+  | Custom { name; _ } -> Format.fprintf ppf "%s %s" attr name

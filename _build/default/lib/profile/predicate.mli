@@ -1,0 +1,46 @@
+(** Predicates: single-attribute tests inside a profile.
+
+    The paper's services filter on (attribute, value) pairs with value
+    and range tests; inequality tests "can be translated to range
+    tests" (§3). We realize exactly that translation: every test
+    denotes an interval set on the attribute's axis, and all matching
+    and tree construction downstream work on denotations only. The
+    [Custom] constructor is the runtime-defined operator of the
+    generic prototype (§4.2): any interval-set denotation under a
+    user-chosen name. *)
+
+type test =
+  | Eq of Genas_model.Value.t
+  | Neq of Genas_model.Value.t
+  | Lt of Genas_model.Value.t
+  | Le of Genas_model.Value.t
+  | Gt of Genas_model.Value.t
+  | Ge of Genas_model.Value.t
+  | Between of {
+      lo : Genas_model.Value.t;
+      lo_closed : bool;
+      hi : Genas_model.Value.t;
+      hi_closed : bool;
+    }
+  | One_of of Genas_model.Value.t list  (** set containment *)
+  | Custom of { name : string; iset : Genas_interval.Iset.t }
+
+val denote :
+  Genas_model.Domain.t -> test -> (Genas_interval.Iset.t, string) result
+(** Interval-set denotation of a test on a domain's axis. Fails when
+    operand kinds don't match the domain, when an ordered test is
+    applied to a value outside the domain's order, or when a [Between]
+    is empty. The denotation of tests over discrete domains is
+    normalized to inhabited integers. *)
+
+val holds : Genas_model.Domain.t -> test -> Genas_model.Value.t -> bool
+(** Direct evaluation, bypassing denotations (used by the naive
+    matcher and as a test oracle).
+
+    @raise Invalid_argument if [denote] would fail. *)
+
+val equal : test -> test -> bool
+
+val pp : string -> Format.formatter -> test -> unit
+(** [pp attr_name ppf test] prints in the profile-language syntax,
+    e.g. ["temperature >= 35"]. *)

@@ -1,0 +1,102 @@
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Axis = Genas_model.Axis
+module Iset = Genas_interval.Iset
+
+type t = {
+  name : string option;
+  tests : (int * Predicate.test list) list;
+  denots : Iset.t option array;
+}
+
+let create ?name schema named_tests =
+  let n = Schema.arity schema in
+  let denots = Array.make n None in
+  let tests : (int, Predicate.test list) Hashtbl.t = Hashtbl.create 8 in
+  let rec bind = function
+    | [] -> Ok ()
+    | (attr_name, test) :: rest -> (
+      match Schema.find schema attr_name with
+      | None -> Error (Printf.sprintf "unknown attribute %S" attr_name)
+      | Some attr -> (
+        let i = attr.Schema.index in
+        match Predicate.denote attr.Schema.domain test with
+        | Error e -> Error (Printf.sprintf "attribute %S: %s" attr_name e)
+        | Ok iset ->
+          let combined =
+            match denots.(i) with
+            | None -> iset
+            | Some prev -> Iset.inter prev iset
+          in
+          denots.(i) <- Some combined;
+          Hashtbl.replace tests i
+            (test :: (try Hashtbl.find tests i with Not_found -> []));
+          bind rest))
+  in
+  match bind named_tests with
+  | Error e -> Error e
+  | Ok () ->
+    let unsat = ref None in
+    Array.iteri
+      (fun i d ->
+        match d with
+        | Some s when Iset.is_empty s && !unsat = None ->
+          unsat := Some (Schema.attribute schema i).Schema.name
+        | Some _ | None -> ())
+      denots;
+    (match !unsat with
+    | Some a ->
+      Error (Printf.sprintf "profile is unsatisfiable on attribute %S" a)
+    | None ->
+      let tests =
+        Hashtbl.fold (fun i ts acc -> (i, List.rev ts) :: acc) tests []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      in
+      Ok { name; tests; denots })
+
+let create_exn ?name schema named_tests =
+  match create ?name schema named_tests with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Profile.create: " ^ msg)
+
+let matches schema t event =
+  let n = Array.length t.denots in
+  let rec check i =
+    if i = n then true
+    else
+      match t.denots.(i) with
+      | None -> check (i + 1)
+      | Some iset -> (
+        let dom = (Schema.attribute schema i).Schema.domain in
+        match Axis.coord dom (Event.value event i) with
+        | None -> false
+        | Some c -> Iset.mem iset c && check (i + 1))
+  in
+  check 0
+
+let denotation t i = t.denots.(i)
+
+let constrained t =
+  let acc = ref [] in
+  Array.iteri (fun i d -> if d <> None then acc := i :: !acc) t.denots;
+  List.rev !acc
+
+let is_dont_care t i = t.denots.(i) = None
+
+let arity_used t = List.length (constrained t)
+
+let pp schema ppf t =
+  let name = match t.name with Some n -> n | None -> "?" in
+  Format.fprintf ppf "@[<hv 2>profile %s(" name;
+  let first = ref true in
+  List.iter
+    (fun (i, ts) ->
+      let attr = (Schema.attribute schema i).Schema.name in
+      List.iter
+        (fun test ->
+          if not !first then Format.fprintf ppf " &&@ ";
+          first := false;
+          Predicate.pp attr ppf test)
+        ts)
+    t.tests;
+  Format.fprintf ppf ")@]"

@@ -1,0 +1,51 @@
+(** Profiles: conjunctive subscriptions over a schema (§3).
+
+    A profile is a set of predicates on distinct attributes; attributes
+    without a predicate carry the don't-care value [*]. A profile is
+    *bound* to a schema at creation: each predicate is type-checked and
+    compiled to its interval-set denotation, so matching and tree
+    construction never re-interpret operator semantics. Multiple tests
+    on the same attribute conjoin (denotations intersect). *)
+
+type t = private {
+  name : string option;
+  tests : (int * Predicate.test list) list;
+      (** original tests per attribute natural index, for printing *)
+  denots : Genas_interval.Iset.t option array;
+      (** per-attribute denotation; [None] is don't-care *)
+}
+
+val create :
+  ?name:string ->
+  Genas_model.Schema.t ->
+  (string * Predicate.test) list ->
+  (t, string) result
+(** Bind named predicates to the schema. A profile with an empty
+    predicate list matches every event (all don't-care). A predicate
+    whose denotation is empty makes the profile unsatisfiable; this is
+    reported as an error (the paper's trees never contain such
+    profiles). *)
+
+val create_exn :
+  ?name:string ->
+  Genas_model.Schema.t ->
+  (string * Predicate.test) list ->
+  t
+
+val matches : Genas_model.Schema.t -> t -> Genas_model.Event.t -> bool
+(** Direct conjunctive evaluation against denotations — the semantic
+    reference every matcher in [lib/filter] is tested against. *)
+
+val denotation : t -> int -> Genas_interval.Iset.t option
+(** Denotation on the attribute with the given natural index ([None] =
+    don't-care). *)
+
+val constrained : t -> int list
+(** Natural indices of attributes the profile constrains, ascending. *)
+
+val is_dont_care : t -> int -> bool
+
+val arity_used : t -> int
+(** Number of constrained attributes. *)
+
+val pp : Genas_model.Schema.t -> Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+module Schema = Genas_model.Schema
+
+type id = int
+
+type t = {
+  schema : Schema.t;
+  profiles : (id, Profile.t) Hashtbl.t;
+  mutable next_id : id;
+  mutable revision : int;
+}
+
+let create schema =
+  { schema; profiles = Hashtbl.create 64; next_id = 0; revision = 0 }
+
+let schema t = t.schema
+
+let add t profile =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.revision <- t.revision + 1;
+  Hashtbl.replace t.profiles id profile;
+  id
+
+let add_spec t ?name specs =
+  match Profile.create ?name t.schema specs with
+  | Error e -> Error e
+  | Ok p -> Ok (add t p)
+
+let remove t id =
+  if Hashtbl.mem t.profiles id then begin
+    Hashtbl.remove t.profiles id;
+    t.revision <- t.revision + 1;
+    true
+  end
+  else false
+
+let find t id = Hashtbl.find_opt t.profiles id
+
+let find_exn t id =
+  match find t id with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Profile_set.find_exn: no profile %d" id)
+
+let mem t id = Hashtbl.mem t.profiles id
+
+let size t = Hashtbl.length t.profiles
+
+let revision t = t.revision
+
+let ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.profiles []
+  |> List.sort Int.compare
+
+let iter t f = List.iter (fun id -> f id (Hashtbl.find t.profiles id)) (ids t)
+
+let fold t ~init ~f =
+  List.fold_left
+    (fun acc id -> f acc id (Hashtbl.find t.profiles id))
+    init (ids t)
+
+let denotations t attr_index =
+  fold t ~init:[] ~f:(fun acc id p ->
+      match Profile.denotation p attr_index with
+      | None -> acc
+      | Some iset -> (id, iset) :: acc)
+  |> List.rev

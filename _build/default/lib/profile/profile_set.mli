@@ -1,0 +1,51 @@
+(** Profile registries.
+
+    The set [P] of profiles defined in an ENS (§3), with stable integer
+    identifiers. All matchers and trees are built from a registry
+    snapshot; the adaptive engine rebuilds when the registry's revision
+    changes. Removal keeps identifiers stable (ids are never reused). *)
+
+type id = int
+
+type t
+
+val create : Genas_model.Schema.t -> t
+
+val schema : t -> Genas_model.Schema.t
+
+val add : t -> Profile.t -> id
+(** Register a profile (already bound to the same schema) and return
+    its id. *)
+
+val add_spec :
+  t -> ?name:string -> (string * Predicate.test) list -> (id, string) result
+(** Convenience: bind and register in one step. *)
+
+val remove : t -> id -> bool
+(** [true] if the id was present. *)
+
+val find : t -> id -> Profile.t option
+
+val find_exn : t -> id -> Profile.t
+
+val mem : t -> id -> bool
+
+val size : t -> int
+(** [p], the number of live profiles. *)
+
+val revision : t -> int
+(** Monotone counter bumped by every [add]/[remove]; lets caches detect
+    staleness. *)
+
+val ids : t -> id list
+(** Live ids, ascending. *)
+
+val iter : t -> (id -> Profile.t -> unit) -> unit
+(** In ascending id order. *)
+
+val fold : t -> init:'a -> f:('a -> id -> Profile.t -> 'a) -> 'a
+
+val denotations : t -> int -> (id * Genas_interval.Iset.t) list
+(** Per-attribute denotations of all live profiles that constrain the
+    attribute with the given natural index — the input to
+    {!Genas_interval.Overlay.build}. *)

@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Alcotest Genas_core Genas_model Genas_prng Genas_profile List Result

@@ -1,0 +1,1 @@
+test/test_broker.ml: Alcotest Genas_ens Genas_model Genas_profile List Result

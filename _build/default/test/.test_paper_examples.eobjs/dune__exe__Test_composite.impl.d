@@ -1,0 +1,1 @@
+test/test_composite.ml: Alcotest Float Genas_ens Genas_model Genas_profile List

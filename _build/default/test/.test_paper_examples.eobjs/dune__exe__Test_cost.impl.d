@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Array Float Fun Genas_core Genas_dist Genas_expt Genas_filter Genas_model Genas_prng Genas_profile Genas_testlib List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Float Genas_dist Genas_interval Genas_model Genas_prng List

@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Array Format Genas_dist Genas_ens Genas_expt Genas_filter Genas_interval Genas_model Genas_prng Genas_profile Genas_testlib List Option QCheck QCheck_alcotest String

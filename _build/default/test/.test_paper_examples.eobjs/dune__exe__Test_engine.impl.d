@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Float Genas_core Genas_filter Genas_model Genas_profile List Result

@@ -1,0 +1,1 @@
+test/test_explain.ml: Alcotest Format Genas_core Genas_filter Genas_model Genas_profile Genas_testlib List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_expt.ml: Alcotest Array Format Genas_dist Genas_expt Genas_filter Genas_interval Genas_model Genas_prng Genas_profile List Option Result String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Genas_ens Genas_model Genas_profile Genas_testlib List Printexc QCheck QCheck_alcotest String

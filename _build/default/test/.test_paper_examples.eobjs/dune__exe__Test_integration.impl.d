@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Filename Genas_core Genas_ens Genas_filter Genas_model Genas_prng Genas_profile Hashtbl List Option Printf Result

@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Float Genas_interval Genas_model Genas_testlib List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Array Float Fun Genas_ens Genas_filter Genas_interval Genas_model Genas_profile Genas_testlib List Option QCheck QCheck_alcotest

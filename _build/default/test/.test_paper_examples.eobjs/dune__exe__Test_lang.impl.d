@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Genas_model Genas_prng Genas_profile Genas_testlib List QCheck QCheck_alcotest String

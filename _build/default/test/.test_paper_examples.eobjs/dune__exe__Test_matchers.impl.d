@@ -1,0 +1,1 @@
+test/test_matchers.ml: Alcotest Float Genas_filter Genas_model Genas_profile Genas_testlib List QCheck QCheck_alcotest

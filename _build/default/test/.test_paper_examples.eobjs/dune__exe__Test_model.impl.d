@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Float Format Genas_model Genas_testlib Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_order.ml: Alcotest Array Genas_filter Genas_interval Genas_model Int List QCheck QCheck_alcotest

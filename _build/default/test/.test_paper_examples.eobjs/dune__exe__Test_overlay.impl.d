@@ -1,0 +1,1 @@
+test/test_overlay.ml: Alcotest Array Format Fun Genas_interval Genas_model Genas_testlib List Printf QCheck QCheck_alcotest

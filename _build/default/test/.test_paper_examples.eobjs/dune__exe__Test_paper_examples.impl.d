@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest Array Float Genas_core Genas_dist Genas_filter Genas_interval Genas_model Genas_prng Genas_profile

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Fun Genas_prng Int List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Genas_filter Genas_interval Genas_model Genas_profile Genas_testlib List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_quench.ml: Alcotest Genas_ens Genas_filter Genas_interval Genas_model Genas_profile Genas_testlib List QCheck QCheck_alcotest

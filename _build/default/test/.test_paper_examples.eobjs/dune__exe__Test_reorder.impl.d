@@ -1,0 +1,1 @@
+test/test_reorder.ml: Alcotest Array Genas_core Genas_dist Genas_expt Genas_filter Genas_model Genas_prng List Printf String

@@ -1,0 +1,1 @@
+test/test_router.ml: Alcotest Genas_ens Genas_model Genas_prng Genas_profile Genas_testlib Hashtbl List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_selectivity.ml: Alcotest Array Float Genas_core Genas_dist Genas_filter Genas_interval Genas_model Genas_profile

@@ -1,0 +1,1 @@
+test/test_service.ml: Alcotest Filename Genas_ens Genas_filter Genas_model Genas_profile Genas_testlib List Out_channel Printf QCheck String

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Genas_core Genas_dist Genas_filter Genas_interval Genas_model Genas_profile List Printf

@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array Format Fun Genas_dist Genas_expt Genas_filter Genas_interval Genas_model Genas_prng Genas_profile Genas_testlib List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,31 @@
+  $ cat > schema.txt <<'SCHEMA'
+  > temperature : float[-30,50]
+  > humidity : float[0,100]
+  > radiation : float[1,100]
+  > SCHEMA
+  $ cat > profiles.txt <<'PROFILES'
+  > P1 : temperature >= 35 && humidity >= 90
+  > P2 : temperature >= 30 && humidity >= 90
+  > P3 : temperature >= 30 && humidity >= 90 && radiation in [35,50]
+  > P4 : temperature in [-30,-20] && humidity <= 5 && radiation in [40,100]
+  > P5 : temperature >= 30 && humidity >= 80
+  > PROFILES
+  $ cat > events.txt <<'EVENTS'
+  > temperature = 30, humidity = 90, radiation = 2
+  > temperature = -25, humidity = 3, radiation = 50
+  > temperature = 0, humidity = 50, radiation = 10
+  > EVENTS
+  $ ../../bin/genas_cli.exe match --schema schema.txt --profiles profiles.txt --events events.txt
+  $ ../../bin/genas_cli.exe plan --schema schema.txt --profiles profiles.txt | head -4
+  $ ../../bin/genas_cli.exe match --schema schema.txt --profiles profiles.txt --events events.txt --strategy nope
+  $ ../../bin/genas_cli.exe dists | head -3
+  $ ../../bin/genas_cli.exe repl <<'SESSION'
+  > schema env
+  > temp : float[0,100]
+  > end
+  > broker hub env
+  > sub hub alice : temp >= 30
+  > pub hub temp = 50
+  > quit
+  > SESSION
+  $ ../../bin/genas_cli.exe simulate --schema schema.txt --profiles profiles.txt --strategy v1 --attr-measure a2 --events 2000

@@ -1,0 +1,77 @@
+The GENAS command-line interface, driven end to end on the paper's
+Example 1 profiles.
+
+  $ cat > schema.txt <<'SCHEMA'
+  > temperature : float[-30,50]
+  > humidity : float[0,100]
+  > radiation : float[1,100]
+  > SCHEMA
+  $ cat > profiles.txt <<'PROFILES'
+  > P1 : temperature >= 35 && humidity >= 90
+  > P2 : temperature >= 30 && humidity >= 90
+  > P3 : temperature >= 30 && humidity >= 90 && radiation in [35,50]
+  > P4 : temperature in [-30,-20] && humidity <= 5 && radiation in [40,100]
+  > P5 : temperature >= 30 && humidity >= 80
+  > PROFILES
+  $ cat > events.txt <<'EVENTS'
+  > temperature = 30, humidity = 90, radiation = 2
+  > temperature = -25, humidity = 3, radiation = 50
+  > temperature = 0, humidity = 50, radiation = 10
+  > EVENTS
+
+Matching reproduces the paper's worked example (event (30,90,2) matches
+P2 and P5):
+
+  $ ../../bin/genas_cli.exe match --schema schema.txt --profiles profiles.txt --events events.txt
+  temperature = 30., humidity = 90., radiation = 2.  -> P2, P5
+  temperature = -25., humidity = 3., radiation = 50. -> P4
+  temperature = 0., humidity = 50., radiation = 10.  -> (no match)
+  
+  3 events, 10 comparisons (3.33 per event)
+
+The planner shows Example 3's A1 selectivities (0.625 / 0.75 / 0):
+
+  $ ../../bin/genas_cli.exe plan --schema schema.txt --profiles profiles.txt | head -4
+  attributes (natural order):
+    0: temperature    float[-30.,50.]  A1=0.625 A2=0.391 cells=3 d0-share=0.625
+    1: humidity       float[0.,100.]  A1=0.750 A2=0.562 cells=3 d0-share=0.750
+    2: radiation      float[1.,100.]  A1=0.000 A2=0.000 cells=3 d0-share=0.000
+
+Unknown names fail cleanly:
+
+  $ ../../bin/genas_cli.exe match --schema schema.txt --profiles profiles.txt --events events.txt --strategy nope
+  genas: unknown strategy "nope"
+  [1]
+
+The catalog knows the paper's distributions:
+
+  $ ../../bin/genas_cli.exe dists | head -3
+  d1
+  d10
+  d11
+
+The REPL defines everything at runtime:
+
+  $ ../../bin/genas_cli.exe repl <<'SESSION'
+  > schema env
+  > temp : float[0,100]
+  > end
+  > broker hub env
+  > sub hub alice : temp >= 30
+  > pub hub temp = 50
+  > quit
+  > SESSION
+  GENAS interactive service. 'help' lists commands.
+  > schema env defined
+  > broker hub on schema env
+  > subscribed alice
+  >   [alice] temp = 50.
+  1 notification(s)
+  > bye
+
+Analytic vs simulated cost (deterministic seed):
+
+  $ ../../bin/genas_cli.exe simulate --schema schema.txt --profiles profiles.txt --strategy v1 --attr-measure a2 --events 2000
+  profiles: 5   attributes: 3   strategy: v1/a2
+  analytic  (Eq. 2): 1.5231 ops/event, 0.1013 matches/event
+  simulated (2000 events, converged): 1.5470 ops/event (95% CI ±0.0467), 0.1230 matches/event

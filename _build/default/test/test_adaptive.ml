@@ -1,0 +1,125 @@
+(* The adaptive component: drift detection and re-optimization. *)
+
+module Value = Genas_model.Value
+module Domain = Genas_model.Domain
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Predicate = Genas_profile.Predicate
+module Profile_set = Genas_profile.Profile_set
+module Prng = Genas_prng.Prng
+module Engine = Genas_core.Engine
+module Adaptive = Genas_core.Adaptive
+
+let schema () = Schema.create_exn [ ("x", Domain.int_range ~lo:0 ~hi:99) ]
+
+let make_adaptive ?(threshold = 0.4) () =
+  let s = schema () in
+  let pset = Profile_set.create s in
+  List.iter
+    (fun v ->
+      ignore
+        (Result.get_ok (Profile_set.add_spec pset [ ("x", Predicate.Eq (Value.Int v)) ])))
+    [ 5; 20; 60; 90 ];
+  let engine = Engine.create pset in
+  ( s,
+    Adaptive.create
+      ~policy:{ Adaptive.warmup = 100; check_every = 50; drift_threshold = threshold }
+      engine )
+
+let feed s adaptive rng n ~lo ~hi =
+  for _ = 1 to n do
+    ignore
+      (Adaptive.match_event adaptive
+         (Event.create_exn s [ ("x", Value.Int (Prng.int_in rng ~lo ~hi)) ]))
+  done
+
+let test_policy_validation () =
+  let s, _ = make_adaptive () in
+  ignore s;
+  let pset = Profile_set.create (schema ()) in
+  let engine = Engine.create pset in
+  Alcotest.check_raises "bad policy"
+    (Invalid_argument "Adaptive.create: malformed policy") (fun () ->
+      ignore
+        (Adaptive.create
+           ~policy:{ Adaptive.warmup = -1; check_every = 10; drift_threshold = 0.1 }
+           engine))
+
+let test_first_check_always_rebuilds () =
+  (* Before any adaptive rebuild the tree was planned without data, so
+     the first due check must re-plan (drift = infinity). *)
+  let s, adaptive = make_adaptive () in
+  let rng = Prng.create ~seed:1 in
+  feed s adaptive rng 99 ~lo:0 ~hi:99;
+  Alcotest.(check int) "not yet due" 0 (Adaptive.rebuilds adaptive);
+  feed s adaptive rng 1 ~lo:0 ~hi:99;
+  Alcotest.(check int) "rebuilt at warmup" 1 (Adaptive.rebuilds adaptive)
+
+let test_stable_stream_no_further_rebuilds () =
+  let s, adaptive = make_adaptive () in
+  let rng = Prng.create ~seed:2 in
+  (* Early rebuilds are legitimate while the histogram is noisy; once
+     the sample is large the estimate stabilizes and rebuilds stop. *)
+  feed s adaptive rng 4000 ~lo:0 ~hi:99;
+  let settled = Adaptive.rebuilds adaptive in
+  Alcotest.(check bool) "bootstrapped" true (settled >= 1);
+  feed s adaptive rng 4000 ~lo:0 ~hi:99;
+  Alcotest.(check bool) "no further rebuilds on a stable stream" true
+    (Adaptive.rebuilds adaptive - settled <= 1);
+  Alcotest.(check bool) "drift small" true (Adaptive.last_drift adaptive < 0.4)
+
+let test_drift_triggers_rebuild () =
+  let s, adaptive = make_adaptive () in
+  let rng = Prng.create ~seed:3 in
+  feed s adaptive rng 500 ~lo:0 ~hi:99;
+  let before = Adaptive.rebuilds adaptive in
+  (* Concentrate the stream on a narrow band: the histogram shifts. *)
+  feed s adaptive rng 2000 ~lo:85 ~hi:95;
+  Alcotest.(check bool) "rebuilt on drift" true (Adaptive.rebuilds adaptive > before)
+
+let test_force_check () =
+  let s, adaptive = make_adaptive () in
+  let rng = Prng.create ~seed:4 in
+  feed s adaptive rng 10 ~lo:0 ~hi:99;
+  (* Never planned from data yet: force triggers the bootstrap. *)
+  Alcotest.(check bool) "forced" true (Adaptive.force_check adaptive);
+  Alcotest.(check int) "one rebuild" 1 (Adaptive.rebuilds adaptive);
+  (* Immediately after planning, drift is ~0. *)
+  Alcotest.(check bool) "not forced again" false (Adaptive.force_check adaptive)
+
+let test_matching_correct_across_rebuilds () =
+  let s, adaptive = make_adaptive ~threshold:0.05 () in
+  let rng = Prng.create ~seed:5 in
+  (* Alternate narrow bands to force many rebuilds; matching must stay
+     exact throughout. *)
+  for round = 0 to 5 do
+    let lo = if round mod 2 = 0 then 0 else 80 in
+    for _ = 1 to 300 do
+      let x = Prng.int_in rng ~lo ~hi:(lo + 19) in
+      let matched =
+        Adaptive.match_event adaptive
+          (Event.create_exn s [ ("x", Value.Int x) ])
+      in
+      let expected =
+        List.filteri (fun _ v -> v = x) [ 5; 20; 60; 90 ] <> []
+      in
+      Alcotest.(check bool) "match correctness" expected (matched <> [])
+    done
+  done;
+  Alcotest.(check bool) "rebuilt several times" true
+    (Adaptive.rebuilds adaptive >= 2)
+
+let () =
+  Alcotest.run "adaptive"
+    [
+      ( "adaptive",
+        [
+          Alcotest.test_case "policy validation" `Quick test_policy_validation;
+          Alcotest.test_case "bootstrap rebuild" `Quick test_first_check_always_rebuilds;
+          Alcotest.test_case "stable stream" `Quick test_stable_stream_no_further_rebuilds;
+          Alcotest.test_case "drift rebuild" `Quick test_drift_triggers_rebuild;
+          Alcotest.test_case "force_check" `Quick test_force_check;
+          Alcotest.test_case "correct across rebuilds" `Quick
+            test_matching_correct_across_rebuilds;
+        ] );
+    ]

@@ -1,0 +1,177 @@
+(* The single-node broker: subscriptions, publication, composite
+   subscriptions, and quench-cache invalidation. *)
+
+module Value = Genas_model.Value
+module Domain = Genas_model.Domain
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Predicate = Genas_profile.Predicate
+module Profile = Genas_profile.Profile
+module Broker = Genas_ens.Broker
+module Quench = Genas_ens.Quench
+module Composite = Genas_ens.Composite
+module Notification = Genas_ens.Notification
+
+let schema () =
+  Schema.create_exn
+    [ ("x", Domain.int_range ~lo:0 ~hi:9); ("k", Domain.enum [ "a"; "b" ]) ]
+
+let event ?(time = 0.0) s x k =
+  Event.create_exn ~time s [ ("x", Value.Int x); ("k", Value.Str k) ]
+
+let test_subscribe_publish () =
+  let s = schema () in
+  let b = Broker.create s in
+  let log = ref [] in
+  let _ =
+    Result.get_ok
+      (Broker.subscribe_text b ~subscriber:"alice" "x >= 5" (fun n ->
+           log := n.Notification.subscriber :: !log))
+  in
+  let _ =
+    Result.get_ok
+      (Broker.subscribe_text b ~subscriber:"bob" "k = a" (fun n ->
+           log := n.Notification.subscriber :: !log))
+  in
+  Alcotest.(check int) "two notifications" 2 (Broker.publish b (event s 7 "a"));
+  Alcotest.(check int) "one" 1 (Broker.publish b (event s 2 "a"));
+  Alcotest.(check int) "zero" 0 (Broker.publish b (event s 2 "b"));
+  Alcotest.(check int) "published" 3 (Broker.published b);
+  Alcotest.(check int) "notifications" 3 (Broker.notifications b);
+  (* Primitive deliveries follow ascending profile id. *)
+  Alcotest.(check (list string)) "delivery log"
+    [ "alice"; "bob"; "bob" ] (List.rev !log)
+
+let test_subscribe_text_error () =
+  let b = Broker.create (schema ()) in
+  match Broker.subscribe_text b ~subscriber:"x" "nope = 1" (fun _ -> ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let test_unsubscribe () =
+  let s = schema () in
+  let b = Broker.create s in
+  let id =
+    Result.get_ok (Broker.subscribe_text b ~subscriber:"a" "x >= 0" (fun _ -> ()))
+  in
+  Alcotest.(check int) "before" 1 (Broker.publish b (event s 1 "a"));
+  Alcotest.(check bool) "removed" true (Broker.unsubscribe b id);
+  Alcotest.(check bool) "idempotent" false (Broker.unsubscribe b id);
+  Alcotest.(check int) "after" 0 (Broker.publish b (event s 1 "a"))
+
+let test_notification_payload () =
+  let s = schema () in
+  let b = Broker.create s in
+  let seen = ref None in
+  let _ =
+    Result.get_ok
+      (Broker.subscribe_text b ~subscriber:"carol" "x = 3" (fun n -> seen := Some n))
+  in
+  ignore (Broker.publish b (event s 3 "b"));
+  match !seen with
+  | None -> Alcotest.fail "no notification"
+  | Some n ->
+    Alcotest.(check string) "subscriber" "carol" n.Notification.subscriber;
+    Alcotest.(check bool) "event attached" true
+      (Event.equal n.Notification.event (event s 3 "b"))
+
+let test_composite_subscription () =
+  let s = schema () in
+  let b = Broker.create s in
+  let fired = ref 0 in
+  let hot = Profile.create_exn s [ ("x", Predicate.Ge (Value.Int 8)) ] in
+  let _ =
+    Result.get_ok
+      (Broker.subscribe_composite b ~subscriber:"watch"
+         (Composite.Repeat (Composite.Prim hot, 2, 10.0))
+         (fun _ -> incr fired))
+  in
+  ignore (Broker.publish b (event ~time:0.0 s 9 "a"));
+  Alcotest.(check int) "one hot is not enough" 0 !fired;
+  ignore (Broker.publish b (event ~time:5.0 s 8 "a"));
+  Alcotest.(check int) "second within window fires" 1 !fired;
+  ignore (Broker.publish b (event ~time:100.0 s 9 "a"));
+  ignore (Broker.publish b (event ~time:150.0 s 9 "a"));
+  Alcotest.(check int) "outside window silent" 1 !fired
+
+let test_composite_invalid () =
+  let s = schema () in
+  let b = Broker.create s in
+  let hot = Profile.create_exn s [ ("x", Predicate.Ge (Value.Int 8)) ] in
+  match
+    Broker.subscribe_composite b ~subscriber:"w"
+      (Composite.Repeat (Composite.Prim hot, 0, 10.0))
+      (fun _ -> ())
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected validation error"
+
+let test_quench_tracks_subscriptions () =
+  let s = schema () in
+  let b = Broker.create s in
+  let q0 = Broker.quench b in
+  Alcotest.(check bool) "nothing wanted" false (Quench.wanted_event q0 (event s 1 "a"));
+  let id =
+    Result.get_ok (Broker.subscribe_text b ~subscriber:"a" "x = 1" (fun _ -> ()))
+  in
+  let q1 = Broker.quench b in
+  Alcotest.(check bool) "wanted now" true (Quench.wanted_event q1 (event s 1 "a"));
+  Alcotest.(check bool) "other value unwanted" false
+    (Quench.wanted_event q1 (event s 2 "a"));
+  ignore (Broker.unsubscribe b id);
+  let q2 = Broker.quench b in
+  Alcotest.(check bool) "unwanted again" false (Quench.wanted_event q2 (event s 1 "a"))
+
+let test_publish_quenched () =
+  let s = schema () in
+  let b = Broker.create s in
+  let _ =
+    Result.get_ok (Broker.subscribe_text b ~subscriber:"a" "x = 1" (fun _ -> ()))
+  in
+  (match Broker.publish_quenched b (event s 1 "a") with
+  | Some 1 -> ()
+  | Some n -> Alcotest.failf "expected 1 notification, got %d" n
+  | None -> Alcotest.fail "wanted event suppressed");
+  (match Broker.publish_quenched b (event s 2 "a") with
+  | None -> ()
+  | Some _ -> Alcotest.fail "unwanted event published");
+  (* Suppressed events never reach the broker's counters. *)
+  Alcotest.(check int) "only one event filtered" 1 (Broker.published b)
+
+let test_quench_covers_composites () =
+  let s = schema () in
+  let b = Broker.create s in
+  let hot = Profile.create_exn s [ ("x", Predicate.Eq (Value.Int 9)) ] in
+  let _ =
+    Result.get_ok
+      (Broker.subscribe_composite b ~subscriber:"w"
+         (Composite.Repeat (Composite.Prim hot, 3, 10.0))
+         (fun _ -> ()))
+  in
+  let q = Broker.quench b in
+  Alcotest.(check bool) "constituent wanted" true
+    (Quench.wanted_event q (event s 9 "a"))
+
+let () =
+  Alcotest.run "broker"
+    [
+      ( "primitive",
+        [
+          Alcotest.test_case "subscribe/publish" `Quick test_subscribe_publish;
+          Alcotest.test_case "parse errors" `Quick test_subscribe_text_error;
+          Alcotest.test_case "unsubscribe" `Quick test_unsubscribe;
+          Alcotest.test_case "notification payload" `Quick test_notification_payload;
+        ] );
+      ( "composite",
+        [
+          Alcotest.test_case "repeat subscription" `Quick test_composite_subscription;
+          Alcotest.test_case "validation" `Quick test_composite_invalid;
+        ] );
+      ( "quench",
+        [
+          Alcotest.test_case "tracks subscriptions" `Quick test_quench_tracks_subscriptions;
+          Alcotest.test_case "publish_quenched" `Quick test_publish_quenched;
+          Alcotest.test_case "covers composite constituents" `Quick
+            test_quench_covers_composites;
+        ] );
+    ]

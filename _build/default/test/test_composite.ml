@@ -1,0 +1,168 @@
+(* Composite-event detection: operator semantics, windows, consumption,
+   and stream discipline. *)
+
+module Value = Genas_model.Value
+module Domain = Genas_model.Domain
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Predicate = Genas_profile.Predicate
+module Profile = Genas_profile.Profile
+module Composite = Genas_ens.Composite
+
+let schema () =
+  Schema.create_exn [ ("k", Domain.enum [ "a"; "b"; "c" ]) ]
+
+let prim s k =
+  Composite.Prim (Profile.create_exn s [ ("k", Predicate.Eq (Value.Str k)) ])
+
+let ev s ~t k = Event.create_exn ~time:t s [ ("k", Value.Str k) ]
+
+let feed_seq det s spec =
+  (* spec: (time, kind) list; returns #occurrences per step. *)
+  List.map (fun (t, k) -> List.length (Composite.feed det (ev s ~t k))) spec
+
+let test_prim () =
+  let s = schema () in
+  let det = Composite.compile_exn s (prim s "a") in
+  Alcotest.(check (list int)) "only a fires" [ 1; 0; 1 ]
+    (feed_seq det s [ (0.0, "a"); (1.0, "b"); (2.0, "a") ])
+
+let test_seq_order_and_window () =
+  let s = schema () in
+  let det = Composite.compile_exn s (Composite.Seq (prim s "a", prim s "b", 10.0)) in
+  Alcotest.(check (list int)) "a then b" [ 0; 1 ]
+    (feed_seq det s [ (0.0, "a"); (5.0, "b") ]);
+  Composite.reset det;
+  Alcotest.(check (list int)) "b then a does not fire" [ 0; 0 ]
+    (feed_seq det s [ (0.0, "b"); (5.0, "a") ]);
+  Composite.reset det;
+  Alcotest.(check (list int)) "outside window" [ 0; 0 ]
+    (feed_seq det s [ (0.0, "a"); (15.0, "b") ]);
+  Composite.reset det;
+  (* Simultaneous a and b (same event can't be both here, but two
+     branches could match the same event via Either; for Seq the a must
+     be strictly earlier). *)
+  Alcotest.(check (list int)) "a consumed once" [ 0; 1; 0 ]
+    (feed_seq det s [ (0.0, "a"); (1.0, "b"); (2.0, "b") ])
+
+let test_seq_constituents () =
+  let s = schema () in
+  let det = Composite.compile_exn s (Composite.Seq (prim s "a", prim s "b", 10.0)) in
+  ignore (Composite.feed det (ev s ~t:1.0 "a"));
+  match Composite.feed det (ev s ~t:3.0 "b") with
+  | [ occ ] ->
+    Alcotest.(check (float 1e-9)) "start" 1.0 occ.Composite.start_time;
+    Alcotest.(check (float 1e-9)) "end" 3.0 occ.Composite.end_time;
+    Alcotest.(check int) "two constituents" 2 (List.length occ.Composite.events)
+  | other -> Alcotest.failf "expected 1 occurrence, got %d" (List.length other)
+
+let test_both_any_order () =
+  let s = schema () in
+  let expr = Composite.Both (prim s "a", prim s "b", 10.0) in
+  let det = Composite.compile_exn s expr in
+  Alcotest.(check (list int)) "a then b" [ 0; 1 ]
+    (feed_seq det s [ (0.0, "a"); (5.0, "b") ]);
+  Composite.reset det;
+  Alcotest.(check (list int)) "b then a" [ 0; 1 ]
+    (feed_seq det s [ (0.0, "b"); (5.0, "a") ]);
+  Composite.reset det;
+  Alcotest.(check (list int)) "window expiry" [ 0; 0 ]
+    (feed_seq det s [ (0.0, "b"); (50.0, "a") ])
+
+let test_either () =
+  let s = schema () in
+  let det = Composite.compile_exn s (Composite.Either (prim s "a", prim s "b")) in
+  Alcotest.(check (list int)) "both sides fire" [ 1; 1; 0 ]
+    (feed_seq det s [ (0.0, "a"); (1.0, "b"); (2.0, "c") ]);
+  (* Overlapping alternatives on the same event yield one occurrence
+     per matching branch. *)
+  let det2 = Composite.compile_exn s (Composite.Either (prim s "a", prim s "a")) in
+  Alcotest.(check (list int)) "overlap duplicates" [ 2 ]
+    (feed_seq det2 s [ (0.0, "a") ])
+
+let test_without () =
+  let s = schema () in
+  let det =
+    Composite.compile_exn s (Composite.Without (prim s "a", prim s "b", 10.0))
+  in
+  Alcotest.(check (list int)) "clean a fires" [ 1 ] (feed_seq det s [ (0.0, "a") ]);
+  Composite.reset det;
+  Alcotest.(check (list int)) "recent b suppresses" [ 0; 0 ]
+    (feed_seq det s [ (0.0, "b"); (5.0, "a") ]);
+  Composite.reset det;
+  Alcotest.(check (list int)) "old b does not" [ 0; 1 ]
+    (feed_seq det s [ (0.0, "b"); (20.0, "a") ])
+
+let test_repeat () =
+  let s = schema () in
+  let det = Composite.compile_exn s (Composite.Repeat (prim s "a", 3, 10.0)) in
+  Alcotest.(check (list int)) "fires on the third" [ 0; 0; 1 ]
+    (feed_seq det s [ (0.0, "a"); (2.0, "a"); (4.0, "a") ]);
+  (* Constituents consumed: three more needed. *)
+  Alcotest.(check (list int)) "consumption" [ 0; 0; 1 ]
+    (feed_seq det s [ (5.0, "a"); (6.0, "a"); (7.0, "a") ]);
+  Composite.reset det;
+  Alcotest.(check (list int)) "window slides" [ 0; 0; 0; 1 ]
+    (feed_seq det s [ (0.0, "a"); (20.0, "a"); (21.0, "a"); (22.0, "a") ])
+
+let test_nested () =
+  let s = schema () in
+  (* (a then b) twice within 100. *)
+  let det =
+    Composite.compile_exn s
+      (Composite.Repeat (Composite.Seq (prim s "a", prim s "b", 10.0), 2, 100.0))
+  in
+  Alcotest.(check (list int)) "nested fires" [ 0; 0; 0; 1 ]
+    (feed_seq det s [ (0.0, "a"); (1.0, "b"); (10.0, "a"); (11.0, "b") ])
+
+let test_validation () =
+  let s = schema () in
+  let err expr =
+    match Composite.compile s expr with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "expected validation error"
+  in
+  err (Composite.Seq (prim s "a", prim s "b", 0.0));
+  err (Composite.Seq (prim s "a", prim s "b", Float.infinity));
+  err (Composite.Repeat (prim s "a", 0, 5.0));
+  err (Composite.Both (prim s "a", Composite.Repeat (prim s "b", 1, -1.0), 5.0))
+
+let test_time_discipline () =
+  let s = schema () in
+  let det = Composite.compile_exn s (prim s "a") in
+  ignore (Composite.feed det (ev s ~t:10.0 "a"));
+  Alcotest.check_raises "regression rejected"
+    (Invalid_argument "Composite.feed: events must arrive in time order")
+    (fun () -> ignore (Composite.feed det (ev s ~t:5.0 "a")));
+  (* Equal timestamps are fine. *)
+  ignore (Composite.feed det (ev s ~t:10.0 "a"))
+
+let test_reset () =
+  let s = schema () in
+  let det = Composite.compile_exn s (Composite.Seq (prim s "a", prim s "b", 10.0)) in
+  ignore (Composite.feed det (ev s ~t:0.0 "a"));
+  Composite.reset det;
+  Alcotest.(check (list int)) "pending cleared" [ 0 ]
+    (feed_seq det s [ (1.0, "b") ])
+
+let () =
+  Alcotest.run "composite"
+    [
+      ( "operators",
+        [
+          Alcotest.test_case "prim" `Quick test_prim;
+          Alcotest.test_case "seq" `Quick test_seq_order_and_window;
+          Alcotest.test_case "seq constituents" `Quick test_seq_constituents;
+          Alcotest.test_case "both" `Quick test_both_any_order;
+          Alcotest.test_case "either" `Quick test_either;
+          Alcotest.test_case "without" `Quick test_without;
+          Alcotest.test_case "repeat" `Quick test_repeat;
+          Alcotest.test_case "nested" `Quick test_nested;
+        ] );
+      ( "discipline",
+        [
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "time order" `Quick test_time_discipline;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+    ]

@@ -1,0 +1,343 @@
+(* The analytic cost model: agreement with simulation, internal
+   consistency, and the per-profile decomposition. *)
+
+module Prng = Genas_prng.Prng
+module Schema = Genas_model.Schema
+module Axis = Genas_model.Axis
+module Dist = Genas_dist.Dist
+module Shape = Genas_dist.Shape
+module Decomp = Genas_filter.Decomp
+module Tree = Genas_filter.Tree
+module Order = Genas_filter.Order
+module Ops = Genas_filter.Ops
+module Stats = Genas_core.Stats
+module Cost = Genas_core.Cost
+module Selectivity = Genas_core.Selectivity
+module Reorder = Genas_core.Reorder
+module Gen = Genas_testlib.Gen
+module Workload = Genas_expt.Workload
+module Simulate = Genas_expt.Simulate
+
+let close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.6f, got %.6f" msg expected actual
+
+(* A deterministic random scenario on the normalized schema, with known
+   event distributions. *)
+let scenario ~seed ~attrs ~p ~dontcare =
+  let schema = Workload.normalized_schema ~attrs ~points:50 () in
+  let axes =
+    Array.init attrs (fun i -> Axis.of_domain (Schema.attribute schema i).Schema.domain)
+  in
+  let rng = Prng.create ~seed in
+  let pset =
+    Workload.gen_profiles rng schema
+      {
+        Workload.p;
+        dontcare = Array.make attrs dontcare;
+        value_dists = Array.map (fun ax -> Shape.gauss () ax) axes;
+        range_width = (if seed mod 2 = 0 then Some 0.15 else None);
+      }
+  in
+  let stats = Stats.create (Decomp.build pset) in
+  Array.iteri
+    (fun i ax ->
+      Stats.assume_event_dist stats ~attr:i
+        (if i mod 2 = 0 then Shape.gauss () ax else Dist.uniform ax))
+    axes;
+  stats
+
+let strategies =
+  [
+    `Measure Selectivity.V_natural_asc;
+    `Measure Selectivity.V1;
+    `Measure Selectivity.V2;
+    `Measure Selectivity.V3;
+    `Binary;
+  ]
+
+let test_analytic_matches_simulation () =
+  List.iteri
+    (fun i value_choice ->
+      let stats = scenario ~seed:(100 + i) ~attrs:2 ~p:12 ~dontcare:0.25 in
+      let tree =
+        Reorder.build stats { Reorder.attr_choice = Reorder.Attr_natural; value_choice }
+      in
+      let report = Cost.evaluate_with_stats tree stats in
+      let dists =
+        Array.init 2 (fun attr -> Stats.event_dist stats ~attr)
+      in
+      let rng = Prng.create ~seed:(900 + i) in
+      let sim = Simulate.run_fixed rng tree dists ~events:60_000 in
+      let rel =
+        Float.abs (sim.Simulate.per_event -. report.Cost.per_event)
+        /. Float.max 1.0 report.Cost.per_event
+      in
+      if rel > 0.03 then
+        Alcotest.failf "strategy %d: simulated %.4f vs analytic %.4f" i
+          sim.Simulate.per_event report.Cost.per_event;
+      let matches_rel =
+        Float.abs (sim.Simulate.match_rate -. report.Cost.expected_matches)
+        /. Float.max 0.05 report.Cost.expected_matches
+      in
+      if matches_rel > 0.10 then
+        Alcotest.failf "strategy %d: match rate %.4f vs %.4f" i
+          sim.Simulate.match_rate report.Cost.expected_matches)
+    strategies
+
+let test_per_level_sums_to_per_event () =
+  let stats = scenario ~seed:7 ~attrs:3 ~p:10 ~dontcare:0.3 in
+  let tree =
+    Reorder.build stats
+      { Reorder.attr_choice = Reorder.Attr_natural;
+        value_choice = `Measure Selectivity.V1 }
+  in
+  let r = Cost.evaluate_with_stats tree stats in
+  close ~eps:1e-6 "levels sum"
+    r.Cost.per_event
+    (Array.fold_left ( +. ) 0.0 r.Cost.per_level)
+
+let test_per_profile_consistency () =
+  let stats = scenario ~seed:8 ~attrs:2 ~p:8 ~dontcare:0.2 in
+  let tree =
+    Reorder.build stats
+      { Reorder.attr_choice = Reorder.Attr_natural;
+        value_choice = `Measure Selectivity.V3 }
+  in
+  let cell_probs =
+    Array.init 2 (fun attr -> Stats.event_cell_probs stats ~attr)
+  in
+  let r = Cost.evaluate tree ~cell_probs in
+  let per = Cost.per_profile tree ~cell_probs in
+  (* Sum of per-profile match probabilities = expected matched count. *)
+  let total = List.fold_left (fun a p -> a +. p.Cost.match_prob_p) 0.0 per in
+  close ~eps:1e-6 "sum of match probs" r.Cost.expected_matches total;
+  (* Weighted per-profile joint = aggregate joint. *)
+  let joint =
+    List.fold_left
+      (fun a p ->
+        if p.Cost.match_prob_p > 0.0 then
+          a +. (p.Cost.match_prob_p *. p.Cost.ops_given_match)
+        else a)
+      0.0 per
+  in
+  close ~eps:1e-6 "joint decomposition" r.Cost.ops_times_matches joint
+
+let test_match_prob_bounds () =
+  let stats = scenario ~seed:9 ~attrs:3 ~p:15 ~dontcare:0.4 in
+  let tree =
+    Reorder.build stats
+      { Reorder.attr_choice = Reorder.Attr_natural; value_choice = `Binary }
+  in
+  let r = Cost.evaluate_with_stats tree stats in
+  Alcotest.(check bool) "0 <= p <= 1" true
+    (r.Cost.match_prob >= 0.0 && r.Cost.match_prob <= 1.0 +. 1e-9);
+  Alcotest.(check bool) "matches >= match_prob" true
+    (r.Cost.expected_matches +. 1e-9 >= r.Cost.match_prob)
+
+let test_joint_evaluator_matches_simulation () =
+  let stats = scenario ~seed:21 ~attrs:2 ~p:10 ~dontcare:0.2 in
+  let decomp = Stats.decomp stats in
+  let axes = decomp.Genas_filter.Decomp.axes in
+  let joint =
+    Genas_dist.Joint.mixture
+      [
+        (0.4, [| Shape.peak ~at:0.2 ~mass:0.9 ~width:0.2 axes.(0);
+                 Shape.peak ~at:0.8 ~mass:0.9 ~width:0.2 axes.(1) |]);
+        (0.6, [| Shape.peak ~at:0.8 ~mass:0.9 ~width:0.2 axes.(0);
+                 Shape.peak ~at:0.2 ~mass:0.9 ~width:0.2 axes.(1) |]);
+      ]
+  in
+  let tree =
+    Reorder.build stats
+      { Reorder.attr_choice = Reorder.Attr_natural;
+        value_choice = `Measure Selectivity.V1 }
+  in
+  let analytic = Cost.evaluate_joint tree joint in
+  let sim =
+    Genas_expt.Simulate.run_joint (Prng.create ~seed:22) tree joint
+      ~events:80_000
+  in
+  let rel =
+    Float.abs (sim.Genas_expt.Simulate.per_event -. analytic.Cost.per_event)
+    /. Float.max 1.0 analytic.Cost.per_event
+  in
+  if rel > 0.03 then
+    Alcotest.failf "joint: simulated %.4f vs analytic %.4f"
+      sim.Genas_expt.Simulate.per_event analytic.Cost.per_event;
+  (* Per-level sums to per-event in the joint evaluator too. *)
+  close ~eps:1e-6 "joint levels sum" analytic.Cost.per_event
+    (Array.fold_left ( +. ) 0.0 analytic.Cost.per_level)
+
+let test_joint_independent_equals_evaluate () =
+  (* A single-component joint must agree exactly with the independent
+     evaluator. *)
+  let stats = scenario ~seed:23 ~attrs:3 ~p:8 ~dontcare:0.3 in
+  let tree =
+    Reorder.build stats
+      { Reorder.attr_choice = Reorder.Attr_natural; value_choice = `Binary }
+  in
+  let dists = Array.init 3 (fun attr -> Stats.event_dist stats ~attr) in
+  let joint = Genas_dist.Joint.independent dists in
+  let a = Cost.evaluate_with_stats tree stats in
+  let b = Cost.evaluate_joint tree joint in
+  close ~eps:1e-9 "per_event equal" a.Cost.per_event b.Cost.per_event;
+  close ~eps:1e-9 "matches equal" a.Cost.expected_matches b.Cost.expected_matches;
+  close ~eps:1e-9 "joint moment equal" a.Cost.ops_times_matches b.Cost.ops_times_matches
+
+(* Exact cross-check: on a small discrete schema, enumerate EVERY
+   possible event, run the real matcher, and compare the weighted
+   averages with the analytic evaluator — no sampling error at all. *)
+let test_exhaustive_enumeration_agrees () =
+  let points = 7 in
+  List.iter
+    (fun (seed, value_choice) ->
+      let schema = Workload.normalized_schema ~attrs:2 ~points () in
+      let rng = Prng.create ~seed in
+      let axes =
+        Array.init 2 (fun i ->
+            Genas_model.Axis.of_domain
+              (Schema.attribute schema i).Schema.domain)
+      in
+      let pset =
+        Workload.gen_profiles rng schema
+          {
+            Workload.p = 6;
+            dontcare = [| 0.3; 0.3 |];
+            value_dists = Array.map Dist.uniform axes;
+            range_width = (if seed mod 2 = 0 then Some 0.3 else None);
+          }
+      in
+      let stats = Stats.create (Decomp.build pset) in
+      (* Non-uniform event weights to exercise the expectation. *)
+      let weights =
+        Array.init points (fun i -> float_of_int (1 + (i * seed mod 5)))
+      in
+      let wsum = Array.fold_left ( +. ) 0.0 weights in
+      Array.iteri
+        (fun attr ax ->
+          ignore attr;
+          Stats.assume_event_dist stats ~attr
+            (Dist.of_atoms ax
+               (List.init points (fun i -> (float_of_int i, weights.(i))))))
+        axes;
+      let tree =
+        Reorder.build stats { Reorder.attr_choice = Reorder.Attr_natural; value_choice }
+      in
+      let report = Cost.evaluate_with_stats tree stats in
+      (* Enumerate the full event space. *)
+      let total_ops = ref 0.0 and total_matches = ref 0.0 in
+      let total_joint = ref 0.0 in
+      for x = 0 to points - 1 do
+        for y = 0 to points - 1 do
+          let p = weights.(x) /. wsum *. (weights.(y) /. wsum) in
+          let ops = Ops.create () in
+          let matched =
+            Tree.match_coords ~ops tree [| float_of_int x; float_of_int y |]
+          in
+          let c = float_of_int ops.Ops.comparisons in
+          let m = float_of_int (List.length matched) in
+          total_ops := !total_ops +. (p *. c);
+          total_matches := !total_matches +. (p *. m);
+          total_joint := !total_joint +. (p *. c *. m)
+        done
+      done;
+      close ~eps:1e-9
+        (Printf.sprintf "per_event (seed %d)" seed)
+        !total_ops report.Cost.per_event;
+      close ~eps:1e-9
+        (Printf.sprintf "expected_matches (seed %d)" seed)
+        !total_matches report.Cost.expected_matches;
+      close ~eps:1e-9
+        (Printf.sprintf "ops×matches (seed %d)" seed)
+        !total_joint report.Cost.ops_times_matches)
+    [
+      (1, `Measure Selectivity.V_natural_asc);
+      (2, `Measure Selectivity.V1);
+      (3, `Measure Selectivity.V2);
+      (4, `Binary);
+      (5, `Measure Selectivity.V3);
+      (6, `Hashed);
+    ]
+
+let test_empty_tree_report () =
+  let schema = Workload.normalized_schema ~attrs:2 ~points:10 () in
+  let pset = Genas_profile.Profile_set.create schema in
+  let decomp = Decomp.build pset in
+  let tree = Tree.build decomp (Tree.default_config decomp) in
+  let cell_probs =
+    Array.init 2 (fun attr ->
+        Dist.cell_probs
+          (Dist.uniform decomp.Decomp.axes.(attr))
+          decomp.Decomp.overlays.(attr))
+  in
+  let r = Cost.evaluate tree ~cell_probs in
+  close "zero cost" 0.0 r.Cost.per_event;
+  close "zero matches" 0.0 r.Cost.expected_matches
+
+let test_dimension_guards () =
+  let stats = scenario ~seed:10 ~attrs:2 ~p:5 ~dontcare:0.2 in
+  let tree =
+    Reorder.build stats
+      { Reorder.attr_choice = Reorder.Attr_natural; value_choice = `Binary }
+  in
+  Alcotest.check_raises "arity" (Invalid_argument "Cost: cell_probs arity mismatch")
+    (fun () -> ignore (Cost.evaluate tree ~cell_probs:[| [| 1.0 |] |]))
+
+(* Property: binary-search cost per level is bounded by ceil(log2) of
+   the attribute's referenced cell count (+1 for safety on gaps). *)
+let prop_binary_bounded =
+  QCheck.Test.make ~name:"binary per-level cost ≤ log bound" ~count:30
+    (QCheck.make (Gen.scenario ~max_attrs:3 ~max_p:12 ~n_events:1 ()))
+    (fun (s, pset, _) ->
+      let decomp = Decomp.build pset in
+      let n = Schema.arity s in
+      let tree =
+        Tree.build decomp
+          {
+            Tree.attr_order = Array.init n Fun.id;
+            strategies = Array.make n Order.Binary;
+          }
+      in
+      let cell_probs =
+        Array.init n (fun attr ->
+            Dist.cell_probs
+              (Dist.uniform decomp.Decomp.axes.(attr))
+              decomp.Decomp.overlays.(attr))
+      in
+      let r = Cost.evaluate tree ~cell_probs in
+      let ok = ref true in
+      Array.iteri
+        (fun level cost ->
+          let attr = tree.Tree.config.Tree.attr_order.(level) in
+          let m = Decomp.referenced_count decomp ~attr in
+          let bound = ceil (log (float_of_int (max 2 m)) /. log 2.0) +. 1.0 in
+          if cost > bound then ok := false)
+        r.Cost.per_level;
+      !ok)
+
+let () =
+  Alcotest.run "cost"
+    [
+      ( "agreement",
+        [
+          Alcotest.test_case "analytic = simulated (all strategies)" `Slow
+            test_analytic_matches_simulation;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "per-level sum" `Quick test_per_level_sums_to_per_event;
+          Alcotest.test_case "per-profile decomposition" `Quick
+            test_per_profile_consistency;
+          Alcotest.test_case "probability bounds" `Quick test_match_prob_bounds;
+          Alcotest.test_case "joint = simulated" `Slow
+            test_joint_evaluator_matches_simulation;
+          Alcotest.test_case "joint degenerates to independent" `Quick
+            test_joint_independent_equals_evaluate;
+          Alcotest.test_case "exhaustive enumeration (exact)" `Quick
+            test_exhaustive_enumeration_agrees;
+          Alcotest.test_case "empty tree" `Quick test_empty_tree_report;
+          Alcotest.test_case "dimension guards" `Quick test_dimension_guards;
+          QCheck_alcotest.to_alcotest prop_binary_bounded;
+        ] );
+    ]

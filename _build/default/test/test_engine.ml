@@ -1,0 +1,135 @@
+(* The filter engine facade: matching, staleness refresh, spec changes,
+   and operation accounting. *)
+
+module Value = Genas_model.Value
+module Domain = Genas_model.Domain
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Predicate = Genas_profile.Predicate
+module Profile = Genas_profile.Profile
+module Profile_set = Genas_profile.Profile_set
+module Tree = Genas_filter.Tree
+module Ops = Genas_filter.Ops
+module Engine = Genas_core.Engine
+module Selectivity = Genas_core.Selectivity
+module Reorder = Genas_core.Reorder
+
+let schema () =
+  Schema.create_exn
+    [ ("x", Domain.int_range ~lo:0 ~hi:9); ("y", Domain.int_range ~lo:0 ~hi:9) ]
+
+let event s x y = Event.create_exn s [ ("x", Value.Int x); ("y", Value.Int y) ]
+
+let test_basic_matching () =
+  let s = schema () in
+  let pset = Profile_set.create s in
+  let id =
+    Result.get_ok
+      (Profile_set.add_spec pset [ ("x", Predicate.Ge (Value.Int 5)) ])
+  in
+  let engine = Engine.create pset in
+  Alcotest.(check (list int)) "hit" [ id ] (Engine.match_event engine (event s 7 0));
+  Alcotest.(check (list int)) "miss" [] (Engine.match_event engine (event s 2 0))
+
+let test_refresh_on_subscription_change () =
+  let s = schema () in
+  let pset = Profile_set.create s in
+  let engine = Engine.create pset in
+  Alcotest.(check (list int)) "empty" [] (Engine.match_event engine (event s 5 5));
+  let id = Result.get_ok (Profile_set.add_spec pset [ ("y", Predicate.Le (Value.Int 5)) ]) in
+  (* The engine must notice the registry revision change. *)
+  Alcotest.(check (list int)) "after add" [ id ]
+    (Engine.match_event engine (event s 5 5));
+  ignore (Profile_set.remove pset id);
+  Alcotest.(check (list int)) "after remove" []
+    (Engine.match_event engine (event s 5 5))
+
+let test_ops_accumulate_and_observe () =
+  let s = schema () in
+  let pset = Profile_set.create s in
+  ignore (Result.get_ok (Profile_set.add_spec pset [ ("x", Predicate.Eq (Value.Int 3)) ]));
+  let engine = Engine.create pset in
+  for i = 0 to 9 do
+    ignore (Engine.match_event engine (event s i i))
+  done;
+  let ops = Engine.ops engine in
+  Alcotest.(check int) "events" 10 ops.Ops.events;
+  Alcotest.(check bool) "comparisons counted" true (ops.Ops.comparisons > 0);
+  Alcotest.(check int) "stats observed" 10
+    (Genas_core.Stats.events_seen (Engine.stats engine))
+
+let test_set_spec_rebuilds () =
+  let s = schema () in
+  let pset = Profile_set.create s in
+  ignore (Result.get_ok (Profile_set.add_spec pset [ ("x", Predicate.Ge (Value.Int 2)) ]));
+  ignore (Result.get_ok (Profile_set.add_spec pset [ ("y", Predicate.Le (Value.Int 7)) ]));
+  let engine = Engine.create pset in
+  let before = Engine.tree engine in
+  Engine.set_spec engine
+    { Reorder.attr_choice = Reorder.Attr_explicit [| 1; 0 |];
+      value_choice = `Binary };
+  let after = Engine.tree engine in
+  Alcotest.(check bool) "tree replaced" true (before != after);
+  Alcotest.(check (list int)) "new attr order" [ 1; 0 ]
+    (Array.to_list after.Tree.config.Tree.attr_order);
+  (* Semantics unchanged. *)
+  Alcotest.(check (list int)) "same matches" [ 0; 1 ]
+    (Engine.match_event engine (event s 5 5))
+
+let test_rebuild_keeps_observations () =
+  let s = schema () in
+  let pset = Profile_set.create s in
+  ignore (Result.get_ok (Profile_set.add_spec pset [ ("x", Predicate.Ge (Value.Int 5)) ]));
+  let engine = Engine.create pset in
+  for _ = 1 to 50 do
+    ignore (Engine.match_event engine (event s 9 9))
+  done;
+  Engine.rebuild engine;
+  Alcotest.(check int) "history kept across rebuild" 50
+    (Genas_core.Stats.events_seen (Engine.stats engine))
+
+let test_auto_and_hashed_specs () =
+  let s = schema () in
+  let pset = Profile_set.create s in
+  ignore (Result.get_ok (Profile_set.add_spec pset [ ("x", Predicate.Ge (Value.Int 3)) ]));
+  ignore (Result.get_ok (Profile_set.add_spec pset [ ("y", Predicate.Le (Value.Int 6)) ]));
+  List.iter
+    (fun value_choice ->
+      let engine =
+        Engine.create
+          ~spec:{ Reorder.attr_choice = Reorder.Attr_a3; value_choice }
+          pset
+      in
+      (* Semantics must be independent of the spec. *)
+      Alcotest.(check (list int)) "both match" [ 0; 1 ]
+        (Engine.match_event engine (event s 5 5));
+      Alcotest.(check (list int)) "one matches" [ 1 ]
+        (Engine.match_event engine (event s 1 5)))
+    [ `Auto; `Hashed; `Measure Genas_core.Selectivity.V3 ]
+
+let test_report_reflects_tree () =
+  let s = schema () in
+  let pset = Profile_set.create s in
+  ignore (Result.get_ok (Profile_set.add_spec pset [ ("x", Predicate.Eq (Value.Int 0)) ]));
+  let engine = Engine.create pset in
+  let r = Engine.report engine in
+  Alcotest.(check bool) "positive expected cost" true (r.Genas_core.Cost.per_event > 0.0);
+  Alcotest.(check bool) "match prob = 0.1 under uniform" true
+    (Float.abs (r.Genas_core.Cost.match_prob -. 0.1) < 1e-9)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "matching" `Quick test_basic_matching;
+          Alcotest.test_case "refresh on registry change" `Quick
+            test_refresh_on_subscription_change;
+          Alcotest.test_case "ops + observation" `Quick test_ops_accumulate_and_observe;
+          Alcotest.test_case "set_spec" `Quick test_set_spec_rebuilds;
+          Alcotest.test_case "rebuild keeps history" `Quick
+            test_rebuild_keeps_observations;
+          Alcotest.test_case "analytic report" `Quick test_report_reflects_tree;
+          Alcotest.test_case "auto/hashed specs" `Quick test_auto_and_hashed_specs;
+        ] );
+    ]

@@ -1,0 +1,242 @@
+(* The experiment harness: workload generation, the 95%-precision
+   simulation protocol, and figure-table structure. *)
+
+module Prng = Genas_prng.Prng
+module Schema = Genas_model.Schema
+module Axis = Genas_model.Axis
+module Dist = Genas_dist.Dist
+module Shape = Genas_dist.Shape
+module Profile = Genas_profile.Profile
+module Profile_set = Genas_profile.Profile_set
+module Decomp = Genas_filter.Decomp
+module Tree = Genas_filter.Tree
+module Workload = Genas_expt.Workload
+module Simulate = Genas_expt.Simulate
+module Figures = Genas_expt.Figures
+module Report = Genas_expt.Report
+
+let test_normalized_schema () =
+  let s = Workload.normalized_schema ~attrs:3 ~points:50 () in
+  Alcotest.(check int) "arity" 3 (Schema.arity s);
+  let a = Schema.attribute s 1 in
+  Alcotest.(check string) "name" "a1" a.Schema.name;
+  Alcotest.(check (float 1e-9)) "domain size" 50.0 (Genas_model.Domain.size a.Schema.domain)
+
+let test_gen_profiles_counts () =
+  let s = Workload.normalized_schema ~attrs:2 ~points:20 () in
+  let axes = Array.init 2 (fun i -> Axis.of_domain (Schema.attribute s i).Schema.domain) in
+  let rng = Prng.create ~seed:42 in
+  let pset =
+    Workload.gen_profiles rng s
+      {
+        Workload.p = 37;
+        dontcare = [| 0.5; 0.0 |];
+        value_dists = Array.map Dist.uniform axes;
+        range_width = None;
+      }
+  in
+  Alcotest.(check int) "p profiles" 37 (Profile_set.size pset);
+  (* Attribute 1 has zero don't-care probability: every profile
+     constrains it. *)
+  Profile_set.iter pset (fun _ p ->
+      if Profile.is_dont_care p 1 then Alcotest.fail "a1 must be constrained")
+
+let test_gen_profiles_respect_distribution () =
+  let s = Workload.normalized_schema ~attrs:1 ~points:100 () in
+  let axis = Axis.of_domain (Schema.attribute s 0).Schema.domain in
+  let rng = Prng.create ~seed:43 in
+  let pset =
+    Workload.gen_profiles rng s
+      {
+        Workload.p = 200;
+        dontcare = [| 0.0 |];
+        value_dists = [| Shape.peak ~at:0.2 ~mass:1.0 ~width:0.1 axis |];
+        range_width = None;
+      }
+  in
+  (* All equality values must fall inside the peak window [15,25]. *)
+  let d = Decomp.build pset in
+  let overlay = d.Decomp.overlays.(0) in
+  Array.iter
+    (fun ci ->
+      let itv = overlay.Genas_interval.Overlay.cells.(ci).Genas_interval.Overlay.itv in
+      if itv.Genas_interval.Interval.lo < 14.0 || itv.Genas_interval.Interval.hi > 26.0
+      then
+        Alcotest.failf "referenced cell %s outside peak"
+          (Format.asprintf "%a" Genas_interval.Interval.pp itv))
+    (Genas_interval.Overlay.referenced overlay)
+
+let test_gen_profiles_ranges () =
+  let s = Workload.normalized_schema ~attrs:1 ~points:100 () in
+  let axis = Axis.of_domain (Schema.attribute s 0).Schema.domain in
+  let rng = Prng.create ~seed:44 in
+  let pset =
+    Workload.gen_profiles rng s
+      {
+        Workload.p = 20;
+        dontcare = [| 0.0 |];
+        value_dists = [| Dist.uniform axis |];
+        range_width = Some 0.2;
+      }
+  in
+  (* Range profiles reference more than a point each. *)
+  Profile_set.iter pset (fun _ p ->
+      match Profile.denotation p 0 with
+      | None -> Alcotest.fail "constrained"
+      | Some iset ->
+        let m = Genas_interval.Iset.measure ~discrete:true iset in
+        if m < 2.0 then Alcotest.failf "range too small: %.0f" m)
+
+let test_gen_profiles_guards () =
+  let s = Workload.normalized_schema ~attrs:1 ~points:10 () in
+  let axis = Axis.of_domain (Schema.attribute s 0).Schema.domain in
+  let rng = Prng.create ~seed:45 in
+  Alcotest.check_raises "p = 0"
+    (Invalid_argument "Workload.gen_profiles: p must be positive") (fun () ->
+      ignore
+        (Workload.gen_profiles rng s
+           {
+             Workload.p = 0;
+             dontcare = [| 0.0 |];
+             value_dists = [| Dist.uniform axis |];
+             range_width = None;
+           }))
+
+let test_simulation_converges () =
+  let s = Workload.normalized_schema ~attrs:1 ~points:50 () in
+  let axis = Axis.of_domain (Schema.attribute s 0).Schema.domain in
+  let rng = Prng.create ~seed:46 in
+  let pset =
+    Workload.gen_profiles rng s
+      {
+        Workload.p = 20;
+        dontcare = [| 0.0 |];
+        value_dists = [| Dist.uniform axis |];
+        range_width = None;
+      }
+  in
+  let d = Decomp.build pset in
+  let tree = Tree.build d (Tree.default_config d) in
+  let r = Simulate.run rng tree [| Dist.uniform axis |] in
+  Alcotest.(check bool) "converged" true r.Simulate.converged;
+  Alcotest.(check bool) "ci positive" true (r.Simulate.ci_halfwidth > 0.0);
+  Alcotest.(check bool) "precision met" true
+    (r.Simulate.ci_halfwidth /. r.Simulate.per_event <= 0.05);
+  let fixed = Simulate.run_fixed rng tree [| Dist.uniform axis |] ~events:500 in
+  Alcotest.(check int) "fixed count" 500 fixed.Simulate.events
+
+let test_simulation_arity_guard () =
+  let s = Workload.normalized_schema ~attrs:2 ~points:10 () in
+  let rng = Prng.create ~seed:47 in
+  let pset = Profile_set.create s in
+  ignore
+    (Result.get_ok
+       (Profile_set.add_spec pset
+          [ ("a0", Genas_profile.Predicate.Eq (Genas_model.Value.Int 1)) ]));
+  let d = Decomp.build pset in
+  let tree = Tree.build d (Tree.default_config d) in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Simulate: distribution arity mismatch") (fun () ->
+      ignore (Simulate.run rng tree [| Dist.uniform d.Decomp.axes.(0) |]))
+
+(* Figure tables: structural checks (cheap parameterizations). *)
+let test_figure_structure () =
+  let t = Figures.fig4a ~seed:5 ~p:10 () in
+  Alcotest.(check int) "fig4a rows" 7 (List.length t.Report.rows);
+  Alcotest.(check int) "fig4a cols" 4 (List.length t.Report.columns);
+  List.iter
+    (fun row -> Alcotest.(check int) "row width" 4 (List.length row))
+    t.Report.rows;
+  let f5 = Figures.fig5 ~seed:5 ~p:10 () in
+  Alcotest.(check int) "fig5 has three panels" 3 (List.length f5);
+  let f3 = Figures.fig3 () in
+  Alcotest.(check int) "fig3 rows" 15 (List.length f3.Report.rows)
+
+let test_more_figures_structure () =
+  let t6 = Figures.fig6a ~seed:3 ~p:8 () in
+  Alcotest.(check int) "fig6a rows (3 dists x 3 orders)" 9
+    (List.length t6.Report.rows);
+  let t8 = Figures.orderings8 ~seed:3 ~p:8 () in
+  Alcotest.(check int) "orderings8 columns (label + 9)" 10
+    (List.length t8.Report.columns);
+  let tf = Figures.fragility ~seed:3 ~p:8 () in
+  (* Stale V1 cost is non-decreasing in the drift share. *)
+  let stale = List.map (fun row -> float_of_string (List.nth row 1)) tf.Report.rows in
+  let rec non_decreasing = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && non_decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "fragility monotone" true (non_decreasing stale);
+  let out = Figures.outlook_strategies ~seed:3 ~p:8 () in
+  (* The hashed column must be exactly 1.00 for single-attribute
+     scenarios (one node, one charged comparison). *)
+  List.iter
+    (fun row ->
+      match List.nth_opt row 4 with
+      | Some v -> Alcotest.(check string) "hashed = 1.00" "1.00" v
+      | None -> Alcotest.fail "row shape")
+    out.Report.rows
+
+let test_report_render () =
+  let t =
+    Report.table ~title:"t" ~columns:[ "a"; "bb" ] ~notes:[ "n" ]
+      [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  let s = Format.asprintf "%a" Report.render t in
+  Alcotest.(check bool) "title present" true
+    (String.length s > 0
+    && Option.is_some (String.index_opt s 't'));
+  Alcotest.(check bool) "note rendered" true
+    (String.split_on_char '\n' s |> List.exists (fun l ->
+         String.trim l = "note: n"))
+
+let test_csv () =
+  let t =
+    Report.table ~title:"t" ~columns:[ "a"; "b" ]
+      [ [ "1"; "x,y" ]; [ "2"; "say \"hi\"" ] ]
+  in
+  Alcotest.(check string) "escaping"
+    "a,b\n1,\"x,y\"\n2,\"say \"\"hi\"\"\"\n" (Report.to_csv t)
+
+let test_bars () =
+  let t = Report.bars ~title:"b" ~unit_label:"ops" [ ("x", 2.0); ("y", 4.0) ] in
+  Alcotest.(check int) "rows" 2 (List.length t.Report.rows);
+  (match t.Report.rows with
+  | [ [ _; _; bx ]; [ _; _; by ] ] ->
+    Alcotest.(check int) "proportional" (String.length by)
+      (2 * String.length bx)
+  | _ -> Alcotest.fail "row shape")
+
+let test_sparkline () =
+  let sl = Report.sparkline [ 0.0; 0.5; 1.0 ] in
+  Alcotest.(check bool) "nonempty" true (String.length sl > 0);
+  Alcotest.(check string) "flat zero" "   " (Report.sparkline [ 0.0; 0.0; 0.0 ])
+
+let () =
+  Alcotest.run "expt"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "normalized schema" `Quick test_normalized_schema;
+          Alcotest.test_case "profile counts" `Quick test_gen_profiles_counts;
+          Alcotest.test_case "distribution respected" `Quick
+            test_gen_profiles_respect_distribution;
+          Alcotest.test_case "range profiles" `Quick test_gen_profiles_ranges;
+          Alcotest.test_case "guards" `Quick test_gen_profiles_guards;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "95% precision protocol" `Quick test_simulation_converges;
+          Alcotest.test_case "arity guard" `Quick test_simulation_arity_guard;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "table structure" `Quick test_figure_structure;
+          Alcotest.test_case "fig6/orderings/outlook structure" `Quick
+            test_more_figures_structure;
+          Alcotest.test_case "report rendering" `Quick test_report_render;
+          Alcotest.test_case "csv export" `Quick test_csv;
+          Alcotest.test_case "bar charts" `Quick test_bars;
+          Alcotest.test_case "sparkline" `Quick test_sparkline;
+        ] );
+    ]

@@ -1,0 +1,147 @@
+(* Robustness fuzzing: hostile inputs must produce [Error]s, never
+   exceptions; detectors must keep their temporal invariants on
+   arbitrary streams. *)
+
+module Value = Genas_model.Value
+module Domain = Genas_model.Domain
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Lang = Genas_profile.Lang
+module Profile = Genas_profile.Profile
+module Composite = Genas_ens.Composite
+module Gen = Genas_testlib.Gen
+
+let schema () =
+  Schema.create_exn
+    [
+      ("temp", Domain.float_range ~lo:(-30.0) ~hi:50.0);
+      ("count", Domain.int_range ~lo:0 ~hi:100);
+      ("site", Domain.enum [ "a"; "b" ]);
+      ("flag", Domain.bool_dom);
+    ]
+
+(* Arbitrary bytes never crash the profile parser. *)
+let prop_parser_totality_random =
+  QCheck.Test.make ~name:"parse_profile is total on random strings" ~count:1000
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 60))
+    (fun src ->
+      let s = schema () in
+      match Lang.parse_profile s src with
+      | Ok _ | Error _ -> true
+      | exception e ->
+        QCheck.Test.fail_reportf "raised %s on %S" (Printexc.to_string e) src)
+
+(* Mutated near-valid sources (token soup from the real alphabet) are
+   the harder case for recursive-descent parsers. *)
+let token_soup =
+  QCheck.Gen.(
+    list_size (int_range 0 12)
+      (oneofl
+         [ "temp"; "count"; "site"; "flag"; ">="; "<="; "="; "!="; "<"; ">";
+           "&&"; "and"; "in"; "["; "]"; "("; ")"; "{"; "}"; ","; "5"; "-3.5";
+           "true"; "a"; "\"b\""; "1e9"; "nan"; "%" ])
+    >|= String.concat " ")
+
+let prop_parser_totality_soup =
+  QCheck.Test.make ~name:"parse_profile is total on token soup" ~count:2000
+    (QCheck.make token_soup)
+    (fun src ->
+      let s = schema () in
+      match Lang.parse_profile s src with
+      | Ok _ | Error _ -> true
+      | exception e ->
+        QCheck.Test.fail_reportf "raised %s on %S" (Printexc.to_string e) src)
+
+let prop_event_parser_totality =
+  QCheck.Test.make ~name:"parse_event is total" ~count:2000
+    (QCheck.make token_soup)
+    (fun src ->
+      let s = schema () in
+      match Lang.parse_event s src with
+      | Ok _ | Error _ -> true
+      | exception e ->
+        QCheck.Test.fail_reportf "raised %s on %S" (Printexc.to_string e) src)
+
+let prop_domain_of_string_totality =
+  QCheck.Test.make ~name:"Domain.of_string is total" ~count:1000
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 40))
+    (fun src ->
+      match Domain.of_string src with
+      | Ok _ | Error _ -> true
+      | exception e ->
+        QCheck.Test.fail_reportf "raised %s on %S" (Printexc.to_string e) src)
+
+(* Random composite expressions over random time-ordered streams:
+   occurrences respect start <= end and window bounds. *)
+let expr_gen s =
+  let open QCheck.Gen in
+  let prim =
+    Gen.profile ~dontcare:0.5 s >|= fun p -> Composite.Prim p
+  in
+  let window = float_range 1.0 50.0 in
+  fix
+    (fun self depth ->
+      if depth = 0 then prim
+      else
+        frequency
+          [
+            (2, prim);
+            ( 1,
+              pair (self (depth - 1)) (pair (self (depth - 1)) window)
+              >|= fun (a, (b, w)) -> Composite.Seq (a, b, w) );
+            ( 1,
+              pair (self (depth - 1)) (pair (self (depth - 1)) window)
+              >|= fun (a, (b, w)) -> Composite.Both (a, b, w) );
+            ( 1,
+              pair (self (depth - 1)) (self (depth - 1)) >|= fun (a, b) ->
+              Composite.Either (a, b) );
+            ( 1,
+              pair (self (depth - 1)) (pair (self (depth - 1)) window)
+              >|= fun (a, (b, w)) -> Composite.Without (a, b, w) );
+            ( 1,
+              pair (self (depth - 1)) (pair (int_range 1 3) window)
+              >|= fun (a, (k, w)) -> Composite.Repeat (a, k, w) );
+          ])
+    2
+
+let prop_composite_stream_invariants =
+  QCheck.Test.make ~name:"composite occurrences keep temporal invariants"
+    ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         Gen.schema ~max_attrs:2 () >>= fun s ->
+         expr_gen s >>= fun expr ->
+         list_size (int_range 1 40) (pair (Gen.event s) (float_range 0.0 5.0))
+         >|= fun timed -> (s, expr, timed)))
+    (fun (s, expr, timed) ->
+      match Composite.compile s expr with
+      | Error _ -> true  (* windows are valid by construction, but fine *)
+      | Ok det ->
+        let clock = ref 0.0 in
+        List.for_all
+          (fun (e, dt) ->
+            clock := !clock +. dt;
+            let e =
+              Event.create_exn ~time:!clock s (Event.to_alist s e)
+            in
+            List.for_all
+              (fun (o : Composite.occurrence) ->
+                o.Composite.start_time <= o.Composite.end_time
+                && o.Composite.end_time = !clock
+                && o.Composite.events <> [])
+              (Composite.feed det e))
+          timed)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "parsers",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_parser_totality_random; prop_parser_totality_soup;
+            prop_event_parser_totality; prop_domain_of_string_totality;
+          ] );
+      ( "composite",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_composite_stream_invariants ] );
+    ]

@@ -1,0 +1,206 @@
+(* End-to-end integration: the full stack — runtime-defined service,
+   adaptive distribution-based filtering, publisher-side quenching,
+   composite alarms, persistence, and a routed network — wired
+   together on one workload, checked against the naive oracle. *)
+
+module Prng = Genas_prng.Prng
+module Value = Genas_model.Value
+module Domain = Genas_model.Domain
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Profile = Genas_profile.Profile
+module Profile_set = Genas_profile.Profile_set
+module Lang = Genas_profile.Lang
+module Naive = Genas_filter.Naive
+module Selectivity = Genas_core.Selectivity
+module Reorder = Genas_core.Reorder
+module Adaptive = Genas_core.Adaptive
+module Broker = Genas_ens.Broker
+module Quench = Genas_ens.Quench
+module Router = Genas_ens.Router
+module Composite = Genas_ens.Composite
+module Service = Genas_ens.Service
+module Store = Genas_ens.Store
+
+let schema_lines =
+  [ "temperature : float[-30,50]"; "humidity : float[0,100]";
+    "site : enum{north, south, east}" ]
+
+let profile_specs =
+  [
+    ("heat-north", "temperature >= 35 && site = north");
+    ("heat-anywhere", "temperature >= 40");
+    ("humid", "humidity >= 85");
+    ("cold-snap", "temperature <= -10");
+    ("south-watch", "site = south && temperature >= 20");
+  ]
+
+let random_event rng schema seq time =
+  Event.create_exn ~seq ~time schema
+    [
+      ("temperature", Value.Float (Prng.float_in rng ~lo:(-30.0) ~hi:50.0));
+      ("humidity", Value.Float (Prng.float_in rng ~lo:0.0 ~hi:100.0));
+      ("site", Value.Str (Prng.choice rng [| "north"; "south"; "east" |]));
+    ]
+
+(* The broker (adaptive, distribution-ordered, quenched) must deliver
+   exactly the notifications the naive oracle predicts, on a long
+   stream that triggers adaptive rebuilds along the way. *)
+let test_broker_pipeline_agrees_with_oracle () =
+  let svc = Service.create () in
+  (match Service.define_schema_text svc ~name:"env" schema_lines with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let schema = Option.get (Service.find_schema svc "env") in
+  (match
+     Service.create_broker svc ~name:"hub" ~schema:"env"
+       ~spec:
+         { Reorder.attr_choice = Reorder.Attr_measured (Selectivity.A2, `Descending);
+           value_choice = `Measure Selectivity.V3 }
+       ~adaptive:{ Adaptive.warmup = 100; check_every = 50; drift_threshold = 0.3 }
+       ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let broker = Option.get (Service.find_broker svc "hub") in
+  let delivered = Hashtbl.create 64 in
+  List.iter
+    (fun (name, src) ->
+      match
+        Broker.subscribe_text broker ~subscriber:name src (fun n ->
+            Hashtbl.replace delivered
+              (n.Genas_ens.Notification.subscriber,
+               Event.seq n.Genas_ens.Notification.event)
+              ())
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+    profile_specs;
+  (* Oracle profile set. *)
+  let oracle_pset = Profile_set.create schema in
+  let oracle_names = Hashtbl.create 8 in
+  List.iter
+    (fun (name, src) ->
+      match Lang.parse_profile ~name schema src with
+      | Ok p -> Hashtbl.replace oracle_names (Profile_set.add oracle_pset p) name
+      | Error e -> Alcotest.fail e)
+    profile_specs;
+  let oracle = Naive.build oracle_pset in
+  let rng = Prng.create ~seed:77 in
+  let expected = Hashtbl.create 64 in
+  let quench = Broker.quench broker in
+  for seq = 0 to 1999 do
+    let event = random_event rng schema seq (float_of_int seq) in
+    let matches = Naive.match_event oracle event in
+    (* Every attribute has a don't-care subscription ("humid" ignores
+       temperature and site, "heat-anywhere" ignores humidity), so the
+       quench table must consider every event potentially wanted —
+       suppression would be unsound here. *)
+    if not (Quench.wanted_event quench event) then
+      Alcotest.fail "quench suppressed although don't-cares exist";
+    List.iter
+      (fun id ->
+        Hashtbl.replace expected (Hashtbl.find oracle_names id, seq) ())
+      matches;
+    ignore (Broker.publish broker event)
+  done;
+  Alcotest.(check int) "delivery multiset size" (Hashtbl.length expected)
+    (Hashtbl.length delivered);
+  Hashtbl.iter
+    (fun key () ->
+      if not (Hashtbl.mem delivered key) then
+        Alcotest.failf "missing notification for %s/event %d" (fst key) (snd key))
+    expected
+
+(* Persist the profile set, reload it, route it through a 4-broker
+   star, and compare total deliveries with the single broker. *)
+let test_persisted_profiles_route_identically () =
+  let svc = Service.create () in
+  (match Service.define_schema_text svc ~name:"env" schema_lines with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let schema = Option.get (Service.find_schema svc "env") in
+  let pset = Profile_set.create schema in
+  List.iter
+    (fun (name, src) ->
+      match Lang.parse_profile ~name schema src with
+      | Ok p -> ignore (Profile_set.add pset p)
+      | Error e -> Alcotest.fail e)
+    profile_specs;
+  let dir = Filename.get_temp_dir_name () in
+  let spath = Filename.concat dir "genas_int_schema.txt" in
+  let ppath = Filename.concat dir "genas_int_profiles.txt" in
+  (match Store.save_schema spath schema with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Store.save_profiles ppath schema pset with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let schema' = Result.get_ok (Store.load_schema spath) in
+  let pset' = Result.get_ok (Store.load_profiles schema' ppath) in
+  let net = Router.star schema' ~leaves:3 in
+  let net_hits = ref 0 in
+  Profile_set.iter pset' (fun id p ->
+      ignore
+        (Router.subscribe net ~at:(id mod 4)
+           ~subscriber:(Printf.sprintf "s%d" id)
+           ~profile:p
+           (fun _ -> incr net_hits)));
+  let single = Broker.create schema' in
+  let single_hits = ref 0 in
+  Profile_set.iter pset' (fun _ p ->
+      ignore
+        (Broker.subscribe single ~subscriber:"x" ~profile:p (fun _ ->
+             incr single_hits)));
+  let rng = Prng.create ~seed:78 in
+  for seq = 0 to 499 do
+    let e = random_event rng schema' seq (float_of_int seq) in
+    ignore (Router.publish net ~at:(seq mod 4) e);
+    ignore (Broker.publish single e)
+  done;
+  Alcotest.(check int) "same total deliveries" !single_hits !net_hits
+
+(* Composite alarm over the same stream: detection counts must match a
+   direct scan of the stream. *)
+let test_composite_over_stream () =
+  let svc = Service.create () in
+  (match Service.define_schema_text svc ~name:"env" schema_lines with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let schema = Option.get (Service.find_schema svc "env") in
+  let broker = Broker.create schema in
+  let hot =
+    Result.get_ok (Lang.parse_profile schema "temperature >= 30")
+  in
+  let fired = ref 0 in
+  (match
+     Broker.subscribe_composite broker ~subscriber:"alarm"
+       (Composite.Repeat (Composite.Prim hot, 3, 50.0))
+       (fun _ -> incr fired)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let detector =
+    Composite.compile_exn schema (Composite.Repeat (Composite.Prim hot, 3, 50.0))
+  in
+  let rng = Prng.create ~seed:79 in
+  let direct = ref 0 in
+  for seq = 0 to 999 do
+    let e = random_event rng schema seq (float_of_int seq) in
+    direct := !direct + List.length (Composite.feed detector e);
+    ignore (Broker.publish broker e)
+  done;
+  Alcotest.(check bool) "alarm fired" true (!fired > 0);
+  Alcotest.(check int) "broker = direct detection" !direct !fired
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "broker pipeline vs oracle" `Quick
+            test_broker_pipeline_agrees_with_oracle;
+          Alcotest.test_case "persist + route" `Quick
+            test_persisted_profiles_route_identically;
+          Alcotest.test_case "composite over stream" `Quick
+            test_composite_over_stream;
+        ] );
+    ]

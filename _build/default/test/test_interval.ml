@@ -1,0 +1,171 @@
+(* Interval algebra: open/closed bounds, interval sets, and their
+   boolean-algebra laws. *)
+
+module Interval = Genas_interval.Interval
+module Iset = Genas_interval.Iset
+module Axis = Genas_model.Axis
+module Gen = Genas_testlib.Gen
+
+let itv ?(lc = true) ?(hc = true) lo hi =
+  Interval.make_exn ~lo_closed:lc ~hi_closed:hc ~lo ~hi ()
+
+let test_make_empty () =
+  Alcotest.(check bool) "inverted" true (Interval.make ~lo:2.0 ~hi:1.0 () = None);
+  Alcotest.(check bool) "open point" true
+    (Interval.make ~lo_closed:false ~lo:1.0 ~hi:1.0 () = None);
+  Alcotest.(check bool) "closed point ok" true
+    (Interval.make ~lo:1.0 ~hi:1.0 () <> None);
+  Alcotest.(check bool) "nan" true (Interval.make ~lo:Float.nan ~hi:1.0 () = None)
+
+let test_mem_boundaries () =
+  let i = itv ~lc:true ~hc:false 0.0 10.0 in
+  Alcotest.(check bool) "lo in" true (Interval.mem i 0.0);
+  Alcotest.(check bool) "hi out" false (Interval.mem i 10.0);
+  Alcotest.(check bool) "mid" true (Interval.mem i 5.0)
+
+let test_inter () =
+  let a = itv 0.0 5.0 and b = itv ~lc:false 5.0 9.0 in
+  Alcotest.(check bool) "touching open/closed disjoint" true
+    (Interval.inter a b = None);
+  let c = itv 3.0 7.0 in
+  (match Interval.inter a c with
+  | Some i -> Alcotest.(check bool) "overlap" true (Interval.equal i (itv 3.0 5.0))
+  | None -> Alcotest.fail "expected overlap");
+  match Interval.inter (itv 0.0 5.0) (itv 5.0 9.0) with
+  | Some i -> Alcotest.(check bool) "point overlap" true (Interval.equal i (Interval.point 5.0))
+  | None -> Alcotest.fail "closed endpoints intersect"
+
+let test_measure () =
+  Alcotest.(check (float 1e-9)) "continuous" 10.0
+    (Interval.measure ~discrete:false (itv 0.0 10.0));
+  Alcotest.(check (float 1e-9)) "discrete closed" 11.0
+    (Interval.measure ~discrete:true (itv 0.0 10.0));
+  Alcotest.(check (float 1e-9)) "discrete open ends" 9.0
+    (Interval.measure ~discrete:true (itv ~lc:false ~hc:false 0.0 10.0));
+  Alcotest.(check (float 1e-9)) "discrete fractional" 2.0
+    (Interval.measure ~discrete:true (itv 0.5 2.5))
+
+let test_normalize_discrete () =
+  (match Interval.normalize_discrete (itv ~lc:false 1.0 3.5) with
+  | Some i -> Alcotest.(check bool) "(1,3.5] -> [2,3]" true (Interval.equal i (itv 2.0 3.0))
+  | None -> Alcotest.fail "nonempty");
+  match Interval.normalize_discrete (itv ~lc:false ~hc:false 1.0 2.0) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "(1,2) holds no integer"
+
+let test_iset_basics () =
+  let s = Iset.of_intervals [ itv 0.0 2.0; itv 1.0 5.0; itv ~lc:false 5.0 7.0 ] in
+  (* All merge into one component: [0,2]∪[1,5] overlap, (5,7] touches
+     [..,5] at a closed/open boundary. *)
+  Alcotest.(check int) "merged" 1 (List.length (Iset.intervals s));
+  Alcotest.(check bool) "mem" true (Iset.mem s 6.0);
+  let s2 = Iset.of_intervals [ itv 0.0 1.0; itv ~lc:false ~hc:false 1.0 2.0 ] in
+  Alcotest.(check int) "touching closed+open merge" 1 (List.length (Iset.intervals s2));
+  let s3 = Iset.of_intervals [ itv ~hc:false 0.0 1.0; itv ~lc:false 1.0 2.0 ] in
+  Alcotest.(check int) "gap at point stays split" 2 (List.length (Iset.intervals s3));
+  Alcotest.(check bool) "hole" false (Iset.mem s3 1.0)
+
+let axis10 = Axis.make ~discrete:false ~lo:0.0 ~hi:10.0
+
+let test_iset_complement () =
+  let s = Iset.of_intervals [ itv 2.0 4.0 ] in
+  let c = Iset.complement axis10 s in
+  Alcotest.(check bool) "out" true (Iset.mem c 1.0);
+  Alcotest.(check bool) "in" false (Iset.mem c 3.0);
+  Alcotest.(check bool) "boundary excluded" false (Iset.mem c 2.0);
+  Alcotest.(check (float 1e-9)) "measure" 8.0 (Iset.measure ~discrete:false c)
+
+let test_iset_discrete_measure () =
+  let s = Iset.of_intervals [ itv 0.5 3.5; itv 7.0 8.0 ] in
+  Alcotest.(check (float 1e-9)) "counts integers" 5.0
+    (Iset.measure ~discrete:true s)
+
+(* Property tests over random interval sets. *)
+let pair_sets =
+  QCheck.make
+    QCheck.Gen.(
+      Gen.iset ~lo:0.0 ~hi:10.0 >>= fun a ->
+      Gen.iset ~lo:0.0 ~hi:10.0 >|= fun b -> (a, b))
+
+let sample_points = List.init 101 (fun i -> float_of_int i /. 10.0)
+
+let same_membership sa sb =
+  List.for_all (fun x -> Iset.mem sa x = Iset.mem sb x) sample_points
+
+let prop_union_mem =
+  QCheck.Test.make ~name:"mem union = mem a || mem b" ~count:300 pair_sets
+    (fun (a, b) ->
+      let u = Iset.union a b in
+      List.for_all
+        (fun x -> Iset.mem u x = (Iset.mem a x || Iset.mem b x))
+        sample_points)
+
+let prop_inter_mem =
+  QCheck.Test.make ~name:"mem inter = mem a && mem b" ~count:300 pair_sets
+    (fun (a, b) ->
+      let i = Iset.inter a b in
+      List.for_all
+        (fun x -> Iset.mem i x = (Iset.mem a x && Iset.mem b x))
+        sample_points)
+
+let prop_diff_mem =
+  QCheck.Test.make ~name:"mem diff = mem a && not mem b" ~count:300 pair_sets
+    (fun (a, b) ->
+      let d = Iset.diff a b in
+      List.for_all
+        (fun x -> Iset.mem d x = (Iset.mem a x && not (Iset.mem b x)))
+        sample_points)
+
+let prop_complement_involution =
+  QCheck.Test.make ~name:"complement is an involution (membership)" ~count:200
+    (QCheck.make (Gen.iset ~lo:0.0 ~hi:10.0))
+    (fun s ->
+      same_membership s (Iset.complement axis10 (Iset.complement axis10 s)))
+
+let prop_de_morgan =
+  QCheck.Test.make ~name:"de morgan: ¬(a∪b) = ¬a∩¬b (membership)" ~count:200
+    pair_sets
+    (fun (a, b) ->
+      same_membership
+        (Iset.complement axis10 (Iset.union a b))
+        (Iset.inter (Iset.complement axis10 a) (Iset.complement axis10 b)))
+
+let prop_subset =
+  QCheck.Test.make ~name:"inter ⊆ both operands" ~count:200 pair_sets
+    (fun (a, b) ->
+      let i = Iset.inter a b in
+      Iset.subset i a && Iset.subset i b)
+
+let prop_measure_additive =
+  QCheck.Test.make ~name:"measure(a) + measure(¬a) = axis size" ~count:200
+    (QCheck.make (Gen.iset ~lo:0.0 ~hi:10.0))
+    (fun s ->
+      let m = Iset.measure ~discrete:false s in
+      let mc = Iset.measure ~discrete:false (Iset.complement axis10 s) in
+      Float.abs (m +. mc -. 10.0) < 1e-6)
+
+let () =
+  Alcotest.run "interval"
+    [
+      ( "interval",
+        [
+          Alcotest.test_case "emptiness" `Quick test_make_empty;
+          Alcotest.test_case "mem boundaries" `Quick test_mem_boundaries;
+          Alcotest.test_case "intersection" `Quick test_inter;
+          Alcotest.test_case "measure" `Quick test_measure;
+          Alcotest.test_case "normalize_discrete" `Quick test_normalize_discrete;
+        ] );
+      ( "iset",
+        [
+          Alcotest.test_case "construction/merge" `Quick test_iset_basics;
+          Alcotest.test_case "complement" `Quick test_iset_complement;
+          Alcotest.test_case "discrete measure" `Quick test_iset_discrete_measure;
+        ] );
+      ( "laws",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_union_mem; prop_inter_mem; prop_diff_mem;
+            prop_complement_involution; prop_de_morgan; prop_subset;
+            prop_measure_additive;
+          ] );
+    ]

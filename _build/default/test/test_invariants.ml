@@ -1,0 +1,197 @@
+(* Cross-module structural invariants, checked on randomly generated
+   scenarios: tree layout discipline, decomposition/denotation
+   consistency, covering algebra, and quench bounds. *)
+
+module Value = Genas_model.Value
+module Schema = Genas_model.Schema
+module Axis = Genas_model.Axis
+module Interval = Genas_interval.Interval
+module Iset = Genas_interval.Iset
+module Overlay = Genas_interval.Overlay
+module Profile = Genas_profile.Profile
+module Profile_set = Genas_profile.Profile_set
+module Covering = Genas_profile.Covering
+module Decomp = Genas_filter.Decomp
+module Tree = Genas_filter.Tree
+module Order = Genas_filter.Order
+module Quench = Genas_ens.Quench
+module Gen = Genas_testlib.Gen
+
+let scenario_arb = QCheck.make (Gen.scenario ~max_attrs:3 ~max_p:12 ~n_events:5 ())
+
+(* Every node stores its edges in ascending lookup-position order, and
+   the positions are exactly the table entries of the edge's cell. *)
+let prop_edges_sorted =
+  QCheck.Test.make ~name:"tree edges sorted by defined order" ~count:60
+    scenario_arb
+    (fun (s, pset, _) ->
+      let d = Decomp.build pset in
+      let n = Schema.arity s in
+      let ok = ref true in
+      List.iter
+        (fun strat ->
+          let tree =
+            Tree.build d
+              {
+                Tree.attr_order = Array.init n Fun.id;
+                strategies = Array.make n strat;
+              }
+          in
+          let rec walk = function
+            | Tree.Leaf _ -> ()
+            | Tree.Node { attr; cells; edge_positions; children; rest; _ } ->
+              let positions = tree.Tree.tables.(attr).Order.positions in
+              Array.iteri
+                (fun i c ->
+                  if edge_positions.(i) <> positions.(c) then ok := false;
+                  if i > 0 && edge_positions.(i) <= edge_positions.(i - 1) then
+                    ok := false)
+                cells;
+              Array.iter walk children;
+              Option.iter walk rest
+          in
+          Option.iter walk tree.Tree.root)
+        [ Order.Linear Order.Natural_asc; Order.Linear Order.Natural_desc;
+          Order.Binary ];
+      !ok)
+
+(* A leaf's profiles are exactly those whose denotations contain every
+   coordinate of any event routed to that leaf — spot-checked through
+   matching, which must equal the profile's own [matches]. *)
+let prop_leaf_profiles_sound =
+  QCheck.Test.make ~name:"tree matches = Profile.matches" ~count:60
+    (QCheck.make (Gen.scenario ~max_attrs:3 ~max_p:10 ~n_events:25 ()))
+    (fun (s, pset, events) ->
+      let d = Decomp.build pset in
+      let tree = Tree.build d (Tree.default_config d) in
+      List.for_all
+        (fun e ->
+          let matched = Tree.match_event tree e in
+          Profile_set.fold pset ~init:true ~f:(fun acc id p ->
+              acc && List.mem id matched = Profile.matches s p e))
+        events)
+
+(* Union of the cells attributed to a profile = its denotation. *)
+let prop_profile_cells_cover_denotation =
+  QCheck.Test.make ~name:"cells_of_profile tile the denotation" ~count:60
+    scenario_arb
+    (fun (s, pset, _) ->
+      let d = Decomp.build pset in
+      let n = Schema.arity s in
+      Profile_set.fold pset ~init:true ~f:(fun acc id p ->
+          acc
+          && List.for_all
+               (fun attr ->
+                 match
+                   (Profile.denotation p attr, Decomp.cells_of_profile d ~attr ~id)
+                 with
+                 | None, None -> true
+                 | Some iset, Some cells ->
+                   let overlay = d.Decomp.overlays.(attr) in
+                   let from_cells =
+                     Iset.of_intervals
+                       (Array.to_list
+                          (Array.map
+                             (fun c -> overlay.Overlay.cells.(c).Overlay.itv)
+                             cells))
+                   in
+                   let axis = d.Decomp.axes.(attr) in
+                   (* Compare membership over a coordinate grid. *)
+                   let probes =
+                     List.init 41 (fun i ->
+                         axis.Axis.lo
+                         +. (float_of_int i /. 40.0 *. (axis.Axis.hi -. axis.Axis.lo)))
+                   in
+                   List.for_all
+                     (fun x ->
+                       (* Uninhabited points of discrete axes are
+                          outside both sets' normalized forms. *)
+                       (axis.Axis.discrete && Float.rem x 1.0 <> 0.0)
+                       || Iset.mem iset x = Iset.mem from_cells x)
+                     probes
+                 | None, Some _ | Some _, None -> false)
+               (List.init n Fun.id))
+          )
+
+let prop_minimal_cover_idempotent =
+  QCheck.Test.make ~name:"minimal_cover is idempotent" ~count:60
+    (QCheck.make
+       QCheck.Gen.(
+         Gen.schema ~max_attrs:2 () >>= fun s ->
+         list_size (int_range 1 8) (Gen.profile s) >|= fun ps ->
+         List.mapi (fun i p -> (i, p)) ps))
+    (fun entries ->
+      let once = Covering.minimal_cover entries in
+      let twice = Covering.minimal_cover once in
+      List.map fst once = List.map fst twice)
+
+let prop_minimal_cover_covers =
+  QCheck.Test.make ~name:"minimal_cover preserves the match set" ~count:40
+    (QCheck.make
+       QCheck.Gen.(
+         Gen.schema ~max_attrs:2 () >>= fun s ->
+         list_size (int_range 1 8) (Gen.profile s) >>= fun ps ->
+         Gen.events ~n:20 s >|= fun es ->
+         (s, List.mapi (fun i p -> (i, p)) ps, es)))
+    (fun (s, entries, events) ->
+      let kept = Covering.minimal_cover entries in
+      List.for_all
+        (fun e ->
+          let matched_by l =
+            List.exists (fun (_, p) -> Profile.matches s p e) l
+          in
+          matched_by entries = matched_by kept)
+        events)
+
+let prop_quench_coverage_bounds =
+  QCheck.Test.make ~name:"quench coverage share in [0,1]" ~count:60
+    scenario_arb
+    (fun (s, pset, _) ->
+      let q = Quench.build pset in
+      List.for_all
+        (fun attr ->
+          let c = Quench.coverage_share q ~attr in
+          c >= 0.0 && c <= 1.0 +. 1e-9)
+        (List.init (Schema.arity s) Fun.id))
+
+(* Adding a profile never decreases any event's match set; removing it
+   restores the previous result. *)
+let prop_registry_monotonicity =
+  QCheck.Test.make ~name:"add/remove profile monotonicity" ~count:40
+    (QCheck.make
+       QCheck.Gen.(
+         Gen.scenario ~max_attrs:3 ~max_p:6 ~n_events:15 () >>= fun (s, pset, es) ->
+         Gen.profile s >|= fun extra -> (s, pset, es, extra)))
+    (fun (_, pset, events, extra) ->
+      let d0 = Decomp.build pset in
+      let t0 = Tree.build d0 (Tree.default_config d0) in
+      let before = List.map (Tree.match_event t0) events in
+      let id = Profile_set.add pset extra in
+      let d1 = Decomp.build pset in
+      let t1 = Tree.build d1 (Tree.default_config d1) in
+      let during = List.map (Tree.match_event t1) events in
+      ignore (Profile_set.remove pset id);
+      let d2 = Decomp.build pset in
+      let t2 = Tree.build d2 (Tree.default_config d2) in
+      let after = List.map (Tree.match_event t2) events in
+      List.for_all2
+        (fun b du -> List.for_all (fun x -> List.mem x du) b)
+        before during
+      && before = after)
+
+let () =
+  Alcotest.run "invariants"
+    [
+      ( "structure",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_edges_sorted; prop_leaf_profiles_sound;
+            prop_profile_cells_cover_denotation;
+          ] );
+      ( "algebra",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_minimal_cover_idempotent; prop_minimal_cover_covers;
+            prop_quench_coverage_bounds; prop_registry_monotonicity;
+          ] );
+    ]

@@ -1,0 +1,199 @@
+(* The textual profile / event language. *)
+
+module Value = Genas_model.Value
+module Domain = Genas_model.Domain
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Lang = Genas_profile.Lang
+module Profile = Genas_profile.Profile
+module Predicate = Genas_profile.Predicate
+
+let schema () =
+  Schema.create_exn
+    [
+      ("temp", Domain.float_range ~lo:(-30.0) ~hi:50.0);
+      ("count", Domain.int_range ~lo:0 ~hi:1000);
+      ("site", Domain.enum [ "berlin"; "potsdam"; "new-york" ]);
+      ("alarm", Domain.bool_dom);
+    ]
+
+let parse_ok src =
+  match Lang.parse_profile (schema ()) src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse %S: %s" src e
+
+let parse_err src =
+  match Lang.parse_profile (schema ()) src with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "expected parse error for %S" src
+
+let test_operators () =
+  let p = parse_ok "temp >= 35 && count < 10" in
+  Alcotest.(check (list int)) "constrained" [ 0; 1 ] (Profile.constrained p);
+  ignore (parse_ok "temp = 1.5");
+  ignore (parse_ok "temp != 0");
+  ignore (parse_ok "count <= 999");
+  ignore (parse_ok "count > 0");
+  ignore (parse_ok "alarm = true");
+  ignore (parse_ok "site = berlin")
+
+let test_ranges_and_sets () =
+  let s = schema () in
+  let p = parse_ok "temp in [10, 20)" in
+  let ev t =
+    Event.create_exn s
+      [
+        ("temp", Value.Float t); ("count", Value.Int 1);
+        ("site", Value.Str "berlin"); ("alarm", Value.Bool false);
+      ]
+  in
+  Alcotest.(check bool) "10 in" true (Profile.matches s p (ev 10.0));
+  Alcotest.(check bool) "20 out" false (Profile.matches s p (ev 20.0));
+  let q = parse_ok "site in {berlin, new-york}" in
+  let evs site =
+    Event.create_exn s
+      [
+        ("temp", Value.Float 0.0); ("count", Value.Int 1);
+        ("site", Value.Str site); ("alarm", Value.Bool false);
+      ]
+  in
+  Alcotest.(check bool) "berlin" true (Profile.matches s q (evs "berlin"));
+  Alcotest.(check bool) "potsdam" false (Profile.matches s q (evs "potsdam"));
+  ignore (parse_ok "temp in (0, 1]");
+  ignore (parse_ok "count in [1, 5]")
+
+let test_quoted_strings_and_and () =
+  ignore (parse_ok "site = \"new-york\" and temp >= 0");
+  ignore (parse_ok "")
+
+let test_parse_errors () =
+  parse_err "bogus >= 1";
+  parse_err "temp >= ";
+  parse_err "temp >= abc";
+  parse_err "temp in [5, 1]";  (* empty range rejected at binding *)
+  parse_err "temp in {   }";
+  parse_err "temp >= 1 &";
+  parse_err "temp ~ 1";
+  parse_err "site = berlin extra";
+  parse_err "count = 1.5"
+
+let test_event_parse () =
+  let s = schema () in
+  match
+    Lang.parse_event s "temp = -3.5, count = 7, site = potsdam, alarm = false"
+  with
+  | Error e -> Alcotest.fail e
+  | Ok e ->
+    Alcotest.(check bool) "temp" true
+      (Value.equal (Value.Float (-3.5)) (Event.value e 0));
+    Alcotest.(check bool) "count" true (Value.equal (Value.Int 7) (Event.value e 1))
+
+let test_event_parse_errors () =
+  let s = schema () in
+  let err src =
+    match Lang.parse_event s src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected event error: %S" src
+  in
+  err "temp = 1";  (* unbound attributes *)
+  err "temp = 1, temp = 2, count = 1, site = berlin, alarm = true";
+  err "temp >= 1, count = 7, site = berlin, alarm = false";
+  err "temp = 999, count = 7, site = berlin, alarm = false"
+
+let test_profile_roundtrip () =
+  let s = schema () in
+  let srcs =
+    [
+      "temp >= 35 && count < 10";
+      "site in {berlin, potsdam} && alarm = true";
+      "temp in [10, 20) && temp != 15";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let p = parse_ok src in
+      let printed = Lang.profile_to_string s p in
+      (* The printed form must itself parse to a profile matching the
+         same events. *)
+      let reparsed =
+        (* profile_to_string prefixes "profile name(...)"; strip it. *)
+        let inner =
+          match String.index_opt printed '(' with
+          | Some i ->
+            String.sub printed (i + 1) (String.length printed - i - 2)
+          | None -> printed
+        in
+        match Lang.parse_profile s inner with
+        | Ok p -> p
+        | Error e -> Alcotest.failf "reparse of %S (%S): %s" printed inner e
+      in
+      let rng = Genas_prng.Prng.create ~seed:55 in
+      for _ = 1 to 200 do
+        let e =
+          Event.create_exn s
+            [
+              ("temp", Value.Float (Genas_prng.Prng.float_in rng ~lo:(-30.0) ~hi:50.0));
+              ("count", Value.Int (Genas_prng.Prng.int rng ~bound:1001));
+              ("site", Value.Str (Genas_prng.Prng.choice rng [| "berlin"; "potsdam"; "new-york" |]));
+              ("alarm", Value.Bool (Genas_prng.Prng.bool rng));
+            ]
+        in
+        if Profile.matches s p e <> Profile.matches s reparsed e then
+          Alcotest.failf "roundtrip semantics differ for %S" src
+      done)
+    srcs
+
+let test_event_roundtrip () =
+  let s = schema () in
+  let src = "temp = 1.5, count = 3, site = berlin, alarm = true" in
+  match Lang.parse_event s src with
+  | Error e -> Alcotest.fail e
+  | Ok ev -> (
+    match Lang.parse_event s (Lang.event_to_string s ev) with
+    | Error e -> Alcotest.fail e
+    | Ok ev' -> Alcotest.(check bool) "equal" true (Event.equal ev ev'))
+
+(* Generated profiles survive printing and re-parsing with identical
+   match semantics. *)
+let prop_body_roundtrip =
+  QCheck.Test.make ~name:"body_to_string/parse_profile roundtrip" ~count:150
+    (QCheck.make
+       QCheck.Gen.(
+         Genas_testlib.Gen.schema ~max_attrs:3 () >>= fun s ->
+         Genas_testlib.Gen.profile s >>= fun p ->
+         Genas_testlib.Gen.events ~n:20 s >|= fun es -> (s, p, es)))
+    (fun (s, p, events) ->
+      let body = Lang.body_to_string s p in
+      match Lang.parse_profile s body with
+      | Error _ -> false
+      | Ok p' ->
+        List.for_all
+          (fun e -> Profile.matches s p e = Profile.matches s p' e)
+          events)
+
+let test_negative_numbers_and_floats () =
+  ignore (parse_ok "temp >= -30");
+  ignore (parse_ok "temp <= 1e1");
+  ignore (parse_ok "temp in [-30, -20]")
+
+let () =
+  Alcotest.run "lang"
+    [
+      ( "profiles",
+        [
+          Alcotest.test_case "operators" `Quick test_operators;
+          Alcotest.test_case "ranges and sets" `Quick test_ranges_and_sets;
+          Alcotest.test_case "quoting and 'and'" `Quick test_quoted_strings_and_and;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_profile_roundtrip;
+          Alcotest.test_case "negative/scientific literals" `Quick
+            test_negative_numbers_and_floats;
+          QCheck_alcotest.to_alcotest prop_body_roundtrip;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "parse" `Quick test_event_parse;
+          Alcotest.test_case "errors" `Quick test_event_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_event_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,136 @@
+(* Value orders: lookup tables, would-be positions of D0 cells, and the
+   two search-cost primitives (Example 5 semantics). *)
+
+module Axis = Genas_model.Axis
+module Interval = Genas_interval.Interval
+module Iset = Genas_interval.Iset
+module Overlay = Genas_interval.Overlay
+module Order = Genas_filter.Order
+
+let itv ?(lc = true) ?(hc = true) lo hi =
+  Interval.make_exn ~lo_closed:lc ~hi_closed:hc ~lo ~hi ()
+
+let axis = Axis.make ~discrete:false ~lo:(-30.0) ~hi:50.0
+
+(* Example 2's decomposition: [-30,-20] | (-20,30) D0 | [30,35) |
+   [35,50]. *)
+let overlay () =
+  Overlay.build axis
+    [
+      (0, Iset.of_interval (itv 35.0 50.0));
+      (1, Iset.of_interval (itv 30.0 50.0));
+      (2, Iset.of_interval (itv (-30.0) (-20.0)));
+    ]
+
+let test_natural_positions () =
+  let t = Order.compile (overlay ()) Order.Natural_asc in
+  Alcotest.(check int) "m" 3 t.Order.m;
+  Alcotest.(check (array (float 1e-9))) "positions"
+    [| 1.0; 1.5; 2.0; 3.0 |] t.Order.positions;
+  Alcotest.(check (array int)) "scan order" [| 0; 2; 3 |] t.Order.scan_order
+
+let test_natural_desc_positions () =
+  let t = Order.compile (overlay ()) Order.Natural_desc in
+  Alcotest.(check (array (float 1e-9))) "positions"
+    [| 3.0; 2.5; 2.0; 1.0 |] t.Order.positions
+
+let test_v1_positions_example2 () =
+  (* Pe keys: cell0 0.02, cell1 (D0) 0.17, cell2 0.01, cell3 0.80. *)
+  let keys = [| 0.02; 0.17; 0.01; 0.80 |] in
+  let t = Order.compile (overlay ()) (Order.By_key_desc keys) in
+  (* Ranks: cell3=1, cell0=2, cell2=3; D0 would-be after cell3 only. *)
+  Alcotest.(check (array (float 1e-9))) "positions"
+    [| 2.0; 1.5; 3.0; 1.0 |] t.Order.positions
+
+let test_key_tie_break_natural () =
+  let keys = [| 0.5; 0.0; 0.5; 0.5 |] in
+  let t = Order.compile (overlay ()) (Order.By_key_desc keys) in
+  (* Equal keys order by cell index: 0 < 2 < 3. *)
+  Alcotest.(check (float 1e-9)) "cell0 first" 1.0 t.Order.positions.(0);
+  Alcotest.(check (float 1e-9)) "cell2 second" 2.0 t.Order.positions.(2);
+  Alcotest.(check (float 1e-9)) "cell3 third" 3.0 t.Order.positions.(3)
+
+let test_key_length_guard () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Order.compile: key array length mismatch") (fun () ->
+      ignore (Order.compile (overlay ()) (Order.By_key_desc [| 1.0 |])))
+
+let test_linear_cost () =
+  let edges = [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check (pair int bool)) "first" (1, true)
+    (Order.linear_cost ~edge_positions:edges ~target:1.0);
+  Alcotest.(check (pair int bool)) "last" (3, true)
+    (Order.linear_cost ~edge_positions:edges ~target:3.0);
+  Alcotest.(check (pair int bool)) "early stop at 1.5" (2, false)
+    (Order.linear_cost ~edge_positions:edges ~target:1.5);
+  Alcotest.(check (pair int bool)) "missing below" (1, false)
+    (Order.linear_cost ~edge_positions:edges ~target:0.5);
+  Alcotest.(check (pair int bool)) "missing above scans all" (3, false)
+    (Order.linear_cost ~edge_positions:edges ~target:9.0);
+  Alcotest.(check (pair int bool)) "empty node" (0, false)
+    (Order.linear_cost ~edge_positions:[||] ~target:1.0)
+
+let test_binary_cost () =
+  let edges = [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check (pair int bool)) "mid in 1 probe" (1, true)
+    (Order.binary_cost ~edge_positions:edges ~target:2.0);
+  Alcotest.(check (pair int bool)) "side in 2 probes" (2, true)
+    (Order.binary_cost ~edge_positions:edges ~target:1.0);
+  Alcotest.(check (pair int bool)) "miss at 1.5" (2, false)
+    (Order.binary_cost ~edge_positions:edges ~target:1.5);
+  let big = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  let probes, found = Order.binary_cost ~edge_positions:big ~target:50.5 in
+  Alcotest.(check bool) "miss" false found;
+  Alcotest.(check bool) "log probes" true (probes <= 7)
+
+(* Linear scan in a subset node: the paper's Example 5 (element absent
+   because a greater position is seen). *)
+let test_example5 () =
+  (* Defined order f,c,a,b,e,d → positions f=1,c=2,a=3,b=4,e=5,d=6.
+     Node holds f,c,b,e,d (not a). Searching a (position 3) stops at b
+     (position 4) after 3 comparisons. *)
+  let node_positions = [| 1.0; 2.0; 4.0; 5.0; 6.0 |] in
+  Alcotest.(check (pair int bool)) "stops at b" (3, false)
+    (Order.linear_cost ~edge_positions:node_positions ~target:3.0)
+
+(* Property: for any sorted edge array and any target, both primitives
+   agree on success, and a successful linear scan costs the element's
+   1-based index. *)
+let prop_costs_consistent =
+  QCheck.Test.make ~name:"linear and binary agree on membership" ~count:500
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 0 12) (int_bound 50)) (int_bound 60))
+    (fun (raw, t) ->
+      let edges =
+        List.sort_uniq Int.compare raw |> List.map float_of_int |> Array.of_list
+      in
+      let target = float_of_int t +. 0.0 in
+      let lc, lf = Order.linear_cost ~edge_positions:edges ~target in
+      let bc, bf = Order.binary_cost ~edge_positions:edges ~target in
+      lf = bf
+      && lc <= Array.length edges
+      && bc <= 8
+      && (not lf
+         ||
+         let idx = ref 0 in
+         Array.iteri (fun i p -> if p = target then idx := i + 1) edges;
+         lc = !idx))
+
+let () =
+  Alcotest.run "order"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "natural ascending" `Quick test_natural_positions;
+          Alcotest.test_case "natural descending" `Quick test_natural_desc_positions;
+          Alcotest.test_case "V1 (Example 2)" `Quick test_v1_positions_example2;
+          Alcotest.test_case "tie-breaking" `Quick test_key_tie_break_natural;
+          Alcotest.test_case "guards" `Quick test_key_length_guard;
+        ] );
+      ( "costs",
+        [
+          Alcotest.test_case "linear scan" `Quick test_linear_cost;
+          Alcotest.test_case "binary search" `Quick test_binary_cost;
+          Alcotest.test_case "paper Example 5" `Quick test_example5;
+          QCheck_alcotest.to_alcotest prop_costs_consistent;
+        ] );
+    ]

@@ -1,0 +1,174 @@
+(* Subrange decomposition: the (≤2p−1)-cell overlay of §3. *)
+
+module Interval = Genas_interval.Interval
+module Iset = Genas_interval.Iset
+module Overlay = Genas_interval.Overlay
+module Axis = Genas_model.Axis
+module Gen = Genas_testlib.Gen
+
+let itv ?(lc = true) ?(hc = true) lo hi =
+  Interval.make_exn ~lo_closed:lc ~hi_closed:hc ~lo ~hi ()
+
+let axis_t = Axis.make ~discrete:false ~lo:(-30.0) ~hi:50.0
+
+(* The a1 (temperature) decomposition of the paper's Example 1:
+   profiles >=35, >=30, [-30,-20]. *)
+let example1_a1 () =
+  Overlay.build axis_t
+    [
+      (0, Iset.of_interval (itv 35.0 50.0));
+      (1, Iset.of_interval (itv 30.0 50.0));
+      (2, Iset.of_interval (itv (-30.0) (-20.0)));
+    ]
+
+let test_example1_cells () =
+  let o = example1_a1 () in
+  let cells = o.Overlay.cells in
+  Alcotest.(check int) "4 cells" 4 (Array.length cells);
+  let expect = [ "[-30,-20]"; "(-20,30)"; "[30,35)"; "[35,50]" ] in
+  List.iteri
+    (fun i s ->
+      Alcotest.(check string) (Printf.sprintf "cell %d" i) s
+        (Format.asprintf "%a" Interval.pp cells.(i).Overlay.itv))
+    expect;
+  Alcotest.(check (list int)) "ids of [35,50]" [ 0; 1 ] cells.(3).Overlay.ids;
+  Alcotest.(check (list int)) "ids of [30,35)" [ 1 ] cells.(2).Overlay.ids;
+  Alcotest.(check (list int)) "D0 empty" [] cells.(1).Overlay.ids
+
+let test_example1_zero_cells () =
+  let o = example1_a1 () in
+  Alcotest.(check (list int)) "referenced" [ 0; 2; 3 ]
+    (Array.to_list (Overlay.referenced o));
+  Alcotest.(check (list int)) "zero" [ 1 ] (Array.to_list (Overlay.zero_cells o));
+  Alcotest.(check (float 1e-9)) "d0 size" 50.0 (Overlay.d0_size o)
+
+let test_locate () =
+  let o = example1_a1 () in
+  let cell x =
+    match Overlay.locate o x with Some c -> c | None -> Alcotest.fail "locate"
+  in
+  Alcotest.(check int) "-25" 0 (cell (-25.0));
+  Alcotest.(check int) "-20 boundary" 0 (cell (-20.0));
+  Alcotest.(check int) "0" 1 (cell 0.0);
+  Alcotest.(check int) "30" 2 (cell 30.0);
+  Alcotest.(check int) "35" 3 (cell 35.0);
+  Alcotest.(check int) "50" 3 (cell 50.0);
+  Alcotest.(check (option int)) "outside" None (Overlay.locate o 51.0)
+
+let test_discrete_overlay () =
+  let axis = Axis.make ~discrete:true ~lo:0.0 ~hi:9.0 in
+  let o =
+    Overlay.build axis
+      [
+        (0, Iset.of_interval (Interval.point 3.0));
+        (1, Iset.of_interval (itv 2.0 5.0));
+      ]
+  in
+  (* Expected: [0,1]{}, {2}{1}, {3}{0,1}, [4,5]{1}, [6,9]{} *)
+  Alcotest.(check int) "5 cells" 5 (Array.length o.Overlay.cells);
+  Alcotest.(check (list int)) "point cell" [ 0; 1 ] o.Overlay.cells.(2).Overlay.ids;
+  Alcotest.(check (float 1e-9)) "d0" 6.0 (Overlay.d0_size o);
+  Alcotest.(check (option int)) "non-integer coordinate" None
+    (Overlay.locate o 2.5)
+
+let test_empty_denotations () =
+  let o = Overlay.build axis_t [] in
+  Alcotest.(check int) "single D0 cell" 1 (Array.length o.Overlay.cells);
+  Alcotest.(check int) "nothing referenced" 0 (Array.length (Overlay.referenced o))
+
+(* Random overlays. *)
+let gen_denots =
+  QCheck.make
+    QCheck.Gen.(
+      list_size (int_range 0 6)
+        (Gen.iset ~lo:(-30.0) ~hi:50.0)
+      >|= List.mapi (fun i s -> (i, s)))
+
+let prop_cells_cover_and_disjoint =
+  QCheck.Test.make ~name:"cells tile the axis" ~count:300 gen_denots
+    (fun denots ->
+      let o = Overlay.build axis_t denots in
+      let cells = o.Overlay.cells in
+      let n = Array.length cells in
+      (* Consecutive cells touch; first/last hit the axis bounds. *)
+      cells.(0).Overlay.itv.Interval.lo = -30.0
+      && cells.(n - 1).Overlay.itv.Interval.hi = 50.0
+      && Array.for_all Fun.id
+           (Array.init (max 0 (n - 1)) (fun i ->
+                let a = cells.(i).Overlay.itv and b = cells.(i + 1).Overlay.itv in
+                a.Interval.hi = b.Interval.lo
+                && a.Interval.hi_closed <> b.Interval.lo_closed)))
+
+let prop_locate_agrees_with_mem =
+  QCheck.Test.make ~name:"locate returns the unique containing cell" ~count:300
+    gen_denots
+    (fun denots ->
+      let o = Overlay.build axis_t denots in
+      List.for_all
+        (fun x ->
+          match Overlay.locate o x with
+          | None -> false
+          | Some c ->
+            Interval.mem o.Overlay.cells.(c).Overlay.itv x
+            && Array.for_all Fun.id
+                 (Array.mapi
+                    (fun i (cell : Overlay.cell) ->
+                      i = c || not (Interval.mem cell.Overlay.itv x))
+                    o.Overlay.cells))
+        (List.init 81 (fun i -> -30.0 +. float_of_int i)))
+
+let prop_ids_agree_with_denotations =
+  QCheck.Test.make ~name:"cell ids = denotations containing the cell" ~count:300
+    gen_denots
+    (fun denots ->
+      let o = Overlay.build axis_t denots in
+      Array.for_all
+        (fun (cell : Overlay.cell) ->
+          (* Probe the cell's midpoint (or its point). *)
+          let x =
+            if Interval.is_point cell.Overlay.itv then cell.Overlay.itv.Interval.lo
+            else (cell.Overlay.itv.Interval.lo +. cell.Overlay.itv.Interval.hi) /. 2.0
+          in
+          if not (Interval.mem cell.Overlay.itv x) then true
+          else
+            let expected =
+              List.filter_map
+                (fun (id, s) -> if Iset.mem s x then Some id else None)
+                denots
+            in
+            expected = cell.Overlay.ids)
+        o.Overlay.cells)
+
+let prop_referenced_bound =
+  QCheck.Test.make ~name:"≤ 2p−1 referenced cells for interval profiles"
+    ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 1 8) (Gen.interval ~lo:(-30.0) ~hi:50.0)
+         >|= List.mapi (fun i iv -> (i, Iset.of_interval iv))))
+    (fun denots ->
+      let o = Overlay.build axis_t denots in
+      let p = List.length denots in
+      Array.length (Overlay.referenced o) <= (2 * p) - 1)
+
+let () =
+  Alcotest.run "overlay"
+    [
+      ( "example1",
+        [
+          Alcotest.test_case "cells" `Quick test_example1_cells;
+          Alcotest.test_case "zero cells" `Quick test_example1_zero_cells;
+          Alcotest.test_case "locate" `Quick test_locate;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "discrete" `Quick test_discrete_overlay;
+          Alcotest.test_case "no profiles" `Quick test_empty_denotations;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_cells_cover_and_disjoint; prop_locate_agrees_with_mem;
+            prop_ids_agree_with_denotations; prop_referenced_bound;
+          ] );
+    ]

@@ -1,0 +1,258 @@
+(* Profiles: predicate denotations, conjunctive matching, registry
+   semantics, and the covering relation. *)
+
+module Value = Genas_model.Value
+module Domain = Genas_model.Domain
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Axis = Genas_model.Axis
+module Iset = Genas_interval.Iset
+module Predicate = Genas_profile.Predicate
+module Profile = Genas_profile.Profile
+module Profile_set = Genas_profile.Profile_set
+module Covering = Genas_profile.Covering
+module Gen = Genas_testlib.Gen
+
+(* ------------------------- predicates ----------------------------- *)
+
+let int10 = Domain.int_range ~lo:0 ~hi:10
+
+let test_denote_shapes () =
+  let denote t =
+    match Predicate.denote int10 t with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let mem t x = Iset.mem (denote t) (float_of_int x) in
+  Alcotest.(check bool) "eq in" true (mem (Predicate.Eq (Value.Int 5)) 5);
+  Alcotest.(check bool) "eq out" false (mem (Predicate.Eq (Value.Int 5)) 6);
+  Alcotest.(check bool) "neq" true (mem (Predicate.Neq (Value.Int 5)) 6);
+  Alcotest.(check bool) "neq self" false (mem (Predicate.Neq (Value.Int 5)) 5);
+  Alcotest.(check bool) "lt" true (mem (Predicate.Lt (Value.Int 5)) 4);
+  Alcotest.(check bool) "lt boundary" false (mem (Predicate.Lt (Value.Int 5)) 5);
+  Alcotest.(check bool) "ge boundary" true (mem (Predicate.Ge (Value.Int 5)) 5);
+  Alcotest.(check bool) "one_of" true
+    (mem (Predicate.One_of [ Value.Int 1; Value.Int 9 ]) 9);
+  Alcotest.(check bool) "between open" false
+    (mem
+       (Predicate.Between
+          { lo = Value.Int 2; lo_closed = false; hi = Value.Int 4; hi_closed = true })
+       2)
+
+let test_denote_errors () =
+  let err t =
+    match Predicate.denote int10 t with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "expected denote error"
+  in
+  err (Predicate.Eq (Value.Str "x"));  (* kind mismatch *)
+  err (Predicate.Eq (Value.Int 99));  (* out of domain *)
+  err
+    (Predicate.Between
+       { lo = Value.Int 4; lo_closed = true; hi = Value.Int 2; hi_closed = true });
+  err (Predicate.One_of [])
+
+let test_denote_enum_order () =
+  let dom = Domain.enum [ "low"; "mid"; "high" ] in
+  match Predicate.denote dom (Predicate.Le (Value.Str "mid")) with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    Alcotest.(check bool) "low" true (Iset.mem s 0.0);
+    Alcotest.(check bool) "mid" true (Iset.mem s 1.0);
+    Alcotest.(check bool) "high" false (Iset.mem s 2.0)
+
+let test_custom_operator () =
+  (* A runtime-defined operator (§4.2): "near 5" = within ±1. *)
+  let near5 =
+    Predicate.Custom
+      {
+        name = "near5";
+        iset =
+          Iset.of_interval
+            (Genas_interval.Interval.make_exn ~lo:4.0 ~hi:6.0 ());
+      }
+  in
+  Alcotest.(check bool) "holds inside" true
+    (Predicate.holds int10 near5 (Value.Int 5));
+  Alcotest.(check bool) "holds boundary" true
+    (Predicate.holds int10 near5 (Value.Int 4));
+  Alcotest.(check bool) "fails outside" false
+    (Predicate.holds int10 near5 (Value.Int 8));
+  (* Custom predicates participate in full profiles and trees. *)
+  let s = Schema.create_exn [ ("x", int10) ] in
+  let pset = Profile_set.create s in
+  ignore (Profile_set.add pset (Profile.create_exn s [ ("x", near5) ]));
+  let d = Genas_filter.Decomp.build pset in
+  let tree = Genas_filter.Tree.build d (Genas_filter.Tree.default_config d) in
+  Alcotest.(check (list int)) "tree match" [ 0 ]
+    (Genas_filter.Tree.match_coords tree [| 5.0 |]);
+  Alcotest.(check (list int)) "tree reject" []
+    (Genas_filter.Tree.match_coords tree [| 9.0 |])
+
+let prop_holds_agrees_with_denote =
+  QCheck.Test.make ~name:"holds = denotation membership" ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         Gen.domain >>= fun d ->
+         Gen.test_for d >>= fun t ->
+         Gen.value_in d >|= fun v -> (d, t, v)))
+    (fun (d, t, v) ->
+      match Predicate.denote d t with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok s -> Predicate.holds d t v = Iset.mem s (Axis.coord_exn d v))
+
+(* ------------------------- profiles ------------------------------- *)
+
+let schema3 () =
+  Schema.create_exn
+    [
+      ("t", Domain.int_range ~lo:0 ~hi:100);
+      ("h", Domain.float_range ~lo:0.0 ~hi:1.0);
+      ("k", Domain.enum [ "a"; "b" ]);
+    ]
+
+let test_profile_create () =
+  let s = schema3 () in
+  let p =
+    Profile.create_exn s
+      [ ("t", Predicate.Ge (Value.Int 50)); ("k", Predicate.Eq (Value.Str "a")) ]
+  in
+  Alcotest.(check (list int)) "constrained" [ 0; 2 ] (Profile.constrained p);
+  Alcotest.(check bool) "dont care h" true (Profile.is_dont_care p 1);
+  Alcotest.(check int) "arity used" 2 (Profile.arity_used p)
+
+let test_profile_conjunction_same_attr () =
+  let s = schema3 () in
+  let p =
+    Profile.create_exn s
+      [ ("t", Predicate.Ge (Value.Int 20)); ("t", Predicate.Le (Value.Int 40)) ]
+  in
+  let event t =
+    Event.create_exn s
+      [ ("t", Value.Int t); ("h", Value.Float 0.5); ("k", Value.Str "a") ]
+  in
+  Alcotest.(check bool) "30 in" true (Profile.matches s p (event 30));
+  Alcotest.(check bool) "10 out" false (Profile.matches s p (event 10));
+  Alcotest.(check bool) "50 out" false (Profile.matches s p (event 50))
+
+let test_profile_errors () =
+  let s = schema3 () in
+  let err specs =
+    match Profile.create s specs with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "expected profile error"
+  in
+  err [ ("zz", Predicate.Eq (Value.Int 1)) ];
+  err [ ("t", Predicate.Eq (Value.Str "x")) ];
+  (* Contradictory conjunction is unsatisfiable. *)
+  err [ ("t", Predicate.Lt (Value.Int 10)); ("t", Predicate.Gt (Value.Int 20)) ]
+
+let test_empty_profile_matches_everything () =
+  let s = schema3 () in
+  let p = Profile.create_exn s [] in
+  let e =
+    Event.create_exn s
+      [ ("t", Value.Int 7); ("h", Value.Float 0.1); ("k", Value.Str "b") ]
+  in
+  Alcotest.(check bool) "matches" true (Profile.matches s p e)
+
+(* ------------------------- registry ------------------------------- *)
+
+let test_profile_set () =
+  let s = schema3 () in
+  let pset = Profile_set.create s in
+  let p1 = Profile.create_exn s [ ("t", Predicate.Ge (Value.Int 50)) ] in
+  let id1 = Profile_set.add pset p1 in
+  let id2 = Profile_set.add pset (Profile.create_exn s []) in
+  Alcotest.(check int) "size" 2 (Profile_set.size pset);
+  Alcotest.(check bool) "distinct ids" true (id1 <> id2);
+  let rev = Profile_set.revision pset in
+  Alcotest.(check bool) "remove" true (Profile_set.remove pset id1);
+  Alcotest.(check bool) "remove twice" false (Profile_set.remove pset id1);
+  Alcotest.(check bool) "revision bumped" true (Profile_set.revision pset > rev);
+  Alcotest.(check (list int)) "ids" [ id2 ] (Profile_set.ids pset);
+  (* Ids are never reused. *)
+  let id3 = Profile_set.add pset p1 in
+  Alcotest.(check bool) "fresh id" true (id3 > id2)
+
+let test_denotations_per_attr () =
+  let s = schema3 () in
+  let pset = Profile_set.create s in
+  let _ = Profile_set.add pset (Profile.create_exn s [ ("t", Predicate.Ge (Value.Int 50)) ]) in
+  let _ = Profile_set.add pset (Profile.create_exn s [ ("h", Predicate.Le (Value.Float 0.5)) ]) in
+  Alcotest.(check int) "t constrainers" 1 (List.length (Profile_set.denotations pset 0));
+  Alcotest.(check int) "h constrainers" 1 (List.length (Profile_set.denotations pset 1));
+  Alcotest.(check int) "k constrainers" 0 (List.length (Profile_set.denotations pset 2))
+
+(* ------------------------- covering ------------------------------- *)
+
+let test_covering_basic () =
+  let s = schema3 () in
+  let broad = Profile.create_exn s [ ("t", Predicate.Ge (Value.Int 20)) ] in
+  let narrow =
+    Profile.create_exn s
+      [ ("t", Predicate.Ge (Value.Int 50)); ("k", Predicate.Eq (Value.Str "a")) ]
+  in
+  Alcotest.(check bool) "broad covers narrow" true (Covering.covers broad narrow);
+  Alcotest.(check bool) "narrow !covers broad" false (Covering.covers narrow broad);
+  Alcotest.(check bool) "reflexive" true (Covering.covers broad broad);
+  Alcotest.(check bool) "equivalent self" true (Covering.equivalent narrow narrow)
+
+let test_minimal_cover () =
+  let s = schema3 () in
+  let broad = Profile.create_exn s [ ("t", Predicate.Ge (Value.Int 20)) ] in
+  let narrow = Profile.create_exn s [ ("t", Predicate.Ge (Value.Int 50)) ] in
+  let other = Profile.create_exn s [ ("h", Predicate.Le (Value.Float 0.5)) ] in
+  let kept = Covering.minimal_cover [ (0, broad); (1, narrow); (2, other) ] in
+  Alcotest.(check (list int)) "covered dropped" [ 0; 2 ] (List.map fst kept);
+  (* Equivalent profiles: smallest id survives. *)
+  let kept2 = Covering.minimal_cover [ (5, narrow); (3, narrow) ] in
+  Alcotest.(check (list int)) "tie by id" [ 3 ] (List.map fst kept2)
+
+let prop_covering_implies_match_subset =
+  QCheck.Test.make ~name:"covers a b => (b matches e => a matches e)" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         Gen.schema () >>= fun s ->
+         Gen.profile s >>= fun a ->
+         Gen.profile s >>= fun b ->
+         Gen.events ~n:25 s >|= fun es -> (s, a, b, es)))
+    (fun (s, a, b, es) ->
+      if not (Covering.covers a b) then QCheck.assume_fail ()
+      else
+        List.for_all
+          (fun e -> (not (Profile.matches s b e)) || Profile.matches s a e)
+          es)
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "predicate",
+        [
+          Alcotest.test_case "denotations" `Quick test_denote_shapes;
+          Alcotest.test_case "errors" `Quick test_denote_errors;
+          Alcotest.test_case "enum order" `Quick test_denote_enum_order;
+          Alcotest.test_case "custom runtime operator" `Quick test_custom_operator;
+          QCheck_alcotest.to_alcotest prop_holds_agrees_with_denote;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "create" `Quick test_profile_create;
+          Alcotest.test_case "conjunction on one attribute" `Quick
+            test_profile_conjunction_same_attr;
+          Alcotest.test_case "errors" `Quick test_profile_errors;
+          Alcotest.test_case "empty matches all" `Quick
+            test_empty_profile_matches_everything;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "add/remove/revision" `Quick test_profile_set;
+          Alcotest.test_case "denotations" `Quick test_denotations_per_attr;
+        ] );
+      ( "covering",
+        [
+          Alcotest.test_case "basic" `Quick test_covering_basic;
+          Alcotest.test_case "minimal cover" `Quick test_minimal_cover;
+          QCheck_alcotest.to_alcotest prop_covering_implies_match_subset;
+        ] );
+    ]

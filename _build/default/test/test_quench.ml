@@ -1,0 +1,95 @@
+(* Quenching: soundness (never suppresses a deliverable event) and the
+   region / coverage views. *)
+
+module Value = Genas_model.Value
+module Domain = Genas_model.Domain
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Iset = Genas_interval.Iset
+module Interval = Genas_interval.Interval
+module Predicate = Genas_profile.Predicate
+module Profile = Genas_profile.Profile
+module Profile_set = Genas_profile.Profile_set
+module Naive = Genas_filter.Naive
+module Quench = Genas_ens.Quench
+module Gen = Genas_testlib.Gen
+
+let schema () =
+  Schema.create_exn
+    [ ("x", Domain.int_range ~lo:0 ~hi:9); ("y", Domain.float_range ~lo:0.0 ~hi:10.0) ]
+
+let pset_of s specs =
+  let pset = Profile_set.create s in
+  List.iter (fun t -> ignore (Profile_set.add pset (Profile.create_exn s t))) specs;
+  pset
+
+let test_wanted_event () =
+  let s = schema () in
+  let pset =
+    pset_of s
+      [
+        [ ("x", Predicate.Le (Value.Int 3)); ("y", Predicate.Ge (Value.Float 5.0)) ];
+        [ ("x", Predicate.Eq (Value.Int 7)) ];
+      ]
+  in
+  let q = Quench.build pset in
+  let ev x y = Event.create_exn s [ ("x", Value.Int x); ("y", Value.Float y) ] in
+  Alcotest.(check bool) "plausible" true (Quench.wanted_event q (ev 2 6.0));
+  (* x = 5 referenced by nobody: provably unmatchable. *)
+  Alcotest.(check bool) "x gap" false (Quench.wanted_event q (ev 5 6.0));
+  (* Profile 2 doesn't care about y, so every y is wanted. *)
+  Alcotest.(check bool) "y free via don't-care" true (Quench.wanted_event q (ev 7 0.0));
+  Alcotest.(check int) "suppressed counter" 1 (Quench.suppressed q)
+
+let test_empty_set_suppresses_everything () =
+  let s = schema () in
+  let q = Quench.build (Profile_set.create s) in
+  let ev = Event.create_exn s [ ("x", Value.Int 1); ("y", Value.Float 1.0) ] in
+  Alcotest.(check bool) "nothing wanted" false (Quench.wanted_event q ev)
+
+let test_wanted_region () =
+  let s = schema () in
+  let pset = pset_of s [ [ ("x", Predicate.Le (Value.Int 3)) ] ] in
+  let q = Quench.build pset in
+  let region lo hi = Iset.of_interval (Interval.make_exn ~lo ~hi ()) in
+  Alcotest.(check bool) "overlapping region" true
+    (Quench.wanted_region q ~attr:0 (region 2.0 5.0));
+  Alcotest.(check bool) "disjoint region" false
+    (Quench.wanted_region q ~attr:0 (region 6.0 9.0));
+  (* y unconstrained (don't-care via absence? no profile constrains y
+     but profile 0 exists and doesn't care) -> everything wanted. *)
+  Alcotest.(check bool) "don't-care axis" true
+    (Quench.wanted_region q ~attr:1 (region 0.0 1.0))
+
+let test_coverage_share () =
+  let s = schema () in
+  let pset = pset_of s [ [ ("x", Predicate.Le (Value.Int 3)) ] ] in
+  let q = Quench.build pset in
+  Alcotest.(check (float 1e-9)) "x share 4/10" 0.4 (Quench.coverage_share q ~attr:0);
+  Alcotest.(check (float 1e-9)) "y all" 1.0 (Quench.coverage_share q ~attr:1)
+
+(* Soundness: any event matched by some profile is wanted. *)
+let prop_quench_sound =
+  QCheck.Test.make ~name:"quench never suppresses a match" ~count:100
+    (QCheck.make (Gen.scenario ~max_attrs:3 ~max_p:10 ~n_events:30 ()))
+    (fun (_, pset, events) ->
+      let q = Quench.build pset in
+      let naive = Naive.build pset in
+      List.for_all
+        (fun e ->
+          Naive.match_event naive e = [] || Quench.wanted_event q e)
+        events)
+
+let () =
+  Alcotest.run "quench"
+    [
+      ( "quench",
+        [
+          Alcotest.test_case "wanted_event" `Quick test_wanted_event;
+          Alcotest.test_case "empty profile set" `Quick
+            test_empty_set_suppresses_everything;
+          Alcotest.test_case "wanted_region" `Quick test_wanted_region;
+          Alcotest.test_case "coverage share" `Quick test_coverage_share;
+          QCheck_alcotest.to_alcotest prop_quench_sound;
+        ] );
+    ]

@@ -1,0 +1,255 @@
+(* Tree reordering: spec handling, the A3 exhaustive search, and the
+   optimality guarantee A3 carries. *)
+
+module Schema = Genas_model.Schema
+module Axis = Genas_model.Axis
+module Dist = Genas_dist.Dist
+module Shape = Genas_dist.Shape
+module Decomp = Genas_filter.Decomp
+module Tree = Genas_filter.Tree
+module Order = Genas_filter.Order
+module Stats = Genas_core.Stats
+module Cost = Genas_core.Cost
+module Selectivity = Genas_core.Selectivity
+module Reorder = Genas_core.Reorder
+module Workload = Genas_expt.Workload
+module Prng = Genas_prng.Prng
+
+let scenario ~seed ~attrs ~p =
+  let schema = Workload.normalized_schema ~attrs ~points:40 () in
+  let axes =
+    Array.init attrs (fun i -> Axis.of_domain (Schema.attribute schema i).Schema.domain)
+  in
+  let rng = Prng.create ~seed in
+  let pset =
+    Workload.gen_profiles rng schema
+      {
+        Workload.p;
+        dontcare = Array.make attrs 0.0;
+        value_dists =
+          Array.mapi
+            (fun i ax ->
+              Shape.peak ~at:0.5 ~mass:1.0
+                ~width:(0.15 +. (0.2 *. float_of_int i))
+                ax)
+            axes;
+        range_width = None;
+      }
+  in
+  let stats = Stats.create (Decomp.build pset) in
+  Array.iteri
+    (fun i ax -> Stats.assume_event_dist stats ~attr:i (Shape.gauss () ax))
+    axes;
+  stats
+
+let test_default_spec_is_natural () =
+  let stats = scenario ~seed:1 ~attrs:3 ~p:8 in
+  let cfg = Reorder.config stats Reorder.default_spec in
+  Alcotest.(check (list int)) "identity order" [ 0; 1; 2 ]
+    (Array.to_list cfg.Tree.attr_order);
+  Array.iter
+    (function
+      | Order.Linear Order.Natural_asc -> ()
+      | _ -> Alcotest.fail "expected natural linear")
+    cfg.Tree.strategies
+
+let test_explicit_order () =
+  let stats = scenario ~seed:2 ~attrs:3 ~p:8 in
+  let cfg =
+    Reorder.config stats
+      { Reorder.attr_choice = Reorder.Attr_explicit [| 2; 0; 1 |];
+        value_choice = `Binary }
+  in
+  Alcotest.(check (list int)) "explicit" [ 2; 0; 1 ]
+    (Array.to_list cfg.Tree.attr_order);
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Reorder.config: explicit order has wrong length")
+    (fun () ->
+      ignore
+        (Reorder.config stats
+           { Reorder.attr_choice = Reorder.Attr_explicit [| 0 |];
+             value_choice = `Binary }))
+
+let test_measured_direction () =
+  let stats = scenario ~seed:3 ~attrs:3 ~p:8 in
+  let desc =
+    Reorder.config stats
+      { Reorder.attr_choice = Reorder.Attr_measured (Selectivity.A1, `Descending);
+        value_choice = `Binary }
+  in
+  let asc =
+    Reorder.config stats
+      { Reorder.attr_choice = Reorder.Attr_measured (Selectivity.A1, `Ascending);
+        value_choice = `Binary }
+  in
+  Alcotest.(check (list int)) "asc is reverse of desc"
+    (List.rev (Array.to_list desc.Tree.attr_order))
+    (Array.to_list asc.Tree.attr_order)
+
+let test_a3_is_optimal () =
+  let stats = scenario ~seed:4 ~attrs:3 ~p:10 in
+  let value_choice = `Measure Selectivity.V1 in
+  let a3 = Reorder.a3_order stats ~value_choice in
+  let cost_of order =
+    let tree =
+      Reorder.build stats
+        { Reorder.attr_choice = Reorder.Attr_explicit order; value_choice }
+    in
+    (Cost.evaluate_with_stats tree stats).Cost.per_event
+  in
+  let best = cost_of a3 in
+  (* Exhaustive check over all 6 permutations of 3 attributes. *)
+  List.iter
+    (fun order ->
+      let c = cost_of (Array.of_list order) in
+      if c +. 1e-9 < best then
+        Alcotest.failf "A3 %.4f beaten by [%s] at %.4f" best
+          (String.concat ";" (List.map string_of_int order))
+          c)
+    [ [0;1;2]; [0;2;1]; [1;0;2]; [1;2;0]; [2;0;1]; [2;1;0] ]
+
+let test_a3_at_least_as_good_as_a2 () =
+  let stats = scenario ~seed:5 ~attrs:4 ~p:12 in
+  let value_choice = `Measure Selectivity.V1 in
+  let cost_with attr_choice =
+    let tree = Reorder.build stats { Reorder.attr_choice; value_choice } in
+    (Cost.evaluate_with_stats tree stats).Cost.per_event
+  in
+  let a3 = cost_with Reorder.Attr_a3 in
+  let a2 = cost_with (Reorder.Attr_measured (Selectivity.A2, `Descending)) in
+  let natural = cost_with Reorder.Attr_natural in
+  Alcotest.(check bool) "A3 <= A2" true (a3 <= a2 +. 1e-9);
+  Alcotest.(check bool) "A3 <= natural" true (a3 <= natural +. 1e-9)
+
+let test_a3_guard () =
+  let stats = scenario ~seed:6 ~attrs:3 ~p:5 in
+  ignore stats;
+  let schema = Workload.normalized_schema ~attrs:9 ~points:10 () in
+  let rng = Prng.create ~seed:6 in
+  let axes =
+    Array.init 9 (fun i -> Axis.of_domain (Schema.attribute schema i).Schema.domain)
+  in
+  let pset =
+    Workload.gen_profiles rng schema
+      {
+        Workload.p = 3;
+        dontcare = Array.make 9 0.0;
+        value_dists = Array.map Dist.uniform axes;
+        range_width = None;
+      }
+  in
+  let stats9 = Stats.create (Decomp.build pset) in
+  Alcotest.check_raises "n > 8 rejected"
+    (Invalid_argument "Reorder.a3_order: A3 is O(n!) and guarded to n <= 8")
+    (fun () -> ignore (Reorder.a3_order stats9 ~value_choice:`Binary))
+
+let test_strategies_installed () =
+  let stats = scenario ~seed:7 ~attrs:2 ~p:6 in
+  let cfg =
+    Reorder.config stats
+      { Reorder.attr_choice = Reorder.Attr_natural;
+        value_choice = `Measure Selectivity.V1 }
+  in
+  Array.iter
+    (function
+      | Order.Linear (Order.By_key_desc _) -> ()
+      | _ -> Alcotest.fail "expected V1 key strategy")
+    cfg.Tree.strategies
+
+let test_hashed_costs_one_per_level () =
+  let stats = scenario ~seed:8 ~attrs:3 ~p:10 in
+  let tree =
+    Reorder.build stats
+      { Reorder.attr_choice = Reorder.Attr_natural; value_choice = `Hashed }
+  in
+  let r = Genas_core.Cost.evaluate_with_stats tree stats in
+  (* Every level has listed edges (no don't-cares in this scenario), so
+     hash-based location costs exactly 1 comparison per level reached.
+     The top level is always reached. *)
+  Alcotest.(check (float 1e-9)) "level 0 costs 1" 1.0 r.Cost.per_level.(0);
+  Alcotest.(check bool) "per event <= depth" true (r.Cost.per_event <= 3.0 +. 1e-9)
+
+let test_hashed_agrees_with_binary_semantics () =
+  let stats = scenario ~seed:8 ~attrs:2 ~p:10 in
+  let hashed =
+    Reorder.build stats
+      { Reorder.attr_choice = Reorder.Attr_natural; value_choice = `Hashed }
+  in
+  let binary =
+    Reorder.build stats
+      { Reorder.attr_choice = Reorder.Attr_natural; value_choice = `Binary }
+  in
+  for x = 0 to 39 do
+    for y = 0 to 39 do
+      let coords = [| float_of_int x; float_of_int y |] in
+      Alcotest.(check (list int))
+        (Printf.sprintf "(%d,%d)" x y)
+        (Tree.match_coords binary coords)
+        (Tree.match_coords hashed coords)
+    done
+  done
+
+let test_auto_beats_all_binary () =
+  let stats = scenario ~seed:9 ~attrs:3 ~p:12 in
+  let cost_with value_choice =
+    let tree =
+      Reorder.build stats { Reorder.attr_choice = Reorder.Attr_natural; value_choice }
+    in
+    (Genas_core.Cost.evaluate_with_stats tree stats).Cost.per_event
+  in
+  Alcotest.(check bool) "auto <= binary" true
+    (cost_with `Auto <= cost_with `Binary +. 1e-9)
+
+let test_auto_strategies_are_per_attribute () =
+  let stats = scenario ~seed:10 ~attrs:3 ~p:12 in
+  let strategies =
+    Reorder.auto_strategies stats ~attr_order:[| 0; 1; 2 |]
+  in
+  Alcotest.(check int) "one per attribute" 3 (Array.length strategies);
+  (* Auto matching stays correct. *)
+  let tree =
+    Reorder.build stats
+      { Reorder.attr_choice = Reorder.Attr_natural; value_choice = `Auto }
+  in
+  let binary =
+    Reorder.build stats
+      { Reorder.attr_choice = Reorder.Attr_natural; value_choice = `Binary }
+  in
+  for i = 0 to 200 do
+    let coords =
+      [| float_of_int (i mod 40); float_of_int (i * 7 mod 40);
+         float_of_int (i * 13 mod 40) |]
+    in
+    Alcotest.(check (list int)) "semantics preserved"
+      (Tree.match_coords binary coords)
+      (Tree.match_coords tree coords)
+  done
+
+let () =
+  Alcotest.run "reorder"
+    [
+      ( "specs",
+        [
+          Alcotest.test_case "default" `Quick test_default_spec_is_natural;
+          Alcotest.test_case "explicit" `Quick test_explicit_order;
+          Alcotest.test_case "direction" `Quick test_measured_direction;
+          Alcotest.test_case "strategies installed" `Quick test_strategies_installed;
+        ] );
+      ( "a3",
+        [
+          Alcotest.test_case "optimal over permutations" `Quick test_a3_is_optimal;
+          Alcotest.test_case "beats A2 and natural" `Quick
+            test_a3_at_least_as_good_as_a2;
+          Alcotest.test_case "arity guard" `Quick test_a3_guard;
+        ] );
+      ( "outlook strategies",
+        [
+          Alcotest.test_case "hashed O(1) per level" `Quick
+            test_hashed_costs_one_per_level;
+          Alcotest.test_case "hashed semantics" `Quick
+            test_hashed_agrees_with_binary_semantics;
+          Alcotest.test_case "auto beats all-binary" `Quick test_auto_beats_all_binary;
+          Alcotest.test_case "auto per-attribute mix" `Quick
+            test_auto_strategies_are_per_attribute;
+        ] );
+    ]

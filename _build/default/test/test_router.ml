@@ -1,0 +1,215 @@
+(* The routed broker network: topology validation, end-to-end delivery
+   equivalence with a single broker, and covering-based pruning. *)
+
+module Value = Genas_model.Value
+module Domain = Genas_model.Domain
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Predicate = Genas_profile.Predicate
+module Profile = Genas_profile.Profile
+module Router = Genas_ens.Router
+module Broker = Genas_ens.Broker
+module Notification = Genas_ens.Notification
+module Gen = Genas_testlib.Gen
+module Prng = Genas_prng.Prng
+
+let schema () =
+  Schema.create_exn
+    [ ("x", Domain.int_range ~lo:0 ~hi:9); ("y", Domain.int_range ~lo:0 ~hi:9) ]
+
+let event s x y = Event.create_exn s [ ("x", Value.Int x); ("y", Value.Int y) ]
+
+let test_topology_validation () =
+  let s = schema () in
+  let bad edges nodes =
+    match Router.create s ~nodes ~edges with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "expected topology error"
+  in
+  bad [] 2;  (* disconnected *)
+  bad [ (0, 1); (1, 2); (2, 0) ] 3;  (* cycle: wrong edge count *)
+  bad [ (0, 0) ] 2;  (* self loop *)
+  bad [ (0, 5) ] 2;  (* out of range *)
+  bad [ (0, 1); (0, 1) ] 3;  (* n-1 edges but disconnected node 2 *)
+  match Router.create s ~nodes:3 ~edges:[ (0, 1); (1, 2) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_local_delivery () =
+  let s = schema () in
+  let net = Router.line s ~nodes:3 in
+  let got = ref [] in
+  ignore
+    (Router.subscribe net ~at:2 ~subscriber:"edge"
+       ~profile:(Profile.create_exn s [ ("x", Predicate.Ge (Value.Int 5)) ])
+       (fun n -> got := n.Notification.broker :: !got));
+  (* Publish at the far end: must traverse and deliver at broker 2. *)
+  Alcotest.(check int) "delivered" 1 (Router.publish net ~at:0 (event s 7 0));
+  Alcotest.(check (list (option int))) "delivering broker" [ Some 2 ] !got;
+  Alcotest.(check int) "miss" 0 (Router.publish net ~at:0 (event s 2 0))
+
+let test_event_messages_stop_early () =
+  let s = schema () in
+  let net = Router.line s ~nodes:5 in
+  ignore
+    (Router.subscribe net ~at:1 ~subscriber:"near"
+       ~profile:(Profile.create_exn s [ ("x", Predicate.Ge (Value.Int 5)) ])
+       (fun _ -> ()));
+  let before = Router.event_messages net in
+  ignore (Router.publish net ~at:0 (event s 7 0));
+  (* Event needs exactly one hop (0 -> 1); brokers 2..4 never see it. *)
+  Alcotest.(check int) "one hop" 1 (Router.event_messages net - before);
+  let before = Router.event_messages net in
+  ignore (Router.publish net ~at:0 (event s 2 0));
+  Alcotest.(check int) "no hop for unmatched" 0 (Router.event_messages net - before)
+
+let test_covering_prunes_subscriptions () =
+  let s = schema () in
+  let net = Router.line s ~nodes:4 in
+  let broad = Profile.create_exn s [ ("x", Predicate.Ge (Value.Int 2)) ] in
+  let narrow = Profile.create_exn s [ ("x", Predicate.Ge (Value.Int 6)) ] in
+  ignore (Router.subscribe net ~at:0 ~subscriber:"broad" ~profile:broad (fun _ -> ()));
+  let after_broad = Router.sub_messages net in
+  Alcotest.(check int) "broad floods" 3 after_broad;
+  (* The narrow subscription at the same broker is covered: no new
+     propagation at all. *)
+  ignore (Router.subscribe net ~at:0 ~subscriber:"narrow" ~profile:narrow (fun _ -> ()));
+  Alcotest.(check int) "narrow pruned" after_broad (Router.sub_messages net);
+  (* Both still get notified. *)
+  Alcotest.(check int) "both notified" 2 (Router.publish net ~at:3 (event s 7 0))
+
+let test_star_topology () =
+  let s = schema () in
+  let net = Router.star s ~leaves:3 in
+  let hits = ref 0 in
+  (* Subscribe at a leaf; publish at another leaf: two hops via hub. *)
+  ignore
+    (Router.subscribe net ~at:1 ~subscriber:"leafy"
+       ~profile:(Profile.create_exn s [ ("y", Predicate.Le (Value.Int 4)) ])
+       (fun _ -> incr hits));
+  let before = Router.event_messages net in
+  Alcotest.(check int) "delivered" 1 (Router.publish net ~at:3 (event s 0 2));
+  Alcotest.(check int) "two hops" 2 (Router.event_messages net - before);
+  Alcotest.(check int) "handler" 1 !hits
+
+let test_unsubscribe_retracts () =
+  let s = schema () in
+  let net = Router.line s ~nodes:3 in
+  let hits = ref 0 in
+  let h =
+    Router.subscribe net ~at:2 ~subscriber:"edge"
+      ~profile:(Profile.create_exn s [ ("x", Predicate.Ge (Value.Int 5)) ])
+      (fun _ -> incr hits)
+  in
+  Alcotest.(check int) "delivered before" 1 (Router.publish net ~at:0 (event s 7 0));
+  Alcotest.(check bool) "retracted" true (Router.unsubscribe net h);
+  Alcotest.(check bool) "idempotent" false (Router.unsubscribe net h);
+  let before = Router.event_messages net in
+  Alcotest.(check int) "nothing delivered" 0 (Router.publish net ~at:0 (event s 7 0));
+  Alcotest.(check int) "no forwarding either" 0 (Router.event_messages net - before);
+  Alcotest.(check bool) "unsub messages charged" true (Router.unsub_messages net > 0);
+  Alcotest.(check int) "handler not rerun" 1 !hits
+
+let test_unsubscribe_revives_covered () =
+  (* A covered subscription that was never forwarded must take over
+     when its coverer is retracted. *)
+  let s = schema () in
+  let net = Router.line s ~nodes:3 in
+  let broad_hits = ref 0 and narrow_hits = ref 0 in
+  let broad =
+    Router.subscribe net ~at:2 ~subscriber:"broad"
+      ~profile:(Profile.create_exn s [ ("x", Predicate.Ge (Value.Int 2)) ])
+      (fun _ -> incr broad_hits)
+  in
+  ignore
+    (Router.subscribe net ~at:2 ~subscriber:"narrow"
+       ~profile:(Profile.create_exn s [ ("x", Predicate.Ge (Value.Int 6)) ])
+       (fun _ -> incr narrow_hits));
+  Alcotest.(check bool) "retract coverer" true (Router.unsubscribe net broad);
+  (* The narrow subscription must still be reachable from broker 0. *)
+  Alcotest.(check int) "narrow still delivered" 1
+    (Router.publish net ~at:0 (event s 7 0));
+  Alcotest.(check int) "narrow handler" 1 !narrow_hits;
+  Alcotest.(check int) "broad handler silent" 0 !broad_hits;
+  Alcotest.(check int) "below narrow threshold" 0
+    (Router.publish net ~at:0 (event s 3 0))
+
+(* Equivalence: a routed network delivers exactly the notifications a
+   single broker with all subscriptions would. *)
+let prop_delivery_equivalence =
+  QCheck.Test.make ~name:"network = single broker (delivery multiset)" ~count:30
+    (QCheck.make
+       QCheck.Gen.(
+         Gen.schema ~max_attrs:3 () >>= fun s ->
+         list_size (int_range 1 8) (Gen.profile s) >>= fun profiles ->
+         Gen.events ~n:20 s >>= fun events ->
+         int_bound 1000 >|= fun salt -> (s, profiles, events, salt)))
+    (fun (s, profiles, events, salt) ->
+      let nodes = 4 in
+      let net =
+        Router.create_exn s ~nodes ~edges:[ (0, 1); (1, 2); (1, 3) ]
+      in
+      let single = Broker.create s in
+      let net_count = Hashtbl.create 16 and single_count = Hashtbl.create 16 in
+      let bump tbl k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
+      List.iteri
+        (fun i p ->
+          let name = Printf.sprintf "s%d" i in
+          ignore
+            (Router.subscribe net
+               ~at:((i + salt) mod nodes)
+               ~subscriber:name ~profile:p
+               (fun n ->
+                 bump net_count (n.Notification.subscriber, n.Notification.event)));
+          ignore
+            (Broker.subscribe single ~subscriber:name ~profile:p (fun n ->
+                 bump single_count (n.Notification.subscriber, n.Notification.event))))
+        profiles;
+      List.iteri
+        (fun i e ->
+          ignore (Router.publish net ~at:((i + salt) mod nodes) e);
+          ignore (Broker.publish single e))
+        events;
+      Hashtbl.length net_count = Hashtbl.length single_count
+      && Hashtbl.fold
+           (fun k v acc -> acc && Hashtbl.find_opt single_count k = Some v)
+           net_count true)
+
+let prop_covering_never_floods_more =
+  QCheck.Test.make ~name:"sub messages ≤ flooding bound" ~count:30
+    (QCheck.make
+       QCheck.Gen.(
+         Gen.schema ~max_attrs:2 () >>= fun s ->
+         list_size (int_range 1 10) (Gen.profile s) >|= fun ps -> (s, ps)))
+    (fun (s, profiles) ->
+      let nodes = 5 in
+      let net = Router.line s ~nodes in
+      List.iteri
+        (fun i p ->
+          ignore
+            (Router.subscribe net ~at:(i mod nodes) ~subscriber:"x" ~profile:p
+               (fun _ -> ())))
+        profiles;
+      (* Flooding sends each subscription over every link once per
+         direction of propagation: at most (nodes-1) messages each. *)
+      Router.sub_messages net <= List.length profiles * (nodes - 1))
+
+let () =
+  Alcotest.run "router"
+    [
+      ( "topology",
+        [ Alcotest.test_case "validation" `Quick test_topology_validation ] );
+      ( "routing",
+        [
+          Alcotest.test_case "delivery across hops" `Quick test_local_delivery;
+          Alcotest.test_case "events stop early" `Quick test_event_messages_stop_early;
+          Alcotest.test_case "covering prunes" `Quick test_covering_prunes_subscriptions;
+          Alcotest.test_case "star topology" `Quick test_star_topology;
+          Alcotest.test_case "unsubscribe retracts" `Quick test_unsubscribe_retracts;
+          Alcotest.test_case "unsubscribe revives covered" `Quick
+            test_unsubscribe_revives_covered;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_delivery_equivalence; prop_covering_never_floods_more ] );
+    ]

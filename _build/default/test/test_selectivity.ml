@@ -1,0 +1,184 @@
+(* Selectivity measures V1–V3 and A1/A2. *)
+
+module Value = Genas_model.Value
+module Domain = Genas_model.Domain
+module Schema = Genas_model.Schema
+module Axis = Genas_model.Axis
+module Interval = Genas_interval.Interval
+module Dist = Genas_dist.Dist
+module Predicate = Genas_profile.Predicate
+module Profile = Genas_profile.Profile
+module Profile_set = Genas_profile.Profile_set
+module Decomp = Genas_filter.Decomp
+module Order = Genas_filter.Order
+module Stats = Genas_core.Stats
+module Selectivity = Genas_core.Selectivity
+
+let close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.6f, got %.6f" msg expected actual
+
+(* One int attribute 0..9; profiles referencing 2 (twice) and 7. *)
+let setup () =
+  let schema = Schema.create_exn [ ("x", Domain.int_range ~lo:0 ~hi:9) ] in
+  let pset = Profile_set.create schema in
+  let add v = ignore (Profile_set.add pset (Profile.create_exn schema [ ("x", Predicate.Eq (Value.Int v)) ])) in
+  add 2;
+  add 2;
+  add 7;
+  let decomp = Decomp.build pset in
+  Stats.create decomp
+
+let test_v2_keys () =
+  let stats = setup () in
+  (* Cells: [0,1] D0, {2}, [3,6] D0, {7}, [8,9] D0. *)
+  match Selectivity.value_keys stats ~attr:0 Selectivity.V2 with
+  | None -> Alcotest.fail "expected keys"
+  | Some keys ->
+    Alcotest.(check int) "cells" 5 (Array.length keys);
+    close "Pp(2) = 2/3" (2.0 /. 3.0) keys.(1);
+    close "Pp(7) = 1/3" (1.0 /. 3.0) keys.(3);
+    close "Pp(D0) = 0" 0.0 keys.(0)
+
+let test_v1_keys_follow_event_dist () =
+  let stats = setup () in
+  let axis = (Stats.decomp stats).Decomp.axes.(0) in
+  Stats.assume_event_dist stats ~attr:0
+    (Dist.of_atoms axis [ (7.0, 0.9); (2.0, 0.1) ]);
+  match Selectivity.value_keys stats ~attr:0 Selectivity.V1 with
+  | None -> Alcotest.fail "expected keys"
+  | Some keys ->
+    close "Pe(7)" 0.9 keys.(3);
+    close "Pe(2)" 0.1 keys.(1)
+
+let test_v3_product () =
+  let stats = setup () in
+  let axis = (Stats.decomp stats).Decomp.axes.(0) in
+  Stats.assume_event_dist stats ~attr:0
+    (Dist.of_atoms axis [ (7.0, 0.9); (2.0, 0.1) ]);
+  match Selectivity.value_keys stats ~attr:0 Selectivity.V3 with
+  | None -> Alcotest.fail "expected keys"
+  | Some keys ->
+    close "7: 0.9 * 1/3" (0.9 /. 3.0) keys.(3);
+    close "2: 0.1 * 2/3" (0.1 *. 2.0 /. 3.0) keys.(1)
+
+let test_ascending_variants () =
+  let stats = setup () in
+  let axis = (Stats.decomp stats).Decomp.axes.(0) in
+  Stats.assume_event_dist stats ~attr:0
+    (Dist.of_atoms axis [ (7.0, 0.9); (2.0, 0.1) ]);
+  (match Selectivity.value_order stats ~attr:0 Selectivity.V1_asc with
+  | Order.By_key_asc keys -> close "asc keys are Pe" 0.9 keys.(3)
+  | _ -> Alcotest.fail "expected By_key_asc");
+  (* Ascending event order can never beat the descending one. *)
+  let cost m =
+    let tree =
+      Genas_core.Reorder.build stats
+        { Genas_core.Reorder.attr_choice = Genas_core.Reorder.Attr_natural;
+          value_choice = `Measure m }
+    in
+    (Genas_core.Cost.evaluate_with_stats tree stats).Genas_core.Cost.per_event
+  in
+  Alcotest.(check bool) "V1 <= V1_asc" true
+    (cost Selectivity.V1 <= cost Selectivity.V1_asc +. 1e-9)
+
+let test_natural_orders_have_no_keys () =
+  let stats = setup () in
+  Alcotest.(check bool) "asc" true
+    (Selectivity.value_keys stats ~attr:0 Selectivity.V_natural_asc = None);
+  (match Selectivity.value_order stats ~attr:0 Selectivity.V_natural_desc with
+  | Order.Natural_desc -> ()
+  | _ -> Alcotest.fail "expected Natural_desc");
+  (match Selectivity.strategy stats ~attr:0 `Binary with
+  | Order.Binary -> ()
+  | Order.Linear _ | Order.Hashed -> Alcotest.fail "expected Binary");
+  match Selectivity.strategy stats ~attr:0 `Hashed with
+  | Order.Hashed -> ()
+  | Order.Linear _ | Order.Binary -> Alcotest.fail "expected Hashed"
+
+(* Example 1 schema for the attribute measures (already asserted in
+   test_paper_examples; here we exercise direction + ties). *)
+let multi_setup () =
+  let schema =
+    Schema.create_exn
+      [
+        ("a", Domain.int_range ~lo:0 ~hi:9);
+        ("b", Domain.int_range ~lo:0 ~hi:9);
+        ("c", Domain.int_range ~lo:0 ~hi:9);
+      ]
+  in
+  let pset = Profile_set.create schema in
+  (* All profiles constrain everything => no don't-care zeroing.
+     a: point 5 (d0 = 9/10); b: range [0,7] (d0 = 2/10); c: [0,4]. *)
+  ignore
+    (Profile_set.add pset
+       (Profile.create_exn schema
+          [
+            ("a", Predicate.Eq (Value.Int 5));
+            ("b", Predicate.Between
+                     { lo = Value.Int 0; lo_closed = true;
+                       hi = Value.Int 7; hi_closed = true });
+            ("c", Predicate.Le (Value.Int 4));
+          ]));
+  Stats.create (Decomp.build pset)
+
+let test_a1_values_and_order () =
+  let stats = multi_setup () in
+  close "a" 0.9 (Selectivity.attribute_selectivity stats ~attr:0 Selectivity.A1);
+  close "b" 0.2 (Selectivity.attribute_selectivity stats ~attr:1 Selectivity.A1);
+  close "c" 0.5 (Selectivity.attribute_selectivity stats ~attr:2 Selectivity.A1);
+  Alcotest.(check (list int)) "desc" [ 0; 2; 1 ]
+    (Array.to_list (Selectivity.attr_order stats Selectivity.A1 `Descending));
+  Alcotest.(check (list int)) "asc" [ 1; 2; 0 ]
+    (Array.to_list (Selectivity.attr_order stats Selectivity.A1 `Ascending))
+
+let test_a2_weights_by_event_mass () =
+  let stats = multi_setup () in
+  let axes = (Stats.decomp stats).Decomp.axes in
+  (* Give attribute b a distribution fully inside its zero-subdomain
+     [8,9]: A2 should now rank b highest despite its small d0. *)
+  Stats.assume_event_dist stats ~attr:1 (Dist.of_atoms axes.(1) [ (8.0, 0.5); (9.0, 0.5) ]);
+  (* Give a a distribution fully on its referenced point: A2(a) = 0. *)
+  Stats.assume_event_dist stats ~attr:0 (Dist.of_atoms axes.(0) [ (5.0, 1.0) ]);
+  close "A2(a) = 0" 0.0 (Selectivity.attribute_selectivity stats ~attr:0 Selectivity.A2);
+  close "A2(b) = 0.2 * 1.0" 0.2
+    (Selectivity.attribute_selectivity stats ~attr:1 Selectivity.A2);
+  (* c keeps its uniform events: A2(c) = 0.5 * 0.5 = 0.25, so the
+     descending order is c, b, a. *)
+  close "A2(c)" 0.25 (Selectivity.attribute_selectivity stats ~attr:2 Selectivity.A2);
+  Alcotest.(check (list int)) "descending order" [ 2; 1; 0 ]
+    (Array.to_list (Selectivity.attr_order stats Selectivity.A2 `Descending))
+
+let test_ties_break_by_index () =
+  let schema =
+    Schema.create_exn
+      [ ("p", Domain.int_range ~lo:0 ~hi:9); ("q", Domain.int_range ~lo:0 ~hi:9) ]
+  in
+  let pset = Profile_set.create schema in
+  ignore
+    (Profile_set.add pset
+       (Profile.create_exn schema
+          [ ("p", Predicate.Eq (Value.Int 1)); ("q", Predicate.Eq (Value.Int 1)) ]));
+  let stats = Stats.create (Decomp.build pset) in
+  Alcotest.(check (list int)) "stable" [ 0; 1 ]
+    (Array.to_list (Selectivity.attr_order stats Selectivity.A1 `Descending))
+
+let () =
+  Alcotest.run "selectivity"
+    [
+      ( "value measures",
+        [
+          Alcotest.test_case "V2 profile weights" `Quick test_v2_keys;
+          Alcotest.test_case "V1 event probabilities" `Quick
+            test_v1_keys_follow_event_dist;
+          Alcotest.test_case "V3 product" `Quick test_v3_product;
+          Alcotest.test_case "ascending variants" `Quick test_ascending_variants;
+          Alcotest.test_case "natural orders" `Quick test_natural_orders_have_no_keys;
+        ] );
+      ( "attribute measures",
+        [
+          Alcotest.test_case "A1 + order" `Quick test_a1_values_and_order;
+          Alcotest.test_case "A2 event weighting" `Quick test_a2_weights_by_event_mass;
+          Alcotest.test_case "tie-breaking" `Quick test_ties_break_by_index;
+        ] );
+    ]

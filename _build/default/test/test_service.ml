@@ -1,0 +1,181 @@
+(* The GENAS service facade and the Store persistence formats. *)
+
+module Value = Genas_model.Value
+module Domain = Genas_model.Domain
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Profile = Genas_profile.Profile
+module Profile_set = Genas_profile.Profile_set
+module Predicate = Genas_profile.Predicate
+module Naive = Genas_filter.Naive
+module Service = Genas_ens.Service
+module Store = Genas_ens.Store
+module Gen = Genas_testlib.Gen
+
+(* ---------------------------- service ------------------------------ *)
+
+let sensor_lines = [ "temp : float[-30,50]"; "zone : enum{north, south}" ]
+
+let test_runtime_definition () =
+  let svc = Service.create () in
+  (match Service.define_schema_text svc ~name:"sensors" sensor_lines with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (list string)) "schemas" [ "sensors" ] (Service.schemas svc);
+  (match Service.create_broker svc ~name:"hub" ~schema:"sensors" () with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (list string)) "brokers" [ "hub" ] (Service.brokers svc);
+  let hits = ref 0 in
+  (match
+     Service.subscribe svc ~broker:"hub" ~subscriber:"ops"
+       "temp >= 30 && zone = north" (fun _ -> incr hits)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match Service.publish svc ~broker:"hub" "temp = 35, zone = north" with
+  | Ok n -> Alcotest.(check int) "delivered" 1 n
+  | Error e -> Alcotest.fail e);
+  (match Service.publish svc ~broker:"hub" "temp = 35, zone = south" with
+  | Ok n -> Alcotest.(check int) "filtered" 0 n
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "handler ran" 1 !hits;
+  match Service.report svc ~broker:"hub" with
+  | Ok s -> Alcotest.(check bool) "report mentions events" true
+              (String.length s > 0)
+  | Error e -> Alcotest.fail e
+
+let test_service_errors () =
+  let svc = Service.create () in
+  let err = function Error _ -> () | Ok _ -> Alcotest.fail "expected error" in
+  err (Service.define_schema_text svc ~name:"s" [ "bad line" ]);
+  err (Service.create_broker svc ~name:"b" ~schema:"missing" ());
+  (match Service.define_schema_text svc ~name:"s" sensor_lines with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  err (Service.define_schema svc ~name:"s" [ ("x", Domain.bool_dom) ]);
+  (match Service.create_broker svc ~name:"b" ~schema:"s" () with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  err (Service.create_broker svc ~name:"b" ~schema:"s" ());
+  err (Service.subscribe svc ~broker:"nope" ~subscriber:"x" "" (fun _ -> ()));
+  err (Service.publish svc ~broker:"b" "temp = 35");  (* zone unbound *)
+  err (Service.publish svc ~broker:"nope" "temp = 35, zone = north")
+
+(* ----------------------------- store ------------------------------- *)
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("genas_test_" ^ name)
+
+let test_schema_roundtrip () =
+  let schema =
+    Schema.create_exn
+      [
+        ("t", Domain.float_range ~lo:(-1.5) ~hi:2.25);
+        ("n", Domain.int_range ~lo:0 ~hi:99);
+        ("k", Domain.enum [ "a"; "b" ]);
+        ("f", Domain.bool_dom);
+      ]
+  in
+  let path = tmp "schema.txt" in
+  (match Store.save_schema path schema with Ok () -> () | Error e -> Alcotest.fail e);
+  match Store.load_schema path with
+  | Error e -> Alcotest.fail e
+  | Ok loaded -> Alcotest.(check bool) "equal" true (Schema.equal schema loaded)
+
+let test_profiles_roundtrip_semantics () =
+  QCheck.Gen.generate ~n:10 (Gen.scenario ~max_attrs:3 ~max_p:8 ~n_events:25 ())
+  |> List.iteri (fun i (schema, pset, events) ->
+         let path = tmp (Printf.sprintf "profiles_%d.txt" i) in
+         (match Store.save_profiles path schema pset with
+         | Ok () -> ()
+         | Error e -> Alcotest.fail e);
+         match Store.load_profiles schema path with
+         | Error e -> Alcotest.fail e
+         | Ok loaded ->
+           Alcotest.(check int) "profile count" (Profile_set.size pset)
+             (Profile_set.size loaded);
+           let m1 = Naive.build pset and m2 = Naive.build loaded in
+           List.iter
+             (fun e ->
+               (* Ids are reassigned densely in file order = original
+                  ascending id order, so match lists coincide when the
+                  original ids were dense too; compare sizes plus the
+                  per-profile outcome via sorted match counts. *)
+               Alcotest.(check int) "same match count"
+                 (List.length (Naive.match_event m1 e))
+                 (List.length (Naive.match_event m2 e)))
+             events)
+
+let test_events_roundtrip () =
+  let schema =
+    Schema.create_exn
+      [ ("t", Domain.float_range ~lo:0.0 ~hi:10.0); ("k", Domain.enum [ "x"; "y" ]) ]
+  in
+  let events =
+    [
+      Event.create_exn schema [ ("t", Value.Float 1.25); ("k", Value.Str "x") ];
+      Event.create_exn schema [ ("t", Value.Float 9.0); ("k", Value.Str "y") ];
+    ]
+  in
+  let path = tmp "events.txt" in
+  (match Store.save_events path schema events with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Store.load_events schema path with
+  | Error e -> Alcotest.fail e
+  | Ok loaded ->
+    Alcotest.(check int) "count" 2 (List.length loaded);
+    List.iter2
+      (fun a b -> Alcotest.(check bool) "event equal" true (Event.equal a b))
+      events loaded;
+    (* Sequence numbers are assigned by position. *)
+    Alcotest.(check (list int)) "seqs" [ 0; 1 ] (List.map Event.seq loaded)
+
+let test_load_errors () =
+  let schema = Schema.create_exn [ ("t", Domain.bool_dom) ] in
+  (match Store.load_schema "/nonexistent/genas" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file accepted");
+  let path = tmp "bad_profiles.txt" in
+  (match
+     Out_channel.with_open_text path (fun oc ->
+         Out_channel.output_string oc "p1 : nope >= 3\n")
+   with
+  | () -> ()
+  | exception Sys_error e -> Alcotest.fail e);
+  match Store.load_profiles schema path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad profile accepted"
+
+let test_comments_and_blanks_ignored () =
+  let path = tmp "commented.txt" in
+  (match
+     Out_channel.with_open_text path (fun oc ->
+         Out_channel.output_string oc
+           "# header\n\n t : bool \n# trailing\n")
+   with
+  | () -> ()
+  | exception Sys_error e -> Alcotest.fail e);
+  match Store.load_schema path with
+  | Error e -> Alcotest.fail e
+  | Ok s -> Alcotest.(check int) "one attribute" 1 (Schema.arity s)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "service",
+        [
+          Alcotest.test_case "runtime definition" `Quick test_runtime_definition;
+          Alcotest.test_case "errors" `Quick test_service_errors;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "schema roundtrip" `Quick test_schema_roundtrip;
+          Alcotest.test_case "profiles roundtrip" `Quick
+            test_profiles_roundtrip_semantics;
+          Alcotest.test_case "events roundtrip" `Quick test_events_roundtrip;
+          Alcotest.test_case "load errors" `Quick test_load_errors;
+          Alcotest.test_case "comments ignored" `Quick
+            test_comments_and_blanks_ignored;
+        ] );
+    ]

@@ -1,0 +1,1 @@
+test/testlib/gen.ml: Array Float Fun Genas_interval Genas_model Genas_profile List Printf QCheck

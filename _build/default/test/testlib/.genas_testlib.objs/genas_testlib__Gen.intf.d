@@ -1,0 +1,1 @@
+test/testlib/gen.mli: Genas_interval Genas_model Genas_profile QCheck

@@ -1,0 +1,166 @@
+module G = QCheck.Gen
+module Value = Genas_model.Value
+module Domain = Genas_model.Domain
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Axis = Genas_model.Axis
+module Interval = Genas_interval.Interval
+module Iset = Genas_interval.Iset
+module Predicate = Genas_profile.Predicate
+module Profile = Genas_profile.Profile
+module Profile_set = Genas_profile.Profile_set
+
+let enum_names = [ "red"; "green"; "blue"; "cyan"; "magenta"; "yellow" ]
+
+let domain =
+  G.frequency
+    [
+      ( 3,
+        G.map2
+          (fun lo span -> Domain.int_range ~lo ~hi:(lo + span))
+          (G.int_range (-50) 50) (G.int_range 0 60) );
+      ( 3,
+        G.map2
+          (fun lo span ->
+            Domain.float_range ~lo ~hi:(lo +. Float.max 1.0 span))
+          (G.float_range (-50.0) 50.0)
+          (G.float_range 1.0 80.0) );
+      ( 2,
+        G.map
+          (fun k -> Domain.enum (List.filteri (fun i _ -> i < k) enum_names))
+          (G.int_range 1 6) );
+      (1, G.return Domain.bool_dom);
+    ]
+
+let schema ?(max_attrs = 4) () =
+  let open G in
+  int_range 1 max_attrs >>= fun n ->
+  list_repeat n domain >|= fun doms ->
+  Schema.create_exn (List.mapi (fun i d -> (Printf.sprintf "a%d" i, d)) doms)
+
+let value_in dom =
+  let open G in
+  match dom with
+  | Domain.Int_range { lo; hi } ->
+    frequency
+      [
+        (6, int_range lo hi >|= fun v -> Value.Int v);
+        (1, return (Value.Int lo));
+        (1, return (Value.Int hi));
+      ]
+  | Domain.Float_range { lo; hi } ->
+    frequency
+      [
+        (6, float_range lo hi >|= fun v -> Value.Float v);
+        (1, return (Value.Float lo));
+        (1, return (Value.Float hi));
+      ]
+  | Domain.Enum vs ->
+    int_range 0 (Array.length vs - 1) >|= fun i -> Value.Str vs.(i)
+  | Domain.Bool_dom -> bool >|= fun b -> Value.Bool b
+
+let coord_in dom = G.map (fun v -> Axis.coord_exn dom v) (value_in dom)
+
+let ordered_pair dom =
+  let open G in
+  pair (value_in dom) (value_in dom) >|= fun (a, b) ->
+  if Value.compare a b <= 0 then (a, b) else (b, a)
+
+let test_for dom =
+  let open G in
+  let v = value_in dom in
+  frequency
+    [
+      (3, v >|= fun x -> Predicate.Eq x);
+      (1, v >|= fun x -> Predicate.Neq x);
+      (1, v >|= fun x -> Predicate.Le x);
+      (1, v >|= fun x -> Predicate.Ge x);
+      (1, v >|= fun x -> Predicate.Lt x);
+      (1, v >|= fun x -> Predicate.Gt x);
+      ( 2,
+        pair (ordered_pair dom) (pair bool bool)
+        >|= fun ((lo, hi), (lo_closed, hi_closed)) ->
+        Predicate.Between { lo; lo_closed; hi; hi_closed } );
+      ( 1,
+        list_size (int_range 1 4) v >|= fun vs -> Predicate.One_of vs );
+    ]
+
+(* A satisfiable profile: regenerate on unsatisfiable draws (Lt on the
+   domain minimum, empty open ranges, …). Retries are cheap and rare. *)
+let profile ?(dontcare = 0.3) schema_v =
+  let n = Schema.arity schema_v in
+  let open G in
+  let attr_tests =
+    List.init n (fun i ->
+        let a = Schema.attribute schema_v i in
+        pair (float_range 0.0 1.0) (test_for a.Schema.domain)
+        >|= fun (skip, test) ->
+        if skip < dontcare then None else Some (a.Schema.name, test))
+  in
+  let candidate =
+    flatten_l attr_tests >>= fun picks ->
+    let tests = List.filter_map Fun.id picks in
+    (* Ensure at least one constraint: force attribute 0 if empty. *)
+    if tests <> [] then return tests
+    else
+      let a = Schema.attribute schema_v 0 in
+      test_for a.Schema.domain >|= fun t -> [ (a.Schema.name, t) ]
+  in
+  let rec gen_sat fuel st =
+    let tests = candidate st in
+    match Profile.create schema_v tests with
+    | Ok p -> p
+    | Error _ ->
+      if fuel = 0 then
+        (* Fall back to a guaranteed-satisfiable equality profile. *)
+        let a = Schema.attribute schema_v 0 in
+        Profile.create_exn schema_v
+          [ (a.Schema.name, Predicate.Eq (G.generate1 (value_in a.Schema.domain))) ]
+      else gen_sat (fuel - 1) st
+  in
+  gen_sat 20
+
+let profile_set ?p schema_v =
+  let open G in
+  (match p with Some p -> return p | None -> int_range 1 20) >>= fun p ->
+  list_repeat p (profile schema_v) >|= fun profiles ->
+  let pset = Profile_set.create schema_v in
+  List.iter (fun pr -> ignore (Profile_set.add pset pr)) profiles;
+  pset
+
+let event schema_v =
+  let n = Schema.arity schema_v in
+  let open G in
+  flatten_l
+    (List.init n (fun i -> value_in (Schema.attribute schema_v i).Schema.domain))
+  >|= fun values -> Event.of_values_exn schema_v (Array.of_list values)
+
+let events ?n schema_v =
+  let open G in
+  (match n with Some n -> return n | None -> int_range 1 50) >>= fun n ->
+  list_repeat n (event schema_v)
+
+let scenario ?(max_attrs = 4) ?(max_p = 20) ?(n_events = 30) () =
+  let open G in
+  schema ~max_attrs () >>= fun s ->
+  int_range 1 max_p >>= fun p ->
+  profile_set ~p s >>= fun pset ->
+  events ~n:n_events s >|= fun evs -> (s, pset, evs)
+
+let interval ~lo ~hi =
+  let open G in
+  frequency
+    [
+      ( 5,
+        pair (float_range lo hi) (float_range lo hi) >>= fun (a, b) ->
+        let a, b = if a <= b then (a, b) else (b, a) in
+        pair bool bool >|= fun (lc, hc) ->
+        match Interval.make ~lo_closed:lc ~hi_closed:hc ~lo:a ~hi:b () with
+        | Some i -> i
+        | None -> Interval.point a );
+      (1, float_range lo hi >|= Interval.point);
+    ]
+
+let iset ~lo ~hi =
+  let open G in
+  list_size (int_range 0 4) (interval ~lo ~hi) >|= Iset.of_intervals

@@ -1,0 +1,50 @@
+(** QCheck generators for GENAS structures, shared across test suites.
+
+    All generators produce *valid* structures (in-domain values,
+    satisfiable profiles) so properties test semantics rather than
+    constructor guards; guard behaviour is tested separately with
+    hand-built invalid inputs. *)
+
+val domain : Genas_model.Domain.t QCheck.Gen.t
+(** Mixed int / float / enum / bool domains of modest size. *)
+
+val schema : ?max_attrs:int -> unit -> Genas_model.Schema.t QCheck.Gen.t
+(** 1 to [max_attrs] (default 4) attributes named ["a0"]…, random
+    domains. *)
+
+val value_in : Genas_model.Domain.t -> Genas_model.Value.t QCheck.Gen.t
+(** A value of the domain (interior and boundary values both
+    likely). *)
+
+val coord_in : Genas_model.Domain.t -> float QCheck.Gen.t
+(** Axis coordinate of a domain value. *)
+
+val test_for : Genas_model.Domain.t -> Genas_profile.Predicate.test QCheck.Gen.t
+(** A satisfiable predicate over the domain (any operator). *)
+
+val profile :
+  ?dontcare:float -> Genas_model.Schema.t -> Genas_profile.Profile.t QCheck.Gen.t
+(** A bound profile; each attribute is skipped with probability
+    [dontcare] (default 0.3), but at least one attribute is always
+    constrained. *)
+
+val profile_set :
+  ?p:int -> Genas_model.Schema.t -> Genas_profile.Profile_set.t QCheck.Gen.t
+(** [p] profiles (default: 1–20 random). *)
+
+val event : Genas_model.Schema.t -> Genas_model.Event.t QCheck.Gen.t
+
+val events : ?n:int -> Genas_model.Schema.t -> Genas_model.Event.t list QCheck.Gen.t
+
+val scenario :
+  ?max_attrs:int -> ?max_p:int -> ?n_events:int -> unit ->
+  (Genas_model.Schema.t * Genas_profile.Profile_set.t
+  * Genas_model.Event.t list)
+  QCheck.Gen.t
+(** A full random matching scenario. *)
+
+val interval : lo:float -> hi:float -> Genas_interval.Interval.t QCheck.Gen.t
+(** A non-empty interval within [[lo, hi]], point intervals included. *)
+
+val iset : lo:float -> hi:float -> Genas_interval.Iset.t QCheck.Gen.t
+(** Union of up to 4 such intervals. *)
