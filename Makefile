@@ -1,0 +1,20 @@
+# Convenience targets; `make check` is the tier-1 gate (build + tests).
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+check:
+	dune build @all && dune runtest
+
+bench:
+	dune exec bench/main.exe -- all
+
+clean:
+	dune clean

@@ -190,6 +190,19 @@ let run_parallel () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Metrics snapshot: the timing workload replayed through an
+   instrumented engine, so wall-clock tables and the observability
+   layer's own percentiles can be compared side by side.              *)
+
+let run_metrics_snapshot () =
+  let _, pset, _, _, events = timing_workload () in
+  let registry = Genas_obs.Metrics.create () in
+  let engine = Genas_core.Engine.create ~metrics:registry pset in
+  let n = Array.length events in
+  for i = 0 to (8 * n) - 1 do
+    ignore (Genas_core.Engine.match_event engine events.(i mod n))
+  done;
+  print_string (Genas_obs.Metrics.to_json registry)
 
 let tables_of_target = function
   | "fig3" -> [ Figures.fig3 () ]
@@ -220,6 +233,8 @@ let csv_name target i n =
   if n = 1 then target ^ ".csv" else Printf.sprintf "%s_%d.csv" target (i + 1)
 
 let run_figure ?csv_dir target =
+  if target = "metrics" then run_metrics_snapshot ()
+  else begin
   let tables = tables_of_target target in
   let n = List.length tables in
   List.iteri
@@ -232,10 +247,11 @@ let run_figure ?csv_dir target =
         Out_channel.with_open_text path (fun oc ->
             Out_channel.output_string oc (Report.to_csv table)))
     tables
+  end
 
 let all_targets =
   [ "fig3"; "fig4a"; "fig4b"; "fig5"; "fig6a"; "fig6b"; "tv"; "ablation";
-    "baselines"; "outlook"; "quench"; "routing"; "adaptive"; "correlated"; "dontcare"; "queueing"; "orderings8"; "fragility"; "timing"; "parallel" ]
+    "baselines"; "outlook"; "quench"; "routing"; "adaptive"; "correlated"; "dontcare"; "queueing"; "orderings8"; "fragility"; "timing"; "parallel"; "metrics" ]
 
 let () =
   let rest =

@@ -30,7 +30,12 @@ module Cost = Genas_core.Cost
 module Reorder = Genas_core.Reorder
 module Figures = Genas_expt.Figures
 module Report = Genas_expt.Report
+module Workload = Genas_expt.Workload
 module Store = Genas_ens.Store
+module Broker = Genas_ens.Broker
+module Event = Genas_model.Event
+module Shape = Genas_dist.Shape
+module Obs = Genas_obs
 
 let ( let* ) = Result.bind
 
@@ -105,8 +110,9 @@ let run_match schema_path profiles_path events_path strategy attr_measure
         Format.printf "%a@." Genas_core.Explain.pp
           (Genas_core.Explain.trace tree event))
     events;
-  Printf.printf "\n%d events, %d comparisons (%.2f per event)\n"
-    ops.Ops.events ops.Ops.comparisons (Ops.per_event ops)
+  Printf.printf "\n%d events, %d comparisons (%s per event)\n"
+    ops.Ops.events ops.Ops.comparisons
+    (Report.f2 (Ops.per_event ops))
 
 let run_plan schema_path profiles_path event_dists =
   let schema = or_die (load_schema schema_path) in
@@ -262,6 +268,73 @@ let run_figures targets =
       | "fragility" -> Report.print (Figures.fragility ())
       | other -> or_die (Error (Printf.sprintf "unknown figure %S" other)))
     targets
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: a deterministic simulated run through an instrumented
+   broker (engine + adaptive component + quench), then one snapshot in
+   the requested exporter format.                                      *)
+
+let run_metrics format events seed =
+  if events <= 0 then or_die (Error "need a positive --events count");
+  let registry = Obs.Metrics.create () in
+  let schema = Workload.normalized_schema ~attrs:3 ~points:100 () in
+  let axes =
+    Array.init 3 (fun i ->
+        Axis.of_domain (Schema.attribute schema i).Schema.domain)
+  in
+  let rng = Genas_prng.Prng.create ~seed in
+  let broker =
+    Broker.create ~metrics:registry
+      ~adaptive:
+        { Genas_core.Adaptive.warmup = 100; check_every = 50;
+          drift_threshold = 0.2 }
+      schema
+  in
+  let profiles =
+    Workload.gen_profiles rng schema
+      {
+        Workload.p = 100;
+        dontcare = [| 0.3; 0.3; 0.3 |];
+        value_dists = Array.map (fun ax -> Shape.gauss () ax) axes;
+        range_width = None;
+      }
+  in
+  Profile_set.iter profiles (fun id p ->
+      ignore
+        (Broker.subscribe broker
+           ~subscriber:(Printf.sprintf "group-%d" (id mod 4))
+           ~profile:p
+           (fun _ -> ())));
+  let publish_phase dists n =
+    for _ = 1 to n do
+      let coords = Workload.event_coords rng dists in
+      let values =
+        Array.mapi
+          (fun i c -> Axis.value (Schema.attribute schema i).Schema.domain c)
+          coords
+      in
+      ignore (Broker.publish_quenched broker (Event.of_values_exn schema values))
+    done
+  in
+  (* Phase 1: uniform events. Phase 2: a hot-spot — the histogram
+     drifts, so the adaptive component re-optimizes at least once. *)
+  publish_phase (Array.map Dist.uniform axes) (events / 2);
+  publish_phase
+    (Array.map (fun ax -> Shape.peak ~at:0.85 ~mass:0.9 ~width:0.05 ax) axes)
+    (events - (events / 2));
+  match format with
+  | "json" -> print_string (Obs.Metrics.to_json registry)
+  | "prom" | "prometheus" -> print_string (Obs.Metrics.to_prometheus registry)
+  | other ->
+    or_die (Error (Printf.sprintf "unknown metrics format %S (json|prom)" other))
+
+let run_jsoncheck () =
+  let input = In_channel.input_all stdin in
+  match Obs.Json.validate input with
+  | Ok () -> print_endline "ok"
+  | Error e ->
+    prerr_endline ("jsoncheck: " ^ e);
+    exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Interactive service REPL.                                           *)
@@ -465,6 +538,32 @@ let simulate_cmd =
     Term.(const run_simulate $ schema_arg $ profiles_arg $ dists_arg
           $ strategy_arg $ attr_arg $ events_arg)
 
+let metrics_cmd =
+  let format_arg =
+    Arg.(value & opt string "json"
+         & info [ "format" ] ~doc:"Snapshot format: json|prom.")
+  in
+  let events_arg =
+    Arg.(value & opt int 2000
+         & info [ "events" ] ~doc:"Events to publish before the snapshot.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Workload PRNG seed.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Run a simulated workload through an instrumented broker and \
+             dump a metrics snapshot (match-latency percentiles, adaptive \
+             rebuilds, tree gauges, delivery counters)")
+    Term.(const run_metrics $ format_arg $ events_arg $ seed_arg)
+
+let jsoncheck_cmd =
+  Cmd.v
+    (Cmd.info "jsoncheck"
+       ~doc:"Validate that stdin is a single well-formed JSON document \
+             (used by the cram tests against the metrics exporter)")
+    Term.(const run_jsoncheck $ const ())
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -472,4 +571,5 @@ let () =
        (Cmd.group ~default
           (Cmd.info "genas" ~version:"1.0.0"
              ~doc:"Distribution-based event filtering (GENAS)")
-          [ match_cmd; plan_cmd; simulate_cmd; dists_cmd; figures_cmd; repl_cmd ]))
+          [ match_cmd; plan_cmd; simulate_cmd; dists_cmd; figures_cmd;
+            metrics_cmd; jsoncheck_cmd; repl_cmd ]))

@@ -1,10 +1,34 @@
 module Decomp = Genas_filter.Decomp
 module Estimator = Genas_dist.Estimator
 module Dist = Genas_dist.Dist
+module Metrics = Genas_obs.Metrics
 
 type policy = { warmup : int; check_every : int; drift_threshold : float }
 
 let default_policy = { warmup = 500; check_every = 200; drift_threshold = 0.25 }
+
+type instruments = {
+  checks_total : Metrics.counter;
+  rebuilds_total : Metrics.counter;
+  rebuild_ns : Metrics.histogram;
+  last_drift_gauge : Metrics.gauge;
+}
+
+let make_instruments registry =
+  {
+    checks_total =
+      Metrics.counter registry "genas_adaptive_checks_total"
+        ~help:"Drift checks performed";
+    rebuilds_total =
+      Metrics.counter registry "genas_adaptive_rebuilds_total"
+        ~help:"Drift-triggered tree re-optimizations";
+    rebuild_ns =
+      Metrics.histogram registry "genas_adaptive_rebuild_duration_ns"
+        ~help:"Wall-clock duration of one adaptive rebuild (ns, monotonic)";
+    last_drift_gauge =
+      Metrics.gauge registry "genas_adaptive_last_drift"
+        ~help:"Drift at the most recent check (L1 distance, clamped to [0,2])";
+  }
 
 type t = {
   engine : Engine.t;
@@ -14,11 +38,13 @@ type t = {
           planned for; [None] until the first adaptive rebuild *)
   mutable since_check : int;
   mutable seen : int;
+  mutable checks : int;
   mutable rebuilds : int;
   mutable last_drift : float;
+  instruments : instruments option;
 }
 
-let create ?(policy = default_policy) engine =
+let create ?(policy = default_policy) ?metrics engine =
   if policy.warmup < 0 || policy.check_every <= 0 then
     invalid_arg "Adaptive.create: malformed policy";
   {
@@ -27,8 +53,10 @@ let create ?(policy = default_policy) engine =
     planned_for = None;
     since_check = 0;
     seen = 0;
+    checks = 0;
     rebuilds = 0;
     last_drift = 0.0;
+    instruments = Option.map make_instruments metrics;
   }
 
 let engine t = t.engine
@@ -39,7 +67,11 @@ let current_dists t =
   Array.init n (fun attr -> Stats.event_dist stats ~attr)
 
 let rebuild t =
-  Engine.rebuild t.engine;
+  (match t.instruments with
+  | None -> Engine.rebuild t.engine
+  | Some ins ->
+    Genas_obs.Span.time ins.rebuild_ns (fun () -> Engine.rebuild t.engine);
+    Metrics.Counter.incr ins.rebuilds_total);
   t.planned_for <- Some (current_dists t);
   t.rebuilds <- t.rebuilds + 1
 
@@ -58,7 +90,17 @@ let drift t =
 
 let force_check t =
   let d = drift t in
+  t.checks <- t.checks + 1;
+  (* The gauge/readout value is clamped to the L1 metric's range [0,2];
+     the rebuild decision below uses the raw (possibly infinite)
+     drift, so a never-planned tree always rebuilds regardless of the
+     threshold. *)
   t.last_drift <- (if Float.is_finite d then d else 2.0);
+  (match t.instruments with
+  | None -> ()
+  | Some ins ->
+    Metrics.Counter.incr ins.checks_total;
+    Metrics.Gauge.set ins.last_drift_gauge t.last_drift);
   if d > t.policy.drift_threshold then begin
     rebuild t;
     true
@@ -69,12 +111,20 @@ let match_event t event =
   let result = Engine.match_event t.engine event in
   t.seen <- t.seen + 1;
   t.since_check <- t.since_check + 1;
-  if t.seen >= t.policy.warmup && t.since_check >= t.policy.check_every then begin
+  (* [since_check] accumulates during warmup, so the first check is due
+     at exactly [seen = warmup] (or at the first post-warmup event when
+     [warmup < check_every]); subsequent checks every [check_every]. *)
+  if
+    t.seen >= t.policy.warmup
+    && (t.checks = 0 || t.since_check >= t.policy.check_every)
+  then begin
     t.since_check <- 0;
     ignore (force_check t)
   end;
   result
 
 let rebuilds t = t.rebuilds
+
+let checks t = t.checks
 
 let last_drift t = t.last_drift

@@ -25,22 +25,36 @@ val default_policy : policy
 
 type t
 
-val create : ?policy:policy -> Engine.t -> t
+val create : ?policy:policy -> ?metrics:Genas_obs.Metrics.t -> Engine.t -> t
 (** Wrap an engine. The engine must not be rebuilt behind the adaptive
     component's back (drift is measured against the distributions at
-    the last rebuild it performed). *)
+    the last rebuild it performed).
+
+    [metrics] registers check/rebuild counters, a rebuild-duration
+    histogram, and a last-drift gauge (names in docs/OBSERVABILITY.md);
+    it is independent of the engine's own [?metrics] argument. *)
 
 val engine : t -> Engine.t
 
 val match_event :
   t -> Genas_model.Event.t -> Genas_profile.Profile_set.id list
-(** Filter, observe, and re-optimize when due. *)
+(** Filter, observe, and re-optimize when due. The check cadence:
+    [since_check] accumulates during warmup, so the first drift check
+    fires at exactly [seen = warmup] — not [warmup + check_every] —
+    even when [warmup < check_every]; later checks run every
+    [check_every] events. *)
 
 val rebuilds : t -> int
 (** Number of re-optimizations performed so far. *)
 
+val checks : t -> int
+(** Number of drift checks performed so far (forced or scheduled). *)
+
 val last_drift : t -> float
-(** Drift measured at the most recent check ([0.0] before the first). *)
+(** Drift measured at the most recent check ([0.0] before the first).
+    Clamped to [2.0] — the L1 metric's upper bound — when the raw
+    drift is infinite (tree never planned from data); the rebuild
+    decision itself compares the raw drift against the threshold. *)
 
 val force_check : t -> bool
 (** Run a drift check now; [true] if it triggered a rebuild. *)

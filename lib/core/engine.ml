@@ -2,6 +2,54 @@ module Profile_set = Genas_profile.Profile_set
 module Decomp = Genas_filter.Decomp
 module Tree = Genas_filter.Tree
 module Ops = Genas_filter.Ops
+module Metrics = Genas_obs.Metrics
+
+(* Instrument handles are resolved once at engine construction so the
+   per-event updates are plain stores; with [?metrics:None] the match
+   path never touches the observability layer at all. *)
+type instruments = {
+  match_ns : Metrics.histogram;
+  match_comparisons : Metrics.histogram;
+  events_total : Metrics.counter;
+  matches_total : Metrics.counter;
+  comparisons_total : Metrics.counter;
+  rebuilds_total : Metrics.counter;
+  tree_nodes : Metrics.gauge;
+  tree_leaves : Metrics.gauge;
+  tree_edges : Metrics.gauge;
+}
+
+let make_instruments registry =
+  {
+    match_ns =
+      Metrics.histogram registry "genas_engine_match_duration_ns"
+        ~help:"Wall-clock latency of Engine.match_event (ns, monotonic)";
+    match_comparisons =
+      Metrics.histogram registry "genas_engine_match_comparisons"
+        ~help:"Comparison steps (the paper's #operations) per event"
+        ~buckets:[| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1e3; 1e4 |];
+    events_total =
+      Metrics.counter registry "genas_engine_events_total"
+        ~help:"Events filtered";
+    matches_total =
+      Metrics.counter registry "genas_engine_matches_total"
+        ~help:"(event, profile) match pairs produced";
+    comparisons_total =
+      Metrics.counter registry "genas_engine_comparisons_total"
+        ~help:"Total comparison steps";
+    rebuilds_total =
+      Metrics.counter registry "genas_engine_rebuilds_total"
+        ~help:"Tree re-plans (explicit rebuilds and profile-set refreshes)";
+    tree_nodes =
+      Metrics.gauge registry "genas_engine_tree_nodes"
+        ~help:"Unique inner nodes of the current profile tree";
+    tree_leaves =
+      Metrics.gauge registry "genas_engine_tree_leaves"
+        ~help:"Unique leaves of the current profile tree";
+    tree_edges =
+      Metrics.gauge registry "genas_engine_tree_edges"
+        ~help:"Edges over unique nodes of the current profile tree";
+  }
 
 type t = {
   pset : Profile_set.t;
@@ -10,7 +58,17 @@ type t = {
   mutable stats : Stats.t;
   mutable tree : Tree.t;
   ops : Ops.t;
+  instruments : instruments option;
 }
+
+let observe_tree t =
+  match t.instruments with
+  | None -> ()
+  | Some ins ->
+    let s = t.tree.Tree.stats in
+    Metrics.Gauge.set ins.tree_nodes (float_of_int s.Tree.nodes);
+    Metrics.Gauge.set ins.tree_leaves (float_of_int s.Tree.leaves);
+    Metrics.Gauge.set ins.tree_edges (float_of_int s.Tree.edges)
 
 let plan ~bins ~old_stats pset spec =
   let decomp = Decomp.build pset in
@@ -23,9 +81,21 @@ let plan ~bins ~old_stats pset spec =
   let tree = Reorder.build stats spec in
   (stats, tree)
 
-let create ?(spec = Reorder.default_spec) ?(bins = 64) pset =
+let create ?(spec = Reorder.default_spec) ?(bins = 64) ?metrics pset =
   let stats, tree = plan ~bins ~old_stats:None pset spec in
-  { pset; bins; spec; stats; tree; ops = Ops.create () }
+  let t =
+    {
+      pset;
+      bins;
+      spec;
+      stats;
+      tree;
+      ops = Ops.create ();
+      instruments = Option.map make_instruments metrics;
+    }
+  in
+  observe_tree t;
+  t
 
 let spec t = t.spec
 
@@ -42,7 +112,12 @@ let rebuild t =
      re-optimization path); refresh the decomposition otherwise. *)
   let stats, tree = plan ~bins:t.bins ~old_stats:(Some t.stats) t.pset t.spec in
   t.stats <- stats;
-  t.tree <- tree
+  t.tree <- tree;
+  match t.instruments with
+  | None -> ()
+  | Some ins ->
+    Metrics.Counter.incr ins.rebuilds_total;
+    observe_tree t
 
 let set_spec t spec =
   t.spec <- spec;
@@ -54,12 +129,30 @@ let refresh_if_stale t =
        observed history refers to stale cells, so it is restarted. *)
     let decomp = Decomp.build t.pset in
     t.stats <- Stats.create ~bins:t.bins decomp;
-    t.tree <- Reorder.build t.stats t.spec
+    t.tree <- Reorder.build t.stats t.spec;
+    match t.instruments with
+    | None -> ()
+    | Some ins ->
+      Metrics.Counter.incr ins.rebuilds_total;
+      observe_tree t
   end
 
 let match_event t event =
   refresh_if_stale t;
   Stats.observe_event t.stats event;
-  Tree.match_event ~ops:t.ops t.tree event
+  match t.instruments with
+  | None -> Tree.match_event ~ops:t.ops t.tree event
+  | Some ins ->
+    let c0 = t.ops.Ops.comparisons in
+    let t0 = Genas_obs.Clock.now_ns () in
+    let result = Tree.match_event ~ops:t.ops t.tree event in
+    let dt = Int64.to_float (Int64.sub (Genas_obs.Clock.now_ns ()) t0) in
+    let dc = t.ops.Ops.comparisons - c0 in
+    Metrics.Histogram.observe ins.match_ns (Float.max 0.0 dt);
+    Metrics.Histogram.observe ins.match_comparisons (float_of_int dc);
+    Metrics.Counter.incr ins.events_total;
+    Metrics.Counter.add ins.comparisons_total dc;
+    Metrics.Counter.add ins.matches_total (List.length result);
+    result
 
 let report t = Cost.evaluate_with_stats t.tree t.stats

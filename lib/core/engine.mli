@@ -11,8 +11,20 @@
 type t
 
 val create :
-  ?spec:Reorder.spec -> ?bins:int -> Genas_profile.Profile_set.t -> t
-(** [spec] defaults to {!Reorder.default_spec}. *)
+  ?spec:Reorder.spec ->
+  ?bins:int ->
+  ?metrics:Genas_obs.Metrics.t ->
+  Genas_profile.Profile_set.t ->
+  t
+(** [spec] defaults to {!Reorder.default_spec}.
+
+    [metrics] attaches the engine to an observability registry: match
+    latency and comparisons-per-event histograms, event/match/
+    comparison/rebuild counters, and tree-size gauges (all names in
+    docs/OBSERVABILITY.md). Without it ([?metrics:None], the default)
+    the match path performs no observability work at all — handles are
+    resolved once at construction and the hot loop stays
+    allocation-free. *)
 
 val spec : t -> Reorder.spec
 

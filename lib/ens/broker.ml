@@ -6,34 +6,83 @@ module Lang = Genas_profile.Lang
 module Engine = Genas_core.Engine
 module Adaptive = Genas_core.Adaptive
 module Ops = Genas_filter.Ops
+module Metrics = Genas_obs.Metrics
 
 type sub_id = Prim_sub of int | Comp_sub of int
+
+type prim_sub = {
+  p_subscriber : string;
+  p_handler : Notification.handler;
+  p_delivered : Metrics.counter option;
+}
 
 type comp_sub = {
   subscriber : string;
   detector : Composite.t;
   prims : Profile.t list;  (** constituents, for the quench table *)
   handler : Notification.handler;
+  c_delivered : Metrics.counter option;
 }
+
+type instruments = {
+  registry : Metrics.t;  (** for per-subscriber delivery counters *)
+  published_total : Metrics.counter;
+  notifications_total : Metrics.counter;
+  quench_invalidations_total : Metrics.counter;
+  quench_rebuilds_total : Metrics.counter;
+  quench_suppressed_total : Metrics.counter;
+}
+
+let make_instruments registry =
+  {
+    registry;
+    published_total =
+      Metrics.counter registry "genas_broker_published_total"
+        ~help:"Events accepted by Broker.publish";
+    notifications_total =
+      Metrics.counter registry "genas_broker_notifications_total"
+        ~help:"Notifications delivered to subscribers";
+    quench_invalidations_total =
+      Metrics.counter registry "genas_broker_quench_invalidations_total"
+        ~help:"Quench-cache invalidations (subscription changes)";
+    quench_rebuilds_total =
+      Metrics.counter registry "genas_broker_quench_rebuilds_total"
+        ~help:"Quench-table rebuilds after an invalidation";
+    quench_suppressed_total =
+      Metrics.counter registry "genas_broker_quench_suppressed_total"
+        ~help:"Events suppressed by publish_quenched";
+  }
+
+let delivery_counter instruments subscriber =
+  match instruments with
+  | None -> None
+  | Some ins ->
+    Some
+      (Metrics.counter ins.registry "genas_broker_deliveries_total"
+         ~help:"Notifications delivered, per subscriber"
+         ~labels:[ ("subscriber", subscriber) ])
 
 type t = {
   schema : Schema.t;
   pset : Profile_set.t;
   engine : Engine.t;
   adaptive : Adaptive.t option;
-  handlers : (int, string * Notification.handler) Hashtbl.t;
+  handlers : (int, prim_sub) Hashtbl.t;
       (** primitive subscriptions, by profile id *)
   composites : (int, comp_sub) Hashtbl.t;
   mutable next_comp : int;
   mutable quench : Quench.t option;  (** cache; [None] = stale *)
   mutable published : int;
   mutable notifications : int;
+  instruments : instruments option;
 }
 
-let create ?spec ?adaptive schema =
+let create ?spec ?adaptive ?metrics schema =
   let pset = Profile_set.create schema in
-  let engine = Engine.create ?spec pset in
-  let adaptive = Option.map (fun policy -> Adaptive.create ~policy engine) adaptive in
+  let engine = Engine.create ?spec ?metrics pset in
+  let adaptive =
+    Option.map (fun policy -> Adaptive.create ~policy ?metrics engine) adaptive
+  in
   {
     schema;
     pset;
@@ -45,15 +94,29 @@ let create ?spec ?adaptive schema =
     quench = None;
     published = 0;
     notifications = 0;
+    instruments = Option.map make_instruments metrics;
   }
 
 let schema t = t.schema
 
-let invalidate_quench t = t.quench <- None
+let invalidate_quench t =
+  (* A no-op on an already-stale cache: repeated unsubscribes of the
+     same id must count (and pay for) at most one invalidation. *)
+  if t.quench <> None then begin
+    t.quench <- None;
+    match t.instruments with
+    | None -> ()
+    | Some ins -> Metrics.Counter.incr ins.quench_invalidations_total
+  end
 
 let subscribe t ~subscriber ~profile handler =
   let id = Profile_set.add t.pset profile in
-  Hashtbl.replace t.handlers id (subscriber, handler);
+  Hashtbl.replace t.handlers id
+    {
+      p_subscriber = subscriber;
+      p_handler = handler;
+      p_delivered = delivery_counter t.instruments subscriber;
+    };
   invalidate_quench t;
   Prim_sub id
 
@@ -76,7 +139,13 @@ let subscribe_composite t ~subscriber expr handler =
     let id = t.next_comp in
     t.next_comp <- id + 1;
     Hashtbl.replace t.composites id
-      { subscriber; detector; prims = prims_of_expr expr; handler };
+      {
+        subscriber;
+        detector;
+        prims = prims_of_expr expr;
+        handler;
+        c_delivered = delivery_counter t.instruments subscriber;
+      };
     invalidate_quench t;
     Ok (Comp_sub id)
 
@@ -109,7 +178,13 @@ let quench t =
       t.composites;
     let q = Quench.build merged in
     t.quench <- Some q;
+    (match t.instruments with
+    | None -> ()
+    | Some ins -> Metrics.Counter.incr ins.quench_rebuilds_total);
     q
+
+let deliver_incr counter =
+  match counter with None -> () | Some c -> Metrics.Counter.incr c
 
 let publish t event =
   t.published <- t.published + 1;
@@ -123,26 +198,39 @@ let publish t event =
     (fun id ->
       match Hashtbl.find_opt t.handlers id with
       | None -> ()
-      | Some (subscriber, handler) ->
+      | Some sub ->
         incr sent;
-        handler (Notification.make ~event ~profile_id:id ~subscriber ()))
+        deliver_incr sub.p_delivered;
+        sub.p_handler
+          (Notification.make ~event ~profile_id:id ~subscriber:sub.p_subscriber ()))
     matched;
   Hashtbl.iter
     (fun _ c ->
       List.iter
         (fun (_ : Composite.occurrence) ->
           incr sent;
+          deliver_incr c.c_delivered;
           c.handler
             (Notification.make ~event ~profile_id:(-1)
                ~subscriber:c.subscriber ()))
         (Composite.feed c.detector event))
     t.composites;
   t.notifications <- t.notifications + !sent;
+  (match t.instruments with
+  | None -> ()
+  | Some ins ->
+    Metrics.Counter.incr ins.published_total;
+    Metrics.Counter.add ins.notifications_total !sent);
   !sent
 
 let publish_quenched t event =
   if Quench.wanted_event (quench t) event then Some (publish t event)
-  else None
+  else begin
+    (match t.instruments with
+    | None -> ()
+    | Some ins -> Metrics.Counter.incr ins.quench_suppressed_total);
+    None
+  end
 
 let ops t = Engine.ops t.engine
 

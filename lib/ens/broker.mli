@@ -15,10 +15,17 @@ type sub_id
 val create :
   ?spec:Genas_core.Reorder.spec ->
   ?adaptive:Genas_core.Adaptive.policy ->
+  ?metrics:Genas_obs.Metrics.t ->
   Genas_model.Schema.t ->
   t
 (** [adaptive] enables periodic distribution-driven re-optimization of
-    the filter tree. *)
+    the filter tree.
+
+    [metrics] instruments the broker (publish/notification counters,
+    per-subscriber delivery counters, quench-cache churn) and is
+    forwarded to the underlying engine and adaptive component; see
+    docs/OBSERVABILITY.md for the metric names. Omitted, the broker
+    performs no observability work. *)
 
 val schema : t -> Genas_model.Schema.t
 
@@ -51,6 +58,11 @@ val subscribe_composite :
     regression). *)
 
 val unsubscribe : t -> sub_id -> bool
+(** [true] if the subscription was present. Idempotent: unsubscribing
+    the same id again (primitive or composite) is a no-op returning
+    [false], and the quench cache is invalidated exactly once per
+    actual removal — a repeat unsubscribe never invalidates a fresh
+    cache. *)
 
 val publish : t -> Genas_model.Event.t -> int
 (** Filter one event and deliver notifications; returns the number of

@@ -4,6 +4,34 @@ module Profile = Genas_profile.Profile
 module Profile_set = Genas_profile.Profile_set
 module Covering = Genas_profile.Covering
 module Engine = Genas_core.Engine
+module Metrics = Genas_obs.Metrics
+
+type instruments = {
+  sub_messages_total : Metrics.counter;
+  unsub_messages_total : Metrics.counter;
+  event_messages_total : Metrics.counter;
+  publishes_total : Metrics.counter;
+  notifications_total : Metrics.counter;
+}
+
+let make_instruments registry =
+  {
+    sub_messages_total =
+      Metrics.counter registry "genas_router_sub_messages_total"
+        ~help:"Inter-broker subscription-propagation messages";
+    unsub_messages_total =
+      Metrics.counter registry "genas_router_unsub_messages_total"
+        ~help:"Inter-broker subscription-retraction messages";
+    event_messages_total =
+      Metrics.counter registry "genas_router_event_messages_total"
+        ~help:"Inter-broker event forwards (hops)";
+    publishes_total =
+      Metrics.counter registry "genas_router_publishes_total"
+        ~help:"Events injected via Router.publish";
+    notifications_total =
+      Metrics.counter registry "genas_router_notifications_total"
+        ~help:"Notifications delivered network-wide";
+  }
 
 type node_id = int
 
@@ -38,7 +66,18 @@ type t = {
   mutable unsub_msgs : int;
   mutable event_msgs : int;
   mutable notifications : int;
+  instruments : instruments option;
 }
+
+let count_incr t pick =
+  match t.instruments with
+  | None -> ()
+  | Some ins -> Metrics.Counter.incr (pick ins)
+
+let count_add t pick n =
+  match t.instruments with
+  | None -> ()
+  | Some ins -> Metrics.Counter.add (pick ins) n
 
 let validate_tree ~nodes ~edges =
   if nodes <= 0 then Error "need at least one broker"
@@ -87,7 +126,7 @@ let make_nodes ?spec schema adj =
         forwarded = Hashtbl.create 4;
       })
 
-let create ?spec schema ~nodes ~edges =
+let create ?spec ?metrics schema ~nodes ~edges =
   match validate_tree ~nodes ~edges with
   | Error e -> Error e
   | Ok adj ->
@@ -102,19 +141,20 @@ let create ?spec schema ~nodes ~edges =
         unsub_msgs = 0;
         event_msgs = 0;
         notifications = 0;
+        instruments = Option.map make_instruments metrics;
       }
 
-let create_exn ?spec schema ~nodes ~edges =
-  match create ?spec schema ~nodes ~edges with
+let create_exn ?spec ?metrics schema ~nodes ~edges =
+  match create ?spec ?metrics schema ~nodes ~edges with
   | Ok t -> t
   | Error msg -> invalid_arg ("Router.create: " ^ msg)
 
-let line ?spec schema ~nodes =
-  create_exn ?spec schema ~nodes
+let line ?spec ?metrics schema ~nodes =
+  create_exn ?spec ?metrics schema ~nodes
     ~edges:(List.init (nodes - 1) (fun i -> (i, i + 1)))
 
-let star ?spec schema ~leaves =
-  create_exn ?spec schema ~nodes:(leaves + 1)
+let star ?spec ?metrics schema ~leaves =
+  create_exn ?spec ?metrics schema ~nodes:(leaves + 1)
     ~edges:(List.init leaves (fun i -> (0, i + 1)))
 
 (* Install an interest at [node] for [dest], then propagate it over
@@ -132,7 +172,10 @@ let rec add_interest t ~count node profile dest =
         let covered = List.exists (fun p -> Covering.covers p profile) already in
         if not covered then begin
           Hashtbl.replace node.forwarded nb (profile :: already);
-          if count then t.sub_msgs <- t.sub_msgs + 1;
+          if count then begin
+            t.sub_msgs <- t.sub_msgs + 1;
+            count_incr t (fun i -> i.sub_messages_total)
+          end;
           add_interest t ~count t.nodes.(nb) profile (Link node.id)
         end
       end)
@@ -188,6 +231,7 @@ let unsubscribe t handle =
       handles;
     let after = forwarded_entries t in
     t.unsub_msgs <- t.unsub_msgs + max 0 (before - after);
+    count_add t (fun i -> i.unsub_messages_total) (max 0 (before - after));
     true
 
 let rec route t node event ~from =
@@ -199,6 +243,7 @@ let rec route t node event ~from =
       | None -> ()
       | Some (Local (subscriber, handler)) ->
         t.notifications <- t.notifications + 1;
+        count_incr t (fun i -> i.notifications_total);
         handler
           (Notification.make ~broker:node.id ~event ~profile_id:id ~subscriber ())
       | Some (Link nb) ->
@@ -207,12 +252,14 @@ let rec route t node event ~from =
   List.iter
     (fun nb ->
       t.event_msgs <- t.event_msgs + 1;
+      count_incr t (fun i -> i.event_messages_total);
       route t t.nodes.(nb) event ~from:(Some node.id))
     !links
 
 let publish t ~at event =
   if at < 0 || at >= Array.length t.nodes then
     invalid_arg "Router.publish: no such broker";
+  count_incr t (fun i -> i.publishes_total);
   let before = t.notifications in
   route t t.nodes.(at) event ~from:None;
   t.notifications - before

@@ -18,24 +18,41 @@ type node_id = int
 
 val create :
   ?spec:Genas_core.Reorder.spec ->
+  ?metrics:Genas_obs.Metrics.t ->
   Genas_model.Schema.t ->
   nodes:int ->
   edges:(node_id * node_id) list ->
   (t, string) result
 (** The edge list must form a tree: connected, acyclic, node ids in
-    [[0, nodes-1]]. *)
+    [[0, nodes-1]].
+
+    [metrics] registers network-level counters (subscription/retraction
+    messages, event hops, publishes, notifications; names in
+    docs/OBSERVABILITY.md). Per-broker engines are left uninstrumented
+    so that a shared registry never aggregates across brokers. *)
 
 val create_exn :
   ?spec:Genas_core.Reorder.spec ->
+  ?metrics:Genas_obs.Metrics.t ->
   Genas_model.Schema.t ->
   nodes:int ->
   edges:(node_id * node_id) list ->
   t
 
-val line : ?spec:Genas_core.Reorder.spec -> Genas_model.Schema.t -> nodes:int -> t
+val line :
+  ?spec:Genas_core.Reorder.spec ->
+  ?metrics:Genas_obs.Metrics.t ->
+  Genas_model.Schema.t ->
+  nodes:int ->
+  t
 (** Convenience: brokers 0 — 1 — … — (nodes−1). *)
 
-val star : ?spec:Genas_core.Reorder.spec -> Genas_model.Schema.t -> leaves:int -> t
+val star :
+  ?spec:Genas_core.Reorder.spec ->
+  ?metrics:Genas_obs.Metrics.t ->
+  Genas_model.Schema.t ->
+  leaves:int ->
+  t
 (** Convenience: broker 0 in the center, leaves 1…n around it. *)
 
 type sub_handle

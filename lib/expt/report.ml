@@ -39,9 +39,12 @@ let render ppf t =
 
 let print t = render Format.std_formatter t
 
-let f2 v = Printf.sprintf "%.2f" v
+(* Formatting boundary for possibly-undefined averages: Ops.per_event /
+   Ops.per_match / Cost.per_match are nan on a zero denominator, and a
+   literal "nan" must never reach a table, CSV, or exporter. *)
+let f2 v = if Float.is_finite v then Printf.sprintf "%.2f" v else "n/a"
 
-let f4 v = Printf.sprintf "%.4f" v
+let f4 v = if Float.is_finite v then Printf.sprintf "%.4f" v else "n/a"
 
 let bars ~title ~unit_label entries =
   let vmax =

@@ -19,9 +19,12 @@ val print : table -> unit
 (** [render] to stdout. *)
 
 val f2 : float -> string
-(** Two-decimal float cell. *)
+(** Two-decimal float cell; ["n/a"] for nan/infinite values (the
+    zero-denominator averages of [Ops] and [Cost]), so no "nan" token
+    can reach a table or CSV. *)
 
 val f4 : float -> string
+(** Four decimals, same non-finite guard as {!f2}. *)
 
 val bars :
   title:string -> unit_label:string -> (string * float) list -> table

@@ -1,0 +1,9 @@
+let default : unit -> int64 = Monotonic_clock.now
+
+let source = ref default
+
+let now_ns () = !source ()
+
+let set_source f = source := f
+
+let reset_source () = source := default

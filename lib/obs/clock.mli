@@ -1,0 +1,16 @@
+(** Monotonic time source.
+
+    All span timing in the observability layer reads this clock, never
+    [Unix.gettimeofday] (wall time can jump) or [Sys.time] (CPU time).
+    The default source is the CLOCK_MONOTONIC stub that the benchmark
+    toolkit already links; tests may install a deterministic source. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds from an arbitrary epoch; monotonically non-decreasing
+    under the default source. *)
+
+val set_source : (unit -> int64) -> unit
+(** Replace the time source (testing hook). *)
+
+val reset_source : unit -> unit
+(** Restore the default monotonic source. *)

@@ -1,0 +1,225 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let number v = if Float.is_finite v then Float v else Null
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let float_repr v =
+  if not (Float.is_finite v) then
+    invalid_arg "Json.to_string: non-finite number (use Json.number)";
+  let s = Printf.sprintf "%.12g" v in
+  (* Keep the token a JSON number: %g may print "1e+06" (fine) or a
+     bare integer, which is also fine. *)
+  s
+
+let to_string ?(indent = 2) t =
+  let b = Buffer.create 1024 in
+  let nl level =
+    if indent > 0 then begin
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make (indent * level) ' ')
+    end
+  in
+  let rec go level = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int v -> Buffer.add_string b (string_of_int v)
+    | Float v -> Buffer.add_string b (float_repr v)
+    | Str s -> escape_string b s
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char b ',';
+          nl (level + 1);
+          go (level + 1) item)
+        items;
+      nl level;
+      Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          nl (level + 1);
+          escape_string b k;
+          Buffer.add_string b (if indent > 0 then ": " else ":");
+          go (level + 1) v)
+        fields;
+      nl level;
+      Buffer.add_char b '}'
+  in
+  go 0 t;
+  b
+
+let to_string ?indent t = Buffer.contents (to_string ?indent t)
+
+(* ------------------------------------------------------------------ *)
+(* Validator: recursive descent over the grammar, values discarded.    *)
+
+exception Bad of int * string
+
+let validate s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word =
+    String.iter
+      (fun c ->
+        match peek () with
+        | Some c' when c' = c -> advance ()
+        | _ -> fail (Printf.sprintf "bad literal (expected %S)" word))
+      word
+  in
+  let hex_digit () =
+    match peek () with
+    | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+    | _ -> fail "bad \\u escape"
+  in
+  let string_body () =
+    expect '"';
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+          advance ();
+          loop ()
+        | Some 'u' ->
+          advance ();
+          hex_digit ();
+          hex_digit ();
+          hex_digit ();
+          hex_digit ();
+          loop ()
+        | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "control character in string"
+      | Some _ ->
+        advance ();
+        loop ()
+    in
+    loop ()
+  in
+  let digits () =
+    let start = !pos in
+    while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected digit"
+  in
+  let number () =
+    (match peek () with Some '-' -> advance () | _ -> ());
+    (match peek () with
+    | Some '0' -> advance ()
+    | Some '1' .. '9' -> digits ()
+    | _ -> fail "bad number");
+    (match peek () with
+    | Some '.' ->
+      advance ();
+      digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then advance ()
+      else begin
+        let rec members () =
+          skip_ws ();
+          string_body ();
+          skip_ws ();
+          expect ':';
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected ',' or '}'"
+        in
+        members ()
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then advance ()
+      else begin
+        let rec items () =
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected ',' or ']'"
+        in
+        items ()
+      end
+    | Some '"' -> string_body ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some c -> fail (Printf.sprintf "unexpected %C" c)
+  in
+  match
+    value ();
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage"
+  with
+  | () -> Ok ()
+  | exception Bad (at, msg) ->
+    Error (Printf.sprintf "invalid JSON at byte %d: %s" at msg)

@@ -1,0 +1,28 @@
+(** Minimal JSON construction and validation.
+
+    The metrics exporter builds documents from this tree; {!number}
+    maps every non-finite float to [Null], so no [nan]/[inf] token can
+    reach serialized output. The validator is a strict RFC 8259 syntax
+    checker used by tests and by [genas_cli jsoncheck]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** must be finite; use {!number} to guard *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val number : float -> t
+(** [Float v] when [v] is finite, [Null] otherwise. *)
+
+val to_string : ?indent:int -> t -> string
+(** Serialize; [indent] (default 2) pretty-prints, [0] is compact.
+
+    @raise Invalid_argument on a non-finite [Float] (guard with
+    {!number}). *)
+
+val validate : string -> (unit, string) result
+(** Check that the string is exactly one valid JSON value (trailing
+    whitespace allowed). Errors carry a byte offset. *)

@@ -1,0 +1,316 @@
+type counter = { mutable c_value : int }
+
+type gauge = { mutable g_value : float }
+
+type histogram = {
+  bounds : float array;  (** finite upper bounds, strictly increasing *)
+  counts : int array;  (** per-bucket; [counts.(length bounds)] = overflow *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type instrument =
+  | Counter_i of counter
+  | Gauge_i of gauge
+  | Histogram_i of histogram
+
+type metric = {
+  name : string;
+  labels : (string * string) list;  (** sorted by key *)
+  help : string;
+  inst : instrument;
+}
+
+type t = { mutable metrics : metric list (* reverse registration order *) }
+
+let create () = { metrics = [] }
+
+let valid_name name =
+  name <> ""
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       name
+
+let kind_name = function
+  | Counter_i _ -> "counter"
+  | Gauge_i _ -> "gauge"
+  | Histogram_i _ -> "histogram"
+
+let register t ~help ~labels name make =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Metrics: malformed metric name %S" name);
+  let labels = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+  match
+    List.find_opt (fun m -> m.name = name && m.labels = labels) t.metrics
+  with
+  | Some m -> m.inst
+  | None ->
+    let inst = make () in
+    t.metrics <- { name; labels; help; inst } :: t.metrics;
+    inst
+
+let counter t ?(help = "") ?(labels = []) name =
+  match register t ~help ~labels name (fun () -> Counter_i { c_value = 0 }) with
+  | Counter_i c -> c
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Metrics: %S is already a %s" name (kind_name other))
+
+let gauge t ?(help = "") ?(labels = []) name =
+  match register t ~help ~labels name (fun () -> Gauge_i { g_value = 0.0 }) with
+  | Gauge_i g -> g
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Metrics: %S is already a %s" name (kind_name other))
+
+let exponential_buckets ~start ~factor ~count =
+  if start <= 0.0 || factor <= 1.0 || count < 1 then
+    invalid_arg "Metrics.exponential_buckets";
+  Array.init count (fun i -> start *. (factor ** float_of_int i))
+
+let default_latency_buckets =
+  (* 100 ns .. 1 s, roughly 1-2.5-5 per decade. *)
+  [|
+    100.; 250.; 500.; 1e3; 2.5e3; 5e3; 1e4; 2.5e4; 5e4; 1e5; 2.5e5; 5e5; 1e6;
+    2.5e6; 5e6; 1e7; 1e8; 1e9;
+  |]
+
+let histogram t ?(help = "") ?(labels = []) ?(buckets = default_latency_buckets)
+    name =
+  let make () =
+    let ok = ref (Array.length buckets > 0) in
+    Array.iteri
+      (fun i b ->
+        if (not (Float.is_finite b)) || (i > 0 && b <= buckets.(i - 1)) then
+          ok := false)
+      buckets;
+    if not !ok then
+      invalid_arg
+        (Printf.sprintf
+           "Metrics: histogram %S needs strictly increasing finite buckets"
+           name);
+    Histogram_i
+      {
+        bounds = Array.copy buckets;
+        counts = Array.make (Array.length buckets + 1) 0;
+        h_count = 0;
+        h_sum = 0.0;
+        h_min = Float.infinity;
+        h_max = Float.neg_infinity;
+      }
+  in
+  match register t ~help ~labels name make with
+  | Histogram_i h -> h
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Metrics: %S is already a %s" name (kind_name other))
+
+module Counter = struct
+  let add c n =
+    if n < 0 then invalid_arg "Metrics.Counter.add: negative amount";
+    c.c_value <- (if max_int - c.c_value < n then max_int else c.c_value + n)
+
+  let incr c = add c 1
+
+  let value c = c.c_value
+end
+
+module Gauge = struct
+  let set g v = g.g_value <- v
+
+  let value g = g.g_value
+end
+
+module Histogram = struct
+  let bucket_index h v =
+    (* First bucket with v <= bound; binary search over the bounds. *)
+    let n = Array.length h.bounds in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if v <= h.bounds.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+  let observe h v =
+    let i = bucket_index h v in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+
+  let count h = h.h_count
+
+  let sum h = h.h_sum
+
+  let buckets h = Array.mapi (fun i b -> (b, h.counts.(i))) h.bounds
+
+  let overflow h = h.counts.(Array.length h.bounds)
+
+  let percentile h q =
+    if not (Float.is_finite q) || q < 0.0 || q > 1.0 then
+      invalid_arg "Metrics.Histogram.percentile: q outside [0,1]";
+    if h.h_count = 0 then Float.nan
+    else begin
+      let rank = q *. float_of_int h.h_count in
+      let n = Array.length h.bounds in
+      let raw = ref h.h_max in
+      let cum = ref 0.0 and found = ref false in
+      for i = 0 to n - 1 do
+        if not !found then begin
+          let c = float_of_int h.counts.(i) in
+          if !cum +. c >= rank && c > 0.0 then begin
+            let lo = if i = 0 then 0.0 else h.bounds.(i - 1) in
+            let hi = h.bounds.(i) in
+            let frac = (rank -. !cum) /. c in
+            raw := lo +. (frac *. (hi -. lo));
+            found := true
+          end;
+          cum := !cum +. c
+        end
+      done;
+      (* The overflow bucket has no upper bound; fall back to the
+         observed maximum, and clamp interpolation into the observed
+         range either way. *)
+      Float.min h.h_max (Float.max h.h_min !raw)
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Exporters.                                                          *)
+
+let snapshot t = List.rev t.metrics
+
+let json_labels labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let json_of_metric m =
+  let base = [ ("name", Json.Str m.name); ("labels", json_labels m.labels) ] in
+  let base = if m.help = "" then base else base @ [ ("help", Json.Str m.help) ] in
+  match m.inst with
+  | Counter_i c -> Json.Obj (base @ [ ("value", Json.Int c.c_value) ])
+  | Gauge_i g -> Json.Obj (base @ [ ("value", Json.number g.g_value) ])
+  | Histogram_i h ->
+    let pct q =
+      if h.h_count = 0 then Json.Null else Json.number (Histogram.percentile h q)
+    in
+    Json.Obj
+      (base
+      @ [
+          ("count", Json.Int h.h_count);
+          ("sum", Json.number h.h_sum);
+          ("min", if h.h_count = 0 then Json.Null else Json.number h.h_min);
+          ("max", if h.h_count = 0 then Json.Null else Json.number h.h_max);
+          ("p50", pct 0.5);
+          ("p90", pct 0.9);
+          ("p99", pct 0.99);
+          ( "buckets",
+            Json.List
+              (Array.to_list
+                 (Array.mapi
+                    (fun i b ->
+                      Json.Obj
+                        [ ("le", Json.number b); ("count", Json.Int h.counts.(i)) ])
+                    h.bounds)) );
+          ("overflow", Json.Int (Histogram.overflow h));
+        ])
+
+let to_json t =
+  let ms = snapshot t in
+  let pick f = List.filter_map f ms in
+  Json.to_string
+    (Json.Obj
+       [
+         ( "counters",
+           Json.List
+             (pick (fun m ->
+                  match m.inst with
+                  | Counter_i _ -> Some (json_of_metric m)
+                  | _ -> None)) );
+         ( "gauges",
+           Json.List
+             (pick (fun m ->
+                  match m.inst with Gauge_i _ -> Some (json_of_metric m) | _ -> None))
+         );
+         ( "histograms",
+           Json.List
+             (pick (fun m ->
+                  match m.inst with
+                  | Histogram_i _ -> Some (json_of_metric m)
+                  | _ -> None)) );
+       ])
+  ^ "\n"
+
+let prom_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k (prom_escape v)) labels)
+    ^ "}"
+
+let prom_float v =
+  if not (Float.is_finite v) then "0"
+  else
+    let s = Printf.sprintf "%.12g" v in
+    s
+
+let to_prometheus t =
+  let b = Buffer.create 1024 in
+  let seen_header = Hashtbl.create 16 in
+  let header name help kind =
+    if not (Hashtbl.mem seen_header name) then begin
+      Hashtbl.replace seen_header name ();
+      if help <> "" then
+        Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name (prom_escape help));
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun m ->
+      let ls = prom_labels m.labels in
+      match m.inst with
+      | Counter_i c ->
+        header m.name m.help "counter";
+        Buffer.add_string b (Printf.sprintf "%s%s %d\n" m.name ls c.c_value)
+      | Gauge_i g ->
+        header m.name m.help "gauge";
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %s\n" m.name ls (prom_float g.g_value))
+      | Histogram_i h ->
+        header m.name m.help "histogram";
+        let le bound =
+          prom_labels (m.labels @ [ ("le", bound) ])
+        in
+        let cum = ref 0 in
+        Array.iteri
+          (fun i bound ->
+            cum := !cum + h.counts.(i);
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket%s %d\n" m.name (le (prom_float bound))
+                 !cum))
+          h.bounds;
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket%s %d\n" m.name (le "+Inf") h.h_count);
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum%s %s\n" m.name ls (prom_float h.h_sum));
+        Buffer.add_string b
+          (Printf.sprintf "%s_count%s %d\n" m.name ls h.h_count))
+    (snapshot t);
+  Buffer.contents b

@@ -1,0 +1,12 @@
+type t = int64
+
+let start () = Clock.now_ns ()
+
+let elapsed_ns t0 =
+  Float.max 0.0 (Int64.to_float (Int64.sub (Clock.now_ns ()) t0))
+
+let finish t0 hist = Metrics.Histogram.observe hist (elapsed_ns t0)
+
+let time hist f =
+  let t0 = start () in
+  Fun.protect ~finally:(fun () -> finish t0 hist) f

@@ -1,0 +1,16 @@
+(** Lightweight span timing over the monotonic {!Clock}. *)
+
+type t
+(** An open span (start timestamp). Spans are plain values; nothing is
+    recorded until {!finish} or {!time} observes the elapsed time. *)
+
+val start : unit -> t
+
+val elapsed_ns : t -> float
+(** Nanoseconds since {!start}; never negative. *)
+
+val finish : t -> Metrics.histogram -> unit
+(** Observe the elapsed nanoseconds into the histogram. *)
+
+val time : Metrics.histogram -> (unit -> 'a) -> 'a
+(** Run the thunk and observe its duration (also on exception). *)

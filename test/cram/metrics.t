@@ -1,0 +1,60 @@
+The metrics subcommand runs a deterministic two-phase workload through
+an instrumented broker and dumps the registry. The JSON snapshot must
+validate (jsoncheck is the strict RFC 8259 parser from lib/obs):
+
+  $ ../../bin/genas_cli.exe metrics --events 500 | ../../bin/genas_cli.exe jsoncheck
+  ok
+
+The snapshot names every acceptance-criteria metric: match-latency
+percentiles, rebuild counts, and tree-size gauges.
+
+  $ ../../bin/genas_cli.exe metrics --events 500 > snap.json
+  $ grep -c '"genas_engine_match_duration_ns"' snap.json
+  1
+  $ grep -o '"p5[09]"' snap.json | sort | uniq -c | sed 's/^ *//'
+  3 "p50"
+  $ grep -c '"genas_adaptive_rebuilds_total"' snap.json
+  1
+  $ grep -c '"genas_engine_tree_nodes"' snap.json
+  1
+  $ grep -c '"genas_broker_published_total"' snap.json
+  1
+
+No "nan" (or bare inf) token may appear in either exporter's output:
+
+  $ grep -ci 'nan' snap.json
+  0
+  [1]
+  $ ../../bin/genas_cli.exe metrics --events 500 --format prom > snap.prom
+  $ grep -ci 'nan' snap.prom
+  0
+  [1]
+
+The Prometheus exposition carries HELP/TYPE headers and cumulative
+buckets ending at +Inf:
+
+  $ grep -c '^# TYPE genas_engine_match_duration_ns histogram' snap.prom
+  1
+  $ grep -c 'genas_engine_match_duration_ns_bucket{le="+Inf"}' snap.prom
+  1
+
+Determinism: the same seed produces the same counters (timings differ,
+so compare a timing-free projection):
+
+  $ ../../bin/genas_cli.exe metrics --events 500 > snap2.json
+  $ grep '"value"' snap.json > a.txt
+  $ grep '"value"' snap2.json > b.txt
+  $ cmp a.txt b.txt
+
+jsoncheck rejects malformed input with a nonzero exit:
+
+  $ printf '{"unterminated": ' | ../../bin/genas_cli.exe jsoncheck
+  jsoncheck: invalid JSON at byte 17: unexpected end of input
+  [1]
+
+Bad arguments are rejected:
+
+  $ ../../bin/genas_cli.exe metrics --events 0 2>/dev/null
+  [1]
+  $ ../../bin/genas_cli.exe metrics --format xml 2>/dev/null
+  [1]

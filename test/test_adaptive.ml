@@ -33,6 +33,53 @@ let feed s adaptive rng n ~lo ~hi =
          (Event.create_exn s [ ("x", Value.Int (Prng.int_in rng ~lo ~hi)) ]))
   done
 
+let make_with_policy ~warmup ~check_every ~threshold =
+  let s = schema () in
+  let pset = Profile_set.create s in
+  List.iter
+    (fun v ->
+      ignore
+        (Result.get_ok (Profile_set.add_spec pset [ ("x", Predicate.Eq (Value.Int v)) ])))
+    [ 5; 20; 60; 90 ];
+  let engine = Engine.create pset in
+  ( s,
+    Adaptive.create
+      ~policy:{ Adaptive.warmup; check_every; drift_threshold = threshold }
+      engine )
+
+let test_first_check_at_warmup () =
+  (* The first drift check fires at exactly [seen = warmup], even when
+     warmup < check_every: the cadence counter must not delay the
+     bootstrap by a full check interval. *)
+  let s, adaptive = make_with_policy ~warmup:10 ~check_every:50 ~threshold:0.4 in
+  let rng = Prng.create ~seed:11 in
+  feed s adaptive rng 9 ~lo:0 ~hi:99;
+  Alcotest.(check int) "no check before warmup" 0 (Adaptive.checks adaptive);
+  feed s adaptive rng 1 ~lo:0 ~hi:99;
+  Alcotest.(check int) "first check at warmup" 1 (Adaptive.checks adaptive);
+  Alcotest.(check int) "bootstrap rebuild" 1 (Adaptive.rebuilds adaptive);
+  (* Subsequent checks honor check_every, counted from the last one. *)
+  feed s adaptive rng 49 ~lo:0 ~hi:99;
+  Alcotest.(check int) "not due again yet" 1 (Adaptive.checks adaptive);
+  feed s adaptive rng 1 ~lo:0 ~hi:99;
+  Alcotest.(check int) "second check after check_every" 2
+    (Adaptive.checks adaptive)
+
+let test_last_drift_clamped () =
+  (* The very first check sees infinite drift (no plan yet). The raw
+     infinity must still beat any threshold — even one above the L1
+     range bound of 2 — while the reported last_drift is clamped to
+     2.0 so no inf can leak into reports or exporters. *)
+  let s, adaptive = make_with_policy ~warmup:10 ~check_every:50 ~threshold:3.0 in
+  let rng = Prng.create ~seed:12 in
+  feed s adaptive rng 10 ~lo:0 ~hi:99;
+  Alcotest.(check int) "bootstrap rebuild despite threshold > 2" 1
+    (Adaptive.rebuilds adaptive);
+  Alcotest.(check (float 0.0)) "last_drift clamped to 2.0" 2.0
+    (Adaptive.last_drift adaptive);
+  Alcotest.(check bool) "clamped value is finite" true
+    (Float.is_finite (Adaptive.last_drift adaptive))
+
 let test_policy_validation () =
   let s, _ = make_adaptive () in
   ignore s;
@@ -115,6 +162,8 @@ let () =
       ( "adaptive",
         [
           Alcotest.test_case "policy validation" `Quick test_policy_validation;
+          Alcotest.test_case "first check at warmup" `Quick test_first_check_at_warmup;
+          Alcotest.test_case "last_drift clamped" `Quick test_last_drift_clamped;
           Alcotest.test_case "bootstrap rebuild" `Quick test_first_check_always_rebuilds;
           Alcotest.test_case "stable stream" `Quick test_stable_stream_no_further_rebuilds;
           Alcotest.test_case "drift rebuild" `Quick test_drift_triggers_rebuild;

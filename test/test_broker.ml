@@ -59,6 +59,62 @@ let test_unsubscribe () =
   Alcotest.(check bool) "idempotent" false (Broker.unsubscribe b id);
   Alcotest.(check int) "after" 0 (Broker.publish b (event s 1 "a"))
 
+(* Double unsubscribe must be a pure no-op: the second call returns
+   false and must not invalidate the quench cache again (the cached
+   table stays physically the same, and an instrumented broker counts
+   exactly one invalidation per actual removal). *)
+let test_double_unsubscribe_primitive () =
+  let s = schema () in
+  let reg = Genas_obs.Metrics.create () in
+  let b = Broker.create ~metrics:reg s in
+  let invalidations () =
+    Genas_obs.Metrics.Counter.value
+      (Genas_obs.Metrics.counter reg "genas_broker_quench_invalidations_total")
+  in
+  let id =
+    Result.get_ok (Broker.subscribe_text b ~subscriber:"a" "x >= 5" (fun _ -> ()))
+  in
+  Alcotest.(check bool) "first removal" true (Broker.unsubscribe b id);
+  let after_first = invalidations () in
+  let q1 = Broker.quench b in
+  Alcotest.(check bool) "second is a no-op" false (Broker.unsubscribe b id);
+  Alcotest.(check bool) "cache survives the no-op" true (q1 == Broker.quench b);
+  Alcotest.(check int) "invalidated exactly once" after_first (invalidations ());
+  Alcotest.(check int) "still publishable" 0 (Broker.publish b (event s 7 "a"))
+
+let test_double_unsubscribe_composite () =
+  let s = schema () in
+  let b = Broker.create s in
+  let hot = Profile.create_exn s [ ("x", Predicate.Ge (Value.Int 8)) ] in
+  let id =
+    Result.get_ok
+      (Broker.subscribe_composite b ~subscriber:"w"
+         (Composite.Repeat (Composite.Prim hot, 2, 10.0))
+         (fun _ -> ()))
+  in
+  Alcotest.(check bool) "first removal" true (Broker.unsubscribe b id);
+  let q1 = Broker.quench b in
+  Alcotest.(check bool) "second is a no-op" false (Broker.unsubscribe b id);
+  Alcotest.(check bool) "cache survives the no-op" true (q1 == Broker.quench b);
+  Alcotest.(check bool) "constituent gone" false
+    (Quench.wanted_event q1 (event s 9 "a"))
+
+let test_unsubscribe_stale_id () =
+  let s = schema () in
+  let b = Broker.create s in
+  let stale =
+    Result.get_ok (Broker.subscribe_text b ~subscriber:"a" "x = 1" (fun _ -> ()))
+  in
+  let _ =
+    Result.get_ok (Broker.subscribe_text b ~subscriber:"b" "x = 2" (fun _ -> ()))
+  in
+  ignore (Broker.unsubscribe b stale);
+  let q0 = Broker.quench b in
+  Alcotest.(check bool) "stale id" false (Broker.unsubscribe b stale);
+  Alcotest.(check bool) "cache untouched" true (q0 == Broker.quench b);
+  Alcotest.(check bool) "remaining sub intact" true
+    (Quench.wanted_event q0 (event s 2 "a"))
+
 let test_notification_payload () =
   let s = schema () in
   let b = Broker.create s in
@@ -160,6 +216,12 @@ let () =
           Alcotest.test_case "subscribe/publish" `Quick test_subscribe_publish;
           Alcotest.test_case "parse errors" `Quick test_subscribe_text_error;
           Alcotest.test_case "unsubscribe" `Quick test_unsubscribe;
+          Alcotest.test_case "double unsubscribe (primitive)" `Quick
+            test_double_unsubscribe_primitive;
+          Alcotest.test_case "double unsubscribe (composite)" `Quick
+            test_double_unsubscribe_composite;
+          Alcotest.test_case "unsubscribe stale id" `Quick
+            test_unsubscribe_stale_id;
           Alcotest.test_case "notification payload" `Quick test_notification_payload;
         ] );
       ( "composite",

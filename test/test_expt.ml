@@ -207,6 +207,82 @@ let test_bars () =
       (2 * String.length bx)
   | _ -> Alcotest.fail "row shape")
 
+(* Zero-denominator averages: Ops.per_event / Ops.per_match are nan
+   before any event or match; the formatting boundary must turn them
+   into "n/a" so no "nan" token ever reaches a table or CSV. *)
+let test_nan_formatting () =
+  Alcotest.(check string) "nan" "n/a" (Report.f2 Float.nan);
+  Alcotest.(check string) "+inf" "n/a" (Report.f2 Float.infinity);
+  Alcotest.(check string) "-inf" "n/a" (Report.f2 Float.neg_infinity);
+  Alcotest.(check string) "nan (f4)" "n/a" (Report.f4 Float.nan);
+  Alcotest.(check string) "inf (f4)" "n/a" (Report.f4 Float.infinity);
+  Alcotest.(check string) "finite unchanged" "3.33" (Report.f2 3.3333);
+  Alcotest.(check string) "finite unchanged (f4)" "0.1250" (Report.f4 0.125)
+
+let test_zero_event_ops () =
+  let ops = Genas_filter.Ops.create () in
+  Alcotest.(check bool) "per_event nan before any event" true
+    (Float.is_nan (Genas_filter.Ops.per_event ops));
+  Alcotest.(check bool) "per_match nan before any match" true
+    (Float.is_nan (Genas_filter.Ops.per_match ops));
+  Alcotest.(check string) "formats as n/a" "n/a"
+    (Report.f2 (Genas_filter.Ops.per_event ops));
+  (* Events but no matches: per_event defined, per_match still nan. *)
+  ops.Genas_filter.Ops.events <- 4;
+  ops.Genas_filter.Ops.comparisons <- 12;
+  Alcotest.(check string) "per_event defined" "3.00"
+    (Report.f2 (Genas_filter.Ops.per_event ops));
+  Alcotest.(check string) "per_match still n/a" "n/a"
+    (Report.f2 (Genas_filter.Ops.per_match ops))
+
+let test_zero_match_cost () =
+  (* A tree whose only profile can never match under a distribution
+     concentrated elsewhere still yields a finite per_event, while
+     per_match is nan — and both must format cleanly. *)
+  let s = Schema.create_exn [ ("x", Genas_model.Domain.int_range ~lo:0 ~hi:9) ] in
+  let pset = Profile_set.create s in
+  ignore
+    (Result.get_ok
+       (Profile_set.add_spec pset
+          [ ("x", Genas_profile.Predicate.Eq (Genas_model.Value.Int 9)) ]));
+  let decomp = Decomp.build pset in
+  let tree = Tree.build decomp (Tree.default_config decomp) in
+  (* All probability mass on cells that miss the profile. *)
+  let ncells =
+    Array.length decomp.Decomp.overlays.(0).Genas_interval.Overlay.cells
+  in
+  let probs = Array.make ncells 0.0 in
+  probs.(0) <- 1.0;
+  let report = Genas_core.Cost.evaluate tree ~cell_probs:[| probs |] in
+  Alcotest.(check bool) "per_match nan when nothing matches" true
+    (Float.is_nan report.Genas_core.Cost.per_match);
+  Alcotest.(check string) "formats as n/a" "n/a"
+    (Report.f2 report.Genas_core.Cost.per_match);
+  Alcotest.(check bool) "per_event finite" true
+    (Float.is_finite report.Genas_core.Cost.per_event)
+
+let test_rendered_table_no_nan () =
+  let t =
+    Report.table ~title:"undefined averages"
+      ~columns:[ "metric"; "value" ]
+      [ [ "defined"; Report.f2 1.5 ]; [ "undefined"; Report.f2 Float.nan ] ]
+  in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Report.render ppf t;
+  Format.pp_print_flush ppf ();
+  let rendered = Buffer.contents buf in
+  let lower = String.lowercase_ascii rendered in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "no nan in table" false (contains "nan" lower);
+  Alcotest.(check bool) "no nan in csv" false
+    (contains "nan" (String.lowercase_ascii (Report.to_csv t)));
+  Alcotest.(check bool) "n/a marker present" true (contains "n/a" lower)
+
 let test_sparkline () =
   let sl = Report.sparkline [ 0.0; 0.5; 1.0 ] in
   Alcotest.(check bool) "nonempty" true (String.length sl > 0);
@@ -238,5 +314,12 @@ let () =
           Alcotest.test_case "csv export" `Quick test_csv;
           Alcotest.test_case "bar charts" `Quick test_bars;
           Alcotest.test_case "sparkline" `Quick test_sparkline;
+        ] );
+      ( "nan-guard",
+        [
+          Alcotest.test_case "formatting boundary" `Quick test_nan_formatting;
+          Alcotest.test_case "zero-event ops" `Quick test_zero_event_ops;
+          Alcotest.test_case "zero-match cost" `Quick test_zero_match_cost;
+          Alcotest.test_case "rendered table" `Quick test_rendered_table_no_nan;
         ] );
     ]

@@ -1,0 +1,271 @@
+(* The observability layer: registry identity rules, counter/gauge
+   semantics, histogram bucketing and percentile readout, both
+   exporters' no-nan guarantee, and span timing over a fake clock. *)
+
+module Metrics = Genas_obs.Metrics
+module Clock = Genas_obs.Clock
+module Span = Genas_obs.Span
+module Json = Genas_obs.Json
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let lower = String.lowercase_ascii
+
+(* ------------------------------------------------------------------ *)
+(* Counters and gauges *)
+
+let test_counter_basics () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "c_total" in
+  Alcotest.(check int) "starts at zero" 0 (Metrics.Counter.value c);
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 41;
+  Alcotest.(check int) "incr + add" 42 (Metrics.Counter.value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Metrics.Counter.add: negative amount") (fun () ->
+      Metrics.Counter.add c (-1))
+
+let test_counter_saturates () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "c_total" in
+  Metrics.Counter.add c max_int;
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c max_int;
+  Alcotest.(check int) "saturates instead of wrapping" max_int
+    (Metrics.Counter.value c)
+
+let test_gauge () =
+  let reg = Metrics.create () in
+  let g = Metrics.gauge reg "g" in
+  Alcotest.(check (float 0.0)) "starts at zero" 0.0 (Metrics.Gauge.value g);
+  Metrics.Gauge.set g 3.5;
+  Alcotest.(check (float 0.0)) "set" 3.5 (Metrics.Gauge.value g);
+  Metrics.Gauge.set g (-2.0);
+  Alcotest.(check (float 0.0)) "can go down" (-2.0) (Metrics.Gauge.value g)
+
+(* ------------------------------------------------------------------ *)
+(* Registry identity *)
+
+let test_registry_dedup () =
+  let reg = Metrics.create () in
+  let a = Metrics.counter reg "shared_total" in
+  let b = Metrics.counter reg "shared_total" in
+  Alcotest.(check bool) "same identity, same instrument" true (a == b);
+  let l1 = Metrics.counter reg "labeled_total" ~labels:[ ("k", "v") ] in
+  let l2 = Metrics.counter reg "labeled_total" ~labels:[ ("k", "w") ] in
+  Metrics.Counter.incr l1;
+  Alcotest.(check int) "distinct labels, distinct instruments" 0
+    (Metrics.Counter.value l2)
+
+let test_registry_kind_clash () =
+  let reg = Metrics.create () in
+  let _ = Metrics.counter reg "thing" in
+  match Metrics.gauge reg "thing" with
+  | _ -> Alcotest.fail "expected kind clash to raise"
+  | exception Invalid_argument _ -> ()
+
+let test_registry_bad_name () =
+  let reg = Metrics.create () in
+  match Metrics.counter reg "9bad-name" with
+  | _ -> Alcotest.fail "expected malformed name to raise"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Histograms *)
+
+let test_histogram_boundaries () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "h" ~buckets:[| 1.0; 2.0; 5.0 |] in
+  Metrics.Histogram.observe h 1.0;
+  (* on the bound: v <= bound *)
+  Metrics.Histogram.observe h 1.5;
+  Metrics.Histogram.observe h 7.0;
+  (* above last bound: overflow *)
+  let buckets = Metrics.Histogram.buckets h in
+  Alcotest.(check (array (pair (float 0.0) int)))
+    "per-bucket counts"
+    [| (1.0, 1); (2.0, 1); (5.0, 0) |]
+    buckets;
+  Alcotest.(check int) "overflow" 1 (Metrics.Histogram.overflow h);
+  Alcotest.(check int) "count" 3 (Metrics.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 9.5 (Metrics.Histogram.sum h)
+
+let test_histogram_empty () =
+  let reg = Metrics.create () in
+  let _ = Metrics.histogram reg "empty_h" ~buckets:[| 1.0; 2.0 |] in
+  let h = Metrics.histogram reg "empty_h" in
+  Alcotest.(check int) "count" 0 (Metrics.Histogram.count h);
+  Alcotest.(check bool) "percentile is nan" true
+    (Float.is_nan (Metrics.Histogram.percentile h 0.5));
+  let json = Metrics.to_json reg in
+  Alcotest.(check bool) "p50 exports as null" true
+    (contains ~needle:"\"p50\": null" json)
+
+let test_histogram_percentile () =
+  let reg = Metrics.create () in
+  let h =
+    Metrics.histogram reg "h"
+      ~buckets:(Metrics.exponential_buckets ~start:10.0 ~factor:10.0 ~count:3)
+  in
+  for v = 1 to 100 do
+    Metrics.Histogram.observe h (float_of_int v)
+  done;
+  let p50 = Metrics.Histogram.percentile h 0.5 in
+  let p99 = Metrics.Histogram.percentile h 0.99 in
+  Alcotest.(check bool) "p50 in the second decade" true (p50 > 10.0 && p50 <= 100.0);
+  Alcotest.(check bool) "p99 above p50" true (p99 >= p50);
+  Alcotest.(check bool) "clamped to observed max" true (p99 <= 100.0);
+  Alcotest.check_raises "quantile out of range"
+    (Invalid_argument "Metrics.Histogram.percentile: q outside [0,1]")
+    (fun () -> ignore (Metrics.Histogram.percentile h 1.5))
+
+let test_exponential_buckets () =
+  Alcotest.(check (array (float 1e-9)))
+    "start * factor^i"
+    [| 2.0; 4.0; 8.0 |]
+    (Metrics.exponential_buckets ~start:2.0 ~factor:2.0 ~count:3);
+  (match Metrics.exponential_buckets ~start:0.0 ~factor:2.0 ~count:3 with
+  | _ -> Alcotest.fail "expected start<=0 to raise"
+  | exception Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+let populated_registry () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "events_total" ~help:"events" in
+  Metrics.Counter.add c 7;
+  let g = Metrics.gauge reg "depth" ~labels:[ ("tree", "main") ] in
+  Metrics.Gauge.set g 4.0;
+  let h = Metrics.histogram reg "latency_ns" ~buckets:[| 10.0; 100.0 |] in
+  Metrics.Histogram.observe h 5.0;
+  Metrics.Histogram.observe h 50.0;
+  Metrics.Histogram.observe h 500.0;
+  reg
+
+let test_json_valid () =
+  let reg = populated_registry () in
+  (match Json.validate (Metrics.to_json reg) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "exporter emitted invalid JSON: %s" e);
+  Alcotest.(check bool) "rejects garbage" true
+    (Result.is_error (Json.validate "{\"a\": }"));
+  Alcotest.(check bool) "rejects trailing junk" true
+    (Result.is_error (Json.validate "{} x"))
+
+let test_json_contents () =
+  let json = Metrics.to_json (populated_registry ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains ~needle json))
+    [
+      "\"events_total\""; "\"value\": 7"; "\"tree\": \"main\"";
+      "\"latency_ns\""; "\"p50\""; "\"p90\""; "\"p99\""; "\"overflow\": 1";
+    ]
+
+let test_prometheus_format () =
+  let prom = Metrics.to_prometheus (populated_registry ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains ~needle prom))
+    [
+      "# TYPE events_total counter";
+      "# HELP events_total events";
+      "# TYPE latency_ns histogram";
+      "latency_ns_bucket{le=\"+Inf\"} 3";
+      "latency_ns_bucket{le=\"100\"} 2";
+      (* cumulative *)
+      "latency_ns_sum";
+      "latency_ns_count 3";
+      "depth{tree=\"main\"} 4";
+    ]
+
+let test_no_nan_token () =
+  let reg = Metrics.create () in
+  let g = Metrics.gauge reg "bad" in
+  Metrics.Gauge.set g Float.nan;
+  let g2 = Metrics.gauge reg "worse" in
+  Metrics.Gauge.set g2 Float.infinity;
+  let _ = Metrics.histogram reg "empty_h" in
+  (* The +Inf bucket label is standard Prometheus syntax; only inf
+     *values* are forbidden. *)
+  let strip_inf_label s =
+    String.concat "" (String.split_on_char '\n' s |> List.map (fun l ->
+        if contains ~needle:"le=\"+Inf\"" l then "" else l ^ "\n"))
+  in
+  List.iter
+    (fun out ->
+      Alcotest.(check bool) "no nan token" false (contains ~needle:"nan" (lower out));
+      Alcotest.(check bool) "no inf token" false (contains ~needle:"inf" (lower out)))
+    [ Metrics.to_json reg; strip_inf_label (Metrics.to_prometheus reg) ]
+
+(* ------------------------------------------------------------------ *)
+(* Spans over a deterministic clock *)
+
+let test_span_fake_clock () =
+  let t = ref 1000L in
+  Clock.set_source (fun () -> !t);
+  Fun.protect ~finally:Clock.reset_source (fun () ->
+      let reg = Metrics.create () in
+      let h = Metrics.histogram reg "span_ns" ~buckets:[| 100.0; 1000.0 |] in
+      let span = Span.start () in
+      t := Int64.add !t 250L;
+      Alcotest.(check (float 0.0)) "elapsed" 250.0 (Span.elapsed_ns span);
+      Span.finish span h;
+      Alcotest.(check int) "observed once" 1 (Metrics.Histogram.count h);
+      Alcotest.(check (float 0.0)) "observed value" 250.0 (Metrics.Histogram.sum h);
+      (* time: observes even on exception *)
+      (try
+         Span.time h (fun () ->
+             t := Int64.add !t 50L;
+             failwith "boom")
+       with Failure _ -> ());
+      Alcotest.(check int) "exceptional path observed" 2
+        (Metrics.Histogram.count h);
+      Alcotest.(check (float 0.0)) "sum includes both" 300.0
+        (Metrics.Histogram.sum h))
+
+let test_clock_monotonic () =
+  Clock.reset_source ();
+  let a = Clock.now_ns () in
+  let b = Clock.now_ns () in
+  Alcotest.(check bool) "non-decreasing" true (Int64.compare b a >= 0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "counter",
+        [
+          Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "saturation" `Quick test_counter_saturates;
+        ] );
+      ("gauge", [ Alcotest.test_case "set/value" `Quick test_gauge ]);
+      ( "registry",
+        [
+          Alcotest.test_case "dedup" `Quick test_registry_dedup;
+          Alcotest.test_case "kind clash" `Quick test_registry_kind_clash;
+          Alcotest.test_case "bad name" `Quick test_registry_bad_name;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_histogram_boundaries;
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "percentiles" `Quick test_histogram_percentile;
+          Alcotest.test_case "exponential buckets" `Quick test_exponential_buckets;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "json validity" `Quick test_json_valid;
+          Alcotest.test_case "json contents" `Quick test_json_contents;
+          Alcotest.test_case "prometheus format" `Quick test_prometheus_format;
+          Alcotest.test_case "no nan token" `Quick test_no_nan_token;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "fake clock" `Quick test_span_fake_clock;
+          Alcotest.test_case "monotonic default" `Quick test_clock_monotonic;
+        ] );
+    ]
