@@ -1,6 +1,7 @@
-# Convenience targets; `make check` is the tier-1 gate (build + tests).
+# Convenience targets; `make check` is the tier-1 gate (build + tests
+# + the seconds-scale bench smoke).
 
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench bench-smoke bench-json clean
 
 all: build
 
@@ -11,10 +12,24 @@ test:
 	dune runtest
 
 check:
-	dune build @all && dune runtest
+	dune build @all && dune runtest && $(MAKE) bench-smoke
 
 bench:
 	dune exec bench/main.exe -- all
+
+# Seconds-scale subset: every matcher timed on a small event budget,
+# output validated by the strict JSON checker. The binary is built
+# once and piped to itself — two concurrent `dune exec`s would
+# deadlock on the build lock.
+bench-smoke:
+	dune build bin/genas_cli.exe
+	./_build/default/bin/genas_cli.exe bench --json --events 2000 \
+	  | ./_build/default/bin/genas_cli.exe jsoncheck
+
+# Full-budget run refreshing the committed perf-trajectory record.
+bench-json:
+	dune exec bin/genas_cli.exe -- bench --json --events 200000 \
+	  --out BENCH_PR2.json
 
 clean:
 	dune clean

@@ -17,6 +17,8 @@ module Dist = Genas_dist.Dist
 module Shape = Genas_dist.Shape
 module Decomp = Genas_filter.Decomp
 module Tree = Genas_filter.Tree
+module Flat = Genas_filter.Flat
+module Pool = Genas_filter.Pool
 module Naive = Genas_filter.Naive
 module Counting = Genas_filter.Counting
 module Stats = Genas_core.Stats
@@ -95,6 +97,20 @@ let timing_tests () =
       match_test "match/tree-natural" (fun e -> ignore (Tree.match_event tree_nat e));
       match_test "match/tree-V1+A2" (fun e -> ignore (Tree.match_event tree_v1 e));
       match_test "match/tree-binary" (fun e -> ignore (Tree.match_event tree_bin e));
+      (* Flat-vs-pointer: the same trees, compiled (one reusable cursor
+         per test, as in the engine's steady state). *)
+      (let flat = Flat.compile tree_nat in
+       let cur = Flat.cursor flat in
+       match_test "match/flat-natural" (fun e ->
+           ignore (Flat.match_into flat cur e)));
+      (let flat = Flat.compile tree_v1 in
+       let cur = Flat.cursor flat in
+       match_test "match/flat-V1+A2" (fun e ->
+           ignore (Flat.match_into flat cur e)));
+      (let flat = Flat.compile tree_bin in
+       let cur = Flat.cursor flat in
+       match_test "match/flat-binary" (fun e ->
+           ignore (Flat.match_into flat cur e)));
       (* TV1: construction cost. *)
       Test.make ~name:"build/tree-500p"
         (Staged.stage (fun () ->
@@ -190,6 +206,23 @@ let run_parallel () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Perfbench: the flat-vs-pointer and 1-vs-N-domain throughput suite,
+   as a table ("perf") or as the BENCH_*.json document ("json").      *)
+
+let perf_events () =
+  match Sys.getenv_opt "GENAS_BENCH_EVENTS" with
+  | Some s -> (try int_of_string s with _ -> 50_000)
+  | None -> 50_000
+
+let run_perf () = Genas_expt.Perfbench.(table (run ~events:(perf_events ()) ()))
+
+let run_perf_json () =
+  print_string
+    (Genas_obs.Json.to_string
+       Genas_expt.Perfbench.(to_json (run ~events:(perf_events ()) ())));
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Metrics snapshot: the timing workload replayed through an
    instrumented engine, so wall-clock tables and the observability
    layer's own percentiles can be compared side by side.              *)
@@ -225,6 +258,7 @@ let tables_of_target = function
   | "fragility" -> [ Figures.fragility () ]
   | "timing" -> [ run_timing () ]
   | "parallel" -> [ run_parallel () ]
+  | "perf" -> [ run_perf () ]
   | other ->
     Printf.eprintf "unknown bench target %S\n" other;
     exit 2
@@ -234,6 +268,7 @@ let csv_name target i n =
 
 let run_figure ?csv_dir target =
   if target = "metrics" then run_metrics_snapshot ()
+  else if target = "json" then run_perf_json ()
   else begin
   let tables = tables_of_target target in
   let n = List.length tables in
@@ -251,7 +286,7 @@ let run_figure ?csv_dir target =
 
 let all_targets =
   [ "fig3"; "fig4a"; "fig4b"; "fig5"; "fig6a"; "fig6b"; "tv"; "ablation";
-    "baselines"; "outlook"; "quench"; "routing"; "adaptive"; "correlated"; "dontcare"; "queueing"; "orderings8"; "fragility"; "timing"; "parallel"; "metrics" ]
+    "baselines"; "outlook"; "quench"; "routing"; "adaptive"; "correlated"; "dontcare"; "queueing"; "orderings8"; "fragility"; "timing"; "parallel"; "perf"; "metrics" ]
 
 let () =
   let rest =

@@ -328,6 +328,30 @@ let run_metrics format events seed =
   | other ->
     or_die (Error (Printf.sprintf "unknown metrics format %S (json|prom)" other))
 
+(* ------------------------------------------------------------------ *)
+(* Perf bench: the flat-vs-pointer / 1-vs-N-domain throughput suite of
+   Genas_expt.Perfbench, as a table or as the BENCH_*.json document.   *)
+
+let run_bench json events out =
+  if events <= 0 then or_die (Error "need a positive --events count");
+  let t = Genas_expt.Perfbench.run ~events () in
+  let output =
+    if json then begin
+      let doc = Obs.Json.to_string (Genas_expt.Perfbench.to_json t) ^ "\n" in
+      (* The strict validator gates every machine-readable emission, so
+         a malformed BENCH_*.json can never be written. *)
+      (match Obs.Json.validate doc with
+      | Ok () -> ()
+      | Error e -> or_die (Error ("bench --json produced invalid JSON: " ^ e)));
+      doc
+    end
+    else Format.asprintf "%a" Report.render (Genas_expt.Perfbench.table t)
+  in
+  match out with
+  | None -> print_string output
+  | Some path ->
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc output)
+
 let run_jsoncheck () =
   let input = In_channel.input_all stdin in
   match Obs.Json.validate input with
@@ -557,6 +581,29 @@ let metrics_cmd =
              rebuilds, tree gauges, delivery counters)")
     Term.(const run_metrics $ format_arg $ events_arg $ seed_arg)
 
+let bench_cmd =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the machine-readable BENCH_*.json document (strictly \
+                   validated) instead of a table.")
+  in
+  let events_arg =
+    Arg.(value & opt int 50_000
+         & info [ "events" ] ~doc:"Per-entry timing budget, in events.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Benchmark every matcher (naive, counting, pointer tree, compiled \
+             flat form, batch path, domain pool) on the paper's timing \
+             workload; events/sec and comparisons/event per matcher and \
+             strategy")
+    Term.(const run_bench $ json_arg $ events_arg $ out_arg)
+
 let jsoncheck_cmd =
   Cmd.v
     (Cmd.info "jsoncheck"
@@ -572,4 +619,4 @@ let () =
           (Cmd.info "genas" ~version:"1.0.0"
              ~doc:"Distribution-based event filtering (GENAS)")
           [ match_cmd; plan_cmd; simulate_cmd; dists_cmd; figures_cmd;
-            metrics_cmd; jsoncheck_cmd; repl_cmd ]))
+            bench_cmd; metrics_cmd; jsoncheck_cmd; repl_cmd ]))

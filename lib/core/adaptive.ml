@@ -107,21 +107,34 @@ let force_check t =
   end
   else false
 
+(* [since_check] accumulates during warmup, so the first check is due
+   at exactly [seen = warmup] (or at the first post-warmup event when
+   [warmup < check_every]); subsequent checks every [check_every]. *)
+let note_events t n =
+  if n > 0 then begin
+    t.seen <- t.seen + n;
+    t.since_check <- t.since_check + n;
+    if
+      t.seen >= t.policy.warmup
+      && (t.checks = 0 || t.since_check >= t.policy.check_every)
+    then begin
+      t.since_check <- 0;
+      ignore (force_check t)
+    end
+  end
+
 let match_event t event =
   let result = Engine.match_event t.engine event in
-  t.seen <- t.seen + 1;
-  t.since_check <- t.since_check + 1;
-  (* [since_check] accumulates during warmup, so the first check is due
-     at exactly [seen = warmup] (or at the first post-warmup event when
-     [warmup < check_every]); subsequent checks every [check_every]. *)
-  if
-    t.seen >= t.policy.warmup
-    && (t.checks = 0 || t.since_check >= t.policy.check_every)
-  then begin
-    t.since_check <- 0;
-    ignore (force_check t)
-  end;
+  note_events t 1;
   result
+
+let match_batch ?pool t events =
+  let results = Engine.match_batch ?pool t.engine events in
+  (* The whole batch is observed before at most one drift check runs:
+     a check mid-batch would re-plan the tree under the feet of the
+     batch's own statistics, for no measurable gain. *)
+  note_events t (Array.length events);
+  results
 
 let rebuilds t = t.rebuilds
 

@@ -44,6 +44,15 @@ val match_event :
     even when [warmup < check_every]; later checks run every
     [check_every] events. *)
 
+val match_batch :
+  ?pool:Genas_filter.Pool.t ->
+  t ->
+  Genas_model.Event.t array ->
+  Genas_profile.Profile_set.id array array
+(** {!Engine.match_batch}, then the adaptive bookkeeping advances by
+    the batch size with at most one drift check (after the whole batch
+    has been observed — never mid-batch). *)
+
 val rebuilds : t -> int
 (** Number of re-optimizations performed so far. *)
 

@@ -1,6 +1,8 @@
 module Profile_set = Genas_profile.Profile_set
 module Decomp = Genas_filter.Decomp
 module Tree = Genas_filter.Tree
+module Flat = Genas_filter.Flat
+module Pool = Genas_filter.Pool
 module Ops = Genas_filter.Ops
 module Metrics = Genas_obs.Metrics
 
@@ -57,6 +59,12 @@ type t = {
   mutable spec : Reorder.spec;
   mutable stats : Stats.t;
   mutable tree : Tree.t;
+  (* The pointer tree stays authoritative for pp/explain and the
+     analytic cost model; every (re)build also compiles it into the
+     flat form the match paths execute, with a reusable cursor so the
+     steady-state path allocates no per-event match lists. *)
+  mutable flat : Flat.t;
+  mutable cursor : Flat.cursor;
   ops : Ops.t;
   instruments : instruments option;
 }
@@ -81,8 +89,14 @@ let plan ~bins ~old_stats pset spec =
   let tree = Reorder.build stats spec in
   (stats, tree)
 
+let install_tree t tree =
+  t.tree <- tree;
+  t.flat <- Flat.compile tree;
+  t.cursor <- Flat.cursor t.flat
+
 let create ?(spec = Reorder.default_spec) ?(bins = 64) ?metrics pset =
   let stats, tree = plan ~bins ~old_stats:None pset spec in
+  let flat = Flat.compile tree in
   let t =
     {
       pset;
@@ -90,6 +104,8 @@ let create ?(spec = Reorder.default_spec) ?(bins = 64) ?metrics pset =
       spec;
       stats;
       tree;
+      flat;
+      cursor = Flat.cursor flat;
       ops = Ops.create ();
       instruments = Option.map make_instruments metrics;
     }
@@ -103,6 +119,8 @@ let profiles t = t.pset
 
 let tree t = t.tree
 
+let flat t = t.flat
+
 let stats t = t.stats
 
 let ops t = t.ops
@@ -112,7 +130,7 @@ let rebuild t =
      re-optimization path); refresh the decomposition otherwise. *)
   let stats, tree = plan ~bins:t.bins ~old_stats:(Some t.stats) t.pset t.spec in
   t.stats <- stats;
-  t.tree <- tree;
+  install_tree t tree;
   match t.instruments with
   | None -> ()
   | Some ins ->
@@ -129,7 +147,7 @@ let refresh_if_stale t =
        observed history refers to stale cells, so it is restarted. *)
     let decomp = Decomp.build t.pset in
     t.stats <- Stats.create ~bins:t.bins decomp;
-    t.tree <- Reorder.build t.stats t.spec;
+    install_tree t (Reorder.build t.stats t.spec);
     match t.instruments with
     | None -> ()
     | Some ins ->
@@ -137,22 +155,59 @@ let refresh_if_stale t =
       observe_tree t
   end
 
-let match_event t event =
+(* Match one event through the flat cursor; returns the match count,
+   ids borrowed from the cursor. Counter semantics are bit-identical to
+   the former Tree.match_event path. *)
+let match_core t event =
   refresh_if_stale t;
   Stats.observe_event t.stats event;
   match t.instruments with
-  | None -> Tree.match_event ~ops:t.ops t.tree event
+  | None -> Flat.match_into ~ops:t.ops t.flat t.cursor event
   | Some ins ->
     let c0 = t.ops.Ops.comparisons in
     let t0 = Genas_obs.Clock.now_ns () in
-    let result = Tree.match_event ~ops:t.ops t.tree event in
+    let n = Flat.match_into ~ops:t.ops t.flat t.cursor event in
     let dt = Int64.to_float (Int64.sub (Genas_obs.Clock.now_ns ()) t0) in
     let dc = t.ops.Ops.comparisons - c0 in
     Metrics.Histogram.observe ins.match_ns (Float.max 0.0 dt);
     Metrics.Histogram.observe ins.match_comparisons (float_of_int dc);
     Metrics.Counter.incr ins.events_total;
     Metrics.Counter.add ins.comparisons_total dc;
-    Metrics.Counter.add ins.matches_total (List.length result);
-    result
+    Metrics.Counter.add ins.matches_total n;
+    n
+
+let match_event t event =
+  let n = match_core t event in
+  let out = Flat.matches t.cursor in
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) (out.(i) :: acc)
+  in
+  build (n - 1) []
+
+let match_with t event ~f =
+  let n = match_core t event in
+  f ~ids:(Flat.matches t.cursor) ~len:n
+
+let match_batch ?pool t events =
+  refresh_if_stale t;
+  Array.iter (fun e -> Stats.observe_event t.stats e) events;
+  let c0 = t.ops.Ops.comparisons and m0 = t.ops.Ops.matches in
+  let results =
+    match pool with
+    | Some p when Pool.domains p > 1 && Array.length events > 1 ->
+      Pool.match_batch ~ops:t.ops p t.flat events
+    | Some _ | None ->
+      let out = Array.make (Array.length events) [||] in
+      Flat.match_batch ~ops:t.ops t.flat t.cursor events
+        ~f:(fun i ~ids ~len -> out.(i) <- Array.sub ids 0 len);
+      out
+  in
+  (match t.instruments with
+  | None -> ()
+  | Some ins ->
+    Metrics.Counter.add ins.events_total (Array.length events);
+    Metrics.Counter.add ins.comparisons_total (t.ops.Ops.comparisons - c0);
+    Metrics.Counter.add ins.matches_total (t.ops.Ops.matches - m0));
+  results
 
 let report t = Cost.evaluate_with_stats t.tree t.stats

@@ -34,6 +34,12 @@ val set_spec : t -> Reorder.spec -> unit
 val profiles : t -> Genas_profile.Profile_set.t
 
 val tree : t -> Genas_filter.Tree.t
+(** The pointer tree: kept for [pp]/[explain] and the analytic cost
+    model. The match paths execute its compiled flat form. *)
+
+val flat : t -> Genas_filter.Flat.t
+(** The compiled flat-array matcher the match paths execute; recompiled
+    at every (re)build. *)
 
 val stats : t -> Stats.t
 
@@ -44,7 +50,31 @@ val match_event :
   t -> Genas_model.Event.t -> Genas_profile.Profile_set.id list
 (** Filter one event: refreshes the tree if the profile set changed,
     records the event in the statistics, counts operations, and
-    returns the matched profile ids (ascending). *)
+    returns the matched profile ids (ascending).
+
+    Matching runs through the engine's reusable flat cursor, so the
+    steady-state path allocates no per-event match lists beyond the
+    returned list itself; use {!match_with} to avoid even that. *)
+
+val match_with :
+  t -> Genas_model.Event.t -> f:(ids:int array -> len:int -> unit) -> unit
+(** Zero-allocation variant of {!match_event}: [f ~ids ~len] receives
+    the engine's borrowed cursor buffer whose first [len] slots hold
+    the matched ids (ascending). The buffer is overwritten by the next
+    match — copy inside [f] if the ids must outlive the call. *)
+
+val match_batch :
+  ?pool:Genas_filter.Pool.t ->
+  t ->
+  Genas_model.Event.t array ->
+  Genas_profile.Profile_set.id array array
+(** Filter a batch: one ascending id array per event, index-aligned.
+    Statistics, operation counters, and metrics advance exactly as if
+    each event had gone through {!match_event}, except that per-event
+    latency histograms are not observed on the batch path. With [pool]
+    (and more than one domain and event) matching fans out across
+    domains; results and counters are identical to the sequential
+    path. *)
 
 val rebuild : t -> unit
 (** Re-plan the tree configuration from the current statistics (and

@@ -6,6 +6,7 @@ module Lang = Genas_profile.Lang
 module Engine = Genas_core.Engine
 module Adaptive = Genas_core.Adaptive
 module Ops = Genas_filter.Ops
+module Pool = Genas_filter.Pool
 module Metrics = Genas_obs.Metrics
 
 type sub_id = Prim_sub of int | Comp_sub of int
@@ -31,6 +32,8 @@ type instruments = {
   quench_invalidations_total : Metrics.counter;
   quench_rebuilds_total : Metrics.counter;
   quench_suppressed_total : Metrics.counter;
+  batch_size : Metrics.histogram;
+  pool_workers : Metrics.gauge;
 }
 
 let make_instruments registry =
@@ -51,6 +54,15 @@ let make_instruments registry =
     quench_suppressed_total =
       Metrics.counter registry "genas_broker_quench_suppressed_total"
         ~help:"Events suppressed by publish_quenched";
+    batch_size =
+      Metrics.histogram registry "genas_broker_batch_size"
+        ~help:"Events per publish_batch call"
+        ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024.;
+                    4096.; 16384.; 65536. |];
+    pool_workers =
+      Metrics.gauge registry "genas_broker_pool_workers"
+        ~help:"Domains of the pool used by the most recent publish_batch \
+               (1 = sequential)";
   }
 
 let delivery_counter instruments subscriber =
@@ -186,24 +198,16 @@ let quench t =
 let deliver_incr counter =
   match counter with None -> () | Some c -> Metrics.Counter.incr c
 
-let publish t event =
-  t.published <- t.published + 1;
-  let matched =
-    match t.adaptive with
-    | Some a -> Adaptive.match_event a event
-    | None -> Engine.match_event t.engine event
-  in
-  let sent = ref 0 in
-  List.iter
-    (fun id ->
-      match Hashtbl.find_opt t.handlers id with
-      | None -> ()
-      | Some sub ->
-        incr sent;
-        deliver_incr sub.p_delivered;
-        sub.p_handler
-          (Notification.make ~event ~profile_id:id ~subscriber:sub.p_subscriber ()))
-    matched;
+let deliver_prim t event id sent =
+  match Hashtbl.find_opt t.handlers id with
+  | None -> ()
+  | Some sub ->
+    incr sent;
+    deliver_incr sub.p_delivered;
+    sub.p_handler
+      (Notification.make ~event ~profile_id:id ~subscriber:sub.p_subscriber ())
+
+let feed_composites t event sent =
   Hashtbl.iter
     (fun _ c ->
       List.iter
@@ -214,13 +218,53 @@ let publish t event =
             (Notification.make ~event ~profile_id:(-1)
                ~subscriber:c.subscriber ()))
         (Composite.feed c.detector event))
-    t.composites;
+    t.composites
+
+let publish t event =
+  t.published <- t.published + 1;
+  let matched =
+    match t.adaptive with
+    | Some a -> Adaptive.match_event a event
+    | None -> Engine.match_event t.engine event
+  in
+  let sent = ref 0 in
+  List.iter (fun id -> deliver_prim t event id sent) matched;
+  feed_composites t event sent;
   t.notifications <- t.notifications + !sent;
   (match t.instruments with
   | None -> ()
   | Some ins ->
     Metrics.Counter.incr ins.published_total;
     Metrics.Counter.add ins.notifications_total !sent);
+  !sent
+
+let publish_batch ?pool t events =
+  let n = Array.length events in
+  (* Matching fans out across the pool's domains; delivery stays on the
+     calling domain, in batch order, because handlers are arbitrary
+     user code and composite detection is stateful over the stream. *)
+  let results =
+    match t.adaptive with
+    | Some a -> Adaptive.match_batch ?pool a events
+    | None -> Engine.match_batch ?pool t.engine events
+  in
+  t.published <- t.published + n;
+  let sent = ref 0 in
+  Array.iteri
+    (fun i matched ->
+      let event = events.(i) in
+      Array.iter (fun id -> deliver_prim t event id sent) matched;
+      feed_composites t event sent)
+    results;
+  t.notifications <- t.notifications + !sent;
+  (match t.instruments with
+  | None -> ()
+  | Some ins ->
+    Metrics.Counter.add ins.published_total n;
+    Metrics.Counter.add ins.notifications_total !sent;
+    Metrics.Histogram.observe ins.batch_size (float_of_int n);
+    Metrics.Gauge.set ins.pool_workers
+      (float_of_int (match pool with Some p -> Pool.domains p | None -> 1)));
   !sent
 
 let publish_quenched t event =

@@ -68,6 +68,16 @@ val publish : t -> Genas_model.Event.t -> int
 (** Filter one event and deliver notifications; returns the number of
     notifications sent. *)
 
+val publish_batch :
+  ?pool:Genas_filter.Pool.t -> t -> Genas_model.Event.t array -> int
+(** Filter a whole batch, then deliver notifications in batch order;
+    returns the total notifications sent. With [pool] (on a host with
+    more than one domain) matching fans out across domains; delivery
+    and composite detection always run on the calling domain, in
+    order, so handler-visible behavior is identical to publishing the
+    events one by one. Instrumented brokers record the batch size
+    (histogram) and the worker count used (gauge). *)
+
 val publish_quenched : t -> Genas_model.Event.t -> int option
 (** Consult the quench table first: [None] if the event provably
     matches no subscription (it is then not filtered at all and does

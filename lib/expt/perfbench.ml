@@ -1,0 +1,321 @@
+module Prng = Genas_prng.Prng
+module Schema = Genas_model.Schema
+module Axis = Genas_model.Axis
+module Event = Genas_model.Event
+module Dist = Genas_dist.Dist
+module Shape = Genas_dist.Shape
+module Decomp = Genas_filter.Decomp
+module Tree = Genas_filter.Tree
+module Flat = Genas_filter.Flat
+module Pool = Genas_filter.Pool
+module Naive = Genas_filter.Naive
+module Counting = Genas_filter.Counting
+module Ops = Genas_filter.Ops
+module Stats = Genas_core.Stats
+module Selectivity = Genas_core.Selectivity
+module Reorder = Genas_core.Reorder
+module Clock = Genas_obs.Clock
+module Json = Genas_obs.Json
+
+type result = {
+  name : string;
+  matcher : string;
+  strategy : string;
+  domains : int;
+  timed_events : int;
+  events_per_sec : float;
+  comparisons_per_event : float;
+  matches_per_event : float;
+}
+
+type t = {
+  profiles : int;
+  attributes : int;
+  event_pool : int;
+  seed : int;
+  recommended_domains : int;
+  results : result list;
+}
+
+let pool_size = 1024 (* power of two: the wrap index is a mask *)
+
+(* One benchmark entry: [timed n] processes ~n events as fast as the
+   matcher allows (returning the exact count), [counted ()] replays the
+   event pool once under an [Ops] counter for the deterministic
+   comparisons/event figure. *)
+type entry = {
+  e_name : string;
+  e_matcher : string;
+  e_strategy : string;
+  e_domains : int;
+  timed : int -> int;
+  counted : unit -> Ops.t;
+}
+
+let measure ~events entry =
+  ignore (entry.timed (min pool_size events)) (* warmup *);
+  let t0 = Clock.now_ns () in
+  let n = entry.timed events in
+  let dt = Int64.to_float (Int64.sub (Clock.now_ns ()) t0) /. 1e9 in
+  let ops = entry.counted () in
+  {
+    name = entry.e_name;
+    matcher = entry.e_matcher;
+    strategy = entry.e_strategy;
+    domains = entry.e_domains;
+    timed_events = n;
+    events_per_sec = (if dt > 0.0 then float_of_int n /. dt else 0.0);
+    comparisons_per_event =
+      float_of_int ops.Ops.comparisons /. float_of_int ops.Ops.events;
+    matches_per_event =
+      float_of_int ops.Ops.matches /. float_of_int ops.Ops.events;
+  }
+
+let run ?(profiles = 500) ?(seed = 99) ?(events = 50_000) () =
+  let attrs = 3 in
+  let schema = Workload.normalized_schema ~attrs ~points:100 () in
+  let axes =
+    Array.init attrs (fun i ->
+        Axis.of_domain (Schema.attribute schema i).Schema.domain)
+  in
+  let rng = Prng.create ~seed in
+  let pset =
+    Workload.gen_profiles rng schema
+      {
+        Workload.p = profiles;
+        dontcare = Array.make attrs 0.3;
+        value_dists = Array.map (fun ax -> Shape.gauss () ax) axes;
+        range_width = None;
+      }
+  in
+  let decomp = Decomp.build pset in
+  let stats = Stats.create decomp in
+  let dists = Array.map Dist.uniform axes in
+  let pool_events =
+    Array.init pool_size (fun _ ->
+        let coords = Workload.event_coords rng dists in
+        Event.of_values_exn schema
+          (Array.mapi
+             (fun i c -> Axis.value (Schema.attribute schema i).Schema.domain c)
+             coords))
+  in
+  let mask = pool_size - 1 in
+  let naive = Naive.build pset in
+  let counting = Counting.build pset in
+  let v1a2 =
+    {
+      Reorder.attr_choice = Reorder.Attr_measured (Selectivity.A2, `Descending);
+      value_choice = `Measure Selectivity.V1;
+    }
+  in
+  let binary =
+    { Reorder.attr_choice = Reorder.Attr_natural; value_choice = `Binary }
+  in
+  let trees =
+    [
+      ("natural", Tree.build decomp (Tree.default_config decomp));
+      ("v1+a2", Reorder.build stats v1a2);
+      ("binary", Reorder.build stats binary);
+    ]
+  in
+  (* Per-event loop over the pool with wraparound, the shape of every
+     single-event entry below. *)
+  let per_event f n =
+    for i = 0 to n - 1 do
+      f pool_events.(i land mask)
+    done;
+    n
+  in
+  let counted_per_event f () =
+    let ops = Ops.create () in
+    Array.iter (f ops) pool_events;
+    ops
+  in
+  (* Whole-pool passes for the batch entries: ~n events rounded up to
+     full passes so each pass matches the same 1024 events. *)
+  let passes n = (n + pool_size - 1) / pool_size in
+  let entry ?(domains = 1) name matcher strategy timed counted =
+    {
+      e_name = name;
+      e_matcher = matcher;
+      e_strategy = strategy;
+      e_domains = domains;
+      timed;
+      counted;
+    }
+  in
+  let baseline_entries =
+    [
+      entry "naive" "naive" "n/a"
+        (per_event (fun e -> ignore (Naive.match_event naive e)))
+        (counted_per_event (fun ops e -> ignore (Naive.match_event ~ops naive e)));
+      entry "counting" "counting" "n/a"
+        (per_event (fun e -> ignore (Counting.match_event counting e)))
+        (counted_per_event (fun ops e ->
+             ignore (Counting.match_event ~ops counting e)));
+    ]
+  in
+  let tree_entries =
+    List.concat_map
+      (fun (sname, tree) ->
+        let flat = Flat.compile tree in
+        let cur = Flat.cursor flat in
+        [
+          entry ("tree/" ^ sname) "tree" sname
+            (per_event (fun e -> ignore (Tree.match_event tree e)))
+            (counted_per_event (fun ops e ->
+                 ignore (Tree.match_event ~ops tree e)));
+          entry ("flat/" ^ sname) "flat" sname
+            (per_event (fun e -> ignore (Flat.match_into flat cur e)))
+            (counted_per_event (fun ops e ->
+                 ignore (Flat.match_into ~ops flat cur e)));
+        ])
+      trees
+  in
+  let batch_tree = List.assoc "v1+a2" trees in
+  let batch_flat = Flat.compile batch_tree in
+  let batch_cur = Flat.cursor batch_flat in
+  let batch_entry =
+    entry "flat-batch/v1+a2" "flat-batch" "v1+a2"
+      (fun n ->
+        let k = passes n in
+        for _ = 1 to k do
+          Flat.match_batch batch_flat batch_cur pool_events
+            ~f:(fun _ ~ids:_ ~len:_ -> ())
+        done;
+        k * pool_size)
+      (fun () ->
+        let ops = Ops.create () in
+        Flat.match_batch ~ops batch_flat batch_cur pool_events
+          ~f:(fun _ ~ids:_ ~len:_ -> ());
+        ops)
+  in
+  let recommended = Domain.recommended_domain_count () in
+  (* Always record a 2-domain row — on a 1-core host it shows (honestly)
+     no speedup, but the perf-trajectory file keeps the same shape
+     across hosts. *)
+  let pool_entries =
+    List.sort_uniq Int.compare [ 1; 2; min 4 (max 2 recommended) ]
+    |> List.map (fun d ->
+           let p = Pool.create ~domains:d () in
+           entry
+             (Printf.sprintf "pool/v1+a2/d%d" d)
+             "pool" "v1+a2" ~domains:d
+             (fun n ->
+               let k = passes n in
+               for _ = 1 to k do
+                 ignore (Pool.match_batch p batch_flat pool_events)
+               done;
+               k * pool_size)
+             (fun () ->
+               let ops = Ops.create () in
+               ignore (Pool.match_batch ~ops p batch_flat pool_events);
+               ops))
+  in
+  let results =
+    List.map (measure ~events)
+      (baseline_entries @ tree_entries @ [ batch_entry ] @ pool_entries)
+  in
+  {
+    profiles;
+    attributes = attrs;
+    event_pool = pool_size;
+    seed;
+    recommended_domains = recommended;
+    results;
+  }
+
+let find_eps t name =
+  List.find_map
+    (fun r -> if r.name = name then Some r.events_per_sec else None)
+    t.results
+
+let speedup t ~num ~den =
+  match (find_eps t num, find_eps t den) with
+  | Some a, Some b when b > 0.0 -> Some (a /. b)
+  | _ -> None
+
+let pool_peak t =
+  List.filter (fun r -> r.matcher = "pool") t.results
+  |> List.fold_left
+       (fun acc r ->
+         match acc with
+         | Some best when best.events_per_sec >= r.events_per_sec -> acc
+         | _ -> Some r)
+       None
+
+let to_json t =
+  let result_json r =
+    Json.Obj
+      [
+        ("name", Json.Str r.name);
+        ("matcher", Json.Str r.matcher);
+        ("strategy", Json.Str r.strategy);
+        ("domains", Json.Int r.domains);
+        ("timed_events", Json.Int r.timed_events);
+        ("events_per_sec", Json.number r.events_per_sec);
+        ("comparisons_per_event", Json.number r.comparisons_per_event);
+        ("matches_per_event", Json.number r.matches_per_event);
+      ]
+  in
+  let derived =
+    let field name v =
+      (name, match v with Some s -> Json.number s | None -> Json.Null)
+    in
+    let pool_speedup =
+      match (pool_peak t, find_eps t "pool/v1+a2/d1") with
+      | Some peak, Some d1 when d1 > 0.0 -> Some (peak.events_per_sec /. d1)
+      | _ -> None
+    in
+    Json.Obj
+      [
+        field "flat_vs_tree" (speedup t ~num:"flat/v1+a2" ~den:"tree/v1+a2");
+        field "flat_batch_vs_tree"
+          (speedup t ~num:"flat-batch/v1+a2" ~den:"tree/v1+a2");
+        field "pool_peak_vs_1_domain" pool_speedup;
+        ( "pool_peak_domains",
+          match pool_peak t with
+          | Some r -> Json.Int r.domains
+          | None -> Json.Null );
+      ]
+  in
+  Json.Obj
+    [
+      ("bench", Json.Str "genas-perf");
+      ("schema_version", Json.Int 1);
+      ( "workload",
+        Json.Obj
+          [
+            ("profiles", Json.Int t.profiles);
+            ("attributes", Json.Int t.attributes);
+            ("event_pool", Json.Int t.event_pool);
+            ("seed", Json.Int t.seed);
+          ] );
+      ("host", Json.Obj [ ("recommended_domains", Json.Int t.recommended_domains) ]);
+      ("results", Json.List (List.map result_json t.results));
+      ("derived", derived);
+    ]
+
+let table t =
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.name;
+          string_of_int r.domains;
+          Printf.sprintf "%.0f" r.events_per_sec;
+          Report.f2 r.comparisons_per_event;
+          Report.f2 r.matches_per_event;
+        ])
+      t.results
+  in
+  Report.table ~title:"Matcher throughput (wall clock)"
+    ~columns:[ "matcher"; "domains"; "events/s"; "cmp/event"; "match/event" ]
+    ~notes:
+      [
+        Printf.sprintf
+          "%d profiles, %d attributes, uniform events, seed %d; host \
+           recommends %d domain(s)"
+          t.profiles t.attributes t.seed t.recommended_domains;
+      ]
+    rows

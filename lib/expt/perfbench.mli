@@ -1,0 +1,47 @@
+(** Machine-readable matcher benchmark.
+
+    One timing workload (the paper's 500-profile/3-attribute table),
+    every matcher in the repository run over the same pre-built event
+    pool: the naive and counting baselines, the pointer profile tree
+    and its compiled {!Genas_filter.Flat} form per value strategy, the
+    flat batch path, and the {!Genas_filter.Pool} domain fan-out at 1,
+    2, and 4 domains. Wall clock is read from the monotonic
+    {!Genas_obs.Clock}; comparisons/event comes from a separate
+    deterministic [Ops]-counted replay of the event pool, so the
+    figures are stable across runs even though events/sec is not.
+
+    [genas bench] and [bench/main.exe json] both render these results;
+    the JSON form is the `BENCH_*.json` perf-trajectory record (see
+    docs/PERFORMANCE.md). *)
+
+type result = {
+  name : string;  (** e.g. ["flat/v1+a2"], ["pool/v1+a2/d2"] *)
+  matcher : string;  (** naive|counting|tree|flat|flat-batch|pool *)
+  strategy : string;  (** value strategy, or ["n/a"] *)
+  domains : int;  (** 1 except for pool entries *)
+  timed_events : int;
+  events_per_sec : float;
+  comparisons_per_event : float;
+  matches_per_event : float;
+}
+
+type t = {
+  profiles : int;
+  attributes : int;
+  event_pool : int;
+  seed : int;
+  recommended_domains : int;
+  results : result list;
+}
+
+val run : ?profiles:int -> ?seed:int -> ?events:int -> unit -> t
+(** [events] (default 50_000) is the per-entry timing budget; batch
+    and pool entries round it up to whole event-pool passes. *)
+
+val to_json : t -> Genas_obs.Json.t
+(** The `BENCH_*.json` document: bench/schema_version header, workload
+    and host blocks, one result object per entry, and derived speedups
+    (flat vs tree, flat batch vs tree, pool peak vs one domain). *)
+
+val table : t -> Report.table
+(** Human-readable rendering of the same results. *)

@@ -7,9 +7,17 @@ type t = {
   decomp : Decomp.t;
   cell_profiles : int array array array;
       (** [attr].[cell] → profile ids credited by that cell *)
-  needed : (int, int) Hashtbl.t;  (** profile id → #constrained attrs *)
+  needed : int array;  (** per profile id: #constrained attrs (0 = none) *)
   all_dont_care : int array;  (** profiles with no constraint at all *)
   max_id : int;
+  (* Per-event scratch, preallocated once and reset in O(1) by epoch
+     stamping: [credits.(id)] is only meaningful when [stamp.(id)]
+     equals the current epoch, so no per-event table or clearing pass
+     is needed. One matcher therefore serves one thread of control. *)
+  credits : int array;
+  stamp : int array;
+  touched : int array;  (** ids credited by the current event *)
+  mutable epoch : int;
 }
 
 let build pset =
@@ -21,20 +29,25 @@ let build pset =
           (fun (c : Overlay.cell) -> Array.of_list c.Overlay.ids)
           decomp.Decomp.overlays.(attr).Overlay.cells)
   in
-  let needed = Hashtbl.create 64 in
-  let all_dont_care = ref [] in
   let max_id = ref (-1) in
+  Profile_set.iter pset (fun id _ -> if id > !max_id then max_id := id);
+  let slots = !max_id + 1 in
+  let needed = Array.make slots 0 in
+  let all_dont_care = ref [] in
   Profile_set.iter pset (fun id p ->
-      if id > !max_id then max_id := id;
       match Profile.arity_used p with
       | 0 -> all_dont_care := id :: !all_dont_care
-      | k -> Hashtbl.replace needed id k);
+      | k -> needed.(id) <- k);
   {
     decomp;
     cell_profiles;
     needed;
     all_dont_care = Array.of_list (List.rev !all_dont_care);
     max_id = !max_id;
+    credits = Array.make slots 0;
+    stamp = Array.make slots 0;
+    touched = Array.make slots 0;
+    epoch = 0;
   }
 
 let revision t = t.decomp.Decomp.revision
@@ -47,7 +60,9 @@ let ceil_log2 m =
 
 let match_event ?ops t event =
   let n = Decomp.arity t.decomp in
-  let credits = Hashtbl.create 32 in
+  t.epoch <- t.epoch + 1;
+  let epoch = t.epoch in
+  let ntouched = ref 0 in
   let comparisons = ref 0 in
   for attr = 0 to n - 1 do
     let ncells = Array.length t.cell_profiles.(attr) in
@@ -58,17 +73,20 @@ let match_event ?ops t event =
       Array.iter
         (fun id ->
           incr comparisons;
-          Hashtbl.replace credits id
-            (1 + Option.value ~default:0 (Hashtbl.find_opt credits id)))
+          if t.stamp.(id) = epoch then t.credits.(id) <- t.credits.(id) + 1
+          else begin
+            t.stamp.(id) <- epoch;
+            t.credits.(id) <- 1;
+            t.touched.(!ntouched) <- id;
+            incr ntouched
+          end)
         t.cell_profiles.(attr).(cell)
   done;
   let matched = ref (Array.to_list t.all_dont_care) in
-  Hashtbl.iter
-    (fun id got ->
-      match Hashtbl.find_opt t.needed id with
-      | Some need when got = need -> matched := id :: !matched
-      | Some _ | None -> ())
-    credits;
+  for k = 0 to !ntouched - 1 do
+    let id = t.touched.(k) in
+    if t.credits.(id) = t.needed.(id) then matched := id :: !matched
+  done;
   let matched = List.sort Int.compare !matched in
   (match ops with
   | Some o ->

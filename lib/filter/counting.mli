@@ -9,7 +9,12 @@
     event.
 
     Cost accounting: cell location costs ⌈log2(#cells)⌉ comparisons
-    per attribute, each credit costs one. *)
+    per attribute, each credit costs one.
+
+    Credits live in a preallocated epoch-stamped [int array] (reset in
+    O(1) per event), so matching allocates no per-event tables; the
+    scratch makes a matcher single-threaded — share the underlying
+    profile set, not the matcher, across domains. *)
 
 type t
 

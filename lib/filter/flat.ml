@@ -1,0 +1,377 @@
+module Event = Genas_model.Event
+module Schema = Genas_model.Schema
+module Axis = Genas_model.Axis
+module Domain = Genas_model.Domain
+module Value = Genas_model.Value
+
+(* Strategy codes, dispatched with plain int compares in the hot loop. *)
+let code_linear = 0
+let code_binary = 1
+let code_hashed = 2
+
+let code_of_strategy = function
+  | Order.Linear _ -> code_linear
+  | Order.Binary -> code_binary
+  | Order.Hashed -> code_hashed
+
+(* Doubled-rank encoding: referenced rank q -> 2q, half-rank q - 0.5 ->
+   2q - 1, out-of-domain -> max_int. Strictly monotonic and
+   equality-preserving w.r.t. the float encoding, so every three-way
+   comparison has the same outcome as in the pointer tree. *)
+let out_of_domain = max_int
+
+let pos2_of_float p = int_of_float (2.0 *. p)
+
+(* Compiled coordinate lookup: discrete domains get a direct
+   value->target table (no option allocation, no Overlay.locate
+   bisection per event); float domains keep the generic path. *)
+type lookup =
+  | Int_table of { lo : int; tbl : int array }  (* index = value - lo *)
+  | Rank_table of int array  (* index = Domain.rank (enum / bool) *)
+  | Generic
+
+type t = {
+  decomp : Decomp.t;
+  arity : int;
+  strategy : int array;  (* per natural attribute: strategy code *)
+  pos2 : int array array;  (* per attribute, per global cell *)
+  domains : Domain.t array;  (* per attribute, for target lookup *)
+  lookup : lookup array;
+  (* Node table: one slot per flat node, leaves marked by attr = -1. *)
+  node_attr : int array;
+  edge_first : int array;  (* per node: first slot in the edge arrays *)
+  edge_count : int array;
+  rest : int array;  (* per node: rest-node index, or -1 *)
+  leaf_first : int array;  (* per leaf: first slot in [postings] *)
+  leaf_count : int array;
+  (* Shared edge arrays (CSR payload). *)
+  edge_pos : int array;  (* doubled rank per edge, ascending per node *)
+  edge_child : int array;  (* flat node index per edge *)
+  postings : int array;  (* all leaf id lists, ascending per leaf *)
+  root : int;  (* -1 when no profiles are registered *)
+  seen_size : int;  (* max live profile id + 1 *)
+  out_size : int;  (* live profile count: worst-case match set *)
+}
+
+type cursor = {
+  targets : int array;
+  seen : int array;  (* epoch stamps, by profile id *)
+  out : int array;
+  mutable len : int;
+  mutable epoch : int;
+}
+
+module Vec = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create () = { a = Array.make 16 0; len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.a then begin
+      let b = Array.make (2 * v.len) 0 in
+      Array.blit v.a 0 b 0 v.len;
+      v.a <- b
+    end;
+    v.a.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let to_array v = Array.sub v.a 0 v.len
+end
+
+(* Shared subtrees are physically shared by the tree's hash-consing,
+   so physical identity is the right memo key; the structural default
+   hash is depth-bounded and cheap. *)
+module Phys = Hashtbl.Make (struct
+  type t = Tree.node
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+(* Tables above this many slots fall back to the generic bisection
+   path: a sparse gigantic int domain must not inflate the compiled
+   form. *)
+let max_table = 1 lsl 16
+
+let build_lookup decomp pos2 attr dom =
+  let target_of_coord c =
+    match Decomp.cell_of_coord decomp ~attr c with
+    | Some cell -> pos2.(attr).(cell)
+    | None -> out_of_domain
+  in
+  match dom with
+  | Domain.Int_range { lo; hi } when hi - lo < max_table ->
+    Int_table
+      {
+        lo;
+        tbl =
+          Array.init (hi - lo + 1) (fun i ->
+              target_of_coord (float_of_int (lo + i)));
+      }
+  | Domain.Enum vs ->
+    Rank_table
+      (Array.init (Array.length vs) (fun r -> target_of_coord (float_of_int r)))
+  | Domain.Bool_dom ->
+    Rank_table (Array.init 2 (fun r -> target_of_coord (float_of_int r)))
+  | Domain.Int_range _ | Domain.Float_range _ -> Generic
+
+let compile (tree : Tree.t) =
+  let decomp = tree.Tree.decomp in
+  let arity = Decomp.arity decomp in
+  let strategy =
+    Array.map code_of_strategy tree.Tree.config.Tree.strategies
+  in
+  let pos2 =
+    Array.map
+      (fun (tb : Order.table) -> Array.map pos2_of_float tb.Order.positions)
+      tree.Tree.tables
+  in
+  let schema = decomp.Decomp.schema in
+  let domains =
+    Array.init arity (fun i -> (Schema.attribute schema i).Schema.domain)
+  in
+  let lookup = Array.mapi (build_lookup decomp pos2) domains in
+  let node_attr = Vec.create () and edge_first = Vec.create () in
+  let edge_count = Vec.create () and rest = Vec.create () in
+  let leaf_first = Vec.create () and leaf_count = Vec.create () in
+  let edge_pos = Vec.create () and edge_child = Vec.create () in
+  let postings = Vec.create () in
+  let memo = Phys.create 256 in
+  let alloc ~attr ~efirst ~ecount ~rest:r ~lfirst ~lcount =
+    let id = node_attr.Vec.len in
+    Vec.push node_attr attr;
+    Vec.push edge_first efirst;
+    Vec.push edge_count ecount;
+    Vec.push rest r;
+    Vec.push leaf_first lfirst;
+    Vec.push leaf_count lcount;
+    id
+  in
+  let rec go node =
+    match Phys.find_opt memo node with
+    | Some id -> id
+    | None ->
+      let id =
+        match node with
+        | Tree.Leaf ids ->
+          let lfirst = postings.Vec.len in
+          Array.iter (Vec.push postings) ids;
+          alloc ~attr:(-1) ~efirst:0 ~ecount:0 ~rest:(-1) ~lfirst
+            ~lcount:(Array.length ids)
+        | Tree.Node { attr; edge_positions; children; rest = r; _ } ->
+          (* Children first so this node's edge slots stay contiguous. *)
+          let child_ids = Array.map go children in
+          let rest_id = match r with Some c -> go c | None -> -1 in
+          let efirst = edge_pos.Vec.len in
+          Array.iteri
+            (fun j p ->
+              Vec.push edge_pos (pos2_of_float p);
+              Vec.push edge_child child_ids.(j))
+            edge_positions;
+          alloc ~attr ~efirst ~ecount:(Array.length edge_positions)
+            ~rest:rest_id ~lfirst:0 ~lcount:0
+      in
+      Phys.replace memo node id;
+      id
+  in
+  let root = match tree.Tree.root with Some r -> go r | None -> -1 in
+  let ids = decomp.Decomp.ids in
+  let nlive = Array.length ids in
+  {
+    decomp;
+    arity;
+    strategy;
+    pos2;
+    domains;
+    lookup;
+    node_attr = Vec.to_array node_attr;
+    edge_first = Vec.to_array edge_first;
+    edge_count = Vec.to_array edge_count;
+    rest = Vec.to_array rest;
+    leaf_first = Vec.to_array leaf_first;
+    leaf_count = Vec.to_array leaf_count;
+    edge_pos = Vec.to_array edge_pos;
+    edge_child = Vec.to_array edge_child;
+    postings = Vec.to_array postings;
+    root;
+    seen_size = (if nlive = 0 then 0 else ids.(nlive - 1) + 1);
+    out_size = nlive;
+  }
+
+let revision t = t.decomp.Decomp.revision
+
+let node_count t = Array.length t.node_attr
+
+let edge_count t = Array.length t.edge_pos
+
+let posting_count t = Array.length t.postings
+
+let cursor t =
+  {
+    targets = Array.make t.arity 0;
+    seen = Array.make t.seen_size 0;
+    out = Array.make t.out_size 0;
+    len = 0;
+    epoch = 0;
+  }
+
+let check_cursor t cur ~who =
+  if
+    Array.length cur.targets <> t.arity
+    || Array.length cur.seen < t.seen_size
+    || Array.length cur.out < t.out_size
+  then invalid_arg (who ^ ": cursor built for a different matcher")
+
+(* The traversal core: follows the single deterministic path from the
+   root, mirroring Tree.match_targets edge for edge. Comparison and
+   node-visit counts are bit-identical to the pointer tree (the scan
+   branches replicate Tree.scan over the doubled-rank encoding). *)
+let run ?ops t cur =
+  cur.epoch <- cur.epoch + 1;
+  cur.len <- 0;
+  let comparisons = ref 0 and node_visits = ref 0 in
+  if t.root >= 0 then begin
+    let node = ref t.root and live = ref true in
+    while !live do
+      let i = !node in
+      let a = Array.unsafe_get t.node_attr i in
+      if a < 0 then begin
+        (* Leaf: publish the postings slice, deduped by epoch stamp
+           (ids are ascending per leaf, so the output stays sorted). *)
+        let first = t.leaf_first.(i) in
+        let epoch = cur.epoch in
+        for k = first to first + t.leaf_count.(i) - 1 do
+          let id = Array.unsafe_get t.postings k in
+          if Array.unsafe_get cur.seen id <> epoch then begin
+            Array.unsafe_set cur.seen id epoch;
+            Array.unsafe_set cur.out cur.len id;
+            cur.len <- cur.len + 1
+          end
+        done;
+        live := false
+      end
+      else begin
+        incr node_visits;
+        let target = Array.unsafe_get cur.targets a in
+        let first = t.edge_first.(i) and n = t.edge_count.(i) in
+        let hit = ref (-1) in
+        if n > 0 then begin
+          let code = Array.unsafe_get t.strategy a in
+          if code = code_linear then begin
+            (* Early-stopping scan: cost j+1 on the deciding edge, n on
+               exhaustion — exactly Tree.scan's Linear branch. *)
+            let j = ref 0 and scanning = ref true in
+            while !scanning && !j < n do
+              let p = Array.unsafe_get t.edge_pos (first + !j) in
+              if p >= target then begin
+                comparisons := !comparisons + !j + 1;
+                if p = target then hit := !j;
+                scanning := false
+              end
+              else incr j
+            done;
+            if !scanning then comparisons := !comparisons + n
+          end
+          else begin
+            (* Binary and hashed both locate by bisection (the int
+               mirror of Order.bisect); binary charges the probes,
+               hashed charges one comparison. *)
+            let lo = ref 0 and hi = ref (n - 1) in
+            let probes = ref 0 in
+            while !hit < 0 && !lo <= !hi do
+              let mid = (!lo + !hi) / 2 in
+              incr probes;
+              let p = Array.unsafe_get t.edge_pos (first + mid) in
+              if p = target then hit := mid
+              else if p < target then lo := mid + 1
+              else hi := mid - 1
+            done;
+            comparisons :=
+              !comparisons + (if code = code_binary then !probes else 1)
+          end
+        end;
+        if !hit >= 0 then node := t.edge_child.(first + !hit)
+        else begin
+          let r = t.rest.(i) in
+          if r >= 0 then node := r else live := false
+        end
+      end
+    done
+  end;
+  (match ops with
+  | Some o ->
+    o.Ops.comparisons <- o.Ops.comparisons + !comparisons;
+    o.Ops.node_visits <- o.Ops.node_visits + !node_visits;
+    o.Ops.events <- o.Ops.events + 1;
+    o.Ops.matches <- o.Ops.matches + cur.len
+  | None -> ());
+  cur.len
+
+let generic_target t attr v =
+  match Axis.coord t.domains.(attr) v with
+  | None -> out_of_domain
+  | Some c -> (
+    match Decomp.cell_of_coord t.decomp ~attr c with
+    | Some cell -> t.pos2.(attr).(cell)
+    | None -> out_of_domain)
+
+let set_event_targets t cur event =
+  for attr = 0 to t.arity - 1 do
+    let v = Event.value event attr in
+    cur.targets.(attr) <-
+      (match Array.unsafe_get t.lookup attr with
+      | Int_table { lo; tbl } -> (
+        match v with
+        | Value.Int x ->
+          let i = x - lo in
+          if i >= 0 && i < Array.length tbl then Array.unsafe_get tbl i
+          else out_of_domain
+        | _ -> out_of_domain)
+      | Rank_table tbl -> (
+        match Domain.rank t.domains.(attr) v with
+        | Some r -> tbl.(r)
+        | None -> out_of_domain)
+      | Generic -> generic_target t attr v)
+  done
+
+let match_into ?ops t cur event =
+  check_cursor t cur ~who:"Flat.match_into";
+  set_event_targets t cur event;
+  run ?ops t cur
+
+let match_coords_into ?ops t cur coords =
+  check_cursor t cur ~who:"Flat.match_coords_into";
+  if Array.length coords <> t.arity then
+    invalid_arg "Flat.match_coords_into: wrong arity";
+  for attr = 0 to t.arity - 1 do
+    let c = coords.(attr) in
+    cur.targets.(attr) <-
+      (match Decomp.cell_of_coord t.decomp ~attr c with
+      | Some cell -> t.pos2.(attr).(cell)
+      | None -> out_of_domain)
+  done;
+  run ?ops t cur
+
+let matches cur = cur.out
+
+let match_count cur = cur.len
+
+let iter_matches cur f =
+  for i = 0 to cur.len - 1 do
+    f cur.out.(i)
+  done
+
+let match_list ?ops t cur event =
+  let n = match_into ?ops t cur event in
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) (cur.out.(i) :: acc)
+  in
+  build (n - 1) []
+
+let match_batch ?ops t cur events ~f =
+  check_cursor t cur ~who:"Flat.match_batch";
+  for i = 0 to Array.length events - 1 do
+    set_event_targets t cur (Array.unsafe_get events i);
+    let len = run ?ops t cur in
+    f i ~ids:cur.out ~len
+  done

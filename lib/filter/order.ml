@@ -80,20 +80,25 @@ let linear_cost ~edge_positions ~target =
   in
   if n = 0 then (0, false) else scan 0
 
-let binary_cost ~edge_positions ~target =
+(* The one bisection loop in the codebase: [binary_cost], the tree's
+   Binary and Hashed scans, and the flat matcher's analytic mirror all
+   delegate here, so the probe sequence (and therefore the charged
+   comparison count) cannot drift between the analytic and runtime
+   paths. *)
+let bisect ~edge_positions ~target =
   let n = Array.length edge_positions in
-  if n = 0 then (0, false)
-  else begin
-    let lo = ref 0 and hi = ref (n - 1) in
-    let probes = ref 0 in
-    let found = ref false in
-    while (not !found) && !lo <= !hi do
-      let mid = (!lo + !hi) / 2 in
-      incr probes;
-      let p = edge_positions.(mid) in
-      if p = target then found := true
-      else if p < target then lo := mid + 1
-      else hi := mid - 1
-    done;
-    (!probes, !found)
-  end
+  let lo = ref 0 and hi = ref (n - 1) in
+  let probes = ref 0 and found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    incr probes;
+    let p = edge_positions.(mid) in
+    if p = target then found := mid
+    else if p < target then lo := mid + 1
+    else hi := mid - 1
+  done;
+  (!probes, if !found < 0 then None else Some !found)
+
+let binary_cost ~edge_positions ~target =
+  let probes, hit = bisect ~edge_positions ~target in
+  (probes, hit <> None)

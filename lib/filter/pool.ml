@@ -1,0 +1,51 @@
+type t = { domains : int }
+
+let create ?domains () =
+  let d =
+    match domains with
+    | Some d -> d
+    | None -> Domain.recommended_domain_count ()
+  in
+  if d < 1 then invalid_arg "Pool.create: need at least one domain";
+  { domains = d }
+
+let domains t = t.domains
+
+(* One worker's share: events [lo, hi) matched through a private cursor
+   into the shared results array (disjoint slots, so no two domains
+   ever write the same cell), private Ops returned for the post-barrier
+   merge. *)
+let run_range flat events (results : int array array) lo hi =
+  let cur = Flat.cursor flat in
+  let ops = Ops.create () in
+  for i = lo to hi - 1 do
+    let len = Flat.match_into ~ops flat cur events.(i) in
+    results.(i) <- Array.sub (Flat.matches cur) 0 len
+  done;
+  ops
+
+let match_batch ?ops pool flat events =
+  let n = Array.length events in
+  let results = Array.make n [||] in
+  let workers = min pool.domains (max 1 n) in
+  let merge worker_ops =
+    match ops with Some o -> Ops.add worker_ops ~into:o | None -> ()
+  in
+  if workers <= 1 then merge (run_range flat events results 0 n)
+  else begin
+    let chunk = (n + workers - 1) / workers in
+    let handles =
+      List.init (workers - 1) (fun k ->
+          let lo = (k + 1) * chunk in
+          let hi = min n (lo + chunk) in
+          Domain.spawn (fun () -> run_range flat events results lo hi))
+    in
+    let local = run_range flat events results 0 (min n chunk) in
+    (* Barrier: join every worker, then merge the private counters.
+       Ops fields are commutative sums, so the totals match a
+       single-domain run bit for bit. *)
+    let worker_ops = List.map Domain.join handles in
+    merge local;
+    List.iter merge worker_ops
+  end;
+  results

@@ -1,0 +1,32 @@
+(** Multicore publish fan-out: a pool of OCaml 5 domains that
+    partitions an event batch across workers, each matching through its
+    own {!Flat.cursor} and private {!Ops.t} accumulator.
+
+    The compiled {!Flat.t} is immutable and the decomposition snapshot
+    it references is read-only after construction, so workers share
+    them with zero coordination; per-worker operation counters are
+    merged into the caller's [?ops] after the join barrier, and
+    [comparisons]/[node_visits]/[matches] totals are deterministic —
+    identical to a single-domain run over the same batch, regardless of
+    the partition. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [domains] defaults to [Domain.recommended_domain_count ()] and is
+    what a batch is split into at most (a batch of [k < domains] events
+    uses [k] workers). Values above the host's recommended count are
+    allowed — useful for determinism tests — but buy no speedup.
+
+    @raise Invalid_argument if [domains < 1]. *)
+
+val domains : t -> int
+
+val match_batch :
+  ?ops:Ops.t -> t -> Flat.t -> Genas_model.Event.t array ->
+  Genas_profile.Profile_set.id array array
+(** Match every event of the batch, returning one ascending id array
+    per event (index-aligned with the input). The batch is split into
+    [domains] contiguous chunks; one chunk runs on the calling domain,
+    the rest on spawned domains joined before returning. With one
+    domain (or a one-event batch) no domain is spawned. *)

@@ -211,30 +211,11 @@ let scan strategy ~edge_positions ~target =
           else scan (i + 1)
       in
       scan 0
-    | Order.Binary ->
-      let lo = ref 0 and hi = ref (n - 1) in
-      let probes = ref 0 and found = ref None in
-      while !found = None && !lo <= !hi do
-        let mid = (!lo + !hi) / 2 in
-        incr probes;
-        let p = edge_positions.(mid) in
-        if p = target then found := Some mid
-        else if p < target then lo := mid + 1
-        else hi := mid - 1
-      done;
-      (!probes, !found)
+    | Order.Binary -> Order.bisect ~edge_positions ~target
     | Order.Hashed ->
       (* One charged comparison; the edge is located by bisection. *)
-      let lo = ref 0 and hi = ref (n - 1) in
-      let found = ref None in
-      while !found = None && !lo <= !hi do
-        let mid = (!lo + !hi) / 2 in
-        let p = edge_positions.(mid) in
-        if p = target then found := Some mid
-        else if p < target then lo := mid + 1
-        else hi := mid - 1
-      done;
-      (1, !found)
+      let _, found = Order.bisect ~edge_positions ~target in
+      (1, found)
 
 let match_targets ?ops t targets =
   (* [targets.(attr)] = lookup position of the event's cell on that

@@ -1,0 +1,64 @@
+The bench subcommand's --json mode emits the BENCH_*.json document.
+It must pass the strict validator (the CLI also self-validates before
+writing anything):
+
+  $ ../../bin/genas_cli.exe bench --json --events 1000 --out bench.json
+  $ ../../bin/genas_cli.exe jsoncheck < bench.json
+  ok
+
+Pin the document schema: header, workload and host blocks, derived
+speedups.
+
+  $ grep -c '"bench": "genas-perf"' bench.json
+  1
+  $ grep -c '"schema_version": 1' bench.json
+  1
+  $ grep -c '"profiles": 500' bench.json
+  1
+  $ grep -c '"recommended_domains"' bench.json
+  1
+  $ grep -c '"flat_vs_tree"' bench.json
+  1
+  $ grep -c '"flat_batch_vs_tree"' bench.json
+  1
+  $ grep -c '"pool_peak_vs_1_domain"' bench.json
+  1
+
+Every matcher and strategy appears exactly once (pool rows beyond d1
+and d2 depend on the host's core count, so only those two are pinned):
+
+  $ grep -o '"name": "[^"]*"' bench.json | sed 's/"name": //' | grep -v 'pool'
+  "naive"
+  "counting"
+  "tree/natural"
+  "flat/natural"
+  "tree/v1+a2"
+  "flat/v1+a2"
+  "tree/binary"
+  "flat/binary"
+  "flat-batch/v1+a2"
+  $ grep -c '"name": "pool/v1+a2/d1"' bench.json
+  1
+  $ grep -c '"name": "pool/v1+a2/d2"' bench.json
+  1
+
+Each result row carries the per-matcher figures:
+
+  $ n=$(grep -c '"name"' bench.json)
+  $ test "$n" -eq "$(grep -c '"events_per_sec"' bench.json)" && echo aligned
+  aligned
+  $ test "$n" -eq "$(grep -c '"comparisons_per_event"' bench.json)" && echo aligned
+  aligned
+
+The comparison counts are deterministic (wall clock is not): the flat
+matcher must report bit-identical comparisons/event to the pointer
+tree it was compiled from.
+
+  $ grep -A 6 '"name": "tree/v1+a2"' bench.json | grep '"comparisons_per_event"' > tree.cmp
+  $ grep -A 6 '"name": "flat/v1+a2"' bench.json | grep '"comparisons_per_event"' > flat.cmp
+  $ cmp tree.cmp flat.cmp
+
+Bad arguments are rejected:
+
+  $ ../../bin/genas_cli.exe bench --events 0 2>/dev/null
+  [1]

@@ -1,0 +1,284 @@
+(* Differential fuzz suite for the compiled flat-array matcher: the
+   flat form must return the exact match sets of the pointer tree, the
+   naive oracle, and the counting matcher, with comparison/node-visit
+   counters bit-identical to the tree — the paper's figures must not
+   move when the engine executes the compiled form. *)
+
+module Value = Genas_model.Value
+module Domain = Genas_model.Domain
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Predicate = Genas_profile.Predicate
+module Profile = Genas_profile.Profile
+module Profile_set = Genas_profile.Profile_set
+module Decomp = Genas_filter.Decomp
+module Tree = Genas_filter.Tree
+module Flat = Genas_filter.Flat
+module Pool = Genas_filter.Pool
+module Naive = Genas_filter.Naive
+module Counting = Genas_filter.Counting
+module Ops = Genas_filter.Ops
+module Stats = Genas_core.Stats
+module Selectivity = Genas_core.Selectivity
+module Reorder = Genas_core.Reorder
+module Engine = Genas_core.Engine
+module Gen = Genas_testlib.Gen
+
+(* Every value-strategy family the reorderer can emit, so the flat
+   scan's linear, binary, and hashed branches are all exercised. *)
+let specs =
+  [
+    ("natural", { Reorder.attr_choice = Reorder.Attr_natural;
+                  value_choice = `Measure Selectivity.V_natural_asc });
+    ("v1+a2", { Reorder.attr_choice =
+                  Reorder.Attr_measured (Selectivity.A2, `Descending);
+                value_choice = `Measure Selectivity.V1 });
+    ("binary", { Reorder.attr_choice = Reorder.Attr_natural;
+                 value_choice = `Binary });
+    ("hashed", { Reorder.attr_choice = Reorder.Attr_natural;
+                 value_choice = `Hashed });
+  ]
+
+let trees_of pset =
+  let stats = Stats.create (Decomp.build pset) in
+  List.map (fun (name, spec) -> (name, Reorder.build stats spec)) specs
+
+let ops_eq a b =
+  a.Ops.comparisons = b.Ops.comparisons
+  && a.Ops.node_visits = b.Ops.node_visits
+  && a.Ops.events = b.Ops.events
+  && a.Ops.matches = b.Ops.matches
+
+let check_tree_vs_flat ~name tree events =
+  let flat = Flat.compile tree in
+  let cur = Flat.cursor flat in
+  let tree_ops = Ops.create () and flat_ops = Ops.create () in
+  List.for_all
+    (fun e ->
+      let expect = Tree.match_event ~ops:tree_ops tree e in
+      let got = Flat.match_list ~ops:flat_ops flat cur e in
+      if got <> expect then
+        QCheck.Test.fail_reportf "%s: flat %s <> tree %s" name
+          (String.concat "," (List.map string_of_int got))
+          (String.concat "," (List.map string_of_int expect))
+      else if not (ops_eq tree_ops flat_ops) then
+        QCheck.Test.fail_reportf "%s: ops drift: tree %a, flat %a" name Ops.pp
+          tree_ops Ops.pp flat_ops
+      else true)
+    events
+
+let prop_flat_equals_tree =
+  QCheck.Test.make ~name:"flat = tree (matches and ops), all strategies"
+    ~count:60
+    (QCheck.make (Gen.scenario ~max_attrs:4 ~max_p:15 ~n_events:30 ()))
+    (fun (_, pset, events) ->
+      List.for_all
+        (fun (name, tree) -> check_tree_vs_flat ~name tree events)
+        (trees_of pset))
+
+let prop_flat_equals_baselines =
+  QCheck.Test.make ~name:"flat = naive = counting match sets" ~count:60
+    (QCheck.make (Gen.scenario ~max_attrs:4 ~max_p:15 ~n_events:30 ()))
+    (fun (_, pset, events) ->
+      let naive = Naive.build pset in
+      let counting = Counting.build pset in
+      let stats = Stats.create (Decomp.build pset) in
+      let flat = Flat.compile (Reorder.build stats Reorder.default_spec) in
+      let cur = Flat.cursor flat in
+      List.for_all
+        (fun e ->
+          let oracle = Naive.match_event naive e in
+          Flat.match_list flat cur e = oracle
+          && Counting.match_event counting e = oracle)
+        events)
+
+let prop_batch_equals_sequential =
+  QCheck.Test.make ~name:"match_batch = per-event match_into" ~count:40
+    (QCheck.make (Gen.scenario ~max_attrs:3 ~max_p:10 ~n_events:20 ()))
+    (fun (_, pset, events) ->
+      let stats = Stats.create (Decomp.build pset) in
+      let flat = Flat.compile (Reorder.build stats Reorder.default_spec) in
+      let events = Array.of_list events in
+      let seq_cur = Flat.cursor flat in
+      let seq =
+        Array.map (fun e -> Array.of_list (Flat.match_list flat seq_cur e)) events
+      in
+      let got = Array.make (Array.length events) [||] in
+      let batch_cur = Flat.cursor flat in
+      Flat.match_batch flat batch_cur events ~f:(fun i ~ids ~len ->
+          got.(i) <- Array.sub ids 0 len);
+      got = seq)
+
+let prop_pool_equals_one_domain =
+  QCheck.Test.make ~name:"pool d4 = pool d1 = sequential (matches and ops)"
+    ~count:25
+    (QCheck.make (Gen.scenario ~max_attrs:3 ~max_p:12 ~n_events:40 ()))
+    (fun (_, pset, events) ->
+      let stats = Stats.create (Decomp.build pset) in
+      let flat = Flat.compile (Reorder.build stats Reorder.default_spec) in
+      let events = Array.of_list events in
+      let run domains =
+        let ops = Ops.create () in
+        let r = Pool.match_batch ~ops (Pool.create ~domains ()) flat events in
+        (r, ops)
+      in
+      let r1, ops1 = run 1 in
+      let r4, ops4 = run 4 in
+      r1 = r4 && ops_eq ops1 ops4)
+
+let prop_engine_batch_equals_match_event =
+  QCheck.Test.make ~name:"Engine.match_batch = Engine.match_event loop"
+    ~count:25
+    (QCheck.make (Gen.scenario ~max_attrs:3 ~max_p:10 ~n_events:20 ()))
+    (fun (_, pset, events) ->
+      let events = Array.of_list events in
+      let seq =
+        let engine = Engine.create pset in
+        Array.map
+          (fun e -> Array.of_list (Engine.match_event engine e))
+          events
+      in
+      let batched =
+        let engine = Engine.create pset in
+        Engine.match_batch engine events
+      in
+      let pooled =
+        let engine = Engine.create pset in
+        Engine.match_batch ~pool:(Pool.create ~domains:3 ()) engine events
+      in
+      seq = batched && seq = pooled)
+
+(* ------------------------------------------------------------------ *)
+(* Edge cases. *)
+
+let schema () =
+  Schema.create_exn
+    [
+      ("x", Domain.int_range ~lo:0 ~hi:9);
+      ("s", Domain.enum [ "a"; "b"; "c" ]);
+    ]
+
+let pset_of schema specs =
+  let pset = Profile_set.create schema in
+  List.iter
+    (fun tests ->
+      ignore (Profile_set.add pset (Profile.create_exn schema tests)))
+    specs;
+  pset
+
+let event s x sv =
+  Event.create_exn s [ ("x", Value.Int x); ("s", Value.Str sv) ]
+
+let flat_of pset =
+  let stats = Stats.create (Decomp.build pset) in
+  Flat.compile (Reorder.build stats Reorder.default_spec)
+
+let test_empty_tree () =
+  let s = schema () in
+  let pset = Profile_set.create s in
+  let flat = flat_of pset in
+  let cur = Flat.cursor flat in
+  Alcotest.(check (list int)) "no profiles, no matches" []
+    (Flat.match_list flat cur (event s 3 "a"));
+  Alcotest.(check int) "no flat nodes" 0 (Flat.node_count flat)
+
+let test_all_dont_care () =
+  let s = schema () in
+  (* One unconstrained profile, one constrained, one unconstrained:
+     don't-care ids must survive dedup and stay ascending. *)
+  let pset =
+    pset_of s [ []; [ ("x", Predicate.Eq (Value.Int 1)) ]; [] ]
+  in
+  let flat = flat_of pset in
+  let cur = Flat.cursor flat in
+  Alcotest.(check (list int)) "don't-cares always match" [ 0; 2 ]
+    (Flat.match_list flat cur (event s 5 "a"));
+  Alcotest.(check (list int)) "plus the constrained one" [ 0; 1; 2 ]
+    (Flat.match_list flat cur (event s 1 "c"))
+
+let test_out_of_domain_coords () =
+  let s = schema () in
+  let pset =
+    pset_of s
+      [
+        [ ("x", Predicate.Ge (Value.Int 5)) ];
+        [ ("s", Predicate.Eq (Value.Str "b")) ];
+      ]
+  in
+  let stats = Stats.create (Decomp.build pset) in
+  let tree = Reorder.build stats Reorder.default_spec in
+  let flat = Flat.compile tree in
+  let cur = Flat.cursor flat in
+  List.iter
+    (fun coords ->
+      let tree_ops = Ops.create () and flat_ops = Ops.create () in
+      let expect = Tree.match_coords ~ops:tree_ops tree coords in
+      let n = Flat.match_coords_into ~ops:flat_ops flat cur coords in
+      let got = Array.to_list (Array.sub (Flat.matches cur) 0 n) in
+      Alcotest.(check (list int)) "coords agree" expect got;
+      Alcotest.(check bool) "ops agree" true (ops_eq tree_ops flat_ops))
+    [
+      [| -1e9; 0.0 |];  (* far below the x axis *)
+      [| 1e9; 1.0 |];  (* far above *)
+      [| 0.5; 0.0 |];  (* fractional on a discrete axis *)
+      [| 7.0; 99.0 |];  (* enum rank out of range *)
+      [| 7.0; 1.0 |];  (* in domain, for contrast *)
+    ]
+
+let test_foreign_cursor_rejected () =
+  let s = schema () in
+  let flat_a = flat_of (pset_of s [ [ ("x", Predicate.Eq (Value.Int 1)) ] ]) in
+  let flat_b =
+    flat_of
+      (pset_of s
+         [
+           [ ("x", Predicate.Eq (Value.Int 1)) ];
+           [ ("x", Predicate.Eq (Value.Int 2)) ];
+           [ ("s", Predicate.Eq (Value.Str "a")) ];
+         ])
+  in
+  let cur_a = Flat.cursor flat_a in
+  Alcotest.check_raises "foreign cursor"
+    (Invalid_argument "Flat.match_into: cursor built for a different matcher")
+    (fun () -> ignore (Flat.match_into flat_b cur_a (event s 1 "a")))
+
+let test_sharing_preserved () =
+  let s = schema () in
+  let pset =
+    pset_of s
+      [
+        [ ("x", Predicate.Le (Value.Int 4)) ];
+        [ ("x", Predicate.Ge (Value.Int 5)) ];
+        [ ("s", Predicate.Eq (Value.Str "b")) ];
+      ]
+  in
+  let stats = Stats.create (Decomp.build pset) in
+  let tree = Reorder.build stats Reorder.default_spec in
+  let st = tree.Tree.stats in
+  let flat = Flat.compile tree in
+  Alcotest.(check int) "flat nodes = tree nodes + leaves"
+    (st.Tree.nodes + st.Tree.leaves)
+    (Flat.node_count flat)
+
+let () =
+  Alcotest.run "flat"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_flat_equals_tree;
+          QCheck_alcotest.to_alcotest prop_flat_equals_baselines;
+          QCheck_alcotest.to_alcotest prop_batch_equals_sequential;
+          QCheck_alcotest.to_alcotest prop_pool_equals_one_domain;
+          QCheck_alcotest.to_alcotest prop_engine_batch_equals_match_event;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "empty tree" `Quick test_empty_tree;
+          Alcotest.test_case "all don't-care" `Quick test_all_dont_care;
+          Alcotest.test_case "out-of-domain coords" `Quick
+            test_out_of_domain_coords;
+          Alcotest.test_case "foreign cursor" `Quick
+            test_foreign_cursor_rejected;
+          Alcotest.test_case "sharing preserved" `Quick test_sharing_preserved;
+        ] );
+    ]
