@@ -1,7 +1,7 @@
 # Convenience targets; `make check` is the tier-1 gate (build + tests
 # + the seconds-scale bench smoke).
 
-.PHONY: all build test check bench bench-smoke bench-json clean
+.PHONY: all build test check faultcheck bench bench-smoke bench-json clean
 
 all: build
 
@@ -12,7 +12,13 @@ test:
 	dune runtest
 
 check:
-	dune build @all && dune runtest && $(MAKE) bench-smoke
+	dune build @all && dune runtest && $(MAKE) faultcheck && $(MAKE) bench-smoke
+
+# Fault-injection suite: the supervised-delivery unit tests plus the
+# deterministic CLI demo pinned by test/cram/faults.t.
+faultcheck:
+	dune build test/test_fault.exe bin/genas_cli.exe @test/cram/faults
+	./_build/default/test/test_fault.exe -q
 
 bench:
 	dune exec bench/main.exe -- all

@@ -352,6 +352,99 @@ let run_bench json events out =
   | Some path ->
     Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc output)
 
+(* ------------------------------------------------------------------ *)
+(* Fault-injection demo: a routed network driven through a seeded
+   fault plan. Identical seeds replay identical traces, which the cram
+   suite pins byte-for-byte.                                           *)
+
+let run_faults seed events handler_fail drop dup delay pause retries =
+  if events <= 0 then or_die (Error "need a positive --events count");
+  let module Router = Genas_ens.Router in
+  let module Fault = Genas_ens.Fault in
+  let module Supervise = Genas_ens.Supervise in
+  let module Deadletter = Genas_ens.Deadletter in
+  let module Profile = Genas_profile.Profile in
+  let module Predicate = Genas_profile.Predicate in
+  let module Value = Genas_model.Value in
+  let schema =
+    Schema.create_exn
+      [
+        ("topic", Domain.enum [ "weather"; "traffic"; "energy" ]);
+        ("severity", Domain.int_range ~lo:0 ~hi:9);
+      ]
+  in
+  let faults, retry =
+    try
+      ( Fault.plan ~seed
+          {
+            Fault.handler_failure = [ ("flaky", handler_fail) ];
+            link_drop = drop;
+            link_duplicate = dup;
+            link_delay = delay;
+            broker_pause = pause;
+          },
+        Supervise.retry_policy ~max_attempts:retries ~jitter_seed:seed
+          ~trip_after:4 ~cooldown:8 () )
+    with Invalid_argument msg -> or_die (Error msg)
+  in
+  let net =
+    try Router.line schema ~nodes:4 ~retry ~faults
+    with Invalid_argument msg -> or_die (Error msg)
+  in
+  let sub at who preds =
+    ignore
+      (Router.subscribe net ~at ~subscriber:who
+         ~profile:(Profile.create_exn schema preds)
+         (fun _ -> ()))
+  in
+  sub 3 "ops" [ ("topic", Predicate.Eq (Value.Str "weather")) ];
+  sub 2 "flaky" [ ("severity", Predicate.Ge (Value.Int 5)) ];
+  sub 0 "audit" [ ("severity", Predicate.Ge (Value.Int 8)) ];
+  let rng = Genas_prng.Prng.create ~seed in
+  let topics = [| "weather"; "traffic"; "energy" |] in
+  for i = 0 to events - 1 do
+    let ev =
+      Event.create_exn ~time:(float_of_int i) schema
+        [
+          ("topic", Value.Str (Genas_prng.Prng.choice rng topics));
+          ("severity", Value.Int (Genas_prng.Prng.int rng ~bound:10));
+        ]
+    in
+    ignore (Router.publish net ~at:(Genas_prng.Prng.int rng ~bound:4) ev)
+  done;
+  let s = Router.supervisor net in
+  let dlq = Router.deadletter net in
+  Printf.printf "topology 0-1-2-3, %d events, seed %d\n" events seed;
+  Printf.printf "delivered %d  event-messages %d\n"
+    (Router.notifications net) (Router.event_messages net);
+  Printf.printf "link faults: %d dropped, %d duplicated, %d delayed; %d broker pauses\n"
+    (Router.link_drops net) (Router.link_duplicates net)
+    (Router.link_delays net) (Router.broker_pauses net);
+  Printf.printf
+    "supervision: %d failed attempts, %d retries, %d dead-lettered, %d \
+     short-circuited, %d circuit trips\n"
+    (Supervise.failures s) (Supervise.retries s) (Supervise.deadlettered s)
+    (Supervise.short_circuited s) (Supervise.trips s);
+  Printf.printf "dead-letter queue: %d held (capacity %d, %d dropped)\n"
+    (Deadletter.length dlq) (Deadletter.capacity dlq) (Deadletter.dropped dlq);
+  (match Deadletter.entries dlq with
+  | [] -> ()
+  | e :: _ ->
+    Printf.printf "  oldest: #%d %s after %d attempt(s): %s\n"
+      e.Deadletter.seq e.Deadletter.notification.Genas_ens.Notification.subscriber
+      e.Deadletter.attempts e.Deadletter.error);
+  let trace = Fault.trace faults in
+  Printf.printf "fault trace: %d injected\n" (Fault.injected faults);
+  List.iteri
+    (fun i f ->
+      if i < 5 then Format.printf "  %a@." Fault.pp_fault f)
+    trace;
+  Printf.printf "circuit(flaky) = %s\n"
+    (match Supervise.circuit s "flaky" with
+    | Supervise.Closed -> "closed"
+    | Supervise.Open -> "open"
+    | Supervise.Half_open -> "half-open")
+
 let run_jsoncheck () =
   let input = In_channel.input_all stdin in
   match Obs.Json.validate input with
@@ -604,6 +697,47 @@ let bench_cmd =
              strategy")
     Term.(const run_bench $ json_arg $ events_arg $ out_arg)
 
+let faults_cmd =
+  let seed_arg =
+    Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Fault-plan and workload seed.")
+  in
+  let events_arg =
+    Arg.(value & opt int 200 & info [ "events" ] ~doc:"Events to publish.")
+  in
+  let handler_arg =
+    Arg.(value & opt float 0.5
+         & info [ "handler-fail" ]
+             ~doc:"Probability one delivery attempt to the flaky subscriber \
+                   raises.")
+  in
+  let drop_arg =
+    Arg.(value & opt float 0.1 & info [ "drop" ] ~doc:"Link drop probability.")
+  in
+  let dup_arg =
+    Arg.(value & opt float 0.05
+         & info [ "dup" ] ~doc:"Link duplication probability.")
+  in
+  let delay_arg =
+    Arg.(value & opt float 0.05
+         & info [ "delay" ] ~doc:"Link delay probability.")
+  in
+  let pause_arg =
+    Arg.(value & opt float 0.05
+         & info [ "pause" ] ~doc:"Broker pause probability.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 3
+         & info [ "retries" ] ~doc:"Delivery attempts per notification.")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Drive a routed broker network through a seeded fault-injection \
+             plan (flaky handler, lossy links, pausing brokers) and report \
+             the delivery, retry, dead-letter, and circuit-breaker outcome; \
+             identical seeds replay identical traces")
+    Term.(const run_faults $ seed_arg $ events_arg $ handler_arg $ drop_arg
+          $ dup_arg $ delay_arg $ pause_arg $ retries_arg)
+
 let jsoncheck_cmd =
   Cmd.v
     (Cmd.info "jsoncheck"
@@ -619,4 +753,4 @@ let () =
           (Cmd.info "genas" ~version:"1.0.0"
              ~doc:"Distribution-based event filtering (GENAS)")
           [ match_cmd; plan_cmd; simulate_cmd; dists_cmd; figures_cmd;
-            bench_cmd; metrics_cmd; jsoncheck_cmd; repl_cmd ]))
+            bench_cmd; metrics_cmd; faults_cmd; jsoncheck_cmd; repl_cmd ]))

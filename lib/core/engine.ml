@@ -155,6 +155,21 @@ let refresh_if_stale t =
       observe_tree t
   end
 
+let refresh_keeping_history t =
+  if Tree.revision t.tree <> Profile_set.revision t.pset then begin
+    let old = t.stats in
+    let decomp = Decomp.build t.pset in
+    let stats = Stats.create ~bins:t.bins decomp in
+    Stats.absorb stats ~from:old;
+    t.stats <- stats;
+    install_tree t (Reorder.build t.stats t.spec);
+    match t.instruments with
+    | None -> ()
+    | Some ins ->
+      Metrics.Counter.incr ins.rebuilds_total;
+      observe_tree t
+  end
+
 (* Match one event through the flat cursor; returns the match count,
    ids borrowed from the cursor. Counter semantics are bit-identical to
    the former Tree.match_event path. *)

@@ -80,6 +80,16 @@ val rebuild : t -> unit
 (** Re-plan the tree configuration from the current statistics (and
     current profiles) under the engine's spec. *)
 
+val refresh_keeping_history : t -> unit
+(** Refresh a stale engine (profiles changed since the last build) like
+    the implicit refresh on the next match, except that the observed
+    event history of the previous statistics is absorbed into the fresh
+    ones ({!Stats.absorb}) before the tree is re-planned — learned
+    event distributions survive the profile change instead of being
+    restarted. No-op when the engine is not stale. The router uses this
+    so one subscription retraction does not reset distribution-based
+    reordering network-wide. *)
+
 val report : t -> Cost.report
 (** Analytic expectation for the current tree under the current
     statistics. *)

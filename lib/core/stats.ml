@@ -109,3 +109,21 @@ let d0_event_prob t ~attr =
 let reset_observations t =
   Array.iter Estimator.reset t.hists;
   t.events_seen <- 0
+
+let absorb t ~from =
+  if t != from then begin
+    Array.iteri
+      (fun attr h ->
+        if attr < Array.length from.hists then
+          Estimator.merge_into ~from:from.hists.(attr) h)
+      t.hists;
+    Array.iteri
+      (fun attr assumed ->
+        if
+          attr < Array.length t.assumed
+          && t.assumed.(attr) = None
+          && Option.is_some assumed
+        then t.assumed.(attr) <- assumed)
+      from.assumed;
+    t.events_seen <- t.events_seen + from.events_seen
+  end

@@ -71,3 +71,19 @@ val d0_event_prob : t -> attr:int -> float
     zero-subdomain — the second factor of measure A2. *)
 
 val reset_observations : t -> unit
+
+val absorb : t -> from:t -> unit
+(** [absorb t ~from] merges [from]'s observed event history (the
+    per-attribute streaming histograms and the events-seen count, plus
+    any assumed event distributions [t] lacks) into [t]. The two
+    statistics objects must describe the same schema — attribute axes
+    are schema-derived, so any two decomposition snapshots of the same
+    schema qualify even when their profile sets differ. Physical
+    identity is a no-op, so absorbing a statistics object into itself
+    never double-counts.
+
+    This is how learned distributions survive a profile-set change: a
+    fresh statistics object built for the new decomposition absorbs the
+    retired one ({!Engine.refresh_keeping_history}).
+
+    @raise Invalid_argument if the attribute axes disagree. *)

@@ -47,6 +47,15 @@ let reset t =
   t.total <- 0;
   t.dropped <- 0
 
+let merge_into ~from t =
+  if not (Axis.equal from.axis t.axis) then
+    invalid_arg "Estimator.merge_into: mismatched axes";
+  if from.bins <> t.bins || from.exact <> t.exact then
+    invalid_arg "Estimator.merge_into: mismatched bin layout";
+  Array.iteri (fun i c -> t.counts.(i) <- t.counts.(i) +. c) from.counts;
+  t.total <- t.total + from.total;
+  t.dropped <- t.dropped + from.dropped
+
 let estimate ?(smoothing = 0.0) t =
   if smoothing < 0.0 then invalid_arg "Estimator.estimate: negative smoothing";
   if t.total = 0 && smoothing = 0.0 then

@@ -25,6 +25,15 @@ val dropped : t -> int
 
 val reset : t -> unit
 
+val merge_into : from:t -> t -> unit
+(** [merge_into ~from t] adds [from]'s observation counts into [t],
+    leaving [from] untouched. Both estimators must have been created
+    over the same axis with the same bin count (true for any two
+    histograms of the same attribute), so a rebuilt statistics object
+    can inherit the history its predecessor learned.
+
+    @raise Invalid_argument on mismatched axes or bin layouts. *)
+
 val estimate : ?smoothing:float -> t -> Dist.t
 (** Normalized histogram as a distribution. [smoothing] (default 0) is
     a pseudo-count added to every bin — use a small positive value to

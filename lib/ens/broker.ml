@@ -86,10 +86,12 @@ type t = {
   mutable quench : Quench.t option;  (** cache; [None] = stale *)
   mutable published : int;
   mutable notifications : int;
+  super : Supervise.t;
+  faults : Fault.t option;
   instruments : instruments option;
 }
 
-let create ?spec ?adaptive ?metrics schema =
+let create ?spec ?adaptive ?metrics ?retry ?faults ?deadletter_capacity schema =
   let pset = Profile_set.create schema in
   let engine = Engine.create ?spec ?metrics pset in
   let adaptive =
@@ -106,6 +108,10 @@ let create ?spec ?adaptive ?metrics schema =
     quench = None;
     published = 0;
     notifications = 0;
+    super =
+      Supervise.create ?policy:retry ?deadletter_capacity ?metrics
+        ~prefix:"genas_broker" ();
+    faults;
     instruments = Option.map make_instruments metrics;
   }
 
@@ -198,25 +204,38 @@ let quench t =
 let deliver_incr counter =
   match counter with None -> () | Some c -> Metrics.Counter.incr c
 
+(* Every handler invocation passes through the supervisor: a raising
+   handler is retried/dead-lettered under the broker's policy, so it
+   can neither starve later subscribers nor desynchronize the
+   published/notifications counters. Only accepted deliveries count. *)
 let deliver_prim t event id sent =
   match Hashtbl.find_opt t.handlers id with
   | None -> ()
   | Some sub ->
-    incr sent;
-    deliver_incr sub.p_delivered;
-    sub.p_handler
-      (Notification.make ~event ~profile_id:id ~subscriber:sub.p_subscriber ())
+    if
+      Supervise.deliver t.super ?faults:t.faults
+        ~subscriber:sub.p_subscriber ~handler:sub.p_handler
+        (Notification.make ~event ~origin:(Notification.Primitive id)
+           ~subscriber:sub.p_subscriber ())
+    then begin
+      incr sent;
+      deliver_incr sub.p_delivered
+    end
 
 let feed_composites t event sent =
   Hashtbl.iter
-    (fun _ c ->
+    (fun cid c ->
       List.iter
         (fun (_ : Composite.occurrence) ->
-          incr sent;
-          deliver_incr c.c_delivered;
-          c.handler
-            (Notification.make ~event ~profile_id:(-1)
-               ~subscriber:c.subscriber ()))
+          if
+            Supervise.deliver t.super ?faults:t.faults
+              ~subscriber:c.subscriber ~handler:c.handler
+              (Notification.make ~event ~origin:(Notification.Composite cid)
+                 ~subscriber:c.subscriber ())
+          then begin
+            incr sent;
+            deliver_incr c.c_delivered
+          end)
         (Composite.feed c.detector event))
     t.composites
 
@@ -277,6 +296,12 @@ let publish_quenched t event =
   end
 
 let ops t = Engine.ops t.engine
+
+let supervisor t = t.super
+
+let deadletter t = Supervise.deadletter t.super
+
+let faults t = t.faults
 
 let published t = t.published
 

@@ -16,16 +16,29 @@ val create :
   ?spec:Genas_core.Reorder.spec ->
   ?adaptive:Genas_core.Adaptive.policy ->
   ?metrics:Genas_obs.Metrics.t ->
+  ?retry:Supervise.policy ->
+  ?faults:Fault.t ->
+  ?deadletter_capacity:int ->
   Genas_model.Schema.t ->
   t
 (** [adaptive] enables periodic distribution-driven re-optimization of
     the filter tree.
 
     [metrics] instruments the broker (publish/notification counters,
-    per-subscriber delivery counters, quench-cache churn) and is
-    forwarded to the underlying engine and adaptive component; see
-    docs/OBSERVABILITY.md for the metric names. Omitted, the broker
-    performs no observability work. *)
+    per-subscriber delivery counters, quench-cache churn, delivery
+    supervision) and is forwarded to the underlying engine and adaptive
+    component; see docs/OBSERVABILITY.md for the metric names. Omitted,
+    the broker performs no observability work.
+
+    Delivery is always supervised (see {!Supervise} and
+    docs/ROBUSTNESS.md): a handler that raises never prevents delivery
+    to other subscribers, and the failed notification is dead-lettered.
+    [retry] sets the retry/backoff/circuit-breaker policy (default:
+    one attempt, no breaker); [deadletter_capacity] bounds the
+    dead-letter queue (default 1024); [faults] attaches a deterministic
+    fault-injection plan — omitted, no faults are ever injected and
+    delivery behavior is identical to an unsupervised broker as long as
+    no handler raises. *)
 
 val schema : t -> Genas_model.Schema.t
 
@@ -66,7 +79,11 @@ val unsubscribe : t -> sub_id -> bool
 
 val publish : t -> Genas_model.Event.t -> int
 (** Filter one event and deliver notifications; returns the number of
-    notifications sent. *)
+    notifications accepted by their handlers. Deliveries that fail
+    terminally (handler raised on every attempt, or the subscriber's
+    circuit is open) are dead-lettered and not counted — [published],
+    [notifications], and the broker metrics stay mutually consistent
+    whatever the handlers do. *)
 
 val publish_batch :
   ?pool:Genas_filter.Pool.t -> t -> Genas_model.Event.t array -> int
@@ -90,9 +107,21 @@ val quench : t -> Quench.t
 val ops : t -> Genas_filter.Ops.t
 (** Cumulative matcher operation counters. *)
 
+val supervisor : t -> Supervise.t
+(** The delivery supervisor: retry/failure counters, circuit states,
+    and the bounded trace of eventful deliveries. *)
+
+val deadletter : t -> Deadletter.t
+(** Terminally failed notifications, oldest first, bounded. *)
+
+val faults : t -> Fault.t option
+(** The fault plan the broker was created with, if any. *)
+
 val published : t -> int
 
 val notifications : t -> int
+(** Notifications accepted by handlers (terminal failures excluded —
+    those are visible in {!deadletter} and the supervisor counters). *)
 
 val subscription_count : t -> int
 

@@ -1,0 +1,44 @@
+type entry = {
+  notification : Notification.t;
+  attempts : int;
+  error : string;
+  seq : int;
+}
+
+type t = {
+  capacity : int;
+  q : entry Queue.t;
+  mutable total : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 1024) () =
+  if capacity < 0 then invalid_arg "Deadletter.create: negative capacity";
+  { capacity; q = Queue.create (); total = 0; dropped = 0 }
+
+let capacity t = t.capacity
+
+let length t = Queue.length t.q
+
+let total t = t.total
+
+let dropped t = t.dropped
+
+let push t entry =
+  t.total <- t.total + 1;
+  if t.capacity = 0 then t.dropped <- t.dropped + 1
+  else begin
+    if Queue.length t.q >= t.capacity then begin
+      ignore (Queue.pop t.q);
+      t.dropped <- t.dropped + 1
+    end;
+    Queue.add entry t.q
+  end
+
+let take t = Queue.take_opt t.q
+
+let entries t = List.of_seq (Queue.to_seq t.q)
+
+let iter t f = Queue.iter f t.q
+
+let clear t = Queue.clear t.q

@@ -1,0 +1,136 @@
+module Prng = Genas_prng.Prng
+
+exception Injected of string
+
+type spec = {
+  handler_failure : (string * float) list;
+  link_drop : float;
+  link_duplicate : float;
+  link_delay : float;
+  broker_pause : float;
+}
+
+let none =
+  {
+    handler_failure = [];
+    link_drop = 0.0;
+    link_duplicate = 0.0;
+    link_delay = 0.0;
+    broker_pause = 0.0;
+  }
+
+type fault =
+  | Handler_raise of { subscriber : string }
+  | Link_drop of { src : int; dst : int }
+  | Link_duplicate of { src : int; dst : int }
+  | Link_delay of { src : int; dst : int }
+  | Broker_pause of { node : int }
+
+let trace_cap = 65536
+
+type t = {
+  seed : int;
+  spec : spec;
+  (* One substream per fault category: injecting (or removing) handler
+     faults never perturbs the link draws, and vice versa — the same
+     seed replays the same per-category decision sequence. *)
+  handler_rng : Prng.t;
+  link_rng : Prng.t;
+  broker_rng : Prng.t;
+  mutable injected : int;
+  mutable trace : fault list;  (** newest first, bounded *)
+  mutable trace_len : int;
+  mutable trace_dropped : int;
+}
+
+let check_prob what p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Fault.plan: %s probability out of [0,1]" what)
+
+let plan ~seed spec =
+  check_prob "link_drop" spec.link_drop;
+  check_prob "link_duplicate" spec.link_duplicate;
+  check_prob "link_delay" spec.link_delay;
+  check_prob "broker_pause" spec.broker_pause;
+  List.iter (fun (s, p) -> check_prob ("handler_failure " ^ s) p)
+    spec.handler_failure;
+  if spec.link_drop +. spec.link_duplicate +. spec.link_delay > 1.0 then
+    invalid_arg "Fault.plan: link fault probabilities sum above 1";
+  let base = Prng.create ~seed in
+  let handler_rng = Prng.split base in
+  let link_rng = Prng.split base in
+  let broker_rng = Prng.split base in
+  {
+    seed;
+    spec;
+    handler_rng;
+    link_rng;
+    broker_rng;
+    injected = 0;
+    trace = [];
+    trace_len = 0;
+    trace_dropped = 0;
+  }
+
+let seed t = t.seed
+
+let spec t = t.spec
+
+let record t fault =
+  t.injected <- t.injected + 1;
+  if t.trace_len >= trace_cap then t.trace_dropped <- t.trace_dropped + 1
+  else begin
+    t.trace <- fault :: t.trace;
+    t.trace_len <- t.trace_len + 1
+  end
+
+let handler_raises t ~subscriber =
+  match List.assoc_opt subscriber t.spec.handler_failure with
+  | None | Some 0.0 -> false
+  | Some p ->
+    let hit = Prng.bernoulli t.handler_rng ~p in
+    if hit then record t (Handler_raise { subscriber });
+    hit
+
+let link_fate t ~src ~dst =
+  let { link_drop = d; link_duplicate = u; link_delay = y; _ } = t.spec in
+  if d = 0.0 && u = 0.0 && y = 0.0 then `Forward
+  else begin
+    let x = Prng.float t.link_rng ~bound:1.0 in
+    if x < d then begin
+      record t (Link_drop { src; dst });
+      `Drop
+    end
+    else if x < d +. u then begin
+      record t (Link_duplicate { src; dst });
+      `Duplicate
+    end
+    else if x < d +. u +. y then begin
+      record t (Link_delay { src; dst });
+      `Delay
+    end
+    else `Forward
+  end
+
+let broker_pauses t ~node =
+  if t.spec.broker_pause = 0.0 then false
+  else begin
+    let hit = Prng.bernoulli t.broker_rng ~p:t.spec.broker_pause in
+    if hit then record t (Broker_pause { node });
+    hit
+  end
+
+let injected t = t.injected
+
+let trace t = List.rev t.trace
+
+let trace_dropped t = t.trace_dropped
+
+let pp_fault ppf = function
+  | Handler_raise { subscriber } ->
+    Format.fprintf ppf "handler-raise %s" subscriber
+  | Link_drop { src; dst } -> Format.fprintf ppf "link-drop %d->%d" src dst
+  | Link_duplicate { src; dst } ->
+    Format.fprintf ppf "link-duplicate %d->%d" src dst
+  | Link_delay { src; dst } -> Format.fprintf ppf "link-delay %d->%d" src dst
+  | Broker_pause { node } -> Format.fprintf ppf "broker-pause %d" node

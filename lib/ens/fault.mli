@@ -1,0 +1,76 @@
+(** Deterministic fault injection for the notification service.
+
+    Large-scale content-based networks treat broker, link, and
+    subscriber failure as the common case; this module makes those
+    failures reproducible. A {e plan} is a seeded source of fault
+    decisions — "does this delivery attempt raise?", "does this link
+    forward, drop, duplicate, or delay?", "does this broker pause?" —
+    threaded through {!Broker} and {!Router} as an optional [?faults]
+    argument. All randomness flows through {!Genas_prng.Prng}
+    substreams split per fault category, so an identical seed and spec
+    replay the identical failure trace, and enabling handler faults
+    never perturbs the link decision stream (and vice versa).
+
+    A plan records every fault it injects in a bounded trace; tests
+    compare traces across runs to pin determinism. *)
+
+exception Injected of string
+(** Raised in place of the real handler when a plan injects a handler
+    failure; also what supervised delivery reports as the error. *)
+
+type spec = {
+  handler_failure : (string * float) list;
+      (** per-subscriber probability that one delivery {e attempt}
+          raises (retries re-draw, so a flaky handler can succeed on a
+          later attempt); subscribers not listed never fail *)
+  link_drop : float;  (** probability an event forward is lost *)
+  link_duplicate : float;  (** … delivered twice *)
+  link_delay : float;
+      (** … deferred until the undelayed propagation has finished *)
+  broker_pause : float;
+      (** probability a broker defers processing an arriving event
+          (each arrival pauses at most once) *)
+}
+
+val none : spec
+(** All probabilities zero: a plan that never injects anything. *)
+
+type fault =
+  | Handler_raise of { subscriber : string }
+  | Link_drop of { src : int; dst : int }
+  | Link_duplicate of { src : int; dst : int }
+  | Link_delay of { src : int; dst : int }
+  | Broker_pause of { node : int }
+
+type t
+
+val plan : seed:int -> spec -> t
+(** @raise Invalid_argument on probabilities outside [[0,1]] or when
+    the three link probabilities sum above 1. *)
+
+val seed : t -> int
+
+val spec : t -> spec
+
+(** {1 Decision points} (consumed by Broker/Router; drawing only
+    happens for categories with non-zero probability, so a plan with
+    [none] injects nothing and consumes no randomness) *)
+
+val handler_raises : t -> subscriber:string -> bool
+
+val link_fate : t -> src:int -> dst:int -> [ `Forward | `Drop | `Duplicate | `Delay ]
+
+val broker_pauses : t -> node:int -> bool
+
+(** {1 Inspection} *)
+
+val injected : t -> int
+(** Total faults injected so far. *)
+
+val trace : t -> fault list
+(** Injected faults, oldest first, bounded at 65536 entries (excess is
+    counted in {!trace_dropped}). *)
+
+val trace_dropped : t -> int
+
+val pp_fault : Format.formatter -> fault -> unit

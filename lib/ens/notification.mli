@@ -1,12 +1,20 @@
 (** Notifications: the ENS output channel.
 
     An ENS "informs its users about new events that occurred on
-    providers' sites" (§1); a notification carries the event, the
-    matched profile, and the subscriber it is delivered to. *)
+    providers' sites" (§1); a notification carries the event, its
+    origin — the primitive profile or the composite subscription that
+    matched — and the subscriber it is delivered to. *)
+
+type origin =
+  | Primitive of Genas_profile.Profile_set.id
+      (** matched a primitive profile, by registry id *)
+  | Composite of int
+      (** completed a composite occurrence, by composite-subscription
+          id (ids are per broker, starting at 0) *)
 
 type t = {
   event : Genas_model.Event.t;
-  profile_id : Genas_profile.Profile_set.id;
+  origin : origin;
   subscriber : string;
   broker : int option;  (** delivering broker in a routed network *)
 }
@@ -16,9 +24,17 @@ type handler = t -> unit
 val make :
   ?broker:int ->
   event:Genas_model.Event.t ->
-  profile_id:Genas_profile.Profile_set.id ->
+  origin:origin ->
   subscriber:string ->
   unit ->
   t
+
+val profile_id : t -> Genas_profile.Profile_set.id
+  [@@ocaml.deprecated "match on Notification.origin instead"]
+(** Compatibility accessor for the pre-[origin] record layout: the
+    profile id for [Primitive] notifications and the old [-1] sentinel
+    for [Composite] ones. *)
+
+val pp_origin : Format.formatter -> origin -> unit
 
 val pp : Genas_model.Schema.t -> Format.formatter -> t -> unit

@@ -12,6 +12,10 @@ type instruments = {
   event_messages_total : Metrics.counter;
   publishes_total : Metrics.counter;
   notifications_total : Metrics.counter;
+  link_drops_total : Metrics.counter;
+  link_duplicates_total : Metrics.counter;
+  link_delays_total : Metrics.counter;
+  broker_pauses_total : Metrics.counter;
 }
 
 let make_instruments registry =
@@ -31,6 +35,18 @@ let make_instruments registry =
     notifications_total =
       Metrics.counter registry "genas_router_notifications_total"
         ~help:"Notifications delivered network-wide";
+    link_drops_total =
+      Metrics.counter registry "genas_router_link_drops_total"
+        ~help:"Event forwards lost to injected link faults";
+    link_duplicates_total =
+      Metrics.counter registry "genas_router_link_duplicates_total"
+        ~help:"Event forwards duplicated by injected link faults";
+    link_delays_total =
+      Metrics.counter registry "genas_router_link_delays_total"
+        ~help:"Event forwards delayed by injected link faults";
+    broker_pauses_total =
+      Metrics.counter registry "genas_router_broker_pauses_total"
+        ~help:"Event arrivals deferred by injected broker pauses";
   }
 
 type node_id = int
@@ -59,13 +75,19 @@ type live_sub = {
 type t = {
   schema : Schema.t;
   spec : Genas_core.Reorder.spec option;
-  mutable nodes : node array;
+  nodes : node array;
   live : (sub_handle, live_sub) Hashtbl.t;
   mutable next_handle : int;
   mutable sub_msgs : int;
   mutable unsub_msgs : int;
   mutable event_msgs : int;
   mutable notifications : int;
+  mutable link_drops : int;
+  mutable link_duplicates : int;
+  mutable link_delays : int;
+  mutable broker_pauses : int;
+  super : Supervise.t;
+  faults : Fault.t option;
   instruments : instruments option;
 }
 
@@ -126,7 +148,8 @@ let make_nodes ?spec schema adj =
         forwarded = Hashtbl.create 4;
       })
 
-let create ?spec ?metrics schema ~nodes ~edges =
+let create ?spec ?metrics ?retry ?faults ?deadletter_capacity schema ~nodes
+    ~edges =
   match validate_tree ~nodes ~edges with
   | Error e -> Error e
   | Ok adj ->
@@ -141,20 +164,32 @@ let create ?spec ?metrics schema ~nodes ~edges =
         unsub_msgs = 0;
         event_msgs = 0;
         notifications = 0;
+        link_drops = 0;
+        link_duplicates = 0;
+        link_delays = 0;
+        broker_pauses = 0;
+        super =
+          Supervise.create ?policy:retry ?deadletter_capacity ?metrics
+            ~prefix:"genas_router" ();
+        faults;
         instruments = Option.map make_instruments metrics;
       }
 
-let create_exn ?spec ?metrics schema ~nodes ~edges =
-  match create ?spec ?metrics schema ~nodes ~edges with
+let create_exn ?spec ?metrics ?retry ?faults ?deadletter_capacity schema ~nodes
+    ~edges =
+  match create ?spec ?metrics ?retry ?faults ?deadletter_capacity schema ~nodes
+      ~edges
+  with
   | Ok t -> t
   | Error msg -> invalid_arg ("Router.create: " ^ msg)
 
-let line ?spec ?metrics schema ~nodes =
-  create_exn ?spec ?metrics schema ~nodes
+let line ?spec ?metrics ?retry ?faults ?deadletter_capacity schema ~nodes =
+  create_exn ?spec ?metrics ?retry ?faults ?deadletter_capacity schema ~nodes
     ~edges:(List.init (nodes - 1) (fun i -> (i, i + 1)))
 
-let star ?spec ?metrics schema ~leaves =
-  create_exn ?spec ?metrics schema ~nodes:(leaves + 1)
+let star ?spec ?metrics ?retry ?faults ?deadletter_capacity schema ~leaves =
+  create_exn ?spec ?metrics ?retry ?faults ?deadletter_capacity schema
+    ~nodes:(leaves + 1)
     ~edges:(List.init leaves (fun i -> (0, i + 1)))
 
 (* Install an interest at [node] for [dest], then propagate it over
@@ -203,23 +238,23 @@ let unsubscribe t handle =
   | Some _ ->
     Hashtbl.remove t.live handle;
     (* Retraction by recomputation: rebuild every broker's interest
-       table from the remaining live subscriptions (replayed without
-       charging subscription messages), and charge the retraction
-       fan-out as the number of forwarded entries that disappear —
-       each corresponds to one unsubscribe message on a link. *)
+       table in place from the remaining live subscriptions (replayed
+       without charging subscription messages), and charge the
+       retraction fan-out as the number of forwarded entries that
+       disappear — each corresponds to one unsubscribe message on a
+       link. The nodes themselves (and their engines) are kept: each
+       engine re-plans against the replayed profile set while
+       absorbing its learned event history, so one churn event does
+       not reset distribution-based reordering network-wide. *)
     let before = forwarded_entries t in
-    let adj = Array.map (fun n -> n.neighbors) t.nodes in
-    t.nodes <-
-      Array.init (Array.length t.nodes) (fun id ->
-          let pset = Profile_set.create t.schema in
-          {
-            id;
-            neighbors = adj.(id);
-            pset;
-            engine = Engine.create ?spec:t.spec pset;
-            dests = Hashtbl.create 32;
-            forwarded = Hashtbl.create 4;
-          });
+    Array.iter
+      (fun node ->
+        List.iter
+          (fun id -> ignore (Profile_set.remove node.pset id))
+          (Profile_set.ids node.pset);
+        Hashtbl.reset node.dests;
+        Hashtbl.reset node.forwarded)
+      t.nodes;
     let handles =
       Hashtbl.fold (fun h _ acc -> h :: acc) t.live [] |> List.sort Int.compare
     in
@@ -229,39 +264,116 @@ let unsubscribe t handle =
         add_interest t ~count:false t.nodes.(s.at) s.profile
           (Local (s.subscriber, s.handler)))
       handles;
+    Array.iter (fun node -> Engine.refresh_keeping_history node.engine) t.nodes;
     let after = forwarded_entries t in
     t.unsub_msgs <- t.unsub_msgs + max 0 (before - after);
     count_add t (fun i -> i.unsub_messages_total) (max 0 (before - after));
     true
 
-let rec route t node event ~from =
-  let matched = Engine.match_event node.engine event in
-  let links = ref [] in
-  List.iter
-    (fun id ->
-      match Hashtbl.find_opt node.dests id with
-      | None -> ()
-      | Some (Local (subscriber, handler)) ->
-        t.notifications <- t.notifications + 1;
-        count_incr t (fun i -> i.notifications_total);
-        handler
-          (Notification.make ~broker:node.id ~event ~profile_id:id ~subscriber ())
-      | Some (Link nb) ->
-        if Some nb <> from && not (List.mem nb !links) then links := nb :: !links)
-    matched;
-  List.iter
-    (fun nb ->
-      t.event_msgs <- t.event_msgs + 1;
-      count_incr t (fun i -> i.event_messages_total);
-      route t t.nodes.(nb) event ~from:(Some node.id))
-    !links
+(* One unit of routing work: an event arriving at a broker. [deferred]
+   marks arrivals that already went through the deferred queue (a
+   paused broker defers an arrival at most once, so fault plans with
+   pause probability 1.0 still terminate). *)
+type job = { node : node_id; from : node_id option; deferred : bool }
+
+(* Event propagation as an explicit worklist. The LIFO stack visits
+   brokers in exactly the order the former recursive implementation
+   did, so fault-free runs are bit-identical to pre-supervision
+   behavior; link faults (drop/duplicate/delay) and broker pauses hook
+   into the forwarding step, and delayed/paused work is parked on a
+   FIFO queue that drains once the undelayed propagation is done. *)
+let route t event ~at =
+  let stack = ref [ { node = at; from = None; deferred = false } ] in
+  let parked = Queue.create () in
+  let park job = Queue.add job parked in
+  let forward ~src job =
+    t.event_msgs <- t.event_msgs + 1;
+    count_incr t (fun i -> i.event_messages_total);
+    match t.faults with
+    | None -> stack := job :: !stack
+    | Some plan -> (
+      match Fault.link_fate plan ~src ~dst:job.node with
+      | `Forward -> stack := job :: !stack
+      | `Drop ->
+        t.link_drops <- t.link_drops + 1;
+        count_incr t (fun i -> i.link_drops_total)
+      | `Duplicate ->
+        (* The duplicate is a second message on the wire. *)
+        t.event_msgs <- t.event_msgs + 1;
+        count_incr t (fun i -> i.event_messages_total);
+        t.link_duplicates <- t.link_duplicates + 1;
+        count_incr t (fun i -> i.link_duplicates_total);
+        stack := job :: job :: !stack
+      | `Delay ->
+        t.link_delays <- t.link_delays + 1;
+        count_incr t (fun i -> i.link_delays_total);
+        park job)
+  in
+  let pauses job =
+    (not job.deferred)
+    &&
+    match t.faults with
+    | None -> false
+    | Some plan ->
+      let hit = Fault.broker_pauses plan ~node:job.node in
+      if hit then begin
+        t.broker_pauses <- t.broker_pauses + 1;
+        count_incr t (fun i -> i.broker_pauses_total)
+      end;
+      hit
+  in
+  let process job =
+    if pauses job then park { job with deferred = true }
+    else begin
+      let node = t.nodes.(job.node) in
+      let matched = Engine.match_event node.engine event in
+      let links = ref [] in
+      List.iter
+        (fun id ->
+          match Hashtbl.find_opt node.dests id with
+          | None -> ()
+          | Some (Local (subscriber, handler)) ->
+            if
+              Supervise.deliver t.super ?faults:t.faults ~subscriber ~handler
+                (Notification.make ~broker:node.id ~event
+                   ~origin:(Notification.Primitive id) ~subscriber ())
+            then begin
+              t.notifications <- t.notifications + 1;
+              count_incr t (fun i -> i.notifications_total)
+            end
+          | Some (Link nb) ->
+            if Some nb <> job.from && not (List.mem nb !links) then
+              links := nb :: !links)
+        matched;
+      (* Pushing in match order pops in reverse match order — the order
+         the recursive implementation iterated [!links]. *)
+      List.iter
+        (fun nb ->
+          forward ~src:node.id
+            { node = nb; from = Some node.id; deferred = false })
+        (List.rev !links)
+    end
+  in
+  let rec drain () =
+    match !stack with
+    | job :: rest ->
+      stack := rest;
+      process job;
+      drain ()
+    | [] ->
+      if not (Queue.is_empty parked) then begin
+        stack := [ Queue.pop parked ];
+        drain ()
+      end
+  in
+  drain ()
 
 let publish t ~at event =
   if at < 0 || at >= Array.length t.nodes then
     invalid_arg "Router.publish: no such broker";
   count_incr t (fun i -> i.publishes_total);
   let before = t.notifications in
-  route t t.nodes.(at) event ~from:None;
+  route t event ~at;
   t.notifications - before
 
 let sub_messages t = t.sub_msgs
@@ -272,6 +384,22 @@ let event_messages t = t.event_msgs
 
 let notifications t = t.notifications
 
+let link_drops t = t.link_drops
+
+let link_duplicates t = t.link_duplicates
+
+let link_delays t = t.link_delays
+
+let broker_pauses t = t.broker_pauses
+
+let supervisor t = t.super
+
+let deadletter t = Supervise.deadletter t.super
+
+let faults t = t.faults
+
 let broker_ops t id = Engine.ops t.nodes.(id).engine
+
+let broker_stats t id = Engine.stats t.nodes.(id).engine
 
 let interest_count t id = Profile_set.size t.nodes.(id).pset

@@ -10,7 +10,14 @@
     events flow hop-by-hop, filtered at every broker by its own
     distribution-based engine, and are forwarded only over links whose
     forwarded interests they match. Message counters expose the
-    covering optimization's savings. *)
+    covering optimization's savings.
+
+    Delivery is supervised exactly as in {!Broker} (retry/backoff,
+    per-subscriber circuit breaker, bounded dead-letter queue), and a
+    {!Fault} plan can additionally drop, duplicate, or delay event
+    forwards on links and pause brokers — deterministically, so the
+    same seed replays the same network-wide failure trace. See
+    docs/ROBUSTNESS.md. *)
 
 type t
 
@@ -19,6 +26,9 @@ type node_id = int
 val create :
   ?spec:Genas_core.Reorder.spec ->
   ?metrics:Genas_obs.Metrics.t ->
+  ?retry:Supervise.policy ->
+  ?faults:Fault.t ->
+  ?deadletter_capacity:int ->
   Genas_model.Schema.t ->
   nodes:int ->
   edges:(node_id * node_id) list ->
@@ -27,13 +37,24 @@ val create :
     [[0, nodes-1]].
 
     [metrics] registers network-level counters (subscription/retraction
-    messages, event hops, publishes, notifications; names in
-    docs/OBSERVABILITY.md). Per-broker engines are left uninstrumented
-    so that a shared registry never aggregates across brokers. *)
+    messages, event hops, publishes, notifications, link faults,
+    delivery supervision; names in docs/OBSERVABILITY.md). Per-broker
+    engines are left uninstrumented so that a shared registry never
+    aggregates across brokers.
+
+    [retry], [faults], and [deadletter_capacity] configure the
+    network-wide delivery supervisor and fault plan as in
+    {!Broker.create}; omitted, no faults are injected and fault-free
+    routing behavior (delivery order, all message counters) is
+    identical to an unsupervised network as long as no handler
+    raises. *)
 
 val create_exn :
   ?spec:Genas_core.Reorder.spec ->
   ?metrics:Genas_obs.Metrics.t ->
+  ?retry:Supervise.policy ->
+  ?faults:Fault.t ->
+  ?deadletter_capacity:int ->
   Genas_model.Schema.t ->
   nodes:int ->
   edges:(node_id * node_id) list ->
@@ -42,6 +63,9 @@ val create_exn :
 val line :
   ?spec:Genas_core.Reorder.spec ->
   ?metrics:Genas_obs.Metrics.t ->
+  ?retry:Supervise.policy ->
+  ?faults:Fault.t ->
+  ?deadletter_capacity:int ->
   Genas_model.Schema.t ->
   nodes:int ->
   t
@@ -50,6 +74,9 @@ val line :
 val star :
   ?spec:Genas_core.Reorder.spec ->
   ?metrics:Genas_obs.Metrics.t ->
+  ?retry:Supervise.policy ->
+  ?faults:Fault.t ->
+  ?deadletter_capacity:int ->
   Genas_model.Schema.t ->
   leaves:int ->
   t
@@ -73,24 +100,55 @@ val unsubscribe : t -> sub_handle -> bool
     the remaining subscriptions (a covered subscription that was never
     forwarded may now have to be, and vice versa); the retraction
     fan-out is charged to [unsub_messages] as the number of forwarded
-    entries that disappear. Per-broker operation counters restart. *)
+    entries that disappear. Per-broker operation counters restart, but
+    each broker's engine keeps its learned event statistics
+    ({!Genas_core.Engine.refresh_keeping_history}): one churn event
+    does not reset distribution-based reordering network-wide. *)
 
 val unsub_messages : t -> int
 
 val publish : t -> at:node_id -> Genas_model.Event.t -> int
 (** Inject an event at a broker; returns the number of notifications
-    delivered network-wide. *)
+    delivered (accepted by their handlers) network-wide. Terminally
+    failed deliveries are dead-lettered, never counted. *)
 
 val sub_messages : t -> int
 (** Inter-broker subscription-propagation messages sent so far. *)
 
 val event_messages : t -> int
-(** Inter-broker event forwards sent so far. *)
+(** Inter-broker event forwards sent so far (a duplicated forward
+    counts twice; a dropped one still counts — the message left the
+    broker and was lost in transit). *)
 
 val notifications : t -> int
 
+(** {1 Fault and supervision inspection} *)
+
+val link_drops : t -> int
+(** Forwards lost to injected link faults. *)
+
+val link_duplicates : t -> int
+
+val link_delays : t -> int
+
+val broker_pauses : t -> int
+(** Event arrivals deferred by injected broker pauses. *)
+
+val supervisor : t -> Supervise.t
+(** The network-wide delivery supervisor. *)
+
+val deadletter : t -> Deadletter.t
+
+val faults : t -> Fault.t option
+
+(** {1 Per-broker inspection} *)
+
 val broker_ops : t -> node_id -> Genas_filter.Ops.t
 (** Matching-operation counters of one broker's engine. *)
+
+val broker_stats : t -> node_id -> Genas_core.Stats.t
+(** One broker's learned statistics (preserved across
+    {!unsubscribe}). *)
 
 val interest_count : t -> node_id -> int
 (** Size of a broker's interest table (local + forwarded profiles). *)

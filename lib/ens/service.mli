@@ -12,7 +12,14 @@
 
 type t
 
-val create : unit -> t
+val create : ?metrics:Genas_obs.Metrics.t -> unit -> t
+(** [metrics] is the service-wide default registry: every broker
+    created through {!create_broker} without its own [?metrics] is
+    instrumented into it. Brokers sharing one registry share the
+    broker-level instruments (the unlabelled counters aggregate across
+    them; per-subscriber delivery counters stay distinct through their
+    labels) — pass a per-broker registry to {!create_broker} when
+    brokers must not alias. *)
 
 (** {1 Schemas} *)
 
@@ -38,9 +45,16 @@ val create_broker :
   schema:string ->
   ?spec:Genas_core.Reorder.spec ->
   ?adaptive:Genas_core.Adaptive.policy ->
+  ?metrics:Genas_obs.Metrics.t ->
+  ?retry:Supervise.policy ->
+  ?faults:Fault.t ->
   unit ->
   (unit, string) result
-(** Fails on duplicate broker names or unknown schemas. *)
+(** Fails on duplicate broker names or unknown schemas. [metrics]
+    overrides the service-wide registry passed to {!create}; omitted,
+    the service registry (if any) is used, so brokers created through
+    the service layer are never silently uninstrumentable. [retry] and
+    [faults] are forwarded to {!Broker.create}. *)
 
 val find_broker : t -> string -> Broker.t option
 

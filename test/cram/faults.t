@@ -1,0 +1,51 @@
+The faults subcommand drives a four-broker line through a seeded fault
+plan. Its entire output is a pure function of the seed, so the snapshot
+below doubles as the determinism contract (ISSUE 3: identical seed and
+plan must replay a bit-identical delivery/retry/dead-letter trace).
+
+  $ ../../bin/genas_cli.exe faults --seed 42 --events 300 --handler-fail 0.6 --drop 0.15 --dup 0.08 --delay 0.08 --pause 0.05
+  topology 0-1-2-3, 300 events, seed 42
+  delivered 243  event-messages 322
+  link faults: 42 dropped, 23 duplicated, 22 delayed; 31 broker pauses
+  supervision: 145 failed attempts, 119 retries, 26 dead-lettered, 0 short-circuited, 0 circuit trips
+  dead-letter queue: 26 held (capacity 1024, 0 dropped)
+    oldest: #1 flaky after 3 attempt(s): injected: flaky
+  fault trace: 263 injected
+    handler-raise flaky
+    handler-raise flaky
+    handler-raise flaky
+    link-drop 0->1
+    link-drop 1->2
+  circuit(flaky) = closed
+
+Replaying the identical invocation yields byte-identical output:
+
+  $ ../../bin/genas_cli.exe faults --seed 42 --events 300 --handler-fail 0.6 --drop 0.15 --dup 0.08 --delay 0.08 --pause 0.05 > a.txt
+  $ ../../bin/genas_cli.exe faults --seed 42 --events 300 --handler-fail 0.6 --drop 0.15 --dup 0.08 --delay 0.08 --pause 0.05 > b.txt
+  $ cmp a.txt b.txt
+
+A permanently failing subscriber with no retries exercises the circuit
+breaker: after four consecutive terminal failures the circuit opens and
+deliveries are short-circuited until the cooldown's half-open probe.
+
+  $ ../../bin/genas_cli.exe faults --seed 9 --events 120 --handler-fail 1.0 --drop 0 --dup 0 --delay 0 --pause 0 --retries 1
+  topology 0-1-2-3, 120 events, seed 9
+  delivered 64  event-messages 131
+  link faults: 0 dropped, 0 duplicated, 0 delayed; 0 broker pauses
+  supervision: 11 failed attempts, 0 retries, 66 dead-lettered, 55 short-circuited, 8 circuit trips
+  dead-letter queue: 66 held (capacity 1024, 0 dropped)
+    oldest: #0 flaky after 1 attempt(s): injected: flaky
+  fault trace: 11 injected
+    handler-raise flaky
+    handler-raise flaky
+    handler-raise flaky
+    handler-raise flaky
+    handler-raise flaky
+  circuit(flaky) = open
+
+Bad arguments are rejected:
+
+  $ ../../bin/genas_cli.exe faults --events 0 2>/dev/null
+  [1]
+  $ ../../bin/genas_cli.exe faults --drop 2.0 2>/dev/null
+  [1]

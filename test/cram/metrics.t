@@ -12,7 +12,7 @@ percentiles, rebuild counts, and tree-size gauges.
   $ grep -c '"genas_engine_match_duration_ns"' snap.json
   1
   $ grep -o '"p5[09]"' snap.json | sort | uniq -c | sed 's/^ *//'
-  4 "p50"
+  5 "p50"
   $ grep -c '"genas_adaptive_rebuilds_total"' snap.json
   1
   $ grep -c '"genas_engine_tree_nodes"' snap.json

@@ -208,6 +208,108 @@ let test_quench_covers_composites () =
   Alcotest.(check bool) "constituent wanted" true
     (Quench.wanted_event q (event s 9 "a"))
 
+(* --- delivery supervision: a raising handler must not starve the
+   other subscribers, and every counter pair must stay mutually
+   consistent (regression for the publish/publish_batch divergence). *)
+
+module Supervise = Genas_ens.Supervise
+module Deadletter = Genas_ens.Deadletter
+module Metrics = Genas_obs.Metrics
+
+let counter_value reg ?labels name =
+  Metrics.Counter.value (Metrics.counter reg ?labels name)
+
+let test_raising_handler_single () =
+  let s = schema () in
+  let reg = Metrics.create () in
+  let b = Broker.create ~metrics:reg s in
+  let bob_log = ref 0 in
+  (* alice has the lower profile id, so she is attempted first; her
+     failure must not block bob. *)
+  let _ =
+    Result.get_ok
+      (Broker.subscribe_text b ~subscriber:"alice" "x >= 5" (fun _ ->
+           failwith "alice is broken"))
+  in
+  let _ =
+    Result.get_ok
+      (Broker.subscribe_text b ~subscriber:"bob" "k = a" (fun _ -> incr bob_log))
+  in
+  Alcotest.(check int) "only bob delivered" 1 (Broker.publish b (event s 7 "a"));
+  Alcotest.(check int) "bob ran" 1 !bob_log;
+  Alcotest.(check int) "published" 1 (Broker.published b);
+  Alcotest.(check int) "notifications = accepted" 1 (Broker.notifications b);
+  Alcotest.(check int) "metric: published" 1
+    (counter_value reg "genas_broker_published_total");
+  Alcotest.(check int) "metric: notifications" 1
+    (counter_value reg "genas_broker_notifications_total");
+  Alcotest.(check int) "metric: alice deliveries" 0
+    (counter_value reg "genas_broker_deliveries_total"
+       ~labels:[ ("subscriber", "alice") ]);
+  Alcotest.(check int) "metric: bob deliveries" 1
+    (counter_value reg "genas_broker_deliveries_total"
+       ~labels:[ ("subscriber", "bob") ]);
+  let sup = Broker.supervisor b in
+  Alcotest.(check int) "one failed attempt" 1 (Supervise.failures sup);
+  Alcotest.(check int) "dead-lettered" 1 (Supervise.deadlettered sup);
+  match Deadletter.entries (Broker.deadletter b) with
+  | [ e ] ->
+    Alcotest.(check string) "dlq subscriber" "alice"
+      e.Deadletter.notification.Notification.subscriber
+  | l -> Alcotest.failf "expected 1 dead letter, got %d" (List.length l)
+
+let test_raising_handler_batch () =
+  let s = schema () in
+  let b = Broker.create s in
+  let bob_log = ref 0 in
+  let _ =
+    Result.get_ok
+      (Broker.subscribe_text b ~subscriber:"alice" "x >= 5" (fun _ ->
+           failwith "still broken"))
+  in
+  let _ =
+    Result.get_ok
+      (Broker.subscribe_text b ~subscriber:"bob" "k = a" (fun _ -> incr bob_log))
+  in
+  let batch = [| event s 7 "a"; event s 9 "b"; event s 1 "a" |] in
+  (* alice matches events 0 and 1 (both fail); bob matches 0 and 2. *)
+  Alcotest.(check int) "accepted total" 2 (Broker.publish_batch b batch);
+  Alcotest.(check int) "bob ran twice" 2 !bob_log;
+  Alcotest.(check int) "published" 3 (Broker.published b);
+  Alcotest.(check int) "notifications" 2 (Broker.notifications b);
+  Alcotest.(check int) "failures" 2 (Supervise.failures (Broker.supervisor b));
+  Alcotest.(check int) "dead letters" 2 (Deadletter.length (Broker.deadletter b))
+
+let test_raising_composite_handler () =
+  let s = schema () in
+  let b = Broker.create s in
+  let prim_log = ref 0 in
+  let hot = Profile.create_exn s [ ("x", Predicate.Ge (Value.Int 8)) ] in
+  let _ =
+    Result.get_ok
+      (Broker.subscribe_composite b ~subscriber:"watch"
+         (Composite.Repeat (Composite.Prim hot, 2, 10.0))
+         (fun _ -> failwith "watcher crashed"))
+  in
+  let _ =
+    Result.get_ok
+      (Broker.subscribe_text b ~subscriber:"plain" "x >= 0" (fun _ ->
+           incr prim_log))
+  in
+  ignore (Broker.publish b (event ~time:0.0 s 9 "a"));
+  ignore (Broker.publish b (event ~time:5.0 s 8 "a"));
+  Alcotest.(check int) "primitive deliveries unaffected" 2 !prim_log;
+  let sup = Broker.supervisor b in
+  Alcotest.(check int) "composite failure supervised" 1 (Supervise.failures sup);
+  Alcotest.(check int) "dead-lettered" 1 (Deadletter.length (Broker.deadletter b));
+  (* The detector state advanced despite the raise: a fresh pair of hot
+     events inside a window trips it again. *)
+  ignore (Broker.publish b (event ~time:100.0 s 9 "a"));
+  ignore (Broker.publish b (event ~time:105.0 s 9 "a"));
+  Alcotest.(check int) "fires again later" 2 (Supervise.failures sup);
+  (* Only accepted deliveries count as notifications. *)
+  Alcotest.(check int) "notifications exclude failures" 4 (Broker.notifications b)
+
 let () =
   Alcotest.run "broker"
     [
@@ -228,6 +330,15 @@ let () =
         [
           Alcotest.test_case "repeat subscription" `Quick test_composite_subscription;
           Alcotest.test_case "validation" `Quick test_composite_invalid;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "raising handler (publish)" `Quick
+            test_raising_handler_single;
+          Alcotest.test_case "raising handler (batch)" `Quick
+            test_raising_handler_batch;
+          Alcotest.test_case "raising composite handler" `Quick
+            test_raising_composite_handler;
         ] );
       ( "quench",
         [

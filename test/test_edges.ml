@@ -84,7 +84,10 @@ let test_neq_on_boundary () =
 let test_notification_pp () =
   let s = Schema.create_exn [ ("x", Domain.bool_dom) ] in
   let e = Event.create_exn s [ ("x", Value.Bool true) ] in
-  let n = Notification.make ~broker:2 ~event:e ~profile_id:5 ~subscriber:"ada" () in
+  let n =
+    Notification.make ~broker:2 ~event:e
+      ~origin:(Notification.Primitive 5) ~subscriber:"ada" ()
+  in
   let out = Format.asprintf "%a" (Notification.pp s) n in
   Alcotest.(check bool) "mentions subscriber" true
     (String.length out > 0

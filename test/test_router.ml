@@ -134,6 +134,83 @@ let test_unsubscribe_revives_covered () =
   Alcotest.(check int) "below narrow threshold" 0
     (Router.publish net ~at:0 (event s 3 0))
 
+let test_unsubscribe_preserves_stats () =
+  (* Retraction replays the surviving subscriptions through fresh
+     profile sets, but each node's learned engine statistics (the
+     observed per-attribute histograms driving tree reordering) must
+     survive the replay. *)
+  let s = schema () in
+  let net = Router.line s ~nodes:3 in
+  let keep =
+    Router.subscribe net ~at:2 ~subscriber:"keep"
+      ~profile:(Profile.create_exn s [ ("x", Predicate.Ge (Value.Int 1)) ])
+      (fun _ -> ())
+  in
+  ignore keep;
+  let victim =
+    Router.subscribe net ~at:2 ~subscriber:"victim"
+      ~profile:(Profile.create_exn s [ ("x", Predicate.Ge (Value.Int 8)) ])
+      (fun _ -> ())
+  in
+  for i = 0 to 19 do
+    ignore (Router.publish net ~at:0 (event s (i mod 10) (i mod 7)))
+  done;
+  let seen_before =
+    Array.init 3 (fun n -> Genas_core.Stats.events_seen (Router.broker_stats net n))
+  in
+  Alcotest.(check bool) "node 0 saw traffic" true (seen_before.(0) > 0);
+  Alcotest.(check bool) "retracted" true (Router.unsubscribe net victim);
+  Array.iteri
+    (fun n before ->
+      Alcotest.(check int)
+        (Printf.sprintf "node %d history kept" n)
+        before
+        (Genas_core.Stats.events_seen (Router.broker_stats net n)))
+    seen_before;
+  (* The next publish must accumulate on top, not restart from zero
+     (a lazy stale-refresh after the replay would wipe it again). *)
+  ignore (Router.publish net ~at:0 (event s 5 0));
+  Alcotest.(check bool) "history still grows" true
+    (Genas_core.Stats.events_seen (Router.broker_stats net 0) > seen_before.(0))
+
+let test_unsub_messages_exact () =
+  (* Line 0-1-2 with one subscription at node 2: interest is forwarded
+     at nodes 0 and 1 (2 is local), so exactly 2 retraction messages. *)
+  let s = schema () in
+  let net = Router.line s ~nodes:3 in
+  let h =
+    Router.subscribe net ~at:2 ~subscriber:"edge"
+      ~profile:(Profile.create_exn s [ ("x", Predicate.Ge (Value.Int 5)) ])
+      (fun _ -> ())
+  in
+  Alcotest.(check int) "flooded to both" 2 (Router.sub_messages net);
+  Alcotest.(check bool) "retracted" true (Router.unsubscribe net h);
+  Alcotest.(check int) "exactly two retractions" 2 (Router.unsub_messages net);
+  (* A stale retraction charges nothing further. *)
+  Alcotest.(check bool) "stale" false (Router.unsubscribe net h);
+  Alcotest.(check int) "no extra charge" 2 (Router.unsub_messages net)
+
+let test_routed_raising_handler () =
+  let s = schema () in
+  let net = Router.line s ~nodes:3 in
+  let ok_hits = ref 0 in
+  ignore
+    (Router.subscribe net ~at:2 ~subscriber:"bad"
+       ~profile:(Profile.create_exn s [ ("x", Predicate.Ge (Value.Int 5)) ])
+       (fun _ -> failwith "remote handler crashed"));
+  ignore
+    (Router.subscribe net ~at:2 ~subscriber:"good"
+       ~profile:(Profile.create_exn s [ ("x", Predicate.Ge (Value.Int 5)) ])
+       (fun _ -> incr ok_hits));
+  Alcotest.(check int) "only the good one counts" 1
+    (Router.publish net ~at:0 (event s 7 0));
+  Alcotest.(check int) "good handler ran" 1 !ok_hits;
+  let sup = Router.supervisor net in
+  Alcotest.(check int) "failure recorded" 1
+    (Genas_ens.Supervise.failures sup);
+  Alcotest.(check int) "dead-lettered" 1
+    (Genas_ens.Deadletter.length (Router.deadletter net))
+
 (* Equivalence: a routed network delivers exactly the notifications a
    single broker with all subscriptions would. *)
 let prop_delivery_equivalence =
@@ -208,6 +285,12 @@ let () =
           Alcotest.test_case "unsubscribe retracts" `Quick test_unsubscribe_retracts;
           Alcotest.test_case "unsubscribe revives covered" `Quick
             test_unsubscribe_revives_covered;
+          Alcotest.test_case "unsubscribe preserves stats" `Quick
+            test_unsubscribe_preserves_stats;
+          Alcotest.test_case "unsub messages exact" `Quick
+            test_unsub_messages_exact;
+          Alcotest.test_case "routed raising handler" `Quick
+            test_routed_raising_handler;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
