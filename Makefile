@@ -1,7 +1,8 @@
 # Convenience targets; `make check` is the tier-1 gate (build + tests
 # + the seconds-scale bench smoke).
 
-.PHONY: all build test check faultcheck bench bench-smoke bench-json clean
+.PHONY: all build test check faultcheck recovercheck bench bench-smoke \
+  bench-json clean
 
 all: build
 
@@ -12,13 +13,24 @@ test:
 	dune runtest
 
 check:
-	dune build @all && dune runtest && $(MAKE) faultcheck && $(MAKE) bench-smoke
+	dune build @all && dune runtest && $(MAKE) faultcheck \
+	  && $(MAKE) recovercheck && $(MAKE) bench-smoke
 
 # Fault-injection suite: the supervised-delivery unit tests plus the
 # deterministic CLI demo pinned by test/cram/faults.t.
 faultcheck:
 	dune build test/test_fault.exe bin/genas_cli.exe @test/cram/faults
 	./_build/default/test/test_fault.exe -q
+
+# Durability suite: journal/snapshot unit tests plus the crash-recovery
+# differential (crash at seeded points, recover, replay the remaining
+# traffic, compare bit-for-bit against the no-crash run), and the CLI
+# demo pinned by test/cram/journal.t.
+recovercheck:
+	dune build test/test_journal.exe test/test_recover.exe bin/genas_cli.exe \
+	  @test/cram/journal
+	./_build/default/test/test_journal.exe -q
+	./_build/default/test/test_recover.exe -q
 
 bench:
 	dune exec bench/main.exe -- all

@@ -35,6 +35,7 @@ let () =
   let faults =
     Fault.plan ~seed
       {
+        Fault.none with
         Fault.handler_failure = [ ("dashboard", 0.7) ];
         link_drop = 0.05;
         link_duplicate = 0.03;

@@ -36,6 +36,9 @@ type t = {
   mutable planned_for : Dist.t array option;
       (** per-attribute event distributions the current tree was
           planned for; [None] until the first adaptive rebuild *)
+  mutable planned_hist : Estimator.Export.t array option;
+      (** observed-histogram snapshot taken at the same rebuild —
+          the durable form of [planned_for] *)
   mutable since_check : int;
   mutable seen : int;
   mutable checks : int;
@@ -51,6 +54,7 @@ let create ?(policy = default_policy) ?metrics engine =
     engine;
     policy;
     planned_for = None;
+    planned_hist = None;
     since_check = 0;
     seen = 0;
     checks = 0;
@@ -73,6 +77,7 @@ let rebuild t =
     Genas_obs.Span.time ins.rebuild_ns (fun () -> Engine.rebuild t.engine);
     Metrics.Counter.incr ins.rebuilds_total);
   t.planned_for <- Some (current_dists t);
+  t.planned_hist <- Some (Stats.export (Engine.stats t.engine)).Stats.Export.hists;
   t.rebuilds <- t.rebuilds + 1
 
 let drift t =
@@ -141,3 +146,80 @@ let rebuilds t = t.rebuilds
 let checks t = t.checks
 
 let last_drift t = t.last_drift
+
+module Export = struct
+  type nonrec t = {
+    seen : int;
+    since_check : int;
+    checks : int;
+    rebuilds : int;
+    last_drift : float;
+    planned : Estimator.Export.t array option;
+  }
+end
+
+let copy_hist (e : Estimator.Export.t) =
+  { e with Estimator.Export.counts = Array.copy e.Estimator.Export.counts }
+
+let export t =
+  {
+    Export.seen = t.seen;
+    since_check = t.since_check;
+    checks = t.checks;
+    rebuilds = t.rebuilds;
+    last_drift = t.last_drift;
+    planned = Option.map (Array.map copy_hist) t.planned_hist;
+  }
+
+(* Reconstruct the planned-for distributions exactly as [Stats.event_dist]
+   would have produced them at rebuild time: smoothed estimate when the
+   histogram held observations, uniform otherwise. Assumed (caller-
+   installed) distributions are runtime configuration and are not part
+   of the durable state; a recovered component measures drift against
+   the observed histograms. *)
+let restore_planned decomp hx =
+  let n = Decomp.arity decomp in
+  if Array.length hx <> n then
+    Error "Adaptive.import: planned-distribution arity mismatch"
+  else
+    let rec go i acc =
+      if i = n then Ok (Array.of_list (List.rev acc))
+      else
+        match Estimator.of_export decomp.Decomp.axes.(i) hx.(i) with
+        | Error msg -> Error msg
+        | Ok est ->
+          let d =
+            if Estimator.count est > 0 then
+              Estimator.estimate ~smoothing:Stats.history_smoothing est
+            else Dist.uniform decomp.Decomp.axes.(i)
+          in
+          go (i + 1) (d :: acc)
+    in
+    go 0 []
+
+let import t (e : Export.t) =
+  let decomp = Stats.decomp (Engine.stats t.engine) in
+  let planned =
+    match e.Export.planned with
+    | None -> Ok None
+    | Some hx -> Result.map Option.some (restore_planned decomp hx)
+  in
+  match planned with
+  | Error msg -> Error msg
+  | Ok planned ->
+    (match t.instruments with
+    | None -> ()
+    | Some ins ->
+      Metrics.Counter.add ins.checks_total
+        (Stdlib.max 0 (e.Export.checks - t.checks));
+      Metrics.Counter.add ins.rebuilds_total
+        (Stdlib.max 0 (e.Export.rebuilds - t.rebuilds));
+      Metrics.Gauge.set ins.last_drift_gauge e.Export.last_drift);
+    t.planned_for <- planned;
+    t.planned_hist <- Option.map (Array.map copy_hist) e.Export.planned;
+    t.seen <- e.Export.seen;
+    t.since_check <- e.Export.since_check;
+    t.checks <- e.Export.checks;
+    t.rebuilds <- e.Export.rebuilds;
+    t.last_drift <- e.Export.last_drift;
+    Ok ()

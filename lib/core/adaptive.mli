@@ -67,3 +67,37 @@ val last_drift : t -> float
 
 val force_check : t -> bool
 (** Run a drift check now; [true] if it triggered a rebuild. *)
+
+val note_events : t -> int -> unit
+(** Advance the warmup/check bookkeeping by [n] already-observed events
+    without matching anything. [match_event]/[match_batch] call this
+    internally; it is exposed so journal replay can drive the same
+    cadence — the replayed component checks (and rebuilds) at exactly
+    the event counts the original did. *)
+
+(** {1 Serialization}
+
+    The durable counters plus the observed-histogram snapshot taken at
+    the last rebuild. On import the planned-for distributions are
+    reconstructed from that snapshot exactly as {!Stats.event_dist}
+    would have produced them (smoothed estimate, or uniform when the
+    histogram was empty); assumed distributions — runtime configuration
+    — are not persisted. *)
+
+module Export : sig
+  type t = {
+    seen : int;
+    since_check : int;
+    checks : int;
+    rebuilds : int;
+    last_drift : float;
+    planned : Genas_dist.Estimator.Export.t array option;
+  }
+end
+
+val export : t -> Export.t
+
+val import : t -> Export.t -> (unit, string) result
+(** Restore exported state into a freshly created component wrapping an
+    engine over the same schema. Fails on arity or histogram-layout
+    mismatch. *)

@@ -225,4 +225,26 @@ let match_batch ?pool t events =
     Metrics.Counter.add ins.matches_total (t.ops.Ops.matches - m0));
   results
 
+let replay_observe t event =
+  (* Journal replay: feed the statistics exactly as [match_core] would —
+     including the history reset a stale profile set triggers — without
+     matching or delivering anything. *)
+  refresh_if_stale t;
+  Stats.observe_event t.stats event
+
+let restore_ops t (o : Ops.t) =
+  (match t.instruments with
+  | None -> ()
+  | Some ins ->
+    Metrics.Counter.add ins.events_total
+      (Stdlib.max 0 (o.Ops.events - t.ops.Ops.events));
+    Metrics.Counter.add ins.comparisons_total
+      (Stdlib.max 0 (o.Ops.comparisons - t.ops.Ops.comparisons));
+    Metrics.Counter.add ins.matches_total
+      (Stdlib.max 0 (o.Ops.matches - t.ops.Ops.matches)));
+  t.ops.Ops.events <- o.Ops.events;
+  t.ops.Ops.comparisons <- o.Ops.comparisons;
+  t.ops.Ops.node_visits <- o.Ops.node_visits;
+  t.ops.Ops.matches <- o.Ops.matches
+
 let report t = Cost.evaluate_with_stats t.tree t.stats

@@ -93,3 +93,17 @@ val refresh_keeping_history : t -> unit
 val report : t -> Cost.report
 (** Analytic expectation for the current tree under the current
     statistics. *)
+
+(** {1 Journal replay} *)
+
+val replay_observe : t -> Genas_model.Event.t -> unit
+(** Record one event in the statistics exactly as the match path would
+    — including the implicit stale-refresh (and its history reset) when
+    the profile set changed — without matching or counting operations.
+    Journal replay uses this to regrow the learned distributions from
+    the logged event stream. *)
+
+val restore_ops : t -> Genas_filter.Ops.t -> unit
+(** Overwrite the cumulative operation counters with a journaled
+    absolute snapshot, advancing the corresponding metrics counters by
+    the (non-negative) delta. *)

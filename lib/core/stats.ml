@@ -54,12 +54,14 @@ let assume_event_dist t ~attr dist =
 
 let clear_assumed t ~attr = t.assumed.(attr) <- None
 
+let history_smoothing = 0.5
+
 let event_dist t ~attr =
   match t.assumed.(attr) with
   | Some d -> d
   | None ->
     if Estimator.count t.hists.(attr) > 0 then
-      Estimator.estimate ~smoothing:0.5 t.hists.(attr)
+      Estimator.estimate ~smoothing:history_smoothing t.hists.(attr)
     else Dist.uniform t.decomp.Decomp.axes.(attr)
 
 let event_cell_probs t ~attr =
@@ -109,6 +111,45 @@ let d0_event_prob t ~attr =
 let reset_observations t =
   Array.iter Estimator.reset t.hists;
   t.events_seen <- 0
+
+module Export = struct
+  type t = {
+    hists : Estimator.Export.t array;
+    events_seen : int;
+    priorities : (int * float) list;
+  }
+end
+
+let export t =
+  {
+    Export.hists = Array.map Estimator.export t.hists;
+    events_seen = t.events_seen;
+    priorities =
+      Hashtbl.fold (fun id w acc -> (id, w) :: acc) t.priorities []
+      |> List.sort compare;
+  }
+
+let import t (e : Export.t) =
+  if Array.length e.Export.hists <> Array.length t.hists then
+    Error "Stats.import: attribute arity mismatch"
+  else begin
+    let rec hists i =
+      if i >= Array.length t.hists then Ok ()
+      else
+        match Estimator.import t.hists.(i) e.Export.hists.(i) with
+        | Error _ as err -> err
+        | Ok () -> hists (i + 1)
+    in
+    match hists 0 with
+    | Error _ as err -> err
+    | Ok () ->
+      t.events_seen <- e.Export.events_seen;
+      Hashtbl.reset t.priorities;
+      List.iter
+        (fun (id, w) -> Hashtbl.replace t.priorities id w)
+        e.Export.priorities;
+      Ok ()
+  end
 
 let absorb t ~from =
   if t != from then begin

@@ -70,7 +70,36 @@ val d0_event_prob : t -> attr:int -> float
 (** Pe(D0): probability that an event's value falls in the
     zero-subdomain — the second factor of measure A2. *)
 
+val history_smoothing : float
+(** Pseudo-count applied to the observed histogram when it backs
+    {!event_dist} (0.5). Exposed so recovery code can reconstruct the
+    exact distribution a live statistics object would have produced. *)
+
 val reset_observations : t -> unit
+
+(** {1 Serialization}
+
+    The durable subset of a statistics object: per-attribute observed
+    histograms, the events-seen count, and profile priorities. Assumed
+    (caller-installed) event distributions and profile-weight overrides
+    are runtime configuration and are deliberately {e not} part of an
+    export — a recovered broker's caller re-installs them if wanted. *)
+
+module Export : sig
+  type t = {
+    hists : Genas_dist.Estimator.Export.t array;
+    events_seen : int;
+    priorities : (int * float) list;  (** sorted by profile id *)
+  }
+end
+
+val export : t -> Export.t
+
+val import : t -> Export.t -> (unit, string) result
+(** Replace the observed history and priorities with the exported
+    ones. Fails on attribute-arity or histogram-layout mismatch; on
+    failure the target may have been partially updated and should be
+    discarded. *)
 
 val absorb : t -> from:t -> unit
 (** [absorb t ~from] merges [from]'s observed event history (the

@@ -77,6 +77,43 @@ let estimate ?(smoothing = 0.0) t =
     Dist.of_pieces t.axis pieces
   end
 
+module Export = struct
+  type nonrec t = {
+    exact : bool;
+    bins : int;
+    counts : float array;
+    total : int;
+    dropped : int;
+  }
+end
+
+let export t =
+  {
+    Export.exact = t.exact;
+    bins = t.bins;
+    counts = Array.copy t.counts;
+    total = t.total;
+    dropped = t.dropped;
+  }
+
+let import t (e : Export.t) =
+  if e.Export.bins <> t.bins || e.Export.exact <> t.exact then
+    Error "Estimator.import: mismatched bin layout"
+  else if Array.length e.Export.counts <> t.bins then
+    Error "Estimator.import: counts length disagrees with bins"
+  else begin
+    Array.blit e.Export.counts 0 t.counts 0 t.bins;
+    t.total <- e.Export.total;
+    t.dropped <- e.Export.dropped;
+    Ok ()
+  end
+
+let of_export axis e =
+  let fresh = create ~bins:(Stdlib.max 1 e.Export.bins) axis in
+  match import fresh e with
+  | Ok () -> Ok fresh
+  | Error _ -> Error "Estimator.of_export: layout does not fit the axis"
+
 let l1_on_grid ?(bins = 64) a b =
   if not (Axis.equal (Dist.axis a) (Dist.axis b)) then
     invalid_arg "Estimator.l1_on_grid: mismatched axes";

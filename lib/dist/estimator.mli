@@ -41,6 +41,36 @@ val estimate : ?smoothing:float -> t -> Dist.t
 
     @raise Invalid_argument if no observations and [smoothing = 0]. *)
 
+(** {1 Serialization}
+
+    A histogram's full observable state as a plain value, for durable
+    snapshots. An export is layout-checked on the way back in, so a
+    journal written against one schema cannot silently corrupt an
+    estimator built for another. *)
+
+module Export : sig
+  type t = {
+    exact : bool;
+    bins : int;
+    counts : float array;
+    total : int;
+    dropped : int;
+  }
+end
+
+val export : t -> Export.t
+(** Deep copy of the current counts and counters. *)
+
+val import : t -> Export.t -> (unit, string) result
+(** Replace [t]'s state with the exported one. Fails (leaving [t]
+    untouched) unless the bin layout — [bins], [exact], counts length —
+    matches exactly. *)
+
+val of_export : Genas_model.Axis.t -> Export.t -> (t, string) result
+(** Rebuild a fresh estimator over [axis] holding the exported state.
+    Fails when the export's layout is not the one [create] would derive
+    for that axis and bin count. *)
+
 val l1_on_grid : ?bins:int -> Dist.t -> Dist.t -> float
 (** L1 distance between two distributions on a common axis, measured
     on an equal-width grid ([bins] defaults to 64). Ranges over

@@ -5,6 +5,7 @@ module Profile_set = Genas_profile.Profile_set
 module Lang = Genas_profile.Lang
 module Engine = Genas_core.Engine
 module Adaptive = Genas_core.Adaptive
+module Stats = Genas_core.Stats
 module Ops = Genas_filter.Ops
 module Pool = Genas_filter.Pool
 module Metrics = Genas_obs.Metrics
@@ -20,6 +21,7 @@ type prim_sub = {
 type comp_sub = {
   subscriber : string;
   detector : Composite.t;
+  expr : Composite.expr;  (** source expression, for durable snapshots *)
   prims : Profile.t list;  (** constituents, for the quench table *)
   handler : Notification.handler;
   c_delivered : Metrics.counter option;
@@ -88,10 +90,12 @@ type t = {
   mutable notifications : int;
   super : Supervise.t;
   faults : Fault.t option;
+  journal : Journal.t option;
   instruments : instruments option;
 }
 
-let create ?spec ?adaptive ?metrics ?retry ?faults ?deadletter_capacity schema =
+let create ?spec ?adaptive ?metrics ?retry ?faults ?deadletter_capacity ?journal
+    schema =
   let pset = Profile_set.create schema in
   let engine = Engine.create ?spec ?metrics pset in
   let adaptive =
@@ -112,6 +116,7 @@ let create ?spec ?adaptive ?metrics ?retry ?faults ?deadletter_capacity schema =
       Supervise.create ?policy:retry ?deadletter_capacity ?metrics
         ~prefix:"genas_broker" ();
     faults;
+    journal = Option.map (fun cfg -> Journal.create ?metrics schema cfg) journal;
     instruments = Option.map make_instruments metrics;
   }
 
@@ -127,6 +132,63 @@ let invalidate_quench t =
     | Some ins -> Metrics.Counter.incr ins.quench_invalidations_total
   end
 
+(* -- Durability ---------------------------------------------------- *)
+
+let snapshot_data t last_op =
+  let profiles =
+    List.rev
+      (Profile_set.fold t.pset ~init:[] ~f:(fun acc id p ->
+           let sub =
+             match Hashtbl.find_opt t.handlers id with
+             | Some s -> s.p_subscriber
+             | None -> ""
+           in
+           (id, sub, p) :: acc))
+  in
+  let composites =
+    Hashtbl.fold
+      (fun id c acc -> (id, c.subscriber, c.expr) :: acc)
+      t.composites []
+    |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+  in
+  let dlq = Supervise.deadletter t.super in
+  {
+    Snapshot.last_op;
+    fingerprint = Codec.schema_fingerprint t.schema;
+    profiles;
+    next_profile_id = Profile_set.next_id t.pset;
+    composites;
+    next_comp = t.next_comp;
+    published = t.published;
+    notifications = t.notifications;
+    ops = Engine.ops t.engine;
+    stats = Stats.export (Engine.stats t.engine);
+    adaptive = Option.map Adaptive.export t.adaptive;
+    supervise = Supervise.export t.super;
+    dlq_entries = Deadletter.entries dlq;
+    dlq_total = Deadletter.total dlq;
+    dlq_dropped = Deadletter.dropped dlq;
+  }
+
+let take_snapshot t j =
+  let cfg = Journal.configuration j in
+  Snapshot.write ?faults:t.faults ~dir:cfg.Journal.dir ~seed:cfg.Journal.seed
+    ~op:(Journal.ops_logged j) t.schema
+    (snapshot_data t (Journal.ops_logged j - 1));
+  Journal.wrote_snapshot j
+
+let snapshot_now t =
+  match t.journal with None -> () | Some j -> take_snapshot t j
+
+let journal_op t op =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+    Journal.append j ?faults:t.faults op;
+    if Journal.snapshot_due j then take_snapshot t j
+
+let wal t = t.journal
+
 let subscribe t ~subscriber ~profile handler =
   let id = Profile_set.add t.pset profile in
   Hashtbl.replace t.handlers id
@@ -136,6 +198,7 @@ let subscribe t ~subscriber ~profile handler =
       p_delivered = delivery_counter t.instruments subscriber;
     };
   invalidate_quench t;
+  journal_op t (Journal.Subscribe { id; subscriber; profile });
   Prim_sub id
 
 let subscribe_text t ~subscriber src handler =
@@ -160,11 +223,13 @@ let subscribe_composite t ~subscriber expr handler =
       {
         subscriber;
         detector;
+        expr;
         prims = prims_of_expr expr;
         handler;
         c_delivered = delivery_counter t.instruments subscriber;
       };
     invalidate_quench t;
+    journal_op t (Journal.Subscribe_composite { id; subscriber; expr });
     Ok (Comp_sub id)
 
 let unsubscribe t = function
@@ -172,14 +237,16 @@ let unsubscribe t = function
     let present = Profile_set.remove t.pset id in
     if present then begin
       Hashtbl.remove t.handlers id;
-      invalidate_quench t
+      invalidate_quench t;
+      journal_op t (Journal.Unsubscribe_prim { id })
     end;
     present
   | Comp_sub id ->
     let present = Hashtbl.mem t.composites id in
     if present then begin
       Hashtbl.remove t.composites id;
-      invalidate_quench t
+      invalidate_quench t;
+      journal_op t (Journal.Unsubscribe_comp { id })
     end;
     present
 
@@ -239,7 +306,36 @@ let feed_composites t event sent =
         (Composite.feed c.detector event))
     t.composites
 
+(* A publish record carries the dead letters it caused: the journaled
+   op must be self-contained, because replay cannot re-run the
+   handlers that failed. *)
+let journal_publish t ~events ~batch ~total_before =
+  match t.journal with
+  | None -> ()
+  | Some _ ->
+    let dlq = Supervise.deadletter t.super in
+    let held = Deadletter.length dlq in
+    let keep = Stdlib.min (Deadletter.total dlq - total_before) held in
+    let skip = held - keep in
+    let new_deadletters =
+      List.filteri (fun i _ -> i >= skip) (Deadletter.entries dlq)
+    in
+    journal_op t
+      (Journal.Publish
+         {
+           events;
+           batch;
+           published = t.published;
+           notifications = t.notifications;
+           ops = Engine.ops t.engine;
+           supervise = Supervise.export t.super;
+           new_deadletters;
+           dlq_total = Deadletter.total dlq;
+           dlq_dropped = Deadletter.dropped dlq;
+         })
+
 let publish t event =
+  let total_before = Deadletter.total (Supervise.deadletter t.super) in
   t.published <- t.published + 1;
   let matched =
     match t.adaptive with
@@ -255,9 +351,11 @@ let publish t event =
   | Some ins ->
     Metrics.Counter.incr ins.published_total;
     Metrics.Counter.add ins.notifications_total !sent);
+  journal_publish t ~events:[| event |] ~batch:false ~total_before;
   !sent
 
 let publish_batch ?pool t events =
+  let total_before = Deadletter.total (Supervise.deadletter t.super) in
   let n = Array.length events in
   (* Matching fans out across the pool's domains; delivery stays on the
      calling domain, in batch order, because handlers are arbitrary
@@ -284,6 +382,7 @@ let publish_batch ?pool t events =
     Metrics.Histogram.observe ins.batch_size (float_of_int n);
     Metrics.Gauge.set ins.pool_workers
       (float_of_int (match pool with Some p -> Pool.domains p | None -> 1)));
+  journal_publish t ~events ~batch:true ~total_before;
   !sent
 
 let publish_quenched t event =
@@ -294,6 +393,268 @@ let publish_quenched t event =
     | Some ins -> Metrics.Counter.incr ins.quench_suppressed_total);
     None
   end
+
+let replay_deadletters t =
+  let dlq = Supervise.deadletter t.super in
+  let deliver (e : Deadletter.entry) =
+    let n = e.Deadletter.notification in
+    let target =
+      match n.Notification.origin with
+      | Notification.Primitive id ->
+        Option.map
+          (fun s -> (s.p_subscriber, s.p_handler, s.p_delivered))
+          (Hashtbl.find_opt t.handlers id)
+      | Notification.Composite id ->
+        Option.map
+          (fun c -> (c.subscriber, c.handler, c.c_delivered))
+          (Hashtbl.find_opt t.composites id)
+    in
+    match target with
+    | None ->
+      (* The subscription is gone; keep the letter for the operator. *)
+      Deadletter.push dlq e;
+      false
+    | Some (subscriber, handler, counter) ->
+      if Supervise.deliver t.super ?faults:t.faults ~subscriber ~handler n
+      then begin
+        t.notifications <- t.notifications + 1;
+        (match t.instruments with
+        | None -> ()
+        | Some ins -> Metrics.Counter.incr ins.notifications_total);
+        deliver_incr counter;
+        true
+      end
+      else false
+  in
+  let redelivered, failed = Deadletter.replay dlq ~deliver in
+  journal_op t
+    (Journal.Deadletter_replay
+       {
+         published = t.published;
+         notifications = t.notifications;
+         supervise = Supervise.export t.super;
+         dlq_entries = Deadletter.entries dlq;
+         dlq_total = Deadletter.total dlq;
+         dlq_dropped = Deadletter.dropped dlq;
+       });
+  (redelivered, failed)
+
+(* -- Recovery ------------------------------------------------------ *)
+
+let set_published t n =
+  (match t.instruments with
+  | None -> ()
+  | Some ins ->
+    Metrics.Counter.add ins.published_total (Stdlib.max 0 (n - t.published)));
+  t.published <- n
+
+let set_notifications t n =
+  (match t.instruments with
+  | None -> ()
+  | Some ins ->
+    Metrics.Counter.add ins.notifications_total
+      (Stdlib.max 0 (n - t.notifications)));
+  t.notifications <- n
+
+(* Replay one journaled operation onto a recovering broker. Matching
+   decisions are re-executed (so the learned statistics and composite
+   detector streams regrow exactly); counters and supervisor state are
+   restored absolutely from the record. *)
+let apply_op t resolve op =
+  let ( let* ) = Result.bind in
+  match op with
+  | Journal.Subscribe { id; subscriber; profile } -> (
+    match Profile_set.add_with_id t.pset ~id profile with
+    | () ->
+      Hashtbl.replace t.handlers id
+        {
+          p_subscriber = subscriber;
+          p_handler = resolve ~subscriber;
+          p_delivered = delivery_counter t.instruments subscriber;
+        };
+      invalidate_quench t;
+      Ok ()
+    | exception Invalid_argument msg -> Error msg)
+  | Journal.Subscribe_composite { id; subscriber; expr } -> (
+    match Composite.compile t.schema expr with
+    | Error e -> Error e
+    | Ok detector ->
+      Hashtbl.replace t.composites id
+        {
+          subscriber;
+          detector;
+          expr;
+          prims = prims_of_expr expr;
+          handler = resolve ~subscriber;
+          c_delivered = delivery_counter t.instruments subscriber;
+        };
+      if id >= t.next_comp then t.next_comp <- id + 1;
+      invalidate_quench t;
+      Ok ())
+  | Journal.Unsubscribe_prim { id } ->
+    if Profile_set.remove t.pset id then begin
+      Hashtbl.remove t.handlers id;
+      invalidate_quench t
+    end;
+    Ok ()
+  | Journal.Unsubscribe_comp { id } ->
+    if Hashtbl.mem t.composites id then begin
+      Hashtbl.remove t.composites id;
+      invalidate_quench t
+    end;
+    Ok ()
+  | Journal.Publish
+      {
+        events;
+        batch;
+        published;
+        notifications;
+        ops;
+        supervise;
+        new_deadletters;
+        dlq_total;
+        dlq_dropped;
+      } ->
+    Array.iter (fun ev -> Engine.replay_observe t.engine ev) events;
+    (match t.adaptive with
+    | None -> ()
+    | Some a ->
+      (* Same cadence as the live path: one tick per event for single
+         publishes, one tick for the whole array for batches. *)
+      if batch then Adaptive.note_events a (Array.length events)
+      else Array.iter (fun _ -> Adaptive.note_events a 1) events);
+    Array.iter
+      (fun ev ->
+        Hashtbl.iter
+          (fun _ c -> ignore (Composite.feed c.detector ev))
+          t.composites)
+      events;
+    set_published t published;
+    set_notifications t notifications;
+    Engine.restore_ops t.engine ops;
+    let dlq = Supervise.deadletter t.super in
+    List.iter (Deadletter.push dlq) new_deadletters;
+    Deadletter.force_counters dlq ~total:dlq_total ~dropped:dlq_dropped;
+    let* () = Supervise.import t.super supervise in
+    Ok ()
+  | Journal.Deadletter_replay
+      { published; notifications; supervise; dlq_entries; dlq_total; dlq_dropped }
+    ->
+    set_published t published;
+    set_notifications t notifications;
+    Deadletter.restore
+      (Supervise.deadletter t.super)
+      dlq_entries ~total:dlq_total ~dropped:dlq_dropped;
+    let* () = Supervise.import t.super supervise in
+    Ok ()
+
+let recover ?spec ?adaptive ?metrics ?retry ?faults ?deadletter_capacity
+    ?(handlers = fun ~subscriber:_ -> fun (_ : Notification.t) -> ())
+    ~journal:cfg schema =
+  let ( let* ) = Result.bind in
+  let* recovered, j = Journal.recover ?metrics schema cfg in
+  let pset = Profile_set.create schema in
+  (* Profiles go in before the engine is created: the engine's first
+     tree is then built from the restored set, and the stats imported
+     below are not wiped by a staleness refresh. *)
+  let* () =
+    match recovered.Journal.snapshot with
+    | None -> Ok ()
+    | Some snap -> (
+      match
+        List.iter
+          (fun (id, _, p) -> Profile_set.add_with_id pset ~id p)
+          snap.Snapshot.profiles
+      with
+      | () ->
+        Profile_set.reserve_ids pset snap.Snapshot.next_profile_id;
+        Ok ()
+      | exception Invalid_argument msg -> Error msg)
+  in
+  let engine = Engine.create ?spec ?metrics pset in
+  let adaptive =
+    Option.map (fun policy -> Adaptive.create ~policy ?metrics engine) adaptive
+  in
+  let t =
+    {
+      schema;
+      pset;
+      engine;
+      adaptive;
+      handlers = Hashtbl.create 64;
+      composites = Hashtbl.create 8;
+      next_comp = 0;
+      quench = None;
+      published = 0;
+      notifications = 0;
+      super =
+        Supervise.create ?policy:retry ?deadletter_capacity ?metrics
+          ~prefix:"genas_broker" ();
+      faults;
+      (* Attached after replay, so replaying never re-journals. *)
+      journal = None;
+      instruments = Option.map make_instruments metrics;
+    }
+  in
+  let resolve = handlers in
+  let* () =
+    match recovered.Journal.snapshot with
+    | None -> Ok ()
+    | Some snap ->
+      List.iter
+        (fun (id, subscriber, _) ->
+          Hashtbl.replace t.handlers id
+            {
+              p_subscriber = subscriber;
+              p_handler = resolve ~subscriber;
+              p_delivered = delivery_counter t.instruments subscriber;
+            })
+        snap.Snapshot.profiles;
+      let* () = Stats.import (Engine.stats engine) snap.Snapshot.stats in
+      Engine.restore_ops engine snap.Snapshot.ops;
+      let* () =
+        match (adaptive, snap.Snapshot.adaptive) with
+        | Some a, Some e -> Adaptive.import a e
+        | _ -> Ok ()
+      in
+      let* () =
+        List.fold_left
+          (fun acc (id, subscriber, expr) ->
+            let* () = acc in
+            match Composite.compile t.schema expr with
+            | Error e -> Error e
+            | Ok detector ->
+              Hashtbl.replace t.composites id
+                {
+                  subscriber;
+                  detector;
+                  expr;
+                  prims = prims_of_expr expr;
+                  handler = resolve ~subscriber;
+                  c_delivered = delivery_counter t.instruments subscriber;
+                };
+              Ok ())
+          (Ok ()) snap.Snapshot.composites
+      in
+      t.next_comp <- Stdlib.max t.next_comp snap.Snapshot.next_comp;
+      set_published t snap.Snapshot.published;
+      set_notifications t snap.Snapshot.notifications;
+      Deadletter.restore
+        (Supervise.deadletter t.super)
+        snap.Snapshot.dlq_entries ~total:snap.Snapshot.dlq_total
+        ~dropped:snap.Snapshot.dlq_dropped;
+      Supervise.import t.super snap.Snapshot.supervise
+  in
+  let* () =
+    List.fold_left
+      (fun acc op ->
+        let* () = acc in
+        apply_op t resolve op)
+      (Ok ()) recovered.Journal.tail
+  in
+  Ok { t with journal = Some j }
+
+let close t = match t.journal with None -> () | Some j -> Journal.close j
 
 let ops t = Engine.ops t.engine
 
@@ -308,6 +669,19 @@ let published t = t.published
 let notifications t = t.notifications
 
 let subscription_count t = Profile_set.size t.pset + Hashtbl.length t.composites
+
+let subscriptions t =
+  let prims =
+    Hashtbl.fold
+      (fun id s acc -> (Prim_sub id, s.p_subscriber) :: acc)
+      t.handlers []
+  in
+  let comps =
+    Hashtbl.fold
+      (fun id c acc -> (Comp_sub id, c.subscriber) :: acc)
+      t.composites []
+  in
+  List.sort Stdlib.compare (prims @ comps)
 
 let engine t = t.engine
 

@@ -19,10 +19,18 @@ val create :
   ?retry:Supervise.policy ->
   ?faults:Fault.t ->
   ?deadletter_capacity:int ->
+  ?journal:Journal.config ->
   Genas_model.Schema.t ->
   t
 (** [adaptive] enables periodic distribution-driven re-optimization of
     the filter tree.
+
+    [journal] makes the broker durable: every state-changing operation
+    is appended to a write-ahead journal in [journal.dir] (a {e fresh}
+    journal — any previous contents of the directory are discarded; use
+    {!recover} to resume them), and a {!Snapshot} is taken every
+    [journal.snapshot_every] operations. See docs/ROBUSTNESS.md,
+    "Durability & recovery".
 
     [metrics] instruments the broker (publish/notification counters,
     per-subscriber delivery counters, quench-cache churn, delivery
@@ -125,9 +133,70 @@ val notifications : t -> int
 
 val subscription_count : t -> int
 
+val subscriptions : t -> (sub_id * string) list
+(** Live subscriptions with their subscriber names, primitives (by
+    profile id) before composites. Lets a caller that did not create a
+    subscription — an operator console, or code resuming after
+    {!recover} — address it for {!unsubscribe}. *)
+
 val engine : t -> Genas_core.Engine.t
 (** The underlying filter engine (for inspection: tree shape, analytic
     reports, statistics). *)
 
 val rebuilds : t -> int
 (** Adaptive re-optimizations performed (0 without [adaptive]). *)
+
+(** {1 Durability} *)
+
+val wal : t -> Journal.t option
+(** The broker's write-ahead journal, when created with [?journal] or
+    by {!recover}. *)
+
+val snapshot_now : t -> unit
+(** Take a snapshot immediately (and restart the journal), regardless
+    of the cadence. No-op on an unjournaled broker.
+
+    @raise Fault.Crashed under an injected [Crash_mid_snapshot]. *)
+
+val replay_deadletters : t -> int * int
+(** Drain the dead-letter queue and push every entry back through the
+    supervised delivery path of its original subscription; returns
+    [(redelivered, failed)]. A redelivered notification increments
+    {!notifications} (and the delivery counters) exactly once; a
+    failing one is dead-lettered again by the supervisor — or, when its
+    subscription no longer exists, re-queued as is — without being
+    picked up twice in the same pass. Journaled brokers record the
+    outcome as a single journal operation. *)
+
+val close : t -> unit
+(** Close the journal file handle, if any. The broker remains usable
+    for in-memory operation; further journaled operations will fail. *)
+
+val recover :
+  ?spec:Genas_core.Reorder.spec ->
+  ?adaptive:Genas_core.Adaptive.policy ->
+  ?metrics:Genas_obs.Metrics.t ->
+  ?retry:Supervise.policy ->
+  ?faults:Fault.t ->
+  ?deadletter_capacity:int ->
+  ?handlers:(subscriber:string -> Notification.handler) ->
+  journal:Journal.config ->
+  Genas_model.Schema.t ->
+  (t, string) result
+(** Rebuild a broker from [journal.dir]: read the snapshot (if any),
+    truncate a torn or corrupt journal tail, and replay the remaining
+    operations. The recovered broker continues journaling in place.
+
+    Handlers are code and cannot be journaled; [handlers] re-binds each
+    subscriber name to a callback (default: a silent sink). For the
+    recovered broker to be {e bit-identical} to an uncrashed one —
+    matching decisions, learned distributions, tree shape after the
+    next rebuild, counters, dead-letter queue — pass the same [spec],
+    [adaptive], and [retry] the original was created with, and handlers
+    with the same accept/raise behavior.
+
+    Known limits (documented in docs/ROBUSTNESS.md): composite detector
+    state {e spanning} a snapshot boundary is not captured (occurrences
+    straddling the snapshot are regrown only from post-snapshot
+    events), and the statistics' {e assumed} (provider-declared)
+    distributions are not persisted. *)

@@ -1,0 +1,108 @@
+(** Seeded-deterministic binary codec for durable broker state.
+
+    The {!Journal} and {!Snapshot} modules serialize broker operations
+    and state through these encoders. The format is little-endian and
+    self-delimiting: every on-disk {e frame} is length-prefixed and
+    checksummed with seeded FNV-1a 64, so torn writes and bit rot are
+    detected structurally — a corrupt tail truncates, it never decodes.
+    The checksum seed is part of the journal configuration (and stored
+    in the file header), making whole files reproducible byte-for-byte
+    from the same operations and seed. *)
+
+exception Corrupt of string
+(** Raised by readers on malformed input. {!Journal} and {!Snapshot}
+    catch it at the record boundary and turn it into truncation or an
+    [Error] — it never escapes to broker callers. *)
+
+val checksum : seed:int -> string -> int64
+(** Seeded FNV-1a 64 over the payload bytes. *)
+
+(** {1 Writers} (append to a [Buffer.t]) *)
+
+val w_u8 : Buffer.t -> int -> unit
+val w_int : Buffer.t -> int -> unit
+val w_bool : Buffer.t -> bool -> unit
+val w_float : Buffer.t -> float -> unit
+val w_string : Buffer.t -> string -> unit
+val w_option : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a option -> unit
+val w_list : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a list -> unit
+val w_array : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a array -> unit
+
+(** {1 Readers} (a cursor over an in-memory string) *)
+
+type reader
+
+val reader : ?pos:int -> string -> reader
+
+val r_u8 : reader -> int
+val r_int : reader -> int
+val r_bool : reader -> bool
+val r_float : reader -> float
+val r_string : reader -> string
+val r_option : (reader -> 'a) -> reader -> 'a option
+val r_list : (reader -> 'a) -> reader -> 'a list
+val r_array : (reader -> 'a) -> reader -> 'a array
+
+val r_end : reader -> unit
+(** @raise Corrupt unless the cursor consumed the whole buffer. *)
+
+(** {1 Frames} *)
+
+val frame_header_len : int
+(** Bytes of framing overhead per record (length + checksum). *)
+
+val frame : seed:int -> string -> string
+(** Wrap a payload as [u32 LE length | i64 LE checksum | payload]. *)
+
+val parse_frames :
+  seed:int -> string -> pos:int -> string list * int * bool
+(** [parse_frames ~seed buf ~pos] decodes consecutive frames starting
+    at [pos]; stops at the first torn or checksum-failing frame.
+    Returns [(payloads, valid_end, tail_corrupt)]: the decoded payloads
+    in order, the byte offset one past the last valid frame, and
+    whether undecodable bytes remain after it. *)
+
+(** {1 Domain encodings} *)
+
+val w_value : Buffer.t -> Genas_model.Value.t -> unit
+val r_value : reader -> Genas_model.Value.t
+
+val w_event : Buffer.t -> Genas_model.Event.t -> unit
+
+val r_event : Genas_model.Schema.t -> reader -> Genas_model.Event.t
+(** Revalidates against the schema ([Corrupt] on domain violations). *)
+
+val w_notification : Buffer.t -> Notification.t -> unit
+val r_notification : Genas_model.Schema.t -> reader -> Notification.t
+
+val w_deadletter : Buffer.t -> Deadletter.entry -> unit
+val r_deadletter : Genas_model.Schema.t -> reader -> Deadletter.entry
+
+val w_profile :
+  Genas_model.Schema.t -> Buffer.t -> Genas_profile.Profile.t -> unit
+(** As name + profile-language body (the {!Store} persistence
+    contract: the body re-parses to an equivalent profile). *)
+
+val r_profile : Genas_model.Schema.t -> reader -> Genas_profile.Profile.t
+
+val w_expr : Genas_model.Schema.t -> Buffer.t -> Composite.expr -> unit
+val r_expr : Genas_model.Schema.t -> reader -> Composite.expr
+
+val w_ops : Buffer.t -> Genas_filter.Ops.t -> unit
+val r_ops : reader -> Genas_filter.Ops.t
+
+val w_estimator : Buffer.t -> Genas_dist.Estimator.Export.t -> unit
+val r_estimator : reader -> Genas_dist.Estimator.Export.t
+
+val w_stats : Buffer.t -> Genas_core.Stats.Export.t -> unit
+val r_stats : reader -> Genas_core.Stats.Export.t
+
+val w_adaptive : Buffer.t -> Genas_core.Adaptive.Export.t -> unit
+val r_adaptive : reader -> Genas_core.Adaptive.Export.t
+
+val w_supervise : Buffer.t -> Supervise.Export.t -> unit
+val r_supervise : reader -> Supervise.Export.t
+
+val schema_fingerprint : Genas_model.Schema.t -> string
+(** Rendered attribute list, stored in snapshots so recovery under a
+    different schema fails loudly instead of decoding garbage. *)

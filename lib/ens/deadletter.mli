@@ -50,3 +50,27 @@ val entries : t -> entry list
 val iter : t -> (entry -> unit) -> unit
 
 val clear : t -> unit
+
+val replay : t -> deliver:(entry -> bool) -> int * int
+(** [replay t ~deliver] drains the queue and feeds every held entry to
+    [deliver], oldest first; returns [(redelivered, failed)] counts of
+    [true]/[false] results. The queue is emptied {e before} the first
+    call, so a [deliver] that routes back through supervised delivery
+    may dead-letter the entry again without this pass picking it up a
+    second time. See {!Broker.replay_deadletters} for the wired-up
+    form. *)
+
+(** {1 Recovery} *)
+
+val restore : t -> entry list -> total:int -> dropped:int -> unit
+(** Replace the queue's contents and lifetime counters with journaled
+    state (entries oldest first; trimmed to capacity from the front).
+
+    @raise Invalid_argument on negative counters. *)
+
+val force_counters : t -> total:int -> dropped:int -> unit
+(** Overwrite just the lifetime counters — used when replay has re-pushed
+    journaled entries and the absolute counters must win over the
+    replayed increments.
+
+    @raise Invalid_argument on negative counters. *)

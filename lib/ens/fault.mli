@@ -18,6 +18,24 @@ exception Injected of string
 (** Raised in place of the real handler when a plan injects a handler
     failure; also what supervised delivery reports as the error. *)
 
+type crash_point =
+  | Crash_before_fsync
+      (** process dies while a journal record is in flight: a torn
+          frame reaches the disk, the operation is lost *)
+  | Crash_after_journal
+      (** process dies after the record is durable but before the
+          caller observes the acknowledgement *)
+  | Crash_mid_snapshot
+      (** process dies while writing the snapshot temp file; the
+          previous snapshot and the journal stay intact *)
+
+exception Crashed of crash_point
+(** Raised at an injected crash point. Simulates process death: the
+    broker that raised it must be abandoned and rebuilt with
+    [Broker.recover]. *)
+
+val crash_point_name : crash_point -> string
+
 type spec = {
   handler_failure : (string * float) list;
       (** per-subscriber probability that one delivery {e attempt}
@@ -30,6 +48,12 @@ type spec = {
   broker_pause : float;
       (** probability a broker defers processing an arriving event
           (each arrival pauses at most once) *)
+  crash_before_fsync : float;
+      (** probability a journal append dies mid-write (torn record) *)
+  crash_after_journal : float;
+      (** probability the process dies right after a durable append *)
+  crash_mid_snapshot : float;
+      (** probability a snapshot write dies before the atomic rename *)
 }
 
 val none : spec
@@ -41,6 +65,7 @@ type fault =
   | Link_duplicate of { src : int; dst : int }
   | Link_delay of { src : int; dst : int }
   | Broker_pause of { node : int }
+  | Crash of { point : crash_point; op : int }
 
 type t
 
@@ -61,6 +86,21 @@ val handler_raises : t -> subscriber:string -> bool
 val link_fate : t -> src:int -> dst:int -> [ `Forward | `Drop | `Duplicate | `Delay ]
 
 val broker_pauses : t -> node:int -> bool
+
+val journal_crash : t -> op:int -> crash_point option
+(** Drawn by {!Journal.append} before each record, identified by the
+    journal operation index. At most one crash ever fires per plan —
+    the simulated process only dies once — and the two journal crash
+    probabilities share a single draw ([crash_before_fsync] wins ties
+    the way [link_fate] orders link faults). *)
+
+val snapshot_crash : t -> op:int -> bool
+(** Drawn by the snapshot writer; [true] means die mid-write (before
+    the atomic rename). Also fires at most once per plan, sharing the
+    crashed latch with {!journal_crash}. *)
+
+val crashed : t -> bool
+(** [true] once any crash point has fired. *)
 
 (** {1 Inspection} *)
 

@@ -1,0 +1,427 @@
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Profile = Genas_profile.Profile
+module Ops = Genas_filter.Ops
+module Metrics = Genas_obs.Metrics
+
+let log_src = Logs.Src.create "genas.journal" ~doc:"GENAS write-ahead journal"
+
+module Log = (val Logs.src_log log_src)
+
+type config = { dir : string; snapshot_every : int; fsync : bool; seed : int }
+
+let default_seed = 0x6a6c5eed
+
+let config ?(snapshot_every = 512) ?(fsync = true) ?(seed = default_seed) dir =
+  if snapshot_every < 1 then
+    invalid_arg "Journal.config: snapshot_every must be positive";
+  { dir; snapshot_every; fsync; seed }
+
+type op =
+  | Subscribe of { id : int; subscriber : string; profile : Profile.t }
+  | Subscribe_composite of {
+      id : int;
+      subscriber : string;
+      expr : Composite.expr;
+    }
+  | Unsubscribe_prim of { id : int }
+  | Unsubscribe_comp of { id : int }
+  | Publish of {
+      events : Event.t array;
+      batch : bool;
+      published : int;
+      notifications : int;
+      ops : Ops.t;
+      supervise : Supervise.Export.t;
+      new_deadletters : Deadletter.entry list;
+      dlq_total : int;
+      dlq_dropped : int;
+    }
+  | Deadletter_replay of {
+      published : int;
+      notifications : int;
+      supervise : Supervise.Export.t;
+      dlq_entries : Deadletter.entry list;
+      dlq_total : int;
+      dlq_dropped : int;
+    }
+
+type instruments = {
+  appends_total : Metrics.counter;
+  bytes_total : Metrics.counter;
+  fsyncs_total : Metrics.counter;
+  snapshots_total : Metrics.counter;
+  truncations_total : Metrics.counter;
+  replayed_ops_total : Metrics.counter;
+  recoveries_total : Metrics.counter;
+  size_bytes : Metrics.gauge;
+}
+
+let make_instruments registry =
+  {
+    appends_total =
+      Metrics.counter registry "genas_journal_appends_total"
+        ~help:"Operations appended to the write-ahead journal";
+    bytes_total =
+      Metrics.counter registry "genas_journal_bytes_total"
+        ~help:"Framed bytes appended to the journal";
+    fsyncs_total =
+      Metrics.counter registry "genas_journal_fsyncs_total"
+        ~help:"fsync calls issued by the journal";
+    snapshots_total =
+      Metrics.counter registry "genas_journal_snapshots_total"
+        ~help:"Snapshots installed (journal truncations after snapshot)";
+    truncations_total =
+      Metrics.counter registry "genas_journal_truncations_total"
+        ~help:"Corrupt or torn journal tails truncated during recovery";
+    replayed_ops_total =
+      Metrics.counter registry "genas_journal_replayed_ops_total"
+        ~help:"Journal operations replayed by recovery";
+    recoveries_total =
+      Metrics.counter registry "genas_journal_recoveries_total"
+        ~help:"Successful Broker.recover completions";
+    size_bytes =
+      Metrics.gauge registry "genas_journal_size_bytes"
+        ~help:"Current size of the journal file (bytes)";
+  }
+
+type t = {
+  config : config;
+  schema : Schema.t;
+  mutable oc : out_channel;
+  mutable next_op : int;
+  mutable since_snapshot : int;
+  mutable file_bytes : int;
+  mutable appends : int;
+  mutable bytes : int;
+  mutable snapshots : int;
+  mutable truncations : int;
+  mutable replayed : int;
+  instruments : instruments option;
+}
+
+let magic = "GWAL001\n"
+
+let header seed =
+  let b = Buffer.create 16 in
+  Buffer.add_string b magic;
+  Codec.w_int b seed;
+  Buffer.contents b
+
+let header_len = 16
+
+let wal_file cfg = Filename.concat cfg.dir "journal.wal"
+
+let with_ins t f = match t.instruments with None -> () | Some ins -> f ins
+
+let set_size t n =
+  t.file_bytes <- n;
+  with_ins t (fun ins -> Metrics.Gauge.set ins.size_bytes (float_of_int n))
+
+let do_fsync t =
+  if t.config.fsync then begin
+    Unix.fsync (Unix.descr_of_out_channel t.oc);
+    with_ins t (fun ins -> Metrics.Counter.incr ins.fsyncs_total)
+  end
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Journal: %s exists and is not a directory" dir)
+
+let create ?metrics schema cfg =
+  mkdir_p cfg.dir;
+  Snapshot.remove ~dir:cfg.dir;
+  let oc = open_out_bin (wal_file cfg) in
+  output_string oc (header cfg.seed);
+  flush oc;
+  let t =
+    {
+      config = cfg;
+      schema;
+      oc;
+      next_op = 0;
+      since_snapshot = 0;
+      file_bytes = header_len;
+      appends = 0;
+      bytes = 0;
+      snapshots = 0;
+      truncations = 0;
+      replayed = 0;
+      instruments = Option.map make_instruments metrics;
+    }
+  in
+  do_fsync t;
+  set_size t header_len;
+  t
+
+let configuration t = t.config
+
+let ops_logged t = t.next_op
+
+let appends t = t.appends
+
+let snapshots_written t = t.snapshots
+
+let truncations t = t.truncations
+
+let replayed_ops t = t.replayed
+
+let size_bytes t = t.file_bytes
+
+(* {1 Record encoding} — payload is [op index | tag | fields]. *)
+
+let encode_op schema opi op =
+  let b = Buffer.create 256 in
+  Codec.w_int b opi;
+  (match op with
+  | Subscribe { id; subscriber; profile } ->
+    Codec.w_u8 b 0;
+    Codec.w_int b id;
+    Codec.w_string b subscriber;
+    Codec.w_profile schema b profile
+  | Subscribe_composite { id; subscriber; expr } ->
+    Codec.w_u8 b 1;
+    Codec.w_int b id;
+    Codec.w_string b subscriber;
+    Codec.w_expr schema b expr
+  | Unsubscribe_prim { id } ->
+    Codec.w_u8 b 2;
+    Codec.w_int b id
+  | Unsubscribe_comp { id } ->
+    Codec.w_u8 b 3;
+    Codec.w_int b id
+  | Publish
+      {
+        events;
+        batch;
+        published;
+        notifications;
+        ops;
+        supervise;
+        new_deadletters;
+        dlq_total;
+        dlq_dropped;
+      } ->
+    Codec.w_u8 b 4;
+    Codec.w_array Codec.w_event b events;
+    Codec.w_bool b batch;
+    Codec.w_int b published;
+    Codec.w_int b notifications;
+    Codec.w_ops b ops;
+    Codec.w_supervise b supervise;
+    Codec.w_list Codec.w_deadletter b new_deadletters;
+    Codec.w_int b dlq_total;
+    Codec.w_int b dlq_dropped
+  | Deadletter_replay
+      { published; notifications; supervise; dlq_entries; dlq_total; dlq_dropped }
+    ->
+    Codec.w_u8 b 5;
+    Codec.w_int b published;
+    Codec.w_int b notifications;
+    Codec.w_supervise b supervise;
+    Codec.w_list Codec.w_deadletter b dlq_entries;
+    Codec.w_int b dlq_total;
+    Codec.w_int b dlq_dropped);
+  Buffer.contents b
+
+let decode_op schema payload =
+  let r = Codec.reader payload in
+  let opi = Codec.r_int r in
+  let op =
+    match Codec.r_u8 r with
+    | 0 ->
+      let id = Codec.r_int r in
+      let subscriber = Codec.r_string r in
+      let profile = Codec.r_profile schema r in
+      Subscribe { id; subscriber; profile }
+    | 1 ->
+      let id = Codec.r_int r in
+      let subscriber = Codec.r_string r in
+      let expr = Codec.r_expr schema r in
+      Subscribe_composite { id; subscriber; expr }
+    | 2 -> Unsubscribe_prim { id = Codec.r_int r }
+    | 3 -> Unsubscribe_comp { id = Codec.r_int r }
+    | 4 ->
+      let events = Codec.r_array (Codec.r_event schema) r in
+      let batch = Codec.r_bool r in
+      let published = Codec.r_int r in
+      let notifications = Codec.r_int r in
+      let ops = Codec.r_ops r in
+      let supervise = Codec.r_supervise r in
+      let new_deadletters = Codec.r_list (Codec.r_deadletter schema) r in
+      let dlq_total = Codec.r_int r in
+      let dlq_dropped = Codec.r_int r in
+      Publish
+        {
+          events;
+          batch;
+          published;
+          notifications;
+          ops;
+          supervise;
+          new_deadletters;
+          dlq_total;
+          dlq_dropped;
+        }
+    | 5 ->
+      let published = Codec.r_int r in
+      let notifications = Codec.r_int r in
+      let supervise = Codec.r_supervise r in
+      let dlq_entries = Codec.r_list (Codec.r_deadletter schema) r in
+      let dlq_total = Codec.r_int r in
+      let dlq_dropped = Codec.r_int r in
+      Deadletter_replay
+        { published; notifications; supervise; dlq_entries; dlq_total; dlq_dropped }
+    | tag -> raise (Codec.Corrupt (Printf.sprintf "bad op tag %d" tag))
+  in
+  Codec.r_end r;
+  (opi, op)
+
+let append t ?faults op =
+  let opi = t.next_op in
+  let framed =
+    Codec.frame ~seed:t.config.seed (encode_op t.schema opi op)
+  in
+  let crash =
+    match faults with Some f -> Fault.journal_crash f ~op:opi | None -> None
+  in
+  match crash with
+  | Some Fault.Crash_before_fsync ->
+    (* Torn write: a prefix of the frame reaches the disk, the record
+       is not durable. Recovery detects it by length/checksum and
+       truncates. *)
+    output_string t.oc (String.sub framed 0 ((String.length framed / 2) + 1));
+    flush t.oc;
+    raise (Fault.Crashed Fault.Crash_before_fsync)
+  | Some Fault.Crash_mid_snapshot | Some Fault.Crash_after_journal | None -> (
+    output_string t.oc framed;
+    flush t.oc;
+    do_fsync t;
+    t.next_op <- opi + 1;
+    t.since_snapshot <- t.since_snapshot + 1;
+    t.appends <- t.appends + 1;
+    t.bytes <- t.bytes + String.length framed;
+    set_size t (t.file_bytes + String.length framed);
+    with_ins t (fun ins ->
+        Metrics.Counter.incr ins.appends_total;
+        Metrics.Counter.add ins.bytes_total (String.length framed));
+    match crash with
+    | Some Fault.Crash_after_journal ->
+      (* The record is durable; the simulated process dies before the
+         caller sees the acknowledgement. *)
+      raise (Fault.Crashed Fault.Crash_after_journal)
+    | _ -> ())
+
+let snapshot_due t = t.since_snapshot >= t.config.snapshot_every
+
+let wrote_snapshot t =
+  (* The snapshot now covers every journaled op: restart the log. The
+     old journal is only truncated after the snapshot's atomic rename,
+     and records carry op indices, so a crash between the two steps
+     merely replays ops the snapshot already covers (skipped by
+     [last_op]). *)
+  close_out t.oc;
+  t.oc <- open_out_bin (wal_file t.config);
+  output_string t.oc (header t.config.seed);
+  flush t.oc;
+  do_fsync t;
+  t.since_snapshot <- 0;
+  t.snapshots <- t.snapshots + 1;
+  set_size t header_len;
+  with_ins t (fun ins -> Metrics.Counter.incr ins.snapshots_total)
+
+let close t = close_out t.oc
+
+(* {1 Recovery} *)
+
+type recovered = {
+  snapshot : Snapshot.data option;
+  tail : op list;
+  truncated : int;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let recover ?metrics schema cfg =
+  let path = wal_file cfg in
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "no journal at %s" path)
+  else
+    match Snapshot.read ~dir:cfg.dir ~seed:cfg.seed schema with
+    | Error e -> Error e
+    | Ok snapshot -> (
+      let contents = read_file path in
+      if
+        String.length contents < header_len
+        || not (String.equal (String.sub contents 0 8) magic)
+      then Error "journal: bad header"
+      else if
+        Int64.to_int (String.get_int64_le contents (String.length magic))
+        <> cfg.seed
+      then Error "journal: checksum seed mismatch"
+      else
+        let payloads, valid_end, tail_corrupt =
+          Codec.parse_frames ~seed:cfg.seed contents ~pos:header_len
+        in
+        match List.map (decode_op schema) payloads with
+        | exception Codec.Corrupt msg -> Error ("journal: " ^ msg)
+        | records ->
+          let truncated =
+            if tail_corrupt then begin
+              (* Torn or corrupt tail: drop it physically so the next
+                 append starts at a clean frame boundary. Never fatal. *)
+              Log.warn (fun m ->
+                  m "truncating %d corrupt byte(s) at the tail of %s"
+                    (String.length contents - valid_end)
+                    path);
+              Unix.truncate path valid_end;
+              1
+            end
+            else 0
+          in
+          let last_covered =
+            match snapshot with Some s -> s.Snapshot.last_op | None -> -1
+          in
+          let tail =
+            List.filter_map
+              (fun (opi, op) -> if opi > last_covered then Some op else None)
+              records
+          in
+          let next_op =
+            List.fold_left
+              (fun acc (opi, _) -> Stdlib.max acc (opi + 1))
+              (last_covered + 1) records
+          in
+          let oc =
+            open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+          in
+          let t =
+            {
+              config = cfg;
+              schema;
+              oc;
+              next_op;
+              since_snapshot = List.length tail;
+              file_bytes = valid_end;
+              appends = 0;
+              bytes = 0;
+              snapshots = 0;
+              truncations = truncated;
+              replayed = List.length tail;
+              instruments = Option.map make_instruments metrics;
+            }
+          in
+          set_size t valid_end;
+          with_ins t (fun ins ->
+              Metrics.Counter.add ins.truncations_total truncated;
+              Metrics.Counter.add ins.replayed_ops_total (List.length tail);
+              Metrics.Counter.incr ins.recoveries_total);
+          Ok ({ snapshot; tail; truncated }, t))

@@ -1,0 +1,149 @@
+(** Write-ahead journal of broker operations.
+
+    The paper's speedup lives in statistics {e learned from observed
+    traffic}; this journal makes them (and the subscriptions that
+    consume them) survive a crash. Every state-changing broker
+    operation — subscribe, unsubscribe, publish acceptance (with its
+    dead-letter appends), dead-letter replay — is appended as one
+    length-prefixed, checksummed record after its in-memory effects
+    complete, so a crash loses at most the operation in flight, always
+    atomically.
+
+    Publish records carry {e absolute} counter snapshots (published,
+    notifications, matcher operation counters, the full supervisor
+    export) rather than deltas: replay restores exact values, and
+    re-executing a lost operation on recovered state reproduces the
+    reference run bit-for-bit.
+
+    Every [snapshot_every] appends the {!Broker} takes a {!Snapshot}
+    and the journal restarts, bounding both file size and recovery
+    time. Recovery reads snapshot + journal tail; a torn or corrupt
+    tail (detected by length prefix and seeded FNV-1a 64 checksum) is
+    physically truncated and counted — never a crash.
+
+    File layout under the journal directory: [journal.wal] (header
+    [GWAL001\n] + seed, then framed records), [snapshot.bin], and a
+    transient [snapshot.tmp]. *)
+
+type config = {
+  dir : string;
+  snapshot_every : int;  (** journaled ops between snapshots *)
+  fsync : bool;  (** fsync after every append (and header write) *)
+  seed : int;  (** checksum seed, stored in the file headers *)
+}
+
+val config : ?snapshot_every:int -> ?fsync:bool -> ?seed:int -> string -> config
+(** [config dir] with [snapshot_every] defaulting to 512, [fsync] to
+    [true], [seed] to a fixed constant.
+
+    @raise Invalid_argument if [snapshot_every < 1]. *)
+
+type op =
+  | Subscribe of {
+      id : int;
+      subscriber : string;
+      profile : Genas_profile.Profile.t;
+    }
+  | Subscribe_composite of {
+      id : int;
+      subscriber : string;
+      expr : Composite.expr;
+    }
+  | Unsubscribe_prim of { id : int }
+  | Unsubscribe_comp of { id : int }
+  | Publish of {
+      events : Genas_model.Event.t array;
+      batch : bool;
+          (** batch publishes advance the adaptive cadence once for the
+              whole array, exactly like the live path *)
+      published : int;  (** absolute, after this operation *)
+      notifications : int;  (** absolute *)
+      ops : Genas_filter.Ops.t;  (** absolute matcher counters *)
+      supervise : Supervise.Export.t;  (** absolute supervisor state *)
+      new_deadletters : Deadletter.entry list;
+          (** entries this operation appended (dead-letter append is
+              journaled as part of the publish that caused it) *)
+      dlq_total : int;
+      dlq_dropped : int;
+    }
+  | Deadletter_replay of {
+      published : int;
+      notifications : int;
+      supervise : Supervise.Export.t;
+      dlq_entries : Deadletter.entry list;
+          (** the full queue after the replay pass (replay removes
+              entries, so the record replaces rather than appends) *)
+      dlq_total : int;
+      dlq_dropped : int;
+    }
+
+type t
+
+val create : ?metrics:Genas_obs.Metrics.t -> Genas_model.Schema.t -> config -> t
+(** Start a {e fresh} journal: creates [dir] if needed, deletes any
+    existing snapshot, and truncates [journal.wal]. Use {!recover} (via
+    [Broker.recover]) to resume an existing directory instead.
+
+    [metrics] registers the [genas_journal_*] family (see
+    docs/OBSERVABILITY.md). *)
+
+val append : t -> ?faults:Fault.t -> op -> unit
+(** Frame, write, and (per config) fsync one record. With a fault plan,
+    draws {!Fault.journal_crash} first: [Crash_before_fsync] writes a
+    torn prefix of the frame and raises {!Fault.Crashed} — the record
+    is {e not} durable; [Crash_after_journal] completes the append and
+    fsync, then raises — the record {e is} durable. *)
+
+val snapshot_due : t -> bool
+(** [true] once [snapshot_every] records accumulated since the last
+    snapshot (or creation). *)
+
+val wrote_snapshot : t -> unit
+(** Acknowledge an installed snapshot: restart [journal.wal] (header
+    only) and reset the cadence. Call only after {!Snapshot.write}
+    returned — the ordering (rename, then truncate) plus per-record op
+    indices make a crash between the two steps harmless. *)
+
+val close : t -> unit
+
+val configuration : t -> config
+
+(** {1 Counters} *)
+
+val ops_logged : t -> int
+(** Operations journaled over the broker's lifetime (monotonic across
+    snapshots and recoveries) — the index the next record will carry. *)
+
+val appends : t -> int
+(** Records appended by this handle. *)
+
+val snapshots_written : t -> int
+
+val truncations : t -> int
+(** Corrupt-tail truncations performed (at most one per recovery). *)
+
+val replayed_ops : t -> int
+(** Tail operations handed to replay by the recovery that created this
+    handle (0 for a fresh journal). *)
+
+val size_bytes : t -> int
+
+(** {1 Recovery} *)
+
+type recovered = {
+  snapshot : Snapshot.data option;
+  tail : op list;
+      (** journaled ops not covered by the snapshot, oldest first *)
+  truncated : int;  (** 1 if a corrupt tail was truncated, else 0 *)
+}
+
+val recover :
+  ?metrics:Genas_obs.Metrics.t ->
+  Genas_model.Schema.t ->
+  config ->
+  (recovered * t, string) result
+(** Read [dir]'s snapshot and journal, truncate any corrupt tail, and
+    return the recovered state plus a journal handle open for appending
+    (op indices continue where the log left off). Fails when no journal
+    exists, on header/seed mismatch, or when the snapshot itself is
+    corrupt. *)

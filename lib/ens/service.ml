@@ -49,7 +49,8 @@ let find_schema t name = Hashtbl.find_opt t.schemas name
 let schemas t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.schemas [] |> List.sort String.compare
 
-let create_broker t ~name ~schema ?spec ?adaptive ?metrics ?retry ?faults () =
+let create_broker t ~name ~schema ?spec ?adaptive ?metrics ?retry ?faults
+    ?journal () =
   if Hashtbl.mem t.brokers name then
     Error (Printf.sprintf "broker %S already defined" name)
   else
@@ -58,7 +59,23 @@ let create_broker t ~name ~schema ?spec ?adaptive ?metrics ?retry ?faults () =
     | Some s ->
       let metrics = match metrics with Some _ -> metrics | None -> t.metrics in
       Hashtbl.replace t.brokers name
-        (schema, Broker.create ?spec ?adaptive ?metrics ?retry ?faults s);
+        (schema, Broker.create ?spec ?adaptive ?metrics ?retry ?faults ?journal s);
+      Ok ()
+
+let recover_broker t ~name ~schema ?spec ?adaptive ?metrics ?retry ?faults
+    ?handlers ~journal () =
+  if Hashtbl.mem t.brokers name then
+    Error (Printf.sprintf "broker %S already defined" name)
+  else
+    match find_schema t schema with
+    | None -> Error (Printf.sprintf "unknown schema %S" schema)
+    | Some s ->
+      let metrics = match metrics with Some _ -> metrics | None -> t.metrics in
+      let* b =
+        Broker.recover ?spec ?adaptive ?metrics ?retry ?faults ?handlers
+          ~journal s
+      in
+      Hashtbl.replace t.brokers name (schema, b);
       Ok ()
 
 let find_broker t name = Option.map snd (Hashtbl.find_opt t.brokers name)

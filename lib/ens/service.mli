@@ -48,13 +48,32 @@ val create_broker :
   ?metrics:Genas_obs.Metrics.t ->
   ?retry:Supervise.policy ->
   ?faults:Fault.t ->
+  ?journal:Journal.config ->
   unit ->
   (unit, string) result
 (** Fails on duplicate broker names or unknown schemas. [metrics]
     overrides the service-wide registry passed to {!create}; omitted,
     the service registry (if any) is used, so brokers created through
-    the service layer are never silently uninstrumentable. [retry] and
-    [faults] are forwarded to {!Broker.create}. *)
+    the service layer are never silently uninstrumentable. [retry],
+    [faults], and [journal] (durability — a fresh write-ahead journal)
+    are forwarded to {!Broker.create}. *)
+
+val recover_broker :
+  t ->
+  name:string ->
+  schema:string ->
+  ?spec:Genas_core.Reorder.spec ->
+  ?adaptive:Genas_core.Adaptive.policy ->
+  ?metrics:Genas_obs.Metrics.t ->
+  ?retry:Supervise.policy ->
+  ?faults:Fault.t ->
+  ?handlers:(subscriber:string -> Notification.handler) ->
+  journal:Journal.config ->
+  unit ->
+  (unit, string) result
+(** Register a broker rebuilt from a journal directory via
+    {!Broker.recover}. Fails like {!create_broker}, or when recovery
+    itself fails (no journal, corrupt snapshot, schema mismatch). *)
 
 val find_broker : t -> string -> Broker.t option
 

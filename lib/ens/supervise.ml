@@ -106,6 +106,9 @@ let trace_cap = 4096
 type t = {
   policy : policy;
   rng : Prng.t;  (** jitter stream; consumed only when a retry happens *)
+  mutable jitter_draws : int;
+      (** draws consumed from [rng] so far — journaled so recovery can
+          fast-forward a fresh stream to the same position *)
   circuits : (string, circuit) Hashtbl.t;
   dlq : Deadletter.t;
   mutable deliveries : int;
@@ -128,6 +131,7 @@ let create ?(policy = default_policy) ?(deadletter_capacity = 1024) ?metrics
   {
     policy;
     rng = Prng.create ~seed:policy.jitter_seed;
+    jitter_draws = 0;
     circuits = Hashtbl.create 16;
     dlq = Deadletter.create ~capacity:deadletter_capacity ();
     deliveries = 0;
@@ -214,7 +218,10 @@ let backoff_for t ~attempt =
   in
   let b =
     if t.policy.jitter = 0.0 then base
-    else base *. (1.0 -. (t.policy.jitter *. Prng.float t.rng ~bound:1.0))
+    else begin
+      t.jitter_draws <- t.jitter_draws + 1;
+      base *. (1.0 -. (t.policy.jitter *. Prng.float t.rng ~bound:1.0))
+    end
   in
   with_ins t (fun ins -> Metrics.Histogram.observe ins.backoff_ns_hist b);
   b
@@ -321,6 +328,81 @@ let trips t = t.trips
 let trace t = List.rev t.trace
 
 let trace_dropped t = t.trace_dropped
+
+let circuits t =
+  Hashtbl.fold (fun s c acc -> (s, c.state, c.count) :: acc) t.circuits []
+  |> List.sort compare
+
+module Export = struct
+  type nonrec t = {
+    deliveries : int;
+    delivered : int;
+    failures : int;
+    retries : int;
+    deadlettered : int;
+    short_circuited : int;
+    trips : int;
+    jitter_draws : int;
+    circuits : (string * circuit_state * int) list;
+  }
+end
+
+let export t =
+  {
+    Export.deliveries = t.deliveries;
+    delivered = t.delivered;
+    failures = t.failures;
+    retries = t.retries;
+    deadlettered = t.deadlettered;
+    short_circuited = t.short_circuited;
+    trips = t.trips;
+    jitter_draws = t.jitter_draws;
+    circuits = circuits t;
+  }
+
+let import t (e : Export.t) =
+  if e.Export.jitter_draws < t.jitter_draws then
+    Error "Supervise.import: jitter stream ahead of the exported position"
+  else begin
+    with_ins t (fun ins ->
+        let bump counter now target =
+          Metrics.Counter.add counter (Stdlib.max 0 (target - now))
+        in
+        bump ins.failures_total t.failures e.Export.failures;
+        bump ins.retries_total t.retries e.Export.retries;
+        bump ins.deadletters_total t.deadlettered e.Export.deadlettered;
+        bump ins.circuit_trips_total t.trips e.Export.trips;
+        bump ins.short_circuited_total t.short_circuited
+          e.Export.short_circuited;
+        Metrics.Gauge.set ins.deadletter_size
+          (float_of_int (Deadletter.length t.dlq));
+        let dropped = Deadletter.dropped t.dlq in
+        let seen = Metrics.Counter.value ins.deadletter_dropped_total in
+        if dropped > seen then
+          Metrics.Counter.add ins.deadletter_dropped_total (dropped - seen));
+    (* Fast-forward the jitter stream: re-create positions by discarding
+       the draws the original consumed before the export. *)
+    for _ = t.jitter_draws + 1 to e.Export.jitter_draws do
+      ignore (Prng.float t.rng ~bound:1.0)
+    done;
+    t.jitter_draws <- e.Export.jitter_draws;
+    Hashtbl.reset t.circuits;
+    let opens = ref 0 in
+    List.iter
+      (fun (s, state, count) ->
+        if state = Open then incr opens;
+        Hashtbl.replace t.circuits s { state; count })
+      e.Export.circuits;
+    set_open_count t (!opens - t.open_circuits);
+    t.deliveries <- e.Export.deliveries;
+    t.delivered <- e.Export.delivered;
+    t.failures <- e.Export.failures;
+    t.retries <- e.Export.retries;
+    t.deadlettered <- e.Export.deadlettered;
+    t.short_circuited <- e.Export.short_circuited;
+    t.trips <- e.Export.trips;
+    Ok ()
+  end
 
 let pp_outcome ppf = function
   | Delivered -> Format.pp_print_string ppf "delivered"

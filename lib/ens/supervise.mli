@@ -130,3 +130,40 @@ val trace_dropped : t -> int
 val pp_outcome : Format.formatter -> outcome -> unit
 
 val pp_record : Format.formatter -> record -> unit
+
+(** {1 Serialization}
+
+    The supervisor's durable state: lifetime counters, every
+    subscriber's circuit, and the position of the jitter stream (as a
+    draw count — recovery replays the seed and discards that many
+    draws, so post-recovery backoff schedules continue the original
+    sequence exactly). The diagnostic trace is not persisted. *)
+
+val circuits : t -> (string * circuit_state * int) list
+(** Every circuit ever touched, sorted by subscriber, with its state
+    and internal count (consecutive terminal failures when [Closed],
+    short-circuits since the trip when [Open]). *)
+
+module Export : sig
+  type t = {
+    deliveries : int;
+    delivered : int;
+    failures : int;
+    retries : int;
+    deadlettered : int;
+    short_circuited : int;
+    trips : int;
+    jitter_draws : int;
+    circuits : (string * circuit_state * int) list;
+  }
+end
+
+val export : t -> Export.t
+
+val import : t -> Export.t -> (unit, string) result
+(** Restore exported state into a supervisor created with the same
+    policy. Counters are overwritten (metrics advance by the
+    non-negative delta), circuits replaced, and the jitter stream
+    fast-forwarded. Fails if the target's jitter stream is already past
+    the exported position. Importing repeatedly with non-decreasing
+    exports (journal replay) is safe. *)

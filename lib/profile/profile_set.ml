@@ -21,6 +21,19 @@ let add t profile =
   Hashtbl.replace t.profiles id profile;
   id
 
+let add_with_id t ~id profile =
+  if id < 0 then invalid_arg "Profile_set.add_with_id: negative id";
+  if Hashtbl.mem t.profiles id then
+    invalid_arg (Printf.sprintf "Profile_set.add_with_id: id %d in use" id);
+  Hashtbl.replace t.profiles id profile;
+  if id >= t.next_id then t.next_id <- id + 1;
+  t.revision <- t.revision + 1
+
+let reserve_ids t next =
+  if next > t.next_id then t.next_id <- next
+
+let next_id t = t.next_id
+
 let add_spec t ?name specs =
   match Profile.create ?name t.schema specs with
   | Error e -> Error e

@@ -21,6 +21,22 @@ val add_spec :
   t -> ?name:string -> (string * Predicate.test) list -> (id, string) result
 (** Convenience: bind and register in one step. *)
 
+val add_with_id : t -> id:id -> Profile.t -> unit
+(** Re-register a profile under an explicit identifier — the recovery
+    path, where journaled ids must be reproduced exactly so the rebuilt
+    tree and flat matcher are bit-identical to the original's. Advances
+    the internal id counter past [id].
+
+    @raise Invalid_argument if [id] is negative or already live. *)
+
+val reserve_ids : t -> id -> unit
+(** Ensure the next assigned id is at least [id]. Recovery uses this to
+    restore the counter past ids that were assigned and later removed —
+    ids are never reused, even across a crash. *)
+
+val next_id : t -> id
+(** The id the next [add] will assign (for durable snapshots). *)
+
 val remove : t -> id -> bool
 (** [true] if the id was present. *)
 

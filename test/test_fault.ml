@@ -231,6 +231,50 @@ let test_circuit_breaker_lifecycle () =
     (Supervise.circuit sup "shaky" = Supervise.Open);
   Alcotest.(check int) "re-trip counted" 3 (Supervise.trips sup)
 
+(* Half-open discipline: after the cooldown the supervisor risks
+   exactly one probe attempt — the policy's retry budget does not apply
+   to probes — and a failing probe re-opens the circuit immediately. *)
+let test_half_open_single_probe () =
+  let s = schema () in
+  let sup =
+    Supervise.create
+      ~policy:(Supervise.retry_policy ~max_attempts:3 ~trip_after:2 ~cooldown:2 ())
+      ~prefix:"t" ()
+  in
+  let calls = ref 0 in
+  let handler _ =
+    incr calls;
+    failwith "down"
+  in
+  let deliver () =
+    Supervise.deliver sup ~subscriber:"shaky" ~handler (notification s)
+  in
+  (* Two terminal failures (three attempts each) trip the breaker. *)
+  ignore (deliver ());
+  ignore (deliver ());
+  Alcotest.(check bool) "tripped" true
+    (Supervise.circuit sup "shaky" = Supervise.Open);
+  Alcotest.(check int) "three attempts per terminal failure" 6 !calls;
+  let retries_before = Supervise.retries sup in
+  Alcotest.(check int) "two retries per terminal failure" 4 retries_before;
+  (* A short-circuited delivery consumes the cooldown without touching
+     the handler. *)
+  ignore (deliver ());
+  Alcotest.(check int) "short circuit skips the handler" 6 !calls;
+  (* The next delivery is the half-open probe: exactly one attempt,
+     even though the policy allows three, and no retries are burned. *)
+  Alcotest.(check bool) "probe fails" false (deliver ());
+  Alcotest.(check int) "exactly one probe attempt" 7 !calls;
+  Alcotest.(check int) "no retry budget consumed" retries_before
+    (Supervise.retries sup);
+  Alcotest.(check bool) "probe failure re-opens" true
+    (Supervise.circuit sup "shaky" = Supervise.Open);
+  match List.rev (Deadletter.entries (Supervise.deadletter sup)) with
+  | e :: _ ->
+    Alcotest.(check int) "probe dead-lettered after one attempt" 1
+      e.Deadletter.attempts
+  | [] -> Alcotest.fail "expected the probe's dead letter"
+
 (* --- dead-letter bounds --------------------------------------------- *)
 
 let test_deadletter_bounds () =
@@ -305,6 +349,7 @@ let test_routed_fault_determinism () =
   let s = schema () in
   let spec =
     {
+      Fault.none with
       Fault.handler_failure = [ ("edge", 0.3) ];
       link_drop = 0.2;
       link_duplicate = 0.1;
@@ -437,6 +482,8 @@ let () =
       ( "circuit",
         [
           Alcotest.test_case "lifecycle" `Quick test_circuit_breaker_lifecycle;
+          Alcotest.test_case "half-open single probe" `Quick
+            test_half_open_single_probe;
         ] );
       ( "deadletter",
         [ Alcotest.test_case "bounds" `Quick test_deadletter_bounds ] );

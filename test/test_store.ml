@@ -1,0 +1,86 @@
+(* Persistence round-trips. The profile files are text in the profile
+   language, so the property at stake is semantic: a saved-then-loaded
+   registry must match exactly the events the original matched, for
+   profiles mixing open and closed interval bounds, set predicates, and
+   don't-care attributes. *)
+
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Profile = Genas_profile.Profile
+module Profile_set = Genas_profile.Profile_set
+module Store = Genas_ens.Store
+module Gen = Genas_testlib.Gen
+
+let with_temp_file f =
+  let path = Filename.temp_file "genas_store" ".profiles" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+(* Profiles in id order — save writes them in this order, and load
+   re-registers them in file order, so position is the correspondence. *)
+let in_order pset =
+  List.rev (Profile_set.fold pset ~init:[] ~f:(fun acc _ p -> p :: acc))
+
+let match_vector schema profiles event =
+  List.map (fun p -> Profile.matches schema p event) profiles
+
+let scenario_gen =
+  QCheck.Gen.(
+    Gen.schema ~max_attrs:4 () >>= fun schema ->
+    Gen.profile_set schema >>= fun pset ->
+    Gen.events ~n:40 schema >|= fun events -> (schema, pset, events))
+
+let prop_profiles_roundtrip =
+  QCheck.Test.make ~count:200
+    ~name:"save/load profiles preserves matching semantics"
+    (QCheck.make scenario_gen) (fun (schema, pset, events) ->
+      with_temp_file (fun path ->
+          match Store.save_profiles path schema pset with
+          | Error e -> QCheck.Test.fail_reportf "save failed: %s" e
+          | Ok () -> (
+            match Store.load_profiles schema path with
+            | Error e -> QCheck.Test.fail_reportf "load failed: %s" e
+            | Ok loaded ->
+              let original = in_order pset in
+              let reloaded = in_order loaded in
+              if List.length original <> List.length reloaded then
+                QCheck.Test.fail_reportf "size changed: %d -> %d"
+                  (List.length original) (List.length reloaded)
+              else if
+                not
+                  (List.for_all
+                     (fun ev ->
+                       match_vector schema original ev
+                       = match_vector schema reloaded ev)
+                     events)
+              then
+                QCheck.Test.fail_reportf
+                  "matching diverged after a save/load round-trip"
+              else true)))
+
+(* The event log round-trips too (sequence numbers are positional). *)
+let prop_events_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"save/load events preserves values"
+    (QCheck.make
+       QCheck.Gen.(
+         Gen.schema ~max_attrs:4 () >>= fun schema ->
+         Gen.events ~n:25 schema >|= fun events -> (schema, events)))
+    (fun (schema, events) ->
+      with_temp_file (fun path ->
+          match Store.save_events path schema events with
+          | Error e -> QCheck.Test.fail_reportf "save failed: %s" e
+          | Ok () -> (
+            match Store.load_events schema path with
+            | Error e -> QCheck.Test.fail_reportf "load failed: %s" e
+            | Ok loaded ->
+              List.length loaded = List.length events
+              && List.for_all2 Event.equal loaded events)))
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "roundtrip",
+        [
+          QCheck_alcotest.to_alcotest prop_profiles_roundtrip;
+          QCheck_alcotest.to_alcotest prop_events_roundtrip;
+        ] );
+    ]
