@@ -1,8 +1,8 @@
 # Convenience targets; `make check` is the tier-1 gate (build + tests
 # + the seconds-scale bench smoke).
 
-.PHONY: all build test check faultcheck recovercheck bench bench-smoke \
-  bench-json clean
+.PHONY: all build test check faultcheck recovercheck tracecheck bench \
+  bench-smoke bench-json clean
 
 all: build
 
@@ -14,7 +14,7 @@ test:
 
 check:
 	dune build @all && dune runtest && $(MAKE) faultcheck \
-	  && $(MAKE) recovercheck && $(MAKE) bench-smoke
+	  && $(MAKE) recovercheck && $(MAKE) tracecheck && $(MAKE) bench-smoke
 
 # Fault-injection suite: the supervised-delivery unit tests plus the
 # deterministic CLI demo pinned by test/cram/faults.t.
@@ -32,6 +32,13 @@ recovercheck:
 	./_build/default/test/test_journal.exe -q
 	./_build/default/test/test_recover.exe -q
 
+# Tracing suite: tracer/flight-recorder unit tests plus the CLI demo
+# pinned by test/cram/trace.t (same-seed Chrome trace JSON compared
+# byte-for-byte, flight-recorder dump on an injected crash).
+tracecheck:
+	dune build test/test_trace.exe bin/genas_cli.exe @test/cram/trace
+	./_build/default/test/test_trace.exe -q
+
 bench:
 	dune exec bench/main.exe -- all
 
@@ -47,7 +54,7 @@ bench-smoke:
 # Full-budget run refreshing the committed perf-trajectory record.
 bench-json:
 	dune exec bin/genas_cli.exe -- bench --json --events 200000 \
-	  --out BENCH_PR2.json
+	  --out BENCH_PR5.json
 
 clean:
 	dune clean

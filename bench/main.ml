@@ -24,6 +24,9 @@ module Counting = Genas_filter.Counting
 module Stats = Genas_core.Stats
 module Selectivity = Genas_core.Selectivity
 module Reorder = Genas_core.Reorder
+module Profile_set = Genas_profile.Profile_set
+module Broker = Genas_ens.Broker
+module Trace = Genas_obs.Trace
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing suite: one Test.make per matcher / per table-sized
@@ -59,9 +62,26 @@ let timing_workload () =
   in
   (schema, pset, decomp, stats, events)
 
+(* A broker over the timing workload's 500 profiles with null
+   handlers: [sample = None] is the pre-tracing publish path,
+   [Some 0.0] attaches a never-sampling tracer (the disabled-tracing
+   cost), [Some 1.0] traces every publish into the flight recorder. *)
+let publish_broker schema pset sample =
+  let b =
+    match sample with
+    | None -> Broker.create schema
+    | Some sample ->
+      Broker.create ~tracer:(Trace.create ~sample ~seed:100 ()) schema
+  in
+  Profile_set.iter pset (fun id p ->
+      ignore
+        (Broker.subscribe b ~subscriber:(string_of_int id) ~profile:p
+           (fun _ -> ())));
+  b
+
 let timing_tests () =
   let open Bechamel in
-  let _, pset, decomp, stats, events = timing_workload () in
+  let schema, pset, decomp, stats, events = timing_workload () in
   let idx = ref 0 in
   let next_event () =
     let e = events.(!idx) in
@@ -111,6 +131,15 @@ let timing_tests () =
        let cur = Flat.cursor flat in
        match_test "match/flat-binary" (fun e ->
            ignore (Flat.match_into flat cur e)));
+      (* Tracing overhead on the full publish path (matching +
+         supervised delivery): untraced vs tracer-attached-but-never-
+         sampling vs fully traced. *)
+      (let b = publish_broker schema pset None in
+       match_test "publish/untraced" (fun e -> ignore (Broker.publish b e)));
+      (let b = publish_broker schema pset (Some 0.0) in
+       match_test "publish/traced-off" (fun e -> ignore (Broker.publish b e)));
+      (let b = publish_broker schema pset (Some 1.0) in
+       match_test "publish/traced" (fun e -> ignore (Broker.publish b e)));
       (* TV1: construction cost. *)
       Test.make ~name:"build/tree-500p"
         (Staged.stage (fun () ->

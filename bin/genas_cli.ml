@@ -497,34 +497,36 @@ let journal_summary b =
       (Journal.ops_logged j)
       (Journal.snapshots_written j)
 
+let crash_plan ~seed crash crash_prob =
+  let module Fault = Genas_ens.Fault in
+  match crash with
+  | None -> None
+  | Some kind ->
+    let spec =
+      match kind with
+      | "before-fsync" ->
+        { Fault.none with Fault.crash_before_fsync = crash_prob }
+      | "after-journal" ->
+        { Fault.none with Fault.crash_after_journal = crash_prob }
+      | "mid-snapshot" ->
+        { Fault.none with Fault.crash_mid_snapshot = crash_prob }
+      | other ->
+        or_die
+          (Error
+             (Printf.sprintf
+                "unknown --crash %S (before-fsync|after-journal|mid-snapshot)"
+                other))
+    in
+    (try Some (Fault.plan ~seed spec)
+     with Invalid_argument msg -> or_die (Error msg))
+
 let run_journal dir seed events snapshot_every crash crash_prob =
   let module Broker = Genas_ens.Broker in
   let module Journal = Genas_ens.Journal in
   let module Fault = Genas_ens.Fault in
   let module Value = Genas_model.Value in
   if events <= 0 then or_die (Error "need a positive --events count");
-  let faults =
-    match crash with
-    | None -> None
-    | Some kind ->
-      let spec =
-        match kind with
-        | "before-fsync" ->
-          { Fault.none with Fault.crash_before_fsync = crash_prob }
-        | "after-journal" ->
-          { Fault.none with Fault.crash_after_journal = crash_prob }
-        | "mid-snapshot" ->
-          { Fault.none with Fault.crash_mid_snapshot = crash_prob }
-        | other ->
-          or_die
-            (Error
-               (Printf.sprintf
-                  "unknown --crash %S (before-fsync|after-journal|mid-snapshot)"
-                  other))
-      in
-      (try Some (Fault.plan ~seed spec)
-       with Invalid_argument msg -> or_die (Error msg))
-  in
+  let faults = crash_plan ~seed crash crash_prob in
   let journal =
     try Journal.config ~snapshot_every dir
     with Invalid_argument msg -> or_die (Error msg)
@@ -569,6 +571,73 @@ let run_recover dir =
     Printf.printf "subscriptions %d\n" (Broker.subscription_count b);
     journal_summary b;
     Broker.close b
+
+(* ------------------------------------------------------------------ *)
+(* Tracing demo: the journal workload through a traced broker, under a
+   deterministic counter clock — identical seeds produce byte-identical
+   Chrome trace JSON, which the cram suite pins with cmp.             *)
+
+let run_trace chrome events seed sample dir crash crash_prob =
+  let module Broker = Genas_ens.Broker in
+  let module Journal = Genas_ens.Journal in
+  let module Fault = Genas_ens.Fault in
+  let module Value = Genas_model.Value in
+  if events <= 0 then or_die (Error "need a positive --events count");
+  if crash <> None && dir = None then
+    or_die (Error "--crash needs a journal directory (--dir)");
+  (* Every Clock.now_ns call advances a fake clock by 1µs: span
+     timestamps depend only on the call sequence, never the host. *)
+  let counter = ref 0L in
+  Obs.Clock.set_source (fun () ->
+      counter := Int64.add !counter 1_000L;
+      !counter);
+  Fun.protect ~finally:Obs.Clock.reset_source @@ fun () ->
+  let tracer =
+    try Obs.Trace.create ~sample ~capacity:8 ~seed ()
+    with Invalid_argument msg -> or_die (Error msg)
+  in
+  let faults = crash_plan ~seed crash crash_prob in
+  let journal =
+    match dir with
+    | None -> None
+    | Some d -> (
+      try Some (Journal.config ~snapshot_every:16 d)
+      with Invalid_argument msg -> or_die (Error msg))
+  in
+  let schema = journal_schema () in
+  let b = Broker.create ?faults ?journal ~tracer schema in
+  journal_subscribe b;
+  let rng = Genas_prng.Prng.create ~seed in
+  let topics = [| "weather"; "traffic"; "energy" |] in
+  let crashed = ref None in
+  (try
+     for i = 0 to events - 1 do
+       let ev =
+         Event.create_exn ~time:(float_of_int i) schema
+           [
+             ("topic", Value.Str (Genas_prng.Prng.choice rng topics));
+             ("severity", Value.Int (Genas_prng.Prng.int rng ~bound:10));
+           ]
+       in
+       ignore (Broker.publish b ev)
+     done;
+     if journal <> None then Broker.close b
+   with Fault.Crashed point -> crashed := Some point);
+  if chrome then print_string (Obs.Trace.to_chrome tracer)
+  else begin
+    Printf.printf
+      "traced workload: %d events, seed %d, sample %g: %d traces started, %d \
+       sampled, %d completed, %d evicted\n"
+      events seed sample (Obs.Trace.started tracer) (Obs.Trace.sampled tracer)
+      (Obs.Trace.completed tracer) (Obs.Trace.evicted tracer);
+    match !crashed with
+    | Some p ->
+      Printf.printf "crashed: %s\n" (Fault.crash_point_name p);
+      print_string
+        (Option.value ~default:"" (Obs.Trace.last_dump tracer))
+    | None ->
+      print_string (Option.value ~default:"" (Broker.dump_flight_recorder b))
+  end
 
 let run_jsoncheck () =
   let input = In_channel.input_all stdin in
@@ -904,6 +973,52 @@ let recover_cmd =
              truncating a torn tail) and report the rebuilt state")
     Term.(const run_recover $ journal_dir_arg)
 
+let trace_cmd =
+  let chrome_arg =
+    Arg.(value & flag
+         & info [ "chrome" ]
+             ~doc:"Emit the flight recorder as Chrome trace-event JSON \
+                   (load in chrome://tracing or ui.perfetto.dev) instead \
+                   of the text dump.")
+  in
+  let events_arg =
+    Arg.(value & opt int 12 & info [ "events" ] ~doc:"Events to publish.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 7
+         & info [ "seed" ] ~doc:"Workload, sampler, and crash-plan seed.")
+  in
+  let sample_arg =
+    Arg.(value & opt float 1.0
+         & info [ "sample" ] ~doc:"Trace sampling probability in [0,1].")
+  in
+  let dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"Journal directory (enables journal/snapshot spans and \
+                   crash injection).")
+  in
+  let crash_arg =
+    Arg.(value & opt (some string) None
+         & info [ "crash" ]
+             ~doc:"Inject a seeded crash (needs --dir): before-fsync|\
+                   after-journal|mid-snapshot; the flight recorder is \
+                   dumped at the crash.")
+  in
+  let crash_prob_arg =
+    Arg.(value & opt float 0.02
+         & info [ "crash-prob" ] ~doc:"Per-operation crash probability.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a seeded workload through a traced broker under a \
+             deterministic clock and print the causal span trees (one per \
+             publish: matching, deliveries, retries, journal appends, \
+             snapshot installs) — as a flight-recorder dump or as Chrome \
+             trace JSON; identical seeds produce byte-identical output")
+    Term.(const run_trace $ chrome_arg $ events_arg $ seed_arg $ sample_arg
+          $ dir_arg $ crash_arg $ crash_prob_arg)
+
 let jsoncheck_cmd =
   Cmd.v
     (Cmd.info "jsoncheck"
@@ -920,4 +1035,4 @@ let () =
              ~doc:"Distribution-based event filtering (GENAS)")
           [ match_cmd; plan_cmd; simulate_cmd; dists_cmd; figures_cmd;
             bench_cmd; metrics_cmd; faults_cmd; journal_cmd; recover_cmd;
-            jsoncheck_cmd; repl_cmd ]))
+            trace_cmd; jsoncheck_cmd; repl_cmd ]))

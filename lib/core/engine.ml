@@ -65,6 +65,11 @@ type t = {
      steady-state path allocates no per-event match lists. *)
   mutable flat : Flat.t;
   mutable cursor : Flat.cursor;
+  (* Hotness profiling: [None] dispatches the plain traversal loop
+     (provably zero profiling cost); [Some r] dispatches the recording
+     twin. Rebuilds allocate a fresh recorder — counters are per
+     compiled tree, since node ids change shape. *)
+  mutable recorder : Flat.recorder option;
   ops : Ops.t;
   instruments : instruments option;
 }
@@ -92,7 +97,10 @@ let plan ~bins ~old_stats pset spec =
 let install_tree t tree =
   t.tree <- tree;
   t.flat <- Flat.compile tree;
-  t.cursor <- Flat.cursor t.flat
+  t.cursor <- Flat.cursor t.flat;
+  match t.recorder with
+  | None -> ()
+  | Some _ -> t.recorder <- Some (Flat.recorder t.flat)
 
 let create ?(spec = Reorder.default_spec) ?(bins = 64) ?metrics pset =
   let stats, tree = plan ~bins ~old_stats:None pset spec in
@@ -106,6 +114,7 @@ let create ?(spec = Reorder.default_spec) ?(bins = 64) ?metrics pset =
       tree;
       flat;
       cursor = Flat.cursor flat;
+      recorder = None;
       ops = Ops.create ();
       instruments = Option.map make_instruments metrics;
     }
@@ -173,15 +182,20 @@ let refresh_keeping_history t =
 (* Match one event through the flat cursor; returns the match count,
    ids borrowed from the cursor. Counter semantics are bit-identical to
    the former Tree.match_event path. *)
+let match_flat t event =
+  match t.recorder with
+  | None -> Flat.match_into ~ops:t.ops t.flat t.cursor event
+  | Some r -> Flat.match_into_recorded ~ops:t.ops t.flat t.cursor r event
+
 let match_core t event =
   refresh_if_stale t;
   Stats.observe_event t.stats event;
   match t.instruments with
-  | None -> Flat.match_into ~ops:t.ops t.flat t.cursor event
+  | None -> match_flat t event
   | Some ins ->
     let c0 = t.ops.Ops.comparisons in
     let t0 = Genas_obs.Clock.now_ns () in
-    let n = Flat.match_into ~ops:t.ops t.flat t.cursor event in
+    let n = match_flat t event in
     let dt = Int64.to_float (Int64.sub (Genas_obs.Clock.now_ns ()) t0) in
     let dc = t.ops.Ops.comparisons - c0 in
     Metrics.Histogram.observe ins.match_ns (Float.max 0.0 dt);
@@ -213,8 +227,18 @@ let match_batch ?pool t events =
       Pool.match_batch ~ops:t.ops p t.flat events
     | Some _ | None ->
       let out = Array.make (Array.length events) [||] in
-      Flat.match_batch ~ops:t.ops t.flat t.cursor events
-        ~f:(fun i ~ids ~len -> out.(i) <- Array.sub ids 0 len);
+      (match t.recorder with
+      | None ->
+        Flat.match_batch ~ops:t.ops t.flat t.cursor events
+          ~f:(fun i ~ids ~len -> out.(i) <- Array.sub ids 0 len)
+      | Some r ->
+        Array.iteri
+          (fun i e ->
+            let len =
+              Flat.match_into_recorded ~ops:t.ops t.flat t.cursor r e
+            in
+            out.(i) <- Array.sub (Flat.matches t.cursor) 0 len)
+          events);
       out
   in
   (match t.instruments with
@@ -248,3 +272,28 @@ let restore_ops t (o : Ops.t) =
   t.ops.Ops.matches <- o.Ops.matches
 
 let report t = Cost.evaluate_with_stats t.tree t.stats
+
+(* ------------------------------------------------------------------ *)
+(* Hotness profiling *)
+
+let set_profiling t on =
+  match (on, t.recorder) with
+  | true, None -> t.recorder <- Some (Flat.recorder t.flat)
+  | false, Some _ -> t.recorder <- None
+  | true, Some _ | false, None -> ()
+
+let profiling t = Option.is_some t.recorder
+
+let recorder t = t.recorder
+
+let last_path t =
+  match t.recorder with None -> [] | Some r -> Flat.last_path r
+
+let advisory ?tolerance t =
+  match t.recorder with
+  | None -> None
+  | Some r ->
+    Some
+      (Explain.advisory ?tolerance t.tree
+         ~level_visits:(Flat.level_visits r)
+         ~events:(Flat.recorded_events r))

@@ -94,6 +94,36 @@ val report : t -> Cost.report
 (** Analytic expectation for the current tree under the current
     statistics. *)
 
+(** {1 Hotness profiling}
+
+    When enabled, single-event and sequential-batch matching run
+    through {!Genas_filter.Flat.match_into_recorded}, accumulating
+    per-node and per-level visit counters and keeping the last
+    traversal path. Disabled (the default), matching dispatches the
+    plain loop, which takes no recorder argument at all — zero
+    profiling cost by construction. Pool-parallel batches are never
+    recorded (workers use private cursors). *)
+
+val set_profiling : t -> bool -> unit
+(** Enable/disable hotness recording. Enabling allocates a fresh
+    recorder; counters restart from zero whenever the tree is rebuilt
+    (flat node ids change shape). Idempotent. *)
+
+val profiling : t -> bool
+
+val recorder : t -> Genas_filter.Flat.recorder option
+(** The live recorder, for direct access to
+    {!Genas_filter.Flat.node_visits} / [level_visits]. *)
+
+val last_path : t -> Genas_filter.Flat.path_step list
+(** The most recently recorded event's traversal path ([] when
+    profiling is off or nothing matched yet). *)
+
+val advisory : ?tolerance:float -> t -> Explain.advisory option
+(** {!Explain.advisory} over the recorder's per-level visits against
+    the current tree's attribute order; [None] when profiling is
+    off. *)
+
 (** {1 Journal replay} *)
 
 val replay_observe : t -> Genas_model.Event.t -> unit

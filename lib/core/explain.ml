@@ -93,6 +93,102 @@ let trace tree event =
   in
   trace_coords tree coords
 
+(* ------------------------------------------------------------------ *)
+(* Hotness advisory: observed per-level survival vs the chosen order.
+
+   The planner puts the (predicted) most selective attribute first, so
+   along the tree the observed survival rate — the fraction of events
+   arriving at level l that proceed past it — should be non-decreasing
+   with depth. A later level with a lower survival rate than an
+   earlier one filters harder despite being tested later: the V/A
+   prediction that ordered them is inverted for the observed traffic,
+   and moving that attribute up would shed work earlier. *)
+
+type advisory_line = {
+  adv_level : int;
+  adv_attr : int;
+  adv_attr_name : string;
+  adv_visits : int;  (** events that reached this level *)
+  adv_survival : float;
+      (** visits(level+1) / visits(level); [nan] when no event reached
+          this level *)
+}
+
+type advisory = {
+  adv_events : int;
+  adv_lines : advisory_line list;  (** root level first *)
+  adv_inversions : (int * int) list;
+      (** (earlier level, later level): the later one filters harder *)
+  adv_ok : bool;
+}
+
+let advisory ?(tolerance = 0.05) (tree : Tree.t) ~level_visits ~events =
+  if not (Float.is_finite tolerance) || tolerance < 0.0 then
+    invalid_arg "Explain.advisory: tolerance must be non-negative";
+  let order = tree.Tree.config.Tree.attr_order in
+  let arity = Array.length order in
+  if Array.length level_visits < arity + 1 then
+    invalid_arg "Explain.advisory: level_visits too short for the tree";
+  let schema = tree.Tree.decomp.Decomp.schema in
+  let survival l =
+    let v = level_visits.(l) in
+    if v = 0 then Float.nan
+    else float_of_int level_visits.(l + 1) /. float_of_int v
+  in
+  let lines =
+    List.init arity (fun l ->
+        {
+          adv_level = l;
+          adv_attr = order.(l);
+          adv_attr_name = (Schema.attribute schema order.(l)).Schema.name;
+          adv_visits = level_visits.(l);
+          adv_survival = survival l;
+        })
+  in
+  let inversions = ref [] in
+  List.iter
+    (fun (li : advisory_line) ->
+      List.iter
+        (fun (lj : advisory_line) ->
+          if
+            lj.adv_level > li.adv_level
+            && Float.is_finite li.adv_survival
+            && Float.is_finite lj.adv_survival
+            && lj.adv_survival < li.adv_survival -. tolerance
+          then inversions := (li.adv_level, lj.adv_level) :: !inversions)
+        lines)
+    lines;
+  let inversions = List.rev !inversions in
+  { adv_events = events; adv_lines = lines; adv_inversions = inversions;
+    adv_ok = inversions = [] }
+
+let pp_advisory ppf a =
+  Format.fprintf ppf "@[<v>hotness advisory over %d event(s):@," a.adv_events;
+  List.iter
+    (fun l ->
+      Format.fprintf ppf
+        "level %d: %-12s %7d visit(s), survival %s@," l.adv_level
+        l.adv_attr_name l.adv_visits
+        (if Float.is_finite l.adv_survival then
+           Printf.sprintf "%.3f" l.adv_survival
+         else "n/a"))
+    a.adv_lines;
+  if a.adv_ok then
+    Format.fprintf ppf "ordering consistent with observed selectivity@]"
+  else begin
+    List.iter
+      (fun (i, j) ->
+        let line l = List.nth a.adv_lines l in
+        Format.fprintf ppf
+          "inversion: level %d (%s, survival %.3f) filters harder than level \
+           %d (%s, survival %.3f) — consider moving it earlier@,"
+          j (line j).adv_attr_name (line j).adv_survival i
+          (line i).adv_attr_name (line i).adv_survival)
+      a.adv_inversions;
+    Format.fprintf ppf "%d inversion(s) flagged@]"
+      (List.length a.adv_inversions)
+  end
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
   List.iter

@@ -32,3 +32,50 @@ val trace_coords : Genas_filter.Tree.t -> float array -> t
 
 val pp : Format.formatter -> t -> unit
 (** One line per step plus the verdict. *)
+
+(** {2 Hotness advisory}
+
+    Runtime validation of the paper's V/A ordering measures: compare
+    the traversal work a profiled engine actually observed (see
+    {!Genas_filter.Flat.recorder}) against the attribute order the
+    planner chose. The planner puts the predicted-most-selective
+    attribute first, so the observed survival rate — the fraction of
+    events arriving at a level that proceed past it — should be
+    non-decreasing with depth; a later level with lower survival than
+    an earlier one is an inversion worth re-planning for. *)
+
+type advisory_line = {
+  adv_level : int;
+  adv_attr : int;  (** natural attribute index tested at this level *)
+  adv_attr_name : string;
+  adv_visits : int;  (** events that reached this level *)
+  adv_survival : float;
+      (** visits(level+1) / visits(level); [nan] when no event reached
+          this level *)
+}
+
+type advisory = {
+  adv_events : int;  (** events profiled *)
+  adv_lines : advisory_line list;  (** root level first *)
+  adv_inversions : (int * int) list;
+      (** (earlier level, later level): the later level filters
+          harder despite being tested later *)
+  adv_ok : bool;  (** no inversions *)
+}
+
+val advisory :
+  ?tolerance:float ->
+  Genas_filter.Tree.t ->
+  level_visits:int array ->
+  events:int ->
+  advisory
+(** [level_visits] is {!Genas_filter.Flat.level_visits} (one slot per
+    level plus the leaf slot); [events] the recorded event count.
+    Survival drops smaller than [tolerance] (default 0.05) are not
+    flagged.
+
+    @raise Invalid_argument on a negative or non-finite tolerance, or
+    if [level_visits] is too short for the tree. *)
+
+val pp_advisory : Format.formatter -> advisory -> unit
+(** Per-level visit/survival table plus flagged inversions. *)

@@ -8,7 +8,9 @@ module Adaptive = Genas_core.Adaptive
 module Stats = Genas_core.Stats
 module Ops = Genas_filter.Ops
 module Pool = Genas_filter.Pool
+module Flat = Genas_filter.Flat
 module Metrics = Genas_obs.Metrics
+module Trace = Genas_obs.Trace
 
 type sub_id = Prim_sub of int | Comp_sub of int
 
@@ -91,13 +93,21 @@ type t = {
   super : Supervise.t;
   faults : Fault.t option;
   journal : Journal.t option;
+  tracer : Trace.t option;
   instruments : instruments option;
 }
 
 let create ?spec ?adaptive ?metrics ?retry ?faults ?deadletter_capacity ?journal
-    schema =
+    ?tracer schema =
   let pset = Profile_set.create schema in
   let engine = Engine.create ?spec ?metrics pset in
+  (* A traced broker profiles the matcher so every trace can carry the
+     traversal path; untraced brokers keep the plain (recorder-free)
+     match loop. *)
+  (match tracer with
+  | Some tr when Genas_obs.Trace.sample_rate tr > 0.0 ->
+    Engine.set_profiling engine true
+  | _ -> ());
   let adaptive =
     Option.map (fun policy -> Adaptive.create ~policy ?metrics engine) adaptive
   in
@@ -113,10 +123,11 @@ let create ?spec ?adaptive ?metrics ?retry ?faults ?deadletter_capacity ?journal
     published = 0;
     notifications = 0;
     super =
-      Supervise.create ?policy:retry ?deadletter_capacity ?metrics
+      Supervise.create ?policy:retry ?deadletter_capacity ?metrics ?tracer
         ~prefix:"genas_broker" ();
     faults;
     journal = Option.map (fun cfg -> Journal.create ?metrics schema cfg) journal;
+    tracer;
     instruments = Option.map make_instruments metrics;
   }
 
@@ -172,9 +183,12 @@ let snapshot_data t last_op =
 
 let take_snapshot t j =
   let cfg = Journal.configuration j in
-  Snapshot.write ?faults:t.faults ~dir:cfg.Journal.dir ~seed:cfg.Journal.seed
-    ~op:(Journal.ops_logged j) t.schema
+  let t0 = Genas_obs.Clock.now_ns () in
+  Snapshot.write ?faults:t.faults ?tracer:t.tracer ~dir:cfg.Journal.dir
+    ~seed:cfg.Journal.seed ~op:(Journal.ops_logged j) t.schema
     (snapshot_data t (Journal.ops_logged j - 1));
+  let dt = Int64.to_float (Int64.sub (Genas_obs.Clock.now_ns ()) t0) in
+  Journal.observe_snapshot_install j ~ns:dt;
   Journal.wrote_snapshot j
 
 let snapshot_now t =
@@ -184,7 +198,11 @@ let journal_op t op =
   match t.journal with
   | None -> ()
   | Some j ->
-    Journal.append j ?faults:t.faults op;
+    (match t.tracer with
+    | None -> Journal.append j ?faults:t.faults op
+    | Some tr ->
+      Trace.with_span tr ~name:"journal.append" (fun () ->
+          Journal.append j ?faults:t.faults op));
     if Journal.snapshot_due j then take_snapshot t j
 
 let wal t = t.journal
@@ -334,13 +352,57 @@ let journal_publish t ~events ~batch ~total_before =
            dlq_dropped = Deadletter.dropped dlq;
          })
 
-let publish t event =
+(* Attach the profiled matcher traversal of the event just matched to
+   the active trace (requires a traced broker, whose engine records). *)
+let attach_match_path t matched =
+  match t.tracer with
+  | None -> ()
+  | Some tr -> (
+    if Trace.active tr then
+      match Engine.last_path t.engine with
+      | [] -> ()
+      | steps ->
+        let arr f = Array.of_list (List.map f steps) in
+        Trace.attach_path tr
+          {
+            Trace.path_nodes = arr (fun s -> s.Flat.step_node);
+            path_levels = arr (fun s -> s.Flat.step_level);
+            path_edges = arr (fun s -> s.Flat.step_edge);
+            path_comparisons = arr (fun s -> s.Flat.step_comparisons);
+            path_matched = Array.of_list matched;
+          })
+
+(* Wrap a publish entry point in a root trace; an injected crash
+   escaping it dumps the flight recorder before propagating. *)
+let with_publish_trace t ~name f =
+  match t.tracer with
+  | None -> f ()
+  | Some tr -> (
+    try Trace.with_trace tr ~name f
+    with Fault.Crashed p as exn ->
+      ignore
+        (Trace.record_crash tr ~reason:("crashed: " ^ Fault.crash_point_name p));
+      raise exn)
+
+let publish_core t event =
   let total_before = Deadletter.total (Supervise.deadletter t.super) in
   t.published <- t.published + 1;
-  let matched =
+  let do_match () =
     match t.adaptive with
     | Some a -> Adaptive.match_event a event
     | None -> Engine.match_event t.engine event
+  in
+  let matched =
+    (* Only pay for the span (and its allocated attrs) when this
+       publish was actually sampled into an open trace. *)
+    match t.tracer with
+    | Some tr when Trace.active tr ->
+      Trace.with_span tr ~name:"engine.match" (fun () ->
+          let matched = do_match () in
+          Trace.add_attr tr "matched" (string_of_int (List.length matched));
+          attach_match_path t matched;
+          matched)
+    | Some _ | None -> do_match ()
   in
   let sent = ref 0 in
   List.iter (fun id -> deliver_prim t event id sent) matched;
@@ -354,16 +416,28 @@ let publish t event =
   journal_publish t ~events:[| event |] ~batch:false ~total_before;
   !sent
 
-let publish_batch ?pool t events =
+let publish t event =
+  with_publish_trace t ~name:"broker.publish" (fun () -> publish_core t event)
+
+let publish_batch_core ?pool t events =
   let total_before = Deadletter.total (Supervise.deadletter t.super) in
   let n = Array.length events in
   (* Matching fans out across the pool's domains; delivery stays on the
      calling domain, in batch order, because handlers are arbitrary
      user code and composite detection is stateful over the stream. *)
-  let results =
+  let do_match () =
     match t.adaptive with
     | Some a -> Adaptive.match_batch ?pool a events
     | None -> Engine.match_batch ?pool t.engine events
+  in
+  let results =
+    match t.tracer with
+    | Some tr when Trace.active tr ->
+      Trace.with_span tr ~name:"engine.match_batch" (fun () ->
+          let results = do_match () in
+          Trace.add_attr tr "events" (string_of_int n);
+          results)
+    | Some _ | None -> do_match ()
   in
   t.published <- t.published + n;
   let sent = ref 0 in
@@ -384,6 +458,10 @@ let publish_batch ?pool t events =
       (float_of_int (match pool with Some p -> Pool.domains p | None -> 1)));
   journal_publish t ~events ~batch:true ~total_before;
   !sent
+
+let publish_batch ?pool t events =
+  with_publish_trace t ~name:"broker.publish_batch" (fun () ->
+      publish_batch_core ?pool t events)
 
 let publish_quenched t event =
   if Quench.wanted_event (quench t) event then Some (publish t event)
@@ -549,7 +627,7 @@ let apply_op t resolve op =
     Ok ()
 
 let recover ?spec ?adaptive ?metrics ?retry ?faults ?deadletter_capacity
-    ?(handlers = fun ~subscriber:_ -> fun (_ : Notification.t) -> ())
+    ?tracer ?(handlers = fun ~subscriber:_ -> fun (_ : Notification.t) -> ())
     ~journal:cfg schema =
   let ( let* ) = Result.bind in
   let* recovered, j = Journal.recover ?metrics schema cfg in
@@ -572,6 +650,10 @@ let recover ?spec ?adaptive ?metrics ?retry ?faults ?deadletter_capacity
       | exception Invalid_argument msg -> Error msg)
   in
   let engine = Engine.create ?spec ?metrics pset in
+  (match tracer with
+  | Some tr when Genas_obs.Trace.sample_rate tr > 0.0 ->
+    Engine.set_profiling engine true
+  | _ -> ());
   let adaptive =
     Option.map (fun policy -> Adaptive.create ~policy ?metrics engine) adaptive
   in
@@ -588,11 +670,12 @@ let recover ?spec ?adaptive ?metrics ?retry ?faults ?deadletter_capacity
       published = 0;
       notifications = 0;
       super =
-        Supervise.create ?policy:retry ?deadletter_capacity ?metrics
+        Supervise.create ?policy:retry ?deadletter_capacity ?metrics ?tracer
           ~prefix:"genas_broker" ();
       faults;
       (* Attached after replay, so replaying never re-journals. *)
       journal = None;
+      tracer;
       instruments = Option.map make_instruments metrics;
     }
   in
@@ -687,3 +770,7 @@ let engine t = t.engine
 
 let rebuilds t =
   match t.adaptive with Some a -> Adaptive.rebuilds a | None -> 0
+
+let tracer t = t.tracer
+
+let dump_flight_recorder t = Option.map Trace.dump t.tracer

@@ -20,10 +20,23 @@ val create :
   ?faults:Fault.t ->
   ?deadletter_capacity:int ->
   ?journal:Journal.config ->
+  ?tracer:Genas_obs.Trace.t ->
   Genas_model.Schema.t ->
   t
 (** [adaptive] enables periodic distribution-driven re-optimization of
     the filter tree.
+
+    [tracer] attaches end-to-end causal tracing: every {!publish} /
+    {!publish_batch} (if sampled) yields one span tree —
+    ["broker.publish"] → ["engine.match"] → per-delivery ["deliver"] /
+    ["deliver.attempt"] spans → ["journal.append"] and
+    ["snapshot.install"] — with the flat-matcher traversal path
+    attached, landing in the tracer's flight-recorder ring. The
+    broker's engine is switched to hotness profiling
+    ({!Genas_core.Engine.set_profiling}) so paths can be recorded. An
+    injected crash or terminal delivery failure dumps the flight
+    recorder ({!Genas_obs.Trace.record_crash}) before propagating. See
+    docs/OBSERVABILITY.md, "Tracing".
 
     [journal] makes the broker durable: every state-changing operation
     is appended to a write-ahead journal in [journal.dir] (a {e fresh}
@@ -146,6 +159,15 @@ val engine : t -> Genas_core.Engine.t
 val rebuilds : t -> int
 (** Adaptive re-optimizations performed (0 without [adaptive]). *)
 
+(** {1 Tracing} *)
+
+val tracer : t -> Genas_obs.Trace.t option
+(** The tracer the broker was created with, if any. *)
+
+val dump_flight_recorder : t -> string option
+(** On-demand text dump of the tracer's flight recorder (held traces,
+    spans, statuses, matcher paths); [None] on an untraced broker. *)
+
 (** {1 Durability} *)
 
 val wal : t -> Journal.t option
@@ -179,6 +201,7 @@ val recover :
   ?retry:Supervise.policy ->
   ?faults:Fault.t ->
   ?deadletter_capacity:int ->
+  ?tracer:Genas_obs.Trace.t ->
   ?handlers:(subscriber:string -> Notification.handler) ->
   journal:Journal.config ->
   Genas_model.Schema.t ->

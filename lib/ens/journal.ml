@@ -50,7 +50,9 @@ type instruments = {
   appends_total : Metrics.counter;
   bytes_total : Metrics.counter;
   fsyncs_total : Metrics.counter;
+  fsync_ns : Metrics.histogram;
   snapshots_total : Metrics.counter;
+  snapshot_install_ns : Metrics.histogram;
   truncations_total : Metrics.counter;
   replayed_ops_total : Metrics.counter;
   recoveries_total : Metrics.counter;
@@ -68,9 +70,15 @@ let make_instruments registry =
     fsyncs_total =
       Metrics.counter registry "genas_journal_fsyncs_total"
         ~help:"fsync calls issued by the journal";
+    fsync_ns =
+      Metrics.histogram registry "genas_journal_fsync_duration_ns"
+        ~help:"Latency of one journal fsync (ns, monotonic)";
     snapshots_total =
       Metrics.counter registry "genas_journal_snapshots_total"
         ~help:"Snapshots installed (journal truncations after snapshot)";
+    snapshot_install_ns =
+      Metrics.histogram registry "genas_journal_snapshot_install_duration_ns"
+        ~help:"Latency of one atomic snapshot install (ns, monotonic)";
     truncations_total =
       Metrics.counter registry "genas_journal_truncations_total"
         ~help:"Corrupt or torn journal tails truncated during recovery";
@@ -120,9 +128,19 @@ let set_size t n =
 
 let do_fsync t =
   if t.config.fsync then begin
-    Unix.fsync (Unix.descr_of_out_channel t.oc);
-    with_ins t (fun ins -> Metrics.Counter.incr ins.fsyncs_total)
+    match t.instruments with
+    | None -> Unix.fsync (Unix.descr_of_out_channel t.oc)
+    | Some ins ->
+      let t0 = Genas_obs.Clock.now_ns () in
+      Unix.fsync (Unix.descr_of_out_channel t.oc);
+      let dt = Int64.to_float (Int64.sub (Genas_obs.Clock.now_ns ()) t0) in
+      Metrics.Histogram.observe ins.fsync_ns (Float.max 0.0 dt);
+      Metrics.Counter.incr ins.fsyncs_total
   end
+
+let observe_snapshot_install t ~ns =
+  with_ins t (fun ins ->
+      Metrics.Histogram.observe ins.snapshot_install_ns (Float.max 0.0 ns))
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin

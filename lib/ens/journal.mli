@@ -94,6 +94,12 @@ val append : t -> ?faults:Fault.t -> op -> unit
     is {e not} durable; [Crash_after_journal] completes the append and
     fsync, then raises — the record {e is} durable. *)
 
+val observe_snapshot_install : t -> ns:float -> unit
+(** Record one atomic snapshot install's latency into the
+    [genas_journal_snapshot_install_duration_ns] histogram (no-op
+    without metrics). The broker times {!Snapshot.write} and reports
+    it here, since the journal owns the [genas_journal_*] family. *)
+
 val snapshot_due : t -> bool
 (** [true] once [snapshot_every] records accumulated since the last
     snapshot (or creation). *)

@@ -5,6 +5,7 @@ module Profile_set = Genas_profile.Profile_set
 module Covering = Genas_profile.Covering
 module Engine = Genas_core.Engine
 module Metrics = Genas_obs.Metrics
+module Trace = Genas_obs.Trace
 
 type instruments = {
   sub_messages_total : Metrics.counter;
@@ -89,6 +90,7 @@ type t = {
   super : Supervise.t;
   faults : Fault.t option;
   instruments : instruments option;
+  tracer : Trace.t option;
 }
 
 let count_incr t pick =
@@ -148,16 +150,21 @@ let make_nodes ?spec schema adj =
         forwarded = Hashtbl.create 4;
       })
 
-let create ?spec ?metrics ?retry ?faults ?deadletter_capacity schema ~nodes
-    ~edges =
+let create ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer schema
+    ~nodes ~edges =
   match validate_tree ~nodes ~edges with
   | Error e -> Error e
   | Ok adj ->
+    let nodes = make_nodes ?spec schema adj in
+    (match tracer with
+    | Some tr when Trace.sample_rate tr > 0.0 ->
+      Array.iter (fun n -> Engine.set_profiling n.engine true) nodes
+    | _ -> ());
     Ok
       {
         schema;
         spec;
-        nodes = make_nodes ?spec schema adj;
+        nodes;
         live = Hashtbl.create 32;
         next_handle = 0;
         sub_msgs = 0;
@@ -169,26 +176,31 @@ let create ?spec ?metrics ?retry ?faults ?deadletter_capacity schema ~nodes
         link_delays = 0;
         broker_pauses = 0;
         super =
-          Supervise.create ?policy:retry ?deadletter_capacity ?metrics
+          Supervise.create ?policy:retry ?deadletter_capacity ?metrics ?tracer
             ~prefix:"genas_router" ();
         faults;
         instruments = Option.map make_instruments metrics;
+        tracer;
       }
 
-let create_exn ?spec ?metrics ?retry ?faults ?deadletter_capacity schema ~nodes
-    ~edges =
-  match create ?spec ?metrics ?retry ?faults ?deadletter_capacity schema ~nodes
-      ~edges
+let create_exn ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer
+    schema ~nodes ~edges =
+  match
+    create ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer schema
+      ~nodes ~edges
   with
   | Ok t -> t
   | Error msg -> invalid_arg ("Router.create: " ^ msg)
 
-let line ?spec ?metrics ?retry ?faults ?deadletter_capacity schema ~nodes =
-  create_exn ?spec ?metrics ?retry ?faults ?deadletter_capacity schema ~nodes
+let line ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer schema
+    ~nodes =
+  create_exn ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer schema
+    ~nodes
     ~edges:(List.init (nodes - 1) (fun i -> (i, i + 1)))
 
-let star ?spec ?metrics ?retry ?faults ?deadletter_capacity schema ~leaves =
-  create_exn ?spec ?metrics ?retry ?faults ?deadletter_capacity schema
+let star ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer schema
+    ~leaves =
+  create_exn ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer schema
     ~nodes:(leaves + 1)
     ~edges:(List.init leaves (fun i -> (0, i + 1)))
 
@@ -322,9 +334,21 @@ let route t event ~at =
       end;
       hit
   in
+  let hop_span job f =
+    match t.tracer with
+    | Some tr when Trace.active tr ->
+      Trace.with_span tr ~name:"router.hop" (fun () ->
+          Trace.add_attr tr "broker" (string_of_int job.node);
+          (match job.from with
+          | Some src -> Trace.add_attr tr "from" (string_of_int src)
+          | None -> ());
+          f ())
+    | _ -> f ()
+  in
   let process job =
     if pauses job then park { job with deferred = true }
-    else begin
+    else
+      hop_span job @@ fun () ->
       let node = t.nodes.(job.node) in
       let matched = Engine.match_event node.engine event in
       let links = ref [] in
@@ -352,7 +376,6 @@ let route t event ~at =
           forward ~src:node.id
             { node = nb; from = Some node.id; deferred = false })
         (List.rev !links)
-    end
   in
   let rec drain () =
     match !stack with
@@ -368,13 +391,21 @@ let route t event ~at =
   in
   drain ()
 
-let publish t ~at event =
-  if at < 0 || at >= Array.length t.nodes then
-    invalid_arg "Router.publish: no such broker";
+let publish_core t ~at event =
   count_incr t (fun i -> i.publishes_total);
   let before = t.notifications in
   route t event ~at;
   t.notifications - before
+
+let publish t ~at event =
+  if at < 0 || at >= Array.length t.nodes then
+    invalid_arg "Router.publish: no such broker";
+  match t.tracer with
+  | None -> publish_core t ~at event
+  | Some tr ->
+    Trace.with_trace tr ~name:"router.publish" (fun () ->
+        Trace.add_attr tr "at" (string_of_int at);
+        publish_core t ~at event)
 
 let sub_messages t = t.sub_msgs
 
@@ -393,6 +424,10 @@ let link_delays t = t.link_delays
 let broker_pauses t = t.broker_pauses
 
 let supervisor t = t.super
+
+let tracer t = t.tracer
+
+let dump_flight_recorder t = Option.map Trace.dump t.tracer
 
 let deadletter t = Supervise.deadletter t.super
 

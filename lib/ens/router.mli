@@ -29,12 +29,22 @@ val create :
   ?retry:Supervise.policy ->
   ?faults:Fault.t ->
   ?deadletter_capacity:int ->
+  ?tracer:Genas_obs.Trace.t ->
   Genas_model.Schema.t ->
   nodes:int ->
   edges:(node_id * node_id) list ->
   (t, string) result
 (** The edge list must form a tree: connected, acyclic, node ids in
     [[0, nodes-1]].
+
+    [tracer] traces each {!publish} as one span tree: a
+    ["router.publish"] root (attribute [at] = injection broker), one
+    ["router.hop"] span per broker visit (attributes [broker] and, for
+    forwarded arrivals, [from]), and the usual ["deliver"] /
+    ["deliver.attempt"] spans from the shared delivery supervisor —
+    so one event's full multi-hop causal path lands in the tracer's
+    flight-recorder ring. Per-broker engines are switched to hotness
+    profiling. See docs/OBSERVABILITY.md, "Tracing".
 
     [metrics] registers network-level counters (subscription/retraction
     messages, event hops, publishes, notifications, link faults,
@@ -55,6 +65,7 @@ val create_exn :
   ?retry:Supervise.policy ->
   ?faults:Fault.t ->
   ?deadletter_capacity:int ->
+  ?tracer:Genas_obs.Trace.t ->
   Genas_model.Schema.t ->
   nodes:int ->
   edges:(node_id * node_id) list ->
@@ -66,6 +77,7 @@ val line :
   ?retry:Supervise.policy ->
   ?faults:Fault.t ->
   ?deadletter_capacity:int ->
+  ?tracer:Genas_obs.Trace.t ->
   Genas_model.Schema.t ->
   nodes:int ->
   t
@@ -77,6 +89,7 @@ val star :
   ?retry:Supervise.policy ->
   ?faults:Fault.t ->
   ?deadletter_capacity:int ->
+  ?tracer:Genas_obs.Trace.t ->
   Genas_model.Schema.t ->
   leaves:int ->
   t
@@ -136,6 +149,13 @@ val broker_pauses : t -> int
 
 val supervisor : t -> Supervise.t
 (** The network-wide delivery supervisor. *)
+
+val tracer : t -> Genas_obs.Trace.t option
+(** The tracer the network was created with, if any. *)
+
+val dump_flight_recorder : t -> string option
+(** On-demand text dump of the tracer's flight recorder; [None] on an
+    untraced network. *)
 
 val deadletter : t -> Deadletter.t
 

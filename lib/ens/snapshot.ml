@@ -125,7 +125,7 @@ let fsync_dir dir =
       ~finally:(fun () -> Unix.close fd)
       (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
 
-let write ?faults ~dir ~seed ~op schema data =
+let write_core ?faults ~dir ~seed ~op schema data =
   let bytes = header seed ^ Codec.frame ~seed (encode schema data) in
   let tmp = tmp_file dir in
   let crash =
@@ -149,6 +149,12 @@ let write ?faults ~dir ~seed ~op schema data =
     Sys.rename tmp (file dir);
     fsync_dir dir
   end
+
+let write ?faults ?tracer ~dir ~seed ~op schema data =
+  let go () = write_core ?faults ~dir ~seed ~op schema data in
+  match tracer with
+  | None -> go ()
+  | Some tr -> Genas_obs.Trace.with_span tr ~name:"snapshot.install" go
 
 let read ~dir ~seed schema =
   let path = file dir in

@@ -40,6 +40,7 @@ val file : string -> string
 
 val write :
   ?faults:Fault.t ->
+  ?tracer:Genas_obs.Trace.t ->
   dir:string ->
   seed:int ->
   op:int ->
@@ -48,6 +49,8 @@ val write :
   unit
 (** Atomically install [data] as [dir]'s snapshot. [op] identifies the
     journal position for crash injection ({!Fault.snapshot_crash}).
+    With [tracer], the install runs under a ["snapshot.install"] span
+    (closed with an error status if the install crashes).
 
     @raise Fault.Crashed when the plan injects [Crash_mid_snapshot]
     (a partial temp file is left behind; the install did not happen).

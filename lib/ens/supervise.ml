@@ -1,5 +1,6 @@
 module Prng = Genas_prng.Prng
 module Metrics = Genas_obs.Metrics
+module Trace = Genas_obs.Trace
 
 type policy = {
   max_attempts : int;
@@ -122,11 +123,12 @@ type t = {
   mutable trace : record list;  (** newest first, bounded *)
   mutable trace_len : int;
   mutable trace_dropped : int;
+  tracer : Trace.t option;
   instruments : instruments option;
 }
 
 let create ?(policy = default_policy) ?(deadletter_capacity = 1024) ?metrics
-    ~prefix () =
+    ?tracer ~prefix () =
   validate_policy policy;
   {
     policy;
@@ -145,6 +147,7 @@ let create ?(policy = default_policy) ?(deadletter_capacity = 1024) ?metrics
     trace = [];
     trace_len = 0;
     trace_dropped = 0;
+    tracer;
     instruments =
       Option.map (fun registry -> make_instruments registry prefix) metrics;
   }
@@ -229,6 +232,21 @@ let backoff_for t ~attempt =
 let deliver t ?faults ~subscriber ~handler notification =
   let seq = t.deliveries in
   t.deliveries <- seq + 1;
+  (* One span per supervised delivery, one per attempt; a terminal
+     failure dumps the flight recorder for the post-mortem. *)
+  let dspan =
+    match t.tracer with
+    | Some tr when Trace.active tr ->
+      let s = Trace.start_span tr ~name:"deliver" in
+      Trace.add_attr tr "subscriber" subscriber;
+      s
+    | Some _ | None -> None
+  in
+  let finish_deliver ?error () =
+    match t.tracer with
+    | None -> ()
+    | Some tr -> Trace.finish_span tr ?error dspan
+  in
   let finish_short_circuit c =
     c.count <- c.count + 1;
     t.short_circuited <- t.short_circuited + 1;
@@ -237,9 +255,10 @@ let deliver t ?faults ~subscriber ~handler notification =
     record_trace t
       { seq; subscriber; attempts = 0; backoffs_ns = []; outcome = Short_circuited;
         error = Some "circuit open" };
+    finish_deliver ~error:"circuit open" ();
     false
   in
-  let attempt_once () =
+  let attempt_raw () =
     (* A planned fault replaces the real handler invocation: the
        subscriber is simulated as raising. Retries re-draw. *)
     match faults with
@@ -249,6 +268,17 @@ let deliver t ?faults ~subscriber ~handler notification =
       match handler notification with
       | () -> Ok ()
       | exception exn -> Error exn)
+  in
+  let attempt_once () =
+    match t.tracer with
+    | Some tr when Trace.active tr ->
+      let s = Trace.start_span tr ~name:"deliver.attempt" in
+      let r = attempt_raw () in
+      (match r with
+      | Ok () -> Trace.finish_span tr s
+      | Error exn -> Trace.finish_span tr ~error:(error_string exn) s);
+      r
+    | Some _ | None -> attempt_raw ()
   in
   let run_attempts ~max_attempts =
     let backoffs = ref [] in
@@ -278,6 +308,7 @@ let deliver t ?faults ~subscriber ~handler notification =
       record_trace t
         { seq; subscriber; attempts; backoffs_ns; outcome = Delivered;
           error = None };
+      finish_deliver ();
       true
     | Some exn ->
       let error = error_string exn in
@@ -291,6 +322,15 @@ let deliver t ?faults ~subscriber ~handler notification =
       record_trace t
         { seq; subscriber; attempts; backoffs_ns; outcome = Failed;
           error = Some error };
+      finish_deliver ~error ();
+      (match t.tracer with
+      | None -> ()
+      | Some tr ->
+        ignore
+          (Trace.record_crash tr
+             ~reason:
+               (Printf.sprintf "terminal delivery failure: %s (%s)" subscriber
+                  error)));
       false
   in
   if t.policy.trip_after = 0 then

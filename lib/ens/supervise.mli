@@ -73,11 +73,18 @@ val create :
   ?policy:policy ->
   ?deadletter_capacity:int ->
   ?metrics:Genas_obs.Metrics.t ->
+  ?tracer:Genas_obs.Trace.t ->
   prefix:string ->
   unit ->
   t
 (** [prefix] names the metric family ("genas_broker",
     "genas_router", …); see docs/OBSERVABILITY.md for the suffixes.
+
+    [tracer] records one ["deliver"] span (with a [subscriber]
+    attribute) per supervised delivery and one ["deliver.attempt"]
+    span per attempt; a terminal failure closes both with an error
+    status and dumps the flight recorder
+    ({!Genas_obs.Trace.record_crash}).
 
     @raise Invalid_argument on an invalid policy. *)
 

@@ -16,6 +16,9 @@ module Selectivity = Genas_core.Selectivity
 module Reorder = Genas_core.Reorder
 module Clock = Genas_obs.Clock
 module Json = Genas_obs.Json
+module Trace = Genas_obs.Trace
+module Profile_set = Genas_profile.Profile_set
+module Broker = Genas_ens.Broker
 
 type result = {
   name : string;
@@ -212,9 +215,43 @@ let run ?(profiles = 500) ?(seed = 99) ?(events = 50_000) () =
                ignore (Pool.match_batch ~ops p batch_flat pool_events);
                ops))
   in
+  (* Full publish path (matching + supervised delivery to null
+     handlers) through a broker: untraced, with a never-sampling
+     tracer attached ("traced-off" — the disabled-tracing cost the
+     cram suite asserts is noise), and fully traced. The timed broker
+     accumulates state across passes; [counted] replays the pool once
+     through a fresh broker so the comparison counters stay exact. *)
+  let make_broker tracer =
+    let b =
+      match tracer with
+      | None -> Broker.create ~spec:v1a2 schema
+      | Some sample ->
+        Broker.create ~spec:v1a2
+          ~tracer:(Trace.create ~sample ~seed:(seed + 1) ())
+          schema
+    in
+    Profile_set.iter pset (fun id p ->
+        ignore
+          (Broker.subscribe b ~subscriber:(string_of_int id) ~profile:p
+             (fun _ -> ())));
+    b
+  in
+  let publish_entries =
+    List.map
+      (fun (variant, tracer) ->
+        let b = make_broker tracer in
+        entry ("publish/" ^ variant) "publish" "v1+a2"
+          (per_event (fun e -> ignore (Broker.publish b e)))
+          (fun () ->
+            let fresh = make_broker tracer in
+            Array.iter (fun e -> ignore (Broker.publish fresh e)) pool_events;
+            Broker.ops fresh))
+      [ ("untraced", None); ("traced-off", Some 0.0); ("traced", Some 1.0) ]
+  in
   let results =
     List.map (measure ~events)
-      (baseline_entries @ tree_entries @ [ batch_entry ] @ pool_entries)
+      (baseline_entries @ tree_entries @ [ batch_entry ] @ publish_entries
+     @ pool_entries)
   in
   {
     profiles;
@@ -272,6 +309,10 @@ let to_json t =
         field "flat_vs_tree" (speedup t ~num:"flat/v1+a2" ~den:"tree/v1+a2");
         field "flat_batch_vs_tree"
           (speedup t ~num:"flat-batch/v1+a2" ~den:"tree/v1+a2");
+        field "publish_traced_off_vs_untraced"
+          (speedup t ~num:"publish/traced-off" ~den:"publish/untraced");
+        field "publish_traced_vs_untraced"
+          (speedup t ~num:"publish/traced" ~den:"publish/untraced");
         field "pool_peak_vs_1_domain" pool_speedup;
         ( "pool_peak_domains",
           match pool_peak t with

@@ -262,7 +262,9 @@ let prom_labels = function
   | labels ->
     "{"
     ^ String.concat ","
-        (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k (prom_escape v)) labels)
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v))
+           labels)
     ^ "}"
 
 let prom_float v =
@@ -273,44 +275,63 @@ let prom_float v =
 
 let to_prometheus t =
   let b = Buffer.create 1024 in
-  let seen_header = Hashtbl.create 16 in
-  let header name help kind =
-    if not (Hashtbl.mem seen_header name) then begin
-      Hashtbl.replace seen_header name ();
-      if help <> "" then
-        Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name (prom_escape help));
-      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
-    end
+  (* The exposition format requires every sample of a metric family to
+     appear as one contiguous group under a single # TYPE line, even
+     when labelled members were registered interleaved with other
+     metrics. Group by name in first-registration order, and take the
+     first non-empty help string of the family (the unlabelled member
+     usually carries it, but it may be registered after a labelled
+     sibling). *)
+  let families = Hashtbl.create 16 in
+  let order =
+    List.fold_left
+      (fun order m ->
+        match Hashtbl.find_opt families m.name with
+        | Some members ->
+          members := m :: !members;
+          order
+        | None ->
+          Hashtbl.replace families m.name (ref [ m ]);
+          m.name :: order)
+      [] (snapshot t)
+  in
+  let emit_samples m =
+    let ls = prom_labels m.labels in
+    match m.inst with
+    | Counter_i c ->
+      Buffer.add_string b (Printf.sprintf "%s%s %d\n" m.name ls c.c_value)
+    | Gauge_i g ->
+      Buffer.add_string b
+        (Printf.sprintf "%s%s %s\n" m.name ls (prom_float g.g_value))
+    | Histogram_i h ->
+      let le bound = prom_labels (m.labels @ [ ("le", bound) ]) in
+      let cum = ref 0 in
+      Array.iteri
+        (fun i bound ->
+          cum := !cum + h.counts.(i);
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket%s %d\n" m.name (le (prom_float bound))
+               !cum))
+        h.bounds;
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket%s %d\n" m.name (le "+Inf") h.h_count);
+      Buffer.add_string b
+        (Printf.sprintf "%s_sum%s %s\n" m.name ls (prom_float h.h_sum));
+      Buffer.add_string b
+        (Printf.sprintf "%s_count%s %d\n" m.name ls h.h_count)
   in
   List.iter
-    (fun m ->
-      let ls = prom_labels m.labels in
-      match m.inst with
-      | Counter_i c ->
-        header m.name m.help "counter";
-        Buffer.add_string b (Printf.sprintf "%s%s %d\n" m.name ls c.c_value)
-      | Gauge_i g ->
-        header m.name m.help "gauge";
-        Buffer.add_string b
-          (Printf.sprintf "%s%s %s\n" m.name ls (prom_float g.g_value))
-      | Histogram_i h ->
-        header m.name m.help "histogram";
-        let le bound =
-          prom_labels (m.labels @ [ ("le", bound) ])
-        in
-        let cum = ref 0 in
-        Array.iteri
-          (fun i bound ->
-            cum := !cum + h.counts.(i);
-            Buffer.add_string b
-              (Printf.sprintf "%s_bucket%s %d\n" m.name (le (prom_float bound))
-                 !cum))
-          h.bounds;
-        Buffer.add_string b
-          (Printf.sprintf "%s_bucket%s %d\n" m.name (le "+Inf") h.h_count);
-        Buffer.add_string b
-          (Printf.sprintf "%s_sum%s %s\n" m.name ls (prom_float h.h_sum));
-        Buffer.add_string b
-          (Printf.sprintf "%s_count%s %d\n" m.name ls h.h_count))
-    (snapshot t);
+    (fun name ->
+      let members = List.rev !(Hashtbl.find families name) in
+      let help =
+        List.find_map (fun m -> if m.help = "" then None else Some m.help) members
+      in
+      (match help with
+      | Some h ->
+        Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name (prom_escape h))
+      | None -> ());
+      Buffer.add_string b
+        (Printf.sprintf "# TYPE %s %s\n" name (kind_name (List.hd members).inst));
+      List.iter emit_samples members)
+    (List.rev order);
   Buffer.contents b

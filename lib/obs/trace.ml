@@ -1,0 +1,464 @@
+module Prng = Genas_prng.Prng
+
+type status = Ok | Error of string
+
+type span = {
+  span_id : int;
+  parent : int;  (** -1 for the root span *)
+  span_name : string;
+  depth : int;
+  start_ns : int64;
+  mutable end_ns : int64;  (** [Int64.min_int] while the span is open *)
+  mutable status : status;
+  mutable attrs : (string * string) list;  (** reverse insertion order *)
+}
+
+type path = {
+  path_nodes : int array;
+  path_levels : int array;
+  path_edges : int array;
+  path_comparisons : int array;
+  path_matched : int array;
+}
+
+type trace = {
+  trace_id : int;
+  root_name : string;
+  mutable spans : span list;  (** reverse start order *)
+  mutable span_count : int;
+  mutable path : path option;
+}
+
+type instruments = {
+  traces_total : Metrics.counter;
+  spans_total : Metrics.counter;
+  span_errors_total : Metrics.counter;
+  evicted_total : Metrics.counter;
+  registry : Metrics.t;
+  by_name : (string, Metrics.histogram) Hashtbl.t;
+}
+
+type t = {
+  sample : float;
+  rng : Prng.t;
+  capacity : int;
+  ring : trace option array;
+  mutable ring_next : int;
+  mutable started : int;
+  mutable sampled : int;
+  mutable completed : int;
+  mutable evicted : int;
+  mutable current : trace option;
+  mutable stack : span list;
+  mutable next_trace_id : int;
+  mutable last_dump : string option;
+  on_dump : (string -> unit) option;
+  instruments : instruments option;
+}
+
+let create ?(sample = 1.0) ?(capacity = 16) ?metrics ?on_dump ~seed () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
+  if not (Float.is_finite sample) || sample < 0.0 || sample > 1.0 then
+    invalid_arg "Trace.create: sample must be in [0,1]";
+  let instruments =
+    match metrics with
+    | None -> None
+    | Some registry ->
+      Some
+        {
+          traces_total =
+            Metrics.counter registry "genas_trace_traces_total"
+              ~help:"sampled traces completed";
+          spans_total =
+            Metrics.counter registry "genas_trace_spans_total"
+              ~help:"spans recorded across all sampled traces";
+          span_errors_total =
+            Metrics.counter registry "genas_trace_span_errors_total"
+              ~help:"spans closed with an error status";
+          evicted_total =
+            Metrics.counter registry "genas_trace_evicted_total"
+              ~help:"traces evicted from the flight-recorder ring";
+          registry;
+          by_name = Hashtbl.create 16;
+        }
+  in
+  {
+    sample;
+    rng = Prng.create ~seed;
+    capacity;
+    ring = Array.make capacity None;
+    ring_next = 0;
+    started = 0;
+    sampled = 0;
+    completed = 0;
+    evicted = 0;
+    current = None;
+    stack = [];
+    next_trace_id = 0;
+    last_dump = None;
+    on_dump;
+    instruments;
+  }
+
+let active t = t.current <> None
+
+let sample_rate t = t.sample
+
+let depth t = List.length t.stack
+
+let started t = t.started
+
+let sampled t = t.sampled
+
+let completed t = t.completed
+
+let evicted t = t.evicted
+
+(* ------------------------------------------------------------------ *)
+(* Span lifecycle *)
+
+let valid_span_name name =
+  name <> ""
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '-' -> true
+         | _ -> false)
+       name
+
+let start_span t ~name =
+  match t.current with
+  | None -> None
+  | Some tr ->
+    if not (valid_span_name name) then
+      invalid_arg (Printf.sprintf "Trace: malformed span name %S" name);
+    let parent = match t.stack with [] -> -1 | s :: _ -> s.span_id in
+    let span =
+      {
+        span_id = tr.span_count;
+        parent;
+        span_name = name;
+        depth = List.length t.stack;
+        start_ns = Clock.now_ns ();
+        end_ns = Int64.min_int;
+        status = Ok;
+        attrs = [];
+      }
+    in
+    tr.spans <- span :: tr.spans;
+    tr.span_count <- tr.span_count + 1;
+    t.stack <- span :: t.stack;
+    Some span
+
+let span_duration_buckets =
+  (* 100 ns .. 10 s; traces time whole publishes including journal
+     fsyncs, so the range extends past the metrics default. *)
+  [|
+    100.; 250.; 500.; 1e3; 2.5e3; 5e3; 1e4; 2.5e4; 5e4; 1e5; 2.5e5; 5e5; 1e6;
+    2.5e6; 5e6; 1e7; 1e8; 1e9; 1e10;
+  |]
+
+let observe_span t span =
+  match t.instruments with
+  | None -> ()
+  | Some i ->
+    Metrics.Counter.incr i.spans_total;
+    (match span.status with
+    | Ok -> ()
+    | Error _ -> Metrics.Counter.incr i.span_errors_total);
+    let h =
+      match Hashtbl.find_opt i.by_name span.span_name with
+      | Some h -> h
+      | None ->
+        let h =
+          Metrics.histogram i.registry "genas_trace_span_duration_ns"
+            ~help:"span durations by span name"
+            ~labels:[ ("span", span.span_name) ]
+            ~buckets:span_duration_buckets
+        in
+        Hashtbl.replace i.by_name span.span_name h;
+        h
+    in
+    Metrics.Histogram.observe h
+      (Int64.to_float (Int64.sub span.end_ns span.start_ns))
+
+let finish_span t ?error = function
+  | None -> ()
+  | Some span ->
+    if span.end_ns = Int64.min_int then begin
+      span.end_ns <- Clock.now_ns ();
+      (match error with None -> () | Some e -> span.status <- Error e);
+      (* Pop down to (and including) this span; any deeper spans left
+         open by a non-local exit are closed with the same moment and
+         an error status so nesting depth always returns to zero. *)
+      let rec pop = function
+        | [] -> []
+        | s :: rest when s == span -> rest
+        | s :: rest ->
+          s.end_ns <- span.end_ns;
+          (if s.status = Ok then
+             s.status <- Error "parent span closed first");
+          observe_span t s;
+          pop rest
+      in
+      t.stack <- pop t.stack;
+      observe_span t span
+    end
+
+let add_attr t k v =
+  match t.stack with [] -> () | s :: _ -> s.attrs <- (k, v) :: s.attrs
+
+let attach_path t p =
+  match t.current with None -> () | Some tr -> tr.path <- Some p
+
+let current_trace_id t =
+  match t.current with None -> None | Some tr -> Some tr.trace_id
+
+(* ------------------------------------------------------------------ *)
+(* Trace lifecycle *)
+
+let complete_trace t tr =
+  (match t.ring.(t.ring_next) with
+  | None -> ()
+  | Some _ ->
+    t.evicted <- t.evicted + 1;
+    (match t.instruments with
+    | None -> ()
+    | Some i -> Metrics.Counter.incr i.evicted_total));
+  t.ring.(t.ring_next) <- Some tr;
+  t.ring_next <- (t.ring_next + 1) mod t.capacity;
+  t.completed <- t.completed + 1;
+  (match t.instruments with
+  | None -> ()
+  | Some i -> Metrics.Counter.incr i.traces_total);
+  t.current <- None;
+  t.stack <- []
+
+let with_span t ~name f =
+  match start_span t ~name with
+  | None -> f ()
+  | Some _ as s -> (
+    match f () with
+    | v ->
+      finish_span t s;
+      v
+    | exception exn ->
+      finish_span t ~error:(Printexc.to_string exn) s;
+      raise exn)
+
+let sample_decision t =
+  t.started <- t.started + 1;
+  if t.sample >= 1.0 then true
+  else if t.sample <= 0.0 then false
+  else Prng.float t.rng ~bound:1.0 < t.sample
+
+let with_trace t ~name f =
+  if active t then
+    (* A trace is already open (e.g. a broker publish inside a routed
+       hop): nest instead of starting a second root. *)
+    with_span t ~name f
+  else if not (sample_decision t) then f ()
+  else begin
+    t.sampled <- t.sampled + 1;
+    let tr =
+      {
+        trace_id = t.next_trace_id;
+        root_name = name;
+        spans = [];
+        span_count = 0;
+        path = None;
+      }
+    in
+    t.next_trace_id <- t.next_trace_id + 1;
+    t.current <- Some tr;
+    let root = start_span t ~name in
+    match f () with
+    | v ->
+      finish_span t root;
+      complete_trace t tr;
+      v
+    | exception exn ->
+      finish_span t ~error:(Printexc.to_string exn) root;
+      complete_trace t tr;
+      raise exn
+  end
+
+(* Ring contents, oldest first. *)
+let traces t =
+  let grab i =
+    t.ring.((t.ring_next + i) mod t.capacity)
+  in
+  List.filter_map grab (List.init t.capacity Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export *)
+
+let span_list tr = List.rev tr.spans
+
+let chrome_events ?base traces =
+  (* Normalize timestamps to the earliest span start so same-seed runs
+     under a deterministic clock are byte-identical. *)
+  let base =
+    match base with
+    | Some b -> b
+    | None ->
+      List.fold_left
+        (fun acc tr ->
+          List.fold_left
+            (fun acc s -> if s.start_ns < acc then s.start_ns else acc)
+            acc (span_list tr))
+        Int64.max_int traces
+  in
+  let us ns = Int64.to_float (Int64.sub ns base) /. 1000.0 in
+  let span_event tr s =
+    let dur =
+      if s.end_ns = Int64.min_int then 0.0
+      else Int64.to_float (Int64.sub s.end_ns s.start_ns) /. 1000.0
+    in
+    let args =
+      [ ("trace_id", Json.Int tr.trace_id); ("span_id", Json.Int s.span_id) ]
+      @ (match s.status with
+        | Ok -> []
+        | Error e -> [ ("error", Json.Str e) ])
+      @ List.rev_map (fun (k, v) -> (k, Json.Str v)) s.attrs
+    in
+    Json.Obj
+      [
+        ("name", Json.Str s.span_name);
+        ("cat", Json.Str "genas");
+        ("ph", Json.Str "X");
+        ("ts", Json.number (us s.start_ns));
+        ("dur", Json.number dur);
+        ("pid", Json.Int 1);
+        ("tid", Json.Int (tr.trace_id + 1));
+        ("args", Json.Obj args);
+      ]
+  in
+  let ints a = String.concat ">" (List.map string_of_int (Array.to_list a)) in
+  let edge_label = function
+    | -3 -> "leaf"
+    | -2 -> "reject"
+    | -1 -> "rest"
+    | e -> "e" ^ string_of_int e
+  in
+  let path_event tr p =
+    let root_ts =
+      match span_list tr with [] -> 0.0 | s :: _ -> us s.start_ns
+    in
+    Json.Obj
+      [
+        ("name", Json.Str "matcher.path");
+        ("cat", Json.Str "genas");
+        ("ph", Json.Str "i");
+        ("s", Json.Str "t");
+        ("ts", Json.number root_ts);
+        ("pid", Json.Int 1);
+        ("tid", Json.Int (tr.trace_id + 1));
+        ( "args",
+          Json.Obj
+            [
+              ("trace_id", Json.Int tr.trace_id);
+              ("nodes", Json.Str (ints p.path_nodes));
+              ("levels", Json.Str (ints p.path_levels));
+              ( "edges",
+                Json.Str
+                  (String.concat ">"
+                     (List.map edge_label (Array.to_list p.path_edges))) );
+              ("comparisons", Json.Str (ints p.path_comparisons));
+              ("matched", Json.Str (ints p.path_matched));
+            ] );
+      ]
+  in
+  List.concat_map
+    (fun tr ->
+      let spans = List.map (span_event tr) (span_list tr) in
+      match tr.path with
+      | None -> spans
+      | Some p -> spans @ [ path_event tr p ])
+    traces
+
+let to_chrome t =
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (chrome_events (traces t)));
+         ("displayTimeUnit", Json.Str "ns");
+       ])
+  ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder dump *)
+
+let status_label = function Ok -> "ok" | Error e -> "error: " ^ e
+
+let dump t =
+  let b = Buffer.create 1024 in
+  let held = List.length (traces t) in
+  Buffer.add_string b
+    (Printf.sprintf
+       "flight recorder: %d/%d trace(s) held, %d evicted, %d started, %d \
+        sampled\n"
+       held t.capacity t.evicted t.started t.sampled);
+  let dump_trace ~in_flight tr =
+    let spans = span_list tr in
+    let root_start =
+      match spans with [] -> 0L | s :: _ -> s.start_ns
+    in
+    Buffer.add_string b
+      (Printf.sprintf "trace %d %s: %d span(s)%s\n" tr.trace_id tr.root_name
+         tr.span_count
+         (if in_flight then " (in flight)" else ""));
+    List.iter
+      (fun s ->
+        let rel = Int64.sub s.start_ns root_start in
+        let dur =
+          if s.end_ns = Int64.min_int then "open"
+          else Printf.sprintf "%Ldns" (Int64.sub s.end_ns s.start_ns)
+        in
+        let attrs =
+          match List.rev s.attrs with
+          | [] -> ""
+          | kvs ->
+            " ("
+            ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+            ^ ")"
+        in
+        Buffer.add_string b
+          (Printf.sprintf "%s[%d] %s +%Ldns %s %s%s\n"
+             (String.make ((s.depth + 1) * 2) ' ')
+             s.span_id s.span_name rel dur (status_label s.status) attrs))
+      spans;
+    match tr.path with
+    | None -> ()
+    | Some p ->
+      let ints a =
+        String.concat ">" (List.map string_of_int (Array.to_list a))
+      in
+      let edge = function
+        | -3 -> "leaf"
+        | -2 -> "reject"
+        | -1 -> "rest"
+        | e -> "e" ^ string_of_int e
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  path: nodes %s, edges %s, comparisons %s, matched {%s}\n"
+           (ints p.path_nodes)
+           (String.concat ">" (List.map edge (Array.to_list p.path_edges)))
+           (ints p.path_comparisons)
+           (String.concat ","
+              (List.map string_of_int (Array.to_list p.path_matched))))
+  in
+  List.iter (dump_trace ~in_flight:false) (traces t);
+  (match t.current with
+  | None -> ()
+  | Some tr -> dump_trace ~in_flight:true tr);
+  Buffer.contents b
+
+let record_crash t ~reason =
+  let text =
+    Printf.sprintf "=== flight recorder dump (%s) ===\n%s" reason (dump t)
+  in
+  t.last_dump <- Some text;
+  (match t.on_dump with None -> () | Some f -> f text);
+  text
+
+let last_dump t = t.last_dump

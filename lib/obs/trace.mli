@@ -1,0 +1,153 @@
+(** Causal tracing with a flight recorder.
+
+    A tracer owns at most one {e active} trace at a time (the library
+    is synchronous, so one `publish` = one causal tree). Starting a
+    trace takes a deterministic sampling decision from a seeded PRNG;
+    a sampled trace collects parent/child spans timed by
+    {!Clock.now_ns}, optional string attributes, and optionally the
+    flat-matcher traversal path of the event. Completed traces land in
+    a fixed-size ring buffer — the flight recorder — which can be
+    exported as Chrome trace-event JSON ([chrome://tracing],
+    [ui.perfetto.dev]) or dumped as text for post-mortems.
+
+    Determinism: with [Clock.set_source] installed and a fixed [seed],
+    two identical runs produce byte-identical {!to_chrome} output
+    (timestamps are normalized to the earliest span start).
+
+    Cost: components take the tracer as an optional argument; with
+    [?tracer:None] the hot path never touches this module. With a
+    tracer attached but the trace unsampled, every span call is one
+    [match] on [t.current]. *)
+
+type t
+(** A tracer: sampler state + active trace + completed-trace ring. *)
+
+type status = Ok | Error of string
+
+type span = {
+  span_id : int;  (** unique within its trace, in start order *)
+  parent : int;  (** [span_id] of the parent, [-1] for the root *)
+  span_name : string;
+  depth : int;  (** nesting depth at start; root is 0 *)
+  start_ns : int64;
+  mutable end_ns : int64;  (** [Int64.min_int] while open *)
+  mutable status : status;
+  mutable attrs : (string * string) list;  (** reverse insertion order *)
+}
+
+type path = {
+  path_nodes : int array;  (** flat-matcher node ids, root first *)
+  path_levels : int array;  (** tree level of each visited node *)
+  path_edges : int array;
+      (** edge taken at each node: an edge slot [>= 0], [-1] for the
+          rest child, [-2] for a reject, [-3] on arrival at the leaf
+          level *)
+  path_comparisons : int array;  (** comparisons spent at each node *)
+  path_matched : int array;  (** profile ids matched, ascending *)
+}
+(** One event's traversal through the compiled flat matcher: the
+    credits touched from the epoch-stamped cursor. *)
+
+type trace = {
+  trace_id : int;
+  root_name : string;
+  mutable spans : span list;  (** reverse start order *)
+  mutable span_count : int;
+  mutable path : path option;
+}
+
+val create :
+  ?sample:float ->
+  ?capacity:int ->
+  ?metrics:Metrics.t ->
+  ?on_dump:(string -> unit) ->
+  seed:int ->
+  unit ->
+  t
+(** [sample] is the probability a new root trace is recorded (default
+    [1.0]; the decision stream is seeded, so runs are reproducible).
+    [capacity] bounds the flight-recorder ring (default 16; oldest
+    trace evicted). With [metrics], span durations fold into the
+    registry as [genas_trace_span_duration_ns{span="..."}] histograms
+    plus trace/span/error/eviction counters. [on_dump] is invoked with
+    the text of every {!record_crash} dump.
+
+    @raise Invalid_argument if [sample] is outside [0,1] or
+    [capacity < 1]. *)
+
+val with_trace : t -> name:string -> (unit -> 'a) -> 'a
+(** Run [f] under a new root trace (if sampled). If a trace is already
+    active, behaves as {!with_span} — a nested publish joins its
+    caller's trace rather than starting a second root. If [f] raises,
+    the root span closes with an error status, the trace still lands
+    in the ring, and the exception is re-raised. *)
+
+val with_span : t -> name:string -> (unit -> 'a) -> 'a
+(** Run [f] under a child span of the active trace; a no-op wrapper
+    when no trace is active. Exception-safe like {!with_trace}. *)
+
+val start_span : t -> name:string -> span option
+(** Explicit span handle for code that cannot use a closure ([None]
+    when no trace is active). Must be balanced with {!finish_span}.
+
+    @raise Invalid_argument on a malformed span name (allowed:
+    alphanumerics, [_], [.], [-]). *)
+
+val finish_span : t -> ?error:string -> span option -> unit
+(** Close a span started with {!start_span}. Any deeper spans still
+    open are closed at the same instant with an error status, so
+    nesting depth returns to the span's own level; a second finish of
+    the same span is a no-op. *)
+
+val add_attr : t -> string -> string -> unit
+(** Attach a key/value attribute to the innermost open span (no-op
+    when none). *)
+
+val attach_path : t -> path -> unit
+(** Attach a matcher traversal path to the active trace (no-op when
+    none). *)
+
+val active : t -> bool
+(** A sampled trace is currently open. *)
+
+val sample_rate : t -> float
+(** The [sample] probability the tracer was created with. The ensemble
+    layer skips matcher-path profiling entirely when it is [0.0] — a
+    never-sampling tracer costs one PRNG draw per publish and nothing
+    on the matching path. *)
+
+val current_trace_id : t -> int option
+
+val depth : t -> int
+(** Open-span nesting depth; 0 when idle. *)
+
+val started : t -> int
+(** Root traces offered to the sampler (sampled or not). *)
+
+val sampled : t -> int
+
+val completed : t -> int
+
+val evicted : t -> int
+
+val traces : t -> trace list
+(** Flight-recorder contents, oldest first. *)
+
+val to_chrome : t -> string
+(** The ring as a Chrome trace-event JSON document
+    ([{"traceEvents": [...]}]): one complete ["ph":"X"] event per span
+    ([ts]/[dur] in microseconds, normalized to the earliest span
+    start; [tid] = trace id + 1) and one ["ph":"i"] instant event per
+    attached matcher path. *)
+
+val dump : t -> string
+(** Human-readable flight-recorder dump: every held trace (plus the
+    in-flight one, if any) with relative span offsets, durations,
+    statuses, attributes, and matcher paths. *)
+
+val record_crash : t -> reason:string -> string
+(** Build a dump prefixed with [reason], remember it as {!last_dump},
+    invoke the [on_dump] hook, and return it. Called by the ensemble
+    layer when a handler or an injected fault crashes a publish. *)
+
+val last_dump : t -> string option

@@ -21,6 +21,10 @@ speedups.
   1
   $ grep -c '"flat_batch_vs_tree"' bench.json
   1
+  $ grep -c '"publish_traced_off_vs_untraced"' bench.json
+  1
+  $ grep -c '"publish_traced_vs_untraced"' bench.json
+  1
   $ grep -c '"pool_peak_vs_1_domain"' bench.json
   1
 
@@ -37,6 +41,9 @@ and d2 depend on the host's core count, so only those two are pinned):
   "tree/binary"
   "flat/binary"
   "flat-batch/v1+a2"
+  "publish/untraced"
+  "publish/traced-off"
+  "publish/traced"
   $ grep -c '"name": "pool/v1+a2/d1"' bench.json
   1
   $ grep -c '"name": "pool/v1+a2/d2"' bench.json
@@ -57,6 +64,17 @@ tree it was compiled from.
   $ grep -A 6 '"name": "tree/v1+a2"' bench.json | grep '"comparisons_per_event"' > tree.cmp
   $ grep -A 6 '"name": "flat/v1+a2"' bench.json | grep '"comparisons_per_event"' > flat.cmp
   $ cmp tree.cmp flat.cmp
+
+Attaching a tracer that never samples must not change publish-path
+throughput beyond measurement noise (the band is generous — shared CI
+hosts jitter — but a structural slowdown from merely carrying the
+tracer would land far outside it):
+
+  $ grep '"publish_traced_off_vs_untraced"' bench.json \
+  >   | grep -o '[0-9.]*' \
+  >   | awk '{ if ($1 >= 0.5 && $1 <= 2.0) print "within noise"; \
+  >            else print "overhead out of band: " $1 }'
+  within noise
 
 Bad arguments are rejected:
 

@@ -1,0 +1,98 @@
+The trace subcommand runs a seeded workload with causal tracing on. A
+deterministic fake clock (1µs per reading) makes every timestamp a pure
+function of the call sequence, so the whole dump is byte-stable. Each
+published event becomes one span tree — broker.publish at the root,
+engine.match and per-subscriber deliver/deliver.attempt below — plus the
+flat matcher's traversal path (nodes visited, edges taken, comparisons).
+
+  $ ../../bin/genas_cli.exe trace --events 6 --seed 7
+  traced workload: 6 events, seed 7, sample 1: 6 traces started, 6 sampled, 6 completed, 0 evicted
+  flight recorder: 6/8 trace(s) held, 0 evicted, 6 started, 6 sampled
+  trace 0 broker.publish: 4 span(s)
+    [0] broker.publish +0ns 7000ns ok
+      [1] engine.match +1000ns 1000ns ok (matched=1)
+      [2] deliver +3000ns 3000ns ok (subscriber=ops)
+        [3] deliver.attempt +4000ns 1000ns ok
+    path: nodes 5>2>1, edges e0>rest>leaf, comparisons 1>1>0, matched {0}
+  trace 1 broker.publish: 6 span(s)
+    [0] broker.publish +0ns 11000ns ok
+      [1] engine.match +1000ns 1000ns ok (matched=2)
+      [2] deliver +3000ns 3000ns ok (subscriber=ops)
+        [3] deliver.attempt +4000ns 1000ns ok
+      [4] deliver +7000ns 3000ns ok (subscriber=flaky)
+        [5] deliver.attempt +8000ns 1000ns ok
+    path: nodes 5>2>0, edges e0>e0>leaf, comparisons 1>1>0, matched {0,1}
+  trace 2 broker.publish: 4 span(s)
+    [0] broker.publish +0ns 7000ns ok
+      [1] engine.match +1000ns 1000ns ok (matched=1)
+      [2] deliver +3000ns 3000ns ok (subscriber=flaky)
+        [3] deliver.attempt +4000ns 1000ns ok
+    path: nodes 5>4>3, edges rest>e0>leaf, comparisons 1>1>0, matched {1}
+  trace 3 broker.publish: 4 span(s)
+    [0] broker.publish +0ns 7000ns ok
+      [1] engine.match +1000ns 1000ns ok (matched=1)
+      [2] deliver +3000ns 3000ns error: Failure("refusing severity 9") (subscriber=flaky)
+        [3] deliver.attempt +4000ns 1000ns error: Failure("refusing severity 9")
+    path: nodes 5>4>3, edges rest>e0>leaf, comparisons 1>1>0, matched {1}
+  trace 4 broker.publish: 4 span(s)
+    [0] broker.publish +0ns 7000ns ok
+      [1] engine.match +1000ns 1000ns ok (matched=1)
+      [2] deliver +3000ns 3000ns ok (subscriber=flaky)
+        [3] deliver.attempt +4000ns 1000ns ok
+    path: nodes 5>4>3, edges rest>e0>leaf, comparisons 1>1>0, matched {1}
+  trace 5 broker.publish: 2 span(s)
+    [0] broker.publish +0ns 3000ns ok
+      [1] engine.match +1000ns 1000ns ok (matched=0)
+    path: nodes 5>4, edges rest>reject, comparisons 1>1, matched {}
+
+Sampling is seeded and deterministic: at --sample 0.5 the same seed
+always keeps the same traces.
+
+  $ ../../bin/genas_cli.exe trace --events 12 --seed 7 --sample 0.5 | head -1
+  traced workload: 12 events, seed 7, sample 0.5: 12 traces started, 9 sampled, 9 completed, 1 evicted
+
+--chrome emits the same workload as Chrome trace-event JSON (load it at
+chrome://tracing). Two runs with the same seed are byte-identical, and
+the output passes the strict RFC 8259 parser. Every span is a complete
+"X" event and each trace carries a matcher.path instant:
+
+  $ ../../bin/genas_cli.exe trace --chrome --events 6 --seed 7 > a.json
+  $ ../../bin/genas_cli.exe trace --chrome --events 6 --seed 7 > b.json
+  $ cmp a.json b.json && echo byte-identical
+  byte-identical
+  $ ../../bin/genas_cli.exe jsoncheck < a.json
+  ok
+  $ grep -c '"ph": "X"' a.json
+  24
+  $ grep -c 'matcher.path' a.json
+  6
+
+An injected crash (here: mid-snapshot, via the fault plan) triggers an
+automatic flight-recorder dump — the last 8 traces, newest workload
+state first, with journal.append spans from the durable path:
+
+  $ ../../bin/genas_cli.exe trace --events 40 --seed 7 --dir tdir --crash mid-snapshot --crash-prob 1.0 | head -12
+  traced workload: 40 events, seed 7, sample 1: 14 traces started, 14 sampled, 14 completed, 6 evicted
+  crashed: crash-mid-snapshot
+  === flight recorder dump (crashed: crash-mid-snapshot) ===
+  flight recorder: 8/8 trace(s) held, 6 evicted, 14 started, 14 sampled
+  trace 6 broker.publish: 5 span(s)
+    [0] broker.publish +0ns 9000ns ok
+      [1] engine.match +1000ns 1000ns ok (matched=1)
+      [2] deliver +3000ns 3000ns ok (subscriber=flaky)
+        [3] deliver.attempt +4000ns 1000ns ok
+      [4] journal.append +7000ns 1000ns ok
+    path: nodes 5>4>3, edges rest>e0>leaf, comparisons 1>1>0, matched {1}
+  trace 7 broker.publish: 7 span(s)
+  $ ls tdir
+  journal.wal
+  snapshot.tmp
+
+Bad arguments are rejected:
+
+  $ ../../bin/genas_cli.exe trace --events 0
+  genas: need a positive --events count
+  [1]
+  $ ../../bin/genas_cli.exe trace --crash before-fsync
+  genas: --crash needs a journal directory (--dir)
+  [1]

@@ -183,6 +183,80 @@ let test_prometheus_format () =
       "depth{tree=\"main\"} 4";
     ]
 
+(* Exposition-format regression: pathological label values must be
+   escaped (backslash, quote, newline — in that order, so the
+   backslash introduced by a later rule is never re-escaped), and
+   HELP/TYPE must appear exactly once per family even when the family
+   has several label sets or the first-registered member lacks help. *)
+let test_prometheus_escaping () =
+  let reg = Metrics.create () in
+  let c =
+    Metrics.counter reg "weird_total" ~labels:[ ("k", "a\\b\"c\nd") ]
+  in
+  Metrics.Counter.add c 3;
+  let prom = Metrics.to_prometheus (reg : Metrics.t) in
+  Alcotest.(check bool) "escaped label value" true
+    (contains ~needle:"weird_total{k=\"a\\\\b\\\"c\\nd\"} 3" prom);
+  Alcotest.(check bool) "no raw newline inside the value" false
+    (contains ~needle:"a\\b\"c\nd" prom)
+
+let count_occurrences ~needle haystack =
+  let n = String.length needle in
+  let rec go i acc =
+    if i + n > String.length haystack then acc
+    else if String.sub haystack i n = needle then go (i + n) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_prometheus_family_once () =
+  let reg = Metrics.create () in
+  (* First member registered without help: the family help must still
+     surface from a later member, and exactly once. *)
+  let a = Metrics.counter reg "fam_total" ~labels:[ ("k", "a") ] in
+  let b =
+    Metrics.counter reg "fam_total" ~help:"a family" ~labels:[ ("k", "b") ]
+  in
+  (* An unrelated metric registered between the two members must not
+     split the family's sample block. *)
+  let other = Metrics.counter reg "other_total" ~help:"other" in
+  Metrics.Counter.incr a;
+  Metrics.Counter.add b 2;
+  Metrics.Counter.incr other;
+  let h = Metrics.histogram reg "lat_ns" ~labels:[ ("op", "x") ] in
+  Metrics.Histogram.observe h 1.0;
+  let h2 = Metrics.histogram reg "lat_ns" ~labels:[ ("op", "y") ] in
+  Metrics.Histogram.observe h2 2.0;
+  let prom = Metrics.to_prometheus reg in
+  Alcotest.(check int) "TYPE once for fam_total" 1
+    (count_occurrences ~needle:"# TYPE fam_total counter" prom);
+  Alcotest.(check int) "HELP once for fam_total" 1
+    (count_occurrences ~needle:"# HELP fam_total" prom);
+  Alcotest.(check bool) "late help recovered" true
+    (contains ~needle:"# HELP fam_total a family" prom);
+  Alcotest.(check int) "TYPE once for the histogram family" 1
+    (count_occurrences ~needle:"# TYPE lat_ns histogram" prom);
+  (* Families are contiguous: between fam_total's header and its last
+     sample no other family's samples appear. *)
+  let lines = String.split_on_char '\n' prom in
+  let rec family_blocks acc current = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | l :: rest ->
+      if String.length l >= 6 && String.sub l 0 6 = "# TYPE" then
+        family_blocks
+          (if current = [] then acc else List.rev current :: acc)
+          [ l ] rest
+      else family_blocks acc (l :: current) rest
+  in
+  let blocks = family_blocks [] [] lines in
+  let fam_blocks =
+    List.filter
+      (fun b -> List.exists (contains ~needle:"fam_total{") b)
+      blocks
+  in
+  Alcotest.(check int) "fam_total samples in one block" 1
+    (List.length fam_blocks)
+
 let test_no_nan_token () =
   let reg = Metrics.create () in
   let g = Metrics.gauge reg "bad" in
@@ -261,6 +335,10 @@ let () =
           Alcotest.test_case "json validity" `Quick test_json_valid;
           Alcotest.test_case "json contents" `Quick test_json_contents;
           Alcotest.test_case "prometheus format" `Quick test_prometheus_format;
+          Alcotest.test_case "prometheus escaping" `Quick
+            test_prometheus_escaping;
+          Alcotest.test_case "prometheus family once" `Quick
+            test_prometheus_family_once;
           Alcotest.test_case "no nan token" `Quick test_no_nan_token;
         ] );
       ( "span",

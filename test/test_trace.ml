@@ -1,0 +1,260 @@
+(* The tracing subsystem: span lifecycle over a fake clock, exception
+   safety (error status, depth back to zero), deterministic seeded
+   sampling, flight-recorder ring eviction, byte-identical Chrome
+   export, and the crash dump hook. *)
+
+module Trace = Genas_obs.Trace
+module Clock = Genas_obs.Clock
+module Metrics = Genas_obs.Metrics
+module Json = Genas_obs.Json
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* Each Clock.now_ns call advances 1µs: timings depend only on the
+   call sequence. *)
+let with_fake_clock f =
+  let t = ref 0L in
+  Clock.set_source (fun () ->
+      t := Int64.add !t 1_000L;
+      !t);
+  Fun.protect ~finally:Clock.reset_source f
+
+(* ------------------------------------------------------------------ *)
+(* Span lifecycle *)
+
+let test_lifecycle () =
+  with_fake_clock @@ fun () ->
+  let tr = Trace.create ~seed:1 () in
+  Alcotest.(check bool) "idle" false (Trace.active tr);
+  let n =
+    Trace.with_trace tr ~name:"publish" (fun () ->
+        Alcotest.(check bool) "active inside" true (Trace.active tr);
+        Alcotest.(check int) "depth 1" 1 (Trace.depth tr);
+        Trace.add_attr tr "k" "v";
+        Trace.with_span tr ~name:"child" (fun () ->
+            Alcotest.(check int) "depth 2" 2 (Trace.depth tr);
+            7))
+  in
+  Alcotest.(check int) "result through" 7 n;
+  Alcotest.(check bool) "idle again" false (Trace.active tr);
+  Alcotest.(check int) "depth back to 0" 0 (Trace.depth tr);
+  match Trace.traces tr with
+  | [ t ] ->
+    Alcotest.(check int) "two spans" 2 t.Trace.span_count;
+    let spans = List.rev t.Trace.spans in
+    let root = List.nth spans 0 and child = List.nth spans 1 in
+    Alcotest.(check string) "root name" "publish" root.Trace.span_name;
+    Alcotest.(check int) "root parentless" (-1) root.Trace.parent;
+    Alcotest.(check int) "child parent" root.Trace.span_id child.Trace.parent;
+    Alcotest.(check int) "child depth" 1 child.Trace.depth;
+    Alcotest.(check (list (pair string string)))
+      "root attr" [ ("k", "v") ] root.Trace.attrs;
+    Alcotest.(check bool) "root closed" true
+      (root.Trace.end_ns <> Int64.min_int);
+    Alcotest.(check bool) "nested inside" true
+      (child.Trace.start_ns >= root.Trace.start_ns
+      && child.Trace.end_ns <= root.Trace.end_ns);
+    (match root.Trace.status with
+    | Trace.Ok -> ()
+    | Trace.Error _ -> Alcotest.fail "root should be ok")
+  | l -> Alcotest.failf "expected 1 trace, got %d" (List.length l)
+
+(* Satellite: a handler raising mid-span must close the span with an
+   error status and return the nesting depth to zero. *)
+let test_exception_closes_spans () =
+  with_fake_clock @@ fun () ->
+  let tr = Trace.create ~seed:1 () in
+  (try
+     Trace.with_trace tr ~name:"publish" (fun () ->
+         Trace.with_span tr ~name:"deliver" (fun () ->
+             failwith "handler exploded"))
+   with Failure _ -> ());
+  Alcotest.(check int) "depth back to 0" 0 (Trace.depth tr);
+  Alcotest.(check bool) "no trace left open" false (Trace.active tr);
+  Alcotest.(check int) "trace still landed" 1 (Trace.completed tr);
+  match Trace.traces tr with
+  | [ t ] ->
+    List.iter
+      (fun (s : Trace.span) ->
+        Alcotest.(check bool)
+          (s.Trace.span_name ^ " closed")
+          true
+          (s.Trace.end_ns <> Int64.min_int);
+        match s.Trace.status with
+        | Trace.Error msg ->
+          Alcotest.(check bool) "error names the exception" true
+            (contains ~needle:"handler exploded" msg)
+        | Trace.Ok -> Alcotest.failf "%s should be error" s.Trace.span_name)
+      t.Trace.spans
+  | _ -> Alcotest.fail "expected exactly one trace"
+
+(* finish_span on the outer handle force-closes deeper strays with an
+   error, so explicit (non-closure) spans cannot leak depth. *)
+let test_unbalanced_finish () =
+  with_fake_clock @@ fun () ->
+  let tr = Trace.create ~seed:1 () in
+  Trace.with_trace tr ~name:"root" (fun () ->
+      let outer = Trace.start_span tr ~name:"outer" in
+      let _inner = Trace.start_span tr ~name:"inner" in
+      Alcotest.(check int) "depth 3" 3 (Trace.depth tr);
+      Trace.finish_span tr outer;
+      Alcotest.(check int) "inner force-closed too" 1 (Trace.depth tr));
+  match Trace.traces tr with
+  | [ t ] ->
+    let inner =
+      List.find (fun s -> s.Trace.span_name = "inner") t.Trace.spans
+    in
+    (match inner.Trace.status with
+    | Trace.Error _ -> ()
+    | Trace.Ok -> Alcotest.fail "stray inner span should carry an error")
+  | _ -> Alcotest.fail "expected exactly one trace"
+
+let test_bad_args () =
+  Alcotest.check_raises "sample > 1"
+    (Invalid_argument "Trace.create: sample must be in [0,1]") (fun () ->
+      ignore (Trace.create ~sample:1.5 ~seed:1 ()));
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Trace.create: capacity must be positive") (fun () ->
+      ignore (Trace.create ~capacity:0 ~seed:1 ()));
+  let tr = Trace.create ~seed:1 () in
+  Trace.with_trace tr ~name:"root" (fun () ->
+      Alcotest.check_raises "bad span name"
+        (Invalid_argument "Trace: malformed span name \"a b\"")
+        (fun () -> ignore (Trace.start_span tr ~name:"a b")))
+
+(* ------------------------------------------------------------------ *)
+(* Sampling and the ring *)
+
+let sampled_pattern ~seed ~sample n =
+  let tr = Trace.create ~capacity:1 ~sample ~seed () in
+  List.init n (fun i ->
+      let before = Trace.sampled tr in
+      Trace.with_trace tr ~name:"t" (fun () -> ignore i);
+      Trace.sampled tr > before)
+
+let test_sampling_deterministic () =
+  let a = sampled_pattern ~seed:42 ~sample:0.5 200 in
+  let b = sampled_pattern ~seed:42 ~sample:0.5 200 in
+  Alcotest.(check (list bool)) "same seed, same decisions" a b;
+  let hits = List.length (List.filter Fun.id a) in
+  Alcotest.(check bool) "roughly half sampled" true (hits > 60 && hits < 140);
+  let c = sampled_pattern ~seed:43 ~sample:0.5 200 in
+  Alcotest.(check bool) "different seed differs" true (a <> c);
+  Alcotest.(check bool) "sample 0 never"
+    true
+    (List.for_all not (sampled_pattern ~seed:42 ~sample:0.0 50));
+  Alcotest.(check bool) "sample 1 always"
+    true
+    (List.for_all Fun.id (sampled_pattern ~seed:42 ~sample:1.0 50))
+
+let test_ring_eviction () =
+  with_fake_clock @@ fun () ->
+  let tr = Trace.create ~capacity:4 ~seed:1 () in
+  for i = 0 to 6 do
+    Trace.with_trace tr ~name:(Printf.sprintf "t%d" i) (fun () -> ())
+  done;
+  Alcotest.(check int) "completed" 7 (Trace.completed tr);
+  Alcotest.(check int) "evicted oldest" 3 (Trace.evicted tr);
+  let names =
+    List.map (fun t -> t.Trace.root_name) (Trace.traces tr)
+  in
+  Alcotest.(check (list string)) "last 4 held, oldest first"
+    [ "t3"; "t4"; "t5"; "t6" ] names
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export and the crash dump *)
+
+let run_workload () =
+  with_fake_clock @@ fun () ->
+  let tr = Trace.create ~capacity:8 ~seed:5 () in
+  for i = 0 to 9 do
+    try
+      Trace.with_trace tr ~name:"publish" (fun () ->
+          Trace.add_attr tr "event" (string_of_int i);
+          Trace.with_span tr ~name:"match" (fun () -> ());
+          Trace.attach_path tr
+            {
+              Trace.path_nodes = [| 0; 1 |];
+              path_levels = [| 0; 1 |];
+              path_edges = [| 0; -3 |];
+              path_comparisons = [| 2; 0 |];
+              path_matched = [| i |];
+            };
+          if i mod 3 = 0 then
+            Trace.with_span tr ~name:"deliver" (fun () -> failwith "boom"))
+    with Failure _ -> ()
+  done;
+  tr
+
+let test_chrome_deterministic () =
+  let a = Trace.to_chrome (run_workload ()) in
+  let b = Trace.to_chrome (run_workload ()) in
+  Alcotest.(check string) "byte-identical across runs" a b;
+  (match Json.validate a with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid chrome JSON: %s" e);
+  Alcotest.(check bool) "has span events" true
+    (contains ~needle:"\"ph\": \"X\"" a);
+  Alcotest.(check bool) "has path instants" true
+    (contains ~needle:"matcher.path" a);
+  Alcotest.(check bool) "normalized to the earliest start" true
+    (contains ~needle:"\"ts\": 0" a)
+
+let test_crash_dump () =
+  let hook = ref [] in
+  with_fake_clock @@ fun () ->
+  let tr = Trace.create ~capacity:4 ~seed:5 ~on_dump:(fun s -> hook := s :: !hook) () in
+  Trace.with_trace tr ~name:"publish" (fun () ->
+      Trace.add_attr tr "k" "v");
+  let text = Trace.record_crash tr ~reason:"injected crash" in
+  Alcotest.(check bool) "reason in header" true
+    (contains ~needle:"injected crash" text);
+  Alcotest.(check bool) "trace listed" true (contains ~needle:"publish" text);
+  Alcotest.(check (option string)) "remembered" (Some text)
+    (Trace.last_dump tr);
+  Alcotest.(check (list string)) "hook invoked" [ text ] !hook
+
+let test_span_metrics () =
+  with_fake_clock @@ fun () ->
+  let reg = Metrics.create () in
+  let tr = Trace.create ~metrics:reg ~seed:1 () in
+  (try
+     Trace.with_trace tr ~name:"publish" (fun () ->
+         Trace.with_span tr ~name:"deliver" (fun () -> failwith "x"))
+   with Failure _ -> ());
+  let json = Metrics.to_json reg in
+  Alcotest.(check bool) "traces counter" true
+    (contains ~needle:"genas_trace_traces_total" json);
+  Alcotest.(check bool) "span duration histogram" true
+    (contains ~needle:"genas_trace_span_duration_ns" json);
+  Alcotest.(check bool) "error counter" true
+    (contains ~needle:"genas_trace_span_errors_total" json)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_lifecycle;
+          Alcotest.test_case "exception closes spans" `Quick
+            test_exception_closes_spans;
+          Alcotest.test_case "unbalanced finish" `Quick test_unbalanced_finish;
+          Alcotest.test_case "bad arguments" `Quick test_bad_args;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "sampling determinism" `Quick
+            test_sampling_deterministic;
+          Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome determinism" `Quick
+            test_chrome_deterministic;
+          Alcotest.test_case "crash dump" `Quick test_crash_dump;
+          Alcotest.test_case "span metrics" `Quick test_span_metrics;
+        ] );
+    ]
