@@ -1,8 +1,8 @@
 # Convenience targets; `make check` is the tier-1 gate (build + tests
 # + the seconds-scale bench smoke).
 
-.PHONY: all build test check faultcheck recovercheck tracecheck bench \
-  bench-smoke bench-json clean
+.PHONY: all build test check faultcheck recovercheck tracecheck scalecheck \
+  bench bench-smoke bench-json clean
 
 all: build
 
@@ -14,7 +14,8 @@ test:
 
 check:
 	dune build @all && dune runtest && $(MAKE) faultcheck \
-	  && $(MAKE) recovercheck && $(MAKE) tracecheck && $(MAKE) bench-smoke
+	  && $(MAKE) recovercheck && $(MAKE) tracecheck && $(MAKE) scalecheck \
+	  && $(MAKE) bench-smoke
 
 # Fault-injection suite: the supervised-delivery unit tests plus the
 # deterministic CLI demo pinned by test/cram/faults.t.
@@ -39,6 +40,20 @@ tracecheck:
 	dune build test/test_trace.exe bin/genas_cli.exe @test/cram/trace
 	./_build/default/test/test_trace.exe -q
 
+# Aggregation suite: the covering/lattice unit tests and the
+# aggregated-vs-plain differentials (test_cover, the engine equivalence
+# property in test_flat), then a 10^3/10^4 profile-count scaling smoke
+# through the CLI, validated by the strict JSON checker. The plain
+# rebuild-per-churn baseline is capped at 10^3 — each sampled baseline
+# op pays a full replan, seconds apiece (docs/SCALING.md).
+scalecheck:
+	dune build test/test_cover.exe test/test_flat.exe bin/genas_cli.exe
+	./_build/default/test/test_cover.exe -q
+	./_build/default/test/test_flat.exe -q
+	./_build/default/bin/genas_cli.exe bench --json --events 200 \
+	  --scaling 1000,10000 --baseline-max 1000 \
+	  | ./_build/default/bin/genas_cli.exe jsoncheck
+
 bench:
 	dune exec bench/main.exe -- all
 
@@ -51,10 +66,12 @@ bench-smoke:
 	./_build/default/bin/genas_cli.exe bench --json --events 2000 \
 	  | ./_build/default/bin/genas_cli.exe jsoncheck
 
-# Full-budget run refreshing the committed perf-trajectory record.
+# Full-budget run refreshing the committed perf-trajectory record,
+# scaling curve included (the 10^6 point and the 10^4 baseline take
+# minutes; see docs/SCALING.md).
 bench-json:
 	dune exec bin/genas_cli.exe -- bench --json --events 200000 \
-	  --out BENCH_PR5.json
+	  --scaling 1000,2000,10000,100000,1000000 --out BENCH_PR6.json
 
 clean:
 	dune clean

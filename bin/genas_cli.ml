@@ -332,12 +332,39 @@ let run_metrics format events seed =
 (* Perf bench: the flat-vs-pointer / 1-vs-N-domain throughput suite of
    Genas_expt.Perfbench, as a table or as the BENCH_*.json document.   *)
 
-let run_bench json events out =
+let parse_scaling spec =
+  match
+    String.split_on_char ',' spec
+    |> List.filter (fun s -> String.trim s <> "")
+    |> List.map (fun s -> int_of_string_opt (String.trim s))
+  with
+  | [] -> Error "empty --scaling list"
+  | l when List.exists Option.is_none l ->
+    Error ("bad --scaling list: " ^ spec)
+  | l ->
+    let points = List.filter_map Fun.id l in
+    if List.exists (fun p -> p <= 0) points then
+      Error "scaling populations must be positive"
+    else Ok points
+
+let run_bench json events out profiles scaling baseline_max =
   if events <= 0 then or_die (Error "need a positive --events count");
-  let t = Genas_expt.Perfbench.run ~events () in
+  if profiles <= 0 then or_die (Error "need a positive --profiles count");
+  if baseline_max < 0 then
+    or_die (Error "need a non-negative --baseline-max population");
+  let t = Genas_expt.Perfbench.run ~profiles ~events () in
+  let scale =
+    Option.map
+      (fun spec ->
+        let points = or_die (parse_scaling spec) in
+        Genas_expt.Perfbench.scale ~points ~baseline_max ())
+      scaling
+  in
   let output =
     if json then begin
-      let doc = Obs.Json.to_string (Genas_expt.Perfbench.to_json t) ^ "\n" in
+      let doc =
+        Obs.Json.to_string (Genas_expt.Perfbench.to_json ?scale t) ^ "\n"
+      in
       (* The strict validator gates every machine-readable emission, so
          a malformed BENCH_*.json can never be written. *)
       (match Obs.Json.validate doc with
@@ -883,13 +910,37 @@ let bench_cmd =
     Arg.(value & opt (some string) None
          & info [ "out" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout.")
   in
+  let profiles_arg =
+    Arg.(value & opt int 500
+         & info [ "profiles" ]
+             ~doc:"Profile population for the classic timing workload.")
+  in
+  let scaling_arg =
+    Arg.(value & opt (some string) None
+         & info [ "scaling" ] ~docv:"N,N,..."
+             ~doc:"Also run the profile-count scaling curve at the given \
+                   comma-separated populations (subscribe/unsubscribe \
+                   latency and publish throughput, aggregation on vs the \
+                   rebuild-per-churn baseline; see docs/SCALING.md) and \
+                   attach it to the JSON document as a \"scaling\" block.")
+  in
+  let baseline_max_arg =
+    Arg.(value & opt int 2_000
+         & info [ "baseline-max" ] ~docv:"N"
+             ~doc:"Largest --scaling population the plain rebuild-per-churn \
+                   baseline is measured at; beyond it only the aggregated \
+                   point is recorded (each sampled baseline op pays a full \
+                   replan, seconds each on the covering workload, and the \
+                   replanned tree grows combinatorially with population).")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Benchmark every matcher (naive, counting, pointer tree, compiled \
              flat form, batch path, domain pool) on the paper's timing \
              workload; events/sec and comparisons/event per matcher and \
              strategy")
-    Term.(const run_bench $ json_arg $ events_arg $ out_arg)
+    Term.(const run_bench $ json_arg $ events_arg $ out_arg $ profiles_arg
+          $ scaling_arg $ baseline_max_arg)
 
 let faults_cmd =
   let seed_arg =

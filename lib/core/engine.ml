@@ -1,4 +1,6 @@
+module Profile = Genas_profile.Profile
 module Profile_set = Genas_profile.Profile_set
+module Lattice = Genas_profile.Lattice
 module Decomp = Genas_filter.Decomp
 module Tree = Genas_filter.Tree
 module Flat = Genas_filter.Flat
@@ -53,6 +55,57 @@ let make_instruments registry =
         ~help:"Edges over unique nodes of the current profile tree";
   }
 
+(* Aggregation gauges exist only on aggregated engines, so plain
+   engines export exactly the metric set they always did. *)
+type agg_instruments = {
+  absorbed_profiles : Metrics.gauge;
+  lattice_entries : Metrics.gauge;
+  lattice_roots : Metrics.gauge;
+  pending_rebuild : Metrics.gauge;
+  epoch_swaps_total : Metrics.counter;
+}
+
+let make_agg_instruments registry =
+  {
+    absorbed_profiles =
+      Metrics.gauge registry "genas_engine_absorbed_profiles"
+        ~help:"Live profiles absorbed by the covering lattice (not part \
+               of the covering-minimal set the matcher compiles)";
+    lattice_entries =
+      Metrics.gauge registry "genas_engine_lattice_entries"
+        ~help:"Live profiles indexed by the covering lattice";
+    lattice_roots =
+      Metrics.gauge registry "genas_engine_lattice_roots"
+        ~help:"Covering-lattice roots (the covering-minimal set)";
+    pending_rebuild =
+      Metrics.gauge registry "genas_engine_pending_rebuild"
+        ~help:"Structural changes accumulated since the last epoch swap \
+               (uncompiled new roots + retired compiled entries)";
+    epoch_swaps_total =
+      Metrics.counter registry "genas_engine_epoch_swaps_total"
+        ~help:"Epoch swaps: atomic installs of a recompiled root matcher";
+  }
+
+(* Aggregated mode: the flat matcher is compiled over the covering
+   lattice's roots only, and churn between epoch swaps is tracked as
+   deltas against that compiled snapshot. Invariant: every root
+   equivalence class has at least one live member id in
+   [compiled \ dead ∪ delta], so every live profile stays reachable
+   from the match path (roots directly, absorbed profiles through
+   covering-link expansion). *)
+type agg = {
+  lat : Lattice.t;
+  mutable cset : Profile_set.t;
+      (** root representatives compiled into the current flat matcher *)
+  compiled : (int, unit) Hashtbl.t;  (** ids present in the flat form *)
+  dead : (int, unit) Hashtbl.t;  (** compiled ids removed since the swap *)
+  delta : (int, unit) Hashtbl.t;  (** uncompiled root member ids *)
+  mutable epoch : int;
+  delta_cap : int;
+  mutable scratch : int array;  (** reusable sorted-match buffer *)
+  agg_ins : agg_instruments option;
+}
+
 type t = {
   pset : Profile_set.t;
   bins : int;
@@ -72,6 +125,7 @@ type t = {
   mutable recorder : Flat.recorder option;
   ops : Ops.t;
   instruments : instruments option;
+  agg : agg option;
 }
 
 let observe_tree t =
@@ -82,6 +136,20 @@ let observe_tree t =
     Metrics.Gauge.set ins.tree_nodes (float_of_int s.Tree.nodes);
     Metrics.Gauge.set ins.tree_leaves (float_of_int s.Tree.leaves);
     Metrics.Gauge.set ins.tree_edges (float_of_int s.Tree.edges)
+
+let pending_of agg = Hashtbl.length agg.delta + Hashtbl.length agg.dead
+
+let observe_agg agg =
+  match agg.agg_ins with
+  | None -> ()
+  | Some ins ->
+    Metrics.Gauge.set ins.absorbed_profiles
+      (float_of_int (Lattice.absorbed agg.lat));
+    Metrics.Gauge.set ins.lattice_entries
+      (float_of_int (Lattice.size agg.lat));
+    Metrics.Gauge.set ins.lattice_roots
+      (float_of_int (Lattice.root_count agg.lat));
+    Metrics.Gauge.set ins.pending_rebuild (float_of_int (pending_of agg))
 
 let plan ~bins ~old_stats pset spec =
   let decomp = Decomp.build pset in
@@ -102,8 +170,45 @@ let install_tree t tree =
   | None -> ()
   | Some _ -> t.recorder <- Some (Flat.recorder t.flat)
 
-let create ?(spec = Reorder.default_spec) ?(bins = 64) ?metrics pset =
-  let stats, tree = plan ~bins ~old_stats:None pset spec in
+(* Snapshot the lattice roots into a registry under their own ids; the
+   flat matcher compiled from it reports root representatives. *)
+let root_snapshot agg schema =
+  let cset = Profile_set.create schema in
+  List.iter
+    (fun (id, p) -> Profile_set.add_with_id cset ~id p)
+    (Lattice.minimal_cover agg.lat);
+  cset
+
+let create ?(spec = Reorder.default_spec) ?(bins = 64) ?metrics
+    ?(aggregate = false) ?(delta_cap = 512) pset =
+  let agg =
+    if not aggregate then None
+    else begin
+      let lat = Lattice.create (Profile_set.schema pset) in
+      Profile_set.iter pset (fun id p -> ignore (Lattice.add lat ~id p));
+      let agg =
+        {
+          lat;
+          cset = Profile_set.create (Profile_set.schema pset);
+          compiled = Hashtbl.create 256;
+          dead = Hashtbl.create 64;
+          delta = Hashtbl.create 64;
+          epoch = 0;
+          delta_cap = Stdlib.max 1 delta_cap;
+          scratch = Array.make 64 0;
+          agg_ins = Option.map make_agg_instruments metrics;
+        }
+      in
+      agg.cset <- root_snapshot agg (Profile_set.schema pset);
+      Profile_set.iter agg.cset (fun id _ ->
+          Hashtbl.replace agg.compiled id ());
+      Some agg
+    end
+  in
+  let planning_set =
+    match agg with Some a -> a.cset | None -> pset
+  in
+  let stats, tree = plan ~bins ~old_stats:None planning_set spec in
   let flat = Flat.compile tree in
   let t =
     {
@@ -117,9 +222,11 @@ let create ?(spec = Reorder.default_spec) ?(bins = 64) ?metrics pset =
       recorder = None;
       ops = Ops.create ();
       instruments = Option.map make_instruments metrics;
+      agg;
     }
   in
   observe_tree t;
+  Option.iter observe_agg agg;
   t
 
 let spec t = t.spec
@@ -134,50 +241,177 @@ let stats t = t.stats
 
 let ops t = t.ops
 
-let rebuild t =
-  (* Keep the statistics when the profile set is unchanged (the normal
-     re-optimization path); refresh the decomposition otherwise. *)
-  let stats, tree = plan ~bins:t.bins ~old_stats:(Some t.stats) t.pset t.spec in
+let aggregated t = Option.is_some t.agg
+
+let epoch t = match t.agg with Some a -> a.epoch | None -> 0
+
+let pending_rebuild t =
+  match t.agg with Some a -> pending_of a | None -> 0
+
+let swap_due t =
+  match t.agg with Some a -> pending_of a > a.delta_cap | None -> false
+
+let absorbed_profiles t =
+  match t.agg with Some a -> Lattice.absorbed a.lat | None -> 0
+
+let lattice_roots t =
+  match t.agg with
+  | Some a -> Lattice.root_count a.lat
+  | None -> Profile_set.size t.pset
+
+let lattice t = Option.map (fun a -> a.lat) t.agg
+
+(* Epoch swap: recompile the flat matcher over the current lattice
+   roots and install it atomically (single field stores — the publish
+   path between two swaps always sees one coherent compiled snapshot
+   plus the delta tables). The retired statistics' learned history is
+   absorbed so distribution-based reordering survives the swap. *)
+let swap_agg t agg =
+  let cset = root_snapshot agg (Profile_set.schema t.pset) in
+  let old = t.stats in
+  let decomp = Decomp.build cset in
+  let stats = Stats.create ~bins:t.bins decomp in
+  Stats.absorb stats ~from:old;
   t.stats <- stats;
-  install_tree t tree;
-  match t.instruments with
+  agg.cset <- cset;
+  install_tree t (Reorder.build t.stats t.spec);
+  Hashtbl.reset agg.compiled;
+  Hashtbl.reset agg.dead;
+  Hashtbl.reset agg.delta;
+  Profile_set.iter cset (fun id _ -> Hashtbl.replace agg.compiled id ());
+  agg.epoch <- agg.epoch + 1;
+  (match t.instruments with
   | None -> ()
   | Some ins ->
     Metrics.Counter.incr ins.rebuilds_total;
-    observe_tree t
+    observe_tree t);
+  (match agg.agg_ins with
+  | None -> ()
+  | Some ins -> Metrics.Counter.incr ins.epoch_swaps_total);
+  observe_agg agg
+
+let rebuild t =
+  match t.agg with
+  | Some agg -> swap_agg t agg
+  | None ->
+    (* Keep the statistics when the profile set is unchanged (the
+       normal re-optimization path); refresh the decomposition
+       otherwise. *)
+    let stats, tree =
+      plan ~bins:t.bins ~old_stats:(Some t.stats) t.pset t.spec
+    in
+    t.stats <- stats;
+    install_tree t tree;
+    (match t.instruments with
+    | None -> ()
+    | Some ins ->
+      Metrics.Counter.incr ins.rebuilds_total;
+      observe_tree t)
+
+let swap_now t =
+  match t.agg with Some agg -> swap_agg t agg | None -> rebuild t
 
 let set_spec t spec =
   t.spec <- spec;
   rebuild t
 
 let refresh_if_stale t =
-  if Tree.revision t.tree <> Profile_set.revision t.pset then begin
-    (* Profiles changed: rebuild decomposition and statistics. The
-       observed history refers to stale cells, so it is restarted. *)
-    let decomp = Decomp.build t.pset in
-    t.stats <- Stats.create ~bins:t.bins decomp;
-    install_tree t (Reorder.build t.stats t.spec);
-    match t.instruments with
-    | None -> ()
-    | Some ins ->
-      Metrics.Counter.incr ins.rebuilds_total;
-      observe_tree t
-  end
+  match t.agg with
+  | Some _ -> ()  (* churn goes through add/remove_profile; never stale *)
+  | None ->
+    if Tree.revision t.tree <> Profile_set.revision t.pset then begin
+      (* Profiles changed: rebuild decomposition and statistics. The
+         observed history refers to stale cells, so it is restarted. *)
+      let decomp = Decomp.build t.pset in
+      t.stats <- Stats.create ~bins:t.bins decomp;
+      install_tree t (Reorder.build t.stats t.spec);
+      match t.instruments with
+      | None -> ()
+      | Some ins ->
+        Metrics.Counter.incr ins.rebuilds_total;
+        observe_tree t
+    end
 
 let refresh_keeping_history t =
-  if Tree.revision t.tree <> Profile_set.revision t.pset then begin
-    let old = t.stats in
-    let decomp = Decomp.build t.pset in
-    let stats = Stats.create ~bins:t.bins decomp in
-    Stats.absorb stats ~from:old;
-    t.stats <- stats;
-    install_tree t (Reorder.build t.stats t.spec);
-    match t.instruments with
-    | None -> ()
-    | Some ins ->
-      Metrics.Counter.incr ins.rebuilds_total;
-      observe_tree t
-  end
+  match t.agg with
+  | Some agg -> if pending_of agg > 0 then swap_agg t agg
+  | None ->
+    if Tree.revision t.tree <> Profile_set.revision t.pset then begin
+      let old = t.stats in
+      let decomp = Decomp.build t.pset in
+      let stats = Stats.create ~bins:t.bins decomp in
+      Stats.absorb stats ~from:old;
+      t.stats <- stats;
+      install_tree t (Reorder.build t.stats t.spec);
+      match t.instruments with
+      | None -> ()
+      | Some ins ->
+        Metrics.Counter.incr ins.rebuilds_total;
+        observe_tree t
+    end
+
+(* -- Aggregated registry churn ------------------------------------- *)
+
+let maybe_swap t agg = if pending_of agg > agg.delta_cap then swap_agg t agg
+
+(* Keep the reachability invariant for one root equivalence class:
+   some member must sit in the compiled-live or delta set. *)
+let ensure_reachable agg members =
+  let live m =
+    (Hashtbl.mem agg.compiled m && not (Hashtbl.mem agg.dead m))
+    || Hashtbl.mem agg.delta m
+  in
+  if not (List.exists live members) then
+    match members with
+    | [] -> ()
+    | m :: _ -> Hashtbl.replace agg.delta m ()
+
+let agg_added t agg id profile =
+  (match Lattice.add agg.lat ~id profile with
+  | Lattice.Absorbed _ ->
+    (* Covered (or equivalent) region: the lattice alone absorbs it;
+       the compiled matcher is untouched. *)
+    ()
+  | Lattice.Rooted { demoted } ->
+    (* Former roots now live under the new one: their members no
+       longer need a delta slot of their own. *)
+    List.iter
+      (List.iter (fun m -> Hashtbl.remove agg.delta m))
+      demoted;
+    Hashtbl.replace agg.delta id ());
+  maybe_swap t agg;
+  observe_agg agg
+
+let agg_removed t agg id =
+  (match Lattice.remove agg.lat id with
+  | None -> ()
+  | Some r ->
+    if Hashtbl.mem agg.compiled id then Hashtbl.replace agg.dead id ();
+    Hashtbl.remove agg.delta id;
+    (match r with
+    | Lattice.Shrunk { root = true; members } -> ensure_reachable agg members
+    | Lattice.Shrunk { root = false; _ } -> ()
+    | Lattice.Dissolved { promoted; _ } ->
+      List.iter (ensure_reachable agg) promoted));
+  maybe_swap t agg;
+  observe_agg agg
+
+let add_profile t profile =
+  let id = Profile_set.add t.pset profile in
+  (match t.agg with None -> () | Some agg -> agg_added t agg id profile);
+  id
+
+let add_profile_with_id t ~id profile =
+  Profile_set.add_with_id t.pset ~id profile;
+  match t.agg with None -> () | Some agg -> agg_added t agg id profile
+
+let remove_profile t id =
+  let present = Profile_set.remove t.pset id in
+  (if present then
+     match t.agg with None -> () | Some agg -> agg_removed t agg id);
+  present
+
+(* -- Matching ------------------------------------------------------ *)
 
 (* Match one event through the flat cursor; returns the match count,
    ids borrowed from the cursor. Counter semantics are bit-identical to
@@ -187,15 +421,91 @@ let match_flat t event =
   | None -> Flat.match_into ~ops:t.ops t.flat t.cursor event
   | Some r -> Flat.match_into_recorded ~ops:t.ops t.flat t.cursor r event
 
+let grow_scratch agg n =
+  if Array.length agg.scratch < n then
+    agg.scratch <-
+      Array.make (Stdlib.max n (2 * Array.length agg.scratch)) 0
+
+(* Aggregated match: the compiled flat form decides the root
+   representatives exactly; covered profiles are then collected by
+   descending covering links from each matched root (plus the delta
+   roots, verified directly), pruning any subtree whose node profile
+   rejects the event — a coverer's rejection implies rejection of
+   everything it covers. Each candidate-node verification counts one
+   comparison. *)
+let match_agg t agg event =
+  let schema = Profile_set.schema t.pset in
+  let nflat = match_flat t event in
+  let out = Flat.matches t.cursor in
+  Lattice.begin_visit agg.lat;
+  let acc = ref [] and count = ref 0 in
+  let rec expand ~verified node =
+    if not (Lattice.seen agg.lat node) then begin
+      let matched =
+        verified
+        ||
+        (t.ops.Ops.comparisons <- t.ops.Ops.comparisons + 1;
+         Profile.matches schema (Lattice.node_profile node) event)
+      in
+      if matched then begin
+        List.iter
+          (fun m ->
+            acc := m :: !acc;
+            incr count)
+          (Lattice.node_members node);
+        List.iter (expand ~verified:false) (Lattice.node_children node)
+      end
+    end
+  in
+  for i = 0 to nflat - 1 do
+    let id = out.(i) in
+    if not (Hashtbl.mem agg.dead id) then
+      match Lattice.node_of agg.lat id with
+      | Some node -> expand ~verified:true node
+      | None -> ()
+  done;
+  Hashtbl.iter
+    (fun id () ->
+      match Lattice.node_of agg.lat id with
+      | Some node -> expand ~verified:false node
+      | None -> ())
+    agg.delta;
+  let n = !count in
+  grow_scratch agg n;
+  let i = ref 0 in
+  List.iter
+    (fun id ->
+      agg.scratch.(!i) <- id;
+      incr i)
+    !acc;
+  let sub = Array.sub agg.scratch 0 n in
+  Array.sort Int.compare sub;
+  Array.blit sub 0 agg.scratch 0 n;
+  (* The flat form counted its own matches (the root hits); align the
+     cumulative pair counter with what the caller actually receives. *)
+  t.ops.Ops.matches <- t.ops.Ops.matches + (n - nflat);
+  n
+
+let match_dispatch t event =
+  match t.agg with
+  | None -> match_flat t event
+  | Some agg -> match_agg t agg event
+
+(* The buffer holding the current match ids (first [len] slots). *)
+let result_buffer t =
+  match t.agg with
+  | None -> Flat.matches t.cursor
+  | Some agg -> agg.scratch
+
 let match_core t event =
   refresh_if_stale t;
   Stats.observe_event t.stats event;
   match t.instruments with
-  | None -> match_flat t event
+  | None -> match_dispatch t event
   | Some ins ->
     let c0 = t.ops.Ops.comparisons in
     let t0 = Genas_obs.Clock.now_ns () in
-    let n = match_flat t event in
+    let n = match_dispatch t event in
     let dt = Int64.to_float (Int64.sub (Genas_obs.Clock.now_ns ()) t0) in
     let dc = t.ops.Ops.comparisons - c0 in
     Metrics.Histogram.observe ins.match_ns (Float.max 0.0 dt);
@@ -207,7 +517,7 @@ let match_core t event =
 
 let match_event t event =
   let n = match_core t event in
-  let out = Flat.matches t.cursor in
+  let out = result_buffer t in
   let rec build i acc =
     if i < 0 then acc else build (i - 1) (out.(i) :: acc)
   in
@@ -215,39 +525,62 @@ let match_event t event =
 
 let match_with t event ~f =
   let n = match_core t event in
-  f ~ids:(Flat.matches t.cursor) ~len:n
+  f ~ids:(result_buffer t) ~len:n
 
 let match_batch ?pool t events =
-  refresh_if_stale t;
-  Array.iter (fun e -> Stats.observe_event t.stats e) events;
-  let c0 = t.ops.Ops.comparisons and m0 = t.ops.Ops.matches in
-  let results =
-    match pool with
-    | Some p when Pool.domains p > 1 && Array.length events > 1 ->
-      Pool.match_batch ~ops:t.ops p t.flat events
-    | Some _ | None ->
-      let out = Array.make (Array.length events) [||] in
-      (match t.recorder with
-      | None ->
-        Flat.match_batch ~ops:t.ops t.flat t.cursor events
-          ~f:(fun i ~ids ~len -> out.(i) <- Array.sub ids 0 len)
-      | Some r ->
-        Array.iteri
-          (fun i e ->
-            let len =
-              Flat.match_into_recorded ~ops:t.ops t.flat t.cursor r e
-            in
-            out.(i) <- Array.sub (Flat.matches t.cursor) 0 len)
-          events);
-      out
-  in
-  (match t.instruments with
-  | None -> ()
-  | Some ins ->
-    Metrics.Counter.add ins.events_total (Array.length events);
-    Metrics.Counter.add ins.comparisons_total (t.ops.Ops.comparisons - c0);
-    Metrics.Counter.add ins.matches_total (t.ops.Ops.matches - m0));
-  results
+  match t.agg with
+  | Some agg ->
+    (* Aggregated engines match batches sequentially: the pool workers
+       only execute the compiled flat form, which no longer holds the
+       full profile population. *)
+    ignore pool;
+    Array.iter (fun e -> Stats.observe_event t.stats e) events;
+    let c0 = t.ops.Ops.comparisons and m0 = t.ops.Ops.matches in
+    let results =
+      Array.map
+        (fun e ->
+          let n = match_agg t agg e in
+          Array.sub agg.scratch 0 n)
+        events
+    in
+    (match t.instruments with
+    | None -> ()
+    | Some ins ->
+      Metrics.Counter.add ins.events_total (Array.length events);
+      Metrics.Counter.add ins.comparisons_total (t.ops.Ops.comparisons - c0);
+      Metrics.Counter.add ins.matches_total (t.ops.Ops.matches - m0));
+    results
+  | None ->
+    refresh_if_stale t;
+    Array.iter (fun e -> Stats.observe_event t.stats e) events;
+    let c0 = t.ops.Ops.comparisons and m0 = t.ops.Ops.matches in
+    let results =
+      match pool with
+      | Some p when Pool.domains p > 1 && Array.length events > 1 ->
+        Pool.match_batch ~ops:t.ops p t.flat events
+      | Some _ | None ->
+        let out = Array.make (Array.length events) [||] in
+        (match t.recorder with
+        | None ->
+          Flat.match_batch ~ops:t.ops t.flat t.cursor events
+            ~f:(fun i ~ids ~len -> out.(i) <- Array.sub ids 0 len)
+        | Some r ->
+          Array.iteri
+            (fun i e ->
+              let len =
+                Flat.match_into_recorded ~ops:t.ops t.flat t.cursor r e
+              in
+              out.(i) <- Array.sub (Flat.matches t.cursor) 0 len)
+            events);
+        out
+    in
+    (match t.instruments with
+    | None -> ()
+    | Some ins ->
+      Metrics.Counter.add ins.events_total (Array.length events);
+      Metrics.Counter.add ins.comparisons_total (t.ops.Ops.comparisons - c0);
+      Metrics.Counter.add ins.matches_total (t.ops.Ops.matches - m0));
+    results
 
 let replay_observe t event =
   (* Journal replay: feed the statistics exactly as [match_core] would —

@@ -14,6 +14,8 @@ val create :
   ?spec:Reorder.spec ->
   ?bins:int ->
   ?metrics:Genas_obs.Metrics.t ->
+  ?aggregate:bool ->
+  ?delta_cap:int ->
   Genas_profile.Profile_set.t ->
   t
 (** [spec] defaults to {!Reorder.default_spec}.
@@ -24,7 +26,20 @@ val create :
     docs/OBSERVABILITY.md). Without it ([?metrics:None], the default)
     the match path performs no observability work at all — handles are
     resolved once at construction and the hot loop stays
-    allocation-free. *)
+    allocation-free.
+
+    [aggregate] (default [false]) turns on subscription aggregation:
+    the registry is indexed by a {!Genas_profile.Lattice} and the flat
+    matcher is compiled over the covering-minimal roots only, with
+    churn folded in incrementally and installed by epoch swaps (see
+    docs/SCALING.md). An aggregated engine requires all registry churn
+    to go through {!add_profile}/{!remove_profile}; mutating the
+    profile set directly leaves the index behind. [delta_cap] bounds
+    the structural changes accumulated between swaps (default 512):
+    when exceeded, the next churn operation performs the swap — the
+    match path itself never recompiles. With [metrics], aggregation
+    adds the absorbed/lattice/pending gauges and the epoch-swap
+    counter of docs/OBSERVABILITY.md. *)
 
 val spec : t -> Reorder.spec
 
@@ -32,6 +47,61 @@ val set_spec : t -> Reorder.spec -> unit
 (** Install a new reordering spec and rebuild the tree. *)
 
 val profiles : t -> Genas_profile.Profile_set.t
+
+(** {1 Registry churn}
+
+    The engine-mediated subscribe/unsubscribe path. On a plain engine
+    these are the registry operations followed by the usual lazy
+    stale-refresh on the next match; on an aggregated engine they also
+    maintain the covering lattice and the epoch-swap delta sets. *)
+
+val add_profile : t -> Genas_profile.Profile.t -> Genas_profile.Profile_set.id
+(** Register a profile. Aggregated engines: an insertion into a
+    covered region touches only the lattice (no recompilation, ever);
+    a structural insertion (new covering root) joins the pending delta
+    and is matched by linear scan until the next epoch swap installs a
+    recompiled matcher. *)
+
+val add_profile_with_id :
+  t -> id:Genas_profile.Profile_set.id -> Genas_profile.Profile.t -> unit
+(** Recovery-path variant under an explicit id
+    ({!Genas_profile.Profile_set.add_with_id} semantics). *)
+
+val remove_profile : t -> Genas_profile.Profile_set.id -> bool
+(** Remove a registration; [true] if the id was live. Aggregated
+    engines retire compiled entries by marking them dead (filtered at
+    match time) until the next epoch swap. *)
+
+(** {1 Aggregation} *)
+
+val aggregated : t -> bool
+
+val epoch : t -> int
+(** Epoch-swap count: how many recompiled root matchers have been
+    installed ([0] on plain engines and before the first swap). *)
+
+val pending_rebuild : t -> int
+(** Structural changes accumulated since the last swap (uncompiled
+    delta roots + dead compiled entries); [0] on plain engines. *)
+
+val swap_due : t -> bool
+(** Whether the pending churn exceeds the engine's [delta_cap] — the
+    next churn operation (or {!swap_now}) will swap. *)
+
+val swap_now : t -> unit
+(** Force an epoch swap: recompile the flat matcher over the current
+    covering-minimal roots and install it, absorbing the learned
+    event-distribution history. On a plain engine this is {!rebuild}. *)
+
+val absorbed_profiles : t -> int
+(** Live profiles the lattice absorbs (not in the covering-minimal
+    set); [0] on plain engines. *)
+
+val lattice_roots : t -> int
+(** Covering-minimal set size (= live profiles on plain engines). *)
+
+val lattice : t -> Genas_profile.Lattice.t option
+(** The aggregation index, for inspection. *)
 
 val tree : t -> Genas_filter.Tree.t
 (** The pointer tree: kept for [pp]/[explain] and the analytic cost
@@ -74,7 +144,8 @@ val match_batch :
     latency histograms are not observed on the batch path. With [pool]
     (and more than one domain and event) matching fans out across
     domains; results and counters are identical to the sequential
-    path. *)
+    path. Aggregated engines ignore [pool]: workers execute only the
+    compiled flat form, which no longer holds the full population. *)
 
 val rebuild : t -> unit
 (** Re-plan the tree configuration from the current statistics (and

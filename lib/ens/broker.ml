@@ -98,9 +98,9 @@ type t = {
 }
 
 let create ?spec ?adaptive ?metrics ?retry ?faults ?deadletter_capacity ?journal
-    ?tracer schema =
+    ?tracer ?aggregate ?delta_cap schema =
   let pset = Profile_set.create schema in
-  let engine = Engine.create ?spec ?metrics pset in
+  let engine = Engine.create ?spec ?metrics ?aggregate ?delta_cap pset in
   (* A traced broker profiles the matcher so every trace can carry the
      traversal path; untraced brokers keep the plain (recorder-free)
      match loop. *)
@@ -208,7 +208,7 @@ let journal_op t op =
 let wal t = t.journal
 
 let subscribe t ~subscriber ~profile handler =
-  let id = Profile_set.add t.pset profile in
+  let id = Engine.add_profile t.engine profile in
   Hashtbl.replace t.handlers id
     {
       p_subscriber = subscriber;
@@ -252,7 +252,7 @@ let subscribe_composite t ~subscriber expr handler =
 
 let unsubscribe t = function
   | Prim_sub id ->
-    let present = Profile_set.remove t.pset id in
+    let present = Engine.remove_profile t.engine id in
     if present then begin
       Hashtbl.remove t.handlers id;
       invalidate_quench t;
@@ -542,7 +542,7 @@ let apply_op t resolve op =
   let ( let* ) = Result.bind in
   match op with
   | Journal.Subscribe { id; subscriber; profile } -> (
-    match Profile_set.add_with_id t.pset ~id profile with
+    match Engine.add_profile_with_id t.engine ~id profile with
     | () ->
       Hashtbl.replace t.handlers id
         {
@@ -570,7 +570,7 @@ let apply_op t resolve op =
       invalidate_quench t;
       Ok ())
   | Journal.Unsubscribe_prim { id } ->
-    if Profile_set.remove t.pset id then begin
+    if Engine.remove_profile t.engine id then begin
       Hashtbl.remove t.handlers id;
       invalidate_quench t
     end;
@@ -627,7 +627,8 @@ let apply_op t resolve op =
     Ok ()
 
 let recover ?spec ?adaptive ?metrics ?retry ?faults ?deadletter_capacity
-    ?tracer ?(handlers = fun ~subscriber:_ -> fun (_ : Notification.t) -> ())
+    ?tracer ?aggregate ?delta_cap
+    ?(handlers = fun ~subscriber:_ -> fun (_ : Notification.t) -> ())
     ~journal:cfg schema =
   let ( let* ) = Result.bind in
   let* recovered, j = Journal.recover ?metrics schema cfg in
@@ -649,7 +650,7 @@ let recover ?spec ?adaptive ?metrics ?retry ?faults ?deadletter_capacity
         Ok ()
       | exception Invalid_argument msg -> Error msg)
   in
-  let engine = Engine.create ?spec ?metrics pset in
+  let engine = Engine.create ?spec ?metrics ?aggregate ?delta_cap pset in
   (match tracer with
   | Some tr when Genas_obs.Trace.sample_rate tr > 0.0 ->
     Engine.set_profiling engine true

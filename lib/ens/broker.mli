@@ -21,10 +21,20 @@ val create :
   ?deadletter_capacity:int ->
   ?journal:Journal.config ->
   ?tracer:Genas_obs.Trace.t ->
+  ?aggregate:bool ->
+  ?delta_cap:int ->
   Genas_model.Schema.t ->
   t
 (** [adaptive] enables periodic distribution-driven re-optimization of
     the filter tree.
+
+    [aggregate] turns on subscription aggregation in the underlying
+    engine ({!Genas_core.Engine.create}): subscribes and unsubscribes
+    maintain a covering lattice and the matcher compiles only the
+    covering-minimal profile set, so registry churn on a large
+    population never blocks the publish path with a full replan.
+    [delta_cap] bounds the structural churn accumulated between epoch
+    swaps. See docs/SCALING.md.
 
     [tracer] attaches end-to-end causal tracing: every {!publish} /
     {!publish_batch} (if sampled) yields one span tree —
@@ -202,6 +212,8 @@ val recover :
   ?faults:Fault.t ->
   ?deadletter_capacity:int ->
   ?tracer:Genas_obs.Trace.t ->
+  ?aggregate:bool ->
+  ?delta_cap:int ->
   ?handlers:(subscriber:string -> Notification.handler) ->
   journal:Journal.config ->
   Genas_model.Schema.t ->

@@ -2,7 +2,7 @@ module Schema = Genas_model.Schema
 module Event = Genas_model.Event
 module Profile = Genas_profile.Profile
 module Profile_set = Genas_profile.Profile_set
-module Covering = Genas_profile.Covering
+module Lattice = Genas_profile.Lattice
 module Engine = Genas_core.Engine
 module Metrics = Genas_obs.Metrics
 module Trace = Genas_obs.Trace
@@ -60,8 +60,10 @@ type node = {
   pset : Profile_set.t;
   engine : Engine.t;
   dests : (int, dest) Hashtbl.t;  (** interest profile id → destination *)
-  forwarded : (node_id, Profile.t list) Hashtbl.t;
-      (** profiles already forwarded over each outgoing link *)
+  forwarded : (node_id, Lattice.t) Hashtbl.t;
+      (** per outgoing link: covering lattice over the profiles already
+          forwarded there — the covered-check that gates propagation is
+          a root scan instead of a rescan of every forwarded entry *)
 }
 
 type sub_handle = int
@@ -79,6 +81,7 @@ type t = {
   nodes : node array;
   live : (sub_handle, live_sub) Hashtbl.t;
   mutable next_handle : int;
+  mutable next_fwd : int;  (** fresh ids for forwarded-table entries *)
   mutable sub_msgs : int;
   mutable unsub_msgs : int;
   mutable event_msgs : int;
@@ -138,24 +141,24 @@ let validate_tree ~nodes ~edges =
       else Error "broker topology is not connected"
   end
 
-let make_nodes ?spec schema adj =
+let make_nodes ?spec ?aggregate schema adj =
   Array.init (Array.length adj) (fun id ->
       let pset = Profile_set.create schema in
       {
         id;
         neighbors = adj.(id);
         pset;
-        engine = Engine.create ?spec pset;
+        engine = Engine.create ?spec ?aggregate pset;
         dests = Hashtbl.create 32;
         forwarded = Hashtbl.create 4;
       })
 
-let create ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer schema
-    ~nodes ~edges =
+let create ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer
+    ?aggregate schema ~nodes ~edges =
   match validate_tree ~nodes ~edges with
   | Error e -> Error e
   | Ok adj ->
-    let nodes = make_nodes ?spec schema adj in
+    let nodes = make_nodes ?spec ?aggregate schema adj in
     (match tracer with
     | Some tr when Trace.sample_rate tr > 0.0 ->
       Array.iter (fun n -> Engine.set_profiling n.engine true) nodes
@@ -167,6 +170,7 @@ let create ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer schema
         nodes;
         live = Hashtbl.create 32;
         next_handle = 0;
+        next_fwd = 0;
         sub_msgs = 0;
         unsub_msgs = 0;
         event_msgs = 0;
@@ -184,41 +188,52 @@ let create ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer schema
       }
 
 let create_exn ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer
-    schema ~nodes ~edges =
+    ?aggregate schema ~nodes ~edges =
   match
-    create ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer schema
-      ~nodes ~edges
+    create ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer
+      ?aggregate schema ~nodes ~edges
   with
   | Ok t -> t
   | Error msg -> invalid_arg ("Router.create: " ^ msg)
 
-let line ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer schema
-    ~nodes =
-  create_exn ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer schema
-    ~nodes
+let line ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer ?aggregate
+    schema ~nodes =
+  create_exn ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer
+    ?aggregate schema ~nodes
     ~edges:(List.init (nodes - 1) (fun i -> (i, i + 1)))
 
-let star ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer schema
-    ~leaves =
-  create_exn ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer schema
+let star ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer ?aggregate
+    schema ~leaves =
+  create_exn ?spec ?metrics ?retry ?faults ?deadletter_capacity ?tracer
+    ?aggregate schema
     ~nodes:(leaves + 1)
     ~edges:(List.init leaves (fun i -> (0, i + 1)))
 
 (* Install an interest at [node] for [dest], then propagate it over
    every other link unless a covering profile was already sent there.
-   [count] controls whether propagation is charged to the message
-   counter (retraction replays silently). *)
+   The per-link forwarded tables are covering lattices, so the covered
+   check scans only the covering-minimal roots. [count] controls
+   whether propagation is charged to the message counter (retraction
+   replays silently). *)
 let rec add_interest t ~count node profile dest =
-  let id = Profile_set.add node.pset profile in
+  let id = Engine.add_profile node.engine profile in
   Hashtbl.replace node.dests id dest;
   let came_from = match dest with Link n -> Some n | Local _ -> None in
   List.iter
     (fun nb ->
       if Some nb <> came_from then begin
-        let already = Option.value ~default:[] (Hashtbl.find_opt node.forwarded nb) in
-        let covered = List.exists (fun p -> Covering.covers p profile) already in
-        if not covered then begin
-          Hashtbl.replace node.forwarded nb (profile :: already);
+        let fwd =
+          match Hashtbl.find_opt node.forwarded nb with
+          | Some l -> l
+          | None ->
+            let l = Lattice.create t.schema in
+            Hashtbl.add node.forwarded nb l;
+            l
+        in
+        if Option.is_none (Lattice.covered_by fwd profile) then begin
+          let fid = t.next_fwd in
+          t.next_fwd <- fid + 1;
+          ignore (Lattice.add fwd ~id:fid profile);
           if count then begin
             t.sub_msgs <- t.sub_msgs + 1;
             count_incr t (fun i -> i.sub_messages_total)
@@ -238,12 +253,6 @@ let subscribe t ~at ~subscriber ~profile handler =
     (Local (subscriber, handler));
   handle
 
-let forwarded_entries t =
-  Array.fold_left
-    (fun acc node ->
-      Hashtbl.fold (fun _ l acc -> acc + List.length l) node.forwarded acc)
-    0 t.nodes
-
 let unsubscribe t handle =
   match Hashtbl.find_opt t.live handle with
   | None -> false
@@ -251,18 +260,30 @@ let unsubscribe t handle =
     Hashtbl.remove t.live handle;
     (* Retraction by recomputation: rebuild every broker's interest
        table in place from the remaining live subscriptions (replayed
-       without charging subscription messages), and charge the
-       retraction fan-out as the number of forwarded entries that
-       disappear — each corresponds to one unsubscribe message on a
-       link. The nodes themselves (and their engines) are kept: each
-       engine re-plans against the replayed profile set while
-       absorbing its learned event history, so one churn event does
-       not reset distribution-based reordering network-wide. *)
-    let before = forwarded_entries t in
+       without charging subscription messages). The retraction fan-out
+       is charged semantically: a forwarded entry that disappears
+       costs one unsubscribe message on its link {e unless} a
+       surviving entry on the same link still covers it — the
+       neighbor's routing obligation is unchanged, so no message need
+       cross the wire. In particular retracting a profile while an
+       equivalent (or broader) one remains live costs nothing. The
+       nodes themselves (and their engines) are kept: each engine
+       re-plans against the replayed profile set while absorbing its
+       learned event history, so one churn event does not reset
+       distribution-based reordering network-wide. *)
+    let before =
+      Array.map
+        (fun node ->
+          Hashtbl.fold
+            (fun nb fwd acc ->
+              (nb, List.map snd (Lattice.entries fwd)) :: acc)
+            node.forwarded [])
+        t.nodes
+    in
     Array.iter
       (fun node ->
         List.iter
-          (fun id -> ignore (Profile_set.remove node.pset id))
+          (fun id -> ignore (Engine.remove_profile node.engine id))
           (Profile_set.ids node.pset);
         Hashtbl.reset node.dests;
         Hashtbl.reset node.forwarded)
@@ -277,9 +298,26 @@ let unsubscribe t handle =
           (Local (s.subscriber, s.handler)))
       handles;
     Array.iter (fun node -> Engine.refresh_keeping_history node.engine) t.nodes;
-    let after = forwarded_entries t in
-    t.unsub_msgs <- t.unsub_msgs + max 0 (before - after);
-    count_add t (fun i -> i.unsub_messages_total) (max 0 (before - after));
+    let charged = ref 0 in
+    Array.iteri
+      (fun i links ->
+        let node = t.nodes.(i) in
+        List.iter
+          (fun (nb, profiles) ->
+            let after = Hashtbl.find_opt node.forwarded nb in
+            List.iter
+              (fun p ->
+                let still_covered =
+                  match after with
+                  | None -> false
+                  | Some fwd -> Option.is_some (Lattice.covered_by fwd p)
+                in
+                if not still_covered then incr charged)
+              profiles)
+          links)
+      before;
+    t.unsub_msgs <- t.unsub_msgs + !charged;
+    count_add t (fun i -> i.unsub_messages_total) !charged;
     true
 
 (* One unit of routing work: an event arriving at a broker. [deferred]

@@ -30,12 +30,19 @@ val create :
   ?faults:Fault.t ->
   ?deadletter_capacity:int ->
   ?tracer:Genas_obs.Trace.t ->
+  ?aggregate:bool ->
   Genas_model.Schema.t ->
   nodes:int ->
   edges:(node_id * node_id) list ->
   (t, string) result
 (** The edge list must form a tree: connected, acyclic, node ids in
     [[0, nodes-1]].
+
+    [aggregate] turns on subscription aggregation in every broker's
+    engine ({!Genas_core.Engine.create}); the per-link forwarded
+    tables are covering lattices either way, so the covered-check that
+    gates subscription propagation scans only covering-minimal
+    roots. See docs/SCALING.md.
 
     [tracer] traces each {!publish} as one span tree: a
     ["router.publish"] root (attribute [at] = injection broker), one
@@ -66,6 +73,7 @@ val create_exn :
   ?faults:Fault.t ->
   ?deadletter_capacity:int ->
   ?tracer:Genas_obs.Trace.t ->
+  ?aggregate:bool ->
   Genas_model.Schema.t ->
   nodes:int ->
   edges:(node_id * node_id) list ->
@@ -78,6 +86,7 @@ val line :
   ?faults:Fault.t ->
   ?deadletter_capacity:int ->
   ?tracer:Genas_obs.Trace.t ->
+  ?aggregate:bool ->
   Genas_model.Schema.t ->
   nodes:int ->
   t
@@ -90,6 +99,7 @@ val star :
   ?faults:Fault.t ->
   ?deadletter_capacity:int ->
   ?tracer:Genas_obs.Trace.t ->
+  ?aggregate:bool ->
   Genas_model.Schema.t ->
   leaves:int ->
   t
@@ -113,7 +123,11 @@ val unsubscribe : t -> sub_handle -> bool
     the remaining subscriptions (a covered subscription that was never
     forwarded may now have to be, and vice versa); the retraction
     fan-out is charged to [unsub_messages] as the number of forwarded
-    entries that disappear. Per-broker operation counters restart, but
+    entries that disappear {e and} are not covered by a surviving
+    entry on the same link — retracting a profile while an equivalent
+    or broader one remains live costs no messages, because the
+    neighbor's routing obligation is unchanged. Per-broker operation
+    counters restart, but
     each broker's engine keeps its learned event statistics
     ({!Genas_core.Engine.refresh_keeping_history}): one churn event
     does not reset distribution-based reordering network-wide. *)

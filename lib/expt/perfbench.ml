@@ -18,6 +18,7 @@ module Clock = Genas_obs.Clock
 module Json = Genas_obs.Json
 module Trace = Genas_obs.Trace
 module Profile_set = Genas_profile.Profile_set
+module Engine = Genas_core.Engine
 module Broker = Genas_ens.Broker
 
 type result = {
@@ -262,6 +263,174 @@ let run ?(profiles = 500) ?(seed = 99) ?(events = 50_000) () =
     results;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Profile-count scaling: subscribe/unsubscribe latency and publish
+   throughput on the covering-heavy workload, aggregation on vs the
+   plain rebuild-per-churn engine.                                     *)
+
+type scale_point = {
+  population : int;
+  aggregated : bool;
+  subscribe_ns : float;
+  unsubscribe_ns : float;
+  publish_eps : float;
+  absorbed : int;
+  covering_roots : int;
+  epoch_swaps : int;
+}
+
+type scale = {
+  sc_seed : int;
+  sc_samples : int;
+  sc_baseline_samples : int;
+  sc_events : int;
+  sc_baseline_max : int;
+  sc_points : scale_point list;
+}
+
+let scale ?(points = [ 1_000; 10_000; 100_000; 1_000_000 ]) ?(seed = 99)
+    ?(events = 2_048) ?(samples = 32) ?(baseline_samples = 2)
+    ?(baseline_max = 2_000) () =
+  let attrs = 3 in
+  let schema = Workload.normalized_schema ~attrs ~points:100 () in
+  let axes =
+    Array.init attrs (fun i ->
+        Axis.of_domain (Schema.attribute schema i).Schema.domain)
+  in
+  let measure_point ~population ~samples ~aggregate =
+    let rng = Prng.create ~seed in
+    let source = Workload.gen_covering_profiles rng schema ~p:population () in
+    let profs =
+      let acc = ref [] in
+      Profile_set.iter source (fun _ pr -> acc := pr :: !acc);
+      Array.of_list (List.rev !acc)
+    in
+    let dists = Array.map Dist.uniform axes in
+    let pool_events =
+      Array.init pool_size (fun _ ->
+          let coords = Workload.event_coords rng dists in
+          Event.of_values_exn schema
+            (Array.mapi
+               (fun i c ->
+                 Axis.value (Schema.attribute schema i).Schema.domain c)
+               coords))
+    in
+    let mask = pool_size - 1 in
+    let ev_i = ref 0 in
+    let next_ev () =
+      let e = pool_events.(!ev_i land mask) in
+      incr ev_i;
+      e
+    in
+    (* A modest delta cap so the curve actually exercises epoch swaps:
+       structural churn (new lattice roots, root removals) crosses the
+       cap repeatedly as the population grows. *)
+    let engine =
+      Engine.create ~aggregate ~delta_cap:64 (Profile_set.create schema)
+    in
+    (* Subscribe latency, sampled during growth. Each sampled op is a
+       subscribe followed by one matched event — on the plain engine
+       the event realizes the full replan a rebuild-per-churn service
+       pays, on the aggregated engine it exercises whatever the churn
+       actually left pending (usually nothing). *)
+    let stride = max 1 (population / samples) in
+    let sub_ns = ref 0.0 and sub_n = ref 0 in
+    Array.iteri
+      (fun i pr ->
+        if (i + 1) mod stride = 0 then begin
+          let t0 = Clock.now_ns () in
+          ignore (Engine.add_profile engine pr);
+          ignore (Engine.match_event engine (next_ev ()));
+          sub_ns :=
+            !sub_ns +. Int64.to_float (Int64.sub (Clock.now_ns ()) t0);
+          incr sub_n
+        end
+        else ignore (Engine.add_profile engine pr))
+      profs;
+    (* Unsubscribe latency over spread-out victims (roots included, so
+       dissolution and re-placement are exercised); each victim is
+       re-added afterwards to keep the population size fixed. *)
+    let churn = min samples (max 1 (population / 4)) in
+    let unsub_ns = ref 0.0 and unsub_n = ref 0 in
+    for k = 0 to churn - 1 do
+      let victim = k * (population / churn) in
+      let t0 = Clock.now_ns () in
+      ignore (Engine.remove_profile engine victim);
+      ignore (Engine.match_event engine (next_ev ()));
+      unsub_ns := !unsub_ns +. Int64.to_float (Int64.sub (Clock.now_ns ()) t0);
+      incr unsub_n;
+      ignore (Engine.add_profile engine profs.(victim))
+    done;
+    Array.iter (fun e -> ignore (Engine.match_event engine e)) pool_events;
+    let t0 = Clock.now_ns () in
+    for _ = 1 to events do
+      ignore (Engine.match_event engine (next_ev ()))
+    done;
+    let dt = Int64.to_float (Int64.sub (Clock.now_ns ()) t0) /. 1e9 in
+    {
+      population;
+      aggregated = aggregate;
+      subscribe_ns = !sub_ns /. float_of_int (max 1 !sub_n);
+      unsubscribe_ns = !unsub_ns /. float_of_int (max 1 !unsub_n);
+      publish_eps = (if dt > 0.0 then float_of_int events /. dt else 0.0);
+      absorbed = Engine.absorbed_profiles engine;
+      covering_roots = Engine.lattice_roots engine;
+      epoch_swaps = Engine.epoch engine;
+    }
+  in
+  let sc_points =
+    List.concat_map
+      (fun population ->
+        let agg = measure_point ~population ~samples ~aggregate:true in
+        if population <= baseline_max then
+          (* Each sampled baseline op realizes a full replan — seconds
+             of wall clock on the covering-heavy workload even at 10^3 —
+             so the plain engine gets only [baseline_samples] of them. *)
+          [
+            agg;
+            measure_point ~population ~samples:baseline_samples
+              ~aggregate:false;
+          ]
+        else [ agg ])
+      (List.sort_uniq Int.compare points)
+  in
+  {
+    sc_seed = seed;
+    sc_samples = samples;
+    sc_baseline_samples = baseline_samples;
+    sc_events = events;
+    sc_baseline_max = baseline_max;
+    sc_points;
+  }
+
+(* The scaling block deliberately avoids the "name" / "profiles" /
+   "events_per_sec" / "comparisons_per_event" keys the cram suite
+   counts in the classic results, so attaching it never disturbs those
+   pins. *)
+let scale_to_json sc =
+  let point_json p =
+    Json.Obj
+      [
+        ("population", Json.Int p.population);
+        ("aggregated", Json.Bool p.aggregated);
+        ("subscribe_ns", Json.number p.subscribe_ns);
+        ("unsubscribe_ns", Json.number p.unsubscribe_ns);
+        ("publish_eps", Json.number p.publish_eps);
+        ("absorbed", Json.Int p.absorbed);
+        ("covering_roots", Json.Int p.covering_roots);
+        ("epoch_swaps", Json.Int p.epoch_swaps);
+      ]
+  in
+  Json.Obj
+    [
+      ("seed", Json.Int sc.sc_seed);
+      ("samples", Json.Int sc.sc_samples);
+      ("baseline_samples", Json.Int sc.sc_baseline_samples);
+      ("timing_events", Json.Int sc.sc_events);
+      ("baseline_max", Json.Int sc.sc_baseline_max);
+      ("points", Json.List (List.map point_json sc.sc_points));
+    ]
+
 let find_eps t name =
   List.find_map
     (fun r -> if r.name = name then Some r.events_per_sec else None)
@@ -281,7 +450,7 @@ let pool_peak t =
          | _ -> Some r)
        None
 
-let to_json t =
+let to_json ?scale:sc t =
   let result_json r =
     Json.Obj
       [
@@ -321,21 +490,24 @@ let to_json t =
       ]
   in
   Json.Obj
-    [
-      ("bench", Json.Str "genas-perf");
-      ("schema_version", Json.Int 1);
-      ( "workload",
-        Json.Obj
-          [
-            ("profiles", Json.Int t.profiles);
-            ("attributes", Json.Int t.attributes);
-            ("event_pool", Json.Int t.event_pool);
-            ("seed", Json.Int t.seed);
-          ] );
-      ("host", Json.Obj [ ("recommended_domains", Json.Int t.recommended_domains) ]);
-      ("results", Json.List (List.map result_json t.results));
-      ("derived", derived);
-    ]
+    ([
+       ("bench", Json.Str "genas-perf");
+       ("schema_version", Json.Int 1);
+       ( "workload",
+         Json.Obj
+           [
+             ("profiles", Json.Int t.profiles);
+             ("attributes", Json.Int t.attributes);
+             ("event_pool", Json.Int t.event_pool);
+             ("seed", Json.Int t.seed);
+           ] );
+       ( "host",
+         Json.Obj [ ("recommended_domains", Json.Int t.recommended_domains) ]
+       );
+       ("results", Json.List (List.map result_json t.results));
+       ("derived", derived);
+     ]
+    @ match sc with None -> [] | Some s -> [ ("scaling", scale_to_json s) ])
 
 let table t =
   let rows =

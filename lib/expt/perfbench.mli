@@ -38,10 +38,60 @@ val run : ?profiles:int -> ?seed:int -> ?events:int -> unit -> t
 (** [events] (default 50_000) is the per-entry timing budget; batch
     and pool entries round it up to whole event-pool passes. *)
 
-val to_json : t -> Genas_obs.Json.t
+(** {1 Profile-count scaling}
+
+    The subscription-aggregation curve (docs/SCALING.md): the
+    covering-heavy {!Workload.gen_covering_profiles} population grown
+    point by point through {!Genas_core.Engine.add_profile}, churned,
+    and published through, once with aggregation and once against the
+    plain rebuild-per-churn engine. *)
+
+type scale_point = {
+  population : int;  (** live profiles at this point *)
+  aggregated : bool;
+  subscribe_ns : float;
+      (** mean sampled latency of one subscribe followed by one
+          matched event — the event realizes whatever the churn left
+          pending (a full replan on the plain engine) *)
+  unsubscribe_ns : float;  (** same protocol for removals *)
+  publish_eps : float;  (** steady-state single-event match throughput *)
+  absorbed : int;  (** {!Genas_core.Engine.absorbed_profiles} *)
+  covering_roots : int;  (** {!Genas_core.Engine.lattice_roots} *)
+  epoch_swaps : int;  (** {!Genas_core.Engine.epoch} *)
+}
+
+type scale = {
+  sc_seed : int;
+  sc_samples : int;  (** latency samples per phase (aggregated engine) *)
+  sc_baseline_samples : int;
+      (** latency samples per phase on the plain engine — kept tiny
+          because every sampled op realizes a full replan *)
+  sc_events : int;  (** timed events per publish measurement *)
+  sc_baseline_max : int;
+      (** largest population the plain baseline is run at — beyond it
+          the rebuild-per-churn protocol is infeasible and only the
+          aggregated point is recorded *)
+  sc_points : scale_point list;
+}
+
+val scale :
+  ?points:int list -> ?seed:int -> ?events:int -> ?samples:int ->
+  ?baseline_samples:int -> ?baseline_max:int -> unit -> scale
+(** [points] defaults to 10³, 10⁴, 10⁵, 10⁶; [baseline_max] to 2×10³
+    (the plain replan's tree grows combinatorially on this workload —
+    gigabytes of nodes and minutes of build by 10⁴);
+    [baseline_samples] to 2 (a sampled baseline op costs a full
+    replan, seconds each even at 10³). *)
+
+val scale_to_json : scale -> Genas_obs.Json.t
+
+val to_json : ?scale:scale -> t -> Genas_obs.Json.t
 (** The `BENCH_*.json` document: bench/schema_version header, workload
     and host blocks, one result object per entry, and derived speedups
-    (flat vs tree, flat batch vs tree, pool peak vs one domain). *)
+    (flat vs tree, flat batch vs tree, pool peak vs one domain). With
+    [scale], the scaling curve is attached as a ["scaling"] block
+    (whose keys deliberately avoid the classic result keys the cram
+    suite counts). *)
 
 val table : t -> Report.table
 (** Human-readable rendering of the same results. *)

@@ -74,6 +74,78 @@ let gen_profiles rng schema gen =
   done;
   pset
 
+let gen_covering_profiles rng schema ~p ?roots ?(width = 0.0625) () =
+  let n = Schema.arity schema in
+  if p <= 0 then
+    invalid_arg "Workload.gen_covering_profiles: p must be positive";
+  if width <= 0.0 || width > 1.0 then
+    invalid_arg "Workload.gen_covering_profiles: width must be in (0, 1]";
+  let roots =
+    match roots with
+    | Some r -> max 1 (min r p)
+    | None -> max 1 (min 512 (p / 8))
+  in
+  let pset = Profile_set.create schema in
+  let bounds attr =
+    let axis = Axis.of_domain (Schema.attribute schema attr).Schema.domain in
+    ( int_of_float (Float.ceil axis.Axis.lo),
+      int_of_float (Float.floor axis.Axis.hi) )
+  in
+  (* Broad roots: one window of fractional [width] on one attribute,
+     round-robin over the schema. *)
+  let windows =
+    Array.init roots (fun r ->
+        let attr = r mod n in
+        let lo_i, hi_i = bounds attr in
+        let w = max 1 (int_of_float (width *. float_of_int (hi_i - lo_i + 1))) in
+        let lo = Prng.int_in rng ~lo:lo_i ~hi:(max lo_i (hi_i - w)) in
+        (attr, lo, min hi_i (lo + w - 1)))
+  in
+  Array.iteri
+    (fun r (attr, lo, hi) ->
+      let a = Schema.attribute schema attr in
+      ignore
+        (Profile_set.add pset
+           (Profile.create_exn ~name:(Printf.sprintf "root%d" r) schema
+              [
+                ( a.Schema.name,
+                  Predicate.Between
+                    {
+                      lo = Value.Int lo;
+                      lo_closed = true;
+                      hi = Value.Int hi;
+                      hi_closed = true;
+                    } );
+              ])))
+    windows;
+  (* Specializations: an equality inside a uniformly chosen root's
+     window, optionally narrowed further on other attributes — always
+     covered by the root, whatever else they constrain. *)
+  for i = roots to p - 1 do
+    let attr, lo, hi = windows.(Prng.int rng ~bound:roots) in
+    let a = Schema.attribute schema attr in
+    let extra =
+      List.concat
+        (List.init n (fun j ->
+             if j = attr || not (Prng.bernoulli rng ~p:0.3) then []
+             else begin
+               let lo_j, hi_j = bounds j in
+               let aj = Schema.attribute schema j in
+               [
+                 ( aj.Schema.name,
+                   Predicate.Eq (Value.Int (Prng.int_in rng ~lo:lo_j ~hi:hi_j))
+                 );
+               ]
+             end))
+    in
+    ignore
+      (Profile_set.add pset
+         (Profile.create_exn ~name:(Printf.sprintf "spec%d" i) schema
+            ((a.Schema.name, Predicate.Eq (Value.Int (Prng.int_in rng ~lo ~hi)))
+            :: extra)))
+  done;
+  pset
+
 let event_coords rng dists = Array.map (fun d -> Dist.sample rng d) dists
 
 let dists_of_names schema names =

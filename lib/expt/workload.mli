@@ -36,6 +36,22 @@ val gen_profiles :
 
     @raise Invalid_argument on arity mismatches or [p <= 0]. *)
 
+val gen_covering_profiles :
+  Genas_prng.Prng.t -> Genas_model.Schema.t -> p:int -> ?roots:int ->
+  ?width:float -> unit -> Genas_profile.Profile_set.t
+(** A covering-heavy population over an integer schema, the
+    subscription-aggregation workload (docs/SCALING.md): the first
+    [min roots p] profiles (default [p/8], capped at 512) are broad
+    single-attribute windows of fractional [width] (default 1/16),
+    round-robin over the attributes; every further profile is an
+    equality specialization
+    drawn {e inside} a uniformly chosen root's window (optionally
+    narrowed further on other attributes), so it is covered by its
+    root by construction. The covering-minimal set therefore stays at
+    [roots] while [p] grows without bound.
+
+    @raise Invalid_argument if [p <= 0] or [width] is outside (0, 1]. *)
+
 val event_coords :
   Genas_prng.Prng.t -> Genas_dist.Dist.t array -> float array
 (** One event as raw coordinates (natural attribute order). *)

@@ -1,35 +1,57 @@
 module Iset = Genas_interval.Iset
+module Schema = Genas_model.Schema
+module Axis = Genas_model.Axis
 
-let covers a b =
+(* A denotation that spans its whole axis constrains nothing: an event
+   value is always inside it, so the attribute behaves exactly like a
+   don't-care. Recognizing this needs the axis bounds, which is why the
+   covering relation takes the schema. Denotations are normalized
+   (discrete sets are integer-merged), so structural [Iset.equal]
+   against the full axis is an exact emptiness-of-constraint test. *)
+
+let axes_of schema =
+  Array.map
+    (fun a -> Axis.of_domain a.Schema.domain)
+    (Schema.attributes schema)
+
+let normalize ~full d =
+  match d with
+  | None -> None
+  | Some s -> if Iset.equal s full then None else d
+
+let covers_axes axes a b =
   let n = Array.length a.Profile.denots in
   let rec check i =
     if i = n then true
     else
-      match (a.Profile.denots.(i), b.Profile.denots.(i)) with
+      let full = Iset.full axes.(i) in
+      match
+        ( normalize ~full a.Profile.denots.(i),
+          normalize ~full b.Profile.denots.(i) )
+      with
       | None, (Some _ | None) -> check (i + 1)
-      | Some _, None ->
-        (* [a] constrains an attribute [b] leaves free, so some event
-           matched by [b] escapes [a] (denotations are never the full
-           axis after normalization unless written so; being exact here
-           would need the axis, and the conservative answer only makes
-           the routing cover set slightly larger, never wrong). *)
-        false
+      | Some _, None -> false
       | Some sa, Some sb -> Iset.subset sb sa && check (i + 1)
   in
   check 0
 
-let equivalent a b = covers a b && covers b a
+let covers schema a b = covers_axes (axes_of schema) a b
+
+let equivalent schema a b =
+  let axes = axes_of schema in
+  covers_axes axes a b && covers_axes axes b a
 
 (* [p'] eliminates [p] if it strictly covers it, or if they are
    equivalent and [p'] has the smaller id. *)
-let eliminates ~id' ~id p' p =
-  covers p' p && ((not (covers p p')) || id' < id)
+let eliminates_axes axes ~id' ~id p' p =
+  covers_axes axes p' p && ((not (covers_axes axes p p')) || id' < id)
 
-let minimal_cover entries =
+let minimal_cover schema entries =
+  let axes = axes_of schema in
   List.filter
     (fun (id, p) ->
       not
         (List.exists
-           (fun (id', p') -> id' <> id && eliminates ~id' ~id p' p)
+           (fun (id', p') -> id' <> id && eliminates_axes axes ~id' ~id p' p)
            entries))
     entries

@@ -4,16 +4,26 @@
     also matched by [a] (for conjunctive profiles: attribute-wise
     denotation containment). Siena-style routing (§2's related work,
     implemented in [lib/ens]) propagates only covering-minimal
-    subscription sets between brokers. *)
+    subscription sets between brokers; {!Lattice} maintains the same
+    relation incrementally.
 
-val covers : Profile.t -> Profile.t -> bool
-(** [covers a b] iff [a]'s match set is a superset of [b]'s. Both
-    profiles must be bound to the same schema. *)
+    The relation is axis-aware: a predicate whose denotation spans its
+    whole axis (e.g. [x >= lo] on a bounded domain) constrains nothing
+    and compares equal to an absent test, so such profiles are
+    recognized as covering — and equivalent to — don't-cares. *)
 
-val equivalent : Profile.t -> Profile.t -> bool
+val covers : Genas_model.Schema.t -> Profile.t -> Profile.t -> bool
+(** [covers schema a b] iff [a]'s match set is a superset of [b]'s.
+    Both profiles must be bound to [schema]. *)
+
+val equivalent : Genas_model.Schema.t -> Profile.t -> Profile.t -> bool
 (** Mutual covering. *)
 
-val minimal_cover : (Profile_set.id * Profile.t) list -> (Profile_set.id * Profile.t) list
+val minimal_cover :
+  Genas_model.Schema.t ->
+  (Profile_set.id * Profile.t) list ->
+  (Profile_set.id * Profile.t) list
 (** Subset of the input whose members are not covered by any *other*
     member; among equivalent profiles the one with the smallest id is
-    kept. The result covers the same event set as the input. *)
+    kept. The result covers the same event set as the input. The
+    incremental equivalent is {!Lattice.minimal_cover}. *)

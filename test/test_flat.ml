@@ -239,6 +239,30 @@ let prop_engine_batch_equals_match_event =
       in
       seq = batched && seq = pooled)
 
+(* An aggregated engine compiles only the covering-minimal roots and
+   expands absorbed profiles at match time; its decisions must be
+   bit-identical to a plain engine over the same registry, on both the
+   single-event and batch paths, before and after an epoch swap. *)
+let prop_engine_aggregated_equals_plain =
+  QCheck.Test.make ~name:"aggregated Engine = plain Engine"
+    ~count:25
+    (QCheck.make (Gen.scenario ~max_attrs:3 ~max_p:12 ~n_events:20 ()))
+    (fun (_, pset, events) ->
+      let events = Array.of_list events in
+      let plain =
+        let engine = Engine.create pset in
+        Array.map
+          (fun e -> Array.of_list (Engine.match_event engine e))
+          events
+      in
+      let agg = Engine.create ~aggregate:true pset in
+      let before_swap =
+        Array.map (fun e -> Array.of_list (Engine.match_event agg e)) events
+      in
+      Engine.swap_now agg;
+      let after_swap = Engine.match_batch agg events in
+      plain = before_swap && plain = after_swap)
+
 (* ------------------------------------------------------------------ *)
 (* Edge cases. *)
 
@@ -362,6 +386,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_batch_equals_sequential;
           QCheck_alcotest.to_alcotest prop_pool_equals_one_domain;
           QCheck_alcotest.to_alcotest prop_engine_batch_equals_match_event;
+          QCheck_alcotest.to_alcotest prop_engine_aggregated_equals_plain;
         ] );
       ( "edges",
         [

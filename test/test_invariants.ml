@@ -119,10 +119,10 @@ let prop_minimal_cover_idempotent =
        QCheck.Gen.(
          Gen.schema ~max_attrs:2 () >>= fun s ->
          list_size (int_range 1 8) (Gen.profile s) >|= fun ps ->
-         List.mapi (fun i p -> (i, p)) ps))
-    (fun entries ->
-      let once = Covering.minimal_cover entries in
-      let twice = Covering.minimal_cover once in
+         (s, List.mapi (fun i p -> (i, p)) ps)))
+    (fun (s, entries) ->
+      let once = Covering.minimal_cover s entries in
+      let twice = Covering.minimal_cover s once in
       List.map fst once = List.map fst twice)
 
 let prop_minimal_cover_covers =
@@ -134,7 +134,7 @@ let prop_minimal_cover_covers =
          Gen.events ~n:20 s >|= fun es ->
          (s, List.mapi (fun i p -> (i, p)) ps, es)))
     (fun (s, entries, events) ->
-      let kept = Covering.minimal_cover entries in
+      let kept = Covering.minimal_cover s entries in
       List.for_all
         (fun e ->
           let matched_by l =

@@ -193,20 +193,20 @@ let test_covering_basic () =
     Profile.create_exn s
       [ ("t", Predicate.Ge (Value.Int 50)); ("k", Predicate.Eq (Value.Str "a")) ]
   in
-  Alcotest.(check bool) "broad covers narrow" true (Covering.covers broad narrow);
-  Alcotest.(check bool) "narrow !covers broad" false (Covering.covers narrow broad);
-  Alcotest.(check bool) "reflexive" true (Covering.covers broad broad);
-  Alcotest.(check bool) "equivalent self" true (Covering.equivalent narrow narrow)
+  Alcotest.(check bool) "broad covers narrow" true (Covering.covers s broad narrow);
+  Alcotest.(check bool) "narrow !covers broad" false (Covering.covers s narrow broad);
+  Alcotest.(check bool) "reflexive" true (Covering.covers s broad broad);
+  Alcotest.(check bool) "equivalent self" true (Covering.equivalent s narrow narrow)
 
 let test_minimal_cover () =
   let s = schema3 () in
   let broad = Profile.create_exn s [ ("t", Predicate.Ge (Value.Int 20)) ] in
   let narrow = Profile.create_exn s [ ("t", Predicate.Ge (Value.Int 50)) ] in
   let other = Profile.create_exn s [ ("h", Predicate.Le (Value.Float 0.5)) ] in
-  let kept = Covering.minimal_cover [ (0, broad); (1, narrow); (2, other) ] in
+  let kept = Covering.minimal_cover s [ (0, broad); (1, narrow); (2, other) ] in
   Alcotest.(check (list int)) "covered dropped" [ 0; 2 ] (List.map fst kept);
   (* Equivalent profiles: smallest id survives. *)
-  let kept2 = Covering.minimal_cover [ (5, narrow); (3, narrow) ] in
+  let kept2 = Covering.minimal_cover s [ (5, narrow); (3, narrow) ] in
   Alcotest.(check (list int)) "tie by id" [ 3 ] (List.map fst kept2)
 
 let prop_covering_implies_match_subset =
@@ -218,7 +218,7 @@ let prop_covering_implies_match_subset =
          Gen.profile s >>= fun b ->
          Gen.events ~n:25 s >|= fun es -> (s, a, b, es)))
     (fun (s, a, b, es) ->
-      if not (Covering.covers a b) then QCheck.assume_fail ()
+      if not (Covering.covers s a b) then QCheck.assume_fail ()
       else
         List.for_all
           (fun e -> (not (Profile.matches s b e)) || Profile.matches s a e)

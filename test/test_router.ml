@@ -190,6 +190,46 @@ let test_unsub_messages_exact () =
   Alcotest.(check bool) "stale" false (Router.unsubscribe net h);
   Alcotest.(check int) "no extra charge" 2 (Router.unsub_messages net)
 
+(* Regression: retracting a subscription must charge no unsubscribe
+   messages when the interest forwarded on every link is still covered
+   by a surviving subscription — the neighbors' routing obligations do
+   not change, so nothing crosses the wire. The old accounting
+   (global forwarded-entry count before − after) over-charged both
+   when a broader survivor made a redundant entry disappear and when
+   an equivalent profile remained live (full-axis predicates defeated
+   the old covering test, so equivalents were double-forwarded and
+   their retraction looked like a real shrink). *)
+let test_unsub_covered_by_survivor_is_free () =
+  let s = schema () in
+  (* Broader survivor: narrow forwarded first, broad after (both on
+     the wire); retracting narrow frees no links. *)
+  let net = Router.line s ~nodes:3 in
+  let narrow = Profile.create_exn s [ ("x", Predicate.Ge (Value.Int 7)) ] in
+  let broad = Profile.create_exn s [ ("x", Predicate.Ge (Value.Int 3)) ] in
+  let h = Router.subscribe net ~at:2 ~subscriber:"n" ~profile:narrow (fun _ -> ()) in
+  ignore (Router.subscribe net ~at:2 ~subscriber:"b" ~profile:broad (fun _ -> ()));
+  Alcotest.(check int) "both flooded" 4 (Router.sub_messages net);
+  Alcotest.(check bool) "retracted" true (Router.unsubscribe net h);
+  Alcotest.(check int) "covered by broad survivor: free" 0
+    (Router.unsub_messages net);
+  Alcotest.(check int) "broad still delivers" 1
+    (Router.publish net ~at:0 (event s 5 0));
+  (* Equivalent survivor, via full-axis denotations: [x >= 0] and
+     [y >= 0] both match everything, so the second is never forwarded
+     and retracting the first must be free — the survivor covers it. *)
+  let net2 = Router.line s ~nodes:3 in
+  let full_x = Profile.create_exn s [ ("x", Predicate.Ge (Value.Int 0)) ] in
+  let full_y = Profile.create_exn s [ ("y", Predicate.Ge (Value.Int 0)) ] in
+  let hx = Router.subscribe net2 ~at:2 ~subscriber:"fx" ~profile:full_x (fun _ -> ()) in
+  ignore (Router.subscribe net2 ~at:2 ~subscriber:"fy" ~profile:full_y (fun _ -> ()));
+  Alcotest.(check int) "equivalent not re-forwarded" 2
+    (Router.sub_messages net2);
+  Alcotest.(check bool) "retracted" true (Router.unsubscribe net2 hx);
+  Alcotest.(check int) "equivalent survivor: free" 0
+    (Router.unsub_messages net2);
+  Alcotest.(check int) "survivor still delivers" 1
+    (Router.publish net2 ~at:0 (event s 1 1))
+
 let test_routed_raising_handler () =
   let s = schema () in
   let net = Router.line s ~nodes:3 in
@@ -289,6 +329,8 @@ let () =
             test_unsubscribe_preserves_stats;
           Alcotest.test_case "unsub messages exact" `Quick
             test_unsub_messages_exact;
+          Alcotest.test_case "unsub covered by survivor is free" `Quick
+            test_unsub_covered_by_survivor_is_free;
           Alcotest.test_case "routed raising handler" `Quick
             test_routed_raising_handler;
         ] );
