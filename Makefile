@@ -2,7 +2,7 @@
 # + the seconds-scale bench smoke).
 
 .PHONY: all build test check faultcheck recovercheck tracecheck scalecheck \
-  bench bench-smoke bench-json clean
+  shardcheck bench bench-smoke bench-json clean
 
 all: build
 
@@ -15,7 +15,7 @@ test:
 check:
 	dune build @all && dune runtest && $(MAKE) faultcheck \
 	  && $(MAKE) recovercheck && $(MAKE) tracecheck && $(MAKE) scalecheck \
-	  && $(MAKE) bench-smoke
+	  && $(MAKE) shardcheck && $(MAKE) bench-smoke
 
 # Fault-injection suite: the supervised-delivery unit tests plus the
 # deterministic CLI demo pinned by test/cram/faults.t.
@@ -54,6 +54,15 @@ scalecheck:
 	  --scaling 1000,10000 --baseline-max 1000 \
 	  | ./_build/default/bin/genas_cli.exe jsoncheck
 
+# Pool/shard suite: the persistent work-stealing pool determinism,
+# stealing, and teardown tests plus the shard-axis differentials
+# (test_pool), run at a forced 2-domain width so the multi-domain
+# paths are exercised even on 1-core hosts. Alcotest runs the full
+# suite; QCheck properties are skipped under -q, so no -q here.
+shardcheck:
+	dune build test/test_pool.exe
+	GENAS_TEST_DOMAINS=2 ./_build/default/test/test_pool.exe
+
 bench:
 	dune exec bench/main.exe -- all
 
@@ -71,7 +80,7 @@ bench-smoke:
 # minutes; see docs/SCALING.md).
 bench-json:
 	dune exec bin/genas_cli.exe -- bench --json --events 200000 \
-	  --scaling 1000,2000,10000,100000,1000000 --out BENCH_PR6.json
+	  --scaling 1000,2000,10000,100000,1000000 --out BENCH_PR7.json
 
 clean:
 	dune clean

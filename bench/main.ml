@@ -131,6 +131,19 @@ let timing_tests () =
        let cur = Flat.cursor flat in
        match_test "match/flat-binary" (fun e ->
            ignore (Flat.match_into flat cur e)));
+      (* Packed batch: the event pool resolved once to the int image,
+         matching touches int arrays only. One run = 32 packed events,
+         like every match/* test. *)
+      (let flat = Flat.compile tree_v1 in
+       let cur = Flat.cursor flat in
+       let packed = Flat.pack_batch flat events in
+       let pidx = ref 0 in
+       Test.make ~name:"match/flat-packed-V1+A2"
+         (Staged.stage (fun () ->
+              for _ = 1 to 32 do
+                ignore (Flat.match_packed_into flat cur packed !pidx);
+                pidx := (!pidx + 1) land 1023
+              done)));
       (* Tracing overhead on the full publish path (matching +
          supervised delivery): untraced vs tracer-attached-but-never-
          sampling vs fully traced. *)
@@ -181,8 +194,10 @@ let run_timing () =
 
 
 (* ------------------------------------------------------------------ *)
-(* Multicore throughput: the built tree is immutable, so matching
-   parallelizes across OCaml 5 domains with zero coordination.        *)
+(* Multicore throughput: the compiled flat matcher and the packed
+   event image are immutable, so the persistent pool's workers share
+   them with zero coordination; work-stealing keeps every domain busy
+   on skewed batches.                                                  *)
 
 let run_parallel () =
   let _, _, decomp, stats, events = timing_workload () in
@@ -192,45 +207,49 @@ let run_parallel () =
         value_choice = `Measure Selectivity.V1 }
   in
   ignore decomp;
-  let per_domain = 200_000 in
-  let work () =
-    let n = Array.length events in
-    let acc = ref 0 in
-    for i = 0 to per_domain - 1 do
-      acc := !acc + List.length (Tree.match_event tree events.(i mod n))
-    done;
-    !acc
-  in
-  let measure domains =
+  let flat = Flat.compile tree in
+  let batches = 200 in
+  let measure pool =
     let t0 = Unix.gettimeofday () in
-    let handles = List.init (domains - 1) (fun _ -> Domain.spawn work) in
-    let local = work () in
-    let total = List.fold_left (fun a h -> a + Domain.join h) local handles in
+    for _ = 1 to batches do
+      ignore (Pool.match_batch pool flat events)
+    done;
     let dt = Unix.gettimeofday () -. t0 in
-    ignore total;
-    float_of_int (domains * per_domain) /. dt
+    ( float_of_int (batches * Array.length events) /. dt,
+      Pool.last_steals pool )
   in
   let cores = Domain.recommended_domain_count () in
   let candidates = List.sort_uniq Int.compare [ 1; min 2 cores; min 4 cores ] in
-  let base = measure 1 in
-  let rows =
+  let rates =
     List.map
       (fun d ->
-        let rate = if d = 1 then base else measure d in
+        let p = Pool.create ~domains:d () in
+        let rate, steals = measure p in
+        Pool.shutdown p;
+        (d, rate, steals))
+      candidates
+  in
+  let base =
+    match rates with (_, r, _) :: _ -> r | [] -> 1.0
+  in
+  let rows =
+    List.map
+      (fun (d, rate, steals) ->
         [
           string_of_int d;
           Printf.sprintf "%.2fM" (rate /. 1e6);
           Printf.sprintf "%.2fx" (rate /. base);
+          string_of_int steals;
         ])
-      candidates
+      rates
   in
-  Report.table ~title:"Multicore throughput — shared immutable tree"
-    ~columns:[ "domains"; "events/s"; "speedup" ]
+  Report.table ~title:"Multicore throughput — persistent work-stealing pool"
+    ~columns:[ "domains"; "events/s"; "speedup"; "last-batch steals" ]
     ~notes:
       [
         Printf.sprintf
-          "500 profiles, 3 attributes, V1+A2 tree; 200k events per domain; \
-           host reports %d available core(s)" cores;
+          "500 profiles, 3 attributes, V1+A2 flat matcher; 200 batches of \
+           1024 packed events; host reports %d available core(s)" cores;
       ]
     rows
 

@@ -123,6 +123,10 @@ type t = {
      twin. Rebuilds allocate a fresh recorder — counters are per
      compiled tree, since node ids change shape. *)
   mutable recorder : Flat.recorder option;
+  (* An attached persistent pool: [match_batch] without an explicit
+     [?pool] argument fans out through it. The engine borrows the pool
+     — the caller owns its lifetime and [Pool.shutdown]. *)
+  mutable pool : Pool.t option;
   ops : Ops.t;
   instruments : instruments option;
   agg : agg option;
@@ -220,6 +224,7 @@ let create ?(spec = Reorder.default_spec) ?(bins = 64) ?metrics
       flat;
       cursor = Flat.cursor flat;
       recorder = None;
+      pool = None;
       ops = Ops.create ();
       instruments = Option.map make_instruments metrics;
       agg;
@@ -554,6 +559,7 @@ let match_batch ?pool t events =
     refresh_if_stale t;
     Array.iter (fun e -> Stats.observe_event t.stats e) events;
     let c0 = t.ops.Ops.comparisons and m0 = t.ops.Ops.matches in
+    let pool = match pool with Some _ -> pool | None -> t.pool in
     let results =
       match pool with
       | Some p when Pool.domains p > 1 && Array.length events > 1 ->
@@ -605,6 +611,31 @@ let restore_ops t (o : Ops.t) =
   t.ops.Ops.matches <- o.Ops.matches
 
 let report t = Cost.evaluate_with_stats t.tree t.stats
+
+(* -- Pool attachment ----------------------------------------------- *)
+
+let set_pool t p = t.pool <- p
+
+let pool t = t.pool
+
+(* -- Hotness-guided relayout --------------------------------------- *)
+
+(* Reorder the compiled flat form by the recorder's observed per-node
+   visit counts (the "odds-on" layout) and install it with the same
+   single-field-store discipline the epoch swap uses: flat, then
+   cursor, then a fresh recorder keyed to the new node ids. Matching
+   behaviour and counters are bit-identical — only memory order moves —
+   so neither the pointer tree, the statistics, nor the aggregation
+   delta tables are touched. *)
+let relayout_now t =
+  match t.recorder with
+  | Some r when Flat.recorded_events r > 0 ->
+    let flat = Flat.relayout t.flat (Flat.node_visits r) in
+    t.flat <- flat;
+    t.cursor <- Flat.cursor flat;
+    t.recorder <- Some (Flat.recorder flat);
+    true
+  | Some _ | None -> false
 
 (* ------------------------------------------------------------------ *)
 (* Hotness profiling *)

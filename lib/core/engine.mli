@@ -144,8 +144,19 @@ val match_batch :
     latency histograms are not observed on the batch path. With [pool]
     (and more than one domain and event) matching fans out across
     domains; results and counters are identical to the sequential
-    path. Aggregated engines ignore [pool]: workers execute only the
-    compiled flat form, which no longer holds the full population. *)
+    path. Without an explicit [pool] the engine's attached pool (see
+    {!set_pool}) is used, if any. Aggregated engines ignore [pool]:
+    workers execute only the compiled flat form, which no longer holds
+    the full population. *)
+
+val set_pool : t -> Genas_filter.Pool.t option -> unit
+(** Attach (or detach, with [None]) a persistent domain pool;
+    {!match_batch} calls without an explicit [?pool] fan out through
+    it. The engine borrows the pool — the caller keeps ownership and
+    is responsible for {!Genas_filter.Pool.shutdown}. *)
+
+val pool : t -> Genas_filter.Pool.t option
+(** The currently attached pool. *)
 
 val rebuild : t -> unit
 (** Re-plan the tree configuration from the current statistics (and
@@ -194,6 +205,19 @@ val advisory : ?tolerance:float -> t -> Explain.advisory option
 (** {!Explain.advisory} over the recorder's per-level visits against
     the current tree's attribute order; [None] when profiling is
     off. *)
+
+val relayout_now : t -> bool
+(** Hotness-guided cache-conscious relayout: reorder the compiled flat
+    form's memory layout by the recorder's observed per-node visit
+    counts ({!Genas_filter.Flat.relayout} — hot nodes and their edge
+    and posting payloads land contiguously) and install it with the
+    same single-field-store discipline as the epoch swap. Matching
+    behaviour and all operation counters are bit-identical; only
+    memory order changes. Returns [false] (and does nothing) when
+    profiling is off or no event has been recorded yet; on success the
+    recorder restarts fresh against the new layout. The pointer tree,
+    statistics, and aggregation state are untouched; a later rebuild
+    replaces the layout with the default compile order. *)
 
 (** {1 Journal replay} *)
 

@@ -8,6 +8,7 @@ module Decomp = Genas_filter.Decomp
 module Tree = Genas_filter.Tree
 module Flat = Genas_filter.Flat
 module Pool = Genas_filter.Pool
+module Shard = Genas_filter.Shard
 module Naive = Genas_filter.Naive
 module Counting = Genas_filter.Counting
 module Ops = Genas_filter.Ops
@@ -38,8 +39,30 @@ type t = {
   event_pool : int;
   seed : int;
   recommended_domains : int;
+  cpu_count : int;
   results : result list;
 }
+
+(* Host core count, so BENCH_*.json scaling claims are interpretable:
+   a pool row that shows no speedup on a 1-core host is expected, not
+   a regression. Linux exposes it in /proc/cpuinfo; elsewhere fall
+   back to the runtime's recommendation. *)
+let host_cpu_count () =
+  match open_in "/proc/cpuinfo" with
+  | exception Sys_error _ -> Domain.recommended_domain_count ()
+  | ic ->
+    let n = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if
+           String.length line >= 9
+           && String.equal (String.sub line 0 9) "processor"
+         then incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    if !n > 0 then !n else Domain.recommended_domain_count ()
 
 let pool_size = 1024 (* power of two: the wrap index is a mask *)
 
@@ -75,7 +98,7 @@ let measure ~events entry =
       float_of_int ops.Ops.matches /. float_of_int ops.Ops.events;
   }
 
-let run ?(profiles = 500) ?(seed = 99) ?(events = 50_000) () =
+let run ?(profiles = 500) ?(seed = 99) ?(events = 50_000) ?domains () =
   let attrs = 3 in
   let schema = Workload.normalized_schema ~attrs ~points:100 () in
   let axes =
@@ -122,19 +145,21 @@ let run ?(profiles = 500) ?(seed = 99) ?(events = 50_000) () =
       ("binary", Reorder.build stats binary);
     ]
   in
-  (* Per-event loop over the pool with wraparound, the shape of every
-     single-event entry below. *)
-  let per_event f n =
+  (* Per-event loop over an event pool with wraparound, the shape of
+     every single-event entry below. *)
+  let per_event_over evs f n =
     for i = 0 to n - 1 do
-      f pool_events.(i land mask)
+      f evs.(i land mask)
     done;
     n
   in
-  let counted_per_event f () =
+  let counted_per_event_over evs f () =
     let ops = Ops.create () in
-    Array.iter (f ops) pool_events;
+    Array.iter (f ops) evs;
     ops
   in
+  let per_event f = per_event_over pool_events f in
+  let counted_per_event f = counted_per_event_over pool_events f in
   (* Whole-pool passes for the batch entries: ~n events rounded up to
      full passes so each pass matches the same 1024 events. *)
   let passes n = (n + pool_size - 1) / pool_size in
@@ -194,27 +219,155 @@ let run ?(profiles = 500) ?(seed = 99) ?(events = 50_000) () =
           ~f:(fun _ ~ids:_ ~len:_ -> ());
         ops)
   in
+  (* Packed-batch kernel: the whole pool resolved once into the int
+     image, then matched from int arrays only. *)
+  let packed = Flat.pack_batch batch_flat pool_events in
+  let packed_entry =
+    entry "flat-packed/v1+a2" "flat-packed" "v1+a2"
+      (fun n ->
+        let k = passes n in
+        for _ = 1 to k do
+          for i = 0 to pool_size - 1 do
+            ignore (Flat.match_packed_into batch_flat batch_cur packed i)
+          done
+        done;
+        k * pool_size)
+      (fun () ->
+        let ops = Ops.create () in
+        for i = 0 to pool_size - 1 do
+          ignore (Flat.match_packed_into ~ops batch_flat batch_cur packed i)
+        done;
+        ops)
+  in
+  (* Skewed "TV-style" workload: events peaked on a narrow hot region
+     (Fig. 5's "90 % high" family), so a few flat nodes absorb most
+     visits — the case the hotness-guided relayout exists for. The
+     layout row matches the same events through the same tree after an
+     odds-on relayout driven by a recorded pass over the pool;
+     comparison counters are bit-identical by construction, only the
+     memory order (and the wall clock) may move. The skew rows use
+     their own 8x-denser profile population: a node table that
+     outgrows the fast cache levels is exactly where packing the hot
+     subset contiguously pays, and at the base 500 profiles the whole
+     image fits in cache and the effect drowns in host jitter. *)
+  let skew_dists = Array.map (Shape.peak ~at:0.85 ~mass:0.9 ~width:0.05) axes in
+  let skew_flat =
+    let skew_pset =
+      Workload.gen_profiles rng schema
+        {
+          Workload.p = profiles * 8;
+          dontcare = Array.make attrs 0.3;
+          value_dists = Array.map (fun ax -> Shape.gauss () ax) axes;
+          range_width = None;
+        }
+    in
+    let skew_stats = Stats.create (Decomp.build skew_pset) in
+    Flat.compile (Reorder.build skew_stats v1a2)
+  in
+  let skew_events =
+    Array.init pool_size (fun _ ->
+        let coords = Workload.event_coords rng skew_dists in
+        Event.of_values_exn schema
+          (Array.mapi
+             (fun i c -> Axis.value (Schema.attribute schema i).Schema.domain c)
+             coords))
+  in
+  let skew_layout_flat =
+    let r = Flat.recorder skew_flat in
+    let rc = Flat.cursor skew_flat in
+    Array.iter
+      (fun e -> ignore (Flat.match_into_recorded skew_flat rc r e))
+      skew_events;
+    Flat.relayout skew_flat (Flat.node_visits r)
+  in
+  let skew_entries =
+    List.map
+      (fun (name, flat) ->
+        let cur = Flat.cursor flat in
+        entry name (String.sub name 0 (String.index name '/')) "v1+a2"
+          (per_event_over skew_events (fun e ->
+               ignore (Flat.match_into flat cur e)))
+          (counted_per_event_over skew_events (fun ops e ->
+               ignore (Flat.match_into ~ops flat cur e))))
+      [
+        ("flat-skew/v1+a2", skew_flat);
+        ("flat-skew-layout/v1+a2", skew_layout_flat);
+      ]
+  in
   let recommended = Domain.recommended_domain_count () in
-  (* Always record a 2-domain row — on a 1-core host it shows (honestly)
-     no speedup, but the perf-trajectory file keeps the same shape
-     across hosts. *)
+  let live_pools = ref [] in
+  let new_pool ?persistent d =
+    let p = Pool.create ~domains:d ?persistent () in
+    live_pools := p :: !live_pools;
+    p
+  in
+  (* Always record 1- and 2-domain rows — on a 1-core host they show
+     (honestly) no speedup, but the perf-trajectory file keeps the same
+     shape across hosts. [?domains] overrides the whole list. *)
+  let pool_domains =
+    match domains with
+    | Some ds -> List.sort_uniq Int.compare ds
+    | None -> List.sort_uniq Int.compare [ 1; 2; min 4 (max 2 recommended) ]
+  in
   let pool_entries =
-    List.sort_uniq Int.compare [ 1; 2; min 4 (max 2 recommended) ]
-    |> List.map (fun d ->
-           let p = Pool.create ~domains:d () in
-           entry
-             (Printf.sprintf "pool/v1+a2/d%d" d)
-             "pool" "v1+a2" ~domains:d
-             (fun n ->
-               let k = passes n in
-               for _ = 1 to k do
-                 ignore (Pool.match_batch p batch_flat pool_events)
-               done;
-               k * pool_size)
-             (fun () ->
-               let ops = Ops.create () in
-               ignore (Pool.match_batch ~ops p batch_flat pool_events);
-               ops))
+    List.map
+      (fun d ->
+        let p = new_pool d in
+        entry
+          (Printf.sprintf "pool/v1+a2/d%d" d)
+          "pool" "v1+a2" ~domains:d
+          (fun n ->
+            let k = passes n in
+            for _ = 1 to k do
+              ignore (Pool.match_batch p batch_flat pool_events)
+            done;
+            k * pool_size)
+          (fun () ->
+            let ops = Ops.create () in
+            ignore (Pool.match_batch ~ops p batch_flat pool_events);
+            ops))
+      pool_domains
+  in
+  (* The retired spawn-per-batch path, kept one release behind
+     [?persistent:false]: a regression row so the persistent pool's
+     win over fresh-domain spawning stays measured. *)
+  let spawn_entry =
+    let p = new_pool ~persistent:false 2 in
+    entry "pool-spawn/v1+a2/d2" "pool-spawn" "v1+a2" ~domains:2
+      (fun n ->
+        let k = passes n in
+        for _ = 1 to k do
+          ignore (Pool.match_batch p batch_flat pool_events)
+        done;
+        k * pool_size)
+      (fun () ->
+        let ops = Ops.create () in
+        ignore (Pool.match_batch ~ops p batch_flat pool_events);
+        ops)
+  in
+  (* The second parallel axis: profile-partition shards fanned out
+     across one persistent pool. Shards compile their own (natural
+     order) trees, so comparison counts differ from the unsharded
+     matcher by design. *)
+  let shard_pool = new_pool (min 4 (max 2 recommended)) in
+  let shard_entries =
+    List.map
+      (fun s ->
+        let sh = Shard.build ~shards:s pset in
+        entry
+          (Printf.sprintf "shard/natural/s%d" s)
+          "shard" "natural" ~domains:(Pool.domains shard_pool)
+          (fun n ->
+            let k = passes n in
+            for _ = 1 to k do
+              ignore (Pool.match_shards shard_pool sh pool_events)
+            done;
+            k * pool_size)
+          (fun () ->
+            let ops = Ops.create () in
+            ignore (Pool.match_shards ~ops shard_pool sh pool_events);
+            ops))
+      [ 2; 4 ]
   in
   (* Full publish path (matching + supervised delivery to null
      handlers) through a broker: untraced, with a never-sampling
@@ -251,15 +404,22 @@ let run ?(profiles = 500) ?(seed = 99) ?(events = 50_000) () =
   in
   let results =
     List.map (measure ~events)
-      (baseline_entries @ tree_entries @ [ batch_entry ] @ publish_entries
-     @ pool_entries)
+      (baseline_entries @ tree_entries
+      @ [ batch_entry; packed_entry ]
+      @ skew_entries @ publish_entries @ pool_entries @ [ spawn_entry ]
+      @ shard_entries)
   in
+  (* Pools own domains; release them before returning (the at_exit
+     hook would catch them anyway, but a long-lived caller should not
+     keep benchmark workers parked). *)
+  List.iter Pool.shutdown !live_pools;
   {
     profiles;
     attributes = attrs;
     event_pool = pool_size;
     seed;
     recommended_domains = recommended;
+    cpu_count = host_cpu_count ();
     results;
   }
 
@@ -478,11 +638,17 @@ let to_json ?scale:sc t =
         field "flat_vs_tree" (speedup t ~num:"flat/v1+a2" ~den:"tree/v1+a2");
         field "flat_batch_vs_tree"
           (speedup t ~num:"flat-batch/v1+a2" ~den:"tree/v1+a2");
+        field "packed_vs_batch"
+          (speedup t ~num:"flat-packed/v1+a2" ~den:"flat-batch/v1+a2");
+        field "layout_vs_default"
+          (speedup t ~num:"flat-skew-layout/v1+a2" ~den:"flat-skew/v1+a2");
         field "publish_traced_off_vs_untraced"
           (speedup t ~num:"publish/traced-off" ~den:"publish/untraced");
         field "publish_traced_vs_untraced"
           (speedup t ~num:"publish/traced" ~den:"publish/untraced");
         field "pool_peak_vs_1_domain" pool_speedup;
+        field "pool_persistent_vs_spawn_d2"
+          (speedup t ~num:"pool/v1+a2/d2" ~den:"pool-spawn/v1+a2/d2");
         ( "pool_peak_domains",
           match pool_peak t with
           | Some r -> Json.Int r.domains
@@ -502,8 +668,18 @@ let to_json ?scale:sc t =
              ("seed", Json.Int t.seed);
            ] );
        ( "host",
-         Json.Obj [ ("recommended_domains", Json.Int t.recommended_domains) ]
-       );
+         Json.Obj
+           [
+             ("recommended_domains", Json.Int t.recommended_domains);
+             ("cpu_count", Json.Int t.cpu_count);
+             ( "scaling_note",
+               if t.cpu_count <= 1 then
+                 Json.Str
+                   "single-core host: multi-domain rows cannot show \
+                    wall-clock scaling; per-domain entries recorded for \
+                    cross-host comparison"
+               else Json.Null );
+           ] );
        ("results", Json.List (List.map result_json t.results));
        ("derived", derived);
      ]
@@ -527,8 +703,8 @@ let table t =
     ~notes:
       [
         Printf.sprintf
-          "%d profiles, %d attributes, uniform events, seed %d; host \
-           recommends %d domain(s)"
-          t.profiles t.attributes t.seed t.recommended_domains;
+          "%d profiles, %d attributes, uniform events, seed %d; host has \
+           %d core(s), recommends %d domain(s)"
+          t.profiles t.attributes t.seed t.cpu_count t.recommended_domains;
       ]
     rows

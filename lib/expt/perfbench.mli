@@ -4,11 +4,15 @@
     every matcher in the repository run over the same pre-built event
     pool: the naive and counting baselines, the pointer profile tree
     and its compiled {!Genas_filter.Flat} form per value strategy, the
-    flat batch path, and the {!Genas_filter.Pool} domain fan-out at 1,
-    2, and 4 domains. Wall clock is read from the monotonic
-    {!Genas_obs.Clock}; comparisons/event comes from a separate
-    deterministic [Ops]-counted replay of the event pool, so the
-    figures are stable across runs even though events/sec is not.
+    flat batch and packed-batch paths, the skewed-workload pair with
+    and without the hotness-guided relayout, the persistent
+    {!Genas_filter.Pool} fan-out per domain count (plus the retired
+    spawn-per-batch path as a regression row), and the
+    {!Genas_filter.Shard} profile-partition axis at 2 and 4 shards.
+    Wall clock is read from the monotonic {!Genas_obs.Clock};
+    comparisons/event comes from a separate deterministic
+    [Ops]-counted replay of the event pool, so the figures are stable
+    across runs even though events/sec is not.
 
     [genas bench] and [bench/main.exe json] both render these results;
     the JSON form is the `BENCH_*.json` perf-trajectory record (see
@@ -16,9 +20,11 @@
 
 type result = {
   name : string;  (** e.g. ["flat/v1+a2"], ["pool/v1+a2/d2"] *)
-  matcher : string;  (** naive|counting|tree|flat|flat-batch|pool *)
+  matcher : string;
+      (** naive|counting|tree|flat|flat-batch|flat-packed|flat-skew|
+          flat-skew-layout|publish|pool|pool-spawn|shard *)
   strategy : string;  (** value strategy, or ["n/a"] *)
-  domains : int;  (** 1 except for pool entries *)
+  domains : int;  (** 1 except for pool and shard entries *)
   timed_events : int;
   events_per_sec : float;
   comparisons_per_event : float;
@@ -31,12 +37,19 @@ type t = {
   event_pool : int;
   seed : int;
   recommended_domains : int;
+  cpu_count : int;  (** host cores (Linux /proc/cpuinfo; else
+                        [recommended_domains]) *)
   results : result list;
 }
 
-val run : ?profiles:int -> ?seed:int -> ?events:int -> unit -> t
+val host_cpu_count : unit -> int
+
+val run : ?profiles:int -> ?seed:int -> ?events:int -> ?domains:int list ->
+  unit -> t
 (** [events] (default 50_000) is the per-entry timing budget; batch
-    and pool entries round it up to whole event-pool passes. *)
+    and pool entries round it up to whole event-pool passes.
+    [domains] overrides the pool-row domain counts (default [1; 2] and
+    the host recommendation capped at 4). *)
 
 (** {1 Profile-count scaling}
 
@@ -87,8 +100,11 @@ val scale_to_json : scale -> Genas_obs.Json.t
 
 val to_json : ?scale:scale -> t -> Genas_obs.Json.t
 (** The `BENCH_*.json` document: bench/schema_version header, workload
-    and host blocks, one result object per entry, and derived speedups
-    (flat vs tree, flat batch vs tree, pool peak vs one domain). With
+    and host blocks (core count and a scaling note when the host is
+    single-core), one result object per entry, and derived speedups
+    (flat vs tree, flat batch vs tree, packed vs batch, layout vs
+    default on the skewed workload, persistent vs spawn pool at two
+    domains, pool peak vs one domain). With
     [scale], the scaling curve is attached as a ["scaling"] block
     (whose keys deliberately avoid the classic result keys the cram
     suite counts). *)

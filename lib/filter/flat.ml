@@ -115,7 +115,7 @@ let build_lookup decomp pos2 attr dom =
     Rank_table (Array.init 2 (fun r -> target_of_coord (float_of_int r)))
   | Domain.Int_range _ | Domain.Float_range _ -> Generic
 
-let compile (tree : Tree.t) =
+let compile_plain (tree : Tree.t) =
   let decomp = tree.Tree.decomp in
   let arity = Decomp.arity decomp in
   let strategy =
@@ -198,6 +198,80 @@ let compile (tree : Tree.t) =
     out_size = nlive;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Hotness-guided relayout: renumber the flat nodes in descending
+   visit-frequency order (ties broken by old id, so the permutation is
+   deterministic) and rebuild the CSR payload in the new node order —
+   hot nodes, their edge slots, and their postings all land
+   contiguously at the front of their arrays, the "odds-on" layout.
+   The traversal itself is untouched: only indices move, so matches,
+   comparison counts, and node-visit counts are bit-identical to the
+   source layout. *)
+
+let relayout t visits =
+  let n = Array.length t.node_attr in
+  if Array.length visits <> n then
+    invalid_arg "Flat.relayout: visit counts built for a different matcher";
+  if n = 0 then t
+  else begin
+    let order = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        let c = compare visits.(b) visits.(a) in
+        if c <> 0 then c else compare a b)
+      order;
+    let renum = Array.make n 0 in
+    Array.iteri (fun nw old -> renum.(old) <- nw) order;
+    let node_attr = Array.make n 0 in
+    let edge_first = Array.make n 0 and edge_count = Array.make n 0 in
+    let rest = Array.make n 0 in
+    let leaf_first = Array.make n 0 and leaf_count = Array.make n 0 in
+    let ne = Array.length t.edge_pos and np = Array.length t.postings in
+    let edge_pos = Array.make ne 0 and edge_child = Array.make ne 0 in
+    let postings = Array.make np 0 in
+    (* Every flat node owns a disjoint slice of the edge and posting
+       arrays (the compiler allocates per unique node), so appending
+       per node in the new order re-packs both exactly once. *)
+    let epos = ref 0 and ppos = ref 0 in
+    for nw = 0 to n - 1 do
+      let o = order.(nw) in
+      node_attr.(nw) <- t.node_attr.(o);
+      let ef = t.edge_first.(o) and ec = t.edge_count.(o) in
+      edge_first.(nw) <- !epos;
+      edge_count.(nw) <- ec;
+      for k = 0 to ec - 1 do
+        edge_pos.(!epos) <- t.edge_pos.(ef + k);
+        edge_child.(!epos) <- renum.(t.edge_child.(ef + k));
+        incr epos
+      done;
+      rest.(nw) <- (let r = t.rest.(o) in if r < 0 then -1 else renum.(r));
+      let lf = t.leaf_first.(o) and lc = t.leaf_count.(o) in
+      leaf_first.(nw) <- !ppos;
+      leaf_count.(nw) <- lc;
+      for k = 0 to lc - 1 do
+        postings.(!ppos) <- t.postings.(lf + k);
+        incr ppos
+      done
+    done;
+    {
+      t with
+      node_attr;
+      edge_first;
+      edge_count;
+      rest;
+      leaf_first;
+      leaf_count;
+      edge_pos;
+      edge_child;
+      postings;
+      root = renum.(t.root);
+    }
+  end
+
+let compile ?layout tree =
+  let t = compile_plain tree in
+  match layout with None -> t | Some visits -> relayout t visits
+
 let revision t = t.decomp.Decomp.revision
 
 let node_count t = Array.length t.node_attr
@@ -206,11 +280,16 @@ let edge_count t = Array.length t.edge_pos
 
 let posting_count t = Array.length t.postings
 
+(* The output buffer carries one slack slot past the worst-case match
+   count: the branchless leaf-dedup below writes the candidate id
+   unconditionally at [len] and advances [len] only when the id was
+   fresh, so a duplicate arriving with the buffer already full touches
+   the slack slot instead of falling off the end. *)
 let cursor t =
   {
     targets = Array.make t.arity 0;
     seen = Array.make t.seen_size 0;
-    out = Array.make t.out_size 0;
+    out = Array.make (t.out_size + 1) 0;
     len = 0;
     epoch = 0;
   }
@@ -219,13 +298,21 @@ let check_cursor t cur ~who =
   if
     Array.length cur.targets <> t.arity
     || Array.length cur.seen < t.seen_size
-    || Array.length cur.out < t.out_size
+    || Array.length cur.out < t.out_size + 1
   then invalid_arg (who ^ ": cursor built for a different matcher")
 
 (* The traversal core: follows the single deterministic path from the
    root, mirroring Tree.match_targets edge for edge. Comparison and
    node-visit counts are bit-identical to the pointer tree (the scan
-   branches replicate Tree.scan over the doubled-rank encoding). *)
+   branches replicate Tree.scan over the doubled-rank encoding).
+
+   The interval tests are branchless where the charged comparison
+   count allows: the leaf dedup stores unconditionally and advances
+   [len] by a comparison-derived 0/1, and the linear scan's deciding
+   edge resolves its hit slot with int arithmetic instead of a taken/
+   not-taken branch. The charged counts are computed arithmetically
+   from the stopping index, so they cannot drift from the pointer
+   tree's accounting. *)
 let run ?ops t cur =
   cur.epoch <- cur.epoch + 1;
   cur.len <- 0;
@@ -237,16 +324,16 @@ let run ?ops t cur =
       let a = Array.unsafe_get t.node_attr i in
       if a < 0 then begin
         (* Leaf: publish the postings slice, deduped by epoch stamp
-           (ids are ascending per leaf, so the output stays sorted). *)
+           (ids are ascending per leaf, so the output stays sorted).
+           Branchless: always store at [len], advance by freshness. *)
         let first = t.leaf_first.(i) in
         let epoch = cur.epoch in
         for k = first to first + t.leaf_count.(i) - 1 do
           let id = Array.unsafe_get t.postings k in
-          if Array.unsafe_get cur.seen id <> epoch then begin
-            Array.unsafe_set cur.seen id epoch;
-            Array.unsafe_set cur.out cur.len id;
-            cur.len <- cur.len + 1
-          end
+          let fresh = Bool.to_int (Array.unsafe_get cur.seen id <> epoch) in
+          Array.unsafe_set cur.seen id epoch;
+          Array.unsafe_set cur.out cur.len id;
+          cur.len <- cur.len + fresh
         done;
         live := false
       end
@@ -259,18 +346,25 @@ let run ?ops t cur =
           let code = Array.unsafe_get t.strategy a in
           if code = code_linear then begin
             (* Early-stopping scan: cost j+1 on the deciding edge, n on
-               exhaustion — exactly Tree.scan's Linear branch. *)
-            let j = ref 0 and scanning = ref true in
-            while !scanning && !j < n do
-              let p = Array.unsafe_get t.edge_pos (first + !j) in
-              if p >= target then begin
-                comparisons := !comparisons + !j + 1;
-                if p = target then hit := !j;
-                scanning := false
-              end
-              else incr j
+               exhaustion — exactly Tree.scan's Linear branch. The scan
+               itself is a single-test loop; the deciding edge resolves
+               hit/miss without a branch (eq = 1 selects j, eq = 0
+               selects -1). *)
+            let j = ref 0 in
+            while
+              !j < n && Array.unsafe_get t.edge_pos (first + !j) < target
+            do
+              incr j
             done;
-            if !scanning then comparisons := !comparisons + n
+            if !j < n then begin
+              comparisons := !comparisons + !j + 1;
+              let eq =
+                Bool.to_int
+                  (Array.unsafe_get t.edge_pos (first + !j) = target)
+              in
+              hit := (!j * eq) lor (eq - 1)
+            end
+            else comparisons := !comparisons + n
           end
           else begin
             (* Binary and hashed both locate by bisection (the int
@@ -408,11 +502,10 @@ let run_recorded ?ops t cur r =
         let epoch = cur.epoch in
         for k = first to first + t.leaf_count.(i) - 1 do
           let id = Array.unsafe_get t.postings k in
-          if Array.unsafe_get cur.seen id <> epoch then begin
-            Array.unsafe_set cur.seen id epoch;
-            Array.unsafe_set cur.out cur.len id;
-            cur.len <- cur.len + 1
-          end
+          let fresh = Bool.to_int (Array.unsafe_get cur.seen id <> epoch) in
+          Array.unsafe_set cur.seen id epoch;
+          Array.unsafe_set cur.out cur.len id;
+          cur.len <- cur.len + fresh
         done;
         push_step r ~node:i ~level:!level ~edge:(-3) ~cmp:0;
         live := false
@@ -426,17 +519,21 @@ let run_recorded ?ops t cur r =
         if n > 0 then begin
           let code = Array.unsafe_get t.strategy a in
           if code = code_linear then begin
-            let j = ref 0 and scanning = ref true in
-            while !scanning && !j < n do
-              let p = Array.unsafe_get t.edge_pos (first + !j) in
-              if p >= target then begin
-                comparisons := !comparisons + !j + 1;
-                if p = target then hit := !j;
-                scanning := false
-              end
-              else incr j
+            let j = ref 0 in
+            while
+              !j < n && Array.unsafe_get t.edge_pos (first + !j) < target
+            do
+              incr j
             done;
-            if !scanning then comparisons := !comparisons + n
+            if !j < n then begin
+              comparisons := !comparisons + !j + 1;
+              let eq =
+                Bool.to_int
+                  (Array.unsafe_get t.edge_pos (first + !j) = target)
+              in
+              hit := (!j * eq) lor (eq - 1)
+            end
+            else comparisons := !comparisons + n
           end
           else begin
             let lo = ref 0 and hi = ref (n - 1) in
@@ -491,24 +588,58 @@ let generic_target t attr v =
     | Some cell -> t.pos2.(attr).(cell)
     | None -> out_of_domain)
 
+let target_of_value t attr v =
+  match Array.unsafe_get t.lookup attr with
+  | Int_table { lo; tbl } -> (
+    match v with
+    | Value.Int x ->
+      let i = x - lo in
+      if i >= 0 && i < Array.length tbl then Array.unsafe_get tbl i
+      else out_of_domain
+    | _ -> out_of_domain)
+  | Rank_table tbl -> (
+    match Domain.rank t.domains.(attr) v with
+    | Some r -> tbl.(r)
+    | None -> out_of_domain)
+  | Generic -> generic_target t attr v
+
 let set_event_targets t cur event =
   for attr = 0 to t.arity - 1 do
-    let v = Event.value event attr in
-    cur.targets.(attr) <-
-      (match Array.unsafe_get t.lookup attr with
-      | Int_table { lo; tbl } -> (
-        match v with
-        | Value.Int x ->
-          let i = x - lo in
-          if i >= 0 && i < Array.length tbl then Array.unsafe_get tbl i
-          else out_of_domain
-        | _ -> out_of_domain)
-      | Rank_table tbl -> (
-        match Domain.rank t.domains.(attr) v with
-        | Some r -> tbl.(r)
-        | None -> out_of_domain)
-      | Generic -> generic_target t attr v)
+    cur.targets.(attr) <- target_of_value t attr (Event.value event attr)
   done
+
+(* ------------------------------------------------------------------ *)
+(* Packed batches: every event of a batch resolved once into a dense
+   row-major [int array] of lookup targets. The traversal then touches
+   only int arrays — no boxed values, no model-layer lookups — which is
+   what the pool workers share across domains: the packed image is
+   immutable, so a stolen chunk costs two array reads per attribute. *)
+
+type packed = { pk_owner : t; pk_targets : int array; pk_events : int }
+
+let pack_batch t events =
+  let n = Array.length events in
+  let targets = Array.make (n * t.arity) 0 in
+  for i = 0 to n - 1 do
+    let e = events.(i) in
+    let base = i * t.arity in
+    for attr = 0 to t.arity - 1 do
+      targets.(base + attr) <- target_of_value t attr (Event.value e attr)
+    done
+  done;
+  { pk_owner = t; pk_targets = targets; pk_events = n }
+
+let packed_events pk = pk.pk_events
+
+let match_packed_into ?ops t cur pk i =
+  check_cursor t cur ~who:"Flat.match_packed_into";
+  if pk.pk_owner != t then
+    invalid_arg
+      "Flat.match_packed_into: packed batch built for a different matcher";
+  if i < 0 || i >= pk.pk_events then
+    invalid_arg "Flat.match_packed_into: event index out of range";
+  Array.blit pk.pk_targets (i * t.arity) cur.targets 0 t.arity;
+  run ?ops t cur
 
 let match_into ?ops t cur event =
   check_cursor t cur ~who:"Flat.match_into";

@@ -30,9 +30,31 @@ type t
 
 type cursor
 
-val compile : Tree.t -> t
+val compile : ?layout:int array -> Tree.t -> t
 (** Lower a pointer tree. The tree keeps ownership of [pp]/[explain];
-    the flat form only matches. *)
+    the flat form only matches.
+
+    [layout] is a per-node visit-count array — as produced by a
+    {!recorder} run against the default-order compile of the same tree
+    — and applies {!relayout} to the freshly compiled form: a
+    hotness-guided, cache-conscious node order.
+
+    @raise Invalid_argument if [layout] has the wrong length. *)
+
+val relayout : t -> int array -> t
+(** [relayout t visits] renumbers the flat nodes of [t] in descending
+    visit-count order (ties by old node id, so the permutation is
+    deterministic) and re-packs the node table, the edge arrays, and
+    the postings in the new order — hot nodes and their payloads land
+    contiguously at the front of their arrays (an "odds-on" layout for
+    the observed event distribution). [visits] is indexed by [t]'s own
+    node ids, i.e. {!node_visits} of a recorder driven against [t].
+    Matching behaviour, comparison counts, and node-visit counts are
+    bit-identical to [t]; only memory order changes. Cursors are
+    layout-independent ([t]'s cursors still fit); recorders are not —
+    build a fresh recorder for the new form.
+
+    @raise Invalid_argument if [visits] has the wrong length. *)
 
 val revision : t -> int
 (** Profile-set revision of the underlying decomposition snapshot. *)
@@ -106,6 +128,32 @@ val match_into_recorded :
 
     @raise Invalid_argument if the cursor or recorder was built for a
     different matcher. *)
+
+(** {2 Packed batches}
+
+    A batch of events resolved once into a dense row-major [int array]
+    of per-attribute lookup targets. Matching from the packed form
+    touches only int arrays — no boxed values, no model-layer lookups —
+    and the packed image is immutable, so pool workers on other domains
+    share it with zero coordination. Match results and operation
+    counters are bit-identical to {!match_into} on the source
+    events. *)
+
+type packed
+
+val pack_batch : t -> Genas_model.Event.t array -> packed
+(** Resolve every event of the batch (in order) to its int targets.
+    One pass, no per-event allocation beyond the packed image
+    itself. *)
+
+val packed_events : packed -> int
+
+val match_packed_into : ?ops:Ops.t -> t -> cursor -> packed -> int -> int
+(** [match_packed_into t cur pk i] matches packed event [i] exactly as
+    {!match_into} would match the source event.
+
+    @raise Invalid_argument if the cursor or the packed batch belongs
+    to a different matcher, or [i] is out of range. *)
 
 val match_coords_into : ?ops:Ops.t -> t -> cursor -> float array -> int
 (** Same, from raw axis coordinates indexed by natural attribute index

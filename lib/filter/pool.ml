@@ -1,51 +1,316 @@
-type t = { domains : int }
+(* Persistent work-stealing domain pool.
 
-let create ?domains () =
+   Workers are spawned once at [create] and parked on a condition
+   turnstile; each [match_batch]/[match_shards] posts one job (a bumped
+   generation under the mutex publishes it), every participant drains
+   its own contiguous range through an atomic chunk cursor and then
+   sweeps the other cursors stealing leftover chunks. Every item index
+   is claimed by exactly one [Atomic.fetch_and_add] winner and written
+   to its own result slot, so output is positionally deterministic —
+   bit-identical to a sequential run no matter how the steals land —
+   and Ops counters are commutative sums, so the merged totals are too.
+
+   Completion: [j_remaining] counts unprocessed items; the participant
+   whose decrement reaches zero broadcasts [done_]. The poster also
+   works (as participant 0), then waits under the mutex until the
+   count drains. Exceptions in a worker are trapped per chunk (first
+   one kept), the chunk is still counted as done so the countdown
+   cannot wedge, and the poster re-raises after the barrier. *)
+
+type job = {
+  j_run : int -> int -> unit;  (* j_run participant item *)
+  j_next : int Atomic.t array;  (* per-participant chunk cursor *)
+  j_hi : int array;  (* per-participant range end *)
+  j_chunk : int;
+  j_remaining : int Atomic.t;
+  j_steals : int Atomic.t;
+  j_failed : exn option Atomic.t;
+}
+
+type turnstile = {
+  mutex : Mutex.t;
+  work : Condition.t;
+  done_ : Condition.t;
+  mutable job : job option;
+  mutable gen : int;  (* bumped per posted job; publishes [job] *)
+  mutable stop : bool;
+}
+
+type t = {
+  domains : int;
+  persistent : bool;
+  turnstile : turnstile option;  (* [Some] iff persistent && domains > 1 *)
+  mutable handles : unit Domain.t list;
+  mutable spawned : bool;
+  mutable shut : bool;
+  mutable steals_last : int;
+}
+
+let claim j w =
+  let lo = Atomic.fetch_and_add j.j_next.(w) j.j_chunk in
+  if lo < j.j_hi.(w) then Some (lo, min j.j_hi.(w) (lo + j.j_chunk))
+  else None
+
+let process j w lo hi =
+  (try
+     for i = lo to hi - 1 do
+       j.j_run w i
+     done
+   with e -> ignore (Atomic.compare_and_set j.j_failed None (Some e)));
+  hi - lo
+
+(* Drain own range, then sweep the other participants' cursors until a
+   full pass steals nothing. Returns the number of items processed. *)
+let run_share j w =
+  let did = ref 0 in
+  let mine = ref true in
+  while !mine do
+    match claim j w with
+    | Some (lo, hi) -> did := !did + process j w lo hi
+    | None -> mine := false
+  done;
+  let participants = Array.length j.j_next in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    for v = 0 to participants - 1 do
+      if v <> w then
+        match claim j v with
+        | Some (lo, hi) ->
+            Atomic.incr j.j_steals;
+            did := !did + process j w lo hi;
+            progress := true
+        | None -> ()
+    done
+  done;
+  !did
+
+let finish_share ts j did =
+  if did > 0 && Atomic.fetch_and_add j.j_remaining (-did) = did then begin
+    Mutex.lock ts.mutex;
+    Condition.broadcast ts.done_;
+    Mutex.unlock ts.mutex
+  end
+
+let worker ts w =
+  let rec loop last_gen =
+    Mutex.lock ts.mutex;
+    while (not ts.stop) && ts.gen = last_gen do
+      Condition.wait ts.work ts.mutex
+    done;
+    if ts.stop then Mutex.unlock ts.mutex
+    else begin
+      let gen = ts.gen and job = ts.job in
+      Mutex.unlock ts.mutex;
+      (* [job] may already be [None] if this worker woke after the job
+         completed (every item claimed and counted by others). *)
+      (match job with
+      | None -> ()
+      | Some j -> finish_share ts j (run_share j w));
+      loop gen
+    end
+  in
+  loop 0
+
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    match t.turnstile with
+    | None -> ()
+    | Some ts ->
+        Mutex.lock ts.mutex;
+        ts.stop <- true;
+        Condition.broadcast ts.work;
+        Mutex.unlock ts.mutex;
+        List.iter Domain.join t.handles;
+        t.handles <- []
+  end
+
+let create ?domains ?(persistent = true) () =
   let d =
     match domains with
     | Some d -> d
     | None -> Domain.recommended_domain_count ()
   in
   if d < 1 then invalid_arg "Pool.create: need at least one domain";
-  { domains = d }
+  let turnstile =
+    if persistent && d > 1 then
+      Some
+        {
+          mutex = Mutex.create ();
+          work = Condition.create ();
+          done_ = Condition.create ();
+          job = None;
+          gen = 0;
+          stop = false;
+        }
+    else None
+  in
+  let t =
+    { domains = d; persistent; turnstile; handles = []; spawned = false;
+      shut = false; steals_last = 0 }
+  in
+  (* A process exit with workers still parked would abort on the
+     runtime's live-domain check; make teardown automatic. *)
+  if turnstile <> None then at_exit (fun () -> shutdown t);
+  t
+
+(* Workers are spawned on the first parallel batch, not at [create]:
+   even parked domains participate in every stop-the-world section, so
+   a pool that has not fanned out yet must cost the process nothing. *)
+let ensure_workers t ts =
+  if not t.spawned then begin
+    t.spawned <- true;
+    t.handles <-
+      List.init (t.domains - 1) (fun k ->
+          Domain.spawn (fun () -> worker ts (k + 1)))
+  end
 
 let domains t = t.domains
+let persistent t = t.persistent
+let live_workers t = List.length t.handles
+let last_steals t = t.steals_last
 
-(* One worker's share: events [lo, hi) matched through a private cursor
-   into the shared results array (disjoint slots, so no two domains
-   ever write the same cell), private Ops returned for the post-barrier
-   merge. *)
-let run_range flat events (results : int array array) lo hi =
-  let cur = Flat.cursor flat in
-  let ops = Ops.create () in
-  for i = lo to hi - 1 do
-    let len = Flat.match_into ~ops flat cur events.(i) in
-    results.(i) <- Array.sub (Flat.matches cur) 0 len
+(* Post [n] items to the turnstile and participate as worker 0. *)
+let post_and_run t ts ~n run_item =
+  ensure_workers t ts;
+  let participants = t.domains in
+  let chunk = max 1 (min 32 (n / (participants * 8))) in
+  let job =
+    {
+      j_run = run_item;
+      j_next = Array.init participants (fun w -> Atomic.make (w * n / participants));
+      j_hi = Array.init participants (fun w -> (w + 1) * n / participants);
+      j_chunk = chunk;
+      j_remaining = Atomic.make n;
+      j_steals = Atomic.make 0;
+      j_failed = Atomic.make None;
+    }
+  in
+  Mutex.lock ts.mutex;
+  ts.job <- Some job;
+  ts.gen <- ts.gen + 1;
+  Condition.broadcast ts.work;
+  Mutex.unlock ts.mutex;
+  finish_share ts job (run_share job 0);
+  Mutex.lock ts.mutex;
+  while Atomic.get job.j_remaining > 0 do
+    Condition.wait ts.done_ ts.mutex
   done;
-  ops
+  ts.job <- None;
+  Mutex.unlock ts.mutex;
+  t.steals_last <- Atomic.get job.j_steals;
+  match Atomic.get job.j_failed with Some e -> raise e | None -> ()
 
-let match_batch ?ops pool flat events =
+(* Legacy spawn-per-batch fan-out, kept behind [?persistent:false] for
+   one release: the pre-pool contiguous-chunk split, one fresh domain
+   per chunk, joined before returning. *)
+let legacy_run ~workers ~n run_item =
+  let chunk = (n + workers - 1) / workers in
+  let handles =
+    List.init (workers - 1) (fun k ->
+        let lo = (k + 1) * chunk in
+        let hi = min n (lo + chunk) in
+        Domain.spawn (fun () ->
+            for i = lo to hi - 1 do
+              run_item (k + 1) i
+            done))
+  in
+  for i = 0 to min n chunk - 1 do
+    run_item 0 i
+  done;
+  List.iter Domain.join handles
+
+(* Run [n] items, [run_item w i] with participant index [w] <
+   [participant_count]. Sequential when the pool is effectively
+   single-domain or the job is too small to split. *)
+let participant_count t ~n = if t.turnstile <> None then t.domains else min t.domains (max 1 n)
+
+let run_items t ~who ~n run_item =
+  if t.shut then invalid_arg (who ^ ": pool has been shut down");
+  t.steals_last <- 0;
+  if n > 0 then begin
+    if t.domains <= 1 || n <= 1 then
+      for i = 0 to n - 1 do
+        run_item 0 i
+      done
+    else
+      match t.turnstile with
+      | Some ts -> post_and_run t ts ~n run_item
+      | None -> legacy_run ~workers:(min t.domains n) ~n run_item
+  end
+
+let match_batch ?ops t flat events =
   let n = Array.length events in
   let results = Array.make n [||] in
-  let workers = min pool.domains (max 1 n) in
-  let merge worker_ops =
-    match ops with Some o -> Ops.add worker_ops ~into:o | None -> ()
+  let parts = participant_count t ~n in
+  let cursors = Array.init parts (fun _ -> Flat.cursor flat) in
+  let part_ops = Array.init parts (fun _ -> Ops.create ()) in
+  let run_item =
+    if t.turnstile <> None && t.domains > 1 && n > 1 then begin
+      (* Persistent path: resolve the whole batch once into the packed
+         int image; workers then touch only int arrays. *)
+      let packed = Flat.pack_batch flat events in
+      fun w i ->
+        let len =
+          Flat.match_packed_into ~ops:part_ops.(w) flat cursors.(w) packed i
+        in
+        results.(i) <- Array.sub (Flat.matches cursors.(w)) 0 len
+    end
+    else fun w i ->
+      let len = Flat.match_into ~ops:part_ops.(w) flat cursors.(w) events.(i) in
+      results.(i) <- Array.sub (Flat.matches cursors.(w)) 0 len
   in
-  if workers <= 1 then merge (run_range flat events results 0 n)
-  else begin
-    let chunk = (n + workers - 1) / workers in
-    let handles =
-      List.init (workers - 1) (fun k ->
-          let lo = (k + 1) * chunk in
-          let hi = min n (lo + chunk) in
-          Domain.spawn (fun () -> run_range flat events results lo hi))
-    in
-    let local = run_range flat events results 0 (min n chunk) in
-    (* Barrier: join every worker, then merge the private counters.
-       Ops fields are commutative sums, so the totals match a
-       single-domain run bit for bit. *)
-    let worker_ops = List.map Domain.join handles in
-    merge local;
-    List.iter merge worker_ops
-  end;
+  run_items t ~who:"Pool.match_batch" ~n run_item;
+  (match ops with
+  | Some o -> Array.iter (fun po -> Ops.add po ~into:o) part_ops
+  | None -> ());
   results
+
+let match_shards ?ops t shard events =
+  let flats = Shard.flats shard in
+  let k = Array.length flats in
+  let n = Array.length events in
+  let per_shard = Array.map (fun _ -> Array.make n [||]) flats in
+  let shard_ops = Array.map (fun _ -> Ops.create ()) flats in
+  (* Parallelise over the shard axis: each item is one whole shard's
+     pass over the batch (private cursor + packed image per shard). *)
+  let run_item _w s =
+    let flat = flats.(s) in
+    let cur = Flat.cursor flat in
+    let packed = Flat.pack_batch flat events in
+    let o = shard_ops.(s) in
+    let res = per_shard.(s) in
+    for i = 0 to n - 1 do
+      let len = Flat.match_packed_into ~ops:o flat cur packed i in
+      res.(i) <- Array.sub (Flat.matches cur) 0 len
+    done
+  in
+  run_items t ~who:"Pool.match_shards" ~n:k run_item;
+  (match ops with
+  | Some o ->
+      (* Comparisons/visits/matches sum across shards; the batch is
+         still [n] events, not [k * n]. *)
+      Array.iter
+        (fun so ->
+          o.Ops.comparisons <- o.Ops.comparisons + so.Ops.comparisons;
+          o.Ops.node_visits <- o.Ops.node_visits + so.Ops.node_visits;
+          o.Ops.matches <- o.Ops.matches + so.Ops.matches)
+        shard_ops;
+      o.Ops.events <- o.Ops.events + n
+  | None -> ());
+  (* Shards hold disjoint ascending id ranges in shard order, so plain
+     concatenation per event is already ascending. *)
+  Array.init n (fun i ->
+      let total =
+        Array.fold_left (fun acc res -> acc + Array.length res.(i)) 0 per_shard
+      in
+      let out = Array.make total 0 in
+      let pos = ref 0 in
+      Array.iter
+        (fun res ->
+          let a = res.(i) in
+          Array.blit a 0 out !pos (Array.length a);
+          pos := !pos + Array.length a)
+        per_shard;
+      out)

@@ -1,32 +1,88 @@
-(** Multicore publish fan-out: a pool of OCaml 5 domains that
-    partitions an event batch across workers, each matching through its
-    own {!Flat.cursor} and private {!Ops.t} accumulator.
+(** Multicore publish fan-out: a persistent pool of OCaml 5 domains.
 
-    The compiled {!Flat.t} is immutable and the decomposition snapshot
-    it references is read-only after construction, so workers share
-    them with zero coordination; per-worker operation counters are
-    merged into the caller's [?ops] after the join barrier, and
-    [comparisons]/[node_visits]/[matches] totals are deterministic —
-    identical to a single-domain run over the same batch, regardless of
-    the partition. *)
+    A persistent pool keeps [domains - 1] long-lived workers parked on
+    a condition turnstile (spawned lazily on the first parallel batch —
+    parked domains still take part in every stop-the-world section, so
+    an idle pool must cost the process nothing); each {!match_batch}
+    posts one job and the workers wake, drain their contiguous share of
+    the batch through
+    per-worker atomic chunk cursors, then {e steal} leftover chunks
+    from slower participants' cursors. Spawn cost is paid once per pool
+    instead of once per batch, and stealing keeps every domain busy
+    when per-event cost is skewed.
+
+    Determinism: every event index is claimed by exactly one
+    [fetch_and_add] winner and its matches land in that index's own
+    result slot, so pool output is positionally bit-identical to a
+    sequential run regardless of how chunks are stolen. The compiled
+    {!Flat.t} and the packed event image are immutable, so workers
+    share them with zero coordination; per-worker {!Ops.t} counters
+    are commutative sums merged after the completion barrier, so the
+    totals also match a single-domain run bit for bit.
+
+    Pools own domains: call {!shutdown} when done (tests especially —
+    the runtime caps live domains). An [at_exit] hook shuts persistent
+    pools down automatically at process exit. *)
 
 type t
 
-val create : ?domains:int -> unit -> t
-(** [domains] defaults to [Domain.recommended_domain_count ()] and is
-    what a batch is split into at most (a batch of [k < domains] events
-    uses [k] workers). Values above the host's recommended count are
-    allowed — useful for determinism tests — but buy no speedup.
+val create : ?domains:int -> ?persistent:bool -> unit -> t
+(** [domains] defaults to [Domain.recommended_domain_count ()] and
+    bounds the parallelism of a batch. Values above the host's
+    recommended count are allowed — useful for determinism tests — but
+    buy no speedup.
+
+    [persistent] (default [true]) selects the long-lived worker set,
+    spawned on the first multi-domain batch. [~persistent:false] keeps
+    the pre-pool behaviour —
+    fresh domains spawned inside every {!match_batch} call, contiguous
+    chunks, no stealing — and is retained for one release as a
+    regression escape hatch; both modes return identical results.
 
     @raise Invalid_argument if [domains < 1]. *)
 
 val domains : t -> int
 
+val persistent : t -> bool
+
+val live_workers : t -> int
+(** Long-lived worker domains currently alive: [0] before the first
+    parallel batch, [domains - 1] once a persistent multi-domain pool
+    has fanned out, [0] again after {!shutdown} (and always [0] for
+    non-persistent or single-domain pools). *)
+
+val last_steals : t -> int
+(** Chunks stolen (claimed from another participant's cursor) during
+    the most recent {!match_batch}/{!match_shards} on this pool. [0]
+    for sequential and legacy runs. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent. Subsequent
+    [match_batch]/[match_shards] calls raise [Invalid_argument]. *)
+
 val match_batch :
   ?ops:Ops.t -> t -> Flat.t -> Genas_model.Event.t array ->
   Genas_profile.Profile_set.id array array
 (** Match every event of the batch, returning one ascending id array
-    per event (index-aligned with the input). The batch is split into
-    [domains] contiguous chunks; one chunk runs on the calling domain,
-    the rest on spawned domains joined before returning. With one
-    domain (or a one-event batch) no domain is spawned. *)
+    per event (index-aligned with the input). On the persistent
+    multi-domain path the batch is first resolved once into a packed
+    int image ({!Flat.pack_batch}), then distributed as chunked ranges
+    with work-stealing. With one domain (or a batch of [<= 1] events)
+    everything runs on the calling domain and no hand-off happens.
+
+    @raise Invalid_argument after {!shutdown}. *)
+
+val match_shards :
+  ?ops:Ops.t -> t -> Shard.t -> Genas_model.Event.t array ->
+  Genas_profile.Profile_set.id array array
+(** The second parallel axis: match the whole batch against every
+    shard of a {!Shard.t}, shards distributed across the pool (each
+    shard's pass uses a private cursor and packed image). Per-event
+    results are the concatenation of per-shard matches in shard order
+    — ascending, since shards hold disjoint ascending id ranges.
+    [?ops] counters sum comparisons/visits/matches across shards and
+    charge [events] once per event. Best when the profile population
+    is huge and batches are small; for big batches prefer
+    {!match_batch}.
+
+    @raise Invalid_argument after {!shutdown}. *)

@@ -1,0 +1,52 @@
+module Profile_set = Genas_profile.Profile_set
+
+type t = { flats : Flat.t array; revision : int }
+
+let build ?(shards = 2) pset =
+  if shards < 1 then invalid_arg "Shard.build: need at least one shard";
+  (* Snapshot the live profiles in ascending-id order; the partition is
+     by rank in that order, so shard s holds a contiguous id range and
+     concatenating per-shard match results in shard order yields the
+     exact ascending list a single matcher would produce. *)
+  let entries =
+    let acc = ref [] in
+    Profile_set.iter pset (fun id p -> acc := (id, p) :: !acc);
+    Array.of_list (List.rev !acc)
+  in
+  let n = Array.length entries in
+  let k = min shards (max 1 n) in
+  let schema = Profile_set.schema pset in
+  let flats =
+    Array.init k (fun s ->
+        let lo = s * n / k and hi = (s + 1) * n / k in
+        let sub = Profile_set.create schema in
+        for i = lo to hi - 1 do
+          let id, p = entries.(i) in
+          Profile_set.add_with_id sub ~id p
+        done;
+        let decomp = Decomp.build sub in
+        Flat.compile (Tree.build decomp (Tree.default_config decomp)))
+  in
+  { flats; revision = Profile_set.revision pset }
+
+let count t = Array.length t.flats
+let flats t = t.flats
+let revision t = t.revision
+
+type cursor = Flat.cursor array
+
+let cursor t = Array.map Flat.cursor t.flats
+
+let match_list ?ops t cur event =
+  if Array.length cur <> Array.length t.flats then
+    invalid_arg "Shard.match_list: cursor belongs to a different shard set";
+  (* Each shard charges its own comparisons/visits/matches; the event
+     itself is one event, not [count t] events. *)
+  let events_before = match ops with Some o -> o.Ops.events | None -> 0 in
+  let out =
+    List.concat
+      (List.init (Array.length t.flats) (fun s ->
+           Flat.match_list ?ops t.flats.(s) cur.(s) event))
+  in
+  (match ops with Some o -> o.Ops.events <- events_before + 1 | None -> ());
+  out

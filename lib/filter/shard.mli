@@ -1,0 +1,54 @@
+(** Profile-partition sharding: the second parallel axis.
+
+    {!Pool.match_batch} parallelises over the {e event} axis, which is
+    the right cut for big batches. For huge profile populations fed by
+    small batches (or single events) the event axis has nothing to
+    split, so [Shard.build] splits the {e profile} axis instead: the
+    live set is partitioned into [shards] contiguous ascending-id
+    ranges, each compiled into its own {!Flat.t} over its own
+    decomposition. Any event can then be matched against all shards
+    independently — on one domain here via {!match_list}, or fanned out
+    across the pool with {!Pool.match_shards}.
+
+    Because the ranges are disjoint and ascending, concatenating the
+    per-shard match lists in shard order reproduces the exact ascending
+    id list the unsharded matcher returns. Operation counters are
+    summed across shards (per-shard trees are smaller, so the total
+    comparison count generally differs from the unsharded matcher —
+    the shards answer the same question by a different plan), with
+    [events] charged once per event rather than once per shard. *)
+
+type t
+
+val build : ?shards:int -> Genas_profile.Profile_set.t -> t
+(** Compile a sharded matcher over the current live set. [shards]
+    defaults to 2 and is clamped to the number of live profiles (an
+    empty set compiles one empty shard). Like {!Flat.compile}, the
+    result is an immutable snapshot: later churn in the profile set is
+    not reflected (compare {!revision}).
+
+    @raise Invalid_argument if [shards < 1]. *)
+
+val count : t -> int
+(** Shards actually built (after clamping). *)
+
+val flats : t -> Flat.t array
+(** The per-shard compiled matchers, borrowed, in ascending profile-id
+    range order. *)
+
+val revision : t -> int
+(** Profile-set revision captured at {!build} time. *)
+
+type cursor
+(** One {!Flat.cursor} per shard, for single-domain use. *)
+
+val cursor : t -> cursor
+
+val match_list :
+  ?ops:Ops.t -> t -> cursor -> Genas_model.Event.t ->
+  Genas_profile.Profile_set.id list
+(** Match one event against every shard on the calling domain,
+    returning the concatenated ascending id list.
+
+    @raise Invalid_argument if the cursor came from a different shard
+    set. *)

@@ -17,9 +17,17 @@ speedups.
   1
   $ grep -c '"recommended_domains"' bench.json
   1
+  $ grep -c '"cpu_count"' bench.json
+  1
+  $ grep -c '"scaling_note"' bench.json
+  1
   $ grep -c '"flat_vs_tree"' bench.json
   1
   $ grep -c '"flat_batch_vs_tree"' bench.json
+  1
+  $ grep -c '"packed_vs_batch"' bench.json
+  1
+  $ grep -c '"layout_vs_default"' bench.json
   1
   $ grep -c '"publish_traced_off_vs_untraced"' bench.json
   1
@@ -27,9 +35,12 @@ speedups.
   1
   $ grep -c '"pool_peak_vs_1_domain"' bench.json
   1
+  $ grep -c '"pool_persistent_vs_spawn_d2"' bench.json
+  1
 
 Every matcher and strategy appears exactly once (pool rows beyond d1
-and d2 depend on the host's core count, so only those two are pinned):
+and d2 depend on the host's core count, so only those two are pinned;
+the grep filter also drops the pool-spawn regression row):
 
   $ grep -o '"name": "[^"]*"' bench.json | sed 's/"name": //' | grep -v 'pool'
   "naive"
@@ -41,12 +52,19 @@ and d2 depend on the host's core count, so only those two are pinned):
   "tree/binary"
   "flat/binary"
   "flat-batch/v1+a2"
+  "flat-packed/v1+a2"
+  "flat-skew/v1+a2"
+  "flat-skew-layout/v1+a2"
   "publish/untraced"
   "publish/traced-off"
   "publish/traced"
+  "shard/natural/s2"
+  "shard/natural/s4"
   $ grep -c '"name": "pool/v1+a2/d1"' bench.json
   1
   $ grep -c '"name": "pool/v1+a2/d2"' bench.json
+  1
+  $ grep -c '"name": "pool-spawn/v1+a2/d2"' bench.json
   1
 
 Each result row carries the per-matcher figures:

@@ -200,6 +200,12 @@ let prop_batch_equals_sequential =
           got.(i) <- Array.sub ids 0 len);
       got = seq)
 
+(* Persistent pools own live domains, so tests share one instance per
+   size instead of creating one per QCheck iteration (the runtime caps
+   live domains); Pool's at_exit hook joins them at process end. *)
+let shared_pool4 = lazy (Pool.create ~domains:4 ())
+let shared_pool3 = lazy (Pool.create ~domains:3 ())
+
 let prop_pool_equals_one_domain =
   QCheck.Test.make ~name:"pool d4 = pool d1 = sequential (matches and ops)"
     ~count:25
@@ -208,13 +214,13 @@ let prop_pool_equals_one_domain =
       let stats = Stats.create (Decomp.build pset) in
       let flat = Flat.compile (Reorder.build stats Reorder.default_spec) in
       let events = Array.of_list events in
-      let run domains =
+      let run pool =
         let ops = Ops.create () in
-        let r = Pool.match_batch ~ops (Pool.create ~domains ()) flat events in
+        let r = Pool.match_batch ~ops pool flat events in
         (r, ops)
       in
-      let r1, ops1 = run 1 in
-      let r4, ops4 = run 4 in
+      let r1, ops1 = run (Pool.create ~domains:1 ()) in
+      let r4, ops4 = run (Lazy.force shared_pool4) in
       r1 = r4 && ops_eq ops1 ops4)
 
 let prop_engine_batch_equals_match_event =
@@ -235,7 +241,7 @@ let prop_engine_batch_equals_match_event =
       in
       let pooled =
         let engine = Engine.create pset in
-        Engine.match_batch ~pool:(Pool.create ~domains:3 ()) engine events
+        Engine.match_batch ~pool:(Lazy.force shared_pool3) engine events
       in
       seq = batched && seq = pooled)
 
@@ -262,6 +268,100 @@ let prop_engine_aggregated_equals_plain =
       Engine.swap_now agg;
       let after_swap = Engine.match_batch agg events in
       plain = before_swap && plain = after_swap)
+
+(* The hotness-guided relayout is a pure permutation of memory order:
+   match sets, comparison counts, and node-visit counts must be
+   bit-identical to the default layout, whatever visit counts drive
+   it. Both the [relayout] entry point (visits keyed to the given
+   form) and [compile ?layout] (visits keyed to the default compile)
+   are pinned, plus the packed-batch path against per-event
+   [match_into]. *)
+let prop_relayout_equals_default =
+  QCheck.Test.make ~name:"relayout / compile ?layout = default layout"
+    ~count:40
+    (QCheck.make (Gen.scenario ~max_attrs:3 ~max_p:12 ~n_events:25 ()))
+    (fun (_, pset, events) ->
+      let stats = Stats.create (Decomp.build pset) in
+      let tree = Reorder.build stats Reorder.default_spec in
+      let flat = Flat.compile tree in
+      (* Record real visits over half the events, so the permutation is
+         a plausible hot order rather than noise. *)
+      let r = Flat.recorder flat in
+      let rc = Flat.cursor flat in
+      List.iteri
+        (fun i e ->
+          if i mod 2 = 0 then ignore (Flat.match_into_recorded flat rc r e))
+        events;
+      let visits = Flat.node_visits r in
+      let variants =
+        [
+          Flat.relayout flat visits;
+          Flat.compile ~layout:visits tree;
+          (* Degenerate drivers: all-zero and all-equal visit counts
+             must still be behaviour-preserving permutations. *)
+          Flat.relayout flat (Array.make (Flat.node_count flat) 0);
+          Flat.relayout flat (Array.make (Flat.node_count flat) 7);
+        ]
+      in
+      List.for_all
+        (fun hot ->
+          let base_ops = Ops.create () and hot_ops = Ops.create () in
+          let base_cur = Flat.cursor flat and hot_cur = Flat.cursor hot in
+          Flat.node_count hot = Flat.node_count flat
+          && Flat.edge_count hot = Flat.edge_count flat
+          && Flat.posting_count hot = Flat.posting_count flat
+          && List.for_all
+               (fun e ->
+                 Flat.match_list ~ops:base_ops flat base_cur e
+                 = Flat.match_list ~ops:hot_ops hot hot_cur e)
+               events
+          && ops_eq base_ops hot_ops)
+        variants)
+
+let prop_packed_equals_match_into =
+  QCheck.Test.make ~name:"packed batch = per-event match_into" ~count:40
+    (QCheck.make (Gen.scenario ~max_attrs:3 ~max_p:12 ~n_events:25 ()))
+    (fun (_, pset, events) ->
+      let stats = Stats.create (Decomp.build pset) in
+      let flat = Flat.compile (Reorder.build stats Reorder.default_spec) in
+      let batch = Array.of_list events in
+      let pk = Flat.pack_batch flat batch in
+      let plain_ops = Ops.create () and packed_ops = Ops.create () in
+      let plain_cur = Flat.cursor flat and packed_cur = Flat.cursor flat in
+      Flat.packed_events pk = Array.length batch
+      && Array.for_all Fun.id
+           (Array.mapi
+              (fun i e ->
+                let n = Flat.match_into ~ops:plain_ops flat plain_cur e in
+                let expect = Array.sub (Flat.matches plain_cur) 0 n in
+                let m =
+                  Flat.match_packed_into ~ops:packed_ops flat packed_cur pk i
+                in
+                Array.sub (Flat.matches packed_cur) 0 m = expect)
+              batch)
+      && ops_eq plain_ops packed_ops)
+
+(* Engine.relayout_now: profiling-gated, behaviour-preserving, and the
+   recorder restarts against the new layout. *)
+let prop_engine_relayout_now =
+  QCheck.Test.make ~name:"Engine.relayout_now preserves matching" ~count:25
+    (QCheck.make (Gen.scenario ~max_attrs:3 ~max_p:12 ~n_events:20 ()))
+    (fun (_, pset, events) ->
+      let engine = Engine.create pset in
+      let baseline =
+        List.map (fun e -> Engine.match_event engine e) events
+      in
+      (* Without profiling there is nothing to relayout. *)
+      let off = Engine.relayout_now engine = false in
+      Engine.set_profiling engine true;
+      (* Profiling on but nothing recorded yet: still a no-op. *)
+      let unrecorded = Engine.relayout_now engine = false in
+      List.iter (fun e -> ignore (Engine.match_event engine e)) events;
+      let swapped =
+        match events with [] -> true | _ -> Engine.relayout_now engine
+      in
+      let after = List.map (fun e -> Engine.match_event engine e) events in
+      off && unrecorded && swapped && after = baseline)
 
 (* ------------------------------------------------------------------ *)
 (* Edge cases. *)
@@ -375,6 +475,29 @@ let test_sharing_preserved () =
     (st.Tree.nodes + st.Tree.leaves)
     (Flat.node_count flat)
 
+let test_packed_guards () =
+  let s = schema () in
+  let flat_a = flat_of (pset_of s [ [ ("x", Predicate.Eq (Value.Int 1)) ] ]) in
+  let flat_b = flat_of (pset_of s [ [ ("x", Predicate.Eq (Value.Int 2)) ] ]) in
+  let batch = [| event s 1 "a"; event s 2 "b" |] in
+  let pk = Flat.pack_batch flat_a batch in
+  let cur_a = Flat.cursor flat_a in
+  (try
+     ignore (Flat.match_packed_into flat_b (Flat.cursor flat_b) pk 0);
+     Alcotest.fail "foreign packed batch accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Flat.match_packed_into flat_a cur_a pk 2);
+     Alcotest.fail "out-of-range packed index accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Flat.relayout flat_a [| 1 |]);
+     (* length must be node_count *)
+     if Flat.node_count flat_a <> 1 then
+       Alcotest.fail "wrong-length layout accepted"
+   with Invalid_argument _ -> ());
+  Alcotest.(check int) "packed batch length" 2 (Flat.packed_events pk)
+
 let () =
   Alcotest.run "flat"
     [
@@ -387,6 +510,9 @@ let () =
           QCheck_alcotest.to_alcotest prop_pool_equals_one_domain;
           QCheck_alcotest.to_alcotest prop_engine_batch_equals_match_event;
           QCheck_alcotest.to_alcotest prop_engine_aggregated_equals_plain;
+          QCheck_alcotest.to_alcotest prop_relayout_equals_default;
+          QCheck_alcotest.to_alcotest prop_packed_equals_match_into;
+          QCheck_alcotest.to_alcotest prop_engine_relayout_now;
         ] );
       ( "edges",
         [
@@ -399,5 +525,7 @@ let () =
           Alcotest.test_case "recorder reset and guards" `Quick
             test_recorder_reset_and_guards;
           Alcotest.test_case "sharing preserved" `Quick test_sharing_preserved;
+          Alcotest.test_case "packed and relayout guards" `Quick
+            test_packed_guards;
         ] );
     ]

@@ -1,0 +1,265 @@
+(* Determinism, stealing, and teardown suite for the persistent
+   work-stealing domain pool and the profile-shard parallel axis.
+
+   The pool contract is positional bit-identity: whatever the domain
+   count, chunk boundaries, or steal interleaving, [Pool.match_batch]
+   must return exactly what a sequential loop over one cursor returns,
+   and the merged Ops counters must match a single-domain run bit for
+   bit. GENAS_TEST_DOMAINS forces the pool width (the CI multi-domain
+   leg sets it to 2). *)
+
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Value = Genas_model.Value
+module Domain_ = Genas_model.Domain
+module Predicate = Genas_profile.Predicate
+module Profile = Genas_profile.Profile
+module Profile_set = Genas_profile.Profile_set
+module Decomp = Genas_filter.Decomp
+module Tree = Genas_filter.Tree
+module Flat = Genas_filter.Flat
+module Pool = Genas_filter.Pool
+module Shard = Genas_filter.Shard
+module Ops = Genas_filter.Ops
+module Gen = Genas_testlib.Gen
+
+let test_domains =
+  match Sys.getenv_opt "GENAS_TEST_DOMAINS" with
+  | Some s -> (try max 2 (int_of_string s) with _ -> 4)
+  | None -> 4
+
+(* One shared persistent pool per suite run: pools own live domains
+   and the runtime caps them, so per-iteration creation is exactly the
+   leak this suite exists to rule out. *)
+let shared = lazy (Pool.create ~domains:test_domains ())
+
+let flat_of pset =
+  let decomp = Decomp.build pset in
+  Flat.compile (Tree.build decomp (Tree.default_config decomp))
+
+let ops_eq a b =
+  a.Ops.comparisons = b.Ops.comparisons
+  && a.Ops.node_visits = b.Ops.node_visits
+  && a.Ops.events = b.Ops.events
+  && a.Ops.matches = b.Ops.matches
+
+let sequential flat events =
+  let cur = Flat.cursor flat in
+  let ops = Ops.create () in
+  let r =
+    Array.map (fun e -> Array.of_list (Flat.match_list ~ops flat cur e)) events
+  in
+  (r, ops)
+
+(* Batch sizes crossing every partition edge case: empty, singleton,
+   fewer events than domains, exact chunk multiples, and odd sizes
+   straddling chunk boundaries. *)
+let probe_sizes = [ 0; 1; 2; 3; 5; 7; 16; 31; 32; 33; 63; 64; 65; 100 ]
+
+let prop_pool_equals_sequential =
+  QCheck.Test.make
+    ~name:"pool(dN) = sequential across batch sizes 0/1/odd-chunk" ~count:15
+    (QCheck.make (Gen.scenario ~max_attrs:3 ~max_p:12 ~n_events:20 ()))
+    (fun (_, pset, events) ->
+      let flat = flat_of pset in
+      let evs = Array.of_list events in
+      QCheck.assume (Array.length evs > 0);
+      let pool = Lazy.force shared in
+      List.for_all
+        (fun n ->
+          let batch = Array.init n (fun i -> evs.(i mod Array.length evs)) in
+          let expect, seq_ops = sequential flat batch in
+          let got_ops = Ops.create () in
+          let got = Pool.match_batch ~ops:got_ops pool flat batch in
+          got = expect && ops_eq seq_ops got_ops)
+        probe_sizes)
+
+let prop_persistent_equals_spawn =
+  QCheck.Test.make ~name:"persistent pool = legacy spawn pool" ~count:20
+    (QCheck.make (Gen.scenario ~max_attrs:3 ~max_p:12 ~n_events:50 ()))
+    (fun (_, pset, events) ->
+      let flat = flat_of pset in
+      let batch = Array.of_list events in
+      let spawn = Pool.create ~domains:test_domains ~persistent:false () in
+      let spawn_ops = Ops.create () and pers_ops = Ops.create () in
+      let from_spawn = Pool.match_batch ~ops:spawn_ops spawn flat batch in
+      let from_pers =
+        Pool.match_batch ~ops:pers_ops (Lazy.force shared) flat batch
+      in
+      Pool.shutdown spawn;
+      from_spawn = from_pers && ops_eq spawn_ops pers_ops)
+
+(* Skewed per-event cost: profiles concentrated on a narrow region so
+   events inside it walk (and match) far more than events outside, and
+   the batch sorted so all the expensive events land in the trailing
+   chunks — the shape that starves a static partition and exercises
+   stealing. Results must still be positionally identical. *)
+let between lo hi =
+  Predicate.Between
+    { lo = Value.Int lo; lo_closed = true; hi = Value.Int hi; hi_closed = true }
+
+let skewed_scenario () =
+  let schema = Schema.create_exn [ ("x", Domain_.int_range ~lo:0 ~hi:999) ] in
+  let pset = Profile_set.create schema in
+  for i = 0 to 199 do
+    let lo = 900 + (i mod 50) and width = 2 + (i mod 7) in
+    Profile_set.add pset
+      (Profile.create_exn schema [ ("x", between lo (min 999 (lo + width))) ])
+    |> ignore
+  done;
+  let events =
+    Array.init 512 (fun i ->
+        (* First 7/8 of the batch miss the hot region entirely; the
+           last chunk carries all the expensive events. *)
+        let x = if i < 448 then i mod 800 else 900 + (i mod 100) in
+        Event.create_exn schema [ ("x", Value.Int x) ])
+  in
+  (flat_of pset, events)
+
+let test_stealing_under_skew () =
+  let flat, events = skewed_scenario () in
+  let pool = Lazy.force shared in
+  let expect, seq_ops = sequential flat events in
+  let got_ops = Ops.create () in
+  let got = Pool.match_batch ~ops:got_ops pool flat events in
+  Alcotest.(check bool) "skewed batch matches sequential" true (got = expect);
+  Alcotest.(check bool) "skewed batch ops identical" true
+    (ops_eq seq_ops got_ops);
+  Alcotest.(check bool) "steal counter readable" true
+    (Pool.last_steals pool >= 0)
+
+let test_shutdown_no_leak () =
+  (* Shutdown joins the workers: repeated create/shutdown cycles far
+     past the runtime's live-domain cap prove nothing leaks. *)
+  let flat, events = skewed_scenario () in
+  let small = Array.sub events 0 32 in
+  let expect, _ = sequential flat small in
+  for _ = 1 to 150 do
+    let p = Pool.create ~domains:3 () in
+    (* Workers spawn lazily: none before the first batch, all of them
+       after, zero once shutdown has joined them. *)
+    assert (Pool.live_workers p = 0);
+    let got = Pool.match_batch p flat small in
+    assert (got = expect);
+    assert (Pool.live_workers p = 2);
+    Pool.shutdown p;
+    assert (Pool.live_workers p = 0)
+  done;
+  let p = Pool.create ~domains:3 () in
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *);
+  Alcotest.(check int) "workers joined" 0 (Pool.live_workers p);
+  (try
+     ignore (Pool.match_batch p flat small);
+     Alcotest.fail "match_batch accepted after shutdown"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (Pool.match_shards p
+         (Shard.build
+            (Profile_set.create
+               (Schema.create_exn [ ("x", Domain_.int_range ~lo:0 ~hi:9) ])))
+         [||]);
+    Alcotest.fail "match_shards accepted after shutdown"
+  with Invalid_argument _ -> ()
+
+let test_single_domain_pool () =
+  let flat, events = skewed_scenario () in
+  let p = Pool.create ~domains:1 () in
+  Alcotest.(check int) "d1 spawns nothing" 0 (Pool.live_workers p);
+  let expect, _ = sequential flat events in
+  Alcotest.(check bool) "d1 matches sequential" true
+    (Pool.match_batch p flat events = expect);
+  Pool.shutdown p
+
+(* ------------------------------------------------------------------ *)
+(* Profile-partition shards. *)
+
+let prop_shard_equals_flat =
+  QCheck.Test.make
+    ~name:"shards(k) = unsharded matches, events counted once" ~count:30
+    (QCheck.make (Gen.scenario ~max_attrs:3 ~max_p:15 ~n_events:15 ()))
+    (fun (_, pset, events) ->
+      let flat = flat_of pset in
+      let batch = Array.of_list events in
+      let expect, _ = sequential flat batch in
+      let pool = Lazy.force shared in
+      List.for_all
+        (fun k ->
+          let sh = Shard.build ~shards:k pset in
+          (* Single-domain axis: Shard.match_list per event. *)
+          let cur = Shard.cursor sh in
+          let list_ops = Ops.create () in
+          let by_list =
+            Array.map
+              (fun e -> Array.of_list (Shard.match_list ~ops:list_ops sh cur e))
+              batch
+          in
+          (* Pool axis: whole batch against every shard. *)
+          let pool_ops = Ops.create () in
+          let by_pool = Pool.match_shards ~ops:pool_ops pool sh batch in
+          by_list = expect && by_pool = expect
+          && list_ops.Ops.events = Array.length batch
+          && pool_ops.Ops.events = Array.length batch
+          && list_ops.Ops.comparisons = pool_ops.Ops.comparisons
+          && list_ops.Ops.matches = pool_ops.Ops.matches)
+        [ 1; 2; 3; 5 ])
+
+let test_shard_edges () =
+  let schema = Schema.create_exn [ ("x", Domain_.int_range ~lo:0 ~hi:9) ] in
+  let empty = Profile_set.create schema in
+  let sh = Shard.build ~shards:4 empty in
+  Alcotest.(check int) "empty set clamps to one shard" 1 (Shard.count sh);
+  let e = Event.create_exn schema [ ("x", Value.Int 3) ] in
+  Alcotest.(check (list int)) "empty shard matches nothing" []
+    (Shard.match_list sh (Shard.cursor sh) e);
+  (try
+     ignore (Shard.build ~shards:0 empty);
+     Alcotest.fail "shards:0 accepted"
+   with Invalid_argument _ -> ());
+  let one = Profile_set.create schema in
+  ignore
+    (Profile_set.add one
+       (Profile.create_exn schema
+          [ ("x", between 2 5) ]));
+  let sh1 = Shard.build ~shards:8 one in
+  Alcotest.(check int) "shards clamp to population" 1 (Shard.count sh1);
+  Alcotest.(check int) "revision captured" (Profile_set.revision one)
+    (Shard.revision sh1);
+  (* Foreign cursor rejected. *)
+  let two = Profile_set.create schema in
+  ignore
+    (Profile_set.add two
+       (Profile.create_exn schema
+          [ ("x", between 0 9) ]));
+  ignore
+    (Profile_set.add two
+       (Profile.create_exn schema
+          [ ("x", between 1 4) ]));
+  let sh2 = Shard.build ~shards:2 two in
+  try
+    ignore (Shard.match_list sh2 (Shard.cursor sh1) e);
+    Alcotest.fail "foreign shard cursor accepted"
+  with Invalid_argument _ -> ()
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "pool"
+    [
+      ( "determinism",
+        [
+          qt prop_pool_equals_sequential;
+          qt prop_persistent_equals_spawn;
+          qt prop_shard_equals_flat;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "stealing under skewed cost" `Quick
+            test_stealing_under_skew;
+          Alcotest.test_case "shutdown joins workers (no leak)" `Quick
+            test_shutdown_no_leak;
+          Alcotest.test_case "single-domain pool" `Quick
+            test_single_domain_pool;
+          Alcotest.test_case "shard edges" `Quick test_shard_edges;
+        ] );
+    ]
