@@ -2,7 +2,7 @@
 # + the seconds-scale bench smoke).
 
 .PHONY: all build test check faultcheck recovercheck tracecheck scalecheck \
-  shardcheck bench bench-smoke bench-json clean
+  shardcheck netcheck bench bench-smoke bench-json clean
 
 all: build
 
@@ -15,7 +15,7 @@ test:
 check:
 	dune build @all && dune runtest && $(MAKE) faultcheck \
 	  && $(MAKE) recovercheck && $(MAKE) tracecheck && $(MAKE) scalecheck \
-	  && $(MAKE) shardcheck && $(MAKE) bench-smoke
+	  && $(MAKE) shardcheck && $(MAKE) netcheck && $(MAKE) bench-smoke
 
 # Fault-injection suite: the supervised-delivery unit tests plus the
 # deterministic CLI demo pinned by test/cram/faults.t.
@@ -62,6 +62,15 @@ scalecheck:
 shardcheck:
 	dune build test/test_pool.exe
 	GENAS_TEST_DOMAINS=2 ./_build/default/test/test_pool.exe
+
+# Networking suite: wire-codec bounds, socket round trips, covering
+# propagation on the wire, fault-driven reconnect + WAL catch-up, the
+# fork-based two-process exchange, and the networked ≡ Router
+# differential (test_transport), plus the two-process CLI demo pinned
+# by test/cram/netcheck.t (docs/NETWORKING.md).
+netcheck:
+	dune build test/test_transport.exe bin/genas_cli.exe @test/cram/netcheck
+	./_build/default/test/test_transport.exe -q
 
 bench:
 	dune exec bench/main.exe -- all

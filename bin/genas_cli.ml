@@ -1100,6 +1100,158 @@ let jsoncheck_cmd =
              (used by the cram tests against the metrics exporter)")
     Term.(const run_jsoncheck $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* Networked brokers: serve a broker over a socket / drive one from a
+   scripted client (see docs/NETWORKING.md).                           *)
+
+let net_schema = function
+  | Some path -> or_die (load_schema path)
+  | None -> journal_schema ()
+
+let run_serve addr_s schema_path dir snapshot_every aggregate connections =
+  let module Server = Genas_ens.Broker_server in
+  let module Journal = Genas_ens.Journal in
+  let module Transport = Genas_ens.Transport in
+  let addr = or_die (Transport.addr_of_string addr_s) in
+  let schema = net_schema schema_path in
+  let b =
+    match dir with
+    | Some dir ->
+      let journal =
+        try Journal.config ~snapshot_every dir
+        with Invalid_argument msg -> or_die (Error msg)
+      in
+      Broker.create ~journal ~aggregate schema
+    | None -> Broker.create ~aggregate schema
+  in
+  let srv = Server.create ~broker:b addr in
+  Printf.printf "serving %s\n%!" (Transport.addr_to_string addr);
+  Server.serve ~connections srv;
+  Printf.printf "served %d connection(s), cursor %d\n" connections
+    (Server.cursor srv);
+  Broker.close b
+
+let run_connect addr_s schema_path name =
+  let module Client = Genas_ens.Broker_client in
+  let module Transport = Genas_ens.Transport in
+  let addr = or_die (Transport.addr_of_string addr_s) in
+  let schema = net_schema schema_path in
+  let c = or_die (Client.connect ~name schema addr) in
+  let deliver who n =
+    Printf.printf "deliver %s <- %s\n%!" who
+      (Lang.event_to_string schema n.Genas_ens.Notification.event)
+  in
+  let split_colon line =
+    match String.index_opt line ':' with
+    | None -> Error "expected 'WHO : BODY'"
+    | Some i ->
+      Ok
+        ( String.trim (String.sub line 0 i),
+          String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+  in
+  let run_line line =
+    let word, rest =
+      match String.index_opt line ' ' with
+      | None -> (line, "")
+      | Some i ->
+        ( String.sub line 0 i,
+          String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+    in
+    match word with
+    | "sub" ->
+      let* who, body = split_colon rest in
+      let* tok = Client.subscribe c ~subscriber:who body (deliver who) in
+      Printf.printf "sub %s token=%d forwarded=%d\n" who tok
+        (List.length (Client.forwarded_tokens c));
+      Ok ()
+    | "pub" ->
+      let* ev = Lang.parse_event schema rest in
+      let* local = Client.publish c ev in
+      Printf.printf "pub ok local=%d\n" local;
+      Ok ()
+    | "await" ->
+      let n = try int_of_string rest with Failure _ -> 1 in
+      Printf.printf "await applied=%d\n" (Client.await_deliveries c n);
+      Ok ()
+    | "replay" ->
+      let* applied, complete = Client.replay c in
+      Printf.printf "replay applied=%d complete=%b\n" applied complete;
+      Ok ()
+    | "quit" -> Ok ()
+    | other -> Error (Printf.sprintf "unknown command %S" other)
+  in
+  let rec loop () =
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some raw ->
+      let line = String.trim raw in
+      if line = "" || line.[0] = '#' then loop ()
+      else if line = "quit" then ()
+      else begin
+        (match run_line line with
+        | Ok () -> ()
+        | Error e -> Printf.printf "error: %s\n" e);
+        loop ()
+      end
+  in
+  loop ();
+  Client.close c;
+  Printf.printf "bye applied=%d dropped=%d\n" (Client.applied_total c)
+    (Client.duplicates_dropped c)
+
+let addr_arg =
+  Arg.(required & opt (some string) None
+       & info [ "addr" ] ~docv:"ADDR"
+           ~doc:"Socket address: unix:PATH or tcp:HOST:PORT.")
+
+let net_schema_arg =
+  Arg.(value & opt (some string) None
+       & info [ "schema" ] ~docv:"FILE"
+           ~doc:"Schema file (default: the demo topic/severity schema).")
+
+let serve_cmd =
+  let dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"Journal directory (enables durability and client \
+                   catch-up replay).")
+  in
+  let snapshot_arg =
+    Arg.(value & opt int 1000
+         & info [ "snapshot-every" ] ~doc:"Journaled ops between snapshots.")
+  in
+  let aggregate_arg =
+    Arg.(value & flag
+         & info [ "aggregate" ]
+             ~doc:"Aggregate subscriptions through the covering lattice \
+                   (epoch swaps recompile off the publish path).")
+  in
+  let connections_arg =
+    Arg.(value & opt int 1
+         & info [ "connections" ] ~docv:"N"
+             ~doc:"Serve exactly N connections, then exit (0: forever).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a broker over a Unix-domain or TCP socket speaking the \
+             checksummed Codec wire protocol: remote subscribe/publish, \
+             covering-aware delivery, and (with --dir) write-ahead \
+             durability with since-cursor catch-up replay")
+    Term.(const run_serve $ addr_arg $ net_schema_arg $ dir_arg
+          $ snapshot_arg $ aggregate_arg $ connections_arg)
+
+let connect_cmd =
+  let name_arg =
+    Arg.(value & opt string "client"
+         & info [ "name" ] ~docv:"NAME" ~doc:"Client (node) name.")
+  in
+  Cmd.v
+    (Cmd.info "connect"
+       ~doc:"Connect a scripted client to a served broker; stdin drives \
+             it: 'sub WHO : BODY', 'pub attr = v, ...', 'await N', \
+             'replay', 'quit'")
+    Term.(const run_connect $ addr_arg $ net_schema_arg $ name_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -1109,4 +1261,4 @@ let () =
              ~doc:"Distribution-based event filtering (GENAS)")
           [ match_cmd; plan_cmd; simulate_cmd; dists_cmd; figures_cmd;
             bench_cmd; metrics_cmd; faults_cmd; journal_cmd; recover_cmd;
-            trace_cmd; jsoncheck_cmd; repl_cmd ]))
+            trace_cmd; jsoncheck_cmd; repl_cmd; serve_cmd; connect_cmd ]))

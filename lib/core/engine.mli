@@ -91,7 +91,31 @@ val swap_due : t -> bool
 val swap_now : t -> unit
 (** Force an epoch swap: recompile the flat matcher over the current
     covering-minimal roots and install it, absorbing the learned
-    event-distribution history. On a plain engine this is {!rebuild}. *)
+    event-distribution history. On a plain engine this is {!rebuild}.
+    Any background compile in flight is discarded first, so the result
+    is deterministic regardless of {!set_async_swaps}. *)
+
+val set_async_swaps : t -> bool -> unit
+(** Run epoch-swap recompiles on a background domain instead of the
+    calling (publishing) thread. When churn exceeds [delta_cap], the
+    compile-heavy phase (decompose, re-statistics, reorder, flat
+    compile) is handed to a fresh domain over a snapshot of the
+    lattice roots; the result is installed atomically at the next
+    churn or match entry once ready, reconciled against any churn that
+    landed while it compiled. Matching stays exact throughout — the
+    delta/dead tables keep covering the gap, they just drain at
+    install time rather than inline. Switching {e off} installs any
+    in-flight compile first (joining its domain). No-op on plain
+    engines. Default off: synchronous swaps remain bit-deterministic
+    for differential tests. *)
+
+val async_swaps : t -> bool
+
+val await_swap : t -> unit
+(** Block until any in-flight background compile finishes and install
+    it. Call before tearing down an engine with {!set_async_swaps} on
+    — an unjoined domain at process exit aborts the runtime. No-op
+    when nothing is pending. *)
 
 val absorbed_profiles : t -> int
 (** Live profiles the lattice absorbs (not in the covering-minimal

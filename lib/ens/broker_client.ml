@@ -1,0 +1,449 @@
+(* A downstream broker node speaking the Codec wire protocol.
+
+   The client owns a full local broker holding every local
+   subscription; what it forwards upstream is only the covering-
+   minimal root set of its own lattice (the PR-6 aggregation applied
+   across the link, per the paper's covering-based propagation): a
+   subscription covered by an already-forwarded profile costs zero
+   wire traffic, and a newly-broader subscription retires the narrower
+   ones it demotes. Delivered events are re-matched by the local
+   broker, so absorbed subscriptions still receive exactly their own
+   matches.
+
+   Exactly-once local application over at-least-once transport: every
+   [Deliver] carries the journal cursor of its publish record; applied
+   (cursor, idx) pairs are remembered and duplicates (link faults,
+   replay overlap) dropped. [complete_to] tracks the cursor up to
+   which this client is known complete — advanced only at clean
+   protocol points (fresh connect, replay completion) — and is the
+   [since] sent on catch-up, so anything a fault swallowed is
+   recovered by replay and deduplicated on arrival. *)
+
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Profile = Genas_profile.Profile
+module Lang = Genas_profile.Lang
+module Lattice = Genas_profile.Lattice
+
+type sub = {
+  token : int;
+  subscriber : string;
+  body : string;
+  sid : Broker.sub_id;
+}
+
+type inbox_entry = Msg of Transport.message | Closed of string
+
+type t = {
+  schema : Schema.t;
+  name : string;
+  addr : Transport.addr;
+  seed : int;
+  max_frame : int;
+  local : Broker.t;
+  lat : Lattice.t;
+  subs : (int, sub) Hashtbl.t;
+  forwarded : (int, unit) Hashtbl.t;
+  applied : (int * int, unit) Hashtbl.t;
+  mutable complete_to : int;
+  mutable next_token : int;
+  mutable conn : Transport.conn option;
+  mutable rx : Thread.t option;
+  inbox : inbox_entry Queue.t;
+  inbox_mutex : Mutex.t;
+  inbox_cond : Condition.t;
+  mutable applied_total : int;
+  mutable duplicates : int;
+  mutable wire_subscribes : int;
+  mutable wire_unsubscribes : int;
+}
+
+let local t = t.local
+
+let name t = t.name
+
+let connected t = t.conn <> None
+
+let complete_to t = t.complete_to
+
+let applied_total t = t.applied_total
+
+let duplicates_dropped t = t.duplicates
+
+let wire_subscribes t = t.wire_subscribes
+
+let wire_unsubscribes t = t.wire_unsubscribes
+
+let forwarded_tokens t =
+  Hashtbl.fold (fun tok () acc -> tok :: acc) t.forwarded []
+  |> List.sort Int.compare
+
+(* {1 Inbox} *)
+
+let inbox_push t entry =
+  Mutex.lock t.inbox_mutex;
+  Queue.push entry t.inbox;
+  Condition.signal t.inbox_cond;
+  Mutex.unlock t.inbox_mutex
+
+let inbox_pop_opt t =
+  Mutex.lock t.inbox_mutex;
+  let e = Queue.take_opt t.inbox in
+  Mutex.unlock t.inbox_mutex;
+  e
+
+(* Blocking pop: safe because the receiver thread always terminates
+   the stream with [Closed] when the connection dies. *)
+let inbox_pop t =
+  Mutex.lock t.inbox_mutex;
+  while Queue.is_empty t.inbox do
+    Condition.wait t.inbox_cond t.inbox_mutex
+  done;
+  let e = Queue.pop t.inbox in
+  Mutex.unlock t.inbox_mutex;
+  e
+
+let spawn_rx t conn =
+  t.rx <-
+    Some
+      (Thread.create
+         (fun () ->
+           let rec loop () =
+             match Transport.recv conn t.schema with
+             | Ok msg ->
+               inbox_push t (Msg msg);
+               if msg <> Transport.Bye then loop ()
+             | Error `Eof -> inbox_push t (Closed "connection closed")
+             | Error (`Corrupt msg) -> inbox_push t (Closed ("corrupt frame: " ^ msg))
+           in
+           loop ())
+         ())
+
+(* {1 Delivery application} *)
+
+let apply_deliver t ~cursor ~idx event =
+  let duplicate = cursor >= 0 && Hashtbl.mem t.applied (cursor, idx) in
+  if duplicate then begin
+    t.duplicates <- t.duplicates + 1;
+    false
+  end
+  else begin
+    if cursor >= 0 then Hashtbl.replace t.applied (cursor, idx) ();
+    (* Local re-matching delivers to exactly the local subscriptions
+       the event satisfies — including ones absorbed below a forwarded
+       covering profile. *)
+    ignore (Broker.publish t.local event);
+    t.applied_total <- t.applied_total + 1;
+    true
+  end
+
+let handle_async t = function
+  | Transport.Deliver { cursor; idx; event; replay = _ } ->
+    ignore (apply_deliver t ~cursor ~idx event)
+  | _ -> ()
+
+(* Drain everything already queued without blocking; returns how many
+   deliveries were applied. *)
+let drain t =
+  let applied = ref 0 in
+  let rec loop () =
+    match inbox_pop_opt t with
+    | None -> ()
+    | Some (Closed _) -> t.conn <- None
+    | Some (Msg (Transport.Deliver { cursor; idx; event; replay = _ })) ->
+      if apply_deliver t ~cursor ~idx event then incr applied;
+      loop ()
+    | Some (Msg _) -> loop ()
+  in
+  loop ();
+  !applied
+
+(* Busy-poll the inbox until [n] deliveries were applied by this call
+   or [timeout] elapses. *)
+let await_deliveries ?(timeout = 5.0) t n =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let applied = ref 0 in
+  while !applied < n && Unix.gettimeofday () < deadline do
+    applied := !applied + drain t;
+    if !applied < n then Thread.yield ()
+  done;
+  !applied
+
+(* {1 Requests} *)
+
+let send t msg =
+  match t.conn with
+  | None -> Error "not connected"
+  | Some conn -> (
+    try
+      Transport.send conn msg;
+      Ok ()
+    with Sys_error _ | Unix.Unix_error _ ->
+      t.conn <- None;
+      Error "connection lost")
+
+let await_ack t token =
+  let rec loop () =
+    match inbox_pop t with
+    | Closed reason ->
+      t.conn <- None;
+      Error reason
+    | Msg (Transport.Ack { token = tk; cursor; count }) when tk = token ->
+      Ok (cursor, count)
+    | Msg (Transport.Nack { token = tk; reason }) when tk = token ->
+      Error reason
+    | Msg (Transport.Reject { reason }) ->
+      t.conn <- None;
+      Error reason
+    | Msg m ->
+      handle_async t m;
+      loop ()
+  in
+  loop ()
+
+let request t msg ~token =
+  match send t msg with Error e -> Error e | Ok () -> await_ack t token
+
+(* {1 Covering-gated forwarding} *)
+
+(* Forward exactly the covering-minimal roots of the local lattice.
+   New roots subscribe before retired ones unsubscribe, so upstream
+   coverage never has a window. Disconnected, only the bookkeeping
+   updates — {!reconnect} re-sends the whole forwarded set. *)
+let sync_forwarded t =
+  let target = Hashtbl.create 8 in
+  List.iter (fun (tok, _) -> Hashtbl.replace target tok ()) (Lattice.minimal_cover t.lat);
+  let to_add =
+    Hashtbl.fold
+      (fun tok () acc -> if Hashtbl.mem t.forwarded tok then acc else tok :: acc)
+      target []
+  and to_drop =
+    Hashtbl.fold
+      (fun tok () acc -> if Hashtbl.mem target tok then acc else tok :: acc)
+      t.forwarded []
+  in
+  let err = ref None in
+  let keep e = if !err = None then err := Some e in
+  if connected t then begin
+    List.iter
+      (fun tok ->
+        match Hashtbl.find_opt t.subs tok with
+        | None -> ()
+        | Some sub -> (
+          t.wire_subscribes <- t.wire_subscribes + 1;
+          match
+            request t
+              (Transport.Subscribe
+                 { token = tok; subscriber = sub.subscriber; body = sub.body })
+              ~token:tok
+          with
+          | Ok _ -> ()
+          | Error e -> keep e))
+      (List.sort Int.compare to_add);
+    List.iter
+      (fun tok ->
+        t.wire_unsubscribes <- t.wire_unsubscribes + 1;
+        match request t (Transport.Unsubscribe { token = tok }) ~token:tok with
+        | Ok _ -> ()
+        | Error e -> keep e)
+      (List.sort Int.compare to_drop)
+  end;
+  Hashtbl.reset t.forwarded;
+  Hashtbl.iter (fun tok () -> Hashtbl.replace t.forwarded tok ()) target;
+  match !err with None -> Ok () | Some e -> Error e
+
+(* {1 Lifecycle} *)
+
+let handshake t conn =
+  let fingerprint = Codec.schema_fingerprint t.schema in
+  Transport.send conn
+    (Transport.Hello
+       { version = Transport.protocol_version; fingerprint; name = t.name });
+  match Transport.recv conn t.schema with
+  | Ok (Transport.Welcome { version = _; fingerprint = fp; cursor }) ->
+    if String.equal fp fingerprint then Ok cursor
+    else Error "server schema fingerprint mismatch"
+  | Ok (Transport.Reject { reason }) -> Error reason
+  | Ok m -> Error ("unexpected " ^ Transport.message_name m)
+  | Error `Eof -> Error "connection closed during handshake"
+  | Error (`Corrupt m) -> Error ("corrupt frame during handshake: " ^ m)
+
+let connect ?(name = "client") ?(seed = Transport.default_seed)
+    ?(max_frame = Codec.default_max_frame) schema addr =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  match Transport.dial ~seed ~max_frame addr with
+  | exception (Unix.Unix_error _ as e) ->
+    Error (Printf.sprintf "dial %s: %s" (Transport.addr_to_string addr)
+             (Printexc.to_string e))
+  | conn -> (
+    let t =
+      {
+        schema;
+        name;
+        addr;
+        seed;
+        max_frame;
+        local = Broker.create schema;
+        lat = Lattice.create schema;
+        subs = Hashtbl.create 8;
+        forwarded = Hashtbl.create 8;
+        applied = Hashtbl.create 64;
+        complete_to = -1;
+        next_token = 1;
+        conn = None;
+        rx = None;
+        inbox = Queue.create ();
+        inbox_mutex = Mutex.create ();
+        inbox_cond = Condition.create ();
+        applied_total = 0;
+        duplicates = 0;
+        wire_subscribes = 0;
+        wire_unsubscribes = 0;
+      }
+    in
+    match handshake t conn with
+    | Error e ->
+      Transport.close_conn conn;
+      Error e
+    | Ok cursor ->
+      (* Records before this point predate the client: it is complete
+         up to them by definition. *)
+      t.complete_to <- cursor - 1;
+      t.conn <- Some conn;
+      spawn_rx t conn;
+      Ok t)
+
+let join_rx t =
+  match t.rx with
+  | Some th ->
+    t.rx <- None;
+    (try Thread.join th with _ -> ())
+  | None -> ()
+
+let disconnect t =
+  (match t.conn with
+  | Some conn ->
+    t.conn <- None;
+    (try Transport.send conn Transport.Bye with Sys_error _ | Unix.Unix_error _ -> ());
+    (* Wake the receiver out of its blocking read before joining it —
+       merely closing the fd would leave it parked forever. *)
+    Transport.shutdown_conn conn;
+    join_rx t;
+    Transport.close_conn conn
+  | None -> join_rx t);
+  Mutex.lock t.inbox_mutex;
+  Queue.clear t.inbox;
+  Mutex.unlock t.inbox_mutex
+
+(* Redial after a disconnect, keeping every cursor and subscription:
+   re-send the forwarded root set, then replay from [complete_to] with
+   duplicates dropped by the applied set. *)
+let reconnect t =
+  disconnect t;
+  match Transport.dial ~seed:t.seed ~max_frame:t.max_frame t.addr with
+  | exception (Unix.Unix_error _ as e) ->
+    Error (Printf.sprintf "dial %s: %s" (Transport.addr_to_string t.addr)
+             (Printexc.to_string e))
+  | conn -> (
+    match handshake t conn with
+    | Error e ->
+      Transport.close_conn conn;
+      Error e
+    | Ok _cursor ->
+      t.conn <- Some conn;
+      spawn_rx t conn;
+      let err = ref None in
+      Hashtbl.iter
+        (fun tok () ->
+          match Hashtbl.find_opt t.subs tok with
+          | None -> ()
+          | Some sub -> (
+            t.wire_subscribes <- t.wire_subscribes + 1;
+            match
+              request t
+                (Transport.Subscribe
+                   { token = tok; subscriber = sub.subscriber; body = sub.body })
+                ~token:tok
+            with
+            | Ok _ -> ()
+            | Error e -> if !err = None then err := Some e))
+        t.forwarded;
+      (match !err with None -> Ok () | Some e -> Error e))
+
+let close t =
+  disconnect t;
+  Broker.close t.local
+
+(* {1 Operations} *)
+
+let subscribe t ?subscriber body handler =
+  let subscriber =
+    match subscriber with Some s -> s | None -> t.name
+  in
+  match Lang.parse_profile t.schema body with
+  | Error e -> Error e
+  | Ok profile ->
+    let token = t.next_token in
+    t.next_token <- token + 1;
+    let sid = Broker.subscribe t.local ~subscriber ~profile handler in
+    ignore (Lattice.add t.lat ~id:token profile);
+    Hashtbl.replace t.subs token { token; subscriber; body; sid };
+    (match sync_forwarded t with
+    | Ok () -> Ok token
+    | Error e -> Error e)
+
+let unsubscribe t token =
+  match Hashtbl.find_opt t.subs token with
+  | None -> Error (Printf.sprintf "unknown subscription token %d" token)
+  | Some sub ->
+    ignore (Broker.unsubscribe t.local sub.sid);
+    Hashtbl.remove t.subs token;
+    ignore (Lattice.remove t.lat token);
+    sync_forwarded t
+
+let publish t event =
+  (* Local delivery first — the origin node matches its own
+     subscriptions directly, as {!Router.publish} does. *)
+  let n = Broker.publish t.local event in
+  let token = t.next_token in
+  t.next_token <- token + 1;
+  match
+    request t (Transport.Publish { token; events = [| event |] }) ~token
+  with
+  | Error e -> Error e
+  | Ok (cursor, count) ->
+    (* Mark our own events applied: the server never echoes them back,
+       but a later replay would — and the local broker already
+       delivered them. *)
+    if cursor >= 0 then
+      for i = 0 to count - 1 do
+        Hashtbl.replace t.applied (cursor + i, 0) ()
+      done;
+    Ok n
+
+(* Catch-up replay from the last known-complete cursor. Returns
+   [(applied, complete)]: newly applied events, and whether the server
+   still retained the whole range ([false] = a snapshot discarded part
+   of it; see docs/NETWORKING.md on resync). *)
+let replay t =
+  match send t (Transport.Replay { since = t.complete_to }) with
+  | Error e -> Error e
+  | Ok () ->
+    let applied = ref 0 in
+    let rec loop () =
+      match inbox_pop t with
+      | Closed reason ->
+        t.conn <- None;
+        Error reason
+      | Msg (Transport.Deliver { cursor; idx; event; replay = _ }) ->
+        if apply_deliver t ~cursor ~idx event then incr applied;
+        loop ()
+      | Msg (Transport.Replay_done { cursor; complete }) ->
+        t.complete_to <- cursor - 1;
+        Ok (!applied, complete)
+      | Msg m ->
+        handle_async t m;
+        loop ()
+    in
+    loop ()

@@ -1,0 +1,111 @@
+(** A downstream broker node: local matching, covering-gated upstream
+    forwarding, and journal-cursor catch-up over the wire.
+
+    The client owns a full in-memory {!Broker.t} holding every local
+    subscription; handlers fire through the normal supervised delivery
+    path whether the triggering event was published locally or arrived
+    as a [Deliver] frame. Upstream it forwards only the covering-
+    minimal roots of its own subscription lattice — the paper's
+    covering relation applied {e across the link}: a subscription
+    covered by an already-forwarded profile sends nothing, and a new
+    broader profile retires the narrower forwards it demotes
+    ({!wire_subscribes}/{!wire_unsubscribes} count the actual frames).
+    Delivered events are re-matched locally, so absorbed subscriptions
+    still receive exactly their own matches.
+
+    Delivery semantics: the transport is at-least-once (link faults
+    duplicate or delay frames; replay overlaps live delivery); applied
+    (cursor, idx) pairs are remembered and duplicates dropped, making
+    local application exactly-once relative to the server's journal.
+    After a disconnect, {!reconnect} re-sends the forwarded set and
+    {!replay} redelivers everything after {!complete_to} out of the
+    server's WAL. See docs/NETWORKING.md. *)
+
+type t
+
+val connect :
+  ?name:string ->
+  ?seed:int ->
+  ?max_frame:int ->
+  Genas_model.Schema.t ->
+  Transport.addr ->
+  (t, string) result
+(** Dial, handshake (protocol version + schema fingerprint), and
+    start the receive thread. The schema must fingerprint-identically
+    match the server's or the handshake is rejected. *)
+
+val reconnect : t -> (unit, string) result
+(** Drop any current connection, redial, and re-send the forwarded
+    subscription set. Cursors and the applied set survive, so a
+    following {!replay} is deduplicated. *)
+
+val close : t -> unit
+
+val connected : t -> bool
+
+val name : t -> string
+
+val local : t -> Broker.t
+(** The local broker (all local subscriptions, local counters). *)
+
+(** {1 Operations} *)
+
+val subscribe :
+  t ->
+  ?subscriber:string ->
+  string ->
+  Notification.handler ->
+  (int, string) result
+(** [subscribe t body handler] parses profile-language [body],
+    subscribes locally, and forwards upstream {e only if} the profile
+    becomes a new covering root. Returns the subscription token. *)
+
+val unsubscribe : t -> int -> (unit, string) result
+(** Remove a local subscription; upstream forwards are re-synced to
+    the new covering-minimal set (an absorbed profile's removal sends
+    nothing; a root's removal may promote formerly-covered ones). *)
+
+val publish : t -> Genas_model.Event.t -> (int, string) result
+(** Deliver locally first (origin-node matching), then publish
+    upstream and wait for the acknowledgement. Returns the local
+    notification count. The acknowledged journal cursors are marked
+    applied so a later replay never re-delivers the client's own
+    events. *)
+
+val replay : t -> (int * bool, string) result
+(** Request catch-up from {!complete_to}: the server re-delivers every
+    retained matching publish after it. Returns [(newly_applied,
+    complete)]; [complete = false] means a server snapshot discarded
+    part of the range. Advances {!complete_to} to the server cursor. *)
+
+(** {1 Receiving} *)
+
+val drain : t -> int
+(** Apply every delivery already queued by the receive thread, without
+    blocking. Returns the number applied (duplicates excluded). *)
+
+val await_deliveries : ?timeout:float -> t -> int -> int
+(** Poll {!drain} until [n] deliveries were applied by this call or
+    [timeout] (default 5s) elapses; returns the number applied. *)
+
+(** {1 Introspection} *)
+
+val complete_to : t -> int
+(** Journal cursor up to which this client is known complete (the
+    [since] a replay would send). *)
+
+val applied_total : t -> int
+(** Remote deliveries applied to the local broker (lifetime). *)
+
+val duplicates_dropped : t -> int
+(** Deliveries dropped by (cursor, idx) dedup — duplicate link faults
+    and replay overlap. *)
+
+val forwarded_tokens : t -> int list
+(** Tokens currently forwarded upstream (the covering-minimal roots),
+    ascending. *)
+
+val wire_subscribes : t -> int
+(** [Subscribe] frames actually sent (covering suppresses the rest). *)
+
+val wire_unsubscribes : t -> int

@@ -1,0 +1,430 @@
+(* A networked broker: one OS process serving the Codec wire protocol
+   over a listening socket, one thread per connection, all broker state
+   serialized under a single lock (the broker itself is the paper's
+   single-node engine — the transport adds fan-out, not parallelism).
+
+   Delivery: a remote subscription installs a normal broker handler
+   that queues the event on its connection; after the publish returns,
+   the queues flush as [Deliver] frames tagged with the journal cursor
+   of the publish record, skipping the originating connection (its own
+   local broker already delivered — the Router's no-echo rule). The
+   deterministic link-fault plan applies to live deliveries only:
+   control frames and catch-up replay are never faulted, mirroring how
+   {!Router.route} faults forwarding but not subscription management. *)
+
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Profile = Genas_profile.Profile
+module Lang = Genas_profile.Lang
+module Engine = Genas_core.Engine
+
+let log_src = Logs.Src.create "genas.server" ~doc:"GENAS broker server"
+
+module Log = (val Logs.src_log log_src)
+
+type conn_state = {
+  id : int;
+  conn : Transport.conn;
+  mutable peer : string;
+  subs : (int, Broker.sub_id * Profile.t) Hashtbl.t;
+  mutable pending : (int * int * Event.t) list;  (* newest first *)
+  mutable delayed : (int * int * Event.t) list;
+  mutable alive : bool;
+}
+
+type t = {
+  broker : Broker.t;
+  addr : Transport.addr;
+  seed : int;
+  max_frame : int;
+  faults : Fault.t option;
+  lock : Mutex.t;
+  conns : (int, conn_state) Hashtbl.t;
+  mutable next_conn : int;
+  mutable plain_cursor : int;  (* op counter for unjournaled brokers *)
+  mutable cur_cursor : int;  (* cursor of the publish in flight *)
+  mutable lsock : Unix.file_descr option;
+  mutable acceptor : Thread.t option;
+  mutable workers : Thread.t list;
+  mutable closed_conns : int;
+  mutable stopping : bool;
+  mutable crashed : bool;
+}
+
+let create ?faults ?(seed = Transport.default_seed)
+    ?(max_frame = Codec.default_max_frame) ~broker addr =
+  (* A peer that disconnects mid-write must surface as [Sys_error],
+     not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  (* The broker is long-lived now: epoch-swap recompiles move off the
+     publishing thread onto a background domain. *)
+  if Engine.aggregated (Broker.engine broker) then
+    Engine.set_async_swaps (Broker.engine broker) true;
+  {
+    broker;
+    addr;
+    seed;
+    max_frame;
+    faults;
+    lock = Mutex.create ();
+    conns = Hashtbl.create 8;
+    next_conn = 1;
+    plain_cursor = 0;
+    cur_cursor = -1;
+    lsock = None;
+    acceptor = None;
+    workers = [];
+    closed_conns = 0;
+    stopping = false;
+    crashed = false;
+  }
+
+let broker t = t.broker
+
+let crashed t = t.crashed
+
+let cursor t =
+  match Broker.wal t.broker with
+  | Some j -> Journal.ops_logged j
+  | None -> t.plain_cursor
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let safe_send cs msg =
+  if cs.alive then
+    try Transport.send cs.conn msg
+    with Sys_error _ | Unix.Unix_error _ -> cs.alive <- false
+
+(* One [Deliver] per (connection, event) even when several of the
+   connection's subscriptions match: within one publish the same
+   physical event reaches every matching handler consecutively, so a
+   head check suffices. *)
+let enqueue_delivery t cs (n : Notification.t) =
+  let ev = n.Notification.event in
+  match cs.pending with
+  | (_, _, e) :: _ when e == ev -> ()
+  | _ -> cs.pending <- (t.cur_cursor, 0, ev) :: cs.pending
+
+let link_fate t cs =
+  match t.faults with
+  | None -> `Forward
+  | Some f -> Fault.link_fate f ~src:0 ~dst:cs.id
+
+(* Flush queued deliveries after a publish, applying the link-fault
+   plan per frame. Delayed frames from the previous flush go out first
+   (they are "late", not lost); the originating connection's queue is
+   discarded unsent. Called under the lock. *)
+let flush_deliveries ?(skip = -1) t =
+  Hashtbl.iter
+    (fun _ cs ->
+      let pending = List.rev cs.pending in
+      cs.pending <- [];
+      if cs.id = skip then ()
+      else begin
+        let late = List.rev cs.delayed in
+        cs.delayed <- [];
+        List.iter
+          (fun (cur, idx, event) ->
+            safe_send cs (Transport.Deliver { cursor = cur; idx; replay = false; event }))
+          late;
+        List.iter
+          (fun ((cur, idx, event) as entry) ->
+            match link_fate t cs with
+            | `Forward ->
+              safe_send cs
+                (Transport.Deliver { cursor = cur; idx; replay = false; event })
+            | `Duplicate ->
+              let d = Transport.Deliver { cursor = cur; idx; replay = false; event } in
+              safe_send cs d;
+              safe_send cs d
+            | `Drop -> ()
+            | `Delay -> cs.delayed <- entry :: cs.delayed)
+          pending
+      end)
+    t.conns
+
+(* Publish a batch of events through the broker, one journal record
+   per event (so cursors are dense and the acknowledgement can name
+   the whole range), then flush deliveries. Returns the cursor of the
+   first record. Called under the lock. *)
+let publish_locked ?(skip = -1) t events =
+  let first = cursor t in
+  (try
+     Array.iter
+       (fun ev ->
+         t.cur_cursor <- cursor t;
+         ignore (Broker.publish t.broker ev);
+         if Broker.wal t.broker = None then
+           t.plain_cursor <- t.plain_cursor + 1)
+       events
+   with Fault.Crashed _ as e ->
+     t.crashed <- true;
+     t.stopping <- true;
+     raise e);
+  flush_deliveries ~skip t;
+  first
+
+let publish t events =
+  with_lock t (fun () -> publish_locked t events)
+
+let connections t = with_lock t (fun () -> Hashtbl.length t.conns)
+
+(* {1 Connection protocol} *)
+
+let drop_conn t cs =
+  with_lock t (fun () ->
+      if Hashtbl.mem t.conns cs.id then begin
+        Hashtbl.remove t.conns cs.id;
+        t.closed_conns <- t.closed_conns + 1;
+        Hashtbl.iter
+          (fun _ (sid, _) -> ignore (Broker.unsubscribe t.broker sid))
+          cs.subs;
+        Hashtbl.reset cs.subs
+      end);
+  cs.alive <- false;
+  Transport.close_conn cs.conn
+
+let handle_subscribe t cs ~token ~subscriber ~body =
+  with_lock t (fun () ->
+      if Hashtbl.mem cs.subs token then
+        safe_send cs (Transport.Ack { token; cursor = cursor t; count = 0 })
+      else
+        match Lang.parse_profile (Broker.schema t.broker) body with
+        | Error reason -> safe_send cs (Transport.Nack { token; reason })
+        | Ok profile ->
+          let sid =
+            Broker.subscribe t.broker ~subscriber ~profile
+              (enqueue_delivery t cs)
+          in
+          Hashtbl.replace cs.subs token (sid, profile);
+          safe_send cs (Transport.Ack { token; cursor = cursor t; count = 0 }))
+
+let handle_unsubscribe t cs ~token =
+  with_lock t (fun () ->
+      (match Hashtbl.find_opt cs.subs token with
+      | Some (sid, _) ->
+        ignore (Broker.unsubscribe t.broker sid);
+        Hashtbl.remove cs.subs token
+      | None -> ());
+      safe_send cs (Transport.Ack { token; cursor = cursor t; count = 0 }))
+
+let handle_publish t cs ~token ~events =
+  with_lock t (fun () ->
+      match publish_locked ~skip:cs.id t events with
+      | first ->
+        safe_send cs
+          (Transport.Ack
+             {
+               token;
+               cursor = (if Broker.wal t.broker = None then -1 else first);
+               count = Array.length events;
+             })
+      | exception Fault.Crashed _ ->
+        (* Simulated process death: the record may or may not be
+           durable; the client learns from the dropped connection and
+           recovers through reconnect + replay. *)
+        ())
+
+(* Catch-up: re-deliver journaled publishes after the client's cursor,
+   filtered through this connection's own subscriptions. Never
+   link-faulted — replay is the recovery path the faults are recovered
+   {e through}. *)
+let handle_replay t cs ~since =
+  with_lock t (fun () ->
+      match Broker.wal t.broker with
+      | None ->
+        safe_send cs
+          (Transport.Replay_done { cursor = cursor t; complete = false })
+      | Some j ->
+        let batches, complete = Journal.events_since j ~since in
+        let schema = Broker.schema t.broker in
+        List.iter
+          (fun (opi, events) ->
+            Array.iteri
+              (fun idx event ->
+                let matches =
+                  Hashtbl.fold
+                    (fun _ (_, profile) acc ->
+                      acc || Profile.matches schema profile event)
+                    cs.subs false
+                in
+                if matches then
+                  safe_send cs
+                    (Transport.Deliver { cursor = opi; idx; replay = true; event }))
+              events)
+          batches;
+        safe_send cs (Transport.Replay_done { cursor = cursor t; complete }))
+
+let serve_conn t cs =
+  let schema = Broker.schema t.broker in
+  let rec loop () =
+    if t.stopping || not cs.alive then ()
+    else
+      match Transport.recv cs.conn schema with
+      | Error `Eof -> ()
+      | Error (`Corrupt msg) ->
+        (* A torn frame, checksum failure, or hostile length kills the
+           connection — the stream is unrecoverable past a framing
+           error — but never the server. *)
+        Log.warn (fun m -> m "conn %d (%s): corrupt frame: %s" cs.id cs.peer msg);
+        safe_send cs (Transport.Reject { reason = "corrupt frame: " ^ msg })
+      | Ok msg -> (
+        match msg with
+        | Transport.Bye -> ()
+        | Transport.Subscribe { token; subscriber; body } ->
+          handle_subscribe t cs ~token ~subscriber ~body;
+          loop ()
+        | Transport.Unsubscribe { token } ->
+          handle_unsubscribe t cs ~token;
+          loop ()
+        | Transport.Publish { token; events } ->
+          handle_publish t cs ~token ~events;
+          if t.stopping then () else loop ()
+        | Transport.Replay { since } ->
+          handle_replay t cs ~since;
+          loop ()
+        | Transport.Hello _ | Transport.Welcome _ | Transport.Reject _
+        | Transport.Ack _ | Transport.Nack _ | Transport.Deliver _
+        | Transport.Replay_done _ ->
+          safe_send cs
+            (Transport.Nack
+               {
+                 token = -1;
+                 reason = "unexpected " ^ Transport.message_name msg;
+               });
+          loop ())
+  in
+  let handshake () =
+    match Transport.recv cs.conn schema with
+    | Ok (Transport.Hello { version; fingerprint; name }) ->
+      if version <> Transport.protocol_version then
+        safe_send cs
+          (Transport.Reject
+             {
+               reason =
+                 Printf.sprintf "protocol version %d, expected %d" version
+                   Transport.protocol_version;
+             })
+      else begin
+        let own = Codec.schema_fingerprint schema in
+        if not (String.equal fingerprint own) then
+          safe_send cs (Transport.Reject { reason = "schema fingerprint mismatch" })
+        else begin
+          cs.peer <- name;
+          with_lock t (fun () ->
+              safe_send cs
+                (Transport.Welcome
+                   {
+                     version = Transport.protocol_version;
+                     fingerprint = own;
+                     cursor = cursor t;
+                   }));
+          loop ()
+        end
+      end
+    | Ok _ | Error _ ->
+      safe_send cs (Transport.Reject { reason = "expected hello" })
+  in
+  (try handshake () with Sys_error _ | Unix.Unix_error _ -> ());
+  drop_conn t cs
+
+(* {1 Lifecycle} *)
+
+let ensure_listening t =
+  match t.lsock with
+  | Some _ -> ()
+  | None -> t.lsock <- Some (Transport.listen t.addr)
+
+let accept_one t sock =
+  let conn = Transport.accept ~seed:t.seed ~max_frame:t.max_frame sock in
+  let cs =
+    with_lock t (fun () ->
+        let id = t.next_conn in
+        t.next_conn <- id + 1;
+        let cs =
+          {
+            id;
+            conn;
+            peer = "";
+            subs = Hashtbl.create 4;
+            pending = [];
+            delayed = [];
+            alive = true;
+          }
+        in
+        Hashtbl.replace t.conns id cs;
+        cs)
+  in
+  let th = Thread.create (fun () -> serve_conn t cs) () in
+  t.workers <- th :: t.workers
+
+let close_listener t =
+  match t.lsock with
+  | Some sock ->
+    t.lsock <- None;
+    (* Like connections: a thread blocked in accept(2) is only woken
+       by shutdown, not by close. *)
+    (try Unix.shutdown sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    (match t.addr with
+    | Transport.Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
+    | Transport.Tcp _ -> ())
+  | None -> ()
+
+let teardown t =
+  close_listener t;
+  let conns = with_lock t (fun () -> Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []) in
+  (* Shut down (not close): wake each worker out of its blocking read
+     with EOF; the worker's own exit path closes the descriptor. *)
+  List.iter (fun cs -> cs.alive <- false; Transport.shutdown_conn cs.conn) conns;
+  List.iter (fun th -> try Thread.join th with _ -> ()) t.workers;
+  t.workers <- [];
+  Engine.await_swap (Broker.engine t.broker)
+
+(* Run the accept loop on the calling thread. With [connections = n],
+   accept exactly [n] connections and return once all of them have
+   disconnected; with [0], loop until {!stop}. *)
+let serve ?(connections = 0) t =
+  ensure_listening t;
+  let sock = Option.get t.lsock in
+  let accepted = ref 0 in
+  (try
+     while
+       (not t.stopping) && (connections = 0 || !accepted < connections)
+     do
+       accept_one t sock;
+       incr accepted
+     done
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  (* Wait for the accepted connections to finish before tearing down. *)
+  List.iter (fun th -> try Thread.join th with _ -> ()) t.workers;
+  t.workers <- [];
+  teardown t
+
+let start t =
+  ensure_listening t;
+  let sock = Option.get t.lsock in
+  t.acceptor <-
+    Some
+      (Thread.create
+         (fun () ->
+           try
+             while not t.stopping do
+               accept_one t sock
+             done
+           with Unix.Unix_error _ | Sys_error _ -> ())
+         ())
+
+let stop t =
+  t.stopping <- true;
+  (* Unblock the acceptor first so no new connection races teardown. *)
+  close_listener t;
+  (match t.acceptor with
+  | Some th ->
+    t.acceptor <- None;
+    (try Thread.join th with _ -> ())
+  | None -> ());
+  teardown t

@@ -1,0 +1,70 @@
+(** A networked broker: serve the {!Transport} wire protocol over a
+    listening socket.
+
+    The server wraps an existing {!Broker.t} (so it composes with
+    [Broker.recover] for crash-restart) and runs one thread per
+    accepted connection, with every broker operation serialized under
+    one lock. Remote subscriptions install ordinary broker handlers
+    that queue events per connection; after each publish the queues
+    flush as [Deliver] frames tagged with the journal cursor of the
+    publish record — the originating connection is skipped (its local
+    broker already delivered; the {!Router} no-echo rule on the wire).
+
+    Durability and catch-up: on a journaled broker each accepted event
+    is one WAL record, acknowledged with its op index; a reconnecting
+    client sends [Replay { since }] and receives every retained record
+    after its cursor filtered through its own subscriptions, out of
+    {!Journal.events_since}. A deterministic {!Fault} plan applies
+    [link_fate ~src:0 ~dst:conn_id] to live deliveries (drop /
+    duplicate / delay); control frames and replay are never faulted.
+    An injected journal crash ({!Fault.Crashed}) stops the server —
+    simulated process death — and clients recover via reconnect +
+    replay against a [Broker.recover]ed instance.
+
+    Creating a server on an aggregated broker switches its engine to
+    background epoch swaps ({!Genas_core.Engine.set_async_swaps}) —
+    the long-lived publish loop must not stall on recompiles. *)
+
+type t
+
+val create :
+  ?faults:Fault.t ->
+  ?seed:int ->
+  ?max_frame:int ->
+  broker:Broker.t ->
+  Transport.addr ->
+  t
+(** [seed] is the frame-checksum seed (must match the clients');
+    [max_frame] bounds accepted frame payloads (hostile length
+    prefixes fail before allocation). The server borrows [broker] —
+    the caller keeps ownership and may publish/subscribe locally
+    through it concurrently via {!publish}. *)
+
+val serve : ?connections:int -> t -> unit
+(** Run the accept loop on the calling thread. [connections = n]
+    accepts exactly [n] connections and returns once all have
+    disconnected (the CLI [serve] entry point for scripted runs);
+    [0] (default) loops until {!stop} from another thread. *)
+
+val start : t -> unit
+(** Spawn the accept loop on a background thread and return. *)
+
+val stop : t -> unit
+(** Close the listener and every connection, join all threads, and
+    wait out any in-flight background engine swap. *)
+
+val publish : t -> Genas_model.Event.t array -> int
+(** Publish locally on the server node (one journal record per event)
+    and flush deliveries to every connection. Returns the cursor of
+    the first record. *)
+
+val broker : t -> Broker.t
+
+val connections : t -> int
+(** Currently connected peers. *)
+
+val cursor : t -> int
+(** The op index the next accepted publish record will carry. *)
+
+val crashed : t -> bool
+(** An injected journal crash stopped the server. *)

@@ -113,20 +113,39 @@ let r_end r =
    A frame is [u32 LE payload-length | i64 LE checksum | payload]. *)
 
 let frame_header_len = 12
-let max_frame_len = 1 lsl 30
+
+(* A frame's length prefix is attacker-controlled on a socket (and
+   bit-rot-controlled on disk): it must be bounds-checked *before* any
+   allocation is sized from it. 16 MiB comfortably holds every record
+   the codec produces while keeping a hostile header from demanding a
+   multi-GiB buffer. *)
+let default_max_frame = 1 lsl 24
 
 let frame ~seed payload =
+  if String.length payload > 0x7fff_ffff then
+    invalid_arg "Codec.frame: payload exceeds the u32 length prefix";
   let b = Buffer.create (String.length payload + frame_header_len) in
   Buffer.add_int32_le b (Int32.of_int (String.length payload));
   w_i64 b (checksum ~seed payload);
   Buffer.add_string b payload;
   Buffer.contents b
 
+(* Decode a header's length field defensively: [Error] rather than
+   trusting a negative or oversized value. *)
+let frame_length ~max_frame header ~pos =
+  let plen = Int32.to_int (String.get_int32_le header pos) in
+  if plen < 0 then Error (Printf.sprintf "negative frame length %d" plen)
+  else if plen > max_frame then
+    Error
+      (Printf.sprintf "frame length %d exceeds the %d-byte limit" plen
+         max_frame)
+  else Ok plen
+
 (* Parse consecutive frames from [buf] starting at [pos]; stops at the
    first torn or corrupt frame. Returns the payloads, the byte offset
    of the valid prefix's end, and whether bytes were left over (a
    truncation-worthy tail). *)
-let parse_frames ~seed buf ~pos =
+let parse_frames ?(max_frame = default_max_frame) ~seed buf ~pos =
   let len = String.length buf in
   let payloads = ref [] in
   let ok_end = ref pos in
@@ -135,23 +154,47 @@ let parse_frames ~seed buf ~pos =
   while not !stop do
     if !cursor + frame_header_len > len then stop := true
     else begin
-      let plen = Int32.to_int (String.get_int32_le buf !cursor) in
-      let sum = String.get_int64_le buf (!cursor + 4) in
-      if plen < 0 || plen > max_frame_len
-         || !cursor + frame_header_len + plen > len
-      then stop := true
-      else begin
-        let payload = String.sub buf (!cursor + frame_header_len) plen in
-        if Int64.equal (checksum ~seed payload) sum then begin
-          payloads := payload :: !payloads;
-          cursor := !cursor + frame_header_len + plen;
-          ok_end := !cursor
+      match frame_length ~max_frame buf ~pos:!cursor with
+      | Error _ -> stop := true
+      | Ok plen ->
+        let sum = String.get_int64_le buf (!cursor + 4) in
+        if !cursor + frame_header_len + plen > len then stop := true
+        else begin
+          let payload = String.sub buf (!cursor + frame_header_len) plen in
+          if Int64.equal (checksum ~seed payload) sum then begin
+            payloads := payload :: !payloads;
+            cursor := !cursor + frame_header_len + plen;
+            ok_end := !cursor
+          end
+          else stop := true
         end
-        else stop := true
-      end
     end
   done;
   (List.rev !payloads, !ok_end, !ok_end < len)
+
+(* Streaming frame reader for sockets. The header is read first and its
+   length field validated against [max_frame] {e before} the payload
+   buffer is allocated, so a corrupt or hostile peer cannot force a
+   negative or multi-GiB allocation. *)
+let read_frame ?(max_frame = default_max_frame) ~seed ic =
+  let header = Bytes.create frame_header_len in
+  match really_input ic header 0 frame_header_len with
+  | exception End_of_file -> Error `Eof
+  | exception Sys_error _ -> Error `Eof
+  | () -> (
+    let header = Bytes.unsafe_to_string header in
+    match frame_length ~max_frame header ~pos:0 with
+    | Error msg -> Error (`Corrupt msg)
+    | Ok plen -> (
+      let sum = String.get_int64_le header 4 in
+      let payload = Bytes.create plen in
+      match really_input ic payload 0 plen with
+      | exception End_of_file -> Error (`Corrupt "truncated frame payload")
+      | exception Sys_error _ -> Error (`Corrupt "truncated frame payload")
+      | () ->
+        let payload = Bytes.unsafe_to_string payload in
+        if Int64.equal (checksum ~seed payload) sum then Ok payload
+        else Error (`Corrupt "frame checksum mismatch")))
 
 (* {1 Domain encodings} *)
 

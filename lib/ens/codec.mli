@@ -51,16 +51,34 @@ val r_end : reader -> unit
 val frame_header_len : int
 (** Bytes of framing overhead per record (length + checksum). *)
 
+val default_max_frame : int
+(** Default payload-size ceiling (16 MiB). A frame's length prefix is
+    untrusted input — on a socket an adversarial peer controls it, on
+    disk bit rot does — so every reader validates it against a bound
+    {e before} sizing an allocation from it. *)
+
 val frame : seed:int -> string -> string
-(** Wrap a payload as [u32 LE length | i64 LE checksum | payload]. *)
+(** Wrap a payload as [u32 LE length | i64 LE checksum | payload].
+    @raise Invalid_argument if the payload exceeds the u32 prefix. *)
 
 val parse_frames :
-  seed:int -> string -> pos:int -> string list * int * bool
+  ?max_frame:int -> seed:int -> string -> pos:int -> string list * int * bool
 (** [parse_frames ~seed buf ~pos] decodes consecutive frames starting
-    at [pos]; stops at the first torn or checksum-failing frame.
-    Returns [(payloads, valid_end, tail_corrupt)]: the decoded payloads
-    in order, the byte offset one past the last valid frame, and
-    whether undecodable bytes remain after it. *)
+    at [pos]; stops at the first torn or checksum-failing frame (or one
+    whose declared length is negative or exceeds [max_frame], default
+    {!default_max_frame}). Returns [(payloads, valid_end,
+    tail_corrupt)]: the decoded payloads in order, the byte offset one
+    past the last valid frame, and whether undecodable bytes remain
+    after it. *)
+
+val read_frame :
+  ?max_frame:int -> seed:int -> in_channel ->
+  (string, [ `Eof | `Corrupt of string ]) result
+(** Read one frame from a channel (blocking). The 12-byte header is
+    read first and its length field bound-checked against [max_frame]
+    before the payload buffer is allocated. [`Eof] means the channel
+    ended cleanly {e between} frames; a tear inside a frame, a checksum
+    mismatch, or an out-of-bounds length is [`Corrupt]. *)
 
 (** {1 Domain encodings} *)
 

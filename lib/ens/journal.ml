@@ -98,6 +98,7 @@ type t = {
   schema : Schema.t;
   mutable oc : out_channel;
   mutable next_op : int;
+  mutable base_op : int;  (* lowest op index retained in journal.wal *)
   mutable since_snapshot : int;
   mutable file_bytes : int;
   mutable appends : int;
@@ -126,7 +127,13 @@ let set_size t n =
   t.file_bytes <- n;
   with_ins t (fun ins -> Metrics.Gauge.set ins.size_bytes (float_of_int n))
 
+(* fsync only makes kernel buffers durable: channel-buffered bytes that
+   were never flushed are silently excluded from the barrier. Flushing
+   here — unconditionally, before the descriptor sync — means no append
+   path can reorder the two and report durability for data still
+   sitting in the [out_channel] buffer. *)
 let do_fsync t =
+  flush t.oc;
   if t.config.fsync then begin
     match t.instruments with
     | None -> Unix.fsync (Unix.descr_of_out_channel t.oc)
@@ -162,6 +169,7 @@ let create ?metrics schema cfg =
       schema;
       oc;
       next_op = 0;
+      base_op = 0;
       since_snapshot = 0;
       file_bytes = header_len;
       appends = 0;
@@ -179,6 +187,8 @@ let create ?metrics schema cfg =
 let configuration t = t.config
 
 let ops_logged t = t.next_op
+
+let base_op t = t.base_op
 
 let appends t = t.appends
 
@@ -317,7 +327,8 @@ let append t ?faults op =
     raise (Fault.Crashed Fault.Crash_before_fsync)
   | Some Fault.Crash_mid_snapshot | Some Fault.Crash_after_journal | None -> (
     output_string t.oc framed;
-    flush t.oc;
+    (* [do_fsync] flushes before syncing — the channel buffer is on
+       disk before durability is claimed, on every append path. *)
     do_fsync t;
     t.next_op <- opi + 1;
     t.since_snapshot <- t.since_snapshot + 1;
@@ -345,8 +356,8 @@ let wrote_snapshot t =
   close_out t.oc;
   t.oc <- open_out_bin (wal_file t.config);
   output_string t.oc (header t.config.seed);
-  flush t.oc;
   do_fsync t;
+  t.base_op <- t.next_op;
   t.since_snapshot <- 0;
   t.snapshots <- t.snapshots + 1;
   set_size t header_len;
@@ -367,6 +378,29 @@ let read_file path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Catch-up cursor for the transport layer: re-read the live WAL and
+   return every published event batch recorded after op [since],
+   oldest first. [complete] is false when a snapshot has restarted the
+   log past the cursor — the retained tail no longer reaches back to
+   [since + 1], so the caller must fall back to full state transfer. *)
+let events_since t ~since =
+  flush t.oc;
+  let contents = read_file (wal_file t.config) in
+  let payloads, _, _ =
+    if String.length contents < header_len then ([], 0, false)
+    else Codec.parse_frames ~seed:t.config.seed contents ~pos:header_len
+  in
+  let batches =
+    List.filter_map
+      (fun payload ->
+        match decode_op t.schema payload with
+        | opi, Publish { events; _ } when opi > since -> Some (opi, events)
+        | _ -> None
+        | exception Codec.Corrupt _ -> None)
+      payloads
+  in
+  (batches, t.base_op <= since + 1)
 
 let recover ?metrics schema cfg =
   let path = wal_file cfg in
@@ -418,6 +452,11 @@ let recover ?metrics schema cfg =
               (fun acc (opi, _) -> Stdlib.max acc (opi + 1))
               (last_covered + 1) records
           in
+          let base_op =
+            List.fold_left
+              (fun acc (opi, _) -> Stdlib.min acc opi)
+              next_op records
+          in
           let oc =
             open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
           in
@@ -427,6 +466,7 @@ let recover ?metrics schema cfg =
               schema;
               oc;
               next_op;
+              base_op;
               since_snapshot = List.length tail;
               file_bytes = valid_end;
               appends = 0;

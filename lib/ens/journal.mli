@@ -120,6 +120,20 @@ val ops_logged : t -> int
 (** Operations journaled over the broker's lifetime (monotonic across
     snapshots and recoveries) — the index the next record will carry. *)
 
+val base_op : t -> int
+(** Lowest op index still retained in [journal.wal] (snapshots restart
+    the log, discarding earlier records). [ops_logged] when the current
+    log is empty. *)
+
+val events_since :
+  t -> since:int -> (int * Genas_model.Event.t array) list * bool
+(** Catch-up replay cursor: every [Publish] batch journaled with op
+    index [> since], oldest first, each tagged with its op index. The
+    boolean is [false] when a snapshot has already discarded part of
+    the requested range ([base_op > since + 1]) — the caller saw a gap
+    and must resynchronise some other way. Flushes before reading, so
+    the result includes every append acknowledged so far. *)
+
 val appends : t -> int
 (** Records appended by this handle. *)
 

@@ -1,0 +1,279 @@
+(* Wire transport for networked brokers: Codec frames over stream
+   sockets. Every message is one seeded-FNV-checksummed, length-
+   prefixed frame whose payload starts with a u8 tag; events travel in
+   the same binary encoding the journal uses, so a socket peer and a
+   WAL replay decode through identical code paths. *)
+
+module Event = Genas_model.Event
+module Schema = Genas_model.Schema
+
+let protocol_version = 1
+
+(* {1 Addresses} *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+let addr_to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let addr_of_string s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "address %S: expected unix:PATH or tcp:HOST:PORT" s)
+  | Some i -> (
+    let scheme = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match scheme with
+    | "unix" ->
+      if rest = "" then Error "unix address: empty path"
+      else Ok (Unix_sock rest)
+    | "tcp" -> (
+      match String.rindex_opt rest ':' with
+      | None -> Error (Printf.sprintf "tcp address %S: expected HOST:PORT" rest)
+      | Some j -> (
+        let host = String.sub rest 0 j in
+        let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Tcp (host, p))
+        | _ -> Error (Printf.sprintf "tcp address %S: bad host or port" rest)))
+    | _ -> Error (Printf.sprintf "address scheme %S: expected unix or tcp" scheme))
+
+let sockaddr_of = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+    let ip =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+        | { Unix.ai_addr = Unix.ADDR_INET (ip, _); _ } :: _ -> ip
+        | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+    in
+    Unix.ADDR_INET (ip, port)
+
+(* {1 Messages} *)
+
+type message =
+  | Hello of { version : int; fingerprint : string; name : string }
+  | Welcome of { version : int; fingerprint : string; cursor : int }
+  | Reject of { reason : string }
+  | Subscribe of { token : int; subscriber : string; body : string }
+  | Unsubscribe of { token : int }
+  | Publish of { token : int; events : Event.t array }
+  | Ack of { token : int; cursor : int; count : int }
+  | Nack of { token : int; reason : string }
+  | Deliver of { cursor : int; idx : int; replay : bool; event : Event.t }
+  | Replay of { since : int }
+  | Replay_done of { cursor : int; complete : bool }
+  | Bye
+
+let encode_message msg =
+  let b = Buffer.create 64 in
+  (match msg with
+  | Hello { version; fingerprint; name } ->
+    Codec.w_u8 b 0;
+    Codec.w_int b version;
+    Codec.w_string b fingerprint;
+    Codec.w_string b name
+  | Welcome { version; fingerprint; cursor } ->
+    Codec.w_u8 b 1;
+    Codec.w_int b version;
+    Codec.w_string b fingerprint;
+    Codec.w_int b cursor
+  | Reject { reason } ->
+    Codec.w_u8 b 2;
+    Codec.w_string b reason
+  | Subscribe { token; subscriber; body } ->
+    Codec.w_u8 b 3;
+    Codec.w_int b token;
+    Codec.w_string b subscriber;
+    Codec.w_string b body
+  | Unsubscribe { token } ->
+    Codec.w_u8 b 4;
+    Codec.w_int b token
+  | Publish { token; events } ->
+    Codec.w_u8 b 5;
+    Codec.w_int b token;
+    Codec.w_array Codec.w_event b events
+  | Ack { token; cursor; count } ->
+    Codec.w_u8 b 6;
+    Codec.w_int b token;
+    Codec.w_int b cursor;
+    Codec.w_int b count
+  | Nack { token; reason } ->
+    Codec.w_u8 b 7;
+    Codec.w_int b token;
+    Codec.w_string b reason
+  | Deliver { cursor; idx; replay; event } ->
+    Codec.w_u8 b 8;
+    Codec.w_int b cursor;
+    Codec.w_int b idx;
+    Codec.w_bool b replay;
+    Codec.w_event b event
+  | Replay { since } ->
+    Codec.w_u8 b 9;
+    Codec.w_int b since
+  | Replay_done { cursor; complete } ->
+    Codec.w_u8 b 10;
+    Codec.w_int b cursor;
+    Codec.w_bool b complete
+  | Bye -> Codec.w_u8 b 11);
+  Buffer.contents b
+
+let decode_message schema payload =
+  let r = Codec.reader payload in
+  let msg =
+    match Codec.r_u8 r with
+    | 0 ->
+      let version = Codec.r_int r in
+      let fingerprint = Codec.r_string r in
+      let name = Codec.r_string r in
+      Hello { version; fingerprint; name }
+    | 1 ->
+      let version = Codec.r_int r in
+      let fingerprint = Codec.r_string r in
+      let cursor = Codec.r_int r in
+      Welcome { version; fingerprint; cursor }
+    | 2 -> Reject { reason = Codec.r_string r }
+    | 3 ->
+      let token = Codec.r_int r in
+      let subscriber = Codec.r_string r in
+      let body = Codec.r_string r in
+      Subscribe { token; subscriber; body }
+    | 4 -> Unsubscribe { token = Codec.r_int r }
+    | 5 ->
+      let token = Codec.r_int r in
+      let events = Codec.r_array (Codec.r_event schema) r in
+      Publish { token; events }
+    | 6 ->
+      let token = Codec.r_int r in
+      let cursor = Codec.r_int r in
+      let count = Codec.r_int r in
+      Ack { token; cursor; count }
+    | 7 ->
+      let token = Codec.r_int r in
+      let reason = Codec.r_string r in
+      Nack { token; reason }
+    | 8 ->
+      let cursor = Codec.r_int r in
+      let idx = Codec.r_int r in
+      let replay = Codec.r_bool r in
+      let event = Codec.r_event schema r in
+      Deliver { cursor; idx; replay; event }
+    | 9 -> Replay { since = Codec.r_int r }
+    | 10 ->
+      let cursor = Codec.r_int r in
+      let complete = Codec.r_bool r in
+      Replay_done { cursor; complete }
+    | 11 -> Bye
+    | t -> raise (Codec.Corrupt (Printf.sprintf "bad message tag %d" t))
+  in
+  Codec.r_end r;
+  msg
+
+let message_name = function
+  | Hello _ -> "hello"
+  | Welcome _ -> "welcome"
+  | Reject _ -> "reject"
+  | Subscribe _ -> "subscribe"
+  | Unsubscribe _ -> "unsubscribe"
+  | Publish _ -> "publish"
+  | Ack _ -> "ack"
+  | Nack _ -> "nack"
+  | Deliver _ -> "deliver"
+  | Replay _ -> "replay"
+  | Replay_done _ -> "replay-done"
+  | Bye -> "bye"
+
+(* {1 Connections} *)
+
+(* The checksum seed doubles as a cheap wire-format guard: both ends
+   must agree on it or every frame fails its checksum. *)
+let default_seed = 0x7e75eed
+
+type conn = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  seed : int;
+  max_frame : int;
+  send_mutex : Mutex.t;
+      (* deliveries fan out from whichever connection's thread
+         published, so writes to one peer interleave without this *)
+}
+
+let conn_of_fd ?(seed = default_seed) ?(max_frame = Codec.default_max_frame) fd
+    =
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    seed;
+    max_frame;
+    send_mutex = Mutex.create ();
+  }
+
+let conn_fd c = c.fd
+
+let send c msg =
+  let framed = Codec.frame ~seed:c.seed (encode_message msg) in
+  Mutex.lock c.send_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock c.send_mutex)
+    (fun () ->
+      output_string c.oc framed;
+      flush c.oc)
+
+let recv c schema =
+  match Codec.read_frame ~max_frame:c.max_frame ~seed:c.seed c.ic with
+  | Error _ as e -> e
+  | Ok payload -> (
+    match decode_message schema payload with
+    | msg -> Ok msg
+    | exception Codec.Corrupt m -> Error (`Corrupt m))
+
+(* Closing an fd does not wake a thread already blocked in read(2);
+   shutdown does, with EOF. Always shut down before joining a thread
+   that may be parked in {!recv}. *)
+let shutdown_conn c =
+  (try flush c.oc with Sys_error _ -> ());
+  try Unix.shutdown c.fd Unix.SHUTDOWN_ALL
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
+
+let close_conn c =
+  (try flush c.oc with Sys_error _ -> ());
+  try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+(* {1 Listening and dialing} *)
+
+let listen ?(backlog = 16) addr =
+  let sock =
+    match addr with
+    | Unix_sock path ->
+      if Sys.file_exists path then Unix.unlink path;
+      Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+    | Tcp _ ->
+      let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt s Unix.SO_REUSEADDR true;
+      s
+  in
+  (try Unix.bind sock (sockaddr_of addr)
+   with e ->
+     Unix.close sock;
+     raise e);
+  Unix.listen sock backlog;
+  sock
+
+let accept ?seed ?max_frame sock =
+  let fd, _ = Unix.accept sock in
+  conn_of_fd ?seed ?max_frame fd
+
+let dial ?seed ?max_frame addr =
+  let domain =
+    match addr with Unix_sock _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (sockaddr_of addr)
+   with e ->
+     Unix.close fd;
+     raise e);
+  conn_of_fd ?seed ?max_frame fd

@@ -1,0 +1,104 @@
+(** Wire transport for networked brokers.
+
+    One {!message} is one {!Codec} frame on a stream socket: a u32 LE
+    length prefix, a seeded FNV-1a 64 checksum, and a tagged binary
+    payload using the same event/value encodings as the write-ahead
+    journal. Frames are read through {!Codec.read_frame}, so a torn,
+    oversized, or bit-flipped frame surfaces as a decode error before
+    any allocation trusts the peer's length field.
+
+    The protocol (see docs/NETWORKING.md): a client opens with [Hello]
+    carrying the protocol version and its schema fingerprint; the
+    server answers [Welcome] (with its current journal cursor) or
+    [Reject]. Requests ([Subscribe]/[Unsubscribe]/[Publish]/[Replay])
+    carry a client-chosen token echoed in [Ack]/[Nack]; [Deliver]
+    frames arrive unsolicited, each tagged with the journal cursor of
+    the publish record it came from so receivers deduplicate
+    at-least-once delivery into exactly-once local application. *)
+
+val protocol_version : int
+
+(** {1 Addresses} *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+val addr_of_string : string -> (addr, string) result
+(** Parse ["unix:PATH"] or ["tcp:HOST:PORT"]. *)
+
+val addr_to_string : addr -> string
+
+(** {1 Messages} *)
+
+type message =
+  | Hello of { version : int; fingerprint : string; name : string }
+  | Welcome of { version : int; fingerprint : string; cursor : int }
+  | Reject of { reason : string }
+  | Subscribe of { token : int; subscriber : string; body : string }
+      (** [body] is profile-language source — the same re-parse
+          contract as {!Store} and the journal *)
+  | Unsubscribe of { token : int }
+  | Publish of { token : int; events : Genas_model.Event.t array }
+  | Ack of { token : int; cursor : int; count : int }
+      (** for a publish: the journal op index its record carries
+          ([-1] unjournaled) and the number of events accepted *)
+  | Nack of { token : int; reason : string }
+  | Deliver of {
+      cursor : int;  (** journal op index of the carrying record *)
+      idx : int;  (** position within that record's event array *)
+      replay : bool;  (** catch-up replay, not a live delivery *)
+      event : Genas_model.Event.t;
+    }
+  | Replay of { since : int }
+      (** request redelivery of every journaled publish with op index
+          [> since] that matches this connection's subscriptions *)
+  | Replay_done of { cursor : int; complete : bool }
+      (** [complete = false]: a snapshot discarded part of the range *)
+  | Bye
+
+val encode_message : message -> string
+
+val decode_message : Genas_model.Schema.t -> string -> message
+(** @raise Codec.Corrupt on a malformed payload. *)
+
+val message_name : message -> string
+
+(** {1 Connections} *)
+
+type conn
+
+val default_seed : int
+(** Default frame-checksum seed; both peers must use the same one. *)
+
+val conn_of_fd : ?seed:int -> ?max_frame:int -> Unix.file_descr -> conn
+
+val conn_fd : conn -> Unix.file_descr
+
+val send : conn -> message -> unit
+(** Frame and write one message (mutex-serialized per connection —
+    deliveries fan out from other connections' threads). *)
+
+val recv :
+  conn ->
+  Genas_model.Schema.t ->
+  (message, [ `Eof | `Corrupt of string ]) result
+(** Block for the next frame. [`Eof] is a clean close between frames;
+    anything undecodable — torn frame, checksum mismatch, hostile
+    length, bad tag — is [`Corrupt]. *)
+
+val shutdown_conn : conn -> unit
+(** [shutdown(2)] both directions, waking any thread blocked in
+    {!recv} with [`Eof] — closing the descriptor alone does not.
+    Always shut down before joining a receiver thread. *)
+
+val close_conn : conn -> unit
+
+(** {1 Listening and dialing} *)
+
+val listen : ?backlog:int -> addr -> Unix.file_descr
+(** Bind and listen. A stale Unix-domain socket file is replaced; TCP
+    sockets set [SO_REUSEADDR]. *)
+
+val accept : ?seed:int -> ?max_frame:int -> Unix.file_descr -> conn
+(** Block for one inbound connection. *)
+
+val dial : ?seed:int -> ?max_frame:int -> addr -> conn

@@ -44,6 +44,7 @@ type t = {
   mutable spawned : bool;
   mutable shut : bool;
   mutable steals_last : int;
+  mutable cleanup_key : int option;  (* slot in the at_exit registry *)
 }
 
 let claim j w =
@@ -112,9 +113,50 @@ let worker ts w =
   in
   loop 0
 
+(* Process-exit cleanup: ONE [at_exit] hook over a removable registry,
+   installed lazily on the first persistent pool. Registering a fresh
+   closure per pool would retain every pool ever created for the life
+   of the process (the at_exit list cannot be pruned), which leaks
+   under create/shutdown cycling. *)
+let cleanup_mutex = Mutex.create ()
+let cleanup_pools : (int, t) Hashtbl.t = Hashtbl.create 8
+let cleanup_next = ref 0
+let cleanup_hooked = ref false
+
+let registered_cleanups () =
+  Mutex.lock cleanup_mutex;
+  let n = Hashtbl.length cleanup_pools in
+  Mutex.unlock cleanup_mutex;
+  n
+
+let register_cleanup run t =
+  Mutex.lock cleanup_mutex;
+  let key = !cleanup_next in
+  incr cleanup_next;
+  Hashtbl.replace cleanup_pools key t;
+  if not !cleanup_hooked then begin
+    cleanup_hooked := true;
+    at_exit (fun () ->
+        Mutex.lock cleanup_mutex;
+        let pending = Hashtbl.fold (fun _ p acc -> p :: acc) cleanup_pools [] in
+        Hashtbl.reset cleanup_pools;
+        Mutex.unlock cleanup_mutex;
+        List.iter run pending)
+  end;
+  Mutex.unlock cleanup_mutex;
+  key
+
+let unregister_cleanup key =
+  Mutex.lock cleanup_mutex;
+  Hashtbl.remove cleanup_pools key;
+  Mutex.unlock cleanup_mutex
+
 let shutdown t =
   if not t.shut then begin
     t.shut <- true;
+    (match t.cleanup_key with
+    | Some key -> unregister_cleanup key
+    | None -> ());
     match t.turnstile with
     | None -> ()
     | Some ts ->
@@ -148,11 +190,13 @@ let create ?domains ?(persistent = true) () =
   in
   let t =
     { domains = d; persistent; turnstile; handles = []; spawned = false;
-      shut = false; steals_last = 0 }
+      shut = false; steals_last = 0; cleanup_key = None }
   in
   (* A process exit with workers still parked would abort on the
-     runtime's live-domain check; make teardown automatic. *)
-  if turnstile <> None then at_exit (fun () -> shutdown t);
+     runtime's live-domain check; make teardown automatic. [shutdown]
+     removes the registration, so cycled pools are not retained. *)
+  if turnstile <> None then
+    t.cleanup_key <- Some (register_cleanup shutdown t);
   t
 
 (* Workers are spawned on the first parallel batch, not at [create]:

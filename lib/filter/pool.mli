@@ -58,7 +58,15 @@ val last_steals : t -> int
 
 val shutdown : t -> unit
 (** Stop and join the worker domains. Idempotent. Subsequent
-    [match_batch]/[match_shards] calls raise [Invalid_argument]. *)
+    [match_batch]/[match_shards] calls raise [Invalid_argument].
+    Also removes the pool from the process-exit cleanup registry, so
+    cycled pools are not retained for the life of the process. *)
+
+val registered_cleanups : unit -> int
+(** Pools currently registered for automatic shutdown at process exit
+    (persistent multi-domain pools not yet {!shutdown}). A single
+    [at_exit] hook walks this registry; creating and shutting down
+    pools in a loop must leave it — and the at_exit list — flat. *)
 
 val match_batch :
   ?ops:Ops.t -> t -> Flat.t -> Genas_model.Event.t array ->

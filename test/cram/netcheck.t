@@ -1,0 +1,35 @@
+Two OS processes speak the checksummed Codec wire protocol over a
+Unix-domain socket: serve runs a journaled broker for exactly one
+connection; connect drives it from a script. The client's own publish
+is delivered by its local broker and never echoed back by the server,
+and a redundant replay out of the server's WAL is fully deduplicated
+by the applied (cursor, idx) set — at-least-once on the wire,
+exactly-once locally.
+
+  $ ../../bin/genas_cli.exe serve --addr unix:net.sock --dir wal --connections 1 > server.out 2>&1 &
+  $ for _ in $(seq 100); do [ -S net.sock ] && break; sleep 0.1; done
+
+  $ ../../bin/genas_cli.exe connect --addr unix:net.sock --name demo <<'EOF'
+  > sub alice : severity >= 5
+  > pub topic = weather, severity = 7
+  > pub topic = traffic, severity = 2
+  > replay
+  > quit
+  > EOF
+  sub alice token=1 forwarded=1
+  deliver alice <- topic = "weather", severity = 7
+  pub ok local=1
+  pub ok local=0
+  replay applied=0 complete=true
+  bye applied=0 dropped=1
+
+The server saw the connection out and exited on its own; the journal
+directory holds the write-ahead log a reconnecting client would replay
+from.
+
+  $ wait
+  $ cat server.out
+  serving unix:net.sock
+  served 1 connection(s), cursor 4
+  $ ls wal
+  journal.wal

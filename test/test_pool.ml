@@ -134,6 +134,7 @@ let test_shutdown_no_leak () =
   let flat, events = skewed_scenario () in
   let small = Array.sub events 0 32 in
   let expect, _ = sequential flat small in
+  let cleanups_before = Pool.registered_cleanups () in
   for _ = 1 to 150 do
     let p = Pool.create ~domains:3 () in
     (* Workers spawn lazily: none before the first batch, all of them
@@ -142,9 +143,15 @@ let test_shutdown_no_leak () =
     let got = Pool.match_batch p flat small in
     assert (got = expect);
     assert (Pool.live_workers p = 2);
+    assert (Pool.registered_cleanups () = cleanups_before + 1);
     Pool.shutdown p;
-    assert (Pool.live_workers p = 0)
+    assert (Pool.live_workers p = 0);
+    assert (Pool.registered_cleanups () = cleanups_before)
   done;
+  (* Shutdown deregisters the at_exit entry, so 150 cycles leave the
+     registry exactly where it started — no closure accumulation. *)
+  Alcotest.(check int) "cleanup registry drained" cleanups_before
+    (Pool.registered_cleanups ());
   let p = Pool.create ~domains:3 () in
   Pool.shutdown p;
   Pool.shutdown p (* idempotent *);
