@@ -2,7 +2,7 @@
 # + the seconds-scale bench smoke).
 
 .PHONY: all build test check faultcheck recovercheck tracecheck scalecheck \
-  shardcheck netcheck bench bench-smoke bench-json clean
+  shardcheck netcheck meshcheck bench bench-smoke bench-json clean
 
 all: build
 
@@ -15,7 +15,8 @@ test:
 check:
 	dune build @all && dune runtest && $(MAKE) faultcheck \
 	  && $(MAKE) recovercheck && $(MAKE) tracecheck && $(MAKE) scalecheck \
-	  && $(MAKE) shardcheck && $(MAKE) netcheck && $(MAKE) bench-smoke
+	  && $(MAKE) shardcheck && $(MAKE) netcheck && $(MAKE) meshcheck \
+	  && $(MAKE) bench-smoke
 
 # Fault-injection suite: the supervised-delivery unit tests plus the
 # deterministic CLI demo pinned by test/cram/faults.t.
@@ -71,6 +72,19 @@ shardcheck:
 netcheck:
 	dune build test/test_transport.exe bin/genas_cli.exe @test/cram/netcheck
 	./_build/default/test/test_transport.exe -q
+
+# Mesh-robustness suite: heartbeat liveness (half-dead peers reaped
+# both ends), request deadlines, bounded-backpressure slow-consumer
+# shedding, auto-reconnect + replay exactly-once, multi-hop relay ≡
+# flat-Router differentials, the seeded chaos plan over a 3-node
+# chain, the kill/restart soak (thread/fd leak check), and the
+# genas_net_* metrics surface (test_mesh), plus the three-process
+# relay demo pinned by test/cram/meshcheck.t. Wrapped in a hard
+# timeout: every socket test already carries its own in-test deadline,
+# but a wedged kernel-level hang must fail CI, not park it.
+meshcheck:
+	dune build test/test_mesh.exe bin/genas_cli.exe @test/cram/meshcheck
+	timeout 300 ./_build/default/test/test_mesh.exe -q
 
 bench:
 	dune exec bench/main.exe -- all

@@ -1108,7 +1108,19 @@ let net_schema = function
   | Some path -> or_die (load_schema path)
   | None -> journal_schema ()
 
-let run_serve addr_s schema_path dir snapshot_every aggregate connections =
+(* [--heartbeat 0] disables liveness; anything positive is the ping
+   period in seconds, with [--misses] silent periods declaring a peer
+   dead. *)
+let net_heartbeat period misses =
+  let module Transport = Genas_ens.Transport in
+  if period <= 0.0 then None
+  else
+    match Transport.heartbeat ~period_s:period ~misses () with
+    | hb -> Some hb
+    | exception Invalid_argument msg -> or_die (Error msg)
+
+let run_serve addr_s schema_path dir snapshot_every aggregate connections name
+    hb_period hb_misses max_queue =
   let module Server = Genas_ens.Broker_server in
   let module Journal = Genas_ens.Journal in
   let module Transport = Genas_ens.Transport in
@@ -1124,19 +1136,60 @@ let run_serve addr_s schema_path dir snapshot_every aggregate connections =
       Broker.create ~journal ~aggregate schema
     | None -> Broker.create ~aggregate schema
   in
-  let srv = Server.create ~broker:b addr in
+  let srv =
+    Server.create ~name ~heartbeat:(net_heartbeat hb_period hb_misses)
+      ~max_queue ~broker:b addr
+  in
   Printf.printf "serving %s\n%!" (Transport.addr_to_string addr);
   Server.serve ~connections srv;
   Printf.printf "served %d connection(s), cursor %d\n" connections
     (Server.cursor srv);
   Broker.close b
 
-let run_connect addr_s schema_path name =
+let run_relay addr_s up_s schema_path dir snapshot_every connections name
+    hb_period hb_misses max_queue =
+  let module Server = Genas_ens.Broker_server in
+  let module Relay = Genas_ens.Relay in
+  let module Journal = Genas_ens.Journal in
+  let module Transport = Genas_ens.Transport in
+  let listen = or_die (Transport.addr_of_string addr_s) in
+  let up = or_die (Transport.addr_of_string up_s) in
+  let schema = net_schema schema_path in
+  let journal =
+    Option.map
+      (fun dir ->
+        try Journal.config ~snapshot_every dir
+        with Invalid_argument msg -> or_die (Error msg))
+      dir
+  in
+  let r =
+    or_die
+      (Relay.create ?journal ~heartbeat:(net_heartbeat hb_period hb_misses)
+         ~max_queue ~start:false ~name ~up ~listen schema)
+  in
+  Printf.printf "relay %s: serving %s, upstream %s\n%!" name
+    (Transport.addr_to_string listen)
+    (Transport.addr_to_string up);
+  Server.serve ~connections (Relay.server r);
+  Printf.printf "relay %s: served %d connection(s), cursor %d\n" name
+    connections
+    (Server.cursor (Relay.server r));
+  Relay.close r
+
+let run_connect addr_s schema_path name auto deadline hb_period hb_misses =
   let module Client = Genas_ens.Broker_client in
   let module Transport = Genas_ens.Transport in
   let addr = or_die (Transport.addr_of_string addr_s) in
   let schema = net_schema schema_path in
-  let c = or_die (Client.connect ~name schema addr) in
+  let reconnect =
+    if auto then Some (Genas_ens.Supervise.retry_policy ~backoff_ns:5e7 ())
+    else None
+  in
+  let c =
+    or_die
+      (Client.connect ~name ~deadline_s:deadline
+         ~heartbeat:(net_heartbeat hb_period hb_misses) ?reconnect schema addr)
+  in
   let deliver who n =
     Printf.printf "deliver %s <- %s\n%!" who
       (Lang.event_to_string schema n.Genas_ens.Notification.event)
@@ -1161,21 +1214,32 @@ let run_connect addr_s schema_path name =
     | "sub" ->
       let* who, body = split_colon rest in
       let* tok = Client.subscribe c ~subscriber:who body (deliver who) in
-      Printf.printf "sub %s token=%d forwarded=%d\n" who tok
+      Printf.printf "sub %s token=%d forwarded=%d\n%!" who tok
         (List.length (Client.forwarded_tokens c));
       Ok ()
     | "pub" ->
       let* ev = Lang.parse_event schema rest in
       let* local = Client.publish c ev in
-      Printf.printf "pub ok local=%d\n" local;
+      Printf.printf "pub ok local=%d\n%!" local;
       Ok ()
     | "await" ->
       let n = try int_of_string rest with Failure _ -> 1 in
-      Printf.printf "await applied=%d\n" (Client.await_deliveries c n);
+      Printf.printf "await applied=%d\n%!" (Client.await_deliveries c n);
       Ok ()
     | "replay" ->
       let* applied, complete = Client.replay c in
-      Printf.printf "replay applied=%d complete=%b\n" applied complete;
+      Printf.printf "replay applied=%d complete=%b\n%!" applied complete;
+      Ok ()
+    | "status" ->
+      (* Flushed per line: a scripted peer (cram, another process)
+         paces itself on this output, so it cannot sit in the stdio
+         buffer until exit. *)
+      Printf.printf
+        "status connected=%b applied=%d dropped=%d reconnects=%d \
+         heartbeat_misses=%d outbox=%d\n%!"
+        (Client.connected c) (Client.applied_total c)
+        (Client.duplicates_dropped c) (Client.reconnects c)
+        (Client.heartbeat_misses c) (Client.outbox_depth c);
       Ok ()
     | "quit" -> Ok ()
     | other -> Error (Printf.sprintf "unknown command %S" other)
@@ -1190,7 +1254,7 @@ let run_connect addr_s schema_path name =
       else begin
         (match run_line line with
         | Ok () -> ()
-        | Error e -> Printf.printf "error: %s\n" e);
+        | Error e -> Printf.printf "error: %s\n%!" e);
         loop ()
       end
   in
@@ -1209,48 +1273,101 @@ let net_schema_arg =
        & info [ "schema" ] ~docv:"FILE"
            ~doc:"Schema file (default: the demo topic/severity schema).")
 
+let dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Journal directory (enables durability and client \
+                 catch-up replay).")
+
+let snapshot_arg =
+  Arg.(value & opt int 1000
+       & info [ "snapshot-every" ] ~doc:"Journaled ops between snapshots.")
+
+let connections_arg =
+  Arg.(value & opt int 1
+       & info [ "connections" ] ~docv:"N"
+           ~doc:"Serve exactly N connections, then exit (0: forever).")
+
+let node_name_arg default =
+  Arg.(value & opt string default
+       & info [ "name" ] ~docv:"NAME"
+           ~doc:"Node name — the origin tag for cross-hop no-echo; must \
+                 be unique within a mesh.")
+
+let heartbeat_arg =
+  Arg.(value & opt float 5.0
+       & info [ "heartbeat" ] ~docv:"SECS"
+           ~doc:"Liveness ping period in seconds (0 disables liveness).")
+
+let misses_arg =
+  Arg.(value & opt int 3
+       & info [ "misses" ] ~docv:"N"
+           ~doc:"Silent heartbeat periods before a peer is declared dead.")
+
+let max_queue_arg =
+  Arg.(value & opt int 1024
+       & info [ "max-queue" ] ~docv:"N"
+           ~doc:"Outbound frames queued per connection before a peer is \
+                 dropped as a slow consumer (replay is its catch-up).")
+
 let serve_cmd =
-  let dir_arg =
-    Arg.(value & opt (some string) None
-         & info [ "dir" ] ~docv:"DIR"
-             ~doc:"Journal directory (enables durability and client \
-                   catch-up replay).")
-  in
-  let snapshot_arg =
-    Arg.(value & opt int 1000
-         & info [ "snapshot-every" ] ~doc:"Journaled ops between snapshots.")
-  in
   let aggregate_arg =
     Arg.(value & flag
          & info [ "aggregate" ]
              ~doc:"Aggregate subscriptions through the covering lattice \
                    (epoch swaps recompile off the publish path).")
   in
-  let connections_arg =
-    Arg.(value & opt int 1
-         & info [ "connections" ] ~docv:"N"
-             ~doc:"Serve exactly N connections, then exit (0: forever).")
-  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve a broker over a Unix-domain or TCP socket speaking the \
              checksummed Codec wire protocol: remote subscribe/publish, \
-             covering-aware delivery, and (with --dir) write-ahead \
+             covering-aware delivery, heartbeat liveness, bounded \
+             per-connection queues, and (with --dir) write-ahead \
              durability with since-cursor catch-up replay")
     Term.(const run_serve $ addr_arg $ net_schema_arg $ dir_arg
-          $ snapshot_arg $ aggregate_arg $ connections_arg)
+          $ snapshot_arg $ aggregate_arg $ connections_arg
+          $ node_name_arg "server" $ heartbeat_arg $ misses_arg
+          $ max_queue_arg)
+
+let relay_cmd =
+  let up_arg =
+    Arg.(required & opt (some string) None
+         & info [ "up" ] ~docv:"ADDR"
+             ~doc:"Upstream broker address: unix:PATH or tcp:HOST:PORT.")
+  in
+  Cmd.v
+    (Cmd.info "relay"
+       ~doc:"Run a relay node: serve downstream peers on --addr while \
+             peering with an upstream broker at --up. Downstream \
+             subscriptions mirror upstream (covering-minimized), \
+             publishes forward with origin preserved, and the upstream \
+             link self-heals by reconnect + replay")
+    Term.(const run_relay $ addr_arg $ up_arg $ net_schema_arg $ dir_arg
+          $ snapshot_arg $ connections_arg $ node_name_arg "relay"
+          $ heartbeat_arg $ misses_arg $ max_queue_arg)
 
 let connect_cmd =
-  let name_arg =
-    Arg.(value & opt string "client"
-         & info [ "name" ] ~docv:"NAME" ~doc:"Client (node) name.")
+  let auto_arg =
+    Arg.(value & flag
+         & info [ "auto" ]
+             ~doc:"Self-heal the link: automatic reconnect with capped \
+                   exponential backoff, re-sent subscriptions, and \
+                   journal catch-up replay.")
+  in
+  let deadline_arg =
+    Arg.(value & opt float 30.0
+         & info [ "deadline" ] ~docv:"SECS"
+             ~doc:"Request deadline: a handshake or acknowledged request \
+                   blocked longer fails with a timeout.")
   in
   Cmd.v
     (Cmd.info "connect"
        ~doc:"Connect a scripted client to a served broker; stdin drives \
              it: 'sub WHO : BODY', 'pub attr = v, ...', 'await N', \
-             'replay', 'quit'")
-    Term.(const run_connect $ addr_arg $ net_schema_arg $ name_arg)
+             'replay', 'status', 'quit'")
+    Term.(const run_connect $ addr_arg $ net_schema_arg
+          $ node_name_arg "client" $ auto_arg $ deadline_arg
+          $ heartbeat_arg $ misses_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -1261,4 +1378,5 @@ let () =
              ~doc:"Distribution-based event filtering (GENAS)")
           [ match_cmd; plan_cmd; simulate_cmd; dists_cmd; figures_cmd;
             bench_cmd; metrics_cmd; faults_cmd; journal_cmd; recover_cmd;
-            trace_cmd; jsoncheck_cmd; repl_cmd; serve_cmd; connect_cmd ]))
+            trace_cmd; jsoncheck_cmd; repl_cmd; serve_cmd; relay_cmd;
+            connect_cmd ]))

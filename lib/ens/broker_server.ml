@@ -6,17 +6,30 @@
    Delivery: a remote subscription installs a normal broker handler
    that queues the event on its connection; after the publish returns,
    the queues flush as [Deliver] frames tagged with the journal cursor
-   of the publish record, skipping the originating connection (its own
-   local broker already delivered — the Router's no-echo rule). The
-   deterministic link-fault plan applies to live deliveries only:
-   control frames and catch-up replay are never faulted, mirroring how
-   {!Router.route} faults forwarding but not subscription management. *)
+   of the publish record, skipping both the originating connection and
+   any connection whose peer name equals the event's origin (its own
+   local broker already delivered — the Router's no-echo rule, made
+   reconnect- and relay-proof by the origin tag). The deterministic
+   link-fault plan applies to live deliveries only: control frames and
+   catch-up replay are never faulted, mirroring how {!Router.route}
+   faults forwarding but not subscription management.
+
+   Robustness (see docs/ROBUSTNESS.md):
+   - Every connection owns a bounded outbound queue drained by a
+     writer thread, so a stalled consumer can never block the broker
+     lock or grow memory without limit; at [max_queue] the connection
+     is declared a slow consumer and dropped — journal-backed replay
+     is its graceful catch-up path.
+   - A liveness monitor pings idle peers and reaps connections that
+     have received nothing for [heartbeat.period_s * misses] seconds,
+     so a half-dead TCP peer (no FIN) is detected and collected. *)
 
 module Schema = Genas_model.Schema
 module Event = Genas_model.Event
 module Profile = Genas_profile.Profile
 module Lang = Genas_profile.Lang
 module Engine = Genas_core.Engine
+module Metrics = Genas_obs.Metrics
 
 let log_src = Logs.Src.create "genas.server" ~doc:"GENAS broker server"
 
@@ -26,33 +39,70 @@ type conn_state = {
   id : int;
   conn : Transport.conn;
   mutable peer : string;
-  subs : (int, Broker.sub_id * Profile.t) Hashtbl.t;
-  mutable pending : (int * int * Event.t) list;  (* newest first *)
-  mutable delayed : (int * int * Event.t) list;
+  subs : (int, Broker.sub_id * Profile.t * string) Hashtbl.t;
+  mutable pending : (int * int * string * Event.t) list;  (* newest first *)
+  mutable delayed : (int * int * string * Event.t) list;
   mutable alive : bool;
+  (* Outbound: a bounded queue drained by a dedicated writer thread.
+     Enqueueing never blocks and never touches the broker lock. *)
+  txq : Transport.message Queue.t;
+  tx_mutex : Mutex.t;
+  tx_cond : Condition.t;
+  mutable tx_stop : bool;
+  mutable tx_thread : Thread.t option;
+  mutable last_rx : float;
+  mutable last_tx : float;
+}
+
+type hooks = {
+  on_accept : (conn_id:int -> origin:string -> Event.t array -> unit) option;
+  on_subscribe :
+    (conn_id:int -> token:int -> subscriber:string -> body:string -> unit)
+    option;
+  on_unsubscribe : (conn_id:int -> token:int -> body:string -> unit) option;
 }
 
 type t = {
   broker : Broker.t;
   addr : Transport.addr;
+  name : string;
   seed : int;
   max_frame : int;
+  max_queue : int;
+  sndbuf : int option;
+  heartbeat : Transport.heartbeat option;
+  tick_s : float;
   faults : Fault.t option;
+  hooks : hooks;
   lock : Mutex.t;
   conns : (int, conn_state) Hashtbl.t;
   mutable next_conn : int;
   mutable plain_cursor : int;  (* op counter for unjournaled brokers *)
   mutable cur_cursor : int;  (* cursor of the publish in flight *)
+  mutable cur_origin : string;  (* origin of the publish in flight *)
   mutable lsock : Unix.file_descr option;
   mutable acceptor : Thread.t option;
+  mutable monitor : Thread.t option;
   mutable workers : Thread.t list;
   mutable closed_conns : int;
+  mutable slow_disconnects : int;
+  mutable reaped : int;
+  mutable pings_sent : int;
   mutable stopping : bool;
   mutable crashed : bool;
+  m_connections : Metrics.gauge option;
+  m_queue_depth : Metrics.histogram option;
+  m_slow : Metrics.counter option;
+  m_hb_misses : Metrics.counter option;
 }
 
 let create ?faults ?(seed = Transport.default_seed)
-    ?(max_frame = Codec.default_max_frame) ~broker addr =
+    ?(max_frame = Codec.default_max_frame) ?(name = "server")
+    ?(max_queue = 1024) ?sndbuf
+    ?(heartbeat = Some Transport.default_heartbeat) ?(tick_s = 0.05) ?metrics
+    ?on_accept ?on_subscribe ?on_unsubscribe ~broker addr =
+  if max_queue < 1 then
+    invalid_arg "Broker_server.create: max_queue must be >= 1";
   (* A peer that disconnects mid-write must surface as [Sys_error],
      not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -61,28 +111,79 @@ let create ?faults ?(seed = Transport.default_seed)
      publishing thread onto a background domain. *)
   if Engine.aggregated (Broker.engine broker) then
     Engine.set_async_swaps (Broker.engine broker) true;
+  let labels = [ ("node", name); ("role", "server") ] in
+  let m_connections =
+    Option.map
+      (fun m ->
+        Metrics.gauge m ~labels ~help:"Live peer connections"
+          "genas_net_peer_state")
+      metrics
+  and m_queue_depth =
+    Option.map
+      (fun m ->
+        Metrics.histogram m ~labels
+          ~help:"Outbound frames queued per connection at enqueue time"
+          ~buckets:(Metrics.exponential_buckets ~start:1.0 ~factor:2.0 ~count:13)
+          "genas_net_outbound_queue_depth")
+      metrics
+  and m_slow =
+    Option.map
+      (fun m ->
+        Metrics.counter m ~labels
+          ~help:"Connections dropped by the bounded-queue slow-consumer policy"
+          "genas_net_slow_consumer_disconnects_total")
+      metrics
+  and m_hb_misses =
+    Option.map
+      (fun m ->
+        Metrics.counter m ~labels
+          ~help:"Peers reaped after missing the heartbeat deadline"
+          "genas_net_heartbeat_misses_total")
+      metrics
+  in
   {
     broker;
     addr;
+    name;
     seed;
     max_frame;
+    max_queue;
+    sndbuf;
+    heartbeat;
+    tick_s;
     faults;
+    hooks = { on_accept; on_subscribe; on_unsubscribe };
     lock = Mutex.create ();
     conns = Hashtbl.create 8;
     next_conn = 1;
     plain_cursor = 0;
     cur_cursor = -1;
+    cur_origin = "";
     lsock = None;
     acceptor = None;
+    monitor = None;
     workers = [];
     closed_conns = 0;
+    slow_disconnects = 0;
+    reaped = 0;
+    pings_sent = 0;
     stopping = false;
     crashed = false;
+    m_connections;
+    m_queue_depth;
+    m_slow;
+    m_hb_misses;
   }
 
 let broker t = t.broker
 
+let name t = t.name
+
 let crashed t = t.crashed
+
+let slow_disconnects t = t.slow_disconnects
+
+let reaped t = t.reaped
 
 let cursor t =
   match Broker.wal t.broker with
@@ -93,10 +194,82 @@ let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let safe_send cs msg =
-  if cs.alive then
-    try Transport.send cs.conn msg
-    with Sys_error _ | Unix.Unix_error _ -> cs.alive <- false
+let set_conn_gauge t n =
+  Option.iter (fun g -> Metrics.Gauge.set g (float_of_int n)) t.m_connections
+
+(* {1 Outbound queues} *)
+
+(* Declare a connection dead and wake everything parked on it: the
+   writer (via cond broadcast), the reader (via shutdown -> EOF), and
+   a writer blocked inside send(2) on a full kernel buffer (shutdown
+   fails the write). Safe under the broker lock — takes only the tx
+   mutex. *)
+let kill_conn cs =
+  cs.alive <- false;
+  Transport.shutdown_conn cs.conn;
+  Mutex.lock cs.tx_mutex;
+  Condition.broadcast cs.tx_cond;
+  Mutex.unlock cs.tx_mutex
+
+(* Enqueue one outbound frame. Never blocks: at [max_queue] queued
+   frames the peer is a slow consumer and the policy is
+   disconnect-and-let-replay-catch-up — the journal already holds
+   everything the peer will have missed. *)
+let enqueue t cs msg =
+  if cs.alive then begin
+    Mutex.lock cs.tx_mutex;
+    let depth = Queue.length cs.txq + 1 in
+    if depth > t.max_queue then begin
+      Mutex.unlock cs.tx_mutex;
+      t.slow_disconnects <- t.slow_disconnects + 1;
+      Option.iter Metrics.Counter.incr t.m_slow;
+      Log.warn (fun m ->
+          m "conn %d (%s): slow consumer at %d queued frames, dropping" cs.id
+            cs.peer t.max_queue);
+      kill_conn cs
+    end
+    else begin
+      Queue.push msg cs.txq;
+      Condition.signal cs.tx_cond;
+      Mutex.unlock cs.tx_mutex;
+      Option.iter
+        (fun h -> Metrics.Histogram.observe h (float_of_int depth))
+        t.m_queue_depth
+    end
+  end
+
+(* Writer thread: drain the queue in order; exit once the connection
+   is dead, or once it is stopping and the queue is flushed. *)
+let tx_loop cs =
+  let rec loop () =
+    Mutex.lock cs.tx_mutex;
+    while Queue.is_empty cs.txq && cs.alive && not cs.tx_stop do
+      Condition.wait cs.tx_cond cs.tx_mutex
+    done;
+    match Queue.take_opt cs.txq with
+    | None ->
+      (* stopping (flushed) or dead *)
+      Mutex.unlock cs.tx_mutex
+    | Some msg -> (
+      Mutex.unlock cs.tx_mutex;
+      match Transport.send cs.conn msg with
+      | () ->
+        cs.last_tx <- Transport.now_s ();
+        loop ()
+      | exception (Sys_error _ | Unix.Unix_error _) -> kill_conn cs)
+  in
+  loop ()
+
+let stop_tx cs =
+  Mutex.lock cs.tx_mutex;
+  cs.tx_stop <- true;
+  Condition.broadcast cs.tx_cond;
+  Mutex.unlock cs.tx_mutex;
+  match cs.tx_thread with
+  | Some th ->
+    cs.tx_thread <- None;
+    (try Thread.join th with _ -> ())
+  | None -> ()
 
 (* One [Deliver] per (connection, event) even when several of the
    connection's subscriptions match: within one publish the same
@@ -105,8 +278,8 @@ let safe_send cs msg =
 let enqueue_delivery t cs (n : Notification.t) =
   let ev = n.Notification.event in
   match cs.pending with
-  | (_, _, e) :: _ when e == ev -> ()
-  | _ -> cs.pending <- (t.cur_cursor, 0, ev) :: cs.pending
+  | (_, _, _, e) :: _ when e == ev -> ()
+  | _ -> cs.pending <- (t.cur_cursor, 0, t.cur_origin, ev) :: cs.pending
 
 let link_fate t cs =
   match t.faults with
@@ -116,7 +289,9 @@ let link_fate t cs =
 (* Flush queued deliveries after a publish, applying the link-fault
    plan per frame. Delayed frames from the previous flush go out first
    (they are "late", not lost); the originating connection's queue is
-   discarded unsent. Called under the lock. *)
+   discarded unsent, as is any entry whose origin names the peer — the
+   no-echo rule, by connection for the local hop and by origin name
+   across hops and reconnects. Called under the lock. *)
 let flush_deliveries ?(skip = -1) t =
   Hashtbl.iter
     (fun _ cs ->
@@ -124,24 +299,34 @@ let flush_deliveries ?(skip = -1) t =
       cs.pending <- [];
       if cs.id = skip then ()
       else begin
+        let echo (_, _, origin, _) = origin <> "" && String.equal origin cs.peer in
         let late = List.rev cs.delayed in
         cs.delayed <- [];
         List.iter
-          (fun (cur, idx, event) ->
-            safe_send cs (Transport.Deliver { cursor = cur; idx; replay = false; event }))
+          (fun ((cur, idx, origin, event) as entry) ->
+            if not (echo entry) then
+              enqueue t cs
+                (Transport.Deliver
+                   { cursor = cur; idx; replay = false; origin; event }))
           late;
         List.iter
-          (fun ((cur, idx, event) as entry) ->
-            match link_fate t cs with
-            | `Forward ->
-              safe_send cs
-                (Transport.Deliver { cursor = cur; idx; replay = false; event })
-            | `Duplicate ->
-              let d = Transport.Deliver { cursor = cur; idx; replay = false; event } in
-              safe_send cs d;
-              safe_send cs d
-            | `Drop -> ()
-            | `Delay -> cs.delayed <- entry :: cs.delayed)
+          (fun ((cur, idx, origin, event) as entry) ->
+            if echo entry then ()
+            else
+              match link_fate t cs with
+              | `Forward ->
+                enqueue t cs
+                  (Transport.Deliver
+                     { cursor = cur; idx; replay = false; origin; event })
+              | `Duplicate ->
+                let d =
+                  Transport.Deliver
+                    { cursor = cur; idx; replay = false; origin; event }
+                in
+                enqueue t cs d;
+                enqueue t cs d
+              | `Drop -> ()
+              | `Delay -> cs.delayed <- entry :: cs.delayed)
           pending
       end)
     t.conns
@@ -150,12 +335,14 @@ let flush_deliveries ?(skip = -1) t =
    per event (so cursors are dense and the acknowledgement can name
    the whole range), then flush deliveries. Returns the cursor of the
    first record. Called under the lock. *)
-let publish_locked ?(skip = -1) t events =
+let publish_locked ?(skip = -1) ?origin t events =
+  let origin = match origin with Some o -> o | None -> t.name in
   let first = cursor t in
   (try
      Array.iter
        (fun ev ->
          t.cur_cursor <- cursor t;
+         t.cur_origin <- origin;
          ignore (Broker.publish t.broker ev);
          if Broker.wal t.broker = None then
            t.plain_cursor <- t.plain_cursor + 1)
@@ -167,8 +354,8 @@ let publish_locked ?(skip = -1) t events =
   flush_deliveries ~skip t;
   first
 
-let publish t events =
-  with_lock t (fun () -> publish_locked t events)
+let publish ?origin t events =
+  with_lock t (fun () -> publish_locked ?origin t events)
 
 let connections t = with_lock t (fun () -> Hashtbl.length t.conns)
 
@@ -179,84 +366,139 @@ let drop_conn t cs =
       if Hashtbl.mem t.conns cs.id then begin
         Hashtbl.remove t.conns cs.id;
         t.closed_conns <- t.closed_conns + 1;
+        set_conn_gauge t (Hashtbl.length t.conns);
         Hashtbl.iter
-          (fun _ (sid, _) -> ignore (Broker.unsubscribe t.broker sid))
+          (fun _ (sid, _, _) -> ignore (Broker.unsubscribe t.broker sid))
           cs.subs;
         Hashtbl.reset cs.subs
       end);
-  cs.alive <- false;
+  (* Graceful writer stop first: queued frames (a handshake Reject,
+     final deliveries) drain before the socket goes down. A peer that
+     stopped reading cannot park this join — its writer either fails
+     fast (peer closed) or was already killed by the slow-consumer or
+     heartbeat policy, and a killed writer's sends fail instantly. *)
+  stop_tx cs;
+  kill_conn cs;
   Transport.close_conn cs.conn
 
 let handle_subscribe t cs ~token ~subscriber ~body =
-  with_lock t (fun () ->
-      if Hashtbl.mem cs.subs token then
-        safe_send cs (Transport.Ack { token; cursor = cursor t; count = 0 })
-      else
-        match Lang.parse_profile (Broker.schema t.broker) body with
-        | Error reason -> safe_send cs (Transport.Nack { token; reason })
-        | Ok profile ->
-          let sid =
-            Broker.subscribe t.broker ~subscriber ~profile
-              (enqueue_delivery t cs)
-          in
-          Hashtbl.replace cs.subs token (sid, profile);
-          safe_send cs (Transport.Ack { token; cursor = cursor t; count = 0 }))
+  let outcome =
+    with_lock t (fun () ->
+        if Hashtbl.mem cs.subs token then `Dup (cursor t)
+        else
+          match Lang.parse_profile (Broker.schema t.broker) body with
+          | Error reason -> `Nack reason
+          | Ok profile ->
+            let sid =
+              Broker.subscribe t.broker ~subscriber ~profile
+                (enqueue_delivery t cs)
+            in
+            Hashtbl.replace cs.subs token (sid, profile, body);
+            `New (cursor t))
+  in
+  (* The relay hook runs before the acknowledgement: once the
+     subscriber sees its Ack, the whole upstream path has the
+     profile. *)
+  (match outcome with
+  | `New _ ->
+    Option.iter
+      (fun f -> f ~conn_id:cs.id ~token ~subscriber ~body)
+      t.hooks.on_subscribe
+  | `Dup _ | `Nack _ -> ());
+  match outcome with
+  | `New c | `Dup c -> enqueue t cs (Transport.Ack { token; cursor = c; count = 0 })
+  | `Nack reason -> enqueue t cs (Transport.Nack { token; reason })
 
 let handle_unsubscribe t cs ~token =
-  with_lock t (fun () ->
-      (match Hashtbl.find_opt cs.subs token with
-      | Some (sid, _) ->
-        ignore (Broker.unsubscribe t.broker sid);
-        Hashtbl.remove cs.subs token
-      | None -> ());
-      safe_send cs (Transport.Ack { token; cursor = cursor t; count = 0 }))
+  let removed =
+    with_lock t (fun () ->
+        match Hashtbl.find_opt cs.subs token with
+        | Some (sid, _, body) ->
+          ignore (Broker.unsubscribe t.broker sid);
+          Hashtbl.remove cs.subs token;
+          Some (body, cursor t)
+        | None -> None)
+  in
+  (match removed with
+  | Some (body, _) ->
+    Option.iter (fun f -> f ~conn_id:cs.id ~token ~body) t.hooks.on_unsubscribe
+  | None -> ());
+  let c = match removed with Some (_, c) -> c | None -> with_lock t (fun () -> cursor t) in
+  enqueue t cs (Transport.Ack { token; cursor = c; count = 0 })
 
-let handle_publish t cs ~token ~events =
-  with_lock t (fun () ->
-      match publish_locked ~skip:cs.id t events with
-      | first ->
-        safe_send cs
-          (Transport.Ack
-             {
-               token;
-               cursor = (if Broker.wal t.broker = None then -1 else first);
-               count = Array.length events;
-             })
-      | exception Fault.Crashed _ ->
-        (* Simulated process death: the record may or may not be
-           durable; the client learns from the dropped connection and
-           recovers through reconnect + replay. *)
-        ())
+let handle_publish t cs ~token ~origin ~events =
+  let origin = if origin = "" then cs.peer else origin in
+  match with_lock t (fun () -> publish_locked ~skip:cs.id ~origin t events) with
+  | first ->
+    Option.iter
+      (fun f -> f ~conn_id:cs.id ~origin events)
+      t.hooks.on_accept;
+    enqueue t cs
+      (Transport.Ack
+         {
+           token;
+           cursor = (if Broker.wal t.broker = None then -1 else first);
+           count = Array.length events;
+         })
+  | exception Fault.Crashed _ ->
+    (* Simulated process death: the record may or may not be
+       durable; the client learns from the dropped connection and
+       recovers through reconnect + replay. *)
+    ()
 
 (* Catch-up: re-deliver journaled publishes after the client's cursor,
    filtered through this connection's own subscriptions. Never
    link-faulted — replay is the recovery path the faults are recovered
    {e through}. *)
+(* Replay bypasses the bounded outbound queue: a catch-up backlog can
+   legitimately exceed [max_queue], and the queue bound exists to shed
+   peers that stopped reading — a replaying peer is by definition
+   reading. The frame set is snapshotted under the broker lock, then
+   written directly from the serve thread that accepted the [Replay]
+   request, with the kernel socket buffer as flow control: a slow
+   reader throttles only its own catch-up, never the broker lock or
+   other peers. Interleaving with concurrent live deliveries is safe —
+   sends are whole-frame serialized per connection and receivers
+   deduplicate by (cursor, idx). *)
 let handle_replay t cs ~since =
-  with_lock t (fun () ->
-      match Broker.wal t.broker with
-      | None ->
-        safe_send cs
-          (Transport.Replay_done { cursor = cursor t; complete = false })
-      | Some j ->
-        let batches, complete = Journal.events_since j ~since in
-        let schema = Broker.schema t.broker in
-        List.iter
-          (fun (opi, events) ->
-            Array.iteri
-              (fun idx event ->
-                let matches =
-                  Hashtbl.fold
-                    (fun _ (_, profile) acc ->
-                      acc || Profile.matches schema profile event)
-                    cs.subs false
-                in
-                if matches then
-                  safe_send cs
-                    (Transport.Deliver { cursor = opi; idx; replay = true; event }))
-              events)
-          batches;
-        safe_send cs (Transport.Replay_done { cursor = cursor t; complete }))
+  let frames =
+    with_lock t (fun () ->
+        match Broker.wal t.broker with
+        | None ->
+          [ Transport.Replay_done { cursor = cursor t; complete = false } ]
+        | Some j ->
+          let batches, complete = Journal.events_since j ~since in
+          let schema = Broker.schema t.broker in
+          let acc = ref [] in
+          List.iter
+            (fun (opi, events) ->
+              Array.iteri
+                (fun idx event ->
+                  let matches =
+                    Hashtbl.fold
+                      (fun _ (_, profile, _) m ->
+                        m || Profile.matches schema profile event)
+                      cs.subs false
+                  in
+                  if matches then
+                    acc :=
+                      Transport.Deliver
+                        { cursor = opi; idx; replay = true; origin = ""; event }
+                      :: !acc)
+                events)
+            batches;
+          List.rev
+            (Transport.Replay_done { cursor = cursor t; complete } :: !acc))
+  in
+  try
+    List.iter
+      (fun m ->
+        if cs.alive then begin
+          Transport.send cs.conn m;
+          cs.last_tx <- Transport.now_s ()
+        end)
+      frames
+  with Sys_error _ | Unix.Unix_error _ -> kill_conn cs
 
 let serve_conn t cs =
   let schema = Broker.schema t.broker in
@@ -270,18 +512,23 @@ let serve_conn t cs =
            connection — the stream is unrecoverable past a framing
            error — but never the server. *)
         Log.warn (fun m -> m "conn %d (%s): corrupt frame: %s" cs.id cs.peer msg);
-        safe_send cs (Transport.Reject { reason = "corrupt frame: " ^ msg })
+        enqueue t cs (Transport.Reject { reason = "corrupt frame: " ^ msg })
       | Ok msg -> (
+        cs.last_rx <- Transport.now_s ();
         match msg with
         | Transport.Bye -> ()
+        | Transport.Ping { token } ->
+          enqueue t cs (Transport.Pong { token });
+          loop ()
+        | Transport.Pong _ -> loop ()
         | Transport.Subscribe { token; subscriber; body } ->
           handle_subscribe t cs ~token ~subscriber ~body;
           loop ()
         | Transport.Unsubscribe { token } ->
           handle_unsubscribe t cs ~token;
           loop ()
-        | Transport.Publish { token; events } ->
-          handle_publish t cs ~token ~events;
+        | Transport.Publish { token; origin; events } ->
+          handle_publish t cs ~token ~origin ~events;
           if t.stopping then () else loop ()
         | Transport.Replay { since } ->
           handle_replay t cs ~since;
@@ -289,7 +536,7 @@ let serve_conn t cs =
         | Transport.Hello _ | Transport.Welcome _ | Transport.Reject _
         | Transport.Ack _ | Transport.Nack _ | Transport.Deliver _
         | Transport.Replay_done _ ->
-          safe_send cs
+          enqueue t cs
             (Transport.Nack
                {
                  token = -1;
@@ -301,7 +548,7 @@ let serve_conn t cs =
     match Transport.recv cs.conn schema with
     | Ok (Transport.Hello { version; fingerprint; name }) ->
       if version <> Transport.protocol_version then
-        safe_send cs
+        enqueue t cs
           (Transport.Reject
              {
                reason =
@@ -311,11 +558,12 @@ let serve_conn t cs =
       else begin
         let own = Codec.schema_fingerprint schema in
         if not (String.equal fingerprint own) then
-          safe_send cs (Transport.Reject { reason = "schema fingerprint mismatch" })
+          enqueue t cs (Transport.Reject { reason = "schema fingerprint mismatch" })
         else begin
           cs.peer <- name;
+          cs.last_rx <- Transport.now_s ();
           with_lock t (fun () ->
-              safe_send cs
+              enqueue t cs
                 (Transport.Welcome
                    {
                      version = Transport.protocol_version;
@@ -326,10 +574,63 @@ let serve_conn t cs =
         end
       end
     | Ok _ | Error _ ->
-      safe_send cs (Transport.Reject { reason = "expected hello" })
+      enqueue t cs (Transport.Reject { reason = "expected hello" })
   in
   (try handshake () with Sys_error _ | Unix.Unix_error _ -> ());
   drop_conn t cs
+
+(* {1 Liveness monitor} *)
+
+(* Reap connections that have received nothing for a whole heartbeat
+   deadline (half-dead peers — a silently vanished TCP endpoint never
+   sends FIN) and ping otherwise-idle ones. Runs on its own thread;
+   pings go through the bounded queues, so a monitor tick never
+   blocks. *)
+let monitor_tick t hb =
+  let now = Transport.now_s () in
+  let conns =
+    with_lock t (fun () -> Hashtbl.fold (fun _ cs acc -> cs :: acc) t.conns [])
+  in
+  List.iter
+    (fun cs ->
+      if cs.alive && cs.peer <> "" then begin
+        if now -. cs.last_rx > Transport.deadline_of hb then begin
+          t.reaped <- t.reaped + 1;
+          Option.iter Metrics.Counter.incr t.m_hb_misses;
+          Log.warn (fun m ->
+              m "conn %d (%s): heartbeat deadline exceeded, reaping" cs.id
+                cs.peer);
+          kill_conn cs
+        end
+        else if now -. cs.last_rx > hb.Transport.period_s
+                && now -. cs.last_tx > hb.Transport.period_s
+        then begin
+          t.pings_sent <- t.pings_sent + 1;
+          enqueue t cs (Transport.Ping { token = t.pings_sent })
+        end
+      end)
+    conns
+
+let start_monitor t =
+  match (t.monitor, t.heartbeat) with
+  | Some _, _ | _, None -> ()
+  | None, Some hb ->
+    t.monitor <-
+      Some
+        (Thread.create
+           (fun () ->
+             while not t.stopping do
+               Thread.delay t.tick_s;
+               if not t.stopping then monitor_tick t hb
+             done)
+           ())
+
+let stop_monitor t =
+  match t.monitor with
+  | Some th ->
+    t.monitor <- None;
+    (try Thread.join th with _ -> ())
+  | None -> ()
 
 (* {1 Lifecycle} *)
 
@@ -340,6 +641,12 @@ let ensure_listening t =
 
 let accept_one t sock =
   let conn = Transport.accept ~seed:t.seed ~max_frame:t.max_frame sock in
+  (match t.sndbuf with
+  | Some n -> (
+    try Unix.setsockopt_int (Transport.conn_fd conn) Unix.SO_SNDBUF n
+    with Unix.Unix_error _ | Invalid_argument _ -> ())
+  | None -> ());
+  let now = Transport.now_s () in
   let cs =
     with_lock t (fun () ->
         let id = t.next_conn in
@@ -353,11 +660,20 @@ let accept_one t sock =
             pending = [];
             delayed = [];
             alive = true;
+            txq = Queue.create ();
+            tx_mutex = Mutex.create ();
+            tx_cond = Condition.create ();
+            tx_stop = false;
+            tx_thread = None;
+            last_rx = now;
+            last_tx = now;
           }
         in
         Hashtbl.replace t.conns id cs;
+        set_conn_gauge t (Hashtbl.length t.conns);
         cs)
   in
+  cs.tx_thread <- Some (Thread.create (fun () -> tx_loop cs) ());
   let th = Thread.create (fun () -> serve_conn t cs) () in
   t.workers <- th :: t.workers
 
@@ -375,11 +691,15 @@ let close_listener t =
   | None -> ()
 
 let teardown t =
+  (* [serve ~connections:n] reaches here without {!stop}: the monitor
+     loop watches [stopping], so it must be raised before the join. *)
+  t.stopping <- true;
   close_listener t;
+  stop_monitor t;
   let conns = with_lock t (fun () -> Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []) in
   (* Shut down (not close): wake each worker out of its blocking read
      with EOF; the worker's own exit path closes the descriptor. *)
-  List.iter (fun cs -> cs.alive <- false; Transport.shutdown_conn cs.conn) conns;
+  List.iter kill_conn conns;
   List.iter (fun th -> try Thread.join th with _ -> ()) t.workers;
   t.workers <- [];
   Engine.await_swap (Broker.engine t.broker)
@@ -389,6 +709,7 @@ let teardown t =
    disconnected; with [0], loop until {!stop}. *)
 let serve ?(connections = 0) t =
   ensure_listening t;
+  start_monitor t;
   let sock = Option.get t.lsock in
   let accepted = ref 0 in
   (try
@@ -406,6 +727,7 @@ let serve ?(connections = 0) t =
 
 let start t =
   ensure_listening t;
+  start_monitor t;
   let sock = Option.get t.lsock in
   t.acceptor <-
     Some

@@ -7,8 +7,19 @@
     one lock. Remote subscriptions install ordinary broker handlers
     that queue events per connection; after each publish the queues
     flush as [Deliver] frames tagged with the journal cursor of the
-    publish record — the originating connection is skipped (its local
-    broker already delivered; the {!Router} no-echo rule on the wire).
+    publish record — skipping the originating connection and any
+    connection whose peer name equals the event's origin (its local
+    broker already delivered; the {!Router} no-echo rule on the wire,
+    made reconnect- and relay-proof by the origin tag).
+
+    Robustness (docs/ROBUSTNESS.md): every connection owns a bounded
+    outbound queue drained by a dedicated writer thread — a stalled
+    consumer can neither block the broker lock nor grow memory without
+    limit. At [max_queue] queued frames the peer is declared a slow
+    consumer and disconnected; journal-backed replay is its catch-up
+    path. A liveness monitor pings idle peers and reaps connections
+    silent past the heartbeat deadline, so half-dead TCP endpoints
+    (no FIN) are detected and collected.
 
     Durability and catch-up: on a journaled broker each accepted event
     is one WAL record, acknowledged with its op index; a reconnecting
@@ -31,14 +42,44 @@ val create :
   ?faults:Fault.t ->
   ?seed:int ->
   ?max_frame:int ->
+  ?name:string ->
+  ?max_queue:int ->
+  ?sndbuf:int ->
+  ?heartbeat:Transport.heartbeat option ->
+  ?tick_s:float ->
+  ?metrics:Genas_obs.Metrics.t ->
+  ?on_accept:(conn_id:int -> origin:string -> Genas_model.Event.t array -> unit) ->
+  ?on_subscribe:
+    (conn_id:int -> token:int -> subscriber:string -> body:string -> unit) ->
+  ?on_unsubscribe:(conn_id:int -> token:int -> body:string -> unit) ->
   broker:Broker.t ->
   Transport.addr ->
   t
 (** [seed] is the frame-checksum seed (must match the clients');
     [max_frame] bounds accepted frame payloads (hostile length
-    prefixes fail before allocation). The server borrows [broker] —
-    the caller keeps ownership and may publish/subscribe locally
-    through it concurrently via {!publish}. *)
+    prefixes fail before allocation). [name] is this node's mesh name
+    (default ["server"]) — events it publishes locally carry it as
+    origin, and it must be unique within a mesh for no-echo to be
+    sound. [max_queue] (default 1024) bounds each connection's
+    outbound queue; exceeding it triggers the slow-consumer
+    disconnect. [sndbuf] shrinks accepted sockets' kernel send
+    buffers (tests use it to trip backpressure deterministically).
+    [heartbeat] (default {!Transport.default_heartbeat}; [None]
+    disables liveness entirely) and [tick_s] (default 0.05) drive the
+    monitor thread. [metrics] registers the [genas_net_*] family.
+
+    Relay hooks, all invoked {e outside} the broker lock:
+    [on_accept] after a remote publish is applied (with its origin
+    resolved — an empty wire origin means the publishing peer
+    itself); [on_subscribe] after a {e new} remote subscription is
+    installed but {e before} its [Ack] is sent, so once a subscriber
+    sees the Ack the whole upstream path has the profile;
+    [on_unsubscribe] after an explicit remote unsubscribe (not on
+    connection drop — see {!Relay} for why forwards stay sticky).
+
+    The server borrows [broker] — the caller keeps ownership and may
+    publish/subscribe locally through it concurrently via
+    {!publish}. *)
 
 val serve : ?connections:int -> t -> unit
 (** Run the accept loop on the calling thread. [connections = n]
@@ -53,12 +94,17 @@ val stop : t -> unit
 (** Close the listener and every connection, join all threads, and
     wait out any in-flight background engine swap. *)
 
-val publish : t -> Genas_model.Event.t array -> int
+val publish : ?origin:string -> t -> Genas_model.Event.t array -> int
 (** Publish locally on the server node (one journal record per event)
-    and flush deliveries to every connection. Returns the cursor of
-    the first record. *)
+    and flush deliveries to every connection. [origin] (default the
+    server's own [name]) tags the deliveries for cross-hop no-echo —
+    a relay re-publishing an upstream delivery into its local broker
+    passes the original publisher's name through. Returns the cursor
+    of the first record. *)
 
 val broker : t -> Broker.t
+
+val name : t -> string
 
 val connections : t -> int
 (** Currently connected peers. *)
@@ -68,3 +114,10 @@ val cursor : t -> int
 
 val crashed : t -> bool
 (** An injected journal crash stopped the server. *)
+
+val slow_disconnects : t -> int
+(** Connections dropped by the bounded-queue slow-consumer policy. *)
+
+val reaped : t -> int
+(** Connections reaped by the liveness monitor after missing the
+    heartbeat deadline. *)

@@ -7,7 +7,27 @@
 module Event = Genas_model.Event
 module Schema = Genas_model.Schema
 
-let protocol_version = 1
+let protocol_version = 2
+
+(* Wall-independent seconds for deadlines and heartbeat bookkeeping:
+   reads {!Genas_obs.Clock}, so tests can install a fake source and
+   drive liveness deadlines deterministically. *)
+let now_s () = Int64.to_float (Genas_obs.Clock.now_ns ()) /. 1e9
+
+(* {1 Liveness} *)
+
+type heartbeat = { period_s : float; misses : int }
+
+let default_heartbeat = { period_s = 5.0; misses = 3 }
+
+let heartbeat ?(period_s = default_heartbeat.period_s)
+    ?(misses = default_heartbeat.misses) () =
+  if not (period_s > 0.0) then
+    invalid_arg "Transport.heartbeat: period must be positive";
+  if misses < 1 then invalid_arg "Transport.heartbeat: misses must be >= 1";
+  { period_s; misses }
+
+let deadline_of { period_s; misses } = period_s *. float_of_int misses
 
 (* {1 Addresses} *)
 
@@ -58,13 +78,21 @@ type message =
   | Reject of { reason : string }
   | Subscribe of { token : int; subscriber : string; body : string }
   | Unsubscribe of { token : int }
-  | Publish of { token : int; events : Event.t array }
+  | Publish of { token : int; origin : string; events : Event.t array }
   | Ack of { token : int; cursor : int; count : int }
   | Nack of { token : int; reason : string }
-  | Deliver of { cursor : int; idx : int; replay : bool; event : Event.t }
+  | Deliver of {
+      cursor : int;
+      idx : int;
+      replay : bool;
+      origin : string;
+      event : Event.t;
+    }
   | Replay of { since : int }
   | Replay_done of { cursor : int; complete : bool }
   | Bye
+  | Ping of { token : int }
+  | Pong of { token : int }
 
 let encode_message msg =
   let b = Buffer.create 64 in
@@ -90,9 +118,10 @@ let encode_message msg =
   | Unsubscribe { token } ->
     Codec.w_u8 b 4;
     Codec.w_int b token
-  | Publish { token; events } ->
+  | Publish { token; origin; events } ->
     Codec.w_u8 b 5;
     Codec.w_int b token;
+    Codec.w_string b origin;
     Codec.w_array Codec.w_event b events
   | Ack { token; cursor; count } ->
     Codec.w_u8 b 6;
@@ -103,11 +132,12 @@ let encode_message msg =
     Codec.w_u8 b 7;
     Codec.w_int b token;
     Codec.w_string b reason
-  | Deliver { cursor; idx; replay; event } ->
+  | Deliver { cursor; idx; replay; origin; event } ->
     Codec.w_u8 b 8;
     Codec.w_int b cursor;
     Codec.w_int b idx;
     Codec.w_bool b replay;
+    Codec.w_string b origin;
     Codec.w_event b event
   | Replay { since } ->
     Codec.w_u8 b 9;
@@ -116,7 +146,13 @@ let encode_message msg =
     Codec.w_u8 b 10;
     Codec.w_int b cursor;
     Codec.w_bool b complete
-  | Bye -> Codec.w_u8 b 11);
+  | Bye -> Codec.w_u8 b 11
+  | Ping { token } ->
+    Codec.w_u8 b 12;
+    Codec.w_int b token
+  | Pong { token } ->
+    Codec.w_u8 b 13;
+    Codec.w_int b token);
   Buffer.contents b
 
 let decode_message schema payload =
@@ -142,8 +178,9 @@ let decode_message schema payload =
     | 4 -> Unsubscribe { token = Codec.r_int r }
     | 5 ->
       let token = Codec.r_int r in
+      let origin = Codec.r_string r in
       let events = Codec.r_array (Codec.r_event schema) r in
-      Publish { token; events }
+      Publish { token; origin; events }
     | 6 ->
       let token = Codec.r_int r in
       let cursor = Codec.r_int r in
@@ -157,14 +194,17 @@ let decode_message schema payload =
       let cursor = Codec.r_int r in
       let idx = Codec.r_int r in
       let replay = Codec.r_bool r in
+      let origin = Codec.r_string r in
       let event = Codec.r_event schema r in
-      Deliver { cursor; idx; replay; event }
+      Deliver { cursor; idx; replay; origin; event }
     | 9 -> Replay { since = Codec.r_int r }
     | 10 ->
       let cursor = Codec.r_int r in
       let complete = Codec.r_bool r in
       Replay_done { cursor; complete }
     | 11 -> Bye
+    | 12 -> Ping { token = Codec.r_int r }
+    | 13 -> Pong { token = Codec.r_int r }
     | t -> raise (Codec.Corrupt (Printf.sprintf "bad message tag %d" t))
   in
   Codec.r_end r;
@@ -183,6 +223,8 @@ let message_name = function
   | Replay _ -> "replay"
   | Replay_done _ -> "replay-done"
   | Bye -> "bye"
+  | Ping _ -> "ping"
+  | Pong _ -> "pong"
 
 (* {1 Connections} *)
 
@@ -226,16 +268,37 @@ let send c msg =
 let recv c schema =
   match Codec.read_frame ~max_frame:c.max_frame ~seed:c.seed c.ic with
   | Error _ as e -> e
+  | exception Sys_blocked_io ->
+    (* A kernel receive deadline (SO_RCVTIMEO) expired: the channel
+       layer surfaces the read's EAGAIN as [Sys_blocked_io]. Report it
+       as [`Eof] — the handshake (the only caller that arms the
+       deadline) abandons the connection either way. *)
+    Error `Eof
   | Ok payload -> (
     match decode_message schema payload with
     | msg -> Ok msg
     | exception Codec.Corrupt m -> Error (`Corrupt m))
 
+(* Kernel-level receive deadline: with a timeout set, a blocked read
+   fails with EAGAIN, which {!recv} reports as [`Eof]. Used around the
+   handshake, where the connection is abandoned on timeout anyway —
+   never mid-stream, where a timed-out partial read would desync the
+   frame boundary. *)
+let set_recv_timeout c = function
+  | Some s when s > 0.0 -> (
+    try Unix.setsockopt_float c.fd Unix.SO_RCVTIMEO s
+    with Unix.Unix_error _ | Invalid_argument _ -> ())
+  | _ -> (
+    try Unix.setsockopt_float c.fd Unix.SO_RCVTIMEO 0.0
+    with Unix.Unix_error _ | Invalid_argument _ -> ())
+
 (* Closing an fd does not wake a thread already blocked in read(2);
    shutdown does, with EOF. Always shut down before joining a thread
-   that may be parked in {!recv}. *)
+   that may be parked in {!recv}. No pre-flush: {!send} flushes every
+   frame, so the channel buffer only holds bytes mid-[send] — and
+   flushing here would block on the full kernel buffer of exactly the
+   stalled peer this is called to get rid of. *)
 let shutdown_conn c =
-  (try flush c.oc with Sys_error _ -> ());
   try Unix.shutdown c.fd Unix.SHUTDOWN_ALL
   with Unix.Unix_error _ | Invalid_argument _ -> ()
 

@@ -18,6 +18,28 @@
 
 val protocol_version : int
 
+val now_s : unit -> float
+(** Monotonic seconds from {!Genas_obs.Clock} — the time base for
+    every liveness deadline and request timeout in the networking
+    stack, so tests can fake it. *)
+
+(** {1 Liveness} *)
+
+type heartbeat = { period_s : float; misses : int }
+(** Idle-link liveness policy: after [period_s] without receiving
+    anything a peer sends [Ping]; after [misses] periods with nothing
+    received the link is declared half-dead and reaped. *)
+
+val default_heartbeat : heartbeat
+(** 5 s period, 3 misses (15 s detection deadline). *)
+
+val heartbeat : ?period_s:float -> ?misses:int -> unit -> heartbeat
+(** @raise Invalid_argument unless [period_s > 0] and [misses >= 1]. *)
+
+val deadline_of : heartbeat -> float
+(** [period_s *. misses]: seconds of received silence that count as a
+    dead peer. *)
+
 (** {1 Addresses} *)
 
 type addr = Unix_sock of string | Tcp of string * int
@@ -37,7 +59,15 @@ type message =
       (** [body] is profile-language source — the same re-parse
           contract as {!Store} and the journal *)
   | Unsubscribe of { token : int }
-  | Publish of { token : int; events : Genas_model.Event.t array }
+  | Publish of {
+      token : int;
+      origin : string;
+          (** node name of the {e original} publisher — a relay
+              forwarding downstream traffic upstream preserves it, so
+              no-echo works across hops (names must be unique within a
+              mesh; see docs/NETWORKING.md) *)
+      events : Genas_model.Event.t array;
+    }
   | Ack of { token : int; cursor : int; count : int }
       (** for a publish: the journal op index its record carries
           ([-1] unjournaled) and the number of events accepted *)
@@ -46,6 +76,9 @@ type message =
       cursor : int;  (** journal op index of the carrying record *)
       idx : int;  (** position within that record's event array *)
       replay : bool;  (** catch-up replay, not a live delivery *)
+      origin : string;
+          (** originating node name ([""] on journal replay — the WAL
+              does not retain provenance) *)
       event : Genas_model.Event.t;
     }
   | Replay of { since : int }
@@ -54,6 +87,11 @@ type message =
   | Replay_done of { cursor : int; complete : bool }
       (** [complete = false]: a snapshot discarded part of the range *)
   | Bye
+  | Ping of { token : int }
+      (** liveness probe; the receiver answers [Pong] with the same
+          token. Any received frame counts as liveness — pings only
+          flow on otherwise-idle links. *)
+  | Pong of { token : int }
 
 val encode_message : message -> string
 
@@ -84,6 +122,13 @@ val recv :
 (** Block for the next frame. [`Eof] is a clean close between frames;
     anything undecodable — torn frame, checksum mismatch, hostile
     length, bad tag — is [`Corrupt]. *)
+
+val set_recv_timeout : conn -> float option -> unit
+(** Set ([Some seconds]) or clear ([None]) a kernel receive deadline
+    ([SO_RCVTIMEO]) on the connection: a blocked {!recv} then fails
+    with [`Eof] instead of parking forever. Only safe around the
+    handshake — a mid-stream timeout desyncs the frame boundary, so
+    the connection must be abandoned after one fires. *)
 
 val shutdown_conn : conn -> unit
 (** [shutdown(2)] both directions, waking any thread blocked in

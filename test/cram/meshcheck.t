@@ -1,0 +1,83 @@
+A three-node mesh of OS processes: a root broker, a relay that serves
+downstream peers while peering upstream into the root, and scripted
+clients on both tiers. Downstream subscriptions are mirrored upstream
+(covering-minimized, refcounted), downstream publishes forward
+upstream with their origin preserved, and deliveries fan out to every
+tier exactly once — the chain delivers what one flat broker would.
+
+  $ ../../bin/genas_cli.exe serve --addr unix:root.sock --dir rootwal --connections 2 --name root > root.out 2>&1 &
+  $ for _ in $(seq 150); do [ -S root.sock ] && break; sleep 0.1; done
+  $ ../../bin/genas_cli.exe relay --addr unix:relay.sock --up unix:root.sock --dir relaywal --connections 2 --name relay > relay.out 2>&1 &
+  $ for _ in $(seq 150); do [ -S relay.sock ] && break; sleep 0.1; done
+
+Subscribers first, parked on 'await' (scripted responses are flushed
+per line, so polling their output files synchronizes the script): one
+at the root, one at the relay.
+
+  $ ../../bin/genas_cli.exe connect --addr unix:root.sock --name rootsub > rootsub.out 2>&1 <<'EOF' &
+  > sub bob : severity >= 5
+  > await 2
+  > status
+  > quit
+  > EOF
+  $ for _ in $(seq 150); do grep -q "sub bob" rootsub.out 2>/dev/null && break; sleep 0.1; done
+
+  $ ../../bin/genas_cli.exe connect --addr unix:relay.sock --name leafsub > leafsub.out 2>&1 <<'EOF' &
+  > sub dave : severity >= 5
+  > await 2
+  > quit
+  > EOF
+  $ for _ in $(seq 150); do grep -q "sub dave" leafsub.out 2>/dev/null && break; sleep 0.1; done
+
+The publisher joins at the leaf tier. Its own subscription only
+matches the second event (delivered locally, never echoed back); the
+relay forwards both publishes upstream before acknowledging, so by
+the time 'pub ok' prints the root has journaled the event.
+
+  $ ../../bin/genas_cli.exe connect --addr unix:relay.sock --name leafpub <<'EOF'
+  > sub carol : severity >= 8
+  > pub topic = weather, severity = 7
+  > pub topic = traffic, severity = 9
+  > status
+  > quit
+  > EOF
+  sub carol token=1 forwarded=1
+  pub ok local=0
+  deliver carol <- topic = "traffic", severity = 9
+  pub ok local=1
+  status connected=true applied=0 dropped=0 reconnects=0 heartbeat_misses=0 outbox=0
+  bye applied=0 dropped=0
+
+Both subscribers saw both events exactly once, in publish order — the
+root subscriber through relay-forwarded upstream publishes, the leaf
+subscriber through the relay's own broker.
+
+  $ wait
+  $ cat rootsub.out
+  sub bob token=1 forwarded=1
+  deliver bob <- topic = "weather", severity = 7
+  deliver bob <- topic = "traffic", severity = 9
+  await applied=2
+  status connected=true applied=2 dropped=0 reconnects=0 heartbeat_misses=0 outbox=0
+  bye applied=2 dropped=0
+  $ cat leafsub.out
+  sub dave token=1 forwarded=1
+  deliver dave <- topic = "weather", severity = 7
+  deliver dave <- topic = "traffic", severity = 9
+  await applied=2
+  bye applied=2 dropped=0
+
+Both tiers ran journaled brokers: the root saw two connections (the
+relay's upstream link and rootsub), the relay its two downstream
+clients. Each WAL holds what a reconnecting client would replay.
+
+  $ cat root.out
+  serving unix:root.sock
+  served 2 connection(s), cursor 6
+  $ cat relay.out
+  relay relay: serving unix:relay.sock, upstream unix:root.sock
+  relay relay: served 2 connection(s), cursor 6
+  $ ls rootwal
+  journal.wal
+  $ ls relaywal
+  journal.wal

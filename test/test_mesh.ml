@@ -1,0 +1,932 @@
+(* Self-healing mesh: liveness reaping on both ends, request
+   deadlines, bounded-queue backpressure, automatic reconnect with
+   journal catch-up, multi-hop relay topologies differentially tested
+   against the flat broker, and seeded chaos over a relay chain. *)
+
+module Value = Genas_model.Value
+module Domain = Genas_model.Domain
+module Schema = Genas_model.Schema
+module Event = Genas_model.Event
+module Codec = Genas_ens.Codec
+module Journal = Genas_ens.Journal
+module Fault = Genas_ens.Fault
+module Broker = Genas_ens.Broker
+module Notification = Genas_ens.Notification
+module Transport = Genas_ens.Transport
+module Broker_server = Genas_ens.Broker_server
+module Broker_client = Genas_ens.Broker_client
+module Relay = Genas_ens.Relay
+module Chaos = Genas_ens.Chaos
+module Supervise = Genas_ens.Supervise
+module Metrics = Genas_obs.Metrics
+
+let schema () =
+  Schema.create_exn
+    [ ("x", Domain.int_range ~lo:0 ~hi:9); ("y", Domain.int_range ~lo:0 ~hi:9) ]
+
+let event ?(time = 0.0) s x y =
+  Event.create_exn ~time s [ ("x", Value.Int x); ("y", Value.Int y) ]
+
+let fresh_path prefix =
+  let path = Filename.temp_file prefix ".sock" in
+  Sys.remove path;
+  path
+
+let fresh_dir () =
+  let path = Filename.temp_file "genas_mesh" ".d" in
+  Sys.remove path;
+  path
+
+let addr () = Transport.Unix_sock (fresh_path "genas_mesh")
+
+let or_fail = function Ok v -> v | Error e -> Alcotest.fail e
+
+let key (e : Event.t) =
+  match (e.Event.values.(0), e.Event.values.(1)) with
+  | Value.Int x, Value.Int y -> (x, y)
+  | _ -> Alcotest.fail "unexpected value shape"
+
+(* Every socket test gets a hard wall-clock bound: a deadlock or a
+   lost wakeup kills the binary with a named diagnostic instead of
+   hanging the whole suite. *)
+let with_timeout secs name f =
+  let old =
+    Sys.signal Sys.sigalrm
+      (Sys.Signal_handle
+         (fun _ ->
+           prerr_endline ("test timed out after alarm: " ^ name);
+           exit 124))
+  in
+  ignore (Unix.alarm secs);
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.alarm 0);
+      Sys.set_signal Sys.sigalrm old)
+    f
+
+(* Poll [pred] until it holds or [timeout] elapses. *)
+let settle ?(timeout = 5.0) name pred =
+  let t0 = Transport.now_s () in
+  let rec go () =
+    if pred () then ()
+    else if Transport.now_s () -. t0 > timeout then
+      Alcotest.failf "settle timed out: %s" name
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let hb ~period_s ~misses = Some (Transport.heartbeat ~period_s ~misses ())
+
+(* Small-backoff redial policy for fast self-healing in tests. *)
+let quick_redial i =
+  Supervise.retry_policy ~backoff_ns:2e7 ~multiplier:1.5 ~jitter:0.3
+    ~jitter_seed:(100 + i) ()
+
+(* A thread-safe (tag, key) recorder for per-subscriber delivery
+   multisets — handlers fire on server/relay/client threads. *)
+let recorder () =
+  let mu = Mutex.create () in
+  let l = ref [] in
+  let record tag k =
+    Mutex.lock mu;
+    l := (tag, k) :: !l;
+    Mutex.unlock mu
+  in
+  let get tag =
+    Mutex.lock mu;
+    let r =
+      List.filter_map
+        (fun (t, k) -> if String.equal t tag then Some k else None)
+        !l
+    in
+    Mutex.unlock mu;
+    List.sort compare r
+  in
+  (record, get)
+
+(* A raw scripted peer: accept one connection, optionally answer the
+   handshake, then run [after] on the connection. Used to simulate
+   half-dead and mute endpoints the full server would never exhibit. *)
+let raw_server ?(welcome = true) s a after =
+  let lsock = Transport.listen a in
+  let th =
+    Thread.create
+      (fun () ->
+        try
+          let c = Transport.accept lsock in
+          (match Transport.recv c s with
+          | Ok (Transport.Hello _) when welcome ->
+            Transport.send c
+              (Transport.Welcome
+                 {
+                   version = Transport.protocol_version;
+                   fingerprint = Codec.schema_fingerprint s;
+                   cursor = 0;
+                 })
+          | _ -> ());
+          after c;
+          Transport.close_conn c
+        with _ -> ())
+      ()
+  in
+  (lsock, th)
+
+(* Read (and discard) frames until the peer goes away: a peer that
+   consumes but never speaks — alive at the TCP level, dead at the
+   protocol level. *)
+let mute_reader s c =
+  let rec go () =
+    match Transport.recv c s with Ok _ -> go () | Error _ -> ()
+  in
+  go ()
+
+(* --- liveness --------------------------------------------------------- *)
+
+let test_server_reaps_half_dead_peer () =
+  with_timeout 20 "server reap" @@ fun () ->
+  let s = schema () in
+  let a = addr () in
+  let b = Broker.create s in
+  let srv =
+    Broker_server.create ~heartbeat:(hb ~period_s:0.1 ~misses:2) ~tick_s:0.02
+      ~broker:b a
+  in
+  Broker_server.start srv;
+  Fun.protect
+    ~finally:(fun () ->
+      Broker_server.stop srv;
+      Broker.close b)
+    (fun () ->
+      (* Handshake, then total silence: no Pong answers, no traffic. *)
+      let c = Transport.dial a in
+      Transport.send c
+        (Transport.Hello
+           {
+             version = Transport.protocol_version;
+             fingerprint = Codec.schema_fingerprint s;
+             name = "ghost";
+           });
+      (match Transport.recv c s with
+      | Ok (Transport.Welcome _) -> ()
+      | _ -> Alcotest.fail "no welcome");
+      settle ~timeout:5.0 "ghost connected" (fun () ->
+          Broker_server.connections srv = 1);
+      let t0 = Transport.now_s () in
+      settle ~timeout:5.0 "ghost reaped" (fun () ->
+          Broker_server.reaped srv >= 1 && Broker_server.connections srv = 0);
+      let elapsed = Transport.now_s () -. t0 in
+      Alcotest.(check bool)
+        "reaped within a few heartbeat deadlines" true (elapsed < 2.0);
+      Alcotest.(check int) "one reap" 1 (Broker_server.reaped srv);
+      Transport.close_conn c)
+
+let test_client_reaps_silent_server () =
+  with_timeout 20 "client reap" @@ fun () ->
+  let s = schema () in
+  let a = addr () in
+  (* The raw peer answers the handshake and then only reads: it will
+     swallow the client's Pings without ever Ponging. *)
+  let lsock, th = raw_server s a (mute_reader s) in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close lsock;
+      Thread.join th)
+    (fun () ->
+      let c =
+        or_fail
+          (Broker_client.connect ~name:"watch"
+             ~heartbeat:(hb ~period_s:0.1 ~misses:2) ~tick_s:0.02 s a)
+      in
+      Fun.protect
+        ~finally:(fun () -> Broker_client.close c)
+        (fun () ->
+          Alcotest.(check bool) "connected" true (Broker_client.connected c);
+          let t0 = Transport.now_s () in
+          settle ~timeout:5.0 "silent link reaped" (fun () ->
+              (not (Broker_client.connected c))
+              && Broker_client.heartbeat_misses c = 1);
+          let elapsed = Transport.now_s () -. t0 in
+          Alcotest.(check bool)
+            "reaped within a few heartbeat deadlines" true (elapsed < 2.0)))
+
+(* --- request deadlines ------------------------------------------------ *)
+
+let test_request_deadline () =
+  with_timeout 20 "request deadline" @@ fun () ->
+  let s = schema () in
+  let a = addr () in
+  (* Mute after the handshake: requests are read but never Acked. *)
+  let lsock, th = raw_server s a (mute_reader s) in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close lsock;
+      Thread.join th)
+    (fun () ->
+      let c =
+        or_fail
+          (Broker_client.connect ~name:"dead" ~deadline_s:0.4 ~heartbeat:None
+             ~tick_s:0.02 s a)
+      in
+      Fun.protect
+        ~finally:(fun () -> Broker_client.close c)
+        (fun () ->
+          let t0 = Transport.now_s () in
+          (match Broker_client.publish c (event s 1 1) with
+          | Error "timeout" -> ()
+          | Error e -> Alcotest.failf "expected timeout, got %S" e
+          | Ok _ -> Alcotest.fail "publish acked by a mute server");
+          let elapsed = Transport.now_s () -. t0 in
+          Alcotest.(check bool) "bounded wait" true (elapsed < 2.0);
+          Alcotest.(check bool)
+            "deadline expiry keeps the link" true
+            (Broker_client.connected c)))
+
+let test_handshake_deadline () =
+  with_timeout 20 "handshake deadline" @@ fun () ->
+  let s = schema () in
+  let a = addr () in
+  (* Accepts and reads the Hello, never answers it. *)
+  let lsock, th = raw_server ~welcome:false s a (mute_reader s) in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close lsock;
+      Thread.join th)
+    (fun () ->
+      let t0 = Transport.now_s () in
+      (match Broker_client.connect ~name:"hs" ~deadline_s:0.3 s a with
+      | Error "timeout" -> ()
+      | Error e -> Alcotest.failf "expected timeout, got %S" e
+      | Ok c ->
+        Broker_client.close c;
+        Alcotest.fail "handshake succeeded against a mute listener");
+      let elapsed = Transport.now_s () -. t0 in
+      Alcotest.(check bool) "bounded handshake wait" true (elapsed < 2.0))
+
+(* --- backpressure ----------------------------------------------------- *)
+
+let test_slow_consumer_disconnect () =
+  with_timeout 60 "slow consumer" @@ fun () ->
+  let s = schema () in
+  let a = addr () in
+  let dir = fresh_dir () in
+  let b = Broker.create ~journal:(Journal.config ~snapshot_every:100_000 dir) s in
+  (* Tiny queue bound + shrunken kernel send buffer make the trip
+     deterministic without megabytes of traffic. Liveness off: the
+     stall must be attributed to backpressure, not heartbeats. *)
+  let srv =
+    Broker_server.create ~max_queue:32 ~sndbuf:4096 ~heartbeat:None ~broker:b a
+  in
+  Broker_server.start srv;
+  Fun.protect
+    ~finally:(fun () ->
+      Broker_server.stop srv;
+      Broker.close b)
+    (fun () ->
+      let stalled =
+        or_fail (Broker_client.connect ~name:"stalled" ~heartbeat:None s a)
+      in
+      let healthy =
+        or_fail (Broker_client.connect ~name:"healthy" ~heartbeat:None s a)
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Broker_client.close stalled;
+          Broker_client.close healthy)
+        (fun () ->
+          ignore (or_fail (Broker_client.subscribe stalled "x >= 0" (fun _ -> ())));
+          ignore (or_fail (Broker_client.subscribe healthy "x >= 0" (fun _ -> ())));
+          Broker_client.pause_rx stalled;
+          let published = ref 0 in
+          let i = ref 0 in
+          while Broker_server.slow_disconnects srv = 0 && !i < 5000 do
+            incr i;
+            ignore
+              (Broker_server.publish srv [| event s (!i mod 10) (!i / 10 mod 10) |]);
+            incr published
+          done;
+          Alcotest.(check int)
+            "bounded queue tripped exactly once" 1
+            (Broker_server.slow_disconnects srv);
+          Broker_client.resume_rx stalled;
+          settle ~timeout:5.0 "stalled peer disconnected" (fun () ->
+              not (Broker_client.connected stalled));
+          (* The healthy peer was never penalized and sees everything. *)
+          settle ~timeout:10.0 "healthy peer complete" (fun () ->
+              ignore (Broker_client.drain healthy);
+              Broker_client.applied_total healthy = !published);
+          (* Journal-backed replay is the slow consumer's catch-up. *)
+          or_fail (Broker_client.reconnect stalled);
+          let _, complete = or_fail (Broker_client.replay stalled) in
+          Alcotest.(check bool) "replay complete" true complete;
+          settle ~timeout:10.0 "stalled peer caught up" (fun () ->
+              ignore (Broker_client.drain stalled);
+              Broker_client.applied_total stalled = !published)))
+
+(* --- auto-reconnect --------------------------------------------------- *)
+
+let test_auto_reconnect_replay () =
+  with_timeout 60 "auto reconnect" @@ fun () ->
+  let s = schema () in
+  let a = addr () in
+  let dir = fresh_dir () in
+  let b = Broker.create ~journal:(Journal.config ~snapshot_every:100_000 dir) s in
+  let make_srv () =
+    let srv = Broker_server.create ~broker:b a in
+    Broker_server.start srv;
+    srv
+  in
+  let srv = ref (make_srv ()) in
+  let record, get = recorder () in
+  let c =
+    or_fail
+      (Broker_client.connect ~name:"c6" ~reconnect:(quick_redial 6)
+         ~max_backoff_s:0.3 ~tick_s:0.01 ~auto_drain:true s a)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Broker_client.close c;
+      Broker_server.stop !srv;
+      Broker.close b)
+    (fun () ->
+      ignore
+        (or_fail
+           (Broker_client.subscribe c ~subscriber:"c6" "x >= 0" (fun n ->
+                record "c6" (key n.Notification.event))));
+      for i = 0 to 4 do
+        ignore (Broker_server.publish !srv [| event s i i |])
+      done;
+      settle ~timeout:5.0 "first half applied" (fun () ->
+          Broker_client.applied_total c = 5);
+      (* Kill the serving process (broker survives, as under
+         [Broker.recover]); the client must notice unaided. *)
+      Broker_server.stop !srv;
+      settle ~timeout:5.0 "link loss detected" (fun () ->
+          not (Broker_client.connected c));
+      srv := make_srv ();
+      settle ~timeout:5.0 "self-healed" (fun () ->
+          Broker_client.connected c && Broker_client.reconnects c >= 1);
+      for i = 5 to 9 do
+        ignore (Broker_server.publish !srv [| event s i i |])
+      done;
+      settle ~timeout:5.0 "second half applied" (fun () ->
+          Broker_client.applied_total c = 10);
+      Alcotest.(check (list (pair int int)))
+        "exactly once across the kill/restart"
+        (List.init 10 (fun i -> (i, i)))
+        (get "c6"))
+
+(* --- multi-hop relays ------------------------------------------------- *)
+
+(* Chain: leaf peers -> R2 -> R1 -> root. Deliveries must be
+   bit-identical to the same subscriptions against one flat broker. *)
+let test_relay_chain_matches_flat () =
+  with_timeout 60 "relay chain" @@ fun () ->
+  let s = schema () in
+  let a0 = addr () and a1 = addr () and a2 = addr () in
+  let rootb =
+    Broker.create
+      ~journal:(Journal.config ~snapshot_every:100_000 (fresh_dir ()))
+      s
+  in
+  let root = Broker_server.create ~name:"root" ~broker:rootb a0 in
+  Broker_server.start root;
+  let r1 =
+    or_fail
+      (Relay.create
+         ~journal:(Journal.config ~snapshot_every:100_000 (fresh_dir ()))
+         ~reconnect:(quick_redial 1) ~tick_s:0.01 ~name:"R1" ~up:a0 ~listen:a1
+         s)
+  in
+  let r2 =
+    or_fail
+      (Relay.create
+         ~journal:(Journal.config ~snapshot_every:100_000 (fresh_dir ()))
+         ~reconnect:(quick_redial 2) ~tick_s:0.01 ~name:"R2" ~up:a1 ~listen:a2
+         s)
+  in
+  let record, get = recorder () in
+  let leafsub = or_fail (Broker_client.connect ~name:"leafsub" ~auto_drain:true s a2) in
+  let midsub = or_fail (Broker_client.connect ~name:"midsub" ~auto_drain:true s a1) in
+  let leafpub = or_fail (Broker_client.connect ~name:"leafpub" s a2) in
+  Fun.protect
+    ~finally:(fun () ->
+      Broker_client.close leafsub;
+      Broker_client.close midsub;
+      Broker_client.close leafpub;
+      Relay.close r2;
+      Relay.close r1;
+      Broker_server.stop root;
+      Broker.close rootb)
+    (fun () ->
+      ignore
+        (or_fail
+           (Broker_client.subscribe leafsub ~subscriber:"leafsub" "x >= 5"
+              (fun n -> record "leafsub" (key n.Notification.event))));
+      ignore
+        (or_fail
+           (Broker_client.subscribe leafsub ~subscriber:"leafsub" "y <= 3"
+              (fun n -> record "leafsub" (key n.Notification.event))));
+      ignore
+        (or_fail
+           (Broker_client.subscribe midsub ~subscriber:"midsub" "x <= 2"
+              (fun n -> record "midsub" (key n.Notification.event))));
+      let leaf_events = [ (6, 2); (1, 7); (9, 9); (2, 1); (5, 3) ] in
+      let root_events = [ (7, 0); (0, 0) ] in
+      List.iter
+        (fun (x, y) ->
+          ignore (or_fail (Broker_client.publish leafpub (event s x y))))
+        leaf_events;
+      List.iter
+        (fun (x, y) -> ignore (Broker_server.publish root [| event s x y |]))
+        root_events;
+      (* Reference: the same subscriptions against one flat broker. *)
+      let refb = Broker.create s in
+      let ref_record, ref_get = recorder () in
+      List.iter
+        (fun (tag, body) ->
+          ignore
+            (or_fail
+               (Broker.subscribe_text refb ~subscriber:tag body (fun n ->
+                    ref_record tag (key n.Notification.event)))))
+        [ ("leafsub", "x >= 5"); ("leafsub", "y <= 3"); ("midsub", "x <= 2") ];
+      List.iter
+        (fun (x, y) -> ignore (Broker.publish refb (event s x y)))
+        (leaf_events @ root_events);
+      Broker.close refb;
+      settle ~timeout:10.0 "chain converged" (fun () ->
+          List.length (get "leafsub") = List.length (ref_get "leafsub")
+          && List.length (get "midsub") = List.length (ref_get "midsub"));
+      Alcotest.(check (list (pair int int)))
+        "leafsub bit-identical to flat" (ref_get "leafsub") (get "leafsub");
+      Alcotest.(check (list (pair int int)))
+        "midsub bit-identical to flat" (ref_get "midsub") (get "midsub"))
+
+(* Tree: R1 and R2 both under root. An event published at a leaf of
+   R1 reaches every subscriber exactly once and never echoes back to
+   its publisher. *)
+let test_relay_tree_no_echo () =
+  with_timeout 60 "relay tree" @@ fun () ->
+  let s = schema () in
+  let a0 = addr () and a1 = addr () and a2 = addr () in
+  let rootb = Broker.create s in
+  let root = Broker_server.create ~name:"root" ~broker:rootb a0 in
+  Broker_server.start root;
+  let r1 =
+    or_fail
+      (Relay.create ~reconnect:(quick_redial 1) ~tick_s:0.01 ~name:"R1" ~up:a0
+         ~listen:a1 s)
+  in
+  let r2 =
+    or_fail
+      (Relay.create ~reconnect:(quick_redial 2) ~tick_s:0.01 ~name:"R2" ~up:a0
+         ~listen:a2 s)
+  in
+  let record, get = recorder () in
+  let subA = or_fail (Broker_client.connect ~name:"subA" ~auto_drain:true s a1) in
+  let subB = or_fail (Broker_client.connect ~name:"subB" ~auto_drain:true s a2) in
+  let pubA = or_fail (Broker_client.connect ~name:"pubA" ~auto_drain:true s a1) in
+  Fun.protect
+    ~finally:(fun () ->
+      Broker_client.close subA;
+      Broker_client.close subB;
+      Broker_client.close pubA;
+      Relay.close r2;
+      Relay.close r1;
+      Broker_server.stop root;
+      Broker.close rootb)
+    (fun () ->
+      List.iter
+        (fun (tag, c) ->
+          ignore
+            (or_fail
+               (Broker_client.subscribe c ~subscriber:tag "x >= 0" (fun n ->
+                    record tag (key n.Notification.event)))))
+        [ ("subA", subA); ("subB", subB); ("pubA", pubA) ];
+      ignore (or_fail (Broker_client.publish pubA (event s 3 3)));
+      settle ~timeout:10.0 "fanout converged" (fun () ->
+          List.length (get "subA") = 1 && List.length (get "subB") = 1);
+      (* pubA's own copy came from its local broker; the mesh must not
+         hand it a second one. Let late echoes (if any) arrive. *)
+      Thread.delay 0.3;
+      Alcotest.(check int) "subA exactly once" 1 (List.length (get "subA"));
+      Alcotest.(check int) "subB exactly once" 1 (List.length (get "subB"));
+      Alcotest.(check int) "no echo to publisher" 1 (List.length (get "pubA"));
+      (* And downward from the root, across both branches. *)
+      ignore (Broker_server.publish root [| event s 4 4 |]);
+      settle ~timeout:10.0 "root fanout converged" (fun () ->
+          List.length (get "subA") = 2
+          && List.length (get "subB") = 2
+          && List.length (get "pubA") = 2))
+
+(* --- chaos ------------------------------------------------------------ *)
+
+let test_chaos_plan_determinism () =
+  let spec = { Chaos.steps = 50; kill = 0.2; partition = 0.3; stall = 0.1 } in
+  let p1 = Chaos.plan ~seed:7 ~clients:3 spec in
+  let p2 = Chaos.plan ~seed:7 ~clients:3 spec in
+  Alcotest.(check string)
+    "same (seed, clients, spec) -> same plan" (Chaos.to_string p1)
+    (Chaos.to_string p2);
+  let calm, kill, partition, stall = Chaos.counts p1 in
+  Alcotest.(check int) "counts partition the steps" 50
+    (calm + kill + partition + stall);
+  let p3 = Chaos.plan ~seed:8 ~clients:3 spec in
+  Alcotest.(check bool)
+    "different seed -> different plan" false
+    (String.equal (Chaos.to_string p1) (Chaos.to_string p3));
+  List.iter
+    (fun (label, clients, spec) ->
+      match Chaos.plan ~seed:1 ~clients spec with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "expected Invalid_argument: %s" label)
+    [
+      ("probability above 1", 2,
+       { Chaos.steps = 5; kill = 1.5; partition = 0.0; stall = 0.0 });
+      ("probabilities sum above 1", 2,
+       { Chaos.steps = 5; kill = 0.6; partition = 0.6; stall = 0.0 });
+      ("targeted faults with no clients", 0,
+       { Chaos.steps = 5; kill = 0.0; partition = 0.5; stall = 0.0 });
+      ("negative steps", 2,
+       { Chaos.steps = -1; kill = 0.0; partition = 0.0; stall = 0.0 });
+    ]
+
+(* The tentpole differential: a 3-node relay chain under a seeded
+   chaos plan (root kill/restarts, link partitions, receiver stalls)
+   plus seeded link faults on the root's deliveries (drop / duplicate
+   / delay). Self-healing only — no operator action in the loop — and
+   the final delivery multisets must be bit-identical to one flat
+   broker. Actions fire at step boundaries, after the previous step's
+   settle: upstream forwarding is at-least-once, and a kill with an
+   ack in flight would duplicate the batch (docs/NETWORKING.md). *)
+let test_chaos_differential () =
+  with_timeout 180 "chaos differential" @@ fun () ->
+  let s = schema () in
+  let a0 = addr () and a1 = addr () and a2 = addr () in
+  let rootb =
+    Broker.create
+      ~journal:(Journal.config ~snapshot_every:100_000 (fresh_dir ()))
+      s
+  in
+  let record, get = recorder () in
+  ignore
+    (or_fail
+       (Broker.subscribe_text rootb ~subscriber:"rootsub" "x >= 0" (fun n ->
+            record "rootsub" (key n.Notification.event))));
+  let restarts = ref 0 in
+  let make_root () =
+    incr restarts;
+    let faults =
+      Fault.plan ~seed:(11 + !restarts)
+        { Fault.none with link_drop = 0.25; link_duplicate = 0.1;
+          link_delay = 0.1 }
+    in
+    let srv = Broker_server.create ~faults ~name:"root" ~broker:rootb a0 in
+    Broker_server.start srv;
+    srv
+  in
+  let root = ref (make_root ()) in
+  let r1 =
+    or_fail
+      (Relay.create
+         ~journal:(Journal.config ~snapshot_every:100_000 (fresh_dir ()))
+         ~reconnect:(quick_redial 1) ~deadline_s:2.0 ~tick_s:0.01 ~name:"R1"
+         ~up:a0 ~listen:a1 s)
+  in
+  let r2 =
+    or_fail
+      (Relay.create
+         ~journal:(Journal.config ~snapshot_every:100_000 (fresh_dir ()))
+         ~reconnect:(quick_redial 2) ~deadline_s:2.0 ~tick_s:0.01 ~name:"R2"
+         ~up:a1 ~listen:a2 s)
+  in
+  let leafsub = or_fail (Broker_client.connect ~name:"leafsub" ~auto_drain:true s a2) in
+  let midsub = or_fail (Broker_client.connect ~name:"midsub" ~auto_drain:true s a1) in
+  let leafpub = or_fail (Broker_client.connect ~name:"leafpub" s a2) in
+  Fun.protect
+    ~finally:(fun () ->
+      Broker_client.close leafsub;
+      Broker_client.close midsub;
+      Broker_client.close leafpub;
+      Relay.close r2;
+      Relay.close r1;
+      Broker_server.stop !root;
+      Broker.close rootb)
+    (fun () ->
+      ignore
+        (or_fail
+           (Broker_client.subscribe leafsub ~subscriber:"leafsub" "x >= 5"
+              (fun n -> record "leafsub" (key n.Notification.event))));
+      ignore
+        (or_fail
+           (Broker_client.subscribe midsub ~subscriber:"midsub" "x <= 4"
+              (fun n -> record "midsub" (key n.Notification.event))));
+      let links = [| Relay.client r1; Relay.client r2 |] in
+      let healed name =
+        settle ~timeout:30.0 name (fun () ->
+            Broker_client.connected links.(0)
+            && Broker_client.connected links.(1)
+            && Broker_client.outbox_depth links.(0) = 0
+            && Broker_client.outbox_depth links.(1) = 0)
+      in
+      let published = ref [] in
+      let next = ref 0 in
+      let gen () =
+        let i = !next in
+        incr next;
+        let e = event s (i mod 10) (i / 10 mod 10) in
+        published := e :: !published;
+        e
+      in
+      let plan =
+        Chaos.plan ~seed:5 ~clients:2
+          { Chaos.steps = 12; kill = 0.25; partition = 0.25; stall = 0.15 }
+      in
+      Array.iter
+        (fun action ->
+          let resumer =
+            match action with
+            | Chaos.Calm -> None
+            | Chaos.Kill_restart ->
+              Broker_server.stop !root;
+              root := make_root ();
+              None
+            | Chaos.Partition i ->
+              Broker_client.drop_link links.(i);
+              None
+            | Chaos.Stall i ->
+              (* Transient: the stall must end well inside the relay
+                 deadline, or a timed-out (but applied) upstream
+                 publish would be re-sent and double-applied. *)
+              Broker_client.pause_rx links.(i);
+              Some
+                (Thread.create
+                   (fun () ->
+                     Thread.delay 0.15;
+                     Broker_client.resume_rx links.(i))
+                   ())
+          in
+          for _ = 1 to 3 do
+            ignore (or_fail (Broker_client.publish leafpub (gen ())))
+          done;
+          ignore (Relay.publish r1 [| gen () |]);
+          (match resumer with Some th -> Thread.join th | None -> ());
+          healed "step healed")
+        plan;
+      (* One forced final kill/restart: the reconnect's replay is what
+         recovers root->R1 live deliveries the fault plan dropped. *)
+      Broker_server.stop !root;
+      root := make_root ();
+      healed "final heal";
+      (* Reference: the same subscriptions against one flat broker. *)
+      let refb = Broker.create s in
+      let ref_record, ref_get = recorder () in
+      List.iter
+        (fun (tag, body) ->
+          ignore
+            (or_fail
+               (Broker.subscribe_text refb ~subscriber:tag body (fun n ->
+                    ref_record tag (key n.Notification.event)))))
+        [ ("rootsub", "x >= 0"); ("leafsub", "x >= 5"); ("midsub", "x <= 4") ];
+      List.iter (fun e -> ignore (Broker.publish refb e)) (List.rev !published);
+      Broker.close refb;
+      settle ~timeout:30.0 "chaos converged" (fun () ->
+          List.length (get "rootsub") = List.length (ref_get "rootsub")
+          && List.length (get "leafsub") = List.length (ref_get "leafsub")
+          && List.length (get "midsub") = List.length (ref_get "midsub"));
+      List.iter
+        (fun tag ->
+          Alcotest.(check (list (pair int int)))
+            (tag ^ " bit-identical to flat under chaos")
+            (ref_get tag) (get tag))
+        [ "rootsub"; "leafsub"; "midsub" ])
+
+(* --- soak ------------------------------------------------------------- *)
+
+let read_proc_threads () =
+  let ic = open_in "/proc/self/status" in
+  let rec go acc =
+    match input_line ic with
+    | line ->
+      if String.length line > 8 && String.equal (String.sub line 0 8) "Threads:"
+      then
+        go
+          (int_of_string
+             (String.trim (String.sub line 8 (String.length line - 8))))
+      else go acc
+    | exception End_of_file -> acc
+  in
+  let n = go 0 in
+  close_in ic;
+  n
+
+let read_proc_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_soak_kill_restart () =
+  with_timeout 180 "soak" @@ fun () ->
+  let s = schema () in
+  let a = addr () in
+  let dir = fresh_dir () in
+  let b = Broker.create ~journal:(Journal.config ~snapshot_every:100_000 dir) s in
+  let make_srv () =
+    let srv = Broker_server.create ~broker:b a in
+    Broker_server.start srv;
+    srv
+  in
+  let srv = ref (make_srv ()) in
+  let record, get = recorder () in
+  let clients =
+    Array.init 3 (fun i ->
+        let name = Printf.sprintf "soak%d" i in
+        let c =
+          or_fail
+            (Broker_client.connect ~name ~reconnect:(quick_redial (20 + i))
+               ~max_backoff_s:0.2 ~tick_s:0.01 ~auto_drain:true s a)
+        in
+        ignore
+          (or_fail
+             (Broker_client.subscribe c ~subscriber:name "x >= 0" (fun n ->
+                  record name (key n.Notification.event))));
+        c)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter Broker_client.close clients;
+      Broker_server.stop !srv;
+      Broker.close b)
+    (fun () ->
+      let published = ref [] in
+      let total = ref 0 in
+      let warm_threads = ref 0 and warm_fds = ref 0 in
+      let cycles = 10 in
+      for cycle = 1 to cycles do
+        (* Kill the serving process; every client must notice and
+           self-heal against the restarted one. *)
+        Broker_server.stop !srv;
+        srv := make_srv ();
+        settle ~timeout:10.0 "all clients healed" (fun () ->
+            Array.for_all Broker_client.connected clients);
+        for i = 1 to 3 do
+          let v = (!total + i) mod 10 in
+          let e = event s v ((!total + i) / 10 mod 10) in
+          published := key e :: !published;
+          ignore (Broker_server.publish !srv [| e |])
+        done;
+        total := !total + 3;
+        let want = !total in
+        settle ~timeout:10.0 "cycle applied exactly once" (fun () ->
+            Array.for_all
+              (fun c -> Broker_client.applied_total c = want)
+              clients);
+        if cycle = 2 then begin
+          warm_threads := read_proc_threads ();
+          warm_fds := read_proc_fds ()
+        end
+      done;
+      (* Threads and descriptors must not accumulate across cycles. *)
+      let end_threads = read_proc_threads () and end_fds = read_proc_fds () in
+      Alcotest.(check bool)
+        (Printf.sprintf "no thread leak (%d warm, %d after)" !warm_threads
+           end_threads)
+        true
+        (end_threads <= !warm_threads + 2);
+      Alcotest.(check bool)
+        (Printf.sprintf "no fd leak (%d warm, %d after)" !warm_fds end_fds)
+        true
+        (end_fds <= !warm_fds + 2);
+      let expect = List.sort compare !published in
+      Array.iteri
+        (fun i c ->
+          Alcotest.(check bool)
+            (Printf.sprintf "soak%d reconnected every cycle" i)
+            true
+            (Broker_client.reconnects c >= cycles);
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "soak%d delivered exactly once" i)
+            expect
+            (get (Printf.sprintf "soak%d" i)))
+        clients)
+
+(* --- metrics ---------------------------------------------------------- *)
+
+let test_mesh_metrics () =
+  with_timeout 60 "metrics" @@ fun () ->
+  let reg = Metrics.create () in
+  let s = schema () in
+  let a = addr () in
+  let dir = fresh_dir () in
+  let b = Broker.create ~journal:(Journal.config ~snapshot_every:100_000 dir) s in
+  let make_srv () =
+    let srv = Broker_server.create ~metrics:reg ~name:"srv" ~broker:b a in
+    Broker_server.start srv;
+    srv
+  in
+  let srv = ref (make_srv ()) in
+  let c =
+    or_fail
+      (Broker_client.connect ~name:"mc" ~metrics:reg
+         ~reconnect:(quick_redial 9) ~max_backoff_s:0.2 ~tick_s:0.01
+         ~auto_drain:true s a)
+  in
+  (* Re-registering an identity returns the existing instrument — the
+     sanctioned way for a test to look one up. *)
+  let cl = [ ("node", "mc"); ("role", "client") ] in
+  let sl = [ ("node", "srv"); ("role", "server") ] in
+  let g_state = Metrics.gauge reg ~labels:cl "genas_net_peer_state" in
+  let c_rec = Metrics.counter reg ~labels:cl "genas_net_reconnects_total" in
+  let g_conns = Metrics.gauge reg ~labels:sl "genas_net_peer_state" in
+  let h_queue = Metrics.histogram reg ~labels:sl "genas_net_outbound_queue_depth" in
+  Fun.protect
+    ~finally:(fun () ->
+      Broker_client.close c;
+      Broker_server.stop !srv;
+      Broker.close b)
+    (fun () ->
+      ignore (or_fail (Broker_client.subscribe c ~subscriber:"mc" "x >= 0" (fun _ -> ())));
+      Alcotest.(check (float 0.0)) "link up" 1.0 (Metrics.Gauge.value g_state);
+      settle ~timeout:5.0 "server counts the peer" (fun () ->
+          Metrics.Gauge.value g_conns = 1.0);
+      ignore (Broker_server.publish !srv [| event s 1 1 |]);
+      settle ~timeout:5.0 "queue depth observed" (fun () ->
+          Metrics.Histogram.count h_queue > 0);
+      Broker_server.stop !srv;
+      settle ~timeout:5.0 "link down visible" (fun () ->
+          Metrics.Gauge.value g_state = 0.0);
+      srv := make_srv ();
+      settle ~timeout:5.0 "reconnect counted" (fun () ->
+          Metrics.Counter.value c_rec >= 1
+          && Metrics.Gauge.value g_state = 1.0);
+      (* Heartbeat misses need a peer that is mute, not gone. *)
+      let a2 = addr () in
+      let lsock, th = raw_server s a2 (mute_reader s) in
+      Fun.protect
+        ~finally:(fun () ->
+          Unix.close lsock;
+          Thread.join th)
+        (fun () ->
+          let c2 =
+            or_fail
+              (Broker_client.connect ~name:"mh" ~metrics:reg
+                 ~heartbeat:(hb ~period_s:0.1 ~misses:2) ~tick_s:0.02 s a2)
+          in
+          Fun.protect
+            ~finally:(fun () -> Broker_client.close c2)
+            (fun () ->
+              let c_miss =
+                Metrics.counter reg
+                  ~labels:[ ("node", "mh"); ("role", "client") ]
+                  "genas_net_heartbeat_misses_total"
+              in
+              settle ~timeout:5.0 "heartbeat miss counted" (fun () ->
+                  Metrics.Counter.value c_miss >= 1))))
+
+let () =
+  Alcotest.run "mesh"
+    [
+      ( "liveness",
+        [
+          Alcotest.test_case "server reaps half-dead peer" `Quick
+            test_server_reaps_half_dead_peer;
+          Alcotest.test_case "client reaps silent server" `Quick
+            test_client_reaps_silent_server;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "request deadline" `Quick test_request_deadline;
+          Alcotest.test_case "handshake deadline" `Quick
+            test_handshake_deadline;
+        ] );
+      ( "backpressure",
+        [
+          Alcotest.test_case "slow consumer disconnect" `Quick
+            test_slow_consumer_disconnect;
+        ] );
+      ( "reconnect",
+        [
+          Alcotest.test_case "auto-reconnect with replay" `Quick
+            test_auto_reconnect_replay;
+        ] );
+      ( "relays",
+        [
+          Alcotest.test_case "chain matches flat broker" `Quick
+            test_relay_chain_matches_flat;
+          Alcotest.test_case "tree no-echo" `Quick test_relay_tree_no_echo;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "plan determinism" `Quick
+            test_chaos_plan_determinism;
+          Alcotest.test_case "chain differential under chaos" `Quick
+            test_chaos_differential;
+        ] );
+      ( "soak",
+        [
+          Alcotest.test_case "kill/restart cycles" `Quick
+            test_soak_kill_restart;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "mesh metrics" `Quick test_mesh_metrics ];
+      );
+    ]

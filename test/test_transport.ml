@@ -75,13 +75,23 @@ let test_message_roundtrip () =
       Transport.Reject { reason = "no" };
       Transport.Subscribe { token = 7; subscriber = "alice"; body = "x >= 5" };
       Transport.Unsubscribe { token = 7 };
-      Transport.Publish { token = 9; events = [| event s 3 4; event s 5 6 |] };
+      Transport.Publish
+        { token = 9; origin = "node-a"; events = [| event s 3 4; event s 5 6 |] };
       Transport.Ack { token = 9; cursor = 17; count = 2 };
       Transport.Nack { token = 9; reason = "bad" };
-      Transport.Deliver { cursor = 17; idx = 1; replay = true; event = event s 1 2 };
+      Transport.Deliver
+        {
+          cursor = 17;
+          idx = 1;
+          replay = true;
+          origin = "node-a";
+          event = event s 1 2;
+        };
       Transport.Replay { since = 12 };
       Transport.Replay_done { cursor = 20; complete = false };
       Transport.Bye;
+      Transport.Ping { token = 3 };
+      Transport.Pong { token = 3 };
     ]
   in
   List.iter
