@@ -2,7 +2,7 @@
 # + the seconds-scale bench smoke).
 
 .PHONY: all build test check faultcheck recovercheck tracecheck scalecheck \
-  shardcheck netcheck meshcheck bench bench-smoke bench-json clean
+  shardcheck netcheck meshcheck obscheck bench bench-smoke bench-json clean
 
 all: build
 
@@ -16,7 +16,7 @@ check:
 	dune build @all && dune runtest && $(MAKE) faultcheck \
 	  && $(MAKE) recovercheck && $(MAKE) tracecheck && $(MAKE) scalecheck \
 	  && $(MAKE) shardcheck && $(MAKE) netcheck && $(MAKE) meshcheck \
-	  && $(MAKE) bench-smoke
+	  && $(MAKE) obscheck && $(MAKE) bench-smoke
 
 # Fault-injection suite: the supervised-delivery unit tests plus the
 # deterministic CLI demo pinned by test/cram/faults.t.
@@ -86,6 +86,19 @@ meshcheck:
 	dune build test/test_mesh.exe bin/genas_cli.exe @test/cram/meshcheck
 	timeout 300 ./_build/default/test/test_mesh.exe -q
 
+# Observability suite: metrics/tracer unit tests (atomic instruments
+# hammered from two domains, dropped-span accounting, cross-process
+# trace adoption and merge), plus the three-process end-to-end demo
+# pinned by test/cram/obscheck.t — deterministic merged Chrome trace
+# across runs, metrics scrape endpoint, and 'genas status' fan-out
+# (docs/OBSERVABILITY.md).
+obscheck:
+	dune build test/test_obs.exe test/test_trace.exe test/test_mesh.exe \
+	  bin/genas_cli.exe @test/cram/obscheck
+	./_build/default/test/test_obs.exe -q
+	./_build/default/test/test_trace.exe -q
+	timeout 300 ./_build/default/test/test_mesh.exe test -q observability
+
 bench:
 	dune exec bench/main.exe -- all
 
@@ -103,7 +116,7 @@ bench-smoke:
 # minutes; see docs/SCALING.md).
 bench-json:
 	dune exec bin/genas_cli.exe -- bench --json --events 200000 \
-	  --scaling 1000,2000,10000,100000,1000000 --out BENCH_PR7.json
+	  --scaling 1000,2000,10000,100000,1000000 --out BENCH_PR10.json
 
 clean:
 	dune clean

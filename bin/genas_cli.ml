@@ -1108,6 +1108,124 @@ let net_schema = function
   | Some path -> or_die (load_schema path)
   | None -> journal_schema ()
 
+(* Shared observability plumbing for serve/relay/connect: one metrics
+   registry per process (scraped over --metrics-addr), and one tracer
+   whose flight recorder is dumped to --trace-out at exit for
+   [genas trace-merge] to stitch. *)
+
+(* A per-tracer logical clock: every read advances 1µs, so span times
+   depend only on the operation sequence, never the host — two
+   identical runs dump byte-identical traces. Private per tracer:
+   background ticker/monitor threads of *other* components never
+   perturb it the way a process-wide fake [Clock.set_source] would. *)
+let logical_clock () =
+  let mu = Mutex.create () in
+  let counter = ref 0L in
+  fun () ->
+    Mutex.lock mu;
+    counter := Int64.add !counter 1_000L;
+    let v = !counter in
+    Mutex.unlock mu;
+    v
+
+type obs = {
+  obs_metrics : Obs.Metrics.t;
+  obs_tracer : Obs.Trace.t option;
+  obs_finish : unit -> unit;
+      (* write the trace dump, stop the scrape endpoint *)
+}
+
+let obs_setup ~node ~metrics_addr ~trace_out ~trace_logical ~sample =
+  let module Transport = Genas_ens.Transport in
+  let metrics = Obs.Metrics.create () in
+  let tracer =
+    match trace_out with
+    | None -> None
+    | Some _ ->
+      let clock = if trace_logical then Some (logical_clock ()) else None in
+      (* The sampler seed is the node name's hash: deterministic per
+         run, and distinct nodes draw distinct trace-id streams, so a
+         merged mesh dump never collides ids across nodes. *)
+      let seed = Hashtbl.hash node land 0x3FFFFFFF in
+      Some
+        (try Obs.Trace.create ~sample ~capacity:64 ~metrics ?clock ~seed ()
+         with Invalid_argument msg -> or_die (Error msg))
+  in
+  let scrape =
+    Option.map
+      (fun s ->
+        let addr = or_die (Transport.addr_of_string s) in
+        Obs.Scrape.start ~node ~metrics (Transport.sockaddr_of addr))
+      metrics_addr
+  in
+  let finish () =
+    (match (trace_out, tracer) with
+    | Some path, Some tr ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Obs.Trace.export tr ~node))
+    | _ -> ());
+    Option.iter Obs.Scrape.stop scrape
+  in
+  { obs_metrics = metrics; obs_tracer = tracer; obs_finish = finish }
+
+let run_trace_merge files out =
+  if files = [] then or_die (Error "trace-merge: need at least one dump file");
+  let dumps =
+    List.map
+      (fun p ->
+        try In_channel.with_open_text p In_channel.input_all
+        with Sys_error e -> or_die (Error ("trace-merge: " ^ e)))
+      files
+  in
+  let merged =
+    try Obs.Trace.merge_dumps dumps
+    with Invalid_argument msg -> or_die (Error ("trace-merge: " ^ msg))
+  in
+  (match Obs.Json.validate merged with
+  | Ok () -> ()
+  | Error e -> or_die (Error ("trace-merge produced invalid JSON: " ^ e)));
+  match out with
+  | None -> print_string merged
+  | Some path ->
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc merged)
+
+let run_http_get addr_s path =
+  let module Transport = Genas_ens.Transport in
+  let addr = or_die (Transport.addr_of_string addr_s) in
+  match Obs.Scrape.get (Transport.sockaddr_of addr) ~path with
+  | Error e -> or_die (Error ("http-get: " ^ e))
+  | Ok (code, body) ->
+    Printf.printf "%d\n" code;
+    print_string body
+
+let run_status addr_s schema_path deadline =
+  let module Client = Genas_ens.Broker_client in
+  let module Transport = Genas_ens.Transport in
+  let addr = or_die (Transport.addr_of_string addr_s) in
+  let schema = net_schema schema_path in
+  let c =
+    or_die
+      (Client.connect ~name:"status-probe" ~deadline_s:deadline ~heartbeat:None
+         schema addr)
+  in
+  let nodes = or_die (Client.status_request c) in
+  Client.close c;
+  Printf.printf "%-12s %-8s %8s %6s %9s  %s\n" "NODE" "ROLE" "CURSOR" "CONNS"
+    "UPTIME" "PEERS";
+  List.iter
+    (fun (n : Transport.node_status) ->
+      Printf.printf "%-12s %-8s %8d %6d %8.1fs  %s\n" n.Transport.ns_node
+        n.Transport.ns_role n.Transport.ns_cursor n.Transport.ns_connections
+        n.Transport.ns_uptime_s
+        (String.concat ", "
+           (List.map
+              (fun (p : Transport.peer_status) ->
+                Printf.sprintf "%s(%s,q=%d)" p.Transport.ps_name
+                  p.Transport.ps_state p.Transport.ps_queue)
+              n.Transport.ns_peers)))
+    nodes
+
 (* [--heartbeat 0] disables liveness; anything positive is the ping
    period in seconds, with [--misses] silent periods declaring a peer
    dead. *)
@@ -1120,12 +1238,13 @@ let net_heartbeat period misses =
     | exception Invalid_argument msg -> or_die (Error msg)
 
 let run_serve addr_s schema_path dir snapshot_every aggregate connections name
-    hb_period hb_misses max_queue =
+    hb_period hb_misses max_queue metrics_addr trace_out trace_logical sample =
   let module Server = Genas_ens.Broker_server in
   let module Journal = Genas_ens.Journal in
   let module Transport = Genas_ens.Transport in
   let addr = or_die (Transport.addr_of_string addr_s) in
   let schema = net_schema schema_path in
+  let obs = obs_setup ~node:name ~metrics_addr ~trace_out ~trace_logical ~sample in
   let b =
     match dir with
     | Some dir ->
@@ -1133,21 +1252,25 @@ let run_serve addr_s schema_path dir snapshot_every aggregate connections name
         try Journal.config ~snapshot_every dir
         with Invalid_argument msg -> or_die (Error msg)
       in
-      Broker.create ~journal ~aggregate schema
-    | None -> Broker.create ~aggregate schema
+      Broker.create ~journal ~aggregate ~metrics:obs.obs_metrics
+        ?tracer:obs.obs_tracer schema
+    | None ->
+      Broker.create ~aggregate ~metrics:obs.obs_metrics ?tracer:obs.obs_tracer
+        schema
   in
   let srv =
     Server.create ~name ~heartbeat:(net_heartbeat hb_period hb_misses)
-      ~max_queue ~broker:b addr
+      ~max_queue ~metrics:obs.obs_metrics ?tracer:obs.obs_tracer ~broker:b addr
   in
   Printf.printf "serving %s\n%!" (Transport.addr_to_string addr);
   Server.serve ~connections srv;
   Printf.printf "served %d connection(s), cursor %d\n" connections
     (Server.cursor srv);
-  Broker.close b
+  Broker.close b;
+  obs.obs_finish ()
 
 let run_relay addr_s up_s schema_path dir snapshot_every connections name
-    hb_period hb_misses max_queue =
+    hb_period hb_misses max_queue metrics_addr trace_out trace_logical sample =
   let module Server = Genas_ens.Broker_server in
   let module Relay = Genas_ens.Relay in
   let module Journal = Genas_ens.Journal in
@@ -1155,6 +1278,7 @@ let run_relay addr_s up_s schema_path dir snapshot_every connections name
   let listen = or_die (Transport.addr_of_string addr_s) in
   let up = or_die (Transport.addr_of_string up_s) in
   let schema = net_schema schema_path in
+  let obs = obs_setup ~node:name ~metrics_addr ~trace_out ~trace_logical ~sample in
   let journal =
     Option.map
       (fun dir ->
@@ -1165,7 +1289,8 @@ let run_relay addr_s up_s schema_path dir snapshot_every connections name
   let r =
     or_die
       (Relay.create ?journal ~heartbeat:(net_heartbeat hb_period hb_misses)
-         ~max_queue ~start:false ~name ~up ~listen schema)
+         ~max_queue ~metrics:obs.obs_metrics ?tracer:obs.obs_tracer
+         ~start:false ~name ~up ~listen schema)
   in
   Printf.printf "relay %s: serving %s, upstream %s\n%!" name
     (Transport.addr_to_string listen)
@@ -1174,13 +1299,16 @@ let run_relay addr_s up_s schema_path dir snapshot_every connections name
   Printf.printf "relay %s: served %d connection(s), cursor %d\n" name
     connections
     (Server.cursor (Relay.server r));
-  Relay.close r
+  Relay.close r;
+  obs.obs_finish ()
 
-let run_connect addr_s schema_path name auto deadline hb_period hb_misses =
+let run_connect addr_s schema_path name auto deadline hb_period hb_misses
+    metrics_addr trace_out trace_logical sample =
   let module Client = Genas_ens.Broker_client in
   let module Transport = Genas_ens.Transport in
   let addr = or_die (Transport.addr_of_string addr_s) in
   let schema = net_schema schema_path in
+  let obs = obs_setup ~node:name ~metrics_addr ~trace_out ~trace_logical ~sample in
   let reconnect =
     if auto then Some (Genas_ens.Supervise.retry_policy ~backoff_ns:5e7 ())
     else None
@@ -1188,7 +1316,8 @@ let run_connect addr_s schema_path name auto deadline hb_period hb_misses =
   let c =
     or_die
       (Client.connect ~name ~deadline_s:deadline
-         ~heartbeat:(net_heartbeat hb_period hb_misses) ?reconnect schema addr)
+         ~heartbeat:(net_heartbeat hb_period hb_misses) ?reconnect
+         ~metrics:obs.obs_metrics ?tracer:obs.obs_tracer schema addr)
   in
   let deliver who n =
     Printf.printf "deliver %s <- %s\n%!" who
@@ -1261,7 +1390,8 @@ let run_connect addr_s schema_path name auto deadline hb_period hb_misses =
   loop ();
   Client.close c;
   Printf.printf "bye applied=%d dropped=%d\n" (Client.applied_total c)
-    (Client.duplicates_dropped c)
+    (Client.duplicates_dropped c);
+  obs.obs_finish ()
 
 let addr_arg =
   Arg.(required & opt (some string) None
@@ -1310,6 +1440,32 @@ let max_queue_arg =
            ~doc:"Outbound frames queued per connection before a peer is \
                  dropped as a slow consumer (replay is its catch-up).")
 
+let metrics_addr_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-addr" ] ~docv:"ADDR"
+           ~doc:"Serve a metrics scrape endpoint on $(docv) (unix:PATH or \
+                 tcp:HOST:PORT): /metrics is Prometheus text, \
+                 /metrics.json a JSON snapshot, both carrying \
+                 genas_build_info and genas_uptime_seconds.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Enable wire tracing and write this node's flight-recorder \
+                 dump to $(docv) at exit; stitch the per-node dumps into \
+                 one Chrome trace with 'genas trace-merge'.")
+
+let trace_logical_arg =
+  Arg.(value & flag
+       & info [ "trace-logical" ]
+           ~doc:"Time spans with a private logical clock (1µs per reading) \
+                 instead of the host monotonic clock: identical runs dump \
+                 byte-identical traces.")
+
+let net_sample_arg =
+  Arg.(value & opt float 1.0
+       & info [ "sample" ] ~doc:"Trace sampling probability in [0,1].")
+
 let serve_cmd =
   let aggregate_arg =
     Arg.(value & flag
@@ -1327,7 +1483,8 @@ let serve_cmd =
     Term.(const run_serve $ addr_arg $ net_schema_arg $ dir_arg
           $ snapshot_arg $ aggregate_arg $ connections_arg
           $ node_name_arg "server" $ heartbeat_arg $ misses_arg
-          $ max_queue_arg)
+          $ max_queue_arg $ metrics_addr_arg $ trace_out_arg
+          $ trace_logical_arg $ net_sample_arg)
 
 let relay_cmd =
   let up_arg =
@@ -1344,7 +1501,8 @@ let relay_cmd =
              link self-heals by reconnect + replay")
     Term.(const run_relay $ addr_arg $ up_arg $ net_schema_arg $ dir_arg
           $ snapshot_arg $ connections_arg $ node_name_arg "relay"
-          $ heartbeat_arg $ misses_arg $ max_queue_arg)
+          $ heartbeat_arg $ misses_arg $ max_queue_arg $ metrics_addr_arg
+          $ trace_out_arg $ trace_logical_arg $ net_sample_arg)
 
 let connect_cmd =
   let auto_arg =
@@ -1367,7 +1525,50 @@ let connect_cmd =
              'replay', 'status', 'quit'")
     Term.(const run_connect $ addr_arg $ net_schema_arg
           $ node_name_arg "client" $ auto_arg $ deadline_arg
-          $ heartbeat_arg $ misses_arg)
+          $ heartbeat_arg $ misses_arg $ metrics_addr_arg $ trace_out_arg
+          $ trace_logical_arg $ net_sample_arg)
+
+let trace_merge_cmd =
+  let files_arg =
+    Arg.(value & pos_all file [] & info [] ~docv:"DUMP")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "trace-merge"
+       ~doc:"Stitch per-node flight-recorder dumps (--trace-out files) into \
+             one Chrome trace-event JSON document: one pid per node, \
+             per-node clock normalization, and net.ctx flow arrows linking \
+             each hop's spans to the publish that caused them")
+    Term.(const run_trace_merge $ files_arg $ out_arg)
+
+let status_cmd =
+  let deadline_arg =
+    Arg.(value & opt float 30.0
+         & info [ "deadline" ] ~docv:"SECS"
+             ~doc:"Status request deadline.")
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"Ask a served broker (or relay) for mesh introspection: one \
+             Status_req fans out across the relay chain and the aggregated \
+             table lists every hop's node name, role, journal cursor, \
+             connection count, uptime, and per-peer link state")
+    Term.(const run_status $ addr_arg $ net_schema_arg $ deadline_arg)
+
+let http_get_cmd =
+  let path_arg =
+    Arg.(value & opt string "/metrics"
+         & info [ "path" ] ~docv:"PATH" ~doc:"Request path.")
+  in
+  Cmd.v
+    (Cmd.info "http-get"
+       ~doc:"Curl-free HTTP/1.0 GET against a --metrics-addr scrape \
+             endpoint: prints the status code, then the body (used by the \
+             cram suite)")
+    Term.(const run_http_get $ addr_arg $ path_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -1378,5 +1579,5 @@ let () =
              ~doc:"Distribution-based event filtering (GENAS)")
           [ match_cmd; plan_cmd; simulate_cmd; dists_cmd; figures_cmd;
             bench_cmd; metrics_cmd; faults_cmd; journal_cmd; recover_cmd;
-            trace_cmd; jsoncheck_cmd; repl_cmd; serve_cmd; relay_cmd;
-            connect_cmd ]))
+            trace_cmd; trace_merge_cmd; jsoncheck_cmd; repl_cmd; serve_cmd;
+            relay_cmd; connect_cmd; status_cmd; http_get_cmd ]))

@@ -41,6 +41,8 @@ module Lang = Genas_profile.Lang
 module Lattice = Genas_profile.Lattice
 module Prng = Genas_prng.Prng
 module Metrics = Genas_obs.Metrics
+module Trace = Genas_obs.Trace
+module Clock = Genas_obs.Clock
 
 let log_src = Logs.Src.create "genas.client" ~doc:"GENAS broker client"
 
@@ -76,8 +78,15 @@ type t = {
   tick_s : float;
   auto_drain : bool;
   inbox_cap : int;
+  tracer : Trace.t option;
   on_deliver :
-    (cursor:int -> idx:int -> origin:string -> Event.t -> unit) option;
+    (cursor:int ->
+    idx:int ->
+    origin:string ->
+    ctx:Transport.ctx ->
+    Event.t ->
+    unit)
+    option;
   skip_origin : (string -> bool) option;
   local : Broker.t;
   owns_local : bool;
@@ -85,10 +94,13 @@ type t = {
   subs : (int, sub) Hashtbl.t;
   forwarded : (int, unit) Hashtbl.t;
   applied : (int * int, unit) Hashtbl.t;
-  outbox : (string * Event.t array) Queue.t;
+  outbox : (string * Event.t array * Transport.ctx) Queue.t;
       (* origin-tagged batches awaiting upstream acknowledgement; only
          grows while the upstream link is down (relay buffering) *)
   redial : redial option;
+  mutable upstream : string;
+      (* the server's node name, learned from Welcome: labels remote
+         spans and status rows *)
   mutable complete_to : int;
   mutable next_token : int;
   op_mutex : Mutex.t;
@@ -115,11 +127,14 @@ type t = {
   m_state : Metrics.gauge option;
   m_hb_misses : Metrics.counter option;
   m_reconnects : Metrics.counter option;
+  m_rx_apply : Metrics.histogram option;
 }
 
 let local t = t.local
 
 let name t = t.name
+
+let upstream t = t.upstream
 
 let connected t = t.conn <> None
 
@@ -275,7 +290,7 @@ let drop_link t = with_op t (fun () -> drop_link_locked t)
 
 (* {1 Delivery application} *)
 
-let apply_deliver t ~cursor ~idx ~origin event =
+let apply_deliver t ~cursor ~idx ~origin ~ctx event =
   if
     origin <> ""
     && (match t.skip_origin with Some f -> f origin | None -> false)
@@ -291,17 +306,32 @@ let apply_deliver t ~cursor ~idx ~origin event =
       (* Local re-matching delivers to exactly the local subscriptions
          the event satisfies — including ones absorbed below a
          forwarded covering profile. *)
-      (match t.on_deliver with
-      | Some f -> f ~cursor ~idx ~origin event
-      | None -> ignore (Broker.publish t.local event));
+      let t0 = Clock.now_ns () in
+      let deliver () =
+        match t.on_deliver with
+        | Some f -> f ~cursor ~idx ~origin ~ctx event
+        | None -> ignore (Broker.publish t.local event)
+      in
+      (match t.tracer with
+      | None -> deliver ()
+      | Some tr ->
+        (* The apply span adopts the Deliver frame's context, so this
+           hop parents under the upstream's publish span. *)
+        Trace.with_remote_trace tr ~name:"net.apply" ~origin:t.upstream ctx
+          deliver);
+      Option.iter
+        (fun h ->
+          Metrics.Histogram.observe h
+            (Int64.to_float (Int64.sub (Clock.now_ns ()) t0)))
+        t.m_rx_apply;
       t.applied_total <- t.applied_total + 1;
       true
     end
   end
 
 let handle_async t = function
-  | Transport.Deliver { cursor; idx; origin; event; replay = _ } ->
-    ignore (apply_deliver t ~cursor ~idx ~origin event)
+  | Transport.Deliver { cursor; idx; origin; event; ctx; replay = _ } ->
+    ignore (apply_deliver t ~cursor ~idx ~origin ~ctx event)
   | _ -> ()
 
 (* Drain everything already queued without blocking; returns how many
@@ -312,9 +342,10 @@ let drain_locked t =
     match inbox_pop_opt t with
     | None -> ()
     | Some (Closed _) -> drop_link_locked t
-    | Some (Msg (Transport.Deliver { cursor; idx; origin; event; replay = _ }))
+    | Some
+        (Msg (Transport.Deliver { cursor; idx; origin; event; ctx; replay = _ }))
       ->
-      if apply_deliver t ~cursor ~idx ~origin event then incr applied;
+      if apply_deliver t ~cursor ~idx ~origin ~ctx event then incr applied;
       loop ()
     | Some (Msg _) -> loop ()
   in
@@ -444,11 +475,13 @@ let flush_outbox_locked t =
     if t.conn <> None then
       match Queue.peek_opt t.outbox with
       | None -> ()
-      | Some (origin, events) -> (
+      | Some (origin, events, ctx) -> (
         let token = t.next_token in
         t.next_token <- token + 1;
         match
-          request_locked t (Transport.Publish { token; origin; events }) ~token
+          request_locked t
+            (Transport.Publish { token; origin; events; ctx })
+            ~token
         with
         | Ok (cursor, count) ->
           (* The upstream journal now carries these; mark them applied
@@ -464,10 +497,10 @@ let flush_outbox_locked t =
   in
   go ()
 
-let forward_up t ~origin events =
+let forward_up ?(ctx = None) t ~origin events =
   if Array.length events > 0 then
     with_op t (fun () ->
-        Queue.push (origin, events) t.outbox;
+        Queue.push (origin, events, ctx) t.outbox;
         flush_outbox_locked t)
 
 (* {1 Lifecycle} *)
@@ -491,8 +524,8 @@ let handshake t conn =
   in
   Transport.set_recv_timeout conn None;
   match reply with
-  | Ok (Transport.Welcome { version = _; fingerprint = fp; cursor }) ->
-    if String.equal fp fingerprint then Ok cursor
+  | Ok (Transport.Welcome { version = _; fingerprint = fp; cursor; name }) ->
+    if String.equal fp fingerprint then Ok (cursor, name)
     else Error "server schema fingerprint mismatch"
   | Ok (Transport.Reject { reason }) -> Error reason
   | Ok m -> Error ("unexpected " ^ Transport.message_name m)
@@ -515,11 +548,12 @@ let dial_locked t =
     | Error e ->
       Transport.close_conn conn;
       Error e
-    | Ok cursor ->
+    | Ok (cursor, upstream) ->
       let now = Transport.now_s () in
       t.last_rx <- now;
       t.last_tx <- now;
       t.conn <- Some conn;
+      t.upstream <- upstream;
       spawn_rx t conn;
       set_state t 1.0;
       Ok cursor)
@@ -555,7 +589,11 @@ let reconnect_locked t =
 (* Catch-up replay from the last known-complete cursor. Assumes
    [op_mutex]. *)
 let replay_locked t =
-  match send_locked t (Transport.Replay { since = t.complete_to }) with
+  let req_ctx =
+    match t.tracer with None -> None | Some tr -> Trace.context tr
+  in
+  match send_locked t (Transport.Replay { since = t.complete_to; ctx = req_ctx })
+  with
   | Error e -> Error e
   | Ok () ->
     let deadline = Transport.now_s () +. t.deadline_s in
@@ -566,9 +604,11 @@ let replay_locked t =
       | Some (Closed reason) ->
         drop_link_locked t;
         Error reason
-      | Some (Msg (Transport.Deliver { cursor; idx; origin; event; replay = _ }))
+      | Some
+          (Msg
+             (Transport.Deliver { cursor; idx; origin; event; ctx; replay = _ }))
         ->
-        if apply_deliver t ~cursor ~idx ~origin event then incr applied;
+        if apply_deliver t ~cursor ~idx ~origin ~ctx event then incr applied;
         loop ()
       | Some (Msg (Transport.Replay_done { cursor; complete })) ->
         t.complete_to <- cursor - 1;
@@ -657,8 +697,9 @@ let spawn_ticker t =
 let connect ?(name = "client") ?(seed = Transport.default_seed)
     ?(max_frame = Codec.default_max_frame) ?(deadline_s = 30.0)
     ?(heartbeat = Some Transport.default_heartbeat) ?reconnect
-    ?(max_backoff_s = 30.0) ?metrics ?(tick_s = 0.02) ?(auto_drain = false)
-    ?(inbox_cap = 65536) ?on_deliver ?skip_origin ?local schema addr =
+    ?(max_backoff_s = 30.0) ?metrics ?tracer ?(tick_s = 0.02)
+    ?(auto_drain = false) ?(inbox_cap = 65536) ?on_deliver ?skip_origin ?local
+    schema addr =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   if not (deadline_s > 0.0) then
@@ -682,6 +723,13 @@ let connect ?(name = "client") ?(seed = Transport.default_seed)
       (fun m ->
         Metrics.counter m ~labels ~help:"Successful automatic reconnects"
           "genas_net_reconnects_total")
+      metrics
+  and m_rx_apply =
+    Option.map
+      (fun m ->
+        Metrics.histogram m ~labels
+          ~help:"Time applying one received delivery, ns"
+          "genas_net_rx_apply_duration_ns")
       metrics
   in
   let redial =
@@ -711,6 +759,7 @@ let connect ?(name = "client") ?(seed = Transport.default_seed)
       tick_s;
       auto_drain;
       inbox_cap;
+      tracer;
       on_deliver;
       skip_origin;
       local;
@@ -721,6 +770,7 @@ let connect ?(name = "client") ?(seed = Transport.default_seed)
       applied = Hashtbl.create 64;
       outbox = Queue.create ();
       redial;
+      upstream = "";
       complete_to = -1;
       next_token = 1;
       op_mutex = Mutex.create ();
@@ -745,6 +795,7 @@ let connect ?(name = "client") ?(seed = Transport.default_seed)
       m_state;
       m_hb_misses;
       m_reconnects;
+      m_rx_apply;
     }
   in
   match with_op t (fun () -> dial_locked t) with
@@ -846,26 +897,67 @@ let retire_profile t token =
 
 let publish t event =
   with_op t (fun () ->
-      (* Local delivery first — the origin node matches its own
-         subscriptions directly, as {!Router.publish} does. *)
-      let n = Broker.publish t.local event in
+      let run () =
+        (* Local delivery first — the origin node matches its own
+           subscriptions directly, as {!Router.publish} does. *)
+        let n = Broker.publish t.local event in
+        let token = t.next_token in
+        t.next_token <- token + 1;
+        (* Captured while the publish span is open: the upstream hop
+           parents under this node's publish. *)
+        let ctx =
+          match t.tracer with None -> None | Some tr -> Trace.context tr
+        in
+        match
+          request_locked t
+            (Transport.Publish
+               { token; origin = t.name; events = [| event |]; ctx })
+            ~token
+        with
+        | Error e -> Error e
+        | Ok (cursor, count) ->
+          (* Mark our own events applied: the server never echoes them
+             back, but a later replay would — and the local broker
+             already delivered them. *)
+          if cursor >= 0 then
+            for i = 0 to count - 1 do
+              Hashtbl.replace t.applied (cursor + i, 0) ()
+            done;
+          Ok n
+      in
+      match t.tracer with
+      | None -> run ()
+      | Some tr -> Trace.with_trace tr ~name:"net.publish" run)
+
+(* {1 Mesh introspection} *)
+
+(* One Status_req/Status round trip. Deliveries and unmatched acks
+   encountered while waiting are applied/absorbed as usual. *)
+let status_request t =
+  with_op t (fun () ->
       let token = t.next_token in
       t.next_token <- token + 1;
-      match
-        request_locked t
-          (Transport.Publish { token; origin = t.name; events = [| event |] })
-          ~token
-      with
+      match send_locked t (Transport.Status_req { token }) with
       | Error e -> Error e
-      | Ok (cursor, count) ->
-        (* Mark our own events applied: the server never echoes them
-           back, but a later replay would — and the local broker
-           already delivered them. *)
-        if cursor >= 0 then
-          for i = 0 to count - 1 do
-            Hashtbl.replace t.applied (cursor + i, 0) ()
-          done;
-        Ok n)
+      | Ok () ->
+        let deadline = Transport.now_s () +. t.deadline_s in
+        let rec loop () =
+          match inbox_pop_deadline t ~deadline with
+          | None -> Error "timeout"
+          | Some (Closed reason) ->
+            drop_link_locked t;
+            Error reason
+          | Some (Msg (Transport.Status { token = tk; nodes })) when tk = token
+            ->
+            Ok nodes
+          | Some (Msg (Transport.Reject { reason })) ->
+            drop_link_locked t;
+            Error reason
+          | Some (Msg m) ->
+            handle_async t m;
+            loop ()
+        in
+        loop ())
 
 (* Catch-up replay from the last known-complete cursor. Returns
    [(applied, complete)]: newly applied events, and whether the server

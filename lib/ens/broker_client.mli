@@ -41,10 +41,17 @@ val connect :
   ?reconnect:Supervise.policy ->
   ?max_backoff_s:float ->
   ?metrics:Genas_obs.Metrics.t ->
+  ?tracer:Genas_obs.Trace.t ->
   ?tick_s:float ->
   ?auto_drain:bool ->
   ?inbox_cap:int ->
-  ?on_deliver:(cursor:int -> idx:int -> origin:string -> Genas_model.Event.t -> unit) ->
+  ?on_deliver:
+    (cursor:int ->
+    idx:int ->
+    origin:string ->
+    ctx:Transport.ctx ->
+    Genas_model.Event.t ->
+    unit) ->
   ?skip_origin:(string -> bool) ->
   ?local:Broker.t ->
   Genas_model.Schema.t ->
@@ -70,8 +77,15 @@ val connect :
     [inbox_cap] (default 65536) bounds the receive mailbox — overflow
     tears the link down rather than growing without limit.
 
+    With [tracer], {!publish} runs under a [net.publish] root span
+    whose context travels on the wire, and every applied delivery runs
+    under a [net.apply] span adopting the [Deliver] frame's context —
+    so one publish's causal tree spans every process it touched
+    (stitch with {!Genas_obs.Trace.merge_dumps}).
+
     Relay hooks: [on_deliver] replaces local-broker application
-    entirely; [skip_origin] drops a delivery whose (non-empty) origin
+    entirely ([ctx] is the frame's wire trace context, to propagate
+    further); [skip_origin] drops a delivery whose (non-empty) origin
     it accepts before application — the cross-hop no-echo predicate.
     [local] substitutes a caller-owned broker for the client's own
     (the caller then also owns its lifecycle). *)
@@ -146,11 +160,14 @@ val retire_profile : t -> int -> unit
     re-syncing the covering-minimal forward set. Unknown tokens are
     ignored. *)
 
-val forward_up : t -> origin:string -> Genas_model.Event.t array -> unit
+val forward_up :
+  ?ctx:Transport.ctx -> t -> origin:string -> Genas_model.Event.t array -> unit
 (** Queue an origin-tagged batch for upstream publication and flush
     what the link allows. Batches survive link loss in an outbox and
     are re-sent (in order) after reconnect; acknowledged cursors are
-    marked applied so upstream replay never echoes them back. *)
+    marked applied so upstream replay never echoes them back. [ctx]
+    rides the upstream [Publish] frame so the next hop's span parents
+    under the span it was captured from. *)
 
 val outbox_depth : t -> int
 (** Batches queued in {!forward_up}'s outbox (0 when the link is
@@ -179,6 +196,16 @@ val pause_rx : t -> unit
 val resume_rx : t -> unit
 
 (** {1 Introspection} *)
+
+val status_request : t -> (Transport.node_status list, string) result
+(** One [Status_req]/[Status] round trip (bounded by [deadline_s]):
+    the upstream node's status first, then — when the upstream is a
+    relay — the rest of its chain in hop order. Deliveries arriving
+    while waiting are applied as usual. *)
+
+val upstream : t -> string
+(** The connected server's node name (from its [Welcome]; [""] before
+    the first successful handshake). *)
 
 val complete_to : t -> int
 (** Journal cursor up to which this client is known complete (the

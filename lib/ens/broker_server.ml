@@ -30,6 +30,8 @@ module Profile = Genas_profile.Profile
 module Lang = Genas_profile.Lang
 module Engine = Genas_core.Engine
 module Metrics = Genas_obs.Metrics
+module Trace = Genas_obs.Trace
+module Clock = Genas_obs.Clock
 
 let log_src = Logs.Src.create "genas.server" ~doc:"GENAS broker server"
 
@@ -44,8 +46,10 @@ type conn_state = {
   mutable delayed : (int * int * string * Event.t) list;
   mutable alive : bool;
   (* Outbound: a bounded queue drained by a dedicated writer thread.
-     Enqueueing never blocks and never touches the broker lock. *)
-  txq : Transport.message Queue.t;
+     Enqueueing never blocks and never touches the broker lock. Each
+     entry is stamped at enqueue so the writer can observe how long it
+     sat queued ([genas_net_queue_wait_ns]). *)
+  txq : (Transport.message * int64) Queue.t;
   tx_mutex : Mutex.t;
   tx_cond : Condition.t;
   mutable tx_stop : bool;
@@ -55,7 +59,13 @@ type conn_state = {
 }
 
 type hooks = {
-  on_accept : (conn_id:int -> origin:string -> Event.t array -> unit) option;
+  on_accept :
+    (conn_id:int ->
+    origin:string ->
+    ctx:Transport.ctx ->
+    Event.t array ->
+    unit)
+    option;
   on_subscribe :
     (conn_id:int -> token:int -> subscriber:string -> body:string -> unit)
     option;
@@ -66,6 +76,10 @@ type t = {
   broker : Broker.t;
   addr : Transport.addr;
   name : string;
+  role : string;
+  tracer : Trace.t option;
+  metrics : Metrics.t option;
+  started_s : float;
   seed : int;
   max_frame : int;
   max_queue : int;
@@ -90,15 +104,21 @@ type t = {
   mutable pings_sent : int;
   mutable stopping : bool;
   mutable crashed : bool;
+  (* Mesh introspection: with [None] a [Status_req] answers with this
+     node's own snapshot; a relay installs a collector that appends
+     the statuses gathered from the rest of its upstream chain. *)
+  mutable on_status : (unit -> Transport.node_status list) option;
   m_connections : Metrics.gauge option;
   m_queue_depth : Metrics.histogram option;
   m_slow : Metrics.counter option;
   m_hb_misses : Metrics.counter option;
+  m_rx_apply : Metrics.histogram option;
+  m_queue_wait : Metrics.histogram option;
 }
 
 let create ?faults ?(seed = Transport.default_seed)
     ?(max_frame = Codec.default_max_frame) ?(name = "server")
-    ?(max_queue = 1024) ?sndbuf
+    ?(role = "server") ?tracer ?(max_queue = 1024) ?sndbuf
     ?(heartbeat = Some Transport.default_heartbeat) ?(tick_s = 0.05) ?metrics
     ?on_accept ?on_subscribe ?on_unsubscribe ~broker addr =
   if max_queue < 1 then
@@ -111,7 +131,7 @@ let create ?faults ?(seed = Transport.default_seed)
      publishing thread onto a background domain. *)
   if Engine.aggregated (Broker.engine broker) then
     Engine.set_async_swaps (Broker.engine broker) true;
-  let labels = [ ("node", name); ("role", "server") ] in
+  let labels = [ ("node", name); ("role", role) ] in
   let m_connections =
     Option.map
       (fun m ->
@@ -140,11 +160,29 @@ let create ?faults ?(seed = Transport.default_seed)
           ~help:"Peers reaped after missing the heartbeat deadline"
           "genas_net_heartbeat_misses_total")
       metrics
+  and m_rx_apply =
+    Option.map
+      (fun m ->
+        Metrics.histogram m ~labels
+          ~help:"Time applying one received publish batch, ns"
+          "genas_net_rx_apply_duration_ns")
+      metrics
+  and m_queue_wait =
+    Option.map
+      (fun m ->
+        Metrics.histogram m ~labels
+          ~help:"Outbound frame wait between enqueue and socket write, ns"
+          "genas_net_queue_wait_ns")
+      metrics
   in
   {
     broker;
     addr;
     name;
+    role;
+    tracer;
+    metrics;
+    started_s = Transport.now_s ();
     seed;
     max_frame;
     max_queue;
@@ -169,10 +207,13 @@ let create ?faults ?(seed = Transport.default_seed)
     pings_sent = 0;
     stopping = false;
     crashed = false;
+    on_status = None;
     m_connections;
     m_queue_depth;
     m_slow;
     m_hb_misses;
+    m_rx_apply;
+    m_queue_wait;
   }
 
 let broker t = t.broker
@@ -229,7 +270,7 @@ let enqueue t cs msg =
       kill_conn cs
     end
     else begin
-      Queue.push msg cs.txq;
+      Queue.push (msg, Clock.now_ns ()) cs.txq;
       Condition.signal cs.tx_cond;
       Mutex.unlock cs.tx_mutex;
       Option.iter
@@ -240,7 +281,7 @@ let enqueue t cs msg =
 
 (* Writer thread: drain the queue in order; exit once the connection
    is dead, or once it is stopping and the queue is flushed. *)
-let tx_loop cs =
+let tx_loop t cs =
   let rec loop () =
     Mutex.lock cs.tx_mutex;
     while Queue.is_empty cs.txq && cs.alive && not cs.tx_stop do
@@ -250,8 +291,13 @@ let tx_loop cs =
     | None ->
       (* stopping (flushed) or dead *)
       Mutex.unlock cs.tx_mutex
-    | Some msg -> (
+    | Some (msg, enq_ns) -> (
       Mutex.unlock cs.tx_mutex;
+      Option.iter
+        (fun h ->
+          Metrics.Histogram.observe h
+            (Int64.to_float (Int64.sub (Clock.now_ns ()) enq_ns)))
+        t.m_queue_wait;
       match Transport.send cs.conn msg with
       | () ->
         cs.last_tx <- Transport.now_s ();
@@ -293,6 +339,13 @@ let link_fate t cs =
    no-echo rule, by connection for the local hop and by origin name
    across hops and reconnects. Called under the lock. *)
 let flush_deliveries ?(skip = -1) t =
+  (* Captured once per flush, inside the publish's trace if one is
+     open: every Deliver of this publish carries the same context, so
+     a downstream peer's apply span parents under this hop's publish
+     span. *)
+  let ctx =
+    match t.tracer with None -> None | Some tr -> Trace.context tr
+  in
   Hashtbl.iter
     (fun _ cs ->
       let pending = List.rev cs.pending in
@@ -304,10 +357,14 @@ let flush_deliveries ?(skip = -1) t =
         cs.delayed <- [];
         List.iter
           (fun ((cur, idx, origin, event) as entry) ->
+            (* A delayed frame belongs to an earlier publish; carrying
+               this flush's context would parent it under the wrong
+               span, so it travels context-free. *)
             if not (echo entry) then
               enqueue t cs
                 (Transport.Deliver
-                   { cursor = cur; idx; replay = false; origin; event }))
+                   { cursor = cur; idx; replay = false; origin; event;
+                     ctx = None }))
           late;
         List.iter
           (fun ((cur, idx, origin, event) as entry) ->
@@ -317,11 +374,11 @@ let flush_deliveries ?(skip = -1) t =
               | `Forward ->
                 enqueue t cs
                   (Transport.Deliver
-                     { cursor = cur; idx; replay = false; origin; event })
+                     { cursor = cur; idx; replay = false; origin; event; ctx })
               | `Duplicate ->
                 let d =
                   Transport.Deliver
-                    { cursor = cur; idx; replay = false; origin; event }
+                    { cursor = cur; idx; replay = false; origin; event; ctx }
                 in
                 enqueue t cs d;
                 enqueue t cs d
@@ -354,10 +411,63 @@ let publish_locked ?(skip = -1) ?origin t events =
   flush_deliveries ~skip t;
   first
 
-let publish ?origin t events =
-  with_lock t (fun () -> publish_locked ?origin t events)
+(* Run [f] under the server's tracer, adopting [ctx] when one arrived
+   on the wire ([via] names the hop peer whose span is the parent).
+   Must be called with the broker lock held — the lock is what makes
+   "one publish = one causal tree" hold for a shared tracer. *)
+let traced_locked t ~name ~via ctx f =
+  match t.tracer with
+  | None -> f ()
+  | Some tr -> Trace.with_remote_trace tr ~name ~origin:via ctx f
+
+let publish ?origin ?(via = "") ?(ctx = None) t events =
+  with_lock t (fun () ->
+      traced_locked t ~name:"net.publish" ~via ctx (fun () ->
+          publish_locked ?origin t events))
 
 let connections t = with_lock t (fun () -> Hashtbl.length t.conns)
+
+(* {1 Introspection} *)
+
+(* This node's own status row. Takes the lock (peer snapshot), so
+   callers must not already hold it. *)
+let status t =
+  let now = Transport.now_s () in
+  let peers =
+    with_lock t (fun () ->
+        Hashtbl.fold
+          (fun _ cs acc ->
+            {
+              Transport.ps_name = cs.peer;
+              ps_state = (if cs.alive then "up" else "dead");
+              ps_queue =
+                (Mutex.lock cs.tx_mutex;
+                 let n = Queue.length cs.txq in
+                 Mutex.unlock cs.tx_mutex;
+                 n);
+              ps_last_rx_s = now -. cs.last_rx;
+            }
+            :: acc)
+          t.conns [])
+  in
+  let peers =
+    List.sort (fun a b -> compare a.Transport.ps_name b.Transport.ps_name) peers
+  in
+  {
+    Transport.ns_node = t.name;
+    ns_role = t.role;
+    ns_cursor = (if Broker.wal t.broker = None then -1 else cursor t);
+    ns_connections = List.length peers;
+    ns_uptime_s = now -. t.started_s;
+    ns_peers = peers;
+    ns_counters =
+      (match t.metrics with Some m -> Metrics.counters m | None -> []);
+  }
+
+let set_on_status t f = t.on_status <- Some f
+
+let statuses t =
+  match t.on_status with Some f -> f () | None -> [ status t ]
 
 (* {1 Connection protocol} *)
 
@@ -426,12 +536,32 @@ let handle_unsubscribe t cs ~token =
   let c = match removed with Some (_, c) -> c | None -> with_lock t (fun () -> cursor t) in
   enqueue t cs (Transport.Ack { token; cursor = c; count = 0 })
 
-let handle_publish t cs ~token ~origin ~events =
+let handle_publish t cs ~token ~origin ~events ~ctx =
   let origin = if origin = "" then cs.peer else origin in
-  match with_lock t (fun () -> publish_locked ~skip:cs.id ~origin t events) with
-  | first ->
+  let t0 = Clock.now_ns () in
+  match
+    with_lock t (fun () ->
+        (* The hop span opens inside the lock so a shared tracer sees
+           one causal tree per publish; [fwd_ctx] is captured while it
+           is open, so the relay hook's upstream forward parents under
+           this hop rather than under the original leaf span. *)
+        traced_locked t ~name:"net.rx_publish" ~via:cs.peer ctx (fun () ->
+            let first = publish_locked ~skip:cs.id ~origin t events in
+            let fwd_ctx =
+              match t.tracer with
+              | None -> ctx
+              | Some tr -> Trace.context tr
+            in
+            (first, fwd_ctx)))
+  with
+  | first, fwd_ctx ->
     Option.iter
-      (fun f -> f ~conn_id:cs.id ~origin events)
+      (fun h ->
+        Metrics.Histogram.observe h
+          (Int64.to_float (Int64.sub (Clock.now_ns ()) t0)))
+      t.m_rx_apply;
+    Option.iter
+      (fun f -> f ~conn_id:cs.id ~origin ~ctx:fwd_ctx events)
       t.hooks.on_accept;
     enqueue t cs
       (Transport.Ack
@@ -460,35 +590,48 @@ let handle_publish t cs ~token ~origin ~events =
    other peers. Interleaving with concurrent live deliveries is safe —
    sends are whole-frame serialized per connection and receivers
    deduplicate by (cursor, idx). *)
-let handle_replay t cs ~since =
+let handle_replay t cs ~since ~ctx =
   let frames =
     with_lock t (fun () ->
-        match Broker.wal t.broker with
-        | None ->
-          [ Transport.Replay_done { cursor = cursor t; complete = false } ]
-        | Some j ->
-          let batches, complete = Journal.events_since j ~since in
-          let schema = Broker.schema t.broker in
-          let acc = ref [] in
-          List.iter
-            (fun (opi, events) ->
-              Array.iteri
-                (fun idx event ->
-                  let matches =
-                    Hashtbl.fold
-                      (fun _ (_, profile, _) m ->
-                        m || Profile.matches schema profile event)
-                      cs.subs false
-                  in
-                  if matches then
-                    acc :=
-                      Transport.Deliver
-                        { cursor = opi; idx; replay = true; origin = ""; event }
-                      :: !acc)
-                events)
-            batches;
-          List.rev
-            (Transport.Replay_done { cursor = cursor t; complete } :: !acc))
+        (* Replay deliveries carry no context of their own: they are
+           catch-up copies of old publishes, and parenting them under
+           the requester's replay span would invert causality. The
+           service itself still records a hop span adopted from the
+           requester. *)
+        traced_locked t ~name:"net.replay" ~via:cs.peer ctx (fun () ->
+            match Broker.wal t.broker with
+            | None ->
+              [ Transport.Replay_done { cursor = cursor t; complete = false } ]
+            | Some j ->
+              let batches, complete = Journal.events_since j ~since in
+              let schema = Broker.schema t.broker in
+              let acc = ref [] in
+              List.iter
+                (fun (opi, events) ->
+                  Array.iteri
+                    (fun idx event ->
+                      let matches =
+                        Hashtbl.fold
+                          (fun _ (_, profile, _) m ->
+                            m || Profile.matches schema profile event)
+                          cs.subs false
+                      in
+                      if matches then
+                        acc :=
+                          Transport.Deliver
+                            {
+                              cursor = opi;
+                              idx;
+                              replay = true;
+                              origin = "";
+                              event;
+                              ctx = None;
+                            }
+                          :: !acc)
+                    events)
+                batches;
+              List.rev
+                (Transport.Replay_done { cursor = cursor t; complete } :: !acc)))
   in
   try
     List.iter
@@ -527,15 +670,18 @@ let serve_conn t cs =
         | Transport.Unsubscribe { token } ->
           handle_unsubscribe t cs ~token;
           loop ()
-        | Transport.Publish { token; origin; events } ->
-          handle_publish t cs ~token ~origin ~events;
+        | Transport.Publish { token; origin; events; ctx } ->
+          handle_publish t cs ~token ~origin ~events ~ctx;
           if t.stopping then () else loop ()
-        | Transport.Replay { since } ->
-          handle_replay t cs ~since;
+        | Transport.Replay { since; ctx } ->
+          handle_replay t cs ~since ~ctx;
+          loop ()
+        | Transport.Status_req { token } ->
+          enqueue t cs (Transport.Status { token; nodes = statuses t });
           loop ()
         | Transport.Hello _ | Transport.Welcome _ | Transport.Reject _
         | Transport.Ack _ | Transport.Nack _ | Transport.Deliver _
-        | Transport.Replay_done _ ->
+        | Transport.Replay_done _ | Transport.Status _ ->
           enqueue t cs
             (Transport.Nack
                {
@@ -569,6 +715,7 @@ let serve_conn t cs =
                      version = Transport.protocol_version;
                      fingerprint = own;
                      cursor = cursor t;
+                     name = t.name;
                    }));
           loop ()
         end
@@ -673,7 +820,7 @@ let accept_one t sock =
         set_conn_gauge t (Hashtbl.length t.conns);
         cs)
   in
-  cs.tx_thread <- Some (Thread.create (fun () -> tx_loop cs) ());
+  cs.tx_thread <- Some (Thread.create (fun () -> tx_loop t cs) ());
   let th = Thread.create (fun () -> serve_conn t cs) () in
   t.workers <- th :: t.workers
 

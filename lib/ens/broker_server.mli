@@ -43,12 +43,19 @@ val create :
   ?seed:int ->
   ?max_frame:int ->
   ?name:string ->
+  ?role:string ->
+  ?tracer:Genas_obs.Trace.t ->
   ?max_queue:int ->
   ?sndbuf:int ->
   ?heartbeat:Transport.heartbeat option ->
   ?tick_s:float ->
   ?metrics:Genas_obs.Metrics.t ->
-  ?on_accept:(conn_id:int -> origin:string -> Genas_model.Event.t array -> unit) ->
+  ?on_accept:
+    (conn_id:int ->
+    origin:string ->
+    ctx:Transport.ctx ->
+    Genas_model.Event.t array ->
+    unit) ->
   ?on_subscribe:
     (conn_id:int -> token:int -> subscriber:string -> body:string -> unit) ->
   ?on_unsubscribe:(conn_id:int -> token:int -> body:string -> unit) ->
@@ -60,7 +67,9 @@ val create :
     prefixes fail before allocation). [name] is this node's mesh name
     (default ["server"]) — events it publishes locally carry it as
     origin, and it must be unique within a mesh for no-echo to be
-    sound. [max_queue] (default 1024) bounds each connection's
+    sound. [role] only labels metrics and [Status] rows (default
+    ["server"]; a relay's embedded server passes ["relay"]).
+    [max_queue] (default 1024) bounds each connection's
     outbound queue; exceeding it triggers the slow-consumer
     disconnect. [sndbuf] shrinks accepted sockets' kernel send
     buffers (tests use it to trip backpressure deterministically).
@@ -68,14 +77,23 @@ val create :
     disables liveness entirely) and [tick_s] (default 0.05) drive the
     monitor thread. [metrics] registers the [genas_net_*] family.
 
+    With [tracer], every received publish runs under a hop span
+    ([net.rx_publish]) that adopts the frame's wire trace context, and
+    outgoing [Deliver] frames carry this hop's context — so a publish
+    at a leaf of a relay chain and its delivery at the root share one
+    trace id, stitchable with {!Genas_obs.Trace.merge_dumps}.
+
     Relay hooks, all invoked {e outside} the broker lock:
     [on_accept] after a remote publish is applied (with its origin
     resolved — an empty wire origin means the publishing peer
-    itself); [on_subscribe] after a {e new} remote subscription is
-    installed but {e before} its [Ack] is sent, so once a subscriber
-    sees the Ack the whole upstream path has the profile;
-    [on_unsubscribe] after an explicit remote unsubscribe (not on
-    connection drop — see {!Relay} for why forwards stay sticky).
+    itself — and [ctx] the context to propagate on the upstream
+    forward: the received hop's own span when tracing, the wire
+    context unchanged otherwise); [on_subscribe] after a {e new}
+    remote subscription is installed but {e before} its [Ack] is sent,
+    so once a subscriber sees the Ack the whole upstream path has the
+    profile; [on_unsubscribe] after an explicit remote unsubscribe
+    (not on connection drop — see {!Relay} for why forwards stay
+    sticky).
 
     The server borrows [broker] — the caller keeps ownership and may
     publish/subscribe locally through it concurrently via
@@ -94,13 +112,21 @@ val stop : t -> unit
 (** Close the listener and every connection, join all threads, and
     wait out any in-flight background engine swap. *)
 
-val publish : ?origin:string -> t -> Genas_model.Event.t array -> int
+val publish :
+  ?origin:string ->
+  ?via:string ->
+  ?ctx:Transport.ctx ->
+  t ->
+  Genas_model.Event.t array ->
+  int
 (** Publish locally on the server node (one journal record per event)
     and flush deliveries to every connection. [origin] (default the
     server's own [name]) tags the deliveries for cross-hop no-echo —
     a relay re-publishing an upstream delivery into its local broker
-    passes the original publisher's name through. Returns the cursor
-    of the first record. *)
+    passes the original publisher's name through. With a [tracer],
+    [ctx] (a wire trace context received with the event) is adopted
+    for the publish's hop span and [via] names the peer that sent it.
+    Returns the cursor of the first record. *)
 
 val broker : t -> Broker.t
 
@@ -121,3 +147,19 @@ val slow_disconnects : t -> int
 val reaped : t -> int
 (** Connections reaped by the liveness monitor after missing the
     heartbeat deadline. *)
+
+(** {1 Mesh introspection} *)
+
+val status : t -> Transport.node_status
+(** This node's own status row: name, role, journal cursor ([-1]
+    unjournaled), live connections with per-peer queue depth and
+    receive age, uptime, and — when a metrics registry is attached —
+    every counter's current value. *)
+
+val set_on_status : t -> (unit -> Transport.node_status list) -> unit
+(** Install the [Status_req] answerer. A relay uses this to prepend
+    its own {!status} to the rows collected from the rest of its
+    upstream chain; without it a request answers with [[status t]]. *)
+
+val statuses : t -> Transport.node_status list
+(** What a [Status_req] on this node would answer. *)

@@ -62,7 +62,7 @@ let origins_below t =
   Mutex.unlock t.mu;
   List.sort String.compare l
 
-let create ?(seed = Transport.default_seed) ?journal ?metrics
+let create ?(seed = Transport.default_seed) ?journal ?metrics ?tracer
     ?(heartbeat = Some Transport.default_heartbeat)
     ?(reconnect = Supervise.retry_policy ~backoff_ns:5e7 ~jitter:0.5 ())
     ?(deadline_s = 30.0) ?max_queue ?tick_s ?(start = true) ?broker:broker_arg
@@ -82,11 +82,13 @@ let create ?(seed = Transport.default_seed) ?journal ?metrics
      through this cell. *)
   let client_ref = ref None in
   let with_client f = match !client_ref with Some c -> f c | None -> () in
-  let on_accept ~conn_id:_ ~origin events =
+  let on_accept ~conn_id:_ ~origin ~ctx events =
     Mutex.lock mu;
     Hashtbl.replace origins_below origin ();
     Mutex.unlock mu;
-    with_client (fun c -> Broker_client.forward_up c ~origin events)
+    (* [ctx] is the server's own hop span (when tracing), so the next
+       hop up parents under this relay, not under the original leaf. *)
+    with_client (fun c -> Broker_client.forward_up ~ctx c ~origin events)
   in
   (* Lock order, load-bearing: [mu] is only ever held alone. The
      upstream client's own lock is taken by [forward_profile] /
@@ -136,8 +138,8 @@ let create ?(seed = Transport.default_seed) ?journal ?metrics
     | None -> ()
   in
   let server =
-    Broker_server.create ~seed ~name ?metrics ~heartbeat ?max_queue
-      ~on_accept ~on_subscribe ~on_unsubscribe ~broker listen
+    Broker_server.create ~seed ~name ~role:"relay" ?metrics ?tracer ~heartbeat
+      ?max_queue ~on_accept ~on_subscribe ~on_unsubscribe ~broker listen
   in
   let skip_origin o =
     String.equal o name
@@ -147,13 +149,16 @@ let create ?(seed = Transport.default_seed) ?journal ?metrics
      Mutex.unlock mu;
      below)
   in
-  let on_deliver ~cursor:_ ~idx:_ ~origin event =
-    ignore (Broker_server.publish ~origin server [| event |])
+  let on_deliver ~cursor:_ ~idx:_ ~origin ~ctx event =
+    let via =
+      match !client_ref with Some c -> Broker_client.upstream c | None -> ""
+    in
+    ignore (Broker_server.publish ~origin ~via ~ctx server [| event |])
   in
   match
     Broker_client.connect ~name ~seed ~deadline_s ~heartbeat ~reconnect
-      ?metrics ?tick_s ~auto_drain:true ~on_deliver ~skip_origin ~local:broker
-      schema up
+      ?metrics ?tracer ?tick_s ~auto_drain:true ~on_deliver ~skip_origin
+      ~local:broker schema up
   with
   | Error e ->
     Broker_server.stop server;
@@ -162,6 +167,15 @@ let create ?(seed = Transport.default_seed) ?journal ?metrics
              (Transport.addr_to_string up) e)
   | Ok c ->
     client_ref := Some c;
+    (* A Status_req from below answers with this relay's row followed
+       by whatever the rest of the upstream chain reports — each hop
+       prepends itself, so the list arrives in hop order. *)
+    Broker_server.set_on_status server (fun () ->
+        Broker_server.status server
+        ::
+        (match Broker_client.status_request c with
+        | Ok nodes -> nodes
+        | Error _ -> []));
     let t =
       { name; broker; owns_broker; server; client = Some c; mu;
         origins_below; fwd }

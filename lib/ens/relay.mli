@@ -27,6 +27,7 @@ val create :
   ?seed:int ->
   ?journal:Journal.config ->
   ?metrics:Genas_obs.Metrics.t ->
+  ?tracer:Genas_obs.Trace.t ->
   ?heartbeat:Transport.heartbeat option ->
   ?reconnect:Supervise.policy ->
   ?deadline_s:float ->
@@ -49,7 +50,14 @@ val create :
     [Broker_server.serve ~connections (server t)] for a bounded
     foreground run (the CLI [relay] command). [broker] substitutes a
     caller-owned broker (e.g. one from [Broker.recover]); the caller
-    then owns its lifecycle. *)
+    then owns its lifecycle.
+
+    With [tracer] (shared by both faces), wire trace contexts flow
+    through the relay in both directions: a downstream publish's hop
+    span parents the upstream forward, an upstream delivery's context
+    parents the downstream re-publish. The relay also answers
+    [Status_req] with its own row followed by the rest of its
+    upstream chain ({!Broker_server.set_on_status}). *)
 
 val publish : t -> Genas_model.Event.t array -> int
 (** Publish at the relay itself: delivered downstream through the

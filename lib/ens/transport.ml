@@ -7,7 +7,10 @@
 module Event = Genas_model.Event
 module Schema = Genas_model.Schema
 
-let protocol_version = 2
+(* v3: Publish/Deliver/Replay carry an optional trace context, Welcome
+   carries the server's node name, and the Status_req/Status pair was
+   added. Old peers are rejected at the handshake version check. *)
+let protocol_version = 3
 
 (* Wall-independent seconds for deadlines and heartbeat bookkeeping:
    reads {!Genas_obs.Clock}, so tests can install a fake source and
@@ -72,13 +75,45 @@ let sockaddr_of = function
 
 (* {1 Messages} *)
 
+(* A wire trace context: (trace id, parent span id) of the sender's
+   active trace, adopted by the receiver so hop spans parent across
+   the process boundary. *)
+type ctx = (int * int) option
+
+type peer_status = {
+  ps_name : string;
+  ps_state : string;
+  ps_queue : int;
+  ps_last_rx_s : float;
+}
+
+type node_status = {
+  ns_node : string;
+  ns_role : string;
+  ns_cursor : int;
+  ns_connections : int;
+  ns_uptime_s : float;
+  ns_peers : peer_status list;
+  ns_counters : (string * int) list;
+}
+
 type message =
   | Hello of { version : int; fingerprint : string; name : string }
-  | Welcome of { version : int; fingerprint : string; cursor : int }
+  | Welcome of {
+      version : int;
+      fingerprint : string;
+      cursor : int;
+      name : string;
+    }
   | Reject of { reason : string }
   | Subscribe of { token : int; subscriber : string; body : string }
   | Unsubscribe of { token : int }
-  | Publish of { token : int; origin : string; events : Event.t array }
+  | Publish of {
+      token : int;
+      origin : string;
+      events : Event.t array;
+      ctx : ctx;
+    }
   | Ack of { token : int; cursor : int; count : int }
   | Nack of { token : int; reason : string }
   | Deliver of {
@@ -87,12 +122,74 @@ type message =
       replay : bool;
       origin : string;
       event : Event.t;
+      ctx : ctx;
     }
-  | Replay of { since : int }
+  | Replay of { since : int; ctx : ctx }
   | Replay_done of { cursor : int; complete : bool }
   | Bye
   | Ping of { token : int }
   | Pong of { token : int }
+  | Status_req of { token : int }
+  | Status of { token : int; nodes : node_status list }
+
+let w_ctx b =
+  Codec.w_option
+    (fun b (tid, sid) ->
+      Codec.w_int b tid;
+      Codec.w_int b sid)
+    b
+
+let r_ctx r =
+  Codec.r_option
+    (fun r ->
+      let tid = Codec.r_int r in
+      let sid = Codec.r_int r in
+      (tid, sid))
+    r
+
+let w_peer_status b p =
+  Codec.w_string b p.ps_name;
+  Codec.w_string b p.ps_state;
+  Codec.w_int b p.ps_queue;
+  Codec.w_float b p.ps_last_rx_s
+
+let r_peer_status r =
+  let ps_name = Codec.r_string r in
+  let ps_state = Codec.r_string r in
+  let ps_queue = Codec.r_int r in
+  let ps_last_rx_s = Codec.r_float r in
+  { ps_name; ps_state; ps_queue; ps_last_rx_s }
+
+let w_node_status b n =
+  Codec.w_string b n.ns_node;
+  Codec.w_string b n.ns_role;
+  Codec.w_int b n.ns_cursor;
+  Codec.w_int b n.ns_connections;
+  Codec.w_float b n.ns_uptime_s;
+  Codec.w_list w_peer_status b n.ns_peers;
+  Codec.w_list
+    (fun b (k, v) ->
+      Codec.w_string b k;
+      Codec.w_int b v)
+    b n.ns_counters
+
+let r_node_status r =
+  let ns_node = Codec.r_string r in
+  let ns_role = Codec.r_string r in
+  let ns_cursor = Codec.r_int r in
+  let ns_connections = Codec.r_int r in
+  let ns_uptime_s = Codec.r_float r in
+  let ns_peers = Codec.r_list r_peer_status r in
+  let ns_counters =
+    Codec.r_list
+      (fun r ->
+        let k = Codec.r_string r in
+        let v = Codec.r_int r in
+        (k, v))
+      r
+  in
+  { ns_node; ns_role; ns_cursor; ns_connections; ns_uptime_s; ns_peers;
+    ns_counters }
 
 let encode_message msg =
   let b = Buffer.create 64 in
@@ -102,11 +199,12 @@ let encode_message msg =
     Codec.w_int b version;
     Codec.w_string b fingerprint;
     Codec.w_string b name
-  | Welcome { version; fingerprint; cursor } ->
+  | Welcome { version; fingerprint; cursor; name } ->
     Codec.w_u8 b 1;
     Codec.w_int b version;
     Codec.w_string b fingerprint;
-    Codec.w_int b cursor
+    Codec.w_int b cursor;
+    Codec.w_string b name
   | Reject { reason } ->
     Codec.w_u8 b 2;
     Codec.w_string b reason
@@ -118,11 +216,12 @@ let encode_message msg =
   | Unsubscribe { token } ->
     Codec.w_u8 b 4;
     Codec.w_int b token
-  | Publish { token; origin; events } ->
+  | Publish { token; origin; events; ctx } ->
     Codec.w_u8 b 5;
     Codec.w_int b token;
     Codec.w_string b origin;
-    Codec.w_array Codec.w_event b events
+    Codec.w_array Codec.w_event b events;
+    w_ctx b ctx
   | Ack { token; cursor; count } ->
     Codec.w_u8 b 6;
     Codec.w_int b token;
@@ -132,16 +231,18 @@ let encode_message msg =
     Codec.w_u8 b 7;
     Codec.w_int b token;
     Codec.w_string b reason
-  | Deliver { cursor; idx; replay; origin; event } ->
+  | Deliver { cursor; idx; replay; origin; event; ctx } ->
     Codec.w_u8 b 8;
     Codec.w_int b cursor;
     Codec.w_int b idx;
     Codec.w_bool b replay;
     Codec.w_string b origin;
-    Codec.w_event b event
-  | Replay { since } ->
+    Codec.w_event b event;
+    w_ctx b ctx
+  | Replay { since; ctx } ->
     Codec.w_u8 b 9;
-    Codec.w_int b since
+    Codec.w_int b since;
+    w_ctx b ctx
   | Replay_done { cursor; complete } ->
     Codec.w_u8 b 10;
     Codec.w_int b cursor;
@@ -152,7 +253,14 @@ let encode_message msg =
     Codec.w_int b token
   | Pong { token } ->
     Codec.w_u8 b 13;
-    Codec.w_int b token);
+    Codec.w_int b token
+  | Status_req { token } ->
+    Codec.w_u8 b 14;
+    Codec.w_int b token
+  | Status { token; nodes } ->
+    Codec.w_u8 b 15;
+    Codec.w_int b token;
+    Codec.w_list w_node_status b nodes);
   Buffer.contents b
 
 let decode_message schema payload =
@@ -168,7 +276,8 @@ let decode_message schema payload =
       let version = Codec.r_int r in
       let fingerprint = Codec.r_string r in
       let cursor = Codec.r_int r in
-      Welcome { version; fingerprint; cursor }
+      let name = Codec.r_string r in
+      Welcome { version; fingerprint; cursor; name }
     | 2 -> Reject { reason = Codec.r_string r }
     | 3 ->
       let token = Codec.r_int r in
@@ -180,7 +289,8 @@ let decode_message schema payload =
       let token = Codec.r_int r in
       let origin = Codec.r_string r in
       let events = Codec.r_array (Codec.r_event schema) r in
-      Publish { token; origin; events }
+      let ctx = r_ctx r in
+      Publish { token; origin; events; ctx }
     | 6 ->
       let token = Codec.r_int r in
       let cursor = Codec.r_int r in
@@ -196,8 +306,12 @@ let decode_message schema payload =
       let replay = Codec.r_bool r in
       let origin = Codec.r_string r in
       let event = Codec.r_event schema r in
-      Deliver { cursor; idx; replay; origin; event }
-    | 9 -> Replay { since = Codec.r_int r }
+      let ctx = r_ctx r in
+      Deliver { cursor; idx; replay; origin; event; ctx }
+    | 9 ->
+      let since = Codec.r_int r in
+      let ctx = r_ctx r in
+      Replay { since; ctx }
     | 10 ->
       let cursor = Codec.r_int r in
       let complete = Codec.r_bool r in
@@ -205,6 +319,11 @@ let decode_message schema payload =
     | 11 -> Bye
     | 12 -> Ping { token = Codec.r_int r }
     | 13 -> Pong { token = Codec.r_int r }
+    | 14 -> Status_req { token = Codec.r_int r }
+    | 15 ->
+      let token = Codec.r_int r in
+      let nodes = Codec.r_list r_node_status r in
+      Status { token; nodes }
     | t -> raise (Codec.Corrupt (Printf.sprintf "bad message tag %d" t))
   in
   Codec.r_end r;
@@ -225,6 +344,8 @@ let message_name = function
   | Bye -> "bye"
   | Ping _ -> "ping"
   | Pong _ -> "pong"
+  | Status_req _ -> "status-req"
+  | Status _ -> "status"
 
 (* {1 Connections} *)
 

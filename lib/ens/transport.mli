@@ -49,11 +49,49 @@ val addr_of_string : string -> (addr, string) result
 
 val addr_to_string : addr -> string
 
+val sockaddr_of : addr -> Unix.sockaddr
+(** Resolve to a [Unix.sockaddr] (TCP hosts via [getaddrinfo]).
+
+    @raise Failure when a TCP host cannot be resolved. *)
+
 (** {1 Messages} *)
+
+type ctx = (int * int) option
+(** Optional wire trace context: the sender's active
+    [(trace id, parent span id)] pair ({!Genas_obs.Trace.context}),
+    adopted on the receiving node with
+    {!Genas_obs.Trace.with_remote_trace} so hop spans parent correctly
+    across processes. [None] when the sender traces nothing. *)
+
+type peer_status = {
+  ps_name : string;  (** peer node name ([""] before its Hello) *)
+  ps_state : string;  (** ["up"], ["draining"], ... *)
+  ps_queue : int;  (** frames queued toward this peer *)
+  ps_last_rx_s : float;  (** seconds since last received frame *)
+}
+
+type node_status = {
+  ns_node : string;
+  ns_role : string;  (** ["server"], ["relay"], ["client"] *)
+  ns_cursor : int;  (** journal cursor, [-1] when unjournaled *)
+  ns_connections : int;
+  ns_uptime_s : float;
+  ns_peers : peer_status list;
+  ns_counters : (string * int) list;
+      (** counter snapshots from the node's metrics registry *)
+}
+(** One node's introspection snapshot, as carried by [Status]. *)
 
 type message =
   | Hello of { version : int; fingerprint : string; name : string }
-  | Welcome of { version : int; fingerprint : string; cursor : int }
+  | Welcome of {
+      version : int;
+      fingerprint : string;
+      cursor : int;
+      name : string;
+          (** the server's node name, so downstream peers can label
+              remote spans and status rows *)
+    }
   | Reject of { reason : string }
   | Subscribe of { token : int; subscriber : string; body : string }
       (** [body] is profile-language source — the same re-parse
@@ -67,6 +105,7 @@ type message =
               no-echo works across hops (names must be unique within a
               mesh; see docs/NETWORKING.md) *)
       events : Genas_model.Event.t array;
+      ctx : ctx;
     }
   | Ack of { token : int; cursor : int; count : int }
       (** for a publish: the journal op index its record carries
@@ -80,8 +119,9 @@ type message =
           (** originating node name ([""] on journal replay — the WAL
               does not retain provenance) *)
       event : Genas_model.Event.t;
+      ctx : ctx;
     }
-  | Replay of { since : int }
+  | Replay of { since : int; ctx : ctx }
       (** request redelivery of every journaled publish with op index
           [> since] that matches this connection's subscriptions *)
   | Replay_done of { cursor : int; complete : bool }
@@ -92,6 +132,12 @@ type message =
           token. Any received frame counts as liveness — pings only
           flow on otherwise-idle links. *)
   | Pong of { token : int }
+  | Status_req of { token : int }
+      (** mesh introspection probe: the receiver answers [Status] with
+          the same token, its own {!node_status}, and — on a relay —
+          the statuses collected from the rest of its upstream chain *)
+  | Status of { token : int; nodes : node_status list }
+      (** answering node first, then upstream nodes in hop order *)
 
 val encode_message : message -> string
 

@@ -21,6 +21,9 @@ module Trace = Genas_obs.Trace
 module Profile_set = Genas_profile.Profile_set
 module Engine = Genas_core.Engine
 module Broker = Genas_ens.Broker
+module Broker_server = Genas_ens.Broker_server
+module Broker_client = Genas_ens.Broker_client
+module Transport = Genas_ens.Transport
 
 type result = {
   name : string;
@@ -402,16 +405,68 @@ let run ?(profiles = 500) ?(seed = 99) ?(events = 50_000) ?domains () =
             Broker.ops fresh))
       [ ("untraced", None); ("traced-off", Some 0.0); ("traced", Some 1.0) ]
   in
+  (* Networked publish path: a loopback Broker_server + Broker_client
+     pair over a Unix socket — each publish is one full wire round
+     trip (encode, checksum, kernel, decode, match, supervised
+     delivery, ack). The traced-off row attaches a never-sampling
+     tracer to both ends: the disabled-tracing overhead on the
+     networked path, which the cram suite pins as noise. Matching runs
+     on the server's broker (the usual topology); [counted] replays
+     the pool through an identically subscribed local broker, because
+     the wire never changes what the matcher compares. *)
+  let live_net = ref [] in
+  let net_publish_entries =
+    List.map
+      (fun (variant, sample) ->
+        let path = Filename.temp_file "genas_bench_net" ".sock" in
+        Sys.remove path;
+        let addr = Transport.Unix_sock path in
+        let tracer () =
+          Option.map (fun s -> Trace.create ~sample:s ~seed:(seed + 2) ()) sample
+        in
+        let b = Broker.create ~spec:v1a2 schema in
+        Profile_set.iter pset (fun id p ->
+            ignore
+              (Broker.subscribe b ~subscriber:(string_of_int id) ~profile:p
+                 (fun _ -> ())));
+        let srv =
+          Broker_server.create ~name:"bench-srv" ~heartbeat:None
+            ?tracer:(tracer ()) ~broker:b addr
+        in
+        Broker_server.start srv;
+        let c =
+          match
+            Broker_client.connect ~name:"bench-cli" ~heartbeat:None
+              ?tracer:(tracer ()) schema addr
+          with
+          | Ok c -> c
+          | Error e -> failwith ("perfbench: net publish connect: " ^ e)
+        in
+        live_net :=
+          (fun () ->
+            Broker_client.close c;
+            Broker_server.stop srv;
+            Broker.close b)
+          :: !live_net;
+        entry ("publish/" ^ variant) "publish-net" "v1+a2"
+          (per_event (fun e -> ignore (Broker_client.publish c e)))
+          (fun () ->
+            let fresh = make_broker sample in
+            Array.iter (fun e -> ignore (Broker.publish fresh e)) pool_events;
+            Broker.ops fresh))
+      [ ("net-untraced", None); ("net-traced-off", Some 0.0) ]
+  in
   let results =
     List.map (measure ~events)
       (baseline_entries @ tree_entries
       @ [ batch_entry; packed_entry ]
-      @ skew_entries @ publish_entries @ pool_entries @ [ spawn_entry ]
-      @ shard_entries)
+      @ skew_entries @ publish_entries @ net_publish_entries @ pool_entries
+      @ [ spawn_entry ] @ shard_entries)
   in
   (* Pools own domains; release them before returning (the at_exit
      hook would catch them anyway, but a long-lived caller should not
      keep benchmark workers parked). *)
+  List.iter (fun f -> f ()) !live_net;
   List.iter Pool.shutdown !live_pools;
   {
     profiles;
@@ -646,6 +701,8 @@ let to_json ?scale:sc t =
           (speedup t ~num:"publish/traced-off" ~den:"publish/untraced");
         field "publish_traced_vs_untraced"
           (speedup t ~num:"publish/traced" ~den:"publish/untraced");
+        field "publish_net_traced_off_vs_untraced"
+          (speedup t ~num:"publish/net-traced-off" ~den:"publish/net-untraced");
         field "pool_peak_vs_1_domain" pool_speedup;
         field "pool_persistent_vs_spawn_d2"
           (speedup t ~num:"pool/v1+a2/d2" ~den:"pool-spawn/v1+a2/d2");

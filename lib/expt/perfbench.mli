@@ -22,7 +22,14 @@ type result = {
   name : string;  (** e.g. ["flat/v1+a2"], ["pool/v1+a2/d2"] *)
   matcher : string;
       (** naive|counting|tree|flat|flat-batch|flat-packed|flat-skew|
-          flat-skew-layout|publish|pool|pool-spawn|shard *)
+          flat-skew-layout|publish|publish-net|pool|pool-spawn|shard;
+          the [publish-net] rows ([publish/net-untraced] and
+          [publish/net-traced-off]) time a loopback
+          {!Genas_ens.Broker_client} publish round trip over a Unix
+          socket, without and with a never-sampling tracer on both
+          ends — their ratio is the derived
+          [publish_net_traced_off_vs_untraced] field, the
+          disabled-tracing overhead on the networked path *)
   strategy : string;  (** value strategy, or ["n/a"] *)
   domains : int;  (** 1 except for pool and shard entries *)
   timed_events : int;

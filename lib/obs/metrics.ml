@@ -1,6 +1,12 @@
-type counter = { mutable c_value : int }
+(* Instruments are hit concurrently: server tx threads, the monitor
+   thread, client tickers, and pool domains all share one registry.
+   Counters and gauges are single atomics (a CAS loop keeps the
+   max_int saturation exact under contention); histograms update five
+   fields per observation, so each carries its own mutex. *)
 
-type gauge = { mutable g_value : float }
+type counter = { c_value : int Atomic.t }
+
+type gauge = { g_value : float Atomic.t }
 
 type histogram = {
   bounds : float array;  (** finite upper bounds, strictly increasing *)
@@ -9,6 +15,7 @@ type histogram = {
   mutable h_sum : float;
   mutable h_min : float;
   mutable h_max : float;
+  h_mu : Mutex.t;
 }
 
 type instrument =
@@ -23,9 +30,12 @@ type metric = {
   inst : instrument;
 }
 
-type t = { mutable metrics : metric list (* reverse registration order *) }
+type t = {
+  mutable metrics : metric list; (* reverse registration order *)
+  t_mu : Mutex.t;
+}
 
-let create () = { metrics = [] }
+let create () = { metrics = []; t_mu = Mutex.create () }
 
 let valid_name name =
   name <> ""
@@ -43,6 +53,7 @@ let register t ~help ~labels name make =
   if not (valid_name name) then
     invalid_arg (Printf.sprintf "Metrics: malformed metric name %S" name);
   let labels = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+  Mutex.protect t.t_mu @@ fun () ->
   match
     List.find_opt (fun m -> m.name = name && m.labels = labels) t.metrics
   with
@@ -53,14 +64,19 @@ let register t ~help ~labels name make =
     inst
 
 let counter t ?(help = "") ?(labels = []) name =
-  match register t ~help ~labels name (fun () -> Counter_i { c_value = 0 }) with
+  match
+    register t ~help ~labels name (fun () ->
+        Counter_i { c_value = Atomic.make 0 })
+  with
   | Counter_i c -> c
   | other ->
     invalid_arg
       (Printf.sprintf "Metrics: %S is already a %s" name (kind_name other))
 
 let gauge t ?(help = "") ?(labels = []) name =
-  match register t ~help ~labels name (fun () -> Gauge_i { g_value = 0.0 }) with
+  match
+    register t ~help ~labels name (fun () -> Gauge_i { g_value = Atomic.make 0.0 })
+  with
   | Gauge_i g -> g
   | other ->
     invalid_arg
@@ -100,6 +116,7 @@ let histogram t ?(help = "") ?(labels = []) ?(buckets = default_latency_buckets)
         h_sum = 0.0;
         h_min = Float.infinity;
         h_max = Float.neg_infinity;
+        h_mu = Mutex.create ();
       }
   in
   match register t ~help ~labels name make with
@@ -111,18 +128,74 @@ let histogram t ?(help = "") ?(labels = []) ?(buckets = default_latency_buckets)
 module Counter = struct
   let add c n =
     if n < 0 then invalid_arg "Metrics.Counter.add: negative amount";
-    c.c_value <- (if max_int - c.c_value < n then max_int else c.c_value + n)
+    let rec go () =
+      let cur = Atomic.get c.c_value in
+      let next = if max_int - cur < n then max_int else cur + n in
+      if not (Atomic.compare_and_set c.c_value cur next) then go ()
+    in
+    go ()
 
   let incr c = add c 1
 
-  let value c = c.c_value
+  let value c = Atomic.get c.c_value
 end
 
 module Gauge = struct
-  let set g v = g.g_value <- v
+  let set g v = Atomic.set g.g_value v
 
-  let value g = g.g_value
+  let value g = Atomic.get g.g_value
 end
+
+(* A consistent read of one histogram: every reader (accessors,
+   percentile, both exporters) goes through this snapshot so a
+   concurrent observe can never tear count/sum/bucket agreement. *)
+type hsnap = {
+  s_bounds : float array;
+  s_counts : int array;
+  s_count : int;
+  s_sum : float;
+  s_min : float;
+  s_max : float;
+}
+
+let hsnap h =
+  Mutex.protect h.h_mu @@ fun () ->
+  {
+    s_bounds = h.bounds;
+    s_counts = Array.copy h.counts;
+    s_count = h.h_count;
+    s_sum = h.h_sum;
+    s_min = h.h_min;
+    s_max = h.h_max;
+  }
+
+let percentile_of s q =
+  if not (Float.is_finite q) || q < 0.0 || q > 1.0 then
+    invalid_arg "Metrics.Histogram.percentile: q outside [0,1]";
+  if s.s_count = 0 then Float.nan
+  else begin
+    let rank = q *. float_of_int s.s_count in
+    let n = Array.length s.s_bounds in
+    let raw = ref s.s_max in
+    let cum = ref 0.0 and found = ref false in
+    for i = 0 to n - 1 do
+      if not !found then begin
+        let c = float_of_int s.s_counts.(i) in
+        if !cum +. c >= rank && c > 0.0 then begin
+          let lo = if i = 0 then 0.0 else s.s_bounds.(i - 1) in
+          let hi = s.s_bounds.(i) in
+          let frac = (rank -. !cum) /. c in
+          raw := lo +. (frac *. (hi -. lo));
+          found := true
+        end;
+        cum := !cum +. c
+      end
+    done;
+    (* The overflow bucket has no upper bound; fall back to the
+       observed maximum, and clamp interpolation into the observed
+       range either way. *)
+    Float.min s.s_max (Float.max s.s_min !raw)
+  end
 
 module Histogram = struct
   let bucket_index h v =
@@ -137,53 +210,32 @@ module Histogram = struct
 
   let observe h v =
     let i = bucket_index h v in
+    Mutex.protect h.h_mu @@ fun () ->
     h.counts.(i) <- h.counts.(i) + 1;
     h.h_count <- h.h_count + 1;
     h.h_sum <- h.h_sum +. v;
     if v < h.h_min then h.h_min <- v;
     if v > h.h_max then h.h_max <- v
 
-  let count h = h.h_count
+  let count h = (hsnap h).s_count
 
-  let sum h = h.h_sum
+  let sum h = (hsnap h).s_sum
 
-  let buckets h = Array.mapi (fun i b -> (b, h.counts.(i))) h.bounds
+  let buckets h =
+    let s = hsnap h in
+    Array.mapi (fun i b -> (b, s.s_counts.(i))) s.s_bounds
 
-  let overflow h = h.counts.(Array.length h.bounds)
+  let overflow h =
+    let s = hsnap h in
+    s.s_counts.(Array.length s.s_bounds)
 
-  let percentile h q =
-    if not (Float.is_finite q) || q < 0.0 || q > 1.0 then
-      invalid_arg "Metrics.Histogram.percentile: q outside [0,1]";
-    if h.h_count = 0 then Float.nan
-    else begin
-      let rank = q *. float_of_int h.h_count in
-      let n = Array.length h.bounds in
-      let raw = ref h.h_max in
-      let cum = ref 0.0 and found = ref false in
-      for i = 0 to n - 1 do
-        if not !found then begin
-          let c = float_of_int h.counts.(i) in
-          if !cum +. c >= rank && c > 0.0 then begin
-            let lo = if i = 0 then 0.0 else h.bounds.(i - 1) in
-            let hi = h.bounds.(i) in
-            let frac = (rank -. !cum) /. c in
-            raw := lo +. (frac *. (hi -. lo));
-            found := true
-          end;
-          cum := !cum +. c
-        end
-      done;
-      (* The overflow bucket has no upper bound; fall back to the
-         observed maximum, and clamp interpolation into the observed
-         range either way. *)
-      Float.min h.h_max (Float.max h.h_min !raw)
-    end
+  let percentile h q = percentile_of (hsnap h) q
 end
 
 (* ------------------------------------------------------------------ *)
 (* Exporters.                                                          *)
 
-let snapshot t = List.rev t.metrics
+let snapshot t = Mutex.protect t.t_mu (fun () -> List.rev t.metrics)
 
 let json_labels labels =
   Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
@@ -192,19 +244,18 @@ let json_of_metric m =
   let base = [ ("name", Json.Str m.name); ("labels", json_labels m.labels) ] in
   let base = if m.help = "" then base else base @ [ ("help", Json.Str m.help) ] in
   match m.inst with
-  | Counter_i c -> Json.Obj (base @ [ ("value", Json.Int c.c_value) ])
-  | Gauge_i g -> Json.Obj (base @ [ ("value", Json.number g.g_value) ])
+  | Counter_i c -> Json.Obj (base @ [ ("value", Json.Int (Counter.value c)) ])
+  | Gauge_i g -> Json.Obj (base @ [ ("value", Json.number (Gauge.value g)) ])
   | Histogram_i h ->
-    let pct q =
-      if h.h_count = 0 then Json.Null else Json.number (Histogram.percentile h q)
-    in
+    let s = hsnap h in
+    let pct q = if s.s_count = 0 then Json.Null else Json.number (percentile_of s q) in
     Json.Obj
       (base
       @ [
-          ("count", Json.Int h.h_count);
-          ("sum", Json.number h.h_sum);
-          ("min", if h.h_count = 0 then Json.Null else Json.number h.h_min);
-          ("max", if h.h_count = 0 then Json.Null else Json.number h.h_max);
+          ("count", Json.Int s.s_count);
+          ("sum", Json.number s.s_sum);
+          ("min", if s.s_count = 0 then Json.Null else Json.number s.s_min);
+          ("max", if s.s_count = 0 then Json.Null else Json.number s.s_max);
           ("p50", pct 0.5);
           ("p90", pct 0.9);
           ("p99", pct 0.99);
@@ -214,9 +265,9 @@ let json_of_metric m =
                  (Array.mapi
                     (fun i b ->
                       Json.Obj
-                        [ ("le", Json.number b); ("count", Json.Int h.counts.(i)) ])
-                    h.bounds)) );
-          ("overflow", Json.Int (Histogram.overflow h));
+                        [ ("le", Json.number b); ("count", Json.Int s.s_counts.(i)) ])
+                    s.s_bounds)) );
+          ("overflow", Json.Int s.s_counts.(Array.length s.s_bounds));
         ])
 
 let to_json t =
@@ -267,6 +318,14 @@ let prom_labels = function
            labels)
     ^ "}"
 
+let counters t =
+  List.filter_map
+    (fun m ->
+      match m.inst with
+      | Counter_i c -> Some (m.name ^ prom_labels m.labels, Counter.value c)
+      | _ -> None)
+    (snapshot t)
+
 let prom_float v =
   if not (Float.is_finite v) then "0"
   else
@@ -299,26 +358,27 @@ let to_prometheus t =
     let ls = prom_labels m.labels in
     match m.inst with
     | Counter_i c ->
-      Buffer.add_string b (Printf.sprintf "%s%s %d\n" m.name ls c.c_value)
+      Buffer.add_string b (Printf.sprintf "%s%s %d\n" m.name ls (Counter.value c))
     | Gauge_i g ->
       Buffer.add_string b
-        (Printf.sprintf "%s%s %s\n" m.name ls (prom_float g.g_value))
+        (Printf.sprintf "%s%s %s\n" m.name ls (prom_float (Gauge.value g)))
     | Histogram_i h ->
+      let s = hsnap h in
       let le bound = prom_labels (m.labels @ [ ("le", bound) ]) in
       let cum = ref 0 in
       Array.iteri
         (fun i bound ->
-          cum := !cum + h.counts.(i);
+          cum := !cum + s.s_counts.(i);
           Buffer.add_string b
             (Printf.sprintf "%s_bucket%s %d\n" m.name (le (prom_float bound))
                !cum))
-        h.bounds;
+        s.s_bounds;
       Buffer.add_string b
-        (Printf.sprintf "%s_bucket%s %d\n" m.name (le "+Inf") h.h_count);
+        (Printf.sprintf "%s_bucket%s %d\n" m.name (le "+Inf") s.s_count);
       Buffer.add_string b
-        (Printf.sprintf "%s_sum%s %s\n" m.name ls (prom_float h.h_sum));
+        (Printf.sprintf "%s_sum%s %s\n" m.name ls (prom_float s.s_sum));
       Buffer.add_string b
-        (Printf.sprintf "%s_count%s %d\n" m.name ls h.h_count)
+        (Printf.sprintf "%s_count%s %d\n" m.name ls s.s_count)
   in
   List.iter
     (fun name ->

@@ -7,10 +7,17 @@
     a different instrument kind raises.
 
     Hot-path cost: an instrument handle is resolved once at component
-    construction; [Counter.incr]/[Histogram.observe] are a few loads
-    and stores, no allocation. Components take the registry as an
+    construction; [Counter.incr] is one atomic CAS, [Histogram.observe]
+    a short mutex-guarded update. Components take the registry as an
     optional argument — with [?metrics:None] they must not touch this
     module at all, keeping the uninstrumented path allocation-free.
+
+    Thread safety: every operation is safe under concurrent use from
+    threads and domains. Counters update by compare-and-swap (the
+    [max_int] saturation survives contention), gauges are single
+    atomic cells, and each histogram serializes its five-field update
+    under a private mutex; exporters and accessors read consistent
+    per-instrument snapshots.
 
     Exporters: {!to_json} (canonical JSON snapshot with p50/p90/p99
     histogram readouts) and {!to_prometheus} (Prometheus text format
@@ -100,6 +107,11 @@ module Histogram : sig
 
       @raise Invalid_argument if [q] is outside [0, 1]. *)
 end
+
+val counters : t -> (string * int) list
+(** Every registered counter as [("name{label=\"v\",...}", value)]
+    (Prometheus-style series names, registration order) — the compact
+    form a mesh [Status] frame carries. *)
 
 val to_json : t -> string
 (** Canonical JSON snapshot:

@@ -1,0 +1,209 @@
+(* Minimal HTTP/1.0 scrape endpoint over the metrics registry: a pull
+   port per node, thread-per-request, close-delimited responses. Lives
+   in lib/obs (not the ensemble layer) so anything holding a registry
+   can expose one without pulling in the wire protocol. *)
+
+type t = {
+  registry : Metrics.t;
+  node : string;
+  lsock : Unix.file_descr;
+  bound : Unix.sockaddr;
+  started_ns : int64;
+  uptime : Metrics.gauge;
+  mutable stopping : bool;
+  mutable acceptor : Thread.t option;
+}
+
+let listen sockaddr =
+  let domain = Unix.domain_of_sockaddr sockaddr in
+  (match sockaddr with
+  | Unix.ADDR_UNIX path when path <> "" ->
+    (* A stale socket file from a dead process blocks bind. *)
+    (try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ -> ());
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match domain with
+  | Unix.PF_INET | Unix.PF_INET6 -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+  | _ -> ());
+  (try
+     Unix.bind fd sockaddr;
+     Unix.listen fd 16
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let index_body t =
+  Printf.sprintf
+    "genas scrape endpoint (node %s)\n\
+     /metrics       Prometheus text exposition\n\
+     /metrics.json  JSON snapshot\n" t.node
+
+let respond t path =
+  Metrics.Gauge.set t.uptime
+    (Int64.to_float (Int64.sub (Clock.now_ns ()) t.started_ns) /. 1e9);
+  match path with
+  | "/metrics" ->
+    http_response ~status:"200 OK"
+      ~content_type:"text/plain; version=0.0.4"
+      (Metrics.to_prometheus t.registry)
+  | "/metrics.json" | "/json" ->
+    http_response ~status:"200 OK" ~content_type:"application/json"
+      (Metrics.to_json t.registry)
+  | "/" | "" ->
+    http_response ~status:"200 OK" ~content_type:"text/plain" (index_body t)
+  | _ ->
+    http_response ~status:"404 Not Found" ~content_type:"text/plain"
+      "not found\n"
+
+(* One request per connection: parse the request line, drain headers
+   to the blank line, answer, close. Anything malformed gets a 400. *)
+let serve_conn t fd =
+  let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+  Fun.protect ~finally @@ fun () ->
+  let ic = Unix.in_channel_of_descr fd in
+  let request = try Some (input_line ic) with End_of_file | Sys_error _ -> None in
+  (try
+     let rec drain () =
+       match input_line ic with
+       | "" | "\r" -> ()
+       | _ -> drain ()
+     in
+     drain ()
+   with End_of_file | Sys_error _ -> ());
+  let reply =
+    match request with
+    | Some line -> (
+      match String.split_on_char ' ' (String.trim line) with
+      | "GET" :: path :: _ -> respond t path
+      | _ ->
+        http_response ~status:"400 Bad Request" ~content_type:"text/plain"
+          "only GET is served\n")
+    | None ->
+      http_response ~status:"400 Bad Request" ~content_type:"text/plain"
+        "empty request\n"
+  in
+  let len = String.length reply in
+  let written = ref 0 in
+  (try
+     while !written < len do
+       written :=
+         !written + Unix.write_substring fd reply !written (len - !written)
+     done
+   with Unix.Unix_error _ -> ())
+
+let accept_loop t =
+  while not t.stopping do
+    match Unix.accept t.lsock with
+    | fd, _ -> ignore (Thread.create (fun () -> serve_conn t fd) ())
+    | exception Unix.Unix_error _ -> ()
+  done
+
+let start ?(node = "node") ~metrics sockaddr =
+  let lsock = listen sockaddr in
+  let bound = Unix.getsockname lsock in
+  let build_info =
+    Metrics.gauge metrics "genas_build_info"
+      ~help:"constant 1; the labels carry the build identity"
+      ~labels:[ ("node", node); ("ocaml", Sys.ocaml_version) ]
+  in
+  Metrics.Gauge.set build_info 1.0;
+  let uptime =
+    Metrics.gauge metrics "genas_uptime_seconds"
+      ~help:"seconds since the scrape endpoint started"
+      ~labels:[ ("node", node) ]
+  in
+  let t =
+    {
+      registry = metrics;
+      node;
+      lsock;
+      bound;
+      started_ns = Clock.now_ns ();
+      uptime;
+      stopping = false;
+      acceptor = None;
+    }
+  in
+  t.acceptor <- Some (Thread.create accept_loop t);
+  t
+
+let addr t = t.bound
+
+let stop t =
+  if not t.stopping then begin
+    t.stopping <- true;
+    (* shutdown(2) wakes the acceptor out of accept(2); close alone
+       would not. *)
+    (try Unix.shutdown t.lsock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (match t.acceptor with Some th -> Thread.join th | None -> ());
+    t.acceptor <- None;
+    (try Unix.close t.lsock with Unix.Unix_error _ -> ());
+    match t.bound with
+    | Unix.ADDR_UNIX path when path <> "" ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ())
+    | _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* A tiny matching client, so tests and the CLI need no curl. *)
+
+let get sockaddr ~path =
+  match Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd -> (
+    let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+    Fun.protect ~finally @@ fun () ->
+    match Unix.connect fd sockaddr with
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+    | () -> (
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      match
+        let len = String.length req in
+        let written = ref 0 in
+        while !written < len do
+          written :=
+            !written + Unix.write_substring fd req !written (len - !written)
+        done
+      with
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | () ->
+        let b = Buffer.create 1024 in
+        let chunk = Bytes.create 4096 in
+        let rec read_all () =
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes b chunk 0 n;
+            read_all ()
+          | exception Unix.Unix_error _ -> ()
+        in
+        read_all ();
+        let raw = Buffer.contents b in
+        (* Split the status line and headers off the close-delimited
+           body. *)
+        let code =
+          match String.index_opt raw ' ' with
+          | Some i when i + 4 <= String.length raw -> (
+            match int_of_string_opt (String.sub raw (i + 1) 3) with
+            | Some c -> c
+            | None -> 0)
+          | _ -> 0
+        in
+        let body =
+          let rec find i =
+            if i + 3 >= String.length raw then None
+            else if String.sub raw i 4 = "\r\n\r\n" then Some (i + 4)
+            else find (i + 1)
+          in
+          match find 0 with
+          | Some i -> String.sub raw i (String.length raw - i)
+          | None -> ""
+        in
+        if code = 0 then Error "malformed response" else Ok (code, body)))

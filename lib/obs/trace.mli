@@ -17,7 +17,20 @@
     Cost: components take the tracer as an optional argument; with
     [?tracer:None] the hot path never touches this module. With a
     tracer attached but the trace unsampled, every span call is one
-    [match] on [t.current]. *)
+    [match] on [t.current].
+
+    Thread safety: each state transition is serialized under an
+    internal mutex (never held across a user callback, so nested
+    {!with_span} re-entry cannot deadlock). One tracer may be shared
+    by a networked broker's connection threads, its monitor, and a
+    client ticker; callers that need whole-trace atomicity (one
+    causal tree per publish) serialize publishes themselves, as the
+    broker lock already does.
+
+    Across processes, {!context} captures the active (trace id, span
+    id) pair for a wire frame and {!with_remote_trace} adopts it on
+    the receiving node; {!export} and {!merge_dumps} stitch the
+    per-node flight recorders into one Chrome trace afterwards. *)
 
 type t
 (** A tracer: sampler state + active trace + completed-trace ring. *)
@@ -54,6 +67,10 @@ type trace = {
   mutable spans : span list;  (** reverse start order *)
   mutable span_count : int;
   mutable path : path option;
+  remote : (string * int) option;
+      (** [(origin node, parent span id)] when the trace id was adopted
+          from a wire context via {!with_remote_trace}; [None] for a
+          locally rooted trace *)
 }
 
 val create :
@@ -61,6 +78,7 @@ val create :
   ?capacity:int ->
   ?metrics:Metrics.t ->
   ?on_dump:(string -> unit) ->
+  ?clock:(unit -> int64) ->
   seed:int ->
   unit ->
   t
@@ -69,8 +87,13 @@ val create :
     [capacity] bounds the flight-recorder ring (default 16; oldest
     trace evicted). With [metrics], span durations fold into the
     registry as [genas_trace_span_duration_ns{span="..."}] histograms
-    plus trace/span/error/eviction counters. [on_dump] is invoked with
-    the text of every {!record_crash} dump.
+    plus trace/span/error/eviction/dropped-span counters. [on_dump] is
+    invoked with the text of every {!record_crash} dump. [clock]
+    overrides the span time source for this tracer only (default
+    {!Clock.now_ns}) — networked processes run background ticker and
+    monitor threads whose own clock reads would perturb a process-wide
+    [Clock.set_source] fake clock, so deterministic multi-process runs
+    give each tracer a private logical clock instead.
 
     @raise Invalid_argument if [sample] is outside [0,1] or
     [capacity < 1]. *)
@@ -81,6 +104,18 @@ val with_trace : t -> name:string -> (unit -> 'a) -> 'a
     caller's trace rather than starting a second root. If [f] raises,
     the root span closes with an error status, the trace still lands
     in the ring, and the exception is re-raised. *)
+
+val with_remote_trace :
+  t -> name:string -> origin:string -> (int * int) option -> (unit -> 'a) -> 'a
+(** [with_remote_trace t ~name ~origin ctx f] runs [f] under a root
+    span that {e adopts} a wire trace context: with
+    [ctx = Some (trace_id, parent_span)], the new trace reuses
+    [trace_id] and records [(origin, parent_span)] as its [remote]
+    link, so {!merge_dumps} can parent this node's spans under the
+    publisher's. Adoption never consumes a local sampling decision
+    (the context's presence means the origin sampled it). With
+    [ctx = None] this is exactly {!with_trace}; when a trace is
+    already active it nests as a plain child span. *)
 
 val with_span : t -> name:string -> (unit -> 'a) -> 'a
 (** Run [f] under a child span of the active trace; a no-op wrapper
@@ -118,6 +153,13 @@ val sample_rate : t -> float
 
 val current_trace_id : t -> int option
 
+val context : t -> (int * int) option
+(** The active trace's [(trace_id, innermost open span id)] — the pair
+    a Publish/Deliver frame carries so the receiving node's spans can
+    parent under this one. [None] when no trace is active; the span id
+    is [-1] in the (unreachable in practice) window where a trace is
+    open but its root span is not. *)
+
 val depth : t -> int
 (** Open-span nesting depth; 0 when idle. *)
 
@@ -130,6 +172,11 @@ val completed : t -> int
 
 val evicted : t -> int
 
+val dropped_spans : t -> int
+(** Spans overwritten unexported: the summed [span_count] of every
+    trace the ring evicted. Also exported as the
+    [genas_trace_dropped_spans_total] counter with [?metrics]. *)
+
 val traces : t -> trace list
 (** Flight-recorder contents, oldest first. *)
 
@@ -139,6 +186,27 @@ val to_chrome : t -> string
     ([ts]/[dur] in microseconds, normalized to the earliest span
     start; [tid] = trace id + 1) and one ["ph":"i"] instant event per
     attached matcher path. *)
+
+val export : t -> node:string -> string
+(** Versioned, line-based text form of the flight-recorder ring
+    ([genas-trace-dump 1] header, the node name, then every completed
+    trace with its spans, attrs, remote link, and matcher path) — the
+    per-node artifact {!merge_dumps} consumes. Deterministic under a
+    deterministic clock. *)
+
+val merge_dumps : string list -> string
+(** Stitch per-node {!export} dumps into one Chrome trace-event JSON
+    document: one Chrome [pid] per dump (argument order, 1-based),
+    each node's timestamps normalized to its own earliest span start
+    (no cross-host clock sync assumed), span [args] carrying
+    trace/span/parent ids and the node name, and a flow-event arrow
+    ([ph "s"]/[ph "f"], name [net.ctx]) from every adopted trace's
+    remote parent span to its local root. Traces adopted from a node
+    not among the dumps keep their [remote_node]/[remote_parent] args
+    but get no arrow.
+
+    @raise Invalid_argument on a malformed or version-mismatched
+    dump. *)
 
 val dump : t -> string
 (** Human-readable flight-recorder dump: every held trace (plus the

@@ -1,0 +1,149 @@
+Mesh-wide observability, end to end over OS processes.
+
+Part 1 — cross-process trace propagation is deterministic. The same
+scripted publish flows through a three-process chain (leaf client ->
+relay -> root broker), every node tracing with a private logical span
+clock (--trace-logical) and dumping its flight recorder at exit
+(--trace-out). Run the whole chain twice and the merged Chrome traces
+must be byte-identical.
+
+Run A:
+
+  $ mkdir runa runb
+  $ ../../bin/genas_cli.exe serve --addr unix:runa/root.sock --connections 1 --name root --heartbeat 0 --trace-out runa/root.dump --trace-logical > runa/root.out 2>&1 &
+  $ for _ in $(seq 150); do [ -S runa/root.sock ] && break; sleep 0.05; done
+  $ ../../bin/genas_cli.exe relay --addr unix:runa/relay.sock --up unix:runa/root.sock --connections 1 --name R1 --heartbeat 0 --trace-out runa/relay.dump --trace-logical > runa/relay.out 2>&1 &
+  $ for _ in $(seq 150); do [ -S runa/relay.sock ] && break; sleep 0.05; done
+  $ ../../bin/genas_cli.exe connect --addr unix:runa/relay.sock --name leaf --heartbeat 0 --trace-out runa/leaf.dump --trace-logical <<'EOF'
+  > sub leafsub : severity >= 0
+  > pub topic = weather, severity = 5
+  > quit
+  > EOF
+  sub leafsub token=1 forwarded=1
+  deliver leafsub <- topic = "weather", severity = 5
+  pub ok local=1
+  bye applied=0 dropped=0
+  $ wait
+
+Run B, identical:
+
+  $ ../../bin/genas_cli.exe serve --addr unix:runb/root.sock --connections 1 --name root --heartbeat 0 --trace-out runb/root.dump --trace-logical > runb/root.out 2>&1 &
+  $ for _ in $(seq 150); do [ -S runb/root.sock ] && break; sleep 0.05; done
+  $ ../../bin/genas_cli.exe relay --addr unix:runb/relay.sock --up unix:runb/root.sock --connections 1 --name R1 --heartbeat 0 --trace-out runb/relay.dump --trace-logical > runb/relay.out 2>&1 &
+  $ for _ in $(seq 150); do [ -S runb/relay.sock ] && break; sleep 0.05; done
+  $ ../../bin/genas_cli.exe connect --addr unix:runb/relay.sock --name leaf --heartbeat 0 --trace-out runb/leaf.dump --trace-logical <<'EOF'
+  > sub leafsub : severity >= 0
+  > pub topic = weather, severity = 5
+  > quit
+  > EOF
+  sub leafsub token=1 forwarded=1
+  deliver leafsub <- topic = "weather", severity = 5
+  pub ok local=1
+  bye applied=0 dropped=0
+  $ wait
+
+Stitch each run's three per-node dumps into one Chrome trace. The
+document validates, and the merged runs are byte-for-byte identical:
+
+  $ ../../bin/genas_cli.exe trace-merge runa/leaf.dump runa/relay.dump runa/root.dump --out runa/merged.json
+  $ ../../bin/genas_cli.exe trace-merge runb/leaf.dump runb/relay.dump runb/root.dump --out runb/merged.json
+  $ ../../bin/genas_cli.exe jsoncheck < runa/merged.json
+  ok
+  $ cmp runa/merged.json runb/merged.json && echo deterministic
+  deterministic
+
+The publish at the leaf and its application at the relay and the root
+share one trace id — a single causal tree spanning all three
+processes, one Chrome pid per node in merge order:
+
+  $ grep -o '"trace_id": [0-9]*' runa/merged.json | sort -u
+  "trace_id": 0
+  $ grep -o '"pid": [0-9]*' runa/merged.json | sort -u
+  "pid": 1
+  "pid": 2
+  "pid": 3
+  $ grep -c '"name": "net.publish"' runa/merged.json
+  1
+  $ grep -c '"name": "net.rx_publish"' runa/merged.json
+  2
+
+Each hop is stitched to its upstream parent with a flow-event arrow
+(one leaf->relay, one relay->root):
+
+  $ grep -c '"ph": "s"' runa/merged.json
+  2
+  $ grep -c '"ph": "f"' runa/merged.json
+  2
+
+Part 2 — live mesh introspection. A fresh chain where the root also
+serves a metrics scrape endpoint; the leaf parks on 'await' so the
+mesh is quiescent but fully connected while we probe it.
+
+  $ ../../bin/genas_cli.exe serve --addr unix:root.sock --connections 1 --name root --heartbeat 0 --metrics-addr unix:metrics.sock > root.out 2>&1 &
+  $ for _ in $(seq 150); do [ -S root.sock ] && break; sleep 0.05; done
+  $ ../../bin/genas_cli.exe relay --addr unix:relay.sock --up unix:root.sock --connections 3 --name R1 --heartbeat 0 > relay.out 2>&1 &
+  $ for _ in $(seq 150); do [ -S relay.sock ] && break; sleep 0.05; done
+  $ ../../bin/genas_cli.exe connect --addr unix:relay.sock --name leaf --heartbeat 0 > leaf.out 2>&1 <<'EOF' &
+  > sub leafsub : severity >= 0
+  > pub topic = weather, severity = 5
+  > await 2
+  > quit
+  > EOF
+  $ for _ in $(seq 150); do grep -q "pub ok" leaf.out 2>/dev/null && break; sleep 0.05; done
+
+The scrape endpoint speaks enough HTTP for curl or a Prometheus
+scraper: build info, uptime, and the per-hop wire histograms are all
+exposed (values are live, so only names are pinned):
+
+  $ ../../bin/genas_cli.exe http-get --addr unix:metrics.sock --path /metrics > metrics.txt
+  $ head -1 metrics.txt
+  200
+  $ grep -c '^genas_build_info' metrics.txt
+  1
+  $ grep -c '# TYPE genas_uptime_seconds gauge' metrics.txt
+  1
+  $ grep -c '# TYPE genas_net_rx_apply_duration_ns histogram' metrics.txt
+  1
+  $ grep -c '# TYPE genas_net_queue_wait_ns histogram' metrics.txt
+  1
+  $ ../../bin/genas_cli.exe http-get --addr unix:metrics.sock --path /nope
+  404
+  not found
+
+'genas status' against the relay fans the Status_req out across the
+chain and renders one row per node, probe-side first. Uptime is wall
+clock, so it is filtered out; everything else is pinned, including
+each node's live peer table:
+
+  $ ../../bin/genas_cli.exe status --addr unix:relay.sock > status.out
+  $ awk '{ print $1, $2, $3, $4 }' status.out
+  NODE ROLE CURSOR CONNS
+  R1 relay -1 2
+  root server -1 1
+  $ grep -c 'leaf(up,q=0), status-probe(up,q=0)' status.out
+  1
+  $ grep -c 'R1(up,q=0)' status.out
+  1
+
+A second publisher releases the parked leaf and winds the mesh down:
+
+  $ ../../bin/genas_cli.exe connect --addr unix:relay.sock --name kicker --heartbeat 0 <<'EOF'
+  > pub topic = traffic, severity = 6
+  > quit
+  > EOF
+  pub ok local=0
+  bye applied=0 dropped=0
+  $ wait
+  $ cat leaf.out
+  sub leafsub token=1 forwarded=1
+  deliver leafsub <- topic = "weather", severity = 5
+  pub ok local=1
+  deliver leafsub <- topic = "traffic", severity = 6
+  await applied=1
+  bye applied=1 dropped=0
+  $ cat root.out
+  serving unix:root.sock
+  served 1 connection(s), cursor 2
+  $ cat relay.out
+  relay R1: serving unix:relay.sock, upstream unix:root.sock
+  relay R1: served 3 connection(s), cursor 2

@@ -19,6 +19,7 @@ module Relay = Genas_ens.Relay
 module Chaos = Genas_ens.Chaos
 module Supervise = Genas_ens.Supervise
 module Metrics = Genas_obs.Metrics
+module Trace = Genas_obs.Trace
 
 let schema () =
   Schema.create_exn
@@ -125,6 +126,7 @@ let raw_server ?(welcome = true) s a after =
                    version = Transport.protocol_version;
                    fingerprint = Codec.schema_fingerprint s;
                    cursor = 0;
+                   name = "raw";
                  })
           | _ -> ());
           after c;
@@ -882,6 +884,150 @@ let test_mesh_metrics () =
               settle ~timeout:5.0 "heartbeat miss counted" (fun () ->
                   Metrics.Counter.value c_miss >= 1))))
 
+(* --- observability ---------------------------------------------------- *)
+
+let count_substring hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i acc =
+    if i + nl > hl then acc
+    else if String.equal (String.sub hay i nl) needle then go (i + nl) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+(* The tentpole acceptance: a publish at the leaf of a chain and its
+   delivery at the root share one trace id, each hop's trace records
+   its remote parent, and [merge_dumps] stitches the three flight
+   recorders into one Chrome trace with cross-process flow arrows. *)
+let test_trace_propagation_chain () =
+  with_timeout 60 "trace chain" @@ fun () ->
+  let s = schema () in
+  let a0 = addr () and a1 = addr () in
+  let tr_root = Trace.create ~seed:1 () in
+  let tr_mid = Trace.create ~seed:2 () in
+  let tr_leaf = Trace.create ~seed:3 () in
+  let rootb = Broker.create s in
+  let delivered_tid = ref None in
+  ignore
+    (or_fail
+       (Broker.subscribe_text rootb ~subscriber:"rootsub" "x >= 0" (fun _ ->
+            (* Fires inside the root's net.rx_publish span: the trace
+               active right now is the one the leaf started. *)
+            delivered_tid := Trace.current_trace_id tr_root)));
+  let root =
+    Broker_server.create ~name:"root" ~tracer:tr_root ~broker:rootb a0
+  in
+  Broker_server.start root;
+  let r1 =
+    or_fail
+      (Relay.create ~tracer:tr_mid ~reconnect:(quick_redial 1) ~tick_s:0.01
+         ~name:"R1" ~up:a0 ~listen:a1 s)
+  in
+  let leaf = or_fail (Broker_client.connect ~name:"leaf" ~tracer:tr_leaf s a1) in
+  Fun.protect
+    ~finally:(fun () ->
+      Broker_client.close leaf;
+      Relay.close r1;
+      Broker_server.stop root;
+      Broker.close rootb)
+    (fun () ->
+      ignore (or_fail (Broker_client.publish leaf (event s 3 4)));
+      settle ~timeout:10.0 "root traced the publish" (fun () ->
+          Trace.completed tr_root >= 1);
+      let find tr name =
+        match
+          List.find_opt
+            (fun t -> String.equal t.Trace.root_name name)
+            (Trace.traces tr)
+        with
+        | Some t -> t
+        | None -> Alcotest.failf "no %s trace" name
+      in
+      let leaf_t = find tr_leaf "net.publish" in
+      let mid_t = find tr_mid "net.rx_publish" in
+      let root_t = find tr_root "net.rx_publish" in
+      Alcotest.(check int)
+        "leaf and mid share the trace id" leaf_t.Trace.trace_id
+        mid_t.Trace.trace_id;
+      Alcotest.(check int)
+        "leaf and root share the trace id" leaf_t.Trace.trace_id
+        root_t.Trace.trace_id;
+      Alcotest.(check (option int))
+        "delivery at the root ran under the leaf's trace id"
+        (Some leaf_t.Trace.trace_id) !delivered_tid;
+      (match mid_t.Trace.remote with
+      | Some ("leaf", p) -> Alcotest.(check bool) "mid parent span" true (p >= 0)
+      | other ->
+        Alcotest.failf "mid remote link: %s"
+          (match other with
+          | None -> "none"
+          | Some (n, p) -> Printf.sprintf "(%s, %d)" n p));
+      (match root_t.Trace.remote with
+      | Some ("R1", _) -> ()
+      | _ -> Alcotest.fail "root remote link should name R1");
+      (* Stitch: one pid per node, two net.ctx flow arrows
+         (leaf -> R1, R1 -> root). *)
+      let merged =
+        Trace.merge_dumps
+          [
+            Trace.export tr_leaf ~node:"leaf";
+            Trace.export tr_mid ~node:"R1";
+            Trace.export tr_root ~node:"root";
+          ]
+      in
+      Alcotest.(check int)
+        "two cross-process flow arrows" 2
+        (count_substring merged "\"ph\": \"s\"");
+      Alcotest.(check bool)
+        "arrows are net.ctx flows" true
+        (count_substring merged "net.ctx" >= 2))
+
+(* Status_req fans out across the chain: asking the relay returns its
+   own row first, then the root's, each with live peer tables. *)
+let test_status_fanout () =
+  with_timeout 60 "status fanout" @@ fun () ->
+  let s = schema () in
+  let a0 = addr () and a1 = addr () in
+  let rootb = Broker.create s in
+  let root = Broker_server.create ~name:"root" ~broker:rootb a0 in
+  Broker_server.start root;
+  let r1 =
+    or_fail
+      (Relay.create ~reconnect:(quick_redial 1) ~tick_s:0.01 ~name:"R1" ~up:a0
+         ~listen:a1 s)
+  in
+  let c = or_fail (Broker_client.connect ~name:"probe" s a1) in
+  Fun.protect
+    ~finally:(fun () ->
+      Broker_client.close c;
+      Relay.close r1;
+      Broker_server.stop root;
+      Broker.close rootb)
+    (fun () ->
+      Alcotest.(check string)
+        "upstream name from Welcome" "R1" (Broker_client.upstream c);
+      let nodes = or_fail (Broker_client.status_request c) in
+      Alcotest.(check (list string))
+        "chain in hop order" [ "R1"; "root" ]
+        (List.map (fun n -> n.Transport.ns_node) nodes);
+      Alcotest.(check (list string))
+        "roles" [ "relay"; "server" ]
+        (List.map (fun n -> n.Transport.ns_role) nodes);
+      let r1_row = List.nth nodes 0 and root_row = List.nth nodes 1 in
+      Alcotest.(check bool)
+        "relay sees the probe as a peer" true
+        (List.exists
+           (fun p -> String.equal p.Transport.ps_name "probe")
+           r1_row.Transport.ns_peers);
+      Alcotest.(check bool)
+        "root sees the relay as a peer" true
+        (List.exists
+           (fun p -> String.equal p.Transport.ps_name "R1")
+           root_row.Transport.ns_peers);
+      Alcotest.(check bool)
+        "uptimes are sane" true
+        (List.for_all (fun n -> n.Transport.ns_uptime_s >= 0.0) nodes))
+
 let () =
   Alcotest.run "mesh"
     [
@@ -929,4 +1075,11 @@ let () =
       ( "metrics",
         [ Alcotest.test_case "mesh metrics" `Quick test_mesh_metrics ];
       );
+      ( "observability",
+        [
+          Alcotest.test_case "trace propagation across a chain" `Quick
+            test_trace_propagation_chain;
+          Alcotest.test_case "status fanout across a chain" `Quick
+            test_status_fanout;
+        ] );
     ]

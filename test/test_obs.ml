@@ -277,6 +277,35 @@ let test_no_nan_token () =
     [ Metrics.to_json reg; strip_inf_label (Metrics.to_prometheus reg) ]
 
 (* ------------------------------------------------------------------ *)
+(* Parallel hammering: counters are CAS-loop atomics, gauges atomic
+   cells, histograms mutex-protected — concurrent updates from two
+   domains must not lose a single increment or observation. *)
+
+let test_parallel_hammer () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "hammer_total" in
+  let g = Metrics.gauge reg "hammer_last" in
+  let h = Metrics.histogram reg "hammer_ns" ~buckets:[| 1.0; 2.0 |] in
+  let per_domain = 50_000 in
+  let work () =
+    for i = 1 to per_domain do
+      Metrics.Counter.incr c;
+      Metrics.Gauge.set g (float_of_int i);
+      Metrics.Histogram.observe h (float_of_int (i mod 3))
+    done
+  in
+  let d1 = Domain.spawn work and d2 = Domain.spawn work in
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check int) "no lost counter increments" (2 * per_domain)
+    (Metrics.Counter.value c);
+  Alcotest.(check int) "no lost observations" (2 * per_domain)
+    (Metrics.Histogram.count h);
+  let v = Metrics.Gauge.value g in
+  Alcotest.(check bool) "gauge holds one of the written values" true
+    (v >= 1.0 && v <= float_of_int per_domain)
+
+(* ------------------------------------------------------------------ *)
 (* Spans over a deterministic clock *)
 
 let test_span_fake_clock () =
@@ -341,6 +370,8 @@ let () =
             test_prometheus_family_once;
           Alcotest.test_case "no nan token" `Quick test_no_nan_token;
         ] );
+      ( "parallel",
+        [ Alcotest.test_case "2-domain hammer" `Quick test_parallel_hammer ] );
       ( "span",
         [
           Alcotest.test_case "fake clock" `Quick test_span_fake_clock;

@@ -164,6 +164,96 @@ let test_ring_eviction () =
   Alcotest.(check (list string)) "last 4 held, oldest first"
     [ "t3"; "t4"; "t5"; "t6" ] names
 
+(* Every span of an evicted trace counts as dropped — both on the
+   tracer itself and, with a registry attached, as the
+   genas_trace_dropped_spans_total counter. *)
+let test_dropped_spans () =
+  with_fake_clock @@ fun () ->
+  let reg = Metrics.create () in
+  let tr = Trace.create ~capacity:2 ~metrics:reg ~seed:1 () in
+  Alcotest.(check int) "starts at zero" 0 (Trace.dropped_spans tr);
+  (* Three traces of 1, 2 and 3 spans into a 2-slot ring: the first
+     two evictions drop the 1-span and 2-span trees. *)
+  for extra = 0 to 2 do
+    Trace.with_trace tr ~name:(Printf.sprintf "t%d" extra) (fun () ->
+        for j = 1 to extra do
+          Trace.with_span tr ~name:(Printf.sprintf "c%d" j) (fun () -> ())
+        done)
+  done;
+  Alcotest.(check int) "one eviction so far" 1 (Trace.evicted tr);
+  Alcotest.(check int) "dropped the 1-span trace" 1 (Trace.dropped_spans tr);
+  Trace.with_trace tr ~name:"t3" (fun () -> ());
+  Alcotest.(check int) "dropped 1 + 2 spans" 3 (Trace.dropped_spans tr);
+  let c = Metrics.counter reg "genas_trace_dropped_spans_total" in
+  Alcotest.(check int) "counter mirrors the tracer" 3
+    (Metrics.Counter.value c)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-process adoption, export, and merge *)
+
+let test_remote_adoption () =
+  with_fake_clock @@ fun () ->
+  let tr = Trace.create ~seed:9 () in
+  let n =
+    Trace.with_remote_trace tr ~name:"net.rx_publish" ~origin:"leaf"
+      (Some (4242, 7))
+      (fun () ->
+        Alcotest.(check (option int)) "adopted the wire trace id"
+          (Some 4242) (Trace.current_trace_id tr);
+        5)
+  in
+  Alcotest.(check int) "result through" 5 n;
+  Trace.with_remote_trace tr ~name:"net.rx_publish" ~origin:"leaf" None
+    (fun () -> ());
+  match Trace.traces tr with
+  | [ adopted; local ] ->
+    Alcotest.(check int) "trace id reused" 4242 adopted.Trace.trace_id;
+    Alcotest.(check (option (pair string int)))
+      "remote link recorded"
+      (Some ("leaf", 7))
+      adopted.Trace.remote;
+    Alcotest.(check (option (pair string int)))
+      "ctx-less rx is locally rooted" None local.Trace.remote
+  | l -> Alcotest.failf "expected 2 traces, got %d" (List.length l)
+
+let test_export_merge () =
+  with_fake_clock @@ fun () ->
+  let leaf = Trace.create ~seed:1 () in
+  let root = Trace.create ~seed:2 () in
+  let ctx = ref None in
+  Trace.with_trace leaf ~name:"net.publish" (fun () ->
+      ctx := Trace.context leaf);
+  Trace.with_remote_trace root ~name:"net.rx_publish" ~origin:"leaf" !ctx
+    (fun () -> Trace.with_span root ~name:"broker.publish" (fun () -> ()));
+  let merged =
+    Trace.merge_dumps
+      [ Trace.export leaf ~node:"leaf"; Trace.export root ~node:"hub" ]
+  in
+  (match Json.validate merged with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid merged JSON: %s" e);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true
+        (contains ~needle merged))
+    [
+      (* one Chrome pid per dump, in argument order *)
+      "\"pid\": 1";
+      "\"pid\": 2";
+      "\"net.publish\"";
+      "\"net.rx_publish\"";
+      "\"broker.publish\"";
+      (* the flow arrow from the leaf's publish span to the adopted
+         root span *)
+      "\"ph\": \"s\"";
+      "\"ph\": \"f\"";
+      "net.ctx";
+    ];
+  (* A dump that does not parse is rejected, not mangled. *)
+  match Trace.merge_dumps [ "not a dump" ] with
+  | _ -> Alcotest.fail "expected malformed dump to raise"
+  | exception Invalid_argument _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Chrome export and the crash dump *)
 
@@ -249,6 +339,12 @@ let () =
           Alcotest.test_case "sampling determinism" `Quick
             test_sampling_deterministic;
           Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+          Alcotest.test_case "dropped spans" `Quick test_dropped_spans;
+        ] );
+      ( "mesh",
+        [
+          Alcotest.test_case "remote adoption" `Quick test_remote_adoption;
+          Alcotest.test_case "export + merge" `Quick test_export_merge;
         ] );
       ( "export",
         [

@@ -71,12 +71,21 @@ let test_message_roundtrip () =
     [
       Transport.Hello
         { version = 1; fingerprint = Codec.schema_fingerprint s; name = "a" };
-      Transport.Welcome { version = 1; fingerprint = "fp"; cursor = 42 };
+      Transport.Welcome
+        { version = 1; fingerprint = "fp"; cursor = 42; name = "hub" };
       Transport.Reject { reason = "no" };
       Transport.Subscribe { token = 7; subscriber = "alice"; body = "x >= 5" };
       Transport.Unsubscribe { token = 7 };
       Transport.Publish
-        { token = 9; origin = "node-a"; events = [| event s 3 4; event s 5 6 |] };
+        {
+          token = 9;
+          origin = "node-a";
+          events = [| event s 3 4; event s 5 6 |];
+          ctx = None;
+        };
+      Transport.Publish
+        { token = 10; origin = "node-a"; events = [| event s 3 4 |];
+          ctx = Some (77, 3) };
       Transport.Ack { token = 9; cursor = 17; count = 2 };
       Transport.Nack { token = 9; reason = "bad" };
       Transport.Deliver
@@ -86,12 +95,57 @@ let test_message_roundtrip () =
           replay = true;
           origin = "node-a";
           event = event s 1 2;
+          ctx = None;
         };
-      Transport.Replay { since = 12 };
+      Transport.Deliver
+        {
+          cursor = 18;
+          idx = 0;
+          replay = false;
+          origin = "node-b";
+          event = event s 2 2;
+          ctx = Some (1234, 0);
+        };
+      Transport.Replay { since = 12; ctx = None };
+      Transport.Replay { since = 12; ctx = Some (5, 1) };
       Transport.Replay_done { cursor = 20; complete = false };
       Transport.Bye;
       Transport.Ping { token = 3 };
       Transport.Pong { token = 3 };
+      Transport.Status_req { token = 4 };
+      Transport.Status
+        {
+          token = 4;
+          nodes =
+            [
+              {
+                Transport.ns_node = "leaf";
+                ns_role = "client";
+                ns_cursor = -1;
+                ns_connections = 1;
+                ns_uptime_s = 1.5;
+                ns_peers =
+                  [
+                    {
+                      Transport.ps_name = "mid";
+                      ps_state = "up";
+                      ps_queue = 3;
+                      ps_last_rx_s = 0.25;
+                    };
+                  ];
+                ns_counters = [ ("genas_events_total", 12) ];
+              };
+              {
+                Transport.ns_node = "root";
+                ns_role = "server";
+                ns_cursor = 42;
+                ns_connections = 2;
+                ns_uptime_s = 9.0;
+                ns_peers = [];
+                ns_counters = [];
+              };
+            ];
+        };
     ]
   in
   List.iter
@@ -380,7 +434,7 @@ let test_torn_frame_on_socket () =
       | _ -> Alcotest.fail "handshake failed");
       let whole =
         Codec.frame ~seed:Transport.default_seed
-          (Transport.encode_message (Transport.Replay { since = 0 }))
+          (Transport.encode_message (Transport.Replay { since = 0; ctx = None }))
       in
       let torn = String.sub whole 0 (String.length whole - 2) in
       let fd = Transport.conn_fd evil in
